@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the numerical kernels the estimator relies
+//! on: least squares, NNLS, isotonic regression and cubic roots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_linalg::{cubic_roots, isotonic_increasing, lstsq, nnls, Matrix};
+
+fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let a = Matrix::from_fn(rows, cols, |i, j| {
+        next() + if i % cols == j { 1.0 } else { 0.0 }
+    });
+    let b: Vec<f64> = (0..rows).map(|_| next() * 100.0).collect();
+    (a, b)
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lstsq");
+    for &rows in &[64usize, 512, 4096] {
+        let (a, b) = deterministic_matrix(rows, 11, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bencher, _| {
+            bencher.iter(|| lstsq(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_nnls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nnls");
+    for &rows in &[64usize, 512, 4096] {
+        let (a, b) = deterministic_matrix(rows, 11, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bencher, _| {
+            bencher.iter(|| nnls(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_isotonic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isotonic");
+    for &n in &[16usize, 256, 4096] {
+        let y: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+        let w = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| isotonic_increasing(&y, &w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cubic(c: &mut Criterion) {
+    c.bench_function("cubic_roots", |bencher| {
+        bencher.iter(|| cubic_roots(2.0, -12.0, 22.0, -12.0))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lstsq,
+    bench_nnls,
+    bench_isotonic,
+    bench_cubic
+);
+criterion_main!(benches);

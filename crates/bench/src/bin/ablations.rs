@@ -1,0 +1,227 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! 1. non-negative least squares vs. plain ridge regression,
+//! 2. voltage estimation vs. the constant-voltage (`V̄ ≡ 1`) model,
+//! 3. the Eq. 12 monotonicity (isotonic) projection on/off,
+//! 4. training-suite size (stratified subsets of the 83 microbenchmarks),
+//! 5. prediction-error growth with distance from the reference
+//!    configuration.
+//!
+//! All studies run on the GTX Titan X (the device with the widest V-F
+//! grid) and evaluate on the 26 validation applications.
+
+use gpm_bench::{fit_device, heading, FittedDevice, REPRO_SEED};
+use gpm_core::{
+    fit_joint, AppProfile, Estimator, EstimatorConfig, JointFitConfig, PowerModel, TrainingSet,
+};
+use gpm_linalg::stats;
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::{devices, DeviceSpec, FreqConfig};
+use gpm_workloads::validation_suite;
+use std::collections::BTreeMap;
+
+/// Pre-measured validation data: per app, its reference profile and the
+/// measured power grid.
+struct ValidationData {
+    profiles: Vec<AppProfile>,
+    grids: Vec<BTreeMap<FreqConfig, f64>>,
+}
+
+fn collect_validation(spec: &DeviceSpec) -> ValidationData {
+    let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED + 1000);
+    let mut profiler = Profiler::new(&mut gpu);
+    let mut profiles = Vec::new();
+    let mut grids = Vec::new();
+    for app in validation_suite(spec) {
+        profiles.push(profiler.profile_at_reference(&app).unwrap());
+        grids.push(profiler.measure_power_grid(&app).unwrap());
+    }
+    ValidationData { profiles, grids }
+}
+
+fn validation_mape(model: &PowerModel, data: &ValidationData) -> f64 {
+    let mut pred = Vec::new();
+    let mut meas = Vec::new();
+    for (profile, grid) in data.profiles.iter().zip(&data.grids) {
+        for (&config, &watts) in grid {
+            pred.push(model.predict(&profile.utilizations, config).unwrap());
+            meas.push(watts);
+        }
+    }
+    stats::mape(&pred, &meas).unwrap()
+}
+
+fn fit_variant(training: &TrainingSet, config: EstimatorConfig) -> PowerModel {
+    Estimator::with_config(config).fit(training).unwrap()
+}
+
+fn main() {
+    let spec = devices::gtx_titan_x();
+    let fitted: FittedDevice = fit_device(spec.clone());
+    let data = collect_validation(&spec);
+    let default_mape = validation_mape(&fitted.model, &data);
+
+    heading("Ablation 1: NNLS vs plain ridge least squares");
+    let ridge_model = fit_variant(
+        &fitted.training,
+        EstimatorConfig {
+            nonnegative: false,
+            ..EstimatorConfig::default()
+        },
+    );
+    println!("  NNLS (default):      {default_mape:.2}%");
+    println!(
+        "  ridge (unconstrained): {:.2}%",
+        validation_mape(&ridge_model, &data)
+    );
+    let negs = ridge_model
+        .core_params()
+        .omegas
+        .iter()
+        .filter(|&&w| w < 0.0)
+        .count();
+    println!("  unconstrained fit produced {negs} negative core coefficients");
+
+    heading("Ablation 2: voltage estimation vs constant voltage (V = 1)");
+    let flat_model = fit_variant(
+        &fitted.training,
+        EstimatorConfig {
+            estimate_voltages: false,
+            ..EstimatorConfig::default()
+        },
+    );
+    println!("  DVFS-aware (default):   {default_mape:.2}%");
+    println!(
+        "  constant-voltage:       {:.2}%",
+        validation_mape(&flat_model, &data)
+    );
+
+    heading("Ablation 3: Eq. 12 monotonicity projection on/off");
+    let free_model = fit_variant(
+        &fitted.training,
+        EstimatorConfig {
+            enforce_monotonic_voltage: false,
+            ..EstimatorConfig::default()
+        },
+    );
+    println!("  isotonic (default):     {default_mape:.2}%");
+    println!(
+        "  unconstrained voltages: {:.2}%",
+        validation_mape(&free_model, &data)
+    );
+    let curve = free_model
+        .voltage_table()
+        .core_curve(spec.default_config().mem);
+    let violations = curve.windows(2).filter(|w| w[0].1 > w[1].1 + 1e-9).count();
+    println!("  unconstrained voltage curve has {violations} monotonicity violations");
+
+    heading("Ablation 4: training-suite size");
+    for keep in [12usize, 21, 28, 42, 83] {
+        // Stratified subset: every k-th sample keeps the category mix.
+        let stride = fitted.training.samples.len().div_ceil(keep);
+        let mut subset = fitted.training.clone();
+        subset.samples = fitted
+            .training
+            .samples
+            .iter()
+            .step_by(stride.max(1))
+            .cloned()
+            .collect();
+        match Estimator::new().fit(&subset) {
+            Ok(model) => println!(
+                "  {:>2} microbenchmarks -> validation MAPE {:.2}%",
+                subset.samples.len(),
+                validation_mape(&model, &data)
+            ),
+            Err(e) => println!(
+                "  {:>2} microbenchmarks -> fit failed: {e}",
+                subset.samples.len()
+            ),
+        }
+    }
+
+    heading("Ablation 5: error vs distance from the reference configuration");
+    let reference = spec.default_config();
+    let mut bins: BTreeMap<u32, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (profile, grid) in data.profiles.iter().zip(&data.grids) {
+        for (&config, &watts) in grid {
+            let dist = config.core.as_u32().abs_diff(reference.core.as_u32()) / 100;
+            let entry = bins.entry(dist).or_default();
+            entry
+                .0
+                .push(fitted.model.predict(&profile.utilizations, config).unwrap());
+            entry.1.push(watts);
+        }
+    }
+    for (bin, (pred, meas)) in bins {
+        println!(
+            "  |fcore - ref| in [{:>4}, {:>4}) MHz -> MAPE {:.2}%  ({} points)",
+            bin * 100,
+            (bin + 1) * 100,
+            stats::mape(&pred, &meas).unwrap(),
+            pred.len()
+        );
+    }
+
+    heading("Ablation 5b: refitting with a different reference configuration");
+    for reference in [
+        FreqConfig::from_mhz(975, 3505),  // device default (paper)
+        FreqConfig::from_mhz(1164, 4005), // fast corner
+        FreqConfig::from_mhz(595, 810),   // slow corner
+    ] {
+        let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED);
+        let suite = gpm_workloads::microbenchmark_suite(&spec);
+        let mut profiler = Profiler::new(&mut gpu);
+        profiler.set_reference(reference).unwrap();
+        let training = profiler.profile_suite(&suite).unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        // Validation profiles must come from the same reference.
+        let mut vgpu = SimulatedGpu::new(spec.clone(), REPRO_SEED + 1000);
+        let mut vprof = Profiler::new(&mut vgpu);
+        vprof.set_reference(reference).unwrap();
+        let mut pred = Vec::new();
+        let mut meas = Vec::new();
+        for app in validation_suite(&spec).iter().take(12) {
+            let profile = vprof.profile_at_reference(app).unwrap();
+            for (config, watts) in vprof.measure_power_grid(app).unwrap() {
+                pred.push(model.predict(&profile.utilizations, config).unwrap());
+                meas.push(watts);
+            }
+        }
+        println!(
+            "  reference {reference} -> validation MAPE {:.2}%",
+            stats::mape(&pred, &meas).unwrap()
+        );
+    }
+
+    heading("Ablation 6: absolute vs relative (percentage) error objective");
+    let rel_model = fit_variant(
+        &fitted.training,
+        EstimatorConfig {
+            relative_error: true,
+            ..EstimatorConfig::default()
+        },
+    );
+    println!("  absolute watts (paper):  {default_mape:.2}%");
+    println!(
+        "  relative (1/P weighted): {:.2}%",
+        validation_mape(&rel_model, &data)
+    );
+
+    heading("Ablation 7: alternating heuristic vs joint Levenberg-Marquardt");
+    let t0 = std::time::Instant::now();
+    let (joint_model, joint_report) =
+        fit_joint(&fitted.training, &JointFitConfig::default()).unwrap();
+    println!(
+        "  alternating (paper): val MAPE {default_mape:.2}%  (train {:.2}%)",
+        fitted.report.training_mape
+    );
+    println!(
+        "  joint LM:            val MAPE {:.2}%  (train {:.2}%, {} iterations, {:.1}s)",
+        validation_mape(&joint_model, &data),
+        joint_report.training_mape,
+        joint_report.iterations,
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,61 @@
+use gpm_core::{
+    baseline::{BaselineFitStrategy, LinearFreqModel},
+    Estimator, EstimatorConfig,
+};
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::devices;
+use gpm_workloads::{microbenchmark_suite, validation_suite};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    for spec in devices::extended() {
+        let t0 = std::time::Instant::now();
+        let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+        let suite = microbenchmark_suite(&spec);
+        let mut profiler = Profiler::new(&mut gpu);
+        let training = profiler.profile_suite(&suite).unwrap();
+        let cfg = EstimatorConfig {
+            max_iterations: iters,
+            ..Default::default()
+        };
+        let (model, report) = Estimator::with_config(cfg)
+            .fit_with_report(&training)
+            .unwrap();
+        let baseline = LinearFreqModel::fit(&training, BaselineFitStrategy::Subset3x3).unwrap();
+
+        let apps = validation_suite(&spec);
+        let (mut pred, mut base, mut meas) = (Vec::new(), Vec::new(), Vec::new());
+        for app in &apps {
+            let profile = profiler.profile_at_reference(app).unwrap();
+            let grid = profiler.measure_power_grid(app).unwrap();
+            for (cfg, watts) in grid {
+                pred.push(model.predict(&profile.utilizations, cfg).unwrap());
+                base.push(baseline.predict(&profile.utilizations, cfg));
+                meas.push(watts);
+            }
+        }
+        let mape = gpm_linalg::stats::mape(&pred, &meas).unwrap();
+        let bmape = gpm_linalg::stats::mape(&base, &meas).unwrap();
+        println!(
+            "{:<12} iters={} conv={} trainMAPE={:.2}% valMAPE={:.2}% baseline={:.2}% elapsed={:.1}s",
+            spec.name(), report.iterations, report.converged, report.training_mape, mape, bmape,
+            t0.elapsed().as_secs_f64()
+        );
+        let truth = gpu.truth();
+        let reference = spec.default_config();
+        let curve = model.voltage_table().core_curve(reference.mem);
+        let verr: f64 = curve
+            .iter()
+            .map(|&(f, v)| {
+                let tv = truth.core_voltage.normalized_at(f, reference.core);
+                (v - tv).abs() / tv
+            })
+            .sum::<f64>()
+            / curve.len() as f64;
+        println!("             mean |Vbar err| = {:.3}", verr);
+    }
+}

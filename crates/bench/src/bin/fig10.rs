@@ -1,0 +1,91 @@
+//! Reproduces Figure 10: utilization and per-component power breakdown
+//! of the validation benchmarks on the GTX Titan X at two V-F
+//! configurations — (975, 3505) and (975, 810) MHz.
+//!
+//! Paper numbers to compare against: mean absolute errors of 5.2% at the
+//! high-memory configuration and 8.8% at the low one; the constant part
+//! is ~80 W and ~50 W respectively; the DRAM component shrinks sharply at
+//! the low memory level while the others stay almost unchanged.
+
+use gpm_bench::{fit_device, heading, REPRO_SEED};
+use gpm_linalg::stats;
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::{devices, Component, FreqConfig};
+use gpm_workloads::{gemm, validation_suite, KernelDesc};
+
+fn main() {
+    let spec = devices::gtx_titan_x();
+    let fitted = fit_device(spec.clone());
+    let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED + 1000);
+    let mut profiler = Profiler::new(&mut gpu);
+    // Fig. 10 includes the CUBLAS column alongside the 26 applications.
+    let mut apps: Vec<KernelDesc> = validation_suite(&spec);
+    apps.push(gemm(&spec, 4096).unwrap());
+
+    for config in [
+        FreqConfig::from_mhz(975, 3505),
+        FreqConfig::from_mhz(975, 810),
+    ] {
+        heading(&format!("Figure 10: power breakdown at {config}"));
+        println!(
+            "{:<10} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "app",
+            "measured",
+            "predicted",
+            "const",
+            "INT",
+            "SP",
+            "DP",
+            "SF",
+            "Shared",
+            "L2",
+            "DRAM"
+        );
+        let mut pred = Vec::new();
+        let mut meas = Vec::new();
+        let mut dram_total = 0.0;
+        for app in &apps {
+            let profile = profiler.profile_at_reference(app).unwrap();
+            let measured = profiler.measure_power_at(app, config).unwrap();
+            let b = fitted
+                .model
+                .breakdown(&profile.utilizations, config)
+                .unwrap();
+            println!(
+                "{:<10} {:>7.1} W {:>7.1} W | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+                app.name(),
+                measured,
+                b.total(),
+                b.constant(),
+                b.component(Component::Int),
+                b.component(Component::Sp),
+                b.component(Component::Dp),
+                b.component(Component::Sf),
+                b.component(Component::SharedMem),
+                b.component(Component::L2Cache),
+                b.component(Component::Dram),
+            );
+            pred.push(b.total());
+            meas.push(measured);
+            dram_total += b.component(Component::Dram);
+        }
+        let constant = fitted
+            .model
+            .breakdown(
+                &gpm_core::Utilizations::from_values([0.0; 7]).unwrap(),
+                config,
+            )
+            .unwrap()
+            .constant();
+        println!(
+            "\nMean absolute error = {:.1}% (paper: 5.2% high-mem / 8.8% low-mem)",
+            stats::mape(&pred, &meas).unwrap()
+        );
+        println!(
+            "Constant part = {constant:.0} W (paper: ~80 W high-mem / ~50 W low-mem); \
+             mean DRAM component = {:.1} W",
+            dram_total / apps.len() as f64
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Reproduces Figure 5: per-component utilization rates (A) and the
+//! fitted per-component power breakdown vs. the measured power (B) for
+//! the 83-microbenchmark suite on the GTX Titan X at the default
+//! configuration.
+//!
+//! Paper observations to compare against: the constant (utilization-
+//! independent) part contributes ~84 W, and the maximum dynamic share is
+//! about 49%, reached in one of the MIX microbenchmarks.
+
+use gpm_bench::{fit_device, heading};
+use gpm_linalg::stats;
+use gpm_spec::{devices, Component};
+
+fn main() {
+    let fitted = fit_device(devices::gtx_titan_x());
+    let reference = fitted.training.reference;
+
+    heading("Figure 5A: per-component utilization of the 83 microbenchmarks");
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>5} {:>6} {:>5} {:>5}",
+        "kernel", "INT", "SP", "DP", "SF", "Shared", "L2", "DRAM"
+    );
+    for s in &fitted.training.samples {
+        let u = &s.utilizations;
+        println!(
+            "{:<16} {:>5.2} {:>5.2} {:>5.2} {:>5.2} {:>6.2} {:>5.2} {:>5.2}",
+            s.name,
+            u.get(Component::Int),
+            u.get(Component::Sp),
+            u.get(Component::Dp),
+            u.get(Component::Sf),
+            u.get(Component::SharedMem),
+            u.get(Component::L2Cache),
+            u.get(Component::Dram),
+        );
+    }
+
+    heading("Figure 5B: fitted power breakdown vs measured at (975, 3505) MHz");
+    println!(
+        "{:<16} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "kernel", "measured", "predicted", "const", "INT", "SP", "DP", "SF", "Shared", "L2", "DRAM"
+    );
+    let mut pred_all = Vec::new();
+    let mut meas_all = Vec::new();
+    let mut max_dyn = (0.0f64, String::new());
+    for s in &fitted.training.samples {
+        let measured = s.power_by_config[&reference];
+        let b = fitted.model.breakdown(&s.utilizations, reference).unwrap();
+        println!(
+            "{:<16} {:>7.1} W {:>7.1} W | {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            s.name,
+            measured,
+            b.total(),
+            b.constant(),
+            b.component(Component::Int),
+            b.component(Component::Sp),
+            b.component(Component::Dp),
+            b.component(Component::Sf),
+            b.component(Component::SharedMem),
+            b.component(Component::L2Cache),
+            b.component(Component::Dram),
+        );
+        pred_all.push(b.total());
+        meas_all.push(measured);
+        if b.dynamic_fraction() > max_dyn.0 {
+            max_dyn = (b.dynamic_fraction(), s.name.clone());
+        }
+    }
+
+    let idle_breakdown = fitted
+        .model
+        .breakdown(
+            &gpm_core::Utilizations::from_values([0.0; 7]).unwrap(),
+            reference,
+        )
+        .unwrap();
+    println!(
+        "\nConstant part at the reference configuration: {:.1} W (paper: ~84 W)",
+        idle_breakdown.constant()
+    );
+    println!(
+        "Maximum dynamic share: {:.0}% in {} (paper: ~49%, in a MIX kernel)",
+        max_dyn.0 * 100.0,
+        max_dyn.1
+    );
+    println!(
+        "Suite MAPE at the reference configuration: {:.1}%",
+        stats::mape(&pred_all, &meas_all).unwrap()
+    );
+}

@@ -1,0 +1,52 @@
+//! Reproduces Figure 6: measured vs. predicted core voltage across the
+//! core-frequency range, for the GTX Titan X (6a) and Titan Xp (6b).
+//!
+//! The paper's observation: "two distinct regions for the core voltage...
+//! a constant voltage region, for lower frequencies; and... after a
+//! specific frequency, the voltage starts increasing linearly with the
+//! frequency", with the model "accurate in predicting the core voltage,
+//! and in identifying the breaking point between the two regions".
+//!
+//! Here the paper's third-party Windows tools (NVIDIA Inspector / MSI
+//! Afterburner) are replaced by the simulator's hidden ground-truth
+//! curve, which the estimator never saw.
+
+use gpm_bench::{fit_device, heading};
+use gpm_spec::devices;
+
+fn main() {
+    for spec in [devices::gtx_titan_x(), devices::titan_xp()] {
+        let fitted = fit_device(spec.clone());
+        let reference = spec.default_config();
+        heading(&format!(
+            "Figure 6: core voltage (normalized to V at {}), {}",
+            reference.core,
+            spec.name()
+        ));
+        println!(
+            "{:>7} {:>11} {:>11} {:>8}",
+            "fcore", "predicted", "measured", "error"
+        );
+        let mut abs_err = Vec::new();
+        for (f, v) in fitted.model.voltage_table().core_curve(reference.mem) {
+            let truth = fitted
+                .gpu
+                .truth()
+                .core_voltage
+                .normalized_at(f, reference.core);
+            println!(
+                "{:>7} {:>11.3} {:>11.3} {:>7.1}%",
+                f.as_u32(),
+                v,
+                truth,
+                100.0 * (v - truth) / truth
+            );
+            abs_err.push(100.0 * ((v - truth) / truth).abs());
+        }
+        let mean: f64 = abs_err.iter().sum::<f64>() / abs_err.len() as f64;
+        println!("Mean absolute voltage error: {mean:.1}%");
+        if let Some(break_f) = fitted.gpu.truth().core_voltage.break_frequency() {
+            println!("True breaking point between regions: {break_f}");
+        }
+    }
+}

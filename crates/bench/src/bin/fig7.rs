@@ -1,0 +1,68 @@
+//! Reproduces Figure 7: predicted vs. measured power for the validation
+//! benchmarks at every V-F configuration, on all three devices.
+//!
+//! Paper numbers to compare against: mean absolute errors of 6.9%
+//! (Titan Xp, 2 memory x 22 core levels), 6.0% (GTX Titan X, 4 x 16) and
+//! 12.4% (Tesla K40c, 1 x 4), with power spanning roughly 40-248 W on
+//! the GTX Titan X.
+
+use gpm_bench::{fit_device, heading, REPRO_SEED};
+use gpm_linalg::stats;
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::devices;
+use gpm_workloads::validation_suite;
+
+fn main() {
+    heading("Figure 7: power prediction for all V-F configurations (validation set)");
+    for spec in devices::all() {
+        let fitted = fit_device(spec.clone());
+        // A fresh simulated card instance of the same physical device for
+        // validation measurements (distinct RNG stream).
+        let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED + 1000);
+        let mut profiler = Profiler::new(&mut gpu);
+        let apps = validation_suite(&spec);
+
+        let mut pred = Vec::new();
+        let mut meas = Vec::new();
+        let mut per_app: Vec<(String, f64)> = Vec::new();
+        for app in &apps {
+            let profile = profiler.profile_at_reference(app).unwrap();
+            let grid = profiler.measure_power_grid(app).unwrap();
+            let mut app_pred = Vec::new();
+            let mut app_meas = Vec::new();
+            for (config, watts) in grid {
+                app_pred.push(fitted.model.predict(&profile.utilizations, config).unwrap());
+                app_meas.push(watts);
+            }
+            per_app.push((
+                app.name().to_string(),
+                stats::mape(&app_pred, &app_meas).unwrap(),
+            ));
+            pred.extend(app_pred);
+            meas.extend(app_meas);
+        }
+
+        let lo = meas.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = meas.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "\n{:<12} mem x core levels: {} x {}   measured range {:.0}-{:.0} W",
+            spec.name(),
+            spec.mem_freqs().len(),
+            spec.core_freqs().len(),
+            lo,
+            hi
+        );
+        println!(
+            "  Mean absolute error = {:.1}%   (paper: 6.9% Xp / 6.0% Titan X / 12.4% K40c)",
+            stats::mape(&pred, &meas).unwrap()
+        );
+        per_app.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let worst: Vec<String> = per_app
+            .iter()
+            .take(3)
+            .map(|(n, e)| format!("{n} ({e:.1}%)"))
+            .collect();
+        println!("  Worst applications: {}", worst.join(", "));
+    }
+}

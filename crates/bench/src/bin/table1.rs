@@ -1,0 +1,21 @@
+//! Reproduces Table I: performance events required to compute the model
+//! metrics, per device.
+
+use gpm_bench::heading;
+use gpm_spec::{devices, EventTable, Metric};
+
+fn main() {
+    heading("Table I: Performance events per metric and device");
+    for dev in devices::all() {
+        println!("\n--- {} ({}) ---", dev.name(), dev.architecture());
+        let table = EventTable::for_architecture(dev.architecture());
+        for metric in Metric::ALL {
+            let events: Vec<String> = table.events(metric).iter().map(|e| e.to_string()).collect();
+            println!("  {:<28} {}", metric.to_string(), events.join(", "));
+        }
+    }
+    println!(
+        "\nNumeric-ID prefixes (Table I footnote): 352321 (Titan Xp), \
+         335544 (GTX Titan X), 318767 (Tesla K40c)."
+    );
+}

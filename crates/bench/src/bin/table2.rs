@@ -1,0 +1,65 @@
+//! Reproduces Table II: summarized description of the used GPUs.
+
+use gpm_bench::heading;
+use gpm_spec::{devices, Component};
+
+fn main() {
+    heading("Table II: Summarized description of the used GPUs");
+    let devs = devices::all();
+    let row = |label: &str, f: &dyn Fn(&gpm_spec::DeviceSpec) -> String| {
+        print!("{label:<28}");
+        for d in &devs {
+            print!("{:>18}", f(d));
+        }
+        println!();
+    };
+    row("", &|d| d.name().to_string());
+    row("Base architecture", &|d| d.architecture().to_string());
+    row("Compute capability", &|d| {
+        let (ma, mi) = d.compute_capability();
+        format!("{ma}.{mi}")
+    });
+    row("Memory frequencies (MHz)", &|d| {
+        let v: Vec<String> = d
+            .mem_freqs()
+            .iter()
+            .map(|f| f.as_u32().to_string())
+            .collect();
+        v.join("/")
+    });
+    row("Core freq. range (MHz)", &|d| {
+        format!(
+            "[{}:{}]",
+            d.core_freqs().last().unwrap().as_u32(),
+            d.core_freqs()[0].as_u32()
+        )
+    });
+    row("Number of core freq levels", &|d| {
+        d.core_freqs().len().to_string()
+    });
+    row("Default mem frequency", &|d| {
+        d.default_config().mem.as_u32().to_string()
+    });
+    row("Default core frequency", &|d| {
+        d.default_config().core.as_u32().to_string()
+    });
+    row("Threads per warp", &|d| d.warp_size().to_string());
+    row("Number of SMs", &|d| d.num_sms().to_string());
+    row("Memory bus width (B)", &|d| {
+        d.mem_bus_bytes_per_cycle().to_string()
+    });
+    row("Shared mem. banks", &|d| d.shared_banks().to_string());
+    row("SP/INT units per SM", &|d| {
+        d.units_per_sm(Component::Sp).unwrap().to_string()
+    });
+    row("DP units per SM", &|d| {
+        d.units_per_sm(Component::Dp).unwrap().to_string()
+    });
+    row("SF units per SM", &|d| {
+        d.units_per_sm(Component::Sf).unwrap().to_string()
+    });
+    row("TDP (W)", &|d| format!("{:.0}", d.tdp_w()));
+    row("Power sensor refresh (ms)", &|d| {
+        format!("{:.0}", d.power_refresh_ms())
+    });
+}

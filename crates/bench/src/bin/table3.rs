@@ -1,0 +1,58 @@
+//! Reproduces Table III: the standard benchmarks used to validate the
+//! model, with their dominant components as profiled on the GTX Titan X.
+
+use gpm_bench::heading;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::devices;
+use gpm_workloads::validation_suite;
+
+/// Table III's suite attribution for each validation application.
+const SUITES: [(&str, &[&str]); 4] = [
+    (
+        "Rodinia",
+        &[
+            "STCL", "BCKP", "LUD", "GAUSS", "HOTS", "K-M", "K-M_2", "PF_N", "PF_F", "SRAD_1",
+            "SRAD_2",
+        ],
+    ),
+    ("Parboil", &["CUTCP", "LBM"]),
+    (
+        "Polybench",
+        &[
+            "2MM", "3MM", "FDTD", "SYRK", "CORR", "GEMM", "GESUMV", "GRAMS", "SYRK_D", "3DCNV",
+            "COVAR",
+        ],
+    ),
+    ("CUDA SDK", &["BLCKSC", "CGUM"]),
+];
+
+fn main() {
+    heading("Table III: Standard benchmarks used to validate the power model");
+    let spec = devices::gtx_titan_x();
+    let gpu = SimulatedGpu::new(spec.clone(), gpm_bench::REPRO_SEED);
+    let apps = validation_suite(&spec);
+    let mut total = 0;
+    for (suite, names) in SUITES {
+        println!("\n{suite}:");
+        for name in names {
+            let app = apps
+                .iter()
+                .find(|k| k.name() == *name)
+                .unwrap_or_else(|| panic!("{name} present in validation suite"));
+            let exec = gpu.execute(app);
+            let (dom, u) = {
+                let mut best = (gpm_spec::Component::Int, 0.0);
+                for c in gpm_spec::Component::ALL {
+                    if exec.utilization(c) > best.1 {
+                        best = (c, exec.utilization(c));
+                    }
+                }
+                best
+            };
+            println!("  {name:<10} dominant: {dom} ({u:.2})");
+            total += 1;
+        }
+    }
+    println!("\n{total} applications (paper: 26). The `matrixMulCUBLAS` size study is in fig9.");
+    assert_eq!(total, 26);
+}

@@ -1,0 +1,94 @@
+//! Shared helpers for the paper-reproduction binaries.
+//!
+//! Every `fig*`/`table*` binary in this crate regenerates one table or
+//! figure of Guerreiro et al. (HPCA 2018) end to end: simulate the GPU,
+//! run the measurement campaign, fit the model, evaluate, and print the
+//! same rows/series the paper reports.
+
+use gpm_core::{Estimator, FitReport, PowerModel, TrainingSet};
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::DeviceSpec;
+use gpm_workloads::microbenchmark_suite;
+
+/// The seed used by all reproduction binaries, so every figure is
+/// generated from the *same* three simulated cards.
+pub const REPRO_SEED: u64 = 42;
+
+/// A fully fitted device: the simulated card, its training campaign and
+/// the estimated power model.
+pub struct FittedDevice {
+    /// The simulated GPU (holds the hidden ground truth for scoring).
+    pub gpu: SimulatedGpu,
+    /// The training dataset (83 microbenchmarks, full V-F grid).
+    pub training: TrainingSet,
+    /// The fitted DVFS-aware power model.
+    pub model: PowerModel,
+    /// Estimator diagnostics.
+    pub report: FitReport,
+}
+
+/// Runs the complete paper pipeline for one device.
+///
+/// # Panics
+///
+/// Panics on any pipeline failure — reproduction binaries treat that as
+/// fatal.
+pub fn fit_device(spec: DeviceSpec) -> FittedDevice {
+    let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::new(&mut gpu)
+        .profile_suite(&suite)
+        .expect("training campaign succeeds");
+    let (model, report) = Estimator::new()
+        .fit_with_report(&training)
+        .expect("estimation succeeds");
+    FittedDevice {
+        gpu,
+        training,
+        model,
+        report,
+    }
+}
+
+/// Renders a horizontal ASCII bar of `value` against `max`, `width`
+/// characters wide.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
+    } else {
+        0
+    };
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Prints a section heading in a consistent style.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(0.0, 1.0, 4), "....");
+        assert_eq!(bar(0.5, 1.0, 4), "##..");
+        assert_eq!(bar(2.0, 1.0, 4), "####");
+        assert_eq!(bar(1.0, 0.0, 3), "...");
+    }
+
+    #[test]
+    fn fit_device_produces_usable_model() {
+        let fitted = fit_device(gpm_spec::devices::tesla_k40c());
+        assert_eq!(fitted.training.samples.len(), 83);
+        assert!(fitted.report.training_mape < 15.0);
+    }
+}

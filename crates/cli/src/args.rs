@@ -1,0 +1,138 @@
+//! Minimal flag parsing (the approved dependency set has no argument
+//! parser, and the surface is small enough not to need one).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `[command, --flag, value, ...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on a missing command, a flag without a
+    /// value, or a stray positional argument.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut iter = args.iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError::Usage("missing command".into()))?
+            .clone();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument `{arg}`")));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when absent.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional integer flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when present but unparsable.
+    pub fn integer_or(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects an integer, got `{v}`"))),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] naming the first unknown flag.
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<ParsedArgs, CliError> {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&v)
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["train", "--training", "t.json", "--out", "m.json"]).unwrap();
+        assert_eq!(a.command(), "train");
+        assert_eq!(a.required("training").unwrap(), "t.json");
+        assert_eq!(a.optional("out"), Some("m.json"));
+        assert_eq!(a.optional("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["train", "stray"]).is_err());
+        assert!(parse(&["train", "--flag"]).is_err());
+    }
+
+    #[test]
+    fn integers_parse_with_defaults() {
+        let a = parse(&["x", "--seed", "7"]).unwrap();
+        assert_eq!(a.integer_or("seed", 42).unwrap(), 7);
+        assert_eq!(a.integer_or("repeats", 10).unwrap(), 10);
+        let bad = parse(&["x", "--seed", "abc"]).unwrap();
+        assert!(bad.integer_or("seed", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let a = parse(&["x", "--tyop", "1"]).unwrap();
+        assert!(a.allow_only(&["seed"]).is_err());
+        assert!(a.allow_only(&["tyop"]).is_ok());
+    }
+
+    #[test]
+    fn missing_required_flag_names_it() {
+        let a = parse(&["x"]).unwrap();
+        let err = a.required("model").unwrap_err();
+        assert!(err.to_string().contains("--model"));
+    }
+}

@@ -1,0 +1,507 @@
+//! Subcommand implementations. `run` returns the text to print, which
+//! keeps every command unit-testable without spawning processes.
+
+use crate::{CliError, ParsedArgs, USAGE};
+use gpm_core::{
+    cross_validate, AccuracyReport, CoverageReport, Estimator, EstimatorConfig, PowerModel,
+    TrainingSet,
+};
+use gpm_dvfs::{baseline_ledger, pareto_frontier, Governor, Objective};
+use gpm_profiler::{training_set_to_csv, Profiler};
+use gpm_sim::SimulatedGpu;
+use gpm_spec::{devices, DeviceSpec};
+use gpm_workloads::{launch_trace, microbenchmark_suite, validation_suite};
+use std::fmt::Write as _;
+use std::fs;
+
+/// Executes one CLI invocation and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations, [`CliError::Io`]
+/// for file failures and [`CliError::Pipeline`] when the underlying
+/// pipeline errors.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    if args.is_empty() {
+        return Err(CliError::Usage("missing command".into()));
+    }
+    let parsed = ParsedArgs::parse(args)?;
+    match parsed.command() {
+        "devices" => {
+            parsed.allow_only(&[])?;
+            cmd_devices()
+        }
+        "characterize" => {
+            parsed.allow_only(&["device", "out", "seed", "repeats"])?;
+            cmd_characterize(&parsed)
+        }
+        "train" => {
+            parsed.allow_only(&["training", "out", "max-iterations"])?;
+            cmd_train(&parsed)
+        }
+        "validate" => {
+            parsed.allow_only(&["model", "seed", "apps"])?;
+            cmd_validate(&parsed)
+        }
+        "predict" => {
+            parsed.allow_only(&["model", "app", "seed"])?;
+            cmd_predict(&parsed)
+        }
+        "voltage" => {
+            parsed.allow_only(&["model"])?;
+            cmd_voltage(&parsed)
+        }
+        "describe" => {
+            parsed.allow_only(&["model"])?;
+            Ok(load_model(parsed.required("model")?)?.describe())
+        }
+        "export-csv" => {
+            parsed.allow_only(&["training", "out"])?;
+            cmd_export_csv(&parsed)
+        }
+        "crossval" => {
+            parsed.allow_only(&["training", "folds"])?;
+            cmd_crossval(&parsed)
+        }
+        "governor" => {
+            parsed.allow_only(&["model", "objective", "launches", "seed"])?;
+            cmd_governor(&parsed)
+        }
+        "pareto" => {
+            parsed.allow_only(&["model", "app", "seed"])?;
+            cmd_pareto(&parsed)
+        }
+        "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Resolves a device slug.
+fn device_by_slug(slug: &str) -> Result<DeviceSpec, CliError> {
+    match slug {
+        "titan-xp" => Ok(devices::titan_xp()),
+        "gtx-titan-x" => Ok(devices::gtx_titan_x()),
+        "tesla-k40c" => Ok(devices::tesla_k40c()),
+        other => Err(CliError::Usage(format!(
+            "unknown device `{other}` (expected titan-xp, gtx-titan-x or tesla-k40c)"
+        ))),
+    }
+}
+
+fn pipeline<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Pipeline(e.to_string())
+}
+
+fn cmd_devices() -> Result<String, CliError> {
+    let mut out = String::new();
+    for d in devices::all() {
+        let _ = writeln!(
+            out,
+            "{:<12} {}  grid {} mem x {} core levels, reference {}",
+            slug_of(&d),
+            d,
+            d.mem_freqs().len(),
+            d.core_freqs().len(),
+            d.default_config()
+        );
+    }
+    Ok(out)
+}
+
+fn slug_of(d: &DeviceSpec) -> &'static str {
+    match d.name() {
+        "Titan Xp" => "titan-xp",
+        "GTX Titan X" => "gtx-titan-x",
+        _ => "tesla-k40c",
+    }
+}
+
+fn cmd_characterize(args: &ParsedArgs) -> Result<String, CliError> {
+    let spec = device_by_slug(args.required("device")?)?;
+    let out_path = args.required("out")?;
+    let seed = args.integer_or("seed", 42)?;
+    let repeats = args.integer_or("repeats", 10)?.max(1) as u32;
+
+    let mut gpu = SimulatedGpu::new(spec.clone(), seed);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::with_repeats(&mut gpu, repeats)
+        .profile_suite(&suite)
+        .map_err(pipeline)?;
+    fs::write(out_path, training.to_json().map_err(pipeline)?)?;
+    let coverage = CoverageReport::of(&training);
+    Ok(format!(
+        "characterized {} (seed {seed}): {} microbenchmarks x {} configurations, \
+         L2 peak {:.0} B/cycle -> {out_path}\n{coverage}",
+        spec.name(),
+        training.samples.len(),
+        training.configs().len(),
+        training.l2_bytes_per_cycle
+    ))
+}
+
+fn cmd_train(args: &ParsedArgs) -> Result<String, CliError> {
+    let training = load_training(args.required("training")?)?;
+    let out_path = args.required("out")?;
+    let max_iterations = args.integer_or("max-iterations", 50)? as usize;
+    let config = EstimatorConfig {
+        max_iterations,
+        ..EstimatorConfig::default()
+    };
+    let (model, report) = Estimator::with_config(config)
+        .fit_with_report(&training)
+        .map_err(pipeline)?;
+    fs::write(out_path, model.to_json().map_err(pipeline)?)?;
+    Ok(format!(
+        "trained model for {} in {} iterations (converged: {}, training MAPE {:.1}%) -> {out_path}\n",
+        model.spec().name(),
+        report.iterations,
+        report.converged,
+        report.training_mape
+    ))
+}
+
+fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
+    let model = load_model(args.required("model")?)?;
+    let seed = args.integer_or("seed", 1042)?;
+    let spec = model.spec().clone();
+    let napps = args.integer_or("apps", 26)?.clamp(1, 26) as usize;
+
+    let mut gpu = SimulatedGpu::new(spec.clone(), seed);
+    let mut profiler = Profiler::with_repeats(&mut gpu, 3);
+    let mut report = AccuracyReport::new();
+    for app in validation_suite(&spec).iter().take(napps) {
+        let profile = profiler.profile_at_reference(app).map_err(pipeline)?;
+        for (config, watts) in profiler.measure_power_grid(app).map_err(pipeline)? {
+            let p = model
+                .predict(&profile.utilizations, config)
+                .map_err(pipeline)?;
+            report.add(app.name(), config, p, watts);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(out, "per memory level:");
+    for (mem, mape) in report.per_memory_level().map_err(pipeline)? {
+        let _ = writeln!(out, "  {:>5} MHz: {mape:.1}%", mem.as_u32());
+    }
+    let (worst, mape) = report.worst_label().map_err(pipeline)?;
+    let _ = writeln!(out, "worst application: {worst} ({mape:.1}%)");
+    Ok(out)
+}
+
+fn cmd_predict(args: &ParsedArgs) -> Result<String, CliError> {
+    let model = load_model(args.required("model")?)?;
+    let app_name = args.required("app")?;
+    let seed = args.integer_or("seed", 1042)?;
+    let spec = model.spec().clone();
+
+    let app = validation_suite(&spec)
+        .into_iter()
+        .find(|k| k.name() == app_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown application `{app_name}`")))?;
+    let mut gpu = SimulatedGpu::new(spec.clone(), seed);
+    let profile = Profiler::with_repeats(&mut gpu, 1)
+        .profile_at_reference(&app)
+        .map_err(pipeline)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{app_name} utilizations: {}", profile.utilizations);
+    let _ = writeln!(out, "\npredicted power (W), rows = fcore, cols = fmem:");
+    let _ = write!(out, "{:>7}", "");
+    for mem in spec.mem_freqs() {
+        let _ = write!(out, "{:>9}", mem.as_u32());
+    }
+    let _ = writeln!(out);
+    for &core in spec.core_freqs() {
+        let _ = write!(out, "{:>7}", core.as_u32());
+        for &mem in spec.mem_freqs() {
+            let p = model
+                .predict(&profile.utilizations, gpm_spec::FreqConfig::new(core, mem))
+                .map_err(pipeline)?;
+            let _ = write!(out, "{p:>9.1}");
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn cmd_voltage(args: &ParsedArgs) -> Result<String, CliError> {
+    let model = load_model(args.required("model")?)?;
+    let reference = model.reference();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "estimated V/V_ref for {} (reference {reference}):",
+        model.spec().name()
+    );
+    for &mem in model.spec().mem_freqs() {
+        let _ = writeln!(out, "  core curve at fmem = {}:", mem);
+        for (f, v) in model.voltage_table().core_curve(mem) {
+            let _ = writeln!(out, "    {:>5} MHz  {v:.3}", f.as_u32());
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_export_csv(args: &ParsedArgs) -> Result<String, CliError> {
+    let training = load_training(args.required("training")?)?;
+    let out_path = args.required("out")?;
+    let csv = training_set_to_csv(&training);
+    let rows = csv.lines().count().saturating_sub(1);
+    fs::write(out_path, csv)?;
+    Ok(format!("wrote {rows} observations -> {out_path}\n"))
+}
+
+fn cmd_governor(args: &ParsedArgs) -> Result<String, CliError> {
+    let model = load_model(args.required("model")?)?;
+    let seed = args.integer_or("seed", 11)?;
+    let launches = args.integer_or("launches", 24)?.max(1) as usize;
+    let objective = match args.optional("objective").unwrap_or("min-energy") {
+        "min-power" => Objective::MinPower,
+        "min-energy" => Objective::MinEnergy,
+        "min-edp" => Objective::MinEdp,
+        "slowdown-10" => Objective::MinEnergyWithSlowdown(1.10),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown objective `{other}` (min-power | min-energy | min-edp | slowdown-10)"
+            )))
+        }
+    };
+    let spec = model.spec().clone();
+    let mut gpu = SimulatedGpu::new(spec.clone(), seed);
+    let trace = launch_trace(&spec, seed, 4, launches);
+
+    let baseline = baseline_ledger(&mut gpu, &model, &trace).map_err(pipeline)?;
+    let mut governor = Governor::new(&mut gpu, model, objective);
+    for kernel in &trace {
+        governor.run_kernel(kernel).map_err(pipeline)?;
+    }
+    let governed = governor.ledger();
+    let mut out = String::new();
+    let _ = writeln!(out, "objective: {objective}");
+    let _ = writeln!(out, "ungoverned: {baseline}");
+    let _ = writeln!(out, "governed:   {governed}");
+    let _ = writeln!(
+        out,
+        "energy {:+.1}%, time {:+.1}% ({} profiled, {} cache hits)",
+        100.0 * (governed.total_energy_j() / baseline.total_energy_j() - 1.0),
+        100.0 * (governed.total_time_s() / baseline.total_time_s() - 1.0),
+        governor.stats().profiled,
+        governor.stats().cache_hits
+    );
+    Ok(out)
+}
+
+fn cmd_pareto(args: &ParsedArgs) -> Result<String, CliError> {
+    let model = load_model(args.required("model")?)?;
+    let app_name = args.required("app")?;
+    let seed = args.integer_or("seed", 11)?;
+    let spec = model.spec().clone();
+    let app = validation_suite(&spec)
+        .into_iter()
+        .find(|k| k.name() == app_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown application `{app_name}`")))?;
+    let mut gpu = SimulatedGpu::new(spec, seed);
+    let frontier = pareto_frontier(&mut gpu, &model, &app).map_err(pipeline)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{app_name}: {} Pareto-optimal configurations",
+        frontier.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:>28} {:>10} {:>9} {:>10}",
+        "configuration", "time", "power", "energy"
+    );
+    for p in frontier {
+        let _ = writeln!(
+            out,
+            "{:>28} {:>8.2}ms {:>7.1} W {:>8.3} J",
+            p.config.to_string(),
+            p.time_s * 1e3,
+            p.power_w,
+            p.energy_j()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_crossval(args: &ParsedArgs) -> Result<String, CliError> {
+    let training = load_training(args.required("training")?)?;
+    let folds = args.integer_or("folds", 5)? as usize;
+    let report = cross_validate(&training, &EstimatorConfig::default(), folds).map_err(pipeline)?;
+    Ok(format!(
+        "{report}
+"
+    ))
+}
+
+fn load_training(path: &str) -> Result<TrainingSet, CliError> {
+    TrainingSet::from_json(&fs::read_to_string(path)?).map_err(pipeline)
+}
+
+fn load_model(path: &str) -> Result<PowerModel, CliError> {
+    PowerModel::from_json(&fs::read_to_string(path)?).map_err(pipeline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(parts: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("gpm-cli-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_devices_work() {
+        assert!(call(&["help"]).unwrap().contains("characterize"));
+        let d = call(&["devices"]).unwrap();
+        assert!(d.contains("gtx-titan-x"));
+        assert!(d.contains("tesla-k40c"));
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(call(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(call(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            call(&["characterize", "--device", "gtx-titan-x"]),
+            Err(CliError::Usage(_)) // missing --out
+        ));
+        assert!(matches!(
+            call(&["characterize", "--device", "riva-tnt2", "--out", "x"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            call(&["validate", "--model", "m.json", "--bogus", "1"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn full_workflow_characterize_train_validate_predict() {
+        let training_path = tmp("k40c-training.json");
+        let model_path = tmp("k40c-model.json");
+        let csv_path = tmp("k40c-data.csv");
+
+        let out = call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--seed",
+            "7",
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("83 microbenchmarks"), "{out}");
+        assert!(out.contains("utilization coverage"), "{out}");
+        assert!(!out.contains("UNDER-COVERED"), "{out}");
+
+        let out = call(&["train", "--training", &training_path, "--out", &model_path]).unwrap();
+        assert!(out.contains("trained model for Tesla K40c"), "{out}");
+
+        let out = call(&["validate", "--model", &model_path, "--apps", "4"]).unwrap();
+        assert!(out.contains("MAPE"), "{out}");
+        assert!(out.contains("worst application"), "{out}");
+
+        let out = call(&["predict", "--model", &model_path, "--app", "LBM"]).unwrap();
+        assert!(out.contains("3004"), "{out}");
+        assert!(out.contains("LBM utilizations"), "{out}");
+
+        let out = call(&["voltage", "--model", &model_path]).unwrap();
+        assert!(out.contains("core curve at fmem = 3004 MHz"), "{out}");
+
+        let out = call(&["describe", "--model", &model_path]).unwrap();
+        assert!(out.contains("Tesla K40c"), "{out}");
+        assert!(out.contains("beta0"), "{out}");
+
+        let out = call(&[
+            "export-csv",
+            "--training",
+            &training_path,
+            "--out",
+            &csv_path,
+        ])
+        .unwrap();
+        assert!(out.contains("332 observations"), "{out}"); // 83 x 4
+
+        let out = call(&["crossval", "--training", &training_path, "--folds", "3"]).unwrap();
+        assert!(out.contains("3-fold CV"), "{out}");
+
+        let out = call(&[
+            "governor",
+            "--model",
+            &model_path,
+            "--objective",
+            "min-energy",
+            "--launches",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("governed:"), "{out}");
+        assert!(out.contains("cache hits"), "{out}");
+
+        let pareto = call(&["pareto", "--model", &model_path, "--app", "LBM"]).unwrap();
+        assert!(pareto.contains("Pareto-optimal"), "{pareto}");
+        assert!(matches!(
+            call(&[
+                "governor",
+                "--model",
+                &model_path,
+                "--objective",
+                "overclock-everything"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+
+        // The CSV landed on disk with the right header.
+        let csv = fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("kernel,fcore_mhz,fmem_mhz,power_w"));
+    }
+
+    #[test]
+    fn predict_rejects_unknown_apps() {
+        let training_path = tmp("k40c-training2.json");
+        let model_path = tmp("k40c-model2.json");
+        call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        call(&["train", "--training", &training_path, "--out", &model_path]).unwrap();
+        assert!(matches!(
+            call(&["predict", "--model", &model_path, "--app", "DOOM"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        assert!(matches!(
+            call(&[
+                "train",
+                "--training",
+                "/nonexistent/t.json",
+                "--out",
+                "/tmp/x"
+            ]),
+            Err(CliError::Io(_))
+        ));
+    }
+}

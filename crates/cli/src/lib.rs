@@ -1,0 +1,94 @@
+//! `gpm` — the command-line interface of the reproduction.
+//!
+//! Mirrors the workflow of the tool the paper's authors released
+//! alongside the paper (github.com/hpc-ulisboa/gpupowermodel): a
+//! characterization run over the microbenchmark suite, offline model
+//! construction, and prediction/validation against new applications —
+//! all against the simulated devices.
+//!
+//! ```text
+//! gpm devices
+//! gpm characterize --device gtx-titan-x --out training.json [--seed N] [--repeats N]
+//! gpm train       --training training.json --out model.json [--max-iterations N]
+//! gpm validate    --model model.json [--seed N] [--apps N]
+//! gpm predict     --model model.json --app BLCKSC [--seed N]
+//! gpm voltage     --model model.json
+//! gpm export-csv  --training training.json --out data.csv
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::ParsedArgs;
+pub use commands::run;
+
+use std::fmt;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command/flag, missing value).
+    Usage(String),
+    /// File read/write failed.
+    Io(std::io::Error),
+    /// The pipeline itself failed.
+    Pipeline(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Pipeline(msg) => write!(f, "pipeline error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// The usage text printed on `help` and usage errors.
+pub const USAGE: &str = "\
+gpm — DVFS-aware GPU power modeling (HPCA 2018 reproduction)
+
+COMMANDS
+  devices                               list the simulated devices
+  characterize --device D --out FILE    run the 83-microbenchmark campaign
+               [--seed N] [--repeats N]
+  train        --training FILE --out FILE [--max-iterations N]
+                                        fit the DVFS-aware power model
+  validate     --model FILE [--seed N] [--apps N]
+                                        score the model on unseen applications
+  predict      --model FILE --app NAME [--seed N]
+                                        predict one application's power grid
+  voltage      --model FILE             print the estimated voltage curves
+  describe     --model FILE             print the fitted coefficients
+  export-csv   --training FILE --out FILE
+                                        flatten a training set to CSV
+  crossval     --training FILE [--folds N]
+                                        k-fold cross-validation of the estimator
+  pareto       --model FILE --app NAME [--seed N]
+                                        print a kernel's time/energy Pareto frontier
+  governor     --model FILE [--objective O] [--launches N] [--seed N]
+                                        govern a synthetic kernel stream
+                                        (O: min-power|min-energy|min-edp|slowdown-10)
+  help                                  this text
+
+DEVICES
+  titan-xp | gtx-titan-x | tesla-k40c";

@@ -1,0 +1,132 @@
+//! Per-component power decomposition (Figs. 5B and 10).
+
+use gpm_spec::Component;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A predicted power decomposition: the utilization-independent constant
+/// part plus one dynamic term per modeled component.
+///
+/// The paper uses this decomposition for application analysis (use case
+/// 2, Section V-B): "it provides the developers with crucial information
+/// about which components represent the main power consumption
+/// bottlenecks". The constant part aggregates static power, the idle
+/// power of the V-F level and any non-modeled components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    constant: f64,
+    components: [f64; 7],
+}
+
+impl PowerBreakdown {
+    /// Assembles a breakdown from the constant part and per-component
+    /// dynamic powers in [`Component::ALL`] order.
+    pub fn new(constant: f64, components: [f64; 7]) -> Self {
+        PowerBreakdown {
+            constant,
+            components,
+        }
+    }
+
+    /// The utilization-independent part (watts): `β₀V̄ + V̄²f·β₁` summed
+    /// over both domains.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Dynamic power of one component (watts).
+    pub fn component(&self, c: Component) -> f64 {
+        self.components[c.index()]
+    }
+
+    /// All `(component, watts)` pairs in canonical order.
+    pub fn components(&self) -> [(Component, f64); 7] {
+        let mut out = [(Component::Int, 0.0); 7];
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            out[i] = (c, self.components[i]);
+        }
+        out
+    }
+
+    /// Total predicted power (watts).
+    pub fn total(&self) -> f64 {
+        self.constant + self.components.iter().sum::<f64>()
+    }
+
+    /// Fraction of the total that is dynamic (utilization-driven) — the
+    /// quantity behind Fig. 5B's "maximum contribution of the dynamic
+    /// power is about 49%" observation.
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (total - self.constant) / total
+        }
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.1} W (constant {:.1} W",
+            self.total(),
+            self.constant
+        )?;
+        for (c, w) in self.components() {
+            if w >= 0.05 {
+                write!(f, ", {c} {w:.1} W")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PowerBreakdown {
+        PowerBreakdown::new(80.0, [5.0, 20.0, 0.0, 2.0, 4.0, 8.0, 30.0])
+    }
+
+    #[test]
+    fn total_is_constant_plus_components() {
+        let b = sample();
+        assert!((b.total() - 149.0).abs() < 1e-12);
+        assert_eq!(b.constant(), 80.0);
+        assert_eq!(b.component(Component::Dram), 30.0);
+    }
+
+    #[test]
+    fn dynamic_fraction_matches_hand_computation() {
+        let b = sample();
+        assert!((b.dynamic_fraction() - 69.0 / 149.0).abs() < 1e-12);
+        let idle = PowerBreakdown::new(84.0, [0.0; 7]);
+        assert_eq!(idle.dynamic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn components_iterate_in_canonical_order() {
+        let b = sample();
+        let comps = b.components();
+        assert_eq!(comps[0].0, Component::Int);
+        assert_eq!(comps[6].0, Component::Dram);
+        assert_eq!(comps[1], (Component::Sp, 20.0));
+    }
+
+    #[test]
+    fn display_reports_total_and_major_components() {
+        let s = sample().to_string();
+        assert!(s.contains("149.0 W"));
+        assert!(s.contains("DRAM 30.0 W"));
+        assert!(!s.contains("DP Unit"), "zero components are omitted: {s}");
+    }
+
+    #[test]
+    fn zero_total_has_zero_dynamic_fraction() {
+        let b = PowerBreakdown::new(0.0, [0.0; 7]);
+        assert_eq!(b.dynamic_fraction(), 0.0);
+    }
+}

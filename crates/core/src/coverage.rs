@@ -1,0 +1,195 @@
+//! Training-suite coverage diagnostics.
+//!
+//! Fig. 5A's purpose is to show that "the proposed microbenchmark suite
+//! successfully accomplishes its design goal, i.e. in stressing the
+//! considered components". This module operationalizes that check: per
+//! component, how much of the utilization range does the training set
+//! actually cover? A component never driven above a threshold makes its
+//! `ω` coefficient poorly identified — worth a warning before fitting.
+
+use crate::TrainingSet;
+use gpm_spec::Component;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-component utilization coverage across a training set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCoverage {
+    /// The component.
+    pub component: Component,
+    /// Minimum utilization over the suite.
+    pub min: f64,
+    /// Maximum utilization over the suite.
+    pub max: f64,
+    /// Mean utilization over the suite.
+    pub mean: f64,
+}
+
+/// Coverage report for a training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Per-component statistics, in [`Component::ALL`] order.
+    pub components: Vec<ComponentCoverage>,
+    /// Number of samples inspected.
+    pub samples: usize,
+}
+
+/// A component is considered well-covered when some microbenchmark
+/// drives it at least this hard.
+pub const COVERAGE_THRESHOLD: f64 = 0.5;
+
+impl CoverageReport {
+    /// Computes coverage for a training set.
+    pub fn of(training: &TrainingSet) -> Self {
+        let mut components = Vec::with_capacity(Component::ALL.len());
+        for c in Component::ALL {
+            let mut min = f64::INFINITY;
+            let mut max: f64 = 0.0;
+            let mut sum = 0.0;
+            for s in &training.samples {
+                let u = s.utilizations.get(c);
+                min = min.min(u);
+                max = max.max(u);
+                sum += u;
+            }
+            if training.samples.is_empty() {
+                min = 0.0;
+            }
+            components.push(ComponentCoverage {
+                component: c,
+                min,
+                max,
+                mean: if training.samples.is_empty() {
+                    0.0
+                } else {
+                    sum / training.samples.len() as f64
+                },
+            });
+        }
+        CoverageReport {
+            components,
+            samples: training.samples.len(),
+        }
+    }
+
+    /// Components whose maximum utilization never reaches
+    /// [`COVERAGE_THRESHOLD`] — their coefficients will be weakly
+    /// identified by a fit on this suite.
+    pub fn undercovered(&self) -> Vec<Component> {
+        self.components
+            .iter()
+            .filter(|c| c.max < COVERAGE_THRESHOLD)
+            .map(|c| c.component)
+            .collect()
+    }
+
+    /// `true` when every component is exercised past the threshold.
+    pub fn is_complete(&self) -> bool {
+        self.undercovered().is_empty()
+    }
+}
+
+impl fmt::Display for CoverageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "utilization coverage over {} samples:", self.samples)?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {:<14} min {:.2}  mean {:.2}  max {:.2}{}",
+                c.component.to_string(),
+                c.min,
+                c.mean,
+                c.max,
+                if c.max < COVERAGE_THRESHOLD {
+                    "  (UNDER-COVERED)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MicrobenchSample, Utilizations};
+    use gpm_spec::{devices, FreqConfig};
+    use std::collections::BTreeMap;
+
+    fn set_with(utils: &[[f64; 7]]) -> TrainingSet {
+        let spec = devices::tesla_k40c();
+        TrainingSet {
+            reference: spec.default_config(),
+            device: spec,
+            l2_bytes_per_cycle: 512.0,
+            samples: utils
+                .iter()
+                .enumerate()
+                .map(|(i, u)| MicrobenchSample {
+                    name: format!("s{i}"),
+                    utilizations: Utilizations::from_values(*u).unwrap(),
+                    power_by_config: BTreeMap::from([(FreqConfig::from_mhz(875, 3004), 100.0)]),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn statistics_match_hand_computation() {
+        let t = set_with(&[
+            [0.2, 0.8, 0.0, 0.0, 0.0, 0.0, 1.0],
+            [0.4, 0.2, 0.0, 0.0, 0.0, 0.0, 0.5],
+        ]);
+        let r = CoverageReport::of(&t);
+        assert_eq!(r.samples, 2);
+        let int = &r.components[0];
+        assert_eq!((int.min, int.max), (0.2, 0.4));
+        assert!((int.mean - 0.3).abs() < 1e-12);
+        let dram = &r.components[6];
+        assert_eq!((dram.min, dram.max), (0.5, 1.0));
+    }
+
+    #[test]
+    fn undercovered_components_are_flagged() {
+        // DP and SF never exercised; everything else saturated once.
+        let t = set_with(&[
+            [0.9, 0.0, 0.0, 0.0, 0.9, 0.9, 0.9],
+            [0.0, 0.9, 0.1, 0.1, 0.0, 0.0, 0.0],
+        ]);
+        let r = CoverageReport::of(&t);
+        assert_eq!(r.undercovered(), vec![Component::Dp, Component::Sf], "{r}");
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn per_component_saturation_yields_complete_coverage() {
+        // One saturating sample per component covers everything.
+        let mut rows = Vec::new();
+        for c in Component::ALL {
+            let mut u = [0.05; 7];
+            u[c.index()] = 0.9;
+            rows.push(u);
+        }
+        let r = CoverageReport::of(&set_with(&rows));
+        assert!(r.is_complete(), "{r}");
+    }
+
+    #[test]
+    fn empty_sets_do_not_panic() {
+        let mut t = set_with(&[[0.0; 7]]);
+        t.samples.clear();
+        let r = CoverageReport::of(&t);
+        assert_eq!(r.samples, 0);
+        assert!(!r.is_complete());
+    }
+
+    #[test]
+    fn display_marks_undercovered() {
+        let t = set_with(&[[0.9, 0.9, 0.0, 0.9, 0.9, 0.9, 0.9]]);
+        let s = CoverageReport::of(&t).to_string();
+        assert!(s.contains("UNDER-COVERED"));
+        assert!(s.contains("DP Unit"));
+    }
+}

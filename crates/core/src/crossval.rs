@@ -1,0 +1,221 @@
+//! K-fold cross-validation over the microbenchmark suite.
+//!
+//! The paper validates on a held-out application set; when tuning
+//! estimator settings (iteration caps, constraint toggles) no such set
+//! may exist yet. K-fold CV over the *training* microbenchmarks gives an
+//! unbiased generalization estimate from the training campaign alone:
+//! each fold's kernels are predicted by a model fitted without them.
+
+use crate::{AccuracyReport, Estimator, EstimatorConfig, ModelError, TrainingSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The outcome of one cross-validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvReport {
+    /// Number of folds actually evaluated.
+    pub folds: usize,
+    /// Held-out MAPE per fold, in fold order.
+    pub fold_mape: Vec<f64>,
+    /// Pooled held-out MAPE over all folds.
+    pub overall_mape: f64,
+}
+
+impl fmt::Display for CvReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-fold CV: held-out MAPE {:.2}% (folds: {})",
+            self.folds,
+            self.overall_mape,
+            self.fold_mape
+                .iter()
+                .map(|m| format!("{m:.2}%"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Runs `k`-fold cross-validation of an estimator configuration over a
+/// training set. Folds are interleaved (`sample i -> fold i mod k`),
+/// which stratifies across the suite's category-ordered layout.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InsufficientTraining`] when `k < 2` or the set
+/// has fewer samples than folds, and propagates fold-level estimation
+/// failures.
+pub fn cross_validate(
+    training: &TrainingSet,
+    config: &EstimatorConfig,
+    k: usize,
+) -> Result<CvReport, ModelError> {
+    training.validate()?;
+    if k < 2 {
+        return Err(ModelError::InsufficientTraining(
+            "cross-validation needs at least two folds",
+        ));
+    }
+    if training.samples.len() < k {
+        return Err(ModelError::InsufficientTraining(
+            "fewer samples than cross-validation folds",
+        ));
+    }
+
+    let mut fold_mape = Vec::with_capacity(k);
+    let mut pooled = AccuracyReport::new();
+    for fold in 0..k {
+        let mut train_fold = training.clone();
+        let mut held_out = Vec::new();
+        let mut kept = Vec::new();
+        for (i, s) in training.samples.iter().enumerate() {
+            if i % k == fold {
+                held_out.push(s.clone());
+            } else {
+                kept.push(s.clone());
+            }
+        }
+        train_fold.samples = kept;
+        let model = Estimator::with_config(config.clone()).fit(&train_fold)?;
+
+        let mut report = AccuracyReport::new();
+        for s in &held_out {
+            for (&cfg, &watts) in &s.power_by_config {
+                let p = model.predict(&s.utilizations, cfg)?;
+                report.add(&s.name, cfg, p, watts);
+                pooled.add(&s.name, cfg, p, watts);
+            }
+        }
+        fold_mape.push(report.mape()?);
+    }
+
+    Ok(CvReport {
+        folds: k,
+        fold_mape,
+        overall_mape: pooled.mape()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MicrobenchSample, Utilizations};
+    use gpm_spec::{devices, Component, FreqConfig};
+    use std::collections::BTreeMap;
+
+    /// Synthetic training set from an exact Eq. 5-7 model (voltage flat
+    /// below the break, linear above, like the Maxwell curve).
+    fn synthetic() -> TrainingSet {
+        let spec = devices::gtx_titan_x();
+        let reference = spec.default_config();
+        let vbar = |c: FreqConfig| -> f64 {
+            let v = |f: f64| {
+                if f <= 810.0 {
+                    0.85
+                } else {
+                    0.85 + 0.00075 * (f - 810.0)
+                }
+            };
+            v(c.core.as_f64()) / v(reference.core.as_f64())
+        };
+        let mut samples = Vec::new();
+        for i in 0..24 {
+            let t = i as f64 / 23.0;
+            let u = Utilizations::from_values([
+                0.1 + 0.4 * t,
+                0.5 * (1.0 - t),
+                0.0,
+                0.2 * t,
+                0.3 * (1.0 - t),
+                0.2 + 0.5 * t * (1.0 - t),
+                (0.8 - 0.7 * t).max(0.05),
+            ])
+            .unwrap();
+            let mut power_by_config = BTreeMap::new();
+            for config in spec.vf_grid() {
+                let vc = vbar(config);
+                let fc = config.core.as_f64() / 1000.0;
+                let fm = config.mem.as_f64() / 1000.0;
+                let core_act = 20.0
+                    + 18.0 * u.get(Component::Int)
+                    + 24.0 * u.get(Component::Sp)
+                    + 22.0 * u.get(Component::Sf)
+                    + 15.0 * u.get(Component::SharedMem)
+                    + 17.0 * u.get(Component::L2Cache);
+                let p = 15.0 * vc
+                    + vc * vc * fc * core_act
+                    + 10.0
+                    + fm * (11.0 + 26.0 * u.get(Component::Dram));
+                power_by_config.insert(config, p);
+            }
+            samples.push(MicrobenchSample {
+                name: format!("cv_{i}"),
+                utilizations: u,
+                power_by_config,
+            });
+        }
+        TrainingSet {
+            device: spec,
+            reference,
+            l2_bytes_per_cycle: 640.0,
+            samples,
+        }
+    }
+
+    #[test]
+    fn cv_on_exact_data_has_tiny_heldout_error() {
+        let training = synthetic();
+        let report = cross_validate(&training, &EstimatorConfig::default(), 4).unwrap();
+        assert_eq!(report.folds, 4);
+        assert_eq!(report.fold_mape.len(), 4);
+        assert!(
+            report.overall_mape < 3.0,
+            "held-out MAPE {:.2}%",
+            report.overall_mape
+        );
+    }
+
+    #[test]
+    fn cv_detects_the_weaker_constant_voltage_variant() {
+        let training = synthetic();
+        let full = cross_validate(&training, &EstimatorConfig::default(), 3).unwrap();
+        let flat = cross_validate(
+            &training,
+            &EstimatorConfig {
+                estimate_voltages: false,
+                ..EstimatorConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        assert!(
+            full.overall_mape < flat.overall_mape,
+            "voltage-aware {:.2}% vs constant-voltage {:.2}%",
+            full.overall_mape,
+            flat.overall_mape
+        );
+    }
+
+    #[test]
+    fn cv_rejects_degenerate_fold_counts() {
+        let training = synthetic();
+        assert!(matches!(
+            cross_validate(&training, &EstimatorConfig::default(), 1),
+            Err(ModelError::InsufficientTraining(_))
+        ));
+        assert!(matches!(
+            cross_validate(&training, &EstimatorConfig::default(), 100),
+            Err(ModelError::InsufficientTraining(_))
+        ));
+    }
+
+    #[test]
+    fn display_lists_folds() {
+        let training = synthetic();
+        let report = cross_validate(&training, &EstimatorConfig::default(), 2).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("2-fold CV"));
+        assert!(s.matches('%').count() >= 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Measurement datasets: what the estimator consumes.
+//!
+//! A [`TrainingSet`] is exactly the data the paper's methodology collects
+//! (Section V-A): for every microbenchmark, the average power at *every*
+//! V-F configuration, plus performance events — and hence utilizations —
+//! measured only at the reference configuration. An [`AppProfile`] is the
+//! per-application equivalent used at prediction time: utilizations from
+//! one profiled run at the reference configuration.
+
+use crate::{ModelError, Utilizations};
+use gpm_spec::{DeviceSpec, FreqConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One microbenchmark's contribution to model training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicrobenchSample {
+    /// Microbenchmark name (e.g. `"SP_n512"`).
+    pub name: String,
+    /// Utilizations computed from events at the reference configuration.
+    pub utilizations: Utilizations,
+    /// Median measured average power (watts) per V-F configuration.
+    pub power_by_config: BTreeMap<FreqConfig, f64>,
+}
+
+/// The complete training dataset for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSet {
+    /// The profiled device's public specification.
+    pub device: DeviceSpec,
+    /// The reference configuration events were collected at.
+    pub reference: FreqConfig,
+    /// Experimentally discovered L2 peak bandwidth (bytes per core
+    /// cycle), needed to compute utilizations for new applications.
+    pub l2_bytes_per_cycle: f64,
+    /// Per-microbenchmark samples.
+    pub samples: Vec<MicrobenchSample>,
+}
+
+impl TrainingSet {
+    /// All configurations covered by at least one sample, ascending.
+    pub fn configs(&self) -> Vec<FreqConfig> {
+        let mut set: Vec<FreqConfig> = self
+            .samples
+            .iter()
+            .flat_map(|s| s.power_by_config.keys().copied())
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Total number of `(sample, configuration)` power observations.
+    pub fn observation_count(&self) -> usize {
+        self.samples.iter().map(|s| s.power_by_config.len()).sum()
+    }
+
+    /// Checks the set is usable for estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] when there are no
+    /// samples, no sample covers the reference configuration, or the L2
+    /// peak is non-positive.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.samples.is_empty() {
+            return Err(ModelError::InsufficientTraining("no samples"));
+        }
+        if self.l2_bytes_per_cycle <= 0.0 || !self.l2_bytes_per_cycle.is_finite() {
+            return Err(ModelError::InsufficientTraining(
+                "non-positive discovered L2 peak bandwidth",
+            ));
+        }
+        let covering_ref = self
+            .samples
+            .iter()
+            .filter(|s| s.power_by_config.contains_key(&self.reference))
+            .count();
+        if covering_ref < 2 {
+            return Err(ModelError::InsufficientTraining(
+                "fewer than two samples measured at the reference configuration",
+            ));
+        }
+        if self.samples.iter().any(|s| {
+            s.power_by_config
+                .values()
+                .any(|w| !w.is_finite() || *w < 0.0)
+        }) {
+            return Err(ModelError::InsufficientTraining(
+                "negative or non-finite power measurement",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes the set to JSON (dataset caching / sharing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] if serialization
+    /// fails (cannot occur for well-formed data).
+    pub fn to_json(&self) -> Result<String, ModelError> {
+        serde_json::to_string(self)
+            .map_err(|_| ModelError::InsufficientTraining("training set not serializable"))
+    }
+
+    /// Deserializes a set from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, ModelError> {
+        serde_json::from_str(json)
+            .map_err(|_| ModelError::InsufficientTraining("malformed training-set JSON"))
+    }
+}
+
+/// A profiled application, ready for power prediction: utilizations from
+/// one run at the reference configuration (Section III-E — "by simply
+/// measuring its performance events on a single configuration").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: String,
+    /// Utilizations at the reference configuration.
+    pub utilizations: Utilizations,
+    /// The reference configuration the profile was taken at.
+    pub reference: FreqConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::devices;
+
+    fn sample(name: &str, configs: &[(u32, u32, f64)]) -> MicrobenchSample {
+        MicrobenchSample {
+            name: name.into(),
+            utilizations: Utilizations::from_values([0.1; 7]).unwrap(),
+            power_by_config: configs
+                .iter()
+                .map(|&(c, m, w)| (FreqConfig::from_mhz(c, m), w))
+                .collect(),
+        }
+    }
+
+    fn set() -> TrainingSet {
+        TrainingSet {
+            device: devices::gtx_titan_x(),
+            reference: FreqConfig::from_mhz(975, 3505),
+            l2_bytes_per_cycle: 600.0,
+            samples: vec![
+                sample("a", &[(975, 3505, 100.0), (595, 3505, 70.0)]),
+                sample("b", &[(975, 3505, 150.0), (595, 810, 60.0)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn configs_are_sorted_and_deduplicated() {
+        let t = set();
+        let cfgs = t.configs();
+        assert_eq!(cfgs.len(), 3);
+        assert!(cfgs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t.observation_count(), 4);
+    }
+
+    #[test]
+    fn validation_passes_for_well_formed_sets() {
+        assert!(set().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_bad_l2() {
+        let mut t = set();
+        t.samples.clear();
+        assert!(matches!(
+            t.validate(),
+            Err(ModelError::InsufficientTraining("no samples"))
+        ));
+        let mut t = set();
+        t.l2_bytes_per_cycle = 0.0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_requires_reference_coverage() {
+        let mut t = set();
+        t.reference = FreqConfig::from_mhz(1164, 4005);
+        assert!(matches!(
+            t.validate(),
+            Err(ModelError::InsufficientTraining(msg)) if msg.contains("reference")
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_nonfinite_power() {
+        let mut t = set();
+        t.samples[0]
+            .power_by_config
+            .insert(FreqConfig::from_mhz(785, 3505), f64::NAN);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = set();
+        let json = t.to_json().unwrap();
+        let back = TrainingSet::from_json(&json).unwrap();
+        assert_eq!(t, back);
+        assert!(TrainingSet::from_json("{").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the power model.
+
+use gpm_spec::{FreqConfig, Metric};
+use std::fmt;
+
+/// Errors produced when building, estimating or evaluating power models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A required raw event for the given metric was absent from a
+    /// profile (incomplete CUPTI collection).
+    MissingEvents(Metric),
+    /// The event set reported zero active cycles, so no rate can be
+    /// derived.
+    ZeroActiveCycles,
+    /// The training set is unusable (no samples, no configurations, or no
+    /// power measurement at the reference configuration).
+    InsufficientTraining(&'static str),
+    /// The model has no voltage estimate for the requested configuration.
+    UnknownConfig(FreqConfig),
+    /// The underlying numerical routine failed.
+    Numerical(gpm_linalg::LinalgError),
+    /// A utilization value was outside `[0, 1]` beyond tolerance.
+    InvalidUtilization(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingEvents(m) => {
+                write!(f, "profile is missing the raw events for metric `{m}`")
+            }
+            ModelError::ZeroActiveCycles => {
+                write!(f, "profile reports zero active cycles; cannot derive rates")
+            }
+            ModelError::InsufficientTraining(what) => {
+                write!(f, "training set is insufficient: {what}")
+            }
+            ModelError::UnknownConfig(c) => {
+                write!(f, "model has no voltage estimate for configuration {c}")
+            }
+            ModelError::Numerical(e) => write!(f, "numerical failure: {e}"),
+            ModelError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gpm_linalg::LinalgError> for ModelError {
+    fn from(e: gpm_linalg::LinalgError) -> Self {
+        ModelError::Numerical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        assert!(ModelError::MissingEvents(Metric::ActiveCycles)
+            .to_string()
+            .contains("ACycles"));
+        assert!(ModelError::UnknownConfig(FreqConfig::from_mhz(1, 2))
+            .to_string()
+            .contains("core 1 MHz"));
+    }
+
+    #[test]
+    fn numerical_errors_chain_source() {
+        use std::error::Error;
+        let e = ModelError::from(gpm_linalg::LinalgError::Singular);
+        assert!(e.source().is_some());
+    }
+}

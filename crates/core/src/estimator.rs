@@ -1,0 +1,976 @@
+//! The iterative model-estimation heuristic (Section III-D).
+//!
+//! The model's unknowns are the coefficient vector
+//! `X = [β₀, β₁, ω₁..ω₆, β₂, β₃, ω_mem]` *and* the per-configuration
+//! normalized voltages `V̄` — the driver does not expose voltages, and
+//! because `X` multiplies powers of `V̄`, a single least-squares pass is
+//! rank deficient. The paper's heuristic alternates:
+//!
+//! 1. **Bootstrap** — assume `V̄ ≡ 1` on the reference configuration plus
+//!    two neighbouring configurations (one core step, one memory step) and
+//!    solve the linear system for `X` (Eq. 11).
+//! 2. **Voltage step** — with `X` fixed, fit `(V̄core, V̄mem)` per
+//!    configuration by minimizing the squared power error (Eq. 12). The
+//!    objective is a quartic polynomial in each voltage, so coordinate
+//!    descent uses the *exact* stationary points (closed-form cubic
+//!    roots). Both voltages are fitted per configuration, exactly as in
+//!    Eq. 12 — the core voltage may therefore differ across memory
+//!    frequencies, which the paper predicts on the GTX Titan X, and each
+//!    voltage also absorbs the per-configuration residual left by using
+//!    reference-configuration events. Monotonicity in each domain's own
+//!    frequency is then enforced by weighted isotonic regression, with
+//!    the reference pinned at 1.
+//! 3. **Coefficient step** — with `V̄` fixed, re-solve for `X` over *all*
+//!    configurations, by non-negative least squares (coefficients are
+//!    physically non-negative; a plain ridge solve is available for the
+//!    ablation study).
+//! 4. Iterate 2-3 until the training RMSE converges (the paper reports
+//!    convergence in under 50 iterations).
+
+use crate::{DomainParams, MicrobenchSample, ModelError, PowerModel, TrainingSet, VoltageTable};
+use gpm_linalg::{cubic_roots, isotonic_increasing, nnls, ridge_lstsq, spd_inverse, stats, Matrix};
+use gpm_spec::{Component, FreqConfig, Mhz};
+use std::collections::BTreeMap;
+
+/// Number of model coefficients: `[β₀, β₁, ω₁..ω₆, β₂, β₃, ω_mem]`.
+pub(crate) const NUM_PARAMS: usize = 11;
+/// Sane physical bounds for normalized voltages during the search.
+pub(crate) const V_BOUNDS: (f64, f64) = (0.25, 3.0);
+/// Weight that effectively pins the reference voltage at 1 in the
+/// isotonic projection.
+const PIN_WEIGHT: f64 = 1.0e9;
+
+/// Tuning knobs for [`Estimator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorConfig {
+    /// Maximum outer iterations (steps 2-3 alternations). Default 50,
+    /// the paper's cap.
+    pub max_iterations: usize,
+    /// Relative RMSE change below which the fit is converged.
+    pub tolerance: f64,
+    /// Solve coefficient steps with non-negative least squares (default)
+    /// instead of plain ridge regression.
+    pub nonnegative: bool,
+    /// Enforce the Eq. 12 voltage monotonicity constraint (default).
+    pub enforce_monotonic_voltage: bool,
+    /// Estimate per-configuration voltages (default). Disabling fixes
+    /// `V̄ ≡ 1` — the constant-voltage ablation, equivalent to prior
+    /// linear-in-frequency models.
+    pub estimate_voltages: bool,
+    /// Tikhonov ridge used when `nonnegative` is off (handles the
+    /// bootstrap rank deficiency).
+    pub ridge: f64,
+    /// Coordinate-descent sweeps inside each voltage step.
+    pub voltage_sweeps: usize,
+    /// Minimize *relative* (percentage) error instead of absolute watts:
+    /// every observation's residual is divided by its measured power. The
+    /// paper's Eq. 11/12 minimize absolute squared error, which weights
+    /// high-power configurations more; the relative variant matches the
+    /// MAPE evaluation metric more directly. Off by default (the paper's
+    /// formulation).
+    pub relative_error: bool,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            max_iterations: 50,
+            tolerance: 1e-5,
+            nonnegative: true,
+            enforce_monotonic_voltage: true,
+            estimate_voltages: true,
+            ridge: 1e-6,
+            voltage_sweeps: 3,
+            relative_error: false,
+        }
+    }
+}
+
+/// Diagnostics of one fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Outer iterations executed.
+    pub iterations: usize,
+    /// Whether the RMSE change dropped below tolerance before the cap.
+    pub converged: bool,
+    /// Training RMSE (watts) after each outer iteration.
+    pub rmse_history: Vec<f64>,
+    /// Mean absolute percentage error on the training set.
+    pub training_mape: f64,
+    /// Approximate standard error of each coefficient in
+    /// `[β₀, β₁, ω₁..ω₆, β₂, β₃, ω_mem]` order, from `σ²·(AᵀA)⁻¹` at the
+    /// final voltages (empty when the covariance is too ill-conditioned).
+    /// A coefficient with a standard error comparable to its value was
+    /// not pinned down by the training suite.
+    pub coefficient_sigma: Vec<f64>,
+}
+
+/// Fits [`PowerModel`]s from [`TrainingSet`]s via the paper's iterative
+/// heuristic.
+///
+/// # Example
+///
+/// ```no_run
+/// use gpm_core::{Estimator, TrainingSet};
+///
+/// # fn get_training() -> TrainingSet { unimplemented!() }
+/// let training: TrainingSet = get_training();
+/// let (model, report) = Estimator::new().fit_with_report(&training)?;
+/// assert!(report.iterations <= 50);
+/// # Ok::<(), gpm_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Estimator {
+    config: EstimatorConfig,
+}
+
+/// Flattened observation: one `(microbenchmark, configuration)` power
+/// measurement.
+struct Obs {
+    sample: usize,
+    config: FreqConfig,
+    watts: f64,
+}
+
+impl Estimator {
+    /// Creates an estimator with the paper's default settings.
+    pub fn new() -> Self {
+        Estimator::default()
+    }
+
+    /// Creates an estimator with explicit settings (ablations).
+    pub fn with_config(config: EstimatorConfig) -> Self {
+        Estimator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Fits a power model, discarding diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Estimator::fit_with_report`].
+    pub fn fit(&self, training: &TrainingSet) -> Result<PowerModel, ModelError> {
+        self.fit_with_report(training).map(|(m, _)| m)
+    }
+
+    /// Fits a power model and returns convergence diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] for unusable training
+    /// sets and [`ModelError::Numerical`] if a regression step fails
+    /// (e.g. degenerate, utilization-free training data).
+    pub fn fit_with_report(
+        &self,
+        training: &TrainingSet,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        self.fit_inner(training, None)
+    }
+
+    /// Fits with a *warm start* from a previously fitted model: the
+    /// coefficient vector and the voltage table seed the alternation
+    /// instead of the Eq. 11 bootstrap. This is the building block of
+    /// the paper's real-time direction — periodic recalibration reuses
+    /// the last model and converges in far fewer iterations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::fit_with_report`].
+    pub fn fit_warm(
+        &self,
+        training: &TrainingSet,
+        previous: &PowerModel,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        self.fit_inner(training, Some(previous))
+    }
+
+    fn fit_inner(
+        &self,
+        training: &TrainingSet,
+        warm: Option<&PowerModel>,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        training.validate()?;
+        let reference = training.reference;
+        let obs = flatten(&training.samples);
+        let configs = training.configs();
+        if configs.len() < 2 {
+            return Err(ModelError::InsufficientTraining(
+                "need at least two frequency configurations",
+            ));
+        }
+
+        // Voltage state: V̄ = (V̄core, V̄mem) per configuration (Eq. 12),
+        // seeded from the previous model when warm-starting.
+        let mut vcore: BTreeMap<FreqConfig, f64> = configs
+            .iter()
+            .map(|&c| {
+                let v = warm
+                    .and_then(|m| m.voltage_table().voltages(c).ok())
+                    .map_or(1.0, |(vc, _)| vc);
+                (c, v)
+            })
+            .collect();
+        let mut vmem: BTreeMap<FreqConfig, f64> = configs
+            .iter()
+            .map(|&c| {
+                let v = warm
+                    .and_then(|m| m.voltage_table().voltages(c).ok())
+                    .map_or(1.0, |(_, vm)| vm);
+                (c, v)
+            })
+            .collect();
+
+        // --- Step 1: bootstrap on {F1, F2, F3} with V̄ ≡ 1 (cold start),
+        // or reuse the previous coefficients (warm start).
+        let mut x = match warm {
+            Some(m) => {
+                let mut x = Vec::with_capacity(NUM_PARAMS);
+                x.push(m.core_params().static_coef);
+                x.push(m.core_params().idle_dyn);
+                x.extend_from_slice(&m.core_params().omegas);
+                x.push(m.mem_params().static_coef);
+                x.push(m.mem_params().idle_dyn);
+                x.push(m.mem_params().omegas[0]);
+                if x.len() != NUM_PARAMS {
+                    return Err(ModelError::InsufficientTraining(
+                        "warm-start model has an unexpected coefficient layout",
+                    ));
+                }
+                x
+            }
+            None => {
+                let bootstrap = bootstrap_configs(reference, &configs);
+                self.solve_coefficients(training, &obs, &vcore, &vmem, Some(&bootstrap))?
+            }
+        };
+
+        // --- Steps 2-4: alternate voltage and coefficient fits.
+        let mut rmse_history = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            if self.config.estimate_voltages {
+                self.fit_voltages(training, &obs, &x, reference, &mut vcore, &mut vmem);
+            }
+            x = self.solve_coefficients(training, &obs, &vcore, &vmem, None)?;
+            let rmse = rmse_of(training, &obs, &x, &vcore, &vmem);
+            let done = rmse_history.last().is_some_and(|prev: &f64| {
+                (prev - rmse).abs() <= self.config.tolerance * prev.max(1e-12)
+            });
+            rmse_history.push(rmse);
+            if done || !self.config.estimate_voltages {
+                converged = true;
+                break;
+            }
+        }
+
+        // --- Assemble the model.
+        let voltages = VoltageTable::new(
+            reference,
+            configs.iter().map(|&c| (c, [vcore[&c], vmem[&c]])),
+        );
+        let residual_sigma = rmse_history.last().copied().unwrap_or(0.0);
+        let model = PowerModel::new(
+            training.device.clone(),
+            DomainParams {
+                static_coef: x[0],
+                idle_dyn: x[1],
+                omegas: x[2..8].to_vec(),
+            },
+            DomainParams {
+                static_coef: x[8],
+                idle_dyn: x[9],
+                omegas: vec![x[10]],
+            },
+            voltages,
+            training.l2_bytes_per_cycle,
+        )
+        .with_residual_sigma(residual_sigma);
+
+        // Training MAPE for the report.
+        let (pred, meas): (Vec<f64>, Vec<f64>) = obs
+            .iter()
+            .map(|o| {
+                let row = design_row(
+                    &training.samples[o.sample].utilizations.as_array(),
+                    o.config,
+                    vcore[&o.config],
+                    vmem[&o.config],
+                );
+                (dot(&row, &x), o.watts)
+            })
+            .unzip();
+        let training_mape = stats::mape(&pred, &meas)?;
+
+        // Per-coefficient standard errors from sigma^2 * (A^T A)^-1 at the
+        // final voltages (a diagnostic, not part of the model).
+        let coefficient_sigma = {
+            let rows: Vec<Vec<f64>> = obs
+                .iter()
+                .map(|o| {
+                    design_row(
+                        &training.samples[o.sample].utilizations.as_array(),
+                        o.config,
+                        vcore[&o.config],
+                        vmem[&o.config],
+                    )
+                    .to_vec()
+                })
+                .collect();
+            let a = Matrix::from_rows(&rows)?;
+            let mut ata = a.transpose().matmul(&a)?;
+            // Tiny jitter keeps the inverse defined when NNLS zeroed a
+            // coefficient (its column may be collinear at the optimum).
+            let jitter = 1e-9 * ata.max_abs().max(1.0);
+            for i in 0..NUM_PARAMS {
+                ata[(i, i)] += jitter;
+            }
+            let dof = (obs.len().saturating_sub(NUM_PARAMS)).max(1) as f64;
+            let sse: f64 = pred.iter().zip(&meas).map(|(p, m)| (p - m) * (p - m)).sum();
+            let sigma2 = sse / dof;
+            match spd_inverse(&ata) {
+                Ok(inv) => (0..NUM_PARAMS)
+                    .map(|i| (sigma2 * inv[(i, i)].max(0.0)).sqrt())
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        };
+
+        Ok((
+            model,
+            FitReport {
+                iterations,
+                converged,
+                rmse_history,
+                training_mape,
+                coefficient_sigma,
+            },
+        ))
+    }
+
+    /// Linear coefficient solve (steps 1 and 3). `subset` restricts the
+    /// observations to the bootstrap configurations.
+    fn solve_coefficients(
+        &self,
+        training: &TrainingSet,
+        obs: &[Obs],
+        vcore: &BTreeMap<FreqConfig, f64>,
+        vmem: &BTreeMap<FreqConfig, f64>,
+        subset: Option<&[FreqConfig]>,
+    ) -> Result<Vec<f64>, ModelError> {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for o in obs {
+            if let Some(keep) = subset {
+                if !keep.contains(&o.config) {
+                    continue;
+                }
+            }
+            let (vc, vm) = match subset {
+                Some(_) => (1.0, 1.0), // bootstrap assumption (Eq. 11)
+                None => (vcore[&o.config], vmem[&o.config]),
+            };
+            // Relative-error mode: scale each equation by 1/P, turning
+            // the absolute least squares into a percentage least squares.
+            let w = if self.config.relative_error {
+                1.0 / o.watts.max(1e-6)
+            } else {
+                1.0
+            };
+            let row = design_row(
+                &training.samples[o.sample].utilizations.as_array(),
+                o.config,
+                vc,
+                vm,
+            );
+            rows.push(row.iter().map(|v| v * w).collect());
+            y.push(o.watts * w);
+        }
+        if rows.len() < NUM_PARAMS {
+            return Err(ModelError::InsufficientTraining(
+                "fewer observations than model coefficients",
+            ));
+        }
+        let a = Matrix::from_rows(&rows)?;
+        let x = if self.config.nonnegative {
+            nnls(&a, &y)?
+        } else {
+            ridge_lstsq(&a, &y, self.config.ridge)?
+        };
+        Ok(x)
+    }
+
+    /// Voltage step (Eq. 12): coordinate descent with exact cubic
+    /// stationary points, then isotonic projection.
+    fn fit_voltages(
+        &self,
+        training: &TrainingSet,
+        obs: &[Obs],
+        x: &[f64],
+        reference: FreqConfig,
+        vcore: &mut BTreeMap<FreqConfig, f64>,
+        vmem: &mut BTreeMap<FreqConfig, f64>,
+    ) {
+        // Per-sample activity terms: A_i = β₁ + Σ ωⱼuⱼ, B_i = β₃ + ω_mem·u_dram.
+        let activities: Vec<(f64, f64)> = training
+            .samples
+            .iter()
+            .map(|s| activity_terms(s, x))
+            .collect();
+
+        // Group observation indices by configuration.
+        let mut by_config: BTreeMap<FreqConfig, Vec<usize>> = BTreeMap::new();
+        for (i, o) in obs.iter().enumerate() {
+            by_config.entry(o.config).or_default().push(i);
+        }
+
+        for _ in 0..self.config.voltage_sweeps {
+            for (&config, idxs) in &by_config {
+                if config == reference {
+                    continue; // pinned at (1, 1) by normalization
+                }
+                let fc = config.core.as_f64() / 1000.0;
+                let fm = config.mem.as_f64() / 1000.0;
+                let weight_of = |i: usize| -> f64 {
+                    if self.config.relative_error {
+                        let p = obs[i].watts.max(1e-6);
+                        1.0 / (p * p)
+                    } else {
+                        1.0
+                    }
+                };
+                // Core voltage given the current memory voltage.
+                let vm = vmem[&config];
+                let pairs: Vec<(f64, f64, f64)> = idxs
+                    .iter()
+                    .map(|&i| {
+                        let (a_core, b_mem) = activities[obs[i].sample];
+                        let r = obs[i].watts - (x[8] * vm + b_mem * fm * vm * vm);
+                        (a_core * fc, r, weight_of(i))
+                    })
+                    .collect();
+                if let Some(v) = minimize_quartic(x[0], &pairs) {
+                    vcore.insert(config, v);
+                }
+                // Memory voltage given the updated core voltage.
+                let vc = vcore[&config];
+                let pairs: Vec<(f64, f64, f64)> = idxs
+                    .iter()
+                    .map(|&i| {
+                        let (a_core, b_mem) = activities[obs[i].sample];
+                        let r = obs[i].watts - (x[0] * vc + a_core * fc * vc * vc);
+                        (b_mem * fm, r, weight_of(i))
+                    })
+                    .collect();
+                if let Some(v) = minimize_quartic(x[8], &pairs) {
+                    vmem.insert(config, v);
+                }
+            }
+        }
+
+        if self.config.enforce_monotonic_voltage {
+            project_monotone(reference, vcore, vmem);
+        }
+    }
+}
+
+/// Flattens samples into per-observation records.
+fn flatten(samples: &[MicrobenchSample]) -> Vec<Obs> {
+    let mut obs = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        for (&config, &watts) in &s.power_by_config {
+            obs.push(Obs {
+                sample: i,
+                config,
+                watts,
+            });
+        }
+    }
+    obs
+}
+
+/// Chooses the bootstrap configurations `{F1, F2, F3}`: the reference,
+/// its nearest core-frequency neighbour at the reference memory level,
+/// and its nearest memory-frequency neighbour at the reference core level
+/// (if the device has more than one memory level).
+fn bootstrap_configs(reference: FreqConfig, configs: &[FreqConfig]) -> Vec<FreqConfig> {
+    let mut chosen = vec![reference];
+    let nearest = |candidates: Vec<FreqConfig>, key: fn(&FreqConfig) -> u32, pivot: u32| {
+        candidates
+            .into_iter()
+            .min_by_key(|c| key(c).abs_diff(pivot))
+    };
+    let core_neighbors: Vec<FreqConfig> = configs
+        .iter()
+        .copied()
+        .filter(|c| c.mem == reference.mem && c.core != reference.core)
+        .collect();
+    if let Some(f2) = nearest(core_neighbors, |c| c.core.as_u32(), reference.core.as_u32()) {
+        chosen.push(f2);
+    }
+    let mem_neighbors: Vec<FreqConfig> = configs
+        .iter()
+        .copied()
+        .filter(|c| c.core == reference.core && c.mem != reference.mem)
+        .collect();
+    if let Some(f3) = nearest(mem_neighbors, |c| c.mem.as_u32(), reference.mem.as_u32()) {
+        chosen.push(f3);
+    }
+    chosen
+}
+
+/// The Eq. 6/7 design row for one observation (frequencies in GHz).
+pub(crate) fn design_row(u: &[f64; 7], config: FreqConfig, vc: f64, vm: f64) -> [f64; NUM_PARAMS] {
+    let fc = config.core.as_f64() / 1000.0;
+    let fm = config.mem.as_f64() / 1000.0;
+    let mut row = [0.0; NUM_PARAMS];
+    row[0] = vc;
+    row[1] = vc * vc * fc;
+    for (j, comp) in Component::CORE.iter().enumerate() {
+        row[2 + j] = vc * vc * fc * u[comp.index()];
+    }
+    row[8] = vm;
+    row[9] = vm * vm * fm;
+    row[10] = vm * vm * fm * u[Component::Dram.index()];
+    row
+}
+
+/// Per-sample activity terms `(A, B)` with `A = β₁ + Σ ωⱼuⱼ` (core) and
+/// `B = β₃ + ω_mem·u_dram` (memory).
+fn activity_terms(sample: &MicrobenchSample, x: &[f64]) -> (f64, f64) {
+    let u = sample.utilizations.as_array();
+    let mut a = x[1];
+    for (j, comp) in Component::CORE.iter().enumerate() {
+        a += x[2 + j] * u[comp.index()];
+    }
+    let b = x[9] + x[10] * u[Component::Dram.index()];
+    (a, b)
+}
+
+/// Minimizes `Σ wᵢ·(b·v + aᵢ·v² - rᵢ)²` over `v ∈ V_BOUNDS` exactly: the
+/// derivative is a cubic whose real roots are closed form. `pairs` holds
+/// `(aᵢ, rᵢ, wᵢ)` (weights are 1 in the paper's absolute-error mode,
+/// `1/P²` in relative-error mode).
+fn minimize_quartic(b: f64, pairs: &[(f64, f64, f64)]) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let (mut sw, mut sa2, mut sa, mut sar, mut sr) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(a, r, w) in pairs {
+        sw += w;
+        sa2 += w * a * a;
+        sa += w * a;
+        sar += w * a * r;
+        sr += w * r;
+    }
+    let c3 = 2.0 * sa2;
+    let c2 = 3.0 * b * sa;
+    let c1 = sw * b * b - 2.0 * sar;
+    let c0 = -b * sr;
+    let objective = |v: f64| -> f64 {
+        pairs
+            .iter()
+            .map(|&(a, r, w)| {
+                let e = b * v + a * v * v - r;
+                w * e * e
+            })
+            .sum()
+    };
+    let mut best: Option<(f64, f64)> = None;
+    let mut consider = |v: f64| {
+        if v.is_finite() {
+            let clamped = v.clamp(V_BOUNDS.0, V_BOUNDS.1);
+            let g = objective(clamped);
+            if best.is_none_or(|(_, bg)| g < bg) {
+                best = Some((clamped, g));
+            }
+        }
+    };
+    for root in cubic_roots(c3, c2, c1, c0) {
+        consider(root);
+    }
+    consider(V_BOUNDS.0);
+    consider(V_BOUNDS.1);
+    best.map(|(v, _)| v)
+}
+
+/// Projects the voltage maps onto the Eq. 12 monotone cone: for each
+/// memory level, `V̄core` is non-decreasing in core frequency; `V̄mem` is
+/// non-decreasing in memory frequency. Reference entries carry a huge
+/// weight, pinning them at 1.
+fn project_monotone(
+    reference: FreqConfig,
+    vcore: &mut BTreeMap<FreqConfig, f64>,
+    vmem: &mut BTreeMap<FreqConfig, f64>,
+) {
+    let mems: Vec<Mhz> = {
+        let mut m: Vec<Mhz> = vcore.keys().map(|c| c.mem).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+    let cores: Vec<Mhz> = {
+        let mut m: Vec<Mhz> = vcore.keys().map(|c| c.core).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+    // Core: per memory level, ascending core frequency.
+    for &mem in &mems {
+        let mut keys: Vec<FreqConfig> = vcore.keys().copied().filter(|c| c.mem == mem).collect();
+        keys.sort_unstable_by_key(|c| c.core);
+        let values: Vec<f64> = keys.iter().map(|k| vcore[k]).collect();
+        let weights: Vec<f64> = keys
+            .iter()
+            .map(|k| if *k == reference { PIN_WEIGHT } else { 1.0 })
+            .collect();
+        let fitted = isotonic_increasing(&values, &weights);
+        for (k, v) in keys.iter().zip(fitted) {
+            vcore.insert(*k, v);
+        }
+    }
+    // Memory: per core level, ascending memory frequency.
+    for &core in &cores {
+        let mut keys: Vec<FreqConfig> = vmem.keys().copied().filter(|c| c.core == core).collect();
+        keys.sort_unstable_by_key(|c| c.mem);
+        let values: Vec<f64> = keys.iter().map(|k| vmem[k]).collect();
+        let weights: Vec<f64> = keys
+            .iter()
+            .map(|k| if *k == reference { PIN_WEIGHT } else { 1.0 })
+            .collect();
+        let fitted = isotonic_increasing(&values, &weights);
+        for (k, v) in keys.iter().zip(fitted) {
+            vmem.insert(*k, v);
+        }
+    }
+}
+
+fn dot(row: &[f64; NUM_PARAMS], x: &[f64]) -> f64 {
+    row.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+/// Training RMSE under the current parameters and voltages.
+fn rmse_of(
+    training: &TrainingSet,
+    obs: &[Obs],
+    x: &[f64],
+    vcore: &BTreeMap<FreqConfig, f64>,
+    vmem: &BTreeMap<FreqConfig, f64>,
+) -> f64 {
+    let mut sse = 0.0;
+    for o in obs {
+        let row = design_row(
+            &training.samples[o.sample].utilizations.as_array(),
+            o.config,
+            vcore[&o.config],
+            vmem[&o.config],
+        );
+        let e = dot(&row, x) - o.watts;
+        sse += e * e;
+    }
+    (sse / obs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Utilizations;
+    use gpm_spec::{devices, DeviceSpec, Domain};
+
+    /// Builds a synthetic, noise-free training set from a known
+    /// Eq. 5-7 model with known (hidden) voltages.
+    fn synthetic_training(spec: &DeviceSpec) -> (TrainingSet, Vec<f64>) {
+        // Ground truth in model units (GHz frequencies).
+        // X = [β₀, β₁, ω_int, ω_sp, ω_dp, ω_sf, ω_sh, ω_l2, β₂, β₃, ω_mem]
+        let truth = vec![
+            15.0, 21.0, 18.0, 24.0, 30.0, 22.0, 15.0, 17.0, 10.0, 11.0, 26.0,
+        ];
+        let reference = spec.default_config();
+        let vbar = |c: FreqConfig| -> (f64, f64) {
+            // Flat-then-linear core voltage; constant memory voltage.
+            let f = c.core.as_f64();
+            let fref = reference.core.as_f64();
+            let v = |fr: f64| -> f64 {
+                let brk = 810.0;
+                if fr <= brk {
+                    0.85
+                } else {
+                    0.85 + 0.00075 * (fr - brk)
+                }
+            };
+            (v(f) / v(fref), 1.0)
+        };
+        // 24 kernels with diverse utilization mixes.
+        let mut samples = Vec::new();
+        for i in 0..24 {
+            let t = i as f64 / 23.0;
+            let u = Utilizations::from_values([
+                0.1 + 0.5 * t,
+                0.6 * (1.0 - t),
+                if i % 5 == 0 { 0.4 } else { 0.0 },
+                0.3 * ((i % 3) as f64) / 2.0,
+                0.5 * ((i % 4) as f64) / 3.0,
+                0.2 + 0.6 * t * (1.0 - t),
+                (0.9 - 0.8 * t).max(0.05),
+            ])
+            .unwrap();
+            let mut power_by_config = BTreeMap::new();
+            for config in spec.vf_grid() {
+                let (vc, vm) = vbar(config);
+                let row = design_row(&u.as_array(), config, vc, vm);
+                power_by_config.insert(config, dot(&row, &truth));
+            }
+            samples.push(MicrobenchSample {
+                name: format!("synthetic_{i}"),
+                utilizations: u,
+                power_by_config,
+            });
+        }
+        (
+            TrainingSet {
+                device: spec.clone(),
+                reference,
+                l2_bytes_per_cycle: 640.0,
+                samples,
+            },
+            truth,
+        )
+    }
+
+    #[test]
+    fn recovers_synthetic_model_nearly_exactly() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let (model, report) = Estimator::new().fit_with_report(&training).unwrap();
+        assert!(
+            report.training_mape < 1.0,
+            "training MAPE {}",
+            report.training_mape
+        );
+        assert!(report.iterations <= 50);
+        // Prediction accuracy on a held-out utilization mix.
+        let u = Utilizations::from_values([0.3, 0.3, 0.1, 0.2, 0.25, 0.35, 0.45]).unwrap();
+        for config in [
+            FreqConfig::from_mhz(595, 810),
+            FreqConfig::from_mhz(1164, 4005),
+            spec.default_config(),
+        ] {
+            let p = model.predict(&u, config).unwrap();
+            assert!(p > 20.0 && p < 400.0, "{config}: {p} W");
+        }
+    }
+
+    #[test]
+    fn recovers_the_two_regime_voltage_shape() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let model = Estimator::new().fit(&training).unwrap();
+        let curve = model.voltage_table().core_curve(Mhz::new(3505));
+        assert_eq!(curve.len(), 16);
+        // Monotone non-decreasing.
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-9, "{curve:?}");
+        }
+        // Plateau at the low end, rise at the top (true ratio ≈ 1.145).
+        let first = curve.first().unwrap().1;
+        let last = curve.last().unwrap().1;
+        assert!(first < 0.95, "plateau V̄ {first}");
+        assert!(last > 1.05, "top V̄ {last}");
+    }
+
+    #[test]
+    fn memory_voltage_is_monotone_and_bounded() {
+        // The paper observed no memory-voltage changes on real hardware;
+        // the estimator's V̄mem is identifiable only jointly with the
+        // memory-domain coefficients, so we require the Eq. 12 invariants
+        // (monotone in memory frequency, physically bounded) rather than
+        // exact flatness.
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let model = Estimator::new().fit(&training).unwrap();
+        let core = spec.default_config().core;
+        let mut prev = 0.0;
+        let mut mems: Vec<_> = spec.mem_freqs().to_vec();
+        mems.sort_unstable();
+        for mem in mems {
+            let v = model
+                .voltage_table()
+                .voltage(Domain::Memory, FreqConfig::new(core, mem))
+                .unwrap();
+            assert!((0.5..=1.5).contains(&v), "V̄mem({mem}) = {v}");
+            assert!(v + 1e-9 >= prev, "V̄mem must be monotone in fmem");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn nonnegative_mode_produces_nonnegative_coefficients() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let model = Estimator::new().fit(&training).unwrap();
+        assert!(model.core_params().static_coef >= 0.0);
+        assert!(model.core_params().idle_dyn >= 0.0);
+        assert!(model.core_params().omegas.iter().all(|&w| w >= 0.0));
+        assert!(model.mem_params().omegas[0] >= 0.0);
+    }
+
+    #[test]
+    fn constant_voltage_ablation_is_worse_on_voltage_scaled_data() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let (_, full) = Estimator::new().fit_with_report(&training).unwrap();
+        let ablated_cfg = EstimatorConfig {
+            estimate_voltages: false,
+            ..EstimatorConfig::default()
+        };
+        let (_, flat) = Estimator::with_config(ablated_cfg)
+            .fit_with_report(&training)
+            .unwrap();
+        assert!(
+            full.training_mape < flat.training_mape,
+            "voltage-aware {} vs constant-voltage {}",
+            full.training_mape,
+            flat.training_mape
+        );
+    }
+
+    #[test]
+    fn works_on_single_memory_level_devices() {
+        // Tesla K40c: one memory frequency, four core levels.
+        let spec = devices::tesla_k40c();
+        let (training, _) = synthetic_training(&spec);
+        let (model, report) = Estimator::new().fit_with_report(&training).unwrap();
+        assert!(report.training_mape < 2.0, "MAPE {}", report.training_mape);
+        let u = Utilizations::from_values([0.2; 7]).unwrap();
+        assert!(model.predict(&u, FreqConfig::from_mhz(666, 3004)).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn coefficient_sigmas_are_reported_and_scale_with_noise() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let (_, clean) = Estimator::new().fit_with_report(&training).unwrap();
+        assert_eq!(clean.coefficient_sigma.len(), 11);
+        assert!(clean
+            .coefficient_sigma
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0));
+
+        // Perturb the powers: sigmas must grow.
+        let mut noisy = training.clone();
+        for (i, s) in noisy.samples.iter_mut().enumerate() {
+            for (j, w) in s.power_by_config.values_mut().enumerate() {
+                // Deterministic +-2% ripple.
+                *w *= 1.0 + 0.02 * (((i * 31 + j * 17) % 7) as f64 - 3.0) / 3.0;
+            }
+        }
+        let (_, perturbed) = Estimator::new().fit_with_report(&noisy).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&perturbed.coefficient_sigma) > mean(&clean.coefficient_sigma),
+            "noise should widen the coefficient uncertainty"
+        );
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let estimator = Estimator::new();
+        let (model, cold) = estimator.fit_with_report(&training).unwrap();
+        let (warm_model, warm) = estimator.fit_warm(&training, &model).unwrap();
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(warm.training_mape <= cold.training_mape * 1.05);
+        // The refit stays consistent with the original model.
+        let u = Utilizations::from_values([0.3; 7]).unwrap();
+        let reference = spec.default_config();
+        let a = model.predict(&u, reference).unwrap();
+        let b = warm_model.predict(&u, reference).unwrap();
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn rejects_insufficient_training() {
+        let spec = devices::gtx_titan_x();
+        let (mut training, _) = synthetic_training(&spec);
+        training.samples.truncate(1);
+        assert!(matches!(
+            Estimator::new().fit(&training),
+            Err(ModelError::InsufficientTraining(_))
+        ));
+    }
+
+    #[test]
+    fn report_history_is_nonincreasing_mostly() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let (_, report) = Estimator::new().fit_with_report(&training).unwrap();
+        assert!(!report.rmse_history.is_empty());
+        let first = report.rmse_history[0];
+        let last = *report.rmse_history.last().unwrap();
+        assert!(last <= first * 1.01, "RMSE went {first} -> {last}");
+    }
+
+    #[test]
+    fn bootstrap_picks_nearest_neighbours() {
+        let reference = FreqConfig::from_mhz(975, 3505);
+        let configs = vec![
+            FreqConfig::from_mhz(975, 3505),
+            FreqConfig::from_mhz(937, 3505),
+            FreqConfig::from_mhz(595, 3505),
+            FreqConfig::from_mhz(975, 3300),
+            FreqConfig::from_mhz(975, 810),
+            FreqConfig::from_mhz(595, 810),
+        ];
+        let b = bootstrap_configs(reference, &configs);
+        assert_eq!(
+            b,
+            vec![
+                reference,
+                FreqConfig::from_mhz(937, 3505),
+                FreqConfig::from_mhz(975, 3300),
+            ]
+        );
+    }
+
+    #[test]
+    fn minimize_quartic_finds_known_minimum() {
+        // Single pair: minimize (b v + a v² - r)²; with b=1, a=1, r=2 the
+        // residual vanishes at v=1.
+        let v = minimize_quartic(1.0, &[(1.0, 2.0, 1.0)]).unwrap();
+        assert!((v - 1.0).abs() < 1e-9, "v = {v}");
+        // Empty input yields nothing.
+        assert_eq!(minimize_quartic(1.0, &[]), None);
+        // Unattainable negative target clamps at the lower bound.
+        let v = minimize_quartic(1.0, &[(1.0, -100.0, 1.0)]).unwrap();
+        assert_eq!(v, V_BOUNDS.0);
+        // Weights shift the pooled optimum toward the heavy pair.
+        let heavy_low = minimize_quartic(1.0, &[(1.0, 2.0, 10.0), (1.0, 6.0, 1.0)]).unwrap();
+        let heavy_high = minimize_quartic(1.0, &[(1.0, 2.0, 1.0), (1.0, 6.0, 10.0)]).unwrap();
+        assert!(heavy_low < heavy_high);
+    }
+
+    #[test]
+    fn relative_error_mode_fits_and_stays_accurate() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let cfg = EstimatorConfig {
+            relative_error: true,
+            ..EstimatorConfig::default()
+        };
+        let (_, report) = Estimator::with_config(cfg)
+            .fit_with_report(&training)
+            .unwrap();
+        assert!(report.training_mape < 2.0, "MAPE {}", report.training_mape);
+    }
+}

@@ -1,0 +1,247 @@
+//! Aggregation of raw performance events into model metrics.
+//!
+//! Table I maps each metric the model needs to one *or several* raw
+//! events — L2 and DRAM traffic are split over subpartitions, and on the
+//! Tesla K40c the INT/SP warp count is spread over four undisclosed
+//! events — so "an aggregation step needs to be conducted"
+//! (Section III-C). This module owns that step.
+
+use crate::ModelError;
+use gpm_spec::events::{EventTable, SECTOR_BYTES, SHARED_TRANSACTION_BYTES};
+use gpm_spec::{DeviceSpec, EventId, FreqConfig, Metric};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A raw event collection for one profiled kernel launch, as gathered on
+/// (real or simulated) hardware at one frequency configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSet {
+    /// The configuration the launch was profiled at.
+    pub config: FreqConfig,
+    /// Raw event counts keyed by the Table I identifiers.
+    pub counts: BTreeMap<EventId, u64>,
+}
+
+impl EventSet {
+    /// Creates an event set from a configuration and raw counts.
+    pub fn new(config: FreqConfig, counts: BTreeMap<EventId, u64>) -> Self {
+        EventSet { config, counts }
+    }
+
+    /// Sums the raw events behind one metric (the Table I aggregation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingEvents`] if any contributing raw
+    /// event is absent from the collection.
+    pub fn metric(&self, table: &EventTable, metric: Metric) -> Result<f64, ModelError> {
+        let mut total = 0u64;
+        for ev in table.events(metric) {
+            match self.counts.get(ev) {
+                Some(v) => total += v,
+                None => return Err(ModelError::MissingEvents(metric)),
+            }
+        }
+        Ok(total as f64)
+    }
+}
+
+/// The aggregated per-launch quantities of Table I, ready for the
+/// utilization formulas of Eqs. 8-10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Cycles with at least one active warp (`ACycles`).
+    pub active_cycles: f64,
+    /// Kernel time in seconds derived from `ACycles` and the profiled
+    /// core frequency.
+    pub elapsed_s: f64,
+    /// Bytes moved through the L2 cache.
+    pub l2_bytes: f64,
+    /// Bytes moved through shared memory.
+    pub shared_bytes: f64,
+    /// Bytes moved through DRAM.
+    pub dram_bytes: f64,
+    /// Warp-instructions on the fused INT/SP pipelines (combined).
+    pub warps_int_sp: f64,
+    /// Warp-instructions on the DP pipeline.
+    pub warps_dp: f64,
+    /// Warp-instructions on the SF pipeline.
+    pub warps_sf: f64,
+    /// Executed integer thread-instructions (for the Eq. 10 split).
+    pub inst_int: f64,
+    /// Executed single-precision thread-instructions.
+    pub inst_sp: f64,
+}
+
+impl Metrics {
+    /// Aggregates the raw events of a launch into model metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingEvents`] when a Table I event is
+    /// absent and [`ModelError::ZeroActiveCycles`] when the launch shows
+    /// no activity (rates would be undefined).
+    pub fn from_events(spec: &DeviceSpec, events: &EventSet) -> Result<Metrics, ModelError> {
+        let table = EventTable::for_architecture(spec.architecture());
+        let active_cycles = events.metric(&table, Metric::ActiveCycles)?;
+        if active_cycles <= 0.0 {
+            return Err(ModelError::ZeroActiveCycles);
+        }
+        let elapsed_s = active_cycles / events.config.core.as_hz();
+        let sector = f64::from(SECTOR_BYTES);
+        let trans = f64::from(SHARED_TRANSACTION_BYTES);
+        Ok(Metrics {
+            active_cycles,
+            elapsed_s,
+            l2_bytes: (events.metric(&table, Metric::L2ReadSectors)?
+                + events.metric(&table, Metric::L2WriteSectors)?)
+                * sector,
+            shared_bytes: (events.metric(&table, Metric::SharedLoadTrans)?
+                + events.metric(&table, Metric::SharedStoreTrans)?)
+                * trans,
+            dram_bytes: (events.metric(&table, Metric::DramReadSectors)?
+                + events.metric(&table, Metric::DramWriteSectors)?)
+                * sector,
+            warps_int_sp: events.metric(&table, Metric::WarpsIntSp)?,
+            warps_dp: events.metric(&table, Metric::WarpsDp)?,
+            warps_sf: events.metric(&table, Metric::WarpsSf)?,
+            inst_int: events.metric(&table, Metric::InstInt)?,
+            inst_sp: events.metric(&table, Metric::InstSp)?,
+        })
+    }
+
+    /// Splits the combined INT/SP warp count by the executed instruction
+    /// ratio (Eq. 10): `AWarps_z = AWarps_{Int/SP} · Inst_z / (Inst_INT +
+    /// Inst_SP)`. Returns `(warps_int, warps_sp)`; an all-zero instruction
+    /// pair yields `(0, 0)`.
+    pub fn split_int_sp(&self) -> (f64, f64) {
+        let denom = self.inst_int + self.inst_sp;
+        if denom <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            self.warps_int_sp * self.inst_int / denom,
+            self.warps_int_sp * self.inst_sp / denom,
+        )
+    }
+
+    /// Achieved L2 bandwidth in bytes per second during the launch.
+    pub fn achieved_l2_bandwidth(&self) -> f64 {
+        self.l2_bytes / self.elapsed_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::{devices, Architecture};
+
+    /// Builds a synthetic noise-free event set on the GTX Titan X.
+    fn synthetic() -> (DeviceSpec, EventSet) {
+        let spec = devices::gtx_titan_x();
+        let table = EventTable::for_architecture(Architecture::Maxwell);
+        let config = spec.default_config();
+        let mut counts = BTreeMap::new();
+        let mut put = |metric: Metric, total: u64| {
+            let evs = table.events(metric);
+            for ev in evs {
+                counts.insert(*ev, total / evs.len() as u64);
+            }
+        };
+        put(Metric::ActiveCycles, 975_000_000); // exactly one second
+        put(Metric::L2ReadSectors, 1_000_000);
+        put(Metric::L2WriteSectors, 500_000);
+        put(Metric::SharedLoadTrans, 200_000);
+        put(Metric::SharedStoreTrans, 100_000);
+        put(Metric::DramReadSectors, 600_000);
+        put(Metric::DramWriteSectors, 200_000);
+        put(Metric::WarpsIntSp, 4_000_000);
+        put(Metric::WarpsDp, 10_000);
+        put(Metric::WarpsSf, 50_000);
+        put(Metric::InstInt, 32_000_000);
+        put(Metric::InstSp, 96_000_000);
+        (spec, EventSet::new(config, counts))
+    }
+
+    #[test]
+    fn aggregation_sums_subpartitions_and_converts_units() {
+        let (spec, events) = synthetic();
+        let m = Metrics::from_events(&spec, &events).unwrap();
+        assert_eq!(m.active_cycles, 975_000_000.0);
+        assert!((m.elapsed_s - 1.0).abs() < 1e-12);
+        assert_eq!(m.l2_bytes, 1_500_000.0 * 32.0);
+        assert_eq!(m.dram_bytes, 800_000.0 * 32.0);
+        assert_eq!(m.shared_bytes, 300_000.0 * 128.0);
+        assert_eq!(m.warps_int_sp, 4_000_000.0);
+    }
+
+    #[test]
+    fn eq10_split_follows_instruction_ratio() {
+        let (spec, events) = synthetic();
+        let m = Metrics::from_events(&spec, &events).unwrap();
+        let (int, sp) = m.split_int_sp();
+        // Inst ratio 32M : 96M = 1 : 3.
+        assert!((int - 1_000_000.0).abs() < 1.0);
+        assert!((sp - 3_000_000.0).abs() < 1.0);
+        assert!((int + sp - m.warps_int_sp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_instructions_split_to_zero() {
+        let (spec, mut events) = synthetic();
+        let table = EventTable::for_architecture(Architecture::Maxwell);
+        for ev in table
+            .events(Metric::InstInt)
+            .iter()
+            .chain(table.events(Metric::InstSp))
+        {
+            events.counts.insert(*ev, 0);
+        }
+        let m = Metrics::from_events(&spec, &events).unwrap();
+        assert_eq!(m.split_int_sp(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn missing_event_is_reported_with_its_metric() {
+        let (spec, mut events) = synthetic();
+        events
+            .counts
+            .remove(&EventId::Named("fb_subp1_read_sectors"));
+        let err = Metrics::from_events(&spec, &events).unwrap_err();
+        assert_eq!(err, ModelError::MissingEvents(Metric::DramReadSectors));
+    }
+
+    #[test]
+    fn zero_active_cycles_is_rejected() {
+        let (spec, mut events) = synthetic();
+        events.counts.insert(EventId::Named("active_cycles"), 0);
+        let err = Metrics::from_events(&spec, &events).unwrap_err();
+        assert_eq!(err, ModelError::ZeroActiveCycles);
+    }
+
+    #[test]
+    fn achieved_l2_bandwidth_is_bytes_over_time() {
+        let (spec, events) = synthetic();
+        let m = Metrics::from_events(&spec, &events).unwrap();
+        assert!((m.achieved_l2_bandwidth() - m.l2_bytes / m.elapsed_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_on_kepler_event_layout() {
+        // K40c splits L2 traffic over four subpartitions and INT/SP warps
+        // over four numeric events; aggregation must be layout agnostic.
+        let spec = devices::tesla_k40c();
+        let table = EventTable::for_architecture(Architecture::Kepler);
+        let mut counts = BTreeMap::new();
+        for m in Metric::ALL {
+            for ev in table.events(m) {
+                counts.insert(*ev, 1_000_000);
+            }
+        }
+        let events = EventSet::new(spec.default_config(), counts);
+        let m = Metrics::from_events(&spec, &events).unwrap();
+        // Four read + four write subpartitions, 1M sectors each.
+        assert_eq!(m.l2_bytes, 8_000_000.0 * 32.0);
+        assert_eq!(m.warps_int_sp, 4_000_000.0); // four numeric events
+    }
+}

@@ -1,0 +1,292 @@
+//! Validation accuracy reports.
+//!
+//! The paper's evaluation aggregates prediction error along several axes
+//! — per device (Fig. 7), per benchmark and per memory frequency
+//! (Fig. 8), per configuration distance — always as mean absolute
+//! (percentage) error against measured power. [`AccuracyReport`] collects
+//! labelled `(predicted, measured)` pairs once and answers all of those
+//! queries.
+
+use crate::ModelError;
+use gpm_linalg::stats;
+use gpm_spec::{FreqConfig, Mhz};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One validated prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyEntry {
+    /// Benchmark label.
+    pub label: String,
+    /// The V-F configuration of the measurement.
+    pub config: FreqConfig,
+    /// Model prediction in watts.
+    pub predicted: f64,
+    /// Measured power in watts.
+    pub measured: f64,
+}
+
+/// A collection of validated predictions with the paper's aggregation
+/// queries.
+///
+/// # Example
+///
+/// ```
+/// use gpm_core::AccuracyReport;
+/// use gpm_spec::FreqConfig;
+///
+/// let mut r = AccuracyReport::new();
+/// r.add("app", FreqConfig::from_mhz(975, 3505), 105.0, 100.0);
+/// r.add("app", FreqConfig::from_mhz(595, 3505), 95.0, 100.0);
+/// assert!((r.mape()? - 5.0).abs() < 1e-12);
+/// # Ok::<(), gpm_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    entries: Vec<AccuracyEntry>,
+}
+
+impl AccuracyReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        AccuracyReport::default()
+    }
+
+    /// Records one validated prediction.
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        config: FreqConfig,
+        predicted: f64,
+        measured: f64,
+    ) {
+        self.entries.push(AccuracyEntry {
+            label: label.into(),
+            config,
+            predicted,
+            measured,
+        });
+    }
+
+    /// All recorded entries.
+    pub fn entries(&self) -> &[AccuracyEntry] {
+        &self.entries
+    }
+
+    /// Number of validated predictions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn pairs<'a>(entries: impl Iterator<Item = &'a AccuracyEntry>) -> (Vec<f64>, Vec<f64>) {
+        let mut pred = Vec::new();
+        let mut meas = Vec::new();
+        for e in entries {
+            pred.push(e.predicted);
+            meas.push(e.measured);
+        }
+        (pred, meas)
+    }
+
+    /// Mean absolute percentage error over all entries (the paper's
+    /// headline metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] on an empty report
+    /// and propagates numerical errors.
+    pub fn mape(&self) -> Result<f64, ModelError> {
+        self.guard()?;
+        let (pred, meas) = Self::pairs(self.entries.iter());
+        Ok(stats::mape(&pred, &meas)?)
+    }
+
+    /// Mean absolute error in watts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn mae_watts(&self) -> Result<f64, ModelError> {
+        self.guard()?;
+        let (pred, meas) = Self::pairs(self.entries.iter());
+        Ok(stats::mae(&pred, &meas)?)
+    }
+
+    /// Root-mean-square error in watts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn rmse_watts(&self) -> Result<f64, ModelError> {
+        self.guard()?;
+        let (pred, meas) = Self::pairs(self.entries.iter());
+        Ok(stats::rmse(&pred, &meas)?)
+    }
+
+    /// Coefficient of determination R².
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn r_squared(&self) -> Result<f64, ModelError> {
+        self.guard()?;
+        let (pred, meas) = Self::pairs(self.entries.iter());
+        Ok(stats::r_squared(&pred, &meas)?)
+    }
+
+    /// Signed mean percentage error per benchmark (the Fig. 8 bars).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn per_label_bias(&self) -> Result<BTreeMap<String, f64>, ModelError> {
+        self.guard()?;
+        let mut labels: Vec<&str> = self.entries.iter().map(|e| e.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut out = BTreeMap::new();
+        for label in labels {
+            let (pred, meas) = Self::pairs(self.entries.iter().filter(|e| e.label == label));
+            out.insert(label.to_string(), stats::mpe(&pred, &meas)?);
+        }
+        Ok(out)
+    }
+
+    /// MAPE per memory frequency (the Fig. 8 panels).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn per_memory_level(&self) -> Result<BTreeMap<Mhz, f64>, ModelError> {
+        self.guard()?;
+        let mut mems: Vec<Mhz> = self.entries.iter().map(|e| e.config.mem).collect();
+        mems.sort_unstable();
+        mems.dedup();
+        let mut out = BTreeMap::new();
+        for mem in mems {
+            let (pred, meas) = Self::pairs(self.entries.iter().filter(|e| e.config.mem == mem));
+            out.insert(mem, stats::mape(&pred, &meas)?);
+        }
+        Ok(out)
+    }
+
+    /// The `(label, MAPE)` of the worst-predicted benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AccuracyReport::mape`].
+    pub fn worst_label(&self) -> Result<(String, f64), ModelError> {
+        self.guard()?;
+        let mut worst: Option<(String, f64)> = None;
+        let mut labels: Vec<&str> = self.entries.iter().map(|e| e.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        for label in labels {
+            let (pred, meas) = Self::pairs(self.entries.iter().filter(|e| e.label == label));
+            let m = stats::mape(&pred, &meas)?;
+            if worst.as_ref().is_none_or(|(_, w)| m > *w) {
+                worst = Some((label.to_string(), m));
+            }
+        }
+        worst.ok_or(ModelError::InsufficientTraining("empty accuracy report"))
+    }
+
+    fn guard(&self) -> Result<(), ModelError> {
+        if self.entries.is_empty() {
+            Err(ModelError::InsufficientTraining("empty accuracy report"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for AccuracyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.mape(), self.mae_watts(), self.rmse_watts()) {
+            (Ok(mape), Ok(mae), Ok(rmse)) => write!(
+                f,
+                "{} predictions: MAPE {mape:.1}%, MAE {mae:.1} W, RMSE {rmse:.1} W",
+                self.len()
+            ),
+            _ => write!(f, "empty accuracy report"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccuracyReport {
+        let mut r = AccuracyReport::new();
+        r.add("a", FreqConfig::from_mhz(975, 3505), 110.0, 100.0);
+        r.add("a", FreqConfig::from_mhz(595, 3505), 90.0, 100.0);
+        r.add("b", FreqConfig::from_mhz(975, 810), 50.0, 40.0);
+        r.add("b", FreqConfig::from_mhz(595, 810), 42.0, 40.0);
+        r
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let r = sample();
+        assert_eq!(r.len(), 4);
+        // |10|/100, |10|/100, |10|/40, |5|/... -> (10+10+25+5)/4 = 12.5.
+        assert!((r.mape().unwrap() - 12.5).abs() < 1e-9);
+        assert!((r.mae_watts().unwrap() - 8.0).abs() < 1e-9);
+        assert!(r.rmse_watts().unwrap() >= r.mae_watts().unwrap());
+    }
+
+    #[test]
+    fn per_label_bias_keeps_sign() {
+        let r = sample();
+        let bias = r.per_label_bias().unwrap();
+        assert!((bias["a"] - 0.0).abs() < 1e-9); // +10% and -10% cancel
+        assert!(bias["b"] > 0.0); // both overpredictions
+    }
+
+    #[test]
+    fn per_memory_level_splits_panels() {
+        let r = sample();
+        let panels = r.per_memory_level().unwrap();
+        assert_eq!(panels.len(), 2);
+        assert!((panels[&Mhz::new(3505)] - 10.0).abs() < 1e-9);
+        assert!(panels[&Mhz::new(810)] > panels[&Mhz::new(3505)]);
+    }
+
+    #[test]
+    fn worst_label_is_the_highest_mape() {
+        let r = sample();
+        let (label, mape) = r.worst_label().unwrap();
+        assert_eq!(label, "b");
+        assert!((mape - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_errors_cleanly() {
+        let r = AccuracyReport::new();
+        assert!(r.is_empty());
+        assert!(matches!(r.mape(), Err(ModelError::InsufficientTraining(_))));
+        assert_eq!(r.to_string(), "empty accuracy report");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = sample().to_string();
+        assert!(s.contains("4 predictions"));
+        assert!(s.contains("MAPE 12.5%"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AccuracyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

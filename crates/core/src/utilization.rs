@@ -1,0 +1,350 @@
+//! Per-component utilizations (Eqs. 8-10) and L2 peak discovery.
+
+use crate::events::{EventSet, Metrics};
+use crate::ModelError;
+use gpm_spec::{Component, DeviceSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Tolerated utilization overshoot before an event set is rejected.
+/// Biased or noisy counters can push a computed utilization well above 1
+/// (the paper's K40c events "characterize the utilization" poorly);
+/// values up to `1 + tolerance` are clamped to 1, anything beyond is a
+/// broken profile.
+const OVERSHOOT_TOLERANCE: f64 = 1.0;
+
+/// Per-component utilization rates `Uᵢ ∈ [0, 1]` of one kernel.
+///
+/// Compute-unit utilizations follow Eq. 8 (achieved vs. peak warp issue
+/// rate); memory levels follow Eq. 9 (achieved vs. peak bandwidth); the
+/// fused INT/SP warp events are split by the executed-instruction ratio of
+/// Eq. 10. Values are computed from events gathered at a *single*
+/// configuration — the whole point of the paper is that these suffice to
+/// predict power everywhere.
+///
+/// # Example
+///
+/// ```
+/// use gpm_core::Utilizations;
+/// use gpm_spec::Component;
+///
+/// let u = Utilizations::from_values([0.1, 0.8, 0.0, 0.05, 0.3, 0.4, 0.2])?;
+/// assert_eq!(u.get(Component::Sp), 0.8);
+/// assert!(u.iter().all(|(_, v)| (0.0..=1.0).contains(&v)));
+/// # Ok::<(), gpm_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Utilizations {
+    values: [f64; 7],
+}
+
+impl Utilizations {
+    /// Creates utilizations from raw values in [`Component::ALL`] order.
+    ///
+    /// Values in `(1, 1 + tolerance]` are clamped to 1 (measurement
+    /// noise); larger overshoots and negative/non-finite values are
+    /// rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidUtilization`] for out-of-range input.
+    pub fn from_values(values: [f64; 7]) -> Result<Self, ModelError> {
+        let mut clamped = [0.0; 7];
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0 + OVERSHOOT_TOLERANCE).contains(&v) {
+                return Err(ModelError::InvalidUtilization(v));
+            }
+            clamped[i] = v.min(1.0);
+        }
+        Ok(Utilizations { values: clamped })
+    }
+
+    /// Computes utilizations from a raw event set (Eqs. 8-10).
+    ///
+    /// `l2_bytes_per_cycle` is the experimentally discovered L2 peak
+    /// (see [`l2_peak_from_profiles`]); every other peak comes from the
+    /// public device characteristics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates event-aggregation failures and rejects out-of-range
+    /// utilizations (see [`Utilizations::from_values`]).
+    pub fn from_events(
+        spec: &DeviceSpec,
+        events: &EventSet,
+        l2_bytes_per_cycle: f64,
+    ) -> Result<Self, ModelError> {
+        let m = Metrics::from_events(spec, events)?;
+        let fc = events.config.core;
+        let fm = events.config.mem;
+        let (warps_int, warps_sp) = m.split_int_sp();
+
+        let intsp_peak = spec
+            .peak_warp_throughput(Component::Sp, fc)
+            .expect("sp is a compute unit");
+        let dp_peak = spec
+            .peak_warp_throughput(Component::Dp, fc)
+            .expect("dp is a compute unit");
+        let sf_peak = spec
+            .peak_warp_throughput(Component::Sf, fc)
+            .expect("sf is a compute unit");
+        let l2_peak = fc.as_hz() * l2_bytes_per_cycle;
+
+        let t = m.elapsed_s;
+        let raw = [
+            warps_int / intsp_peak / t,
+            warps_sp / intsp_peak / t,
+            m.warps_dp / dp_peak / t,
+            m.warps_sf / sf_peak / t,
+            m.shared_bytes / spec.peak_shared_bandwidth(fc) / t,
+            m.l2_bytes / l2_peak / t,
+            m.dram_bytes / spec.peak_dram_bandwidth(fm) / t,
+        ];
+        // Eq. 8/9 define U ∈ [0, 1]; inaccurate counters routinely
+        // overcount (especially the K40c's undisclosed events), so any
+        // overshoot saturates at 1 — a rate above peak is physically
+        // impossible, not a data error.
+        let mut clamped = [0.0; 7];
+        for (c, r) in clamped.iter_mut().zip(raw) {
+            if !r.is_finite() || r < 0.0 {
+                return Err(ModelError::InvalidUtilization(r));
+            }
+            *c = r.min(1.0);
+        }
+        Utilizations::from_values(clamped)
+    }
+
+    /// Utilization of one component.
+    pub fn get(&self, c: Component) -> f64 {
+        self.values[c.index()]
+    }
+
+    /// All values in [`Component::ALL`] order.
+    pub fn as_array(&self) -> [f64; 7] {
+        self.values
+    }
+
+    /// Iterates `(component, utilization)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, f64)> + '_ {
+        Component::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// The most-utilized component, with its utilization.
+    pub fn dominant(&self) -> (Component, f64) {
+        let mut best = (Component::Int, self.values[0]);
+        for (c, v) in self.iter() {
+            if v > best.1 {
+                best = (c, v);
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Utilizations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .iter()
+            .filter(|(_, v)| *v >= 0.005)
+            .map(|(c, v)| format!("{c}: {v:.2}"))
+            .collect();
+        if parts.is_empty() {
+            write!(f, "(idle)")
+        } else {
+            write!(f, "{}", parts.join(", "))
+        }
+    }
+}
+
+/// Experimentally determines the L2 peak bandwidth from a set of profiled
+/// launches, returning it in *bytes per core cycle*.
+///
+/// The paper: the L2 peak "cannot be computed as trivially [as DRAM or
+/// shared memory]... Hence, it was experimentally determined with a set of
+/// specific L2 microbenchmarks" (Section III-C). The estimate is the
+/// highest achieved L2 bandwidth over the given profiles — pass the
+/// L2-stressing subset of the microbenchmark suite.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InsufficientTraining`] when `profiles` is empty
+/// or no profile moved any L2 traffic, and propagates aggregation errors.
+pub fn l2_peak_from_profiles(spec: &DeviceSpec, profiles: &[EventSet]) -> Result<f64, ModelError> {
+    if profiles.is_empty() {
+        return Err(ModelError::InsufficientTraining(
+            "no profiles provided for L2 peak discovery",
+        ));
+    }
+    let mut best = 0.0f64;
+    for p in profiles {
+        let m = Metrics::from_events(spec, p)?;
+        let bytes_per_cycle = m.achieved_l2_bandwidth() / p.config.core.as_hz();
+        best = best.max(bytes_per_cycle);
+    }
+    if best <= 0.0 {
+        return Err(ModelError::InsufficientTraining(
+            "no profile moved any L2 traffic; cannot discover the L2 peak",
+        ));
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::events::{EventTable, SECTOR_BYTES};
+    use gpm_spec::{devices, Metric};
+    use std::collections::BTreeMap;
+
+    fn event_set(spec: &DeviceSpec, cycles: u64, fill: impl Fn(Metric) -> u64) -> EventSet {
+        let table = EventTable::for_architecture(spec.architecture());
+        let mut counts = BTreeMap::new();
+        for m in Metric::ALL {
+            let evs = table.events(m);
+            let total = if m == Metric::ActiveCycles {
+                cycles
+            } else {
+                fill(m)
+            };
+            for ev in evs {
+                counts.insert(*ev, total / evs.len() as u64);
+            }
+        }
+        EventSet::new(spec.default_config(), counts)
+    }
+
+    #[test]
+    fn from_values_validates_and_clamps() {
+        assert!(Utilizations::from_values([0.5; 7]).is_ok());
+        // Mild overshoot clamps to 1.
+        let u = Utilizations::from_values([1.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(u.get(Component::Int), 1.0);
+        // Big overshoot, negatives and NaN are rejected.
+        assert!(Utilizations::from_values([2.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+        // Moderate overshoot (broken counters) still clamps.
+        let u = Utilizations::from_values([1.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(u.get(Component::Int), 1.0);
+        assert!(Utilizations::from_values([-0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(Utilizations::from_values([f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn eq8_compute_utilization_from_events() {
+        let spec = devices::gtx_titan_x();
+        // One second of activity; SP-only instructions.
+        let cycles = 975_000_000u64;
+        let sp_peak = spec
+            .peak_warp_throughput(Component::Sp, spec.default_config().core)
+            .unwrap();
+        let half_load = (sp_peak * 0.5) as u64;
+        let ev = event_set(&spec, cycles, |m| match m {
+            Metric::WarpsIntSp => half_load,
+            Metric::InstSp => half_load * 32,
+            _ => 0,
+        });
+        let u = Utilizations::from_events(&spec, &ev, 640.0).unwrap();
+        assert!((u.get(Component::Sp) - 0.5).abs() < 1e-6, "{u}");
+        assert_eq!(u.get(Component::Int), 0.0);
+        assert_eq!(u.get(Component::Dram), 0.0);
+    }
+
+    #[test]
+    fn eq9_dram_utilization_from_events() {
+        let spec = devices::gtx_titan_x();
+        let cycles = 975_000_000u64; // 1 s
+        let peak = spec.peak_dram_bandwidth(spec.default_config().mem); // B/s
+        let sectors = (peak * 0.7 / f64::from(SECTOR_BYTES)) as u64;
+        let ev = event_set(&spec, cycles, |m| match m {
+            Metric::DramReadSectors => sectors / 2,
+            Metric::DramWriteSectors => sectors / 2,
+            _ => 0,
+        });
+        let u = Utilizations::from_events(&spec, &ev, 640.0).unwrap();
+        assert!((u.get(Component::Dram) - 0.7).abs() < 1e-3, "{u}");
+    }
+
+    #[test]
+    fn eq10_split_feeds_separate_int_sp_utilizations() {
+        let spec = devices::gtx_titan_x();
+        let cycles = 975_000_000u64;
+        let sp_peak = spec
+            .peak_warp_throughput(Component::Sp, spec.default_config().core)
+            .unwrap();
+        let warps = (sp_peak * 0.6) as u64;
+        let ev = event_set(&spec, cycles, |m| match m {
+            Metric::WarpsIntSp => warps,
+            Metric::InstInt => 250,
+            Metric::InstSp => 750,
+            _ => 0,
+        });
+        let u = Utilizations::from_events(&spec, &ev, 640.0).unwrap();
+        assert!((u.get(Component::Int) - 0.15).abs() < 1e-3);
+        assert!((u.get(Component::Sp) - 0.45).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dominant_finds_the_bottleneck() {
+        let u = Utilizations::from_values([0.2, 0.1, 0.0, 0.0, 0.3, 0.9, 0.4]).unwrap();
+        assert_eq!(u.dominant(), (Component::L2Cache, 0.9));
+    }
+
+    #[test]
+    fn l2_discovery_takes_the_maximum() {
+        let spec = devices::gtx_titan_x();
+        let cycles = 975_000_000u64;
+        let mk = |util: f64| {
+            let bytes = 640.0 * util * cycles as f64;
+            event_set(&spec, cycles, move |m| match m {
+                Metric::L2ReadSectors => (bytes / 2.0 / f64::from(SECTOR_BYTES)) as u64,
+                Metric::L2WriteSectors => (bytes / 2.0 / f64::from(SECTOR_BYTES)) as u64,
+                _ => 0,
+            })
+        };
+        let profiles = vec![mk(0.3), mk(0.95), mk(0.6)];
+        let bpc = l2_peak_from_profiles(&spec, &profiles).unwrap();
+        assert!((bpc - 640.0 * 0.95).abs() / 640.0 < 0.01, "{bpc}");
+    }
+
+    #[test]
+    fn l2_discovery_rejects_empty_or_idle_profiles() {
+        let spec = devices::gtx_titan_x();
+        assert!(matches!(
+            l2_peak_from_profiles(&spec, &[]),
+            Err(ModelError::InsufficientTraining(_))
+        ));
+        let idle = event_set(&spec, 1_000_000, |_| 0);
+        assert!(matches!(
+            l2_peak_from_profiles(&spec, &[idle]),
+            Err(ModelError::InsufficientTraining(_))
+        ));
+    }
+
+    #[test]
+    fn display_skips_idle_components() {
+        let u = Utilizations::from_values([0.0, 0.5, 0.0, 0.0, 0.0, 0.0, 0.25]).unwrap();
+        let s = u.to_string();
+        assert!(s.contains("SP Unit: 0.50"));
+        assert!(s.contains("DRAM: 0.25"));
+        assert!(!s.contains("DP"));
+        let idle = Utilizations::from_values([0.0; 7]).unwrap();
+        assert_eq!(idle.to_string(), "(idle)");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn valid_inputs_round_trip_within_bounds(
+                vals in proptest::collection::vec(0.0f64..1.0, 7),
+            ) {
+                let arr: [f64; 7] = vals.clone().try_into().unwrap();
+                let u = Utilizations::from_values(arr).unwrap();
+                for (i, (_, v)) in u.iter().enumerate() {
+                    prop_assert!((v - vals[i]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

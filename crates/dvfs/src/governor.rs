@@ -1,0 +1,436 @@
+//! The online governor: profile-on-first-call, cached decisions.
+
+use crate::{EnergyLedger, LedgerEntry, Objective};
+use gpm_core::{ModelError, PowerModel};
+use gpm_profiler::{ProfileError, Profiler};
+use gpm_sim::{SimError, SimulatedGpu};
+use gpm_spec::FreqConfig;
+use gpm_workloads::KernelDesc;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the governor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GovernorError {
+    /// Profiling the kernel's first call failed.
+    Profiling(ProfileError),
+    /// The power model could not evaluate a candidate.
+    Model(ModelError),
+    /// Clock control failed.
+    Hardware(SimError),
+    /// No configuration satisfies the objective and it has no fallback.
+    NoFeasibleConfig,
+}
+
+impl fmt::Display for GovernorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GovernorError::Profiling(e) => write!(f, "first-call profiling failed: {e}"),
+            GovernorError::Model(e) => write!(f, "model evaluation failed: {e}"),
+            GovernorError::Hardware(e) => write!(f, "clock control failed: {e}"),
+            GovernorError::NoFeasibleConfig => {
+                write!(f, "no configuration satisfies the objective")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GovernorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GovernorError::Profiling(e) => Some(e),
+            GovernorError::Model(e) => Some(e),
+            GovernorError::Hardware(e) => Some(e),
+            GovernorError::NoFeasibleConfig => None,
+        }
+    }
+}
+
+impl From<ProfileError> for GovernorError {
+    fn from(e: ProfileError) -> Self {
+        GovernorError::Profiling(e)
+    }
+}
+
+impl From<ModelError> for GovernorError {
+    fn from(e: ModelError) -> Self {
+        GovernorError::Model(e)
+    }
+}
+
+impl From<SimError> for GovernorError {
+    fn from(e: SimError) -> Self {
+        GovernorError::Hardware(e)
+    }
+}
+
+/// Whether a launch used a fresh decision or a cached one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionOrigin {
+    /// First call: events profiled, grid timed, objective evaluated.
+    Profiled,
+    /// Later call: cached decision reused.
+    Cached,
+}
+
+/// A per-kernel configuration decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// The chosen configuration.
+    pub config: FreqConfig,
+    /// Predicted average power at the chosen configuration.
+    pub predicted_power_w: f64,
+    /// Measured per-launch runtime at the chosen configuration.
+    pub predicted_time_s: f64,
+    /// Runtime at the reference configuration (slowdown baseline).
+    pub reference_time_s: f64,
+}
+
+/// One governed launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun {
+    /// The decision in force for this kernel.
+    pub decision: Decision,
+    /// Fresh or cached.
+    pub origin: DecisionOrigin,
+}
+
+/// Governor counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernorStats {
+    /// Kernels profiled (first calls).
+    pub profiled: u32,
+    /// Launches served from the decision cache.
+    pub cache_hits: u32,
+}
+
+/// An online DVFS governor: the paper's future-work loop.
+///
+/// See the crate-level docs for the protocol and an example.
+pub struct Governor<'g> {
+    gpu: &'g mut SimulatedGpu,
+    model: PowerModel,
+    objective: Objective,
+    decisions: HashMap<String, (Decision, u32)>,
+    reprofile_interval: Option<u32>,
+    ledger: EnergyLedger,
+    stats: GovernorStats,
+}
+
+impl fmt::Debug for Governor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Governor")
+            .field("device", &self.gpu.spec().name())
+            .field("objective", &self.objective)
+            .field("cached_kernels", &self.decisions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g> Governor<'g> {
+    /// Creates a governor over a device with a fitted model.
+    pub fn new(gpu: &'g mut SimulatedGpu, model: PowerModel, objective: Objective) -> Self {
+        Governor {
+            gpu,
+            model,
+            objective,
+            decisions: HashMap::new(),
+            reprofile_interval: None,
+            ledger: EnergyLedger::new(),
+            stats: GovernorStats::default(),
+        }
+    }
+
+    /// Re-profiles a kernel after this many cached launches (default:
+    /// never). Long-running applications change phase — input sizes grow,
+    /// data sets stop fitting in cache (the Fig. 9 effect) — so a stale
+    /// decision can become wrong; periodic re-profiling bounds that
+    /// staleness at the cost of extra profiling runs.
+    pub fn set_reprofile_interval(&mut self, interval: Option<u32>) {
+        self.reprofile_interval = interval.filter(|&n| n > 0);
+    }
+
+    /// The active objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Launch statistics.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// The accumulated energy ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The cached decision for a kernel, if its first call has happened.
+    pub fn decision_for(&self, kernel_name: &str) -> Option<&Decision> {
+        self.decisions.get(kernel_name).map(|(d, _)| d)
+    }
+
+    /// Runs one kernel launch under governance: decide (first call) or
+    /// reuse the cached configuration, apply clocks, execute, account.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profiling/model/clock failures and reports
+    /// [`GovernorError::NoFeasibleConfig`] when the objective's
+    /// constraint excludes the whole grid and has no fallback.
+    pub fn run_kernel(&mut self, kernel: &KernelDesc) -> Result<KernelRun, GovernorError> {
+        let stale = match (self.decisions.get(kernel.name()), self.reprofile_interval) {
+            (Some((_, uses)), Some(interval)) => *uses >= interval,
+            _ => false,
+        };
+        let (decision, origin) = match self.decisions.get_mut(kernel.name()) {
+            Some((d, uses)) if !stale => {
+                *uses += 1;
+                (d.clone(), DecisionOrigin::Cached)
+            }
+            _ => {
+                let d = self.decide(kernel)?;
+                self.decisions
+                    .insert(kernel.name().to_string(), (d.clone(), 0));
+                self.stats.profiled += 1;
+                (d, DecisionOrigin::Profiled)
+            }
+        };
+        if origin == DecisionOrigin::Cached {
+            self.stats.cache_hits += 1;
+        }
+        self.gpu.set_clocks(decision.config)?;
+        let exec = self.gpu.execute(kernel);
+        self.ledger.record(LedgerEntry {
+            kernel: kernel.name().to_string(),
+            config: decision.config,
+            time_s: exec.duration_s,
+            power_w: decision.predicted_power_w,
+        });
+        Ok(KernelRun { decision, origin })
+    }
+
+    /// First-call path: profile events at the reference, time the kernel
+    /// across the grid, score every candidate under the objective.
+    fn decide(&mut self, kernel: &KernelDesc) -> Result<Decision, GovernorError> {
+        let spec = self.gpu.spec().clone();
+        let reference = spec.default_config();
+
+        // Events once, at the reference configuration (the paper's
+        // single-configuration constraint). The profiler reuses the
+        // model's discovered L2 peak through its own discovery path.
+        let profile = {
+            let mut profiler = Profiler::with_repeats(self.gpu, 1);
+            profiler.profile_at_reference(kernel)?
+        };
+
+        self.gpu.set_clocks(reference)?;
+        let time_ref = self.gpu.execute(kernel).duration_s;
+
+        let mut best: Option<(FreqConfig, f64, f64, f64)> = None; // cfg, p, t, score
+        let mut lowest_power: Option<(FreqConfig, f64, f64)> = None;
+        for config in spec.vf_grid() {
+            self.gpu.set_clocks(config)?;
+            let t = self.gpu.execute(kernel).duration_s;
+            let p = self.model.predict(&profile.utilizations, config)?;
+            if lowest_power.is_none_or(|(_, lp, _)| p < lp) {
+                lowest_power = Some((config, p, t));
+            }
+            if let Some(score) = self.objective.score(p, t, time_ref) {
+                if best.is_none_or(|(_, _, _, s)| score < s) {
+                    best = Some((config, p, t, score));
+                }
+            }
+        }
+        self.gpu.set_clocks(reference)?;
+
+        let (config, p, t) = match best {
+            Some((c, p, t, _)) => (c, p, t),
+            None if self.objective.needs_fallback() => {
+                lowest_power.ok_or(GovernorError::NoFeasibleConfig)?
+            }
+            None => return Err(GovernorError::NoFeasibleConfig),
+        };
+        Ok(Decision {
+            config,
+            predicted_power_w: p,
+            predicted_time_s: t,
+            reference_time_s: time_ref,
+        })
+    }
+}
+
+/// Runs the same launch sequence at the default configuration with
+/// model-predicted power — the ungoverned baseline a governor's savings
+/// are measured against.
+///
+/// # Errors
+///
+/// Propagates profiling/model/clock failures.
+pub fn baseline_ledger(
+    gpu: &mut SimulatedGpu,
+    model: &PowerModel,
+    launches: &[KernelDesc],
+) -> Result<EnergyLedger, GovernorError> {
+    let reference = gpu.spec().default_config();
+    let mut profiles: HashMap<String, gpm_core::AppProfile> = HashMap::new();
+    let mut ledger = EnergyLedger::new();
+    for kernel in launches {
+        if !profiles.contains_key(kernel.name()) {
+            let mut profiler = Profiler::with_repeats(gpu, 1);
+            let p = profiler.profile_at_reference(kernel)?;
+            profiles.insert(kernel.name().to_string(), p);
+        }
+        gpu.set_clocks(reference)?;
+        let exec = gpu.execute(kernel);
+        let p = model.predict(&profiles[kernel.name()].utilizations, reference)?;
+        ledger.record(LedgerEntry {
+            kernel: kernel.name().to_string(),
+            config: reference,
+            time_s: exec.duration_s,
+            power_w: p,
+        });
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::Estimator;
+    use gpm_spec::devices;
+    use gpm_workloads::{microbenchmark_suite, validation_suite};
+
+    fn fitted_gpu() -> (SimulatedGpu, PowerModel) {
+        let spec = devices::gtx_titan_x();
+        let mut gpu = SimulatedGpu::new(spec.clone(), 17);
+        let training = Profiler::with_repeats(&mut gpu, 1)
+            .profile_suite(&microbenchmark_suite(&spec))
+            .unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        (gpu, model)
+    }
+
+    #[test]
+    fn first_call_profiles_then_caches() {
+        let (mut gpu, model) = fitted_gpu();
+        let app = validation_suite(gpu.spec())[0].clone();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergy);
+        let a = gov.run_kernel(&app).unwrap();
+        assert_eq!(a.origin, DecisionOrigin::Profiled);
+        let b = gov.run_kernel(&app).unwrap();
+        assert_eq!(b.origin, DecisionOrigin::Cached);
+        assert_eq!(a.decision, b.decision);
+        assert_eq!(gov.stats().profiled, 1);
+        assert_eq!(gov.stats().cache_hits, 1);
+        assert_eq!(gov.ledger().len(), 2);
+        assert!(gov.decision_for(app.name()).is_some());
+        assert!(gov.decision_for("nonexistent").is_none());
+    }
+
+    #[test]
+    fn reprofile_interval_bounds_decision_staleness() {
+        let (mut gpu, model) = fitted_gpu();
+        let app = validation_suite(gpu.spec())[0].clone();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergy);
+        gov.set_reprofile_interval(Some(2));
+        for _ in 0..7 {
+            gov.run_kernel(&app).unwrap();
+        }
+        // Launch pattern: P C C P C C P -> 3 profiled, 4 cached.
+        assert_eq!(gov.stats().profiled, 3);
+        assert_eq!(gov.stats().cache_hits, 4);
+        // A zero interval is ignored (never re-profile).
+        let (mut gpu, model) = fitted_gpu();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergy);
+        gov.set_reprofile_interval(Some(0));
+        for _ in 0..4 {
+            gov.run_kernel(&app).unwrap();
+        }
+        assert_eq!(gov.stats().profiled, 1);
+    }
+
+    #[test]
+    fn min_power_picks_the_lowest_power_configuration() {
+        let (mut gpu, model) = fitted_gpu();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "GEMM").unwrap();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinPower);
+        let run = gov.run_kernel(app).unwrap();
+        // Lowest core + lowest memory is always the power minimum for
+        // non-negative models.
+        assert_eq!(run.decision.config, FreqConfig::from_mhz(595, 810));
+    }
+
+    #[test]
+    fn slowdown_constraint_is_honored() {
+        let (mut gpu, model) = fitted_gpu();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "HOTS").unwrap();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergyWithSlowdown(1.10));
+        let run = gov.run_kernel(app).unwrap();
+        assert!(
+            run.decision.predicted_time_s <= run.decision.reference_time_s * 1.10 + 1e-12,
+            "time {} vs ref {}",
+            run.decision.predicted_time_s,
+            run.decision.reference_time_s
+        );
+    }
+
+    #[test]
+    fn energy_objective_beats_the_default_baseline() {
+        let (mut gpu, model) = fitted_gpu();
+        let apps = validation_suite(gpu.spec());
+        // A memory-bound app: downclocking the core is nearly free.
+        let app = apps.iter().find(|k| k.name() == "LBM").unwrap().clone();
+        let launches = vec![app; 5];
+
+        let baseline = baseline_ledger(&mut gpu, &model, &launches).unwrap();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergy);
+        for k in &launches {
+            gov.run_kernel(k).unwrap();
+        }
+        assert!(
+            gov.ledger().total_energy_j() < baseline.total_energy_j(),
+            "governed {} J vs baseline {} J",
+            gov.ledger().total_energy_j(),
+            baseline.total_energy_j()
+        );
+    }
+
+    #[test]
+    fn power_cap_is_respected_or_falls_back_to_minimum() {
+        let (mut gpu, model) = fitted_gpu();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "GEMM").unwrap();
+
+        let mut gov = Governor::new(&mut gpu, model.clone(), Objective::PowerCap(120.0));
+        let run = gov.run_kernel(app).unwrap();
+        assert!(run.decision.predicted_power_w <= 120.0 + 1e-9);
+
+        // An impossible cap falls back to the global power minimum.
+        let mut gov = Governor::new(&mut gpu, model, Objective::PowerCap(1.0));
+        let run = gov.run_kernel(app).unwrap();
+        assert_eq!(run.decision.config, FreqConfig::from_mhz(595, 810));
+    }
+
+    #[test]
+    fn different_kernels_get_independent_decisions() {
+        let (mut gpu, model) = fitted_gpu();
+        let apps = validation_suite(gpu.spec());
+        let lbm = apps.iter().find(|k| k.name() == "LBM").unwrap();
+        let gemm = apps.iter().find(|k| k.name() == "GEMM").unwrap();
+        let mut gov = Governor::new(&mut gpu, model, Objective::MinEnergyWithSlowdown(1.05));
+        let a = gov.run_kernel(lbm).unwrap();
+        let b = gov.run_kernel(gemm).unwrap();
+        // LBM (memory-bound) can drop its core frequency much further
+        // than GEMM (compute-bound) within the same slowdown budget.
+        assert!(
+            a.decision.config.core < b.decision.config.core,
+            "LBM at {} vs GEMM at {}",
+            a.decision.config,
+            b.decision.config
+        );
+        assert_eq!(gov.stats().profiled, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Energy accounting across a governed run.
+
+use gpm_spec::FreqConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One governed kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration the launch ran at.
+    pub config: FreqConfig,
+    /// Wall-clock duration in seconds.
+    pub time_s: f64,
+    /// Predicted average power in watts.
+    pub power_w: f64,
+}
+
+impl LedgerEntry {
+    /// Predicted energy of this launch in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.time_s
+    }
+}
+
+/// Accumulated time and predicted energy over a governed run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger::default()
+    }
+
+    /// Records one launch.
+    pub fn record(&mut self, entry: LedgerEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All recorded launches, in order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total wall-clock time in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.entries.iter().map(|e| e.time_s).sum()
+    }
+
+    /// Total predicted energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.entries.iter().map(|e| e.energy_j()).sum()
+    }
+
+    /// Time-weighted average power in watts (0 for an empty ledger).
+    pub fn average_power_w(&self) -> f64 {
+        let t = self.total_time_s();
+        if t > 0.0 {
+            self.total_energy_j() / t
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of recorded launches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no launch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} launches, {:.3} s, {:.1} J ({:.1} W avg)",
+            self.len(),
+            self.total_time_s(),
+            self.total_energy_j(),
+            self.average_power_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kernel: &str, time_s: f64, power_w: f64) -> LedgerEntry {
+        LedgerEntry {
+            kernel: kernel.into(),
+            config: FreqConfig::from_mhz(975, 3505),
+            time_s,
+            power_w,
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut l = EnergyLedger::new();
+        assert!(l.is_empty());
+        l.record(entry("a", 2.0, 100.0));
+        l.record(entry("b", 1.0, 50.0));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.total_time_s(), 3.0);
+        assert_eq!(l.total_energy_j(), 250.0);
+        assert!((l.average_power_w() - 250.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_has_zero_average_power() {
+        assert_eq!(EnergyLedger::new().average_power_w(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut l = EnergyLedger::new();
+        l.record(entry("a", 1.0, 100.0));
+        assert!(l.to_string().contains("1 launches"));
+        assert!(l.to_string().contains("100.0 J"));
+    }
+}

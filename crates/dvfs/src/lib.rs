@@ -1,0 +1,55 @@
+//! Online DVFS management built on the DVFS-aware power model.
+//!
+//! The paper's future-work direction (Section VII): "taking advantage of
+//! the iterative nature of many of the most common GPU applications, by
+//! measuring the performance events during the first call to a GPU
+//! kernel and then using the power prediction to determine the
+//! frequency/voltage configuration that best suits that kernel."
+//!
+//! The [`Governor`] does exactly that. On a kernel's *first* launch it
+//! profiles events at the reference configuration, times the kernel
+//! across the V-F grid (timing needs no sensor), predicts power with the
+//! model, and selects a configuration per its [`Objective`]. Every later
+//! launch of the same kernel reuses the cached decision, and an
+//! [`EnergyLedger`] accumulates predicted energy/time for the whole run.
+//!
+//! # Example
+//!
+//! ```
+//! use gpm_core::Estimator;
+//! use gpm_dvfs::{Governor, Objective};
+//! use gpm_profiler::Profiler;
+//! use gpm_sim::SimulatedGpu;
+//! use gpm_spec::devices;
+//! use gpm_workloads::{microbenchmark_suite, validation_suite};
+//!
+//! let spec = devices::tesla_k40c();
+//! let mut gpu = SimulatedGpu::new(spec.clone(), 5);
+//! let training = Profiler::with_repeats(&mut gpu, 1)
+//!     .profile_suite(&microbenchmark_suite(&spec))?;
+//! let model = Estimator::new().fit(&training)?;
+//!
+//! let app = validation_suite(&spec)[0].clone();
+//! let mut governor = Governor::new(&mut gpu, model, Objective::MinEnergy);
+//! let first = governor.run_kernel(&app)?;   // profiles + decides
+//! let second = governor.run_kernel(&app)?;  // cache hit
+//! assert_eq!(first.decision.config, second.decision.config);
+//! assert_eq!(governor.stats().profiled, 1);
+//! assert_eq!(governor.stats().cache_hits, 1);
+//! # Ok::<(), gpm_dvfs::GovernorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod governor;
+mod ledger;
+mod objective;
+mod pareto;
+
+pub use governor::{
+    baseline_ledger, Decision, DecisionOrigin, Governor, GovernorError, GovernorStats, KernelRun,
+};
+pub use ledger::{EnergyLedger, LedgerEntry};
+pub use objective::Objective;
+pub use pareto::{pareto_frontier, ParetoPoint};

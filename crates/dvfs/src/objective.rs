@@ -1,0 +1,128 @@
+//! Governor objectives.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the governor optimizes when it picks a V-F configuration.
+///
+/// Every objective works on `(predicted power, measured time)` pairs per
+/// candidate configuration; power comes from the model, time from simply
+/// running the kernel (no sensor needed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize average power, regardless of performance.
+    MinPower,
+    /// Minimize energy per kernel call (`P x T`).
+    MinEnergy,
+    /// Minimize the energy-delay product (`P x T²`), the classic
+    /// balanced metric.
+    MinEdp,
+    /// Minimize energy among configurations within the given slowdown
+    /// ratio of the reference-configuration runtime (e.g. `1.1` allows
+    /// 10% slowdown).
+    MinEnergyWithSlowdown(f64),
+    /// Maximize performance subject to a predicted power cap in watts;
+    /// if no configuration satisfies the cap, fall back to the
+    /// lowest-power configuration.
+    PowerCap(f64),
+}
+
+impl Objective {
+    /// Scores a candidate; lower is better. `time_ref` is the runtime at
+    /// the reference configuration. Returns `None` when the candidate is
+    /// infeasible under the objective's constraint.
+    pub(crate) fn score(&self, power_w: f64, time_s: f64, time_ref_s: f64) -> Option<f64> {
+        match *self {
+            Objective::MinPower => Some(power_w),
+            Objective::MinEnergy => Some(power_w * time_s),
+            Objective::MinEdp => Some(power_w * time_s * time_s),
+            Objective::MinEnergyWithSlowdown(ratio) => {
+                if time_s <= time_ref_s * ratio {
+                    Some(power_w * time_s)
+                } else {
+                    None
+                }
+            }
+            Objective::PowerCap(cap) => {
+                if power_w <= cap {
+                    Some(time_s)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// `true` if the objective can leave every configuration infeasible
+    /// (and therefore needs a fallback).
+    pub(crate) fn needs_fallback(&self) -> bool {
+        matches!(self, Objective::PowerCap(_))
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinPower => write!(f, "min-power"),
+            Objective::MinEnergy => write!(f, "min-energy"),
+            Objective::MinEdp => write!(f, "min-EDP"),
+            Objective::MinEnergyWithSlowdown(r) => {
+                write!(f, "min-energy within {:.0}% slowdown", (r - 1.0) * 100.0)
+            }
+            Objective::PowerCap(w) => write!(f, "max-performance under {w:.0} W"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_power_ignores_time() {
+        let o = Objective::MinPower;
+        assert!(o.score(50.0, 10.0, 1.0).unwrap() < o.score(60.0, 0.1, 1.0).unwrap());
+    }
+
+    #[test]
+    fn min_energy_is_power_times_time() {
+        let o = Objective::MinEnergy;
+        assert_eq!(o.score(100.0, 2.0, 1.0), Some(200.0));
+    }
+
+    #[test]
+    fn edp_penalizes_time_quadratically() {
+        let o = Objective::MinEdp;
+        // Halving power while doubling time is a net loss under EDP.
+        assert!(o.score(50.0, 2.0, 1.0).unwrap() > o.score(100.0, 1.0, 1.0).unwrap());
+    }
+
+    #[test]
+    fn slowdown_constraint_filters() {
+        let o = Objective::MinEnergyWithSlowdown(1.2);
+        assert!(o.score(50.0, 1.1, 1.0).is_some());
+        assert_eq!(o.score(50.0, 1.3, 1.0), None);
+    }
+
+    #[test]
+    fn power_cap_filters_and_ranks_by_time() {
+        let o = Objective::PowerCap(100.0);
+        assert_eq!(o.score(120.0, 0.5, 1.0), None);
+        assert!(o.score(90.0, 0.5, 1.0).unwrap() < o.score(80.0, 0.8, 1.0).unwrap());
+        assert!(o.needs_fallback());
+        assert!(!Objective::MinEnergy.needs_fallback());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Objective::MinEdp.to_string(), "min-EDP");
+        assert_eq!(
+            Objective::MinEnergyWithSlowdown(1.15).to_string(),
+            "min-energy within 15% slowdown"
+        );
+        assert_eq!(
+            Objective::PowerCap(150.0).to_string(),
+            "max-performance under 150 W"
+        );
+    }
+}

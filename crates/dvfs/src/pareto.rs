@@ -1,0 +1,175 @@
+//! Time/energy Pareto frontier over the V-F grid.
+//!
+//! Every governor objective is a point on (or a selection over) the
+//! kernel's time-energy trade-off curve. Computing the whole frontier
+//! once makes the trade-off explicit — how much energy each millisecond
+//! of slowdown buys — which is the view an operator wants before picking
+//! an objective.
+
+use crate::GovernorError;
+use gpm_core::PowerModel;
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_spec::FreqConfig;
+use gpm_workloads::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+/// One V-F configuration's position on the time/energy plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub config: FreqConfig,
+    /// Measured per-launch runtime in seconds.
+    pub time_s: f64,
+    /// Model-predicted average power in watts.
+    pub power_w: f64,
+}
+
+impl ParetoPoint {
+    /// Predicted energy per launch in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.time_s
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_j() * self.time_s
+    }
+}
+
+/// Computes the kernel's time/energy Pareto frontier: the configurations
+/// not dominated in *both* runtime and energy, sorted by ascending
+/// runtime (and therefore descending energy). Runtime is measured by
+/// executing the kernel at each configuration (no power sensor needed);
+/// power comes from the model.
+///
+/// # Errors
+///
+/// Propagates profiling, clock and prediction failures.
+pub fn pareto_frontier(
+    gpu: &mut SimulatedGpu,
+    model: &PowerModel,
+    kernel: &KernelDesc,
+) -> Result<Vec<ParetoPoint>, GovernorError> {
+    let spec = gpu.spec().clone();
+    let profile = {
+        let mut profiler = Profiler::with_repeats(gpu, 1);
+        profiler.profile_at_reference(kernel)?
+    };
+
+    let mut points = Vec::new();
+    for config in spec.vf_grid() {
+        gpu.set_clocks(config)?;
+        let time_s = gpu.execute(kernel).duration_s;
+        let power_w = model.predict(&profile.utilizations, config)?;
+        points.push(ParetoPoint {
+            config,
+            time_s,
+            power_w,
+        });
+    }
+    gpu.set_clocks(spec.default_config())?;
+
+    // Sort by runtime, then sweep keeping strictly improving energy.
+    points.sort_by(|a, b| {
+        a.time_s
+            .partial_cmp(&b.time_s)
+            .expect("runtimes are finite")
+    });
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for p in points {
+        if p.energy_j() < best_energy - 1e-12 {
+            best_energy = p.energy_j();
+            frontier.push(p);
+        }
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::Estimator;
+    use gpm_spec::devices;
+    use gpm_workloads::{microbenchmark_suite, validation_suite};
+
+    fn setup() -> (SimulatedGpu, PowerModel) {
+        let spec = devices::gtx_titan_x();
+        let mut gpu = SimulatedGpu::new(spec.clone(), 23);
+        let training = Profiler::with_repeats(&mut gpu, 1)
+            .profile_suite(&microbenchmark_suite(&spec))
+            .unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        (gpu, model)
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_both_axes() {
+        let (mut gpu, model) = setup();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "SRAD_1").unwrap();
+        let frontier = pareto_frontier(&mut gpu, &model, app).unwrap();
+        assert!(
+            frontier.len() >= 2,
+            "a real kernel has a non-trivial frontier"
+        );
+        for w in frontier.windows(2) {
+            assert!(w[0].time_s <= w[1].time_s);
+            assert!(w[0].energy_j() > w[1].energy_j());
+        }
+    }
+
+    #[test]
+    fn frontier_contains_the_fastest_configuration() {
+        // The minimum-runtime point is never dominated.
+        let (mut gpu, model) = setup();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "GEMM").unwrap();
+        let frontier = pareto_frontier(&mut gpu, &model, app).unwrap();
+        let spec = gpu.spec().clone();
+        gpu.set_clocks(spec.fastest_config()).unwrap();
+        let fastest_time = gpu.execute(app).duration_s;
+        assert!(
+            (frontier[0].time_s - fastest_time).abs() / fastest_time < 1e-9,
+            "frontier starts at the fastest configuration"
+        );
+    }
+
+    #[test]
+    fn frontier_points_dominate_everything_slower_and_hungrier() {
+        let (mut gpu, model) = setup();
+        let apps = validation_suite(gpu.spec());
+        let app = apps.iter().find(|k| k.name() == "LBM").unwrap();
+        let frontier = pareto_frontier(&mut gpu, &model, app).unwrap();
+        // Re-evaluate the full grid and verify no point dominates a
+        // frontier point.
+        let profile = Profiler::with_repeats(&mut gpu, 1)
+            .profile_at_reference(app)
+            .unwrap();
+        let spec = gpu.spec().clone();
+        for config in spec.vf_grid() {
+            gpu.set_clocks(config).unwrap();
+            let t = gpu.execute(app).duration_s;
+            let e = model.predict(&profile.utilizations, config).unwrap() * t;
+            for f in &frontier {
+                assert!(
+                    !(t < f.time_s - 1e-12 && e < f.energy_j() - 1e-9),
+                    "{config} dominates frontier point {:?}",
+                    f.config
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_metrics_are_consistent() {
+        let p = ParetoPoint {
+            config: FreqConfig::from_mhz(975, 3505),
+            time_s: 0.5,
+            power_w: 100.0,
+        };
+        assert_eq!(p.energy_j(), 50.0);
+        assert_eq!(p.edp(), 25.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Closed-form real roots of quadratic and cubic polynomials.
+
+/// Real roots of `a·x² + b·x + c = 0`, ascending, deduplicated.
+///
+/// Degenerates gracefully: with `a == 0` solves the linear equation; with
+/// `a == b == 0` returns no roots (the equation is constant).
+///
+/// # Example
+///
+/// ```
+/// use gpm_linalg::quadratic_roots;
+///
+/// assert_eq!(quadratic_roots(1.0, -3.0, 2.0), vec![1.0, 2.0]);
+/// assert!(quadratic_roots(1.0, 0.0, 1.0).is_empty());
+/// ```
+pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a == 0.0 {
+        if b == 0.0 {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    if disc == 0.0 {
+        return vec![-b / (2.0 * a)];
+    }
+    // Numerically stable form avoiding cancellation.
+    let sq = disc.sqrt();
+    let q = -0.5 * (b + b.signum() * sq);
+    let (r1, r2) = if q == 0.0 { (0.0, 0.0) } else { (q / a, c / q) };
+    let mut roots = vec![r1, r2];
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12 * (1.0 + x.abs()));
+    roots
+}
+
+/// Real roots of `a·x³ + b·x² + c·x + d = 0`, ascending, refined by a few
+/// Newton steps for accuracy.
+///
+/// Used by the estimator's voltage fit: the per-configuration objective of
+/// Eq. 12 is a quartic polynomial in each normalized voltage, so its
+/// stationary points are the real roots of a cubic — coordinate descent
+/// can therefore find the *exact* 1-D minimizer each sweep instead of line
+/// searching.
+///
+/// Degenerates to [`quadratic_roots`] when `a == 0`.
+///
+/// # Example
+///
+/// ```
+/// use gpm_linalg::cubic_roots;
+///
+/// // (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6
+/// let roots = cubic_roots(1.0, -6.0, 11.0, -6.0);
+/// assert_eq!(roots.len(), 3);
+/// assert!((roots[0] - 1.0).abs() < 1e-9);
+/// assert!((roots[2] - 3.0).abs() < 1e-9);
+/// ```
+pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
+    if a == 0.0 {
+        return quadratic_roots(b, c, d);
+    }
+    // Normalize to x³ + p2 x² + p1 x + p0.
+    let p2 = b / a;
+    let p1 = c / a;
+    let p0 = d / a;
+    // Depressed cubic t³ + pt + q with x = t - p2/3.
+    let shift = p2 / 3.0;
+    let p = p1 - p2 * p2 / 3.0;
+    let q = 2.0 * p2 * p2 * p2 / 27.0 - p2 * p1 / 3.0 + p0;
+
+    let mut roots: Vec<f64> = Vec::with_capacity(3);
+    let disc = (q / 2.0) * (q / 2.0) + (p / 3.0) * (p / 3.0) * (p / 3.0);
+    if disc > 0.0 {
+        // One real root (Cardano).
+        let sq = disc.sqrt();
+        let u = (-q / 2.0 + sq).cbrt();
+        let v = (-q / 2.0 - sq).cbrt();
+        roots.push(u + v - shift);
+    } else if p == 0.0 && q == 0.0 {
+        roots.push(-shift); // Triple root.
+    } else {
+        // Three real roots (Viète's trigonometric form).
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let arg = (3.0 * q / (p * m)).clamp(-1.0, 1.0);
+        let theta = arg.acos() / 3.0;
+        for k in 0..3 {
+            let t = m * (theta - 2.0 * std::f64::consts::PI * f64::from(k) / 3.0).cos();
+            roots.push(t - shift);
+        }
+    }
+
+    // Newton refinement against the original coefficients.
+    for r in roots.iter_mut() {
+        for _ in 0..3 {
+            let f = ((a * *r + b) * *r + c) * *r + d;
+            let df = (3.0 * a * *r + 2.0 * b) * *r + c;
+            if df.abs() > 1e-300 {
+                let step = f / df;
+                if step.is_finite() {
+                    *r -= step;
+                }
+            }
+        }
+    }
+    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-9 * (1.0 + x.abs()));
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(a: f64, b: f64, c: f64, d: f64, x: f64) -> f64 {
+        ((a * x + b) * x + c) * x + d
+    }
+
+    #[test]
+    fn quadratic_two_roots() {
+        let r = quadratic_roots(2.0, -4.0, -6.0); // 2(x-3)(x+1)
+        assert_eq!(r, vec![-1.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let r = quadratic_roots(1.0, -2.0, 1.0);
+        assert_eq!(r, vec![1.0]);
+    }
+
+    #[test]
+    fn quadratic_degenerates_to_linear_and_constant() {
+        assert_eq!(quadratic_roots(0.0, 2.0, -4.0), vec![2.0]);
+        assert!(quadratic_roots(0.0, 0.0, 5.0).is_empty());
+    }
+
+    #[test]
+    fn cubic_three_distinct_roots() {
+        let r = cubic_roots(2.0, -12.0, 22.0, -12.0); // 2(x-1)(x-2)(x-3)
+        assert_eq!(r.len(), 3);
+        for (got, want) in r.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cubic_single_real_root() {
+        let r = cubic_roots(1.0, 0.0, 1.0, -2.0); // x³ + x - 2 = (x-1)(x²+x+2)
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_triple_root() {
+        let r = cubic_roots(1.0, -6.0, 12.0, -8.0); // (x-2)³
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cubic_degenerates_to_quadratic() {
+        assert_eq!(cubic_roots(0.0, 1.0, -3.0, 2.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cubic_with_large_coefficient_scale() {
+        // Scale invariance: roots of k·p(x) equal roots of p(x).
+        let r1 = cubic_roots(1.0, -6.0, 11.0, -6.0);
+        let r2 = cubic_roots(1e9, -6e9, 11e9, -6e9);
+        for (a, b) in r1.iter().zip(&r2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roots_satisfy_polynomial(
+                a in -5.0f64..5.0,
+                b in -5.0f64..5.0,
+                c in -5.0f64..5.0,
+                d in -5.0f64..5.0,
+            ) {
+                let roots = cubic_roots(a, b, c, d);
+                let scale = 1.0 + a.abs() + b.abs() + c.abs() + d.abs();
+                for r in roots {
+                    let v = eval(a, b, c, d, r);
+                    prop_assert!(v.abs() < 1e-5 * scale * (1.0 + r.abs().powi(3)),
+                        "p({r}) = {v}");
+                }
+            }
+
+            #[test]
+            fn planted_roots_are_recovered(
+                r1 in -4.0f64..4.0,
+                r2 in -4.0f64..4.0,
+                r3 in -4.0f64..4.0,
+            ) {
+                // p(x) = (x-r1)(x-r2)(x-r3), well separated roots only.
+                prop_assume!((r1 - r2).abs() > 0.1 && (r2 - r3).abs() > 0.1 && (r1 - r3).abs() > 0.1);
+                let b = -(r1 + r2 + r3);
+                let c = r1 * r2 + r1 * r3 + r2 * r3;
+                let d = -r1 * r2 * r3;
+                let roots = cubic_roots(1.0, b, c, d);
+                prop_assert_eq!(roots.len(), 3);
+                let mut want = [r1, r2, r3];
+                want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                for (got, w) in roots.iter().zip(want) {
+                    prop_assert!((got - w).abs() < 1e-6, "got {got}, want {w}");
+                }
+            }
+
+            #[test]
+            fn nonzero_cubic_has_at_least_one_root(
+                a in 0.1f64..5.0,
+                b in -5.0f64..5.0,
+                c in -5.0f64..5.0,
+                d in -5.0f64..5.0,
+            ) {
+                prop_assert!(!cubic_roots(a, b, c, d).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for numerical routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra and regression routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (`expected` vs `got`, described as
+    /// `rows x cols` strings for diagnostics).
+    DimensionMismatch {
+        /// What the operation required.
+        expected: String,
+        /// What was provided.
+        got: String,
+    },
+    /// The system is rank deficient beyond what the solver tolerates.
+    Singular,
+    /// The input was empty where at least one element is required.
+    Empty,
+    /// An iterative routine failed to converge within its iteration cap.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+        /// The iteration cap that was hit.
+        iterations: usize,
+    },
+    /// An input contained a NaN or infinity.
+    NotFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::Empty => write!(f, "input must not be empty"),
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge within {iterations} iterations"
+                )
+            }
+            LinalgError::NotFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x2".into(),
+            got: "2x2".into(),
+        };
+        assert!(e.to_string().contains("3x2"));
+        assert!(LinalgError::Singular.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<LinalgError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Dense linear algebra and constrained regression for GPU power modeling.
+//!
+//! Implements, from scratch, every numerical routine the iterative
+//! estimator of Guerreiro et al. (HPCA 2018, Section III-D) needs:
+//!
+//! - [`Matrix`] and Householder-QR [`lstsq`]/[`ridge_lstsq`] for the linear
+//!   coefficient fits of steps 1 and 3 (Eq. 11). The tiny ridge variant
+//!   handles the *deliberate* rank deficiency of step 1, where the
+//!   `β0`/`β2` columns coincide while all normalized voltages are 1;
+//! - Lawson–Hanson [`nnls`] for physically non-negative coefficients;
+//! - weighted pool-adjacent-violators [`isotonic_increasing`] for the
+//!   voltage monotonicity constraint of Eq. 12;
+//! - closed-form [`cubic_roots`] — the per-configuration voltage objective
+//!   is quartic in each voltage, so coordinate descent can use exact
+//!   stationary points;
+//! - descriptive [`stats`] (MAE, MAPE, RMSE, R², medians) used throughout
+//!   the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use gpm_linalg::{Matrix, lstsq};
+//!
+//! // Fit y = 2x + 1 from three exact samples.
+//! let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 1.0], vec![2.0, 1.0]])?;
+//! let x = lstsq(&a, &[1.0, 3.0, 5.0])?;
+//! assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+//! # Ok::<(), gpm_linalg::LinalgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod cubic;
+mod error;
+mod isotonic;
+mod matrix;
+mod nnls;
+mod qr;
+pub mod stats;
+
+pub use cholesky::{cholesky, spd_inverse};
+pub use cubic::{cubic_roots, quadratic_roots};
+pub use error::LinalgError;
+pub use isotonic::{isotonic_decreasing, isotonic_increasing};
+pub use matrix::Matrix;
+pub use nnls::nnls;
+pub use qr::{lstsq, ridge_lstsq};

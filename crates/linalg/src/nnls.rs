@@ -1,0 +1,262 @@
+//! Lawson–Hanson non-negative least squares.
+
+use crate::{lstsq, LinalgError, Matrix};
+
+/// Solves `min ||A x - b||₂` subject to `x ≥ 0` (Lawson–Hanson active set).
+///
+/// The power-model coefficients `β` and `ω` of Eqs. 6-7 are physically
+/// non-negative (capacitances, leakage conductances): allowing negative
+/// values lets measurement noise produce models where raising a
+/// utilization *lowers* predicted power. The estimator therefore fits the
+/// coefficient vector with NNLS by default (a plain least-squares mode is
+/// kept for the ablation study).
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] on shape mismatch;
+/// - [`LinalgError::NotFinite`] on NaN/infinite inputs;
+/// - [`LinalgError::NoConvergence`] if the active-set loop exceeds its
+///   iteration cap (does not occur for well-posed problems).
+///
+/// # Example
+///
+/// ```
+/// use gpm_linalg::{nnls, Matrix};
+///
+/// // Unconstrained solution would need a negative coefficient; NNLS
+/// // clamps it and re-optimizes the rest.
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]])?;
+/// let x = nnls(&a, &[1.0, -0.5, 1.0])?;
+/// assert!(x.iter().all(|&v| v >= 0.0));
+/// # Ok::<(), gpm_linalg::LinalgError>(())
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("rhs of length {m}"),
+            got: format!("length {}", b.len()),
+        });
+    }
+    if !a.is_finite() || b.iter().any(|x| !x.is_finite()) {
+        return Err(LinalgError::NotFinite);
+    }
+
+    let at = a.transpose();
+    let mut x = vec![0.0; n];
+    let mut passive: Vec<bool> = vec![false; n];
+    let tol = 1e-10 * a.max_abs().max(1.0) * b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
+    let max_outer = 3 * n + 30;
+
+    for _ in 0..max_outer {
+        // Gradient of 0.5||Ax-b||²: w = Aᵀ(b - Ax).
+        let ax = a.mat_vec(&x)?;
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let w = at.mat_vec(&resid)?;
+
+        // Most-improving inactive coordinate.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
+        }
+        let Some((j_star, _)) = best else {
+            return Ok(x); // KKT satisfied.
+        };
+        passive[j_star] = true;
+
+        // Inner loop: solve the unconstrained problem on the passive set,
+        // stepping back whenever a passive coordinate would go negative.
+        let max_inner = 3 * n + 30;
+        let mut inner_ok = false;
+        for _ in 0..max_inner {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let sub = a.select_cols(&idx);
+            let z_sub = match lstsq(&sub, b) {
+                Ok(z) => z,
+                Err(LinalgError::Singular) => {
+                    // The newly added column is linearly dependent on the
+                    // passive set; drop it and accept the current iterate.
+                    passive[j_star] = false;
+                    inner_ok = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut z = vec![0.0; n];
+            for (k, &j) in idx.iter().enumerate() {
+                z[j] = z_sub[k];
+            }
+            if idx.iter().all(|&j| z[j] > tol.min(1e-12)) {
+                x = z;
+                inner_ok = true;
+                break;
+            }
+            // Step from x toward z, stopping at the first zero crossing.
+            let mut alpha = 1.0f64;
+            for &j in &idx {
+                if z[j] <= 0.0 && x[j] > z[j] {
+                    alpha = alpha.min(x[j] / (x[j] - z[j]));
+                }
+            }
+            for j in 0..n {
+                x[j] += alpha * (z[j] - x[j]);
+                if passive[j] && x[j] <= tol.min(1e-12) {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+        if !inner_ok {
+            return Err(LinalgError::NoConvergence {
+                routine: "nnls inner loop",
+                iterations: max_inner,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "nnls",
+        iterations: max_outer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_unconstrained_when_solution_is_positive() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ])
+        .unwrap();
+        let truth = [1.5, 0.7];
+        let b = a.mat_vec(&truth).unwrap();
+        let x = nnls(&a, &b).unwrap();
+        let free = lstsq(&a, &b).unwrap();
+        for i in 0..2 {
+            assert!((x[i] - truth[i]).abs() < 1e-8);
+            assert!((x[i] - free[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn clamps_negative_coordinates() {
+        // b points opposite to the second column.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let x = nnls(&a, &[2.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let x = nnls(&a, &[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn handles_duplicate_columns_without_diverging() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        let b = [2.0, 4.0, 6.0];
+        let x = nnls(&a, &b).unwrap();
+        // Any split with x0 + x1 = 2 and x >= 0 is optimal.
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-8, "{x:?}");
+        assert!(x.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn rejects_shape_and_nan() {
+        let a = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(nnls(&a, &[1.0, 2.0]).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::INFINITY]]).unwrap();
+        assert_eq!(nnls(&bad, &[1.0]), Err(LinalgError::NotFinite));
+    }
+
+    #[test]
+    fn wide_problem_with_many_actives() {
+        // 3 observations, 5 unknowns: solution must still be non-negative
+        // with small residual achievable.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0, 1.0, 0.5],
+            vec![0.0, 1.0, 0.0, 1.0, 0.5],
+            vec![0.0, 0.0, 1.0, 1.0, 0.5],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = nnls(&a, &b).unwrap();
+        assert!(x.iter().all(|&v| v >= 0.0));
+        let r: f64 = a
+            .mat_vec(&x)
+            .unwrap()
+            .iter()
+            .zip(b)
+            .map(|(p, m)| (p - m) * (p - m))
+            .sum();
+        assert!(r < 1e-12, "residual {r}, x = {x:?}");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn pseudo_matrix(seed: u64, rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99991);
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64 // in [0, 2)
+            };
+            let a = Matrix::from_fn(rows, cols, |_, _| next());
+            let b: Vec<f64> = (0..rows).map(|_| next() * 4.0 - 4.0).collect();
+            (a, b)
+        }
+
+        proptest! {
+            #[test]
+            fn output_is_nonnegative_and_kkt_holds(
+                seed in 0u64..400,
+                rows in 4usize..12,
+                cols in 1usize..6,
+            ) {
+                let (a, b) = pseudo_matrix(seed, rows, cols);
+                if let Ok(x) = nnls(&a, &b) {
+                    prop_assert!(x.iter().all(|&v| v >= 0.0));
+                    // KKT: gradient must be <= 0 on active (zero) coords
+                    // and ~0 on passive coords.
+                    let ax = a.mat_vec(&x).unwrap();
+                    let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+                    let w = a.transpose().mat_vec(&resid).unwrap();
+                    let scale = a.max_abs() * b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
+                    for (j, &wj) in w.iter().enumerate() {
+                        if x[j] > 1e-9 {
+                            prop_assert!(wj.abs() <= 1e-6 * scale.max(1.0), "passive grad {wj}");
+                        } else {
+                            prop_assert!(wj <= 1e-6 * scale.max(1.0), "active grad {wj}");
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn never_beats_unconstrained_but_close_when_truth_nonneg(
+                seed in 0u64..200,
+            ) {
+                let (a, _) = pseudo_matrix(seed, 10, 3);
+                let truth = [0.5, 1.0, 2.0];
+                let b = a.mat_vec(&truth).unwrap();
+                let x = nnls(&a, &b).unwrap();
+                for (xi, ti) in x.iter().zip(truth) {
+                    prop_assert!((xi - ti).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

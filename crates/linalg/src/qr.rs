@@ -1,0 +1,342 @@
+//! Householder-QR least squares.
+
+use crate::{LinalgError, Matrix};
+
+/// Solves the least-squares problem `min ||A x - b||₂` via Householder QR.
+///
+/// Requires `A` to have at least as many rows as columns and full column
+/// rank; for rank-deficient designs (which arise legitimately in step 1 of
+/// the paper's estimator, where the core and memory static-power columns
+/// coincide) use [`ridge_lstsq`].
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()` or
+///   `A.rows() < A.cols()`;
+/// - [`LinalgError::NotFinite`] if any input entry is NaN/infinite;
+/// - [`LinalgError::Singular`] if a diagonal of `R` vanishes relative to
+///   the matrix scale (rank deficiency).
+///
+/// # Example
+///
+/// ```
+/// use gpm_linalg::{lstsq, Matrix};
+///
+/// // Overdetermined: y ≈ 3x fitted from noisy-free redundant rows.
+/// let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]])?;
+/// let x = lstsq(&a, &[3.0, 6.0, 9.0])?;
+/// assert!((x[0] - 3.0).abs() < 1e-12);
+/// # Ok::<(), gpm_linalg::LinalgError>(())
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("rhs of length {m}"),
+            got: format!("length {}", b.len()),
+        });
+    }
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("at least {n} rows"),
+            got: format!("{m} rows"),
+        });
+    }
+    if !a.is_finite() || b.iter().any(|x| !x.is_finite()) {
+        return Err(LinalgError::NotFinite);
+    }
+
+    // Working copies: R starts as A, y as b; Householder reflections are
+    // applied to both in lockstep.
+    let mut r = a.clone();
+    let mut y = b.to_vec();
+    let scale = r.max_abs().max(1e-300);
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm <= scale * 1e-13 {
+            return Err(LinalgError::Singular);
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        if vtv <= 0.0 {
+            // Column already triangular.
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= f * v[i - k];
+            }
+        }
+        // ... and to y.
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * y[i];
+        }
+        let f = 2.0 * dot / vtv;
+        for i in k..m {
+            y[i] -= f * v[i - k];
+        }
+    }
+
+    // Back substitution on the n x n upper triangle.
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let mut s = y[k];
+        for j in (k + 1)..n {
+            s -= r[(k, j)] * x[j];
+        }
+        let d = r[(k, k)];
+        if d.abs() <= scale * 1e-13 {
+            return Err(LinalgError::Singular);
+        }
+        x[k] = s / d;
+    }
+    Ok(x)
+}
+
+/// Tikhonov-regularized least squares: `min ||A x - b||² + λ ||x||²`.
+///
+/// Implemented by QR on the augmented system `[A; √λ·I] x = [b; 0]`, which
+/// is full rank for any `λ > 0` and therefore returns the *minimum-norm*
+/// solution in the limit of small `λ` even when `A` is rank deficient.
+///
+/// The estimator uses this with a tiny `λ` in step 1 (Section III-D),
+/// where the static-power columns of the two domains are identical by
+/// construction: the minimum-norm solution splits the aggregate constant
+/// evenly between `β0` and `β2`, and subsequent iterations (with distinct
+/// per-domain voltages) disambiguate them.
+///
+/// # Errors
+///
+/// Same conditions as [`lstsq`], plus `λ` must be non-negative and finite
+/// ([`LinalgError::NotFinite`] otherwise).
+pub fn ridge_lstsq(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(LinalgError::NotFinite);
+    }
+    if lambda == 0.0 {
+        return lstsq(a, b);
+    }
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("rhs of length {m}"),
+            got: format!("length {}", b.len()),
+        });
+    }
+    let sqrt_l = lambda.sqrt();
+    let aug = Matrix::from_fn(m + n, n, |i, j| {
+        if i < m {
+            a[(i, j)]
+        } else if i - m == j {
+            sqrt_l
+        } else {
+            0.0
+        }
+    });
+    let mut rhs = b.to_vec();
+    rhs.extend(std::iter::repeat_n(0.0, n));
+    lstsq(&aug, &rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mat_vec(x)
+            .unwrap()
+            .iter()
+            .zip(b)
+            .map(|(p, m)| (p - m) * (p - m))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn solves_square_system_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        // 5 points on y = 1.5x - 2 with symmetric perturbations: the LS
+        // fit is still exactly (1.5, -2).
+        let xs = [0.0f64, 1.0, 2.0, 3.0, 4.0];
+        let noise = [0.1f64, -0.1, 0.0, 0.1, -0.1];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let b: Vec<f64> = xs
+            .iter()
+            .zip(noise)
+            .map(|(&x, n)| 1.5 * x - 2.0 + n)
+            .collect();
+        let sol = lstsq(&a, &b).unwrap();
+        // Verify against explicitly solved normal equations.
+        let at = a.transpose();
+        let ata = at.matmul(&a).unwrap();
+        let atb = at.mat_vec(&b).unwrap();
+        let expected = lstsq(&ata, &atb).unwrap();
+        assert!((sol[0] - expected[0]).abs() < 1e-10);
+        assert!((sol[1] - expected[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![2.0, -1.0],
+            vec![0.5, 2.0],
+            vec![3.0, 1.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = lstsq(&a, &b).unwrap();
+        let pred = a.mat_vec(&x).unwrap();
+        let resid: Vec<f64> = pred.iter().zip(b).map(|(p, m)| m - p).collect();
+        for j in 0..a.cols() {
+            let dot: f64 = a.col(j).iter().zip(&resid).map(|(c, r)| c * r).sum();
+            assert!(dot.abs() < 1e-10, "column {j} not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(lstsq(&a, &[1.0, 2.0, 3.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_columns_with_even_split() {
+        // Two identical columns: ridge returns the minimum-norm solution,
+        // splitting the coefficient evenly — exactly the step-1 situation
+        // for the β0/β2 static-power columns.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        let b = [2.0, 4.0, 6.0];
+        let x = ridge_lstsq(&a, &b, 1e-10).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!(residual_norm(&a, &x, &b) < 1e-4);
+    }
+
+    #[test]
+    fn ridge_with_zero_lambda_is_plain_lstsq() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let b = [2.0, 4.0];
+        assert_eq!(ridge_lstsq(&a, &b, 0.0).unwrap(), lstsq(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let b = [1.0, 1.0];
+        let x0 = ridge_lstsq(&a, &b, 1e-12).unwrap()[0];
+        let x1 = ridge_lstsq(&a, &b, 10.0).unwrap()[0];
+        assert!(x1 < x0);
+        assert!(x1 > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        // Underdetermined.
+        assert!(lstsq(&a, &[1.0]).is_err());
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        // RHS length mismatch.
+        assert!(lstsq(&a, &[1.0]).is_err());
+        // Non-finite entries.
+        let bad = Matrix::from_rows(&[vec![f64::NAN], vec![1.0]]).unwrap();
+        assert_eq!(lstsq(&bad, &[1.0, 1.0]), Err(LinalgError::NotFinite));
+        assert_eq!(
+            ridge_lstsq(&a, &[1.0, 2.0], f64::NAN),
+            Err(LinalgError::NotFinite)
+        );
+        assert_eq!(
+            ridge_lstsq(&a, &[1.0, 2.0], -1.0),
+            Err(LinalgError::NotFinite)
+        );
+    }
+
+    #[test]
+    fn solves_ill_conditioned_but_full_rank() {
+        // Vandermonde-ish system with modest conditioning.
+        let xs = [1.0f64, 1.1, 1.2, 1.3, 1.4, 1.5];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x]).collect();
+        let a = Matrix::from_rows(&rows).unwrap();
+        let truth = [0.3, -1.2, 2.5];
+        let b = a.mat_vec(&truth).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(truth) {
+            assert!((xi - ti).abs() < 1e-8, "{x:?}");
+        }
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn lstsq_recovers_planted_solution(
+                coefs in proptest::collection::vec(-5.0f64..5.0, 3),
+                rows in 6usize..20,
+                seed in 0u64..1000,
+            ) {
+                // Deterministic pseudo-random full-rank design.
+                let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let mut next = || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                };
+                let a = Matrix::from_fn(rows, 3, |i, j| next() + if i % 3 == j { 2.0 } else { 0.0 });
+                let b = a.mat_vec(&coefs).unwrap();
+                if let Ok(x) = lstsq(&a, &b) {
+                    for (xi, ci) in x.iter().zip(&coefs) {
+                        prop_assert!((xi - ci).abs() < 1e-6);
+                    }
+                }
+            }
+
+            #[test]
+            fn ridge_solution_norm_decreases_with_lambda(
+                seed in 0u64..500,
+            ) {
+                let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let mut next = || {
+                    state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                };
+                let a = Matrix::from_fn(8, 3, |_, _| next());
+                let b: Vec<f64> = (0..8).map(|_| next() * 3.0).collect();
+                let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+                let small = ridge_lstsq(&a, &b, 1e-6);
+                let large = ridge_lstsq(&a, &b, 100.0);
+                if let (Ok(s), Ok(l)) = (small, large) {
+                    prop_assert!(norm(&l) <= norm(&s) + 1e-9);
+                }
+            }
+        }
+    }
+}

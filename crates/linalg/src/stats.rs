@@ -1,0 +1,251 @@
+//! Descriptive statistics and error metrics.
+//!
+//! The paper reports model quality as the mean absolute (percentage) error
+//! between measured and predicted power over all V-F configurations
+//! (Figs. 7-10), and summarizes repeated measurements by their median
+//! (Section V-A: "all benchmarks were repeated 10 times, with the
+//! presented values corresponding to the median value").
+
+use crate::LinalgError;
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample median (average of middle pair for even lengths); `None` for an
+/// empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]`; `None` for an empty slice or
+/// out-of-range `q`.
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Mean absolute error between predictions and measurements.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on length mismatch,
+/// [`LinalgError::Empty`] on empty input.
+pub fn mae(pred: &[f64], meas: &[f64]) -> Result<f64, LinalgError> {
+    check_pair(pred, meas)?;
+    Ok(pred
+        .iter()
+        .zip(meas)
+        .map(|(p, m)| (p - m).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
+}
+
+/// Mean absolute *percentage* error, in percent, relative to measurements
+/// — the paper's headline accuracy metric ("mean absolute error" of 6.0%
+/// etc. is relative to the measured power).
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on length mismatch,
+/// [`LinalgError::Empty`] on empty input, [`LinalgError::NotFinite`] if a
+/// measurement is zero (the relative error is undefined).
+pub fn mape(pred: &[f64], meas: &[f64]) -> Result<f64, LinalgError> {
+    check_pair(pred, meas)?;
+    if meas.contains(&0.0) {
+        return Err(LinalgError::NotFinite);
+    }
+    Ok(pred
+        .iter()
+        .zip(meas)
+        .map(|(p, m)| ((p - m) / m).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+        * 100.0)
+}
+
+/// Signed mean percentage error in percent (for per-benchmark bias plots
+/// like Fig. 8, where under- and over-prediction are distinguished).
+///
+/// # Errors
+///
+/// Same conditions as [`mape`].
+pub fn mpe(pred: &[f64], meas: &[f64]) -> Result<f64, LinalgError> {
+    check_pair(pred, meas)?;
+    if meas.contains(&0.0) {
+        return Err(LinalgError::NotFinite);
+    }
+    Ok(pred.iter().zip(meas).map(|(p, m)| (p - m) / m).sum::<f64>() / pred.len() as f64 * 100.0)
+}
+
+/// Root-mean-square error.
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on length mismatch,
+/// [`LinalgError::Empty`] on empty input.
+pub fn rmse(pred: &[f64], meas: &[f64]) -> Result<f64, LinalgError> {
+    check_pair(pred, meas)?;
+    Ok((pred
+        .iter()
+        .zip(meas)
+        .map(|(p, m)| (p - m) * (p - m))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt())
+}
+
+/// Coefficient of determination R² (1 = perfect, can be negative).
+///
+/// # Errors
+///
+/// [`LinalgError::DimensionMismatch`] on length mismatch,
+/// [`LinalgError::Empty`] on empty input, [`LinalgError::Singular`] when
+/// measurements are all identical (variance is zero).
+pub fn r_squared(pred: &[f64], meas: &[f64]) -> Result<f64, LinalgError> {
+    check_pair(pred, meas)?;
+    let mbar = mean(meas).expect("non-empty checked");
+    let ss_tot: f64 = meas.iter().map(|m| (m - mbar) * (m - mbar)).sum();
+    if ss_tot == 0.0 {
+        return Err(LinalgError::Singular);
+    }
+    let ss_res: f64 = pred.iter().zip(meas).map(|(p, m)| (m - p) * (m - p)).sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+fn check_pair(pred: &[f64], meas: &[f64]) -> Result<(), LinalgError> {
+    if pred.len() != meas.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{} predictions", meas.len()),
+            got: format!("{}", pred.len()),
+        });
+    }
+    if pred.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), Some(0.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+        assert_eq!(quantile(&xs, 1.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.5), None);
+    }
+
+    #[test]
+    fn mae_and_rmse() {
+        let pred = [1.0, 2.0, 3.0];
+        let meas = [2.0, 2.0, 1.0];
+        assert_eq!(mae(&pred, &meas).unwrap(), 1.0);
+        let r = rmse(&pred, &meas).unwrap();
+        assert!((r - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_is_relative_to_measurement() {
+        let pred = [110.0, 90.0];
+        let meas = [100.0, 100.0];
+        assert!((mape(&pred, &meas).unwrap() - 10.0).abs() < 1e-12);
+        assert_eq!(mape(&pred, &[0.0, 1.0]), Err(LinalgError::NotFinite));
+    }
+
+    #[test]
+    fn mpe_keeps_sign() {
+        let pred = [110.0, 90.0];
+        let meas = [100.0, 100.0];
+        assert!((mpe(&pred, &meas).unwrap() - 0.0).abs() < 1e-12);
+        assert!((mpe(&[110.0], &[100.0]).unwrap() - 10.0).abs() < 1e-12);
+        assert!((mpe(&[90.0], &[100.0]).unwrap() + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_bounds() {
+        let meas = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r_squared(&meas, &meas).unwrap(), 1.0);
+        // Predicting the mean gives exactly 0.
+        let pred = [2.5; 4];
+        assert!((r_squared(&pred, &meas).unwrap()).abs() < 1e-12);
+        assert_eq!(r_squared(&[1.0], &[1.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn error_metrics_reject_mismatch_and_empty() {
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+        assert_eq!(mae(&[], &[]), Err(LinalgError::Empty));
+        assert!(rmse(&[1.0], &[]).is_err());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn median_is_between_min_and_max(
+                xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
+            ) {
+                let m = median(&xs).unwrap();
+                let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(m >= lo && m <= hi);
+            }
+
+            #[test]
+            fn rmse_dominates_mae(
+                pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..40),
+            ) {
+                let (pred, meas): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+                let a = mae(&pred, &meas).unwrap();
+                let r = rmse(&pred, &meas).unwrap();
+                prop_assert!(r + 1e-9 >= a);
+            }
+
+            #[test]
+            fn quantile_is_monotone_in_q(
+                xs in proptest::collection::vec(-100.0f64..100.0, 2..30),
+                q1 in 0.0f64..1.0,
+                q2 in 0.0f64..1.0,
+            ) {
+                let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+                prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+            }
+        }
+    }
+}

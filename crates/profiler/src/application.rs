@@ -1,0 +1,256 @@
+//! Multi-kernel application profiling (the Section V-A weighting rule).
+
+use crate::{ProfileError, Profiler};
+use gpm_core::{AppProfile, PowerModel};
+use gpm_spec::FreqConfig;
+use gpm_workloads::{time_weighted_power, Application};
+use serde::{Deserialize, Serialize};
+
+/// One kernel's share of an application profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Utilizations from events at the reference configuration.
+    pub profile: AppProfile,
+    /// Launches per application iteration.
+    pub calls: u32,
+    /// Wall-clock seconds per launch at the reference configuration.
+    pub reference_time_s: f64,
+}
+
+/// A profiled multi-kernel application: everything needed to predict its
+/// time-weighted power at any configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationProfile {
+    /// Application name.
+    pub name: String,
+    /// Per-kernel profiles, in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl ApplicationProfile {
+    /// Predicts the application's average power at `config` using the
+    /// Section V-A rule: per-kernel model predictions weighted by the
+    /// kernels' execution times at that configuration.
+    ///
+    /// `times_s` gives each kernel's *total* time (per-launch time x
+    /// launches) at `config`; pass `None` to weight by the
+    /// reference-configuration times instead (a useful approximation when
+    /// re-timing at the target configuration is not possible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns
+    /// [`gpm_core::ModelError::InsufficientTraining`] if the weights are
+    /// degenerate (zero total time) or `times_s` has the wrong length.
+    pub fn predict_power(
+        &self,
+        model: &PowerModel,
+        config: FreqConfig,
+        times_s: Option<&[f64]>,
+    ) -> Result<f64, gpm_core::ModelError> {
+        let times: Vec<f64> = match times_s {
+            Some(t) => {
+                if t.len() != self.kernels.len() {
+                    return Err(gpm_core::ModelError::InsufficientTraining(
+                        "per-kernel time vector length mismatch",
+                    ));
+                }
+                t.to_vec()
+            }
+            None => self
+                .kernels
+                .iter()
+                .map(|k| k.reference_time_s * f64::from(k.calls))
+                .collect(),
+        };
+        let mut parts = Vec::with_capacity(self.kernels.len());
+        for (k, &t) in self.kernels.iter().zip(&times) {
+            parts.push((model.predict(&k.profile.utilizations, config)?, t));
+        }
+        time_weighted_power(&parts).ok_or(gpm_core::ModelError::InsufficientTraining(
+            "application has zero total execution time",
+        ))
+    }
+}
+
+impl Profiler<'_> {
+    /// Profiles every kernel of a multi-kernel application at the
+    /// reference configuration (events + per-launch timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware and aggregation failures.
+    pub fn profile_application(
+        &mut self,
+        app: &Application,
+    ) -> Result<ApplicationProfile, ProfileError> {
+        let mut kernels = Vec::with_capacity(app.kernels().len());
+        for (kernel, calls) in app.kernels() {
+            let profile = self.profile_at_reference(kernel)?;
+            let reference_time_s = self.time_kernel_at_current_clocks(kernel);
+            kernels.push(KernelProfile {
+                profile,
+                calls: *calls,
+                reference_time_s,
+            });
+        }
+        Ok(ApplicationProfile {
+            name: app.name().to_string(),
+            kernels,
+        })
+    }
+
+    /// Measures the application's average power at `config`: each kernel
+    /// measured separately, combined by its share of the total execution
+    /// time — exactly the paper's protocol for multi-kernel benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware failures; returns a
+    /// [`gpm_core::ModelError`]-wrapped error for degenerate weights.
+    pub fn measure_application_power(
+        &mut self,
+        app: &Application,
+        config: FreqConfig,
+    ) -> Result<f64, ProfileError> {
+        let mut parts = Vec::with_capacity(app.kernels().len());
+        for (kernel, calls) in app.kernels() {
+            let watts = self.measure_power_at(kernel, config)?;
+            let time = self.time_kernel_at_current_clocks(kernel) * f64::from(*calls);
+            parts.push((watts, time));
+        }
+        time_weighted_power(&parts).ok_or(ProfileError::Model(
+            gpm_core::ModelError::InsufficientTraining("application has zero total execution time"),
+        ))
+    }
+
+    /// Per-kernel total execution times of an application at `config`
+    /// (timing needs no power sensor and is available on any deployment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates clock-setting failures.
+    pub fn application_times(
+        &mut self,
+        app: &Application,
+        config: FreqConfig,
+    ) -> Result<Vec<f64>, ProfileError> {
+        self.set_clocks_for_timing(config)?;
+        Ok(app
+            .kernels()
+            .iter()
+            .map(|(kernel, calls)| self.time_kernel_at_current_clocks(kernel) * f64::from(*calls))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::Estimator;
+    use gpm_sim::SimulatedGpu;
+    use gpm_spec::devices;
+    use gpm_workloads::{microbenchmark_suite, multi_kernel_suite};
+
+    fn setup() -> (SimulatedGpu, PowerModel, Vec<Application>) {
+        let spec = devices::gtx_titan_x();
+        let mut gpu = SimulatedGpu::new(spec.clone(), 21);
+        let suite = microbenchmark_suite(&spec);
+        let training = Profiler::with_repeats(&mut gpu, 1)
+            .profile_suite(&suite)
+            .unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        let apps = multi_kernel_suite(&spec);
+        (gpu, model, apps)
+    }
+
+    #[test]
+    fn application_profile_has_one_entry_per_kernel() {
+        let (mut gpu, _, apps) = setup();
+        let mut profiler = Profiler::with_repeats(&mut gpu, 1);
+        let profile = profiler.profile_application(&apps[2]).unwrap();
+        assert_eq!(profile.name, "CG");
+        assert_eq!(profile.kernels.len(), 3);
+        for k in &profile.kernels {
+            assert!(k.reference_time_s > 0.0);
+            assert!(k.calls > 0);
+        }
+    }
+
+    #[test]
+    fn predicted_application_power_tracks_measured() {
+        let (mut gpu, model, apps) = setup();
+        let mut profiler = Profiler::with_repeats(&mut gpu, 2);
+        for app in &apps {
+            let profile = profiler.profile_application(app).unwrap();
+            for config in [
+                gpm_spec::FreqConfig::from_mhz(975, 3505),
+                gpm_spec::FreqConfig::from_mhz(595, 810),
+            ] {
+                let times = profiler.application_times(app, config).unwrap();
+                let predicted = profile.predict_power(&model, config, Some(&times)).unwrap();
+                let measured = profiler.measure_application_power(app, config).unwrap();
+                let err = (predicted - measured).abs() / measured;
+                assert!(
+                    err < 0.20,
+                    "{} at {config}: predicted {predicted:.1} W vs measured {measured:.1} W",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_time_weighting_is_a_reasonable_fallback() {
+        let (mut gpu, model, apps) = setup();
+        let mut profiler = Profiler::with_repeats(&mut gpu, 1);
+        let profile = profiler.profile_application(&apps[0]).unwrap();
+        let reference = gpm_spec::FreqConfig::from_mhz(975, 3505);
+        let with_times = {
+            let times = profiler.application_times(&apps[0], reference).unwrap();
+            profile
+                .predict_power(&model, reference, Some(&times))
+                .unwrap()
+        };
+        let without = profile.predict_power(&model, reference, None).unwrap();
+        // At the reference configuration the two weightings coincide.
+        assert!((with_times - without).abs() / with_times < 0.02);
+    }
+
+    #[test]
+    fn wrong_time_vector_length_is_an_error() {
+        let (mut gpu, model, apps) = setup();
+        let mut profiler = Profiler::with_repeats(&mut gpu, 1);
+        let profile = profiler.profile_application(&apps[0]).unwrap();
+        let err = profile
+            .predict_power(
+                &model,
+                gpm_spec::FreqConfig::from_mhz(975, 3505),
+                Some(&[1.0]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, gpm_core::ModelError::InsufficientTraining(_)));
+    }
+
+    #[test]
+    fn memory_bound_kernels_dominate_at_low_memory_clocks() {
+        // At fmem = 810 the memory-bound kernels stretch, so their share
+        // of the weighted power grows.
+        let (mut gpu, _, apps) = setup();
+        let mut profiler = Profiler::with_repeats(&mut gpu, 1);
+        let cg = apps.iter().find(|a| a.name() == "CG").unwrap();
+        let hi = profiler
+            .application_times(cg, gpm_spec::FreqConfig::from_mhz(975, 3505))
+            .unwrap();
+        let lo = profiler
+            .application_times(cg, gpm_spec::FreqConfig::from_mhz(975, 810))
+            .unwrap();
+        // SpMV (index 0, DRAM-bound) stretches more than dot (index 1).
+        let spmv_stretch = lo[0] / hi[0];
+        let dot_stretch = lo[1] / hi[1];
+        assert!(
+            spmv_stretch > dot_stretch,
+            "spmv {spmv_stretch:.2}x vs dot {dot_stretch:.2}x"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Dataset export: flat CSV for external analysis/plotting.
+
+use gpm_core::TrainingSet;
+use gpm_spec::Component;
+use std::fmt::Write as _;
+
+/// Renders a training set as CSV: one row per `(kernel, configuration)`
+/// observation, with the reference-configuration utilizations repeated on
+/// each row (the layout the paper's regression consumes).
+///
+/// Columns: `kernel, fcore_mhz, fmem_mhz, power_w`, then one `u_*` column
+/// per component in [`Component::ALL`] order.
+pub fn training_set_to_csv(training: &TrainingSet) -> String {
+    let mut out = String::new();
+    out.push_str("kernel,fcore_mhz,fmem_mhz,power_w");
+    for c in Component::ALL {
+        let tag = match c {
+            Component::Int => "u_int",
+            Component::Sp => "u_sp",
+            Component::Dp => "u_dp",
+            Component::Sf => "u_sf",
+            Component::SharedMem => "u_shared",
+            Component::L2Cache => "u_l2",
+            Component::Dram => "u_dram",
+        };
+        let _ = write!(out, ",{tag}");
+    }
+    out.push('\n');
+    for sample in &training.samples {
+        for (config, watts) in &sample.power_by_config {
+            let _ = write!(
+                out,
+                "{},{},{},{:.3}",
+                sample.name,
+                config.core.as_u32(),
+                config.mem.as_u32(),
+                watts
+            );
+            for c in Component::ALL {
+                let _ = write!(out, ",{:.4}", sample.utilizations.get(c));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::{MicrobenchSample, Utilizations};
+    use gpm_spec::{devices, FreqConfig};
+    use std::collections::BTreeMap;
+
+    fn tiny() -> TrainingSet {
+        let spec = devices::tesla_k40c();
+        TrainingSet {
+            reference: spec.default_config(),
+            device: spec,
+            l2_bytes_per_cycle: 512.0,
+            samples: vec![MicrobenchSample {
+                name: "k".into(),
+                utilizations: Utilizations::from_values([0.1, 0.2, 0.0, 0.0, 0.0, 0.3, 0.4])
+                    .unwrap(),
+                power_by_config: BTreeMap::from([
+                    (FreqConfig::from_mhz(875, 3004), 120.5),
+                    (FreqConfig::from_mhz(666, 3004), 90.25),
+                ]),
+            }],
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_observation() {
+        let csv = training_set_to_csv(&tiny());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("kernel,fcore_mhz,fmem_mhz,power_w,u_int"));
+        assert!(lines[0].ends_with("u_dram"));
+    }
+
+    #[test]
+    fn csv_rows_carry_values() {
+        let csv = training_set_to_csv(&tiny());
+        assert!(csv.contains("k,875,3004,120.500,0.1000,0.2000"));
+        assert!(csv.contains("k,666,3004,90.250"));
+        assert!(csv.trim_end().ends_with("0.4000"));
+    }
+
+    #[test]
+    fn empty_training_set_yields_header_only() {
+        let mut t = tiny();
+        t.samples.clear();
+        let csv = training_set_to_csv(&t);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! CUPTI-like raw event emission (Table I).
+//!
+//! Given a kernel execution, this layer produces the per-launch raw event
+//! counts a profiler would read on real hardware: sector-granular L2/DRAM
+//! traffic split over subpartitions, 128-byte shared-memory transactions,
+//! warp counts on the (indistinguishable) INT/SP pipelines plus the
+//! per-type instruction counters that Eq. 10 uses to split them, and
+//! `active_cycles`. Counts carry per-device multiplicative noise — the
+//! mechanism behind the paper's observation that the Tesla K40c's
+//! undisclosed events are less reliable.
+
+use crate::perf::Execution;
+use crate::rng::normal;
+use crate::GroundTruth;
+use gpm_spec::events::{EventId, EventTable, Metric, SECTOR_BYTES, SHARED_TRANSACTION_BYTES};
+use gpm_spec::{Component, DeviceSpec, FreqConfig};
+use gpm_workloads::KernelDesc;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Emits the raw Table I events for one kernel launch.
+///
+/// Each metric total is distorted by the device's fixed per-metric bias
+/// (see [`GroundTruth::event_bias`]) and by run-to-run multiplicative
+/// jitter of relative standard deviation `GroundTruth::event_noise_sd`,
+/// then split across its raw events. Returned counts are keyed by
+/// [`EventId`] exactly as a CUPTI reader would deliver them.
+pub fn emit_events<R: Rng>(
+    spec: &DeviceSpec,
+    kernel: &KernelDesc,
+    exec: &Execution,
+    config: FreqConfig,
+    truth: &GroundTruth,
+    rng: &mut R,
+) -> BTreeMap<EventId, u64> {
+    let table = EventTable::for_architecture(spec.architecture());
+    let mut counts = BTreeMap::new();
+    let noisy = |metric: Metric, value: f64, rng: &mut R| -> f64 {
+        // Cycle counting is reliable on every device; only the activity
+        // counters inherit the device's event inaccuracy.
+        let sd = if metric == Metric::ActiveCycles {
+            truth.event_noise_sd.min(0.002)
+        } else {
+            truth.event_noise_sd
+        };
+        (value * truth.bias_for(metric) * normal(rng, 1.0, sd)).max(0.0)
+    };
+
+    // ACycles: cycles with at least one active warp. The roofline model
+    // keeps the SMs busy for the whole launch.
+    let active_cycles = exec.duration_s * config.core.as_hz();
+    split_metric(
+        &table,
+        Metric::ActiveCycles,
+        noisy(Metric::ActiveCycles, active_cycles, rng),
+        &mut counts,
+    );
+
+    // Cross-talk: each counter family picks up a fraction of *other*
+    // components' activity, expressed in its own units via the capacity
+    // of its component over the launch window (utilization-space leak).
+    let xt = truth.event_crosstalk;
+    let t = exec.duration_s;
+    let u = &exec.utilizations;
+    let u_of = |c: Component| u[c.index()];
+    let intsp_capacity = spec
+        .peak_warp_throughput(Component::Sp, config.core)
+        .expect("sp is a compute unit")
+        * t;
+    let dp_capacity = spec
+        .peak_warp_throughput(Component::Dp, config.core)
+        .expect("dp is a compute unit")
+        * t;
+    let sf_capacity = spec
+        .peak_warp_throughput(Component::Sf, config.core)
+        .expect("sf is a compute unit")
+        * t;
+    let l2_capacity = config.core.as_hz() * truth.l2_bytes_per_cycle * t;
+    let dram_capacity = spec.peak_dram_bandwidth(config.mem) * t;
+    let shared_capacity = spec.peak_shared_bandwidth(config.core) * t;
+
+    // Memory hierarchy: bytes -> sectors / transactions, read/write split.
+    let l2_bytes = kernel.bytes(Component::L2Cache)
+        + xt * 0.5 * (u_of(Component::SharedMem) + u_of(Component::Dram)) * l2_capacity;
+    let l2_rf = kernel.read_fraction(Component::L2Cache);
+    split_metric(
+        &table,
+        Metric::L2ReadSectors,
+        noisy(
+            Metric::L2ReadSectors,
+            l2_bytes * l2_rf / f64::from(SECTOR_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::L2WriteSectors,
+        noisy(
+            Metric::L2WriteSectors,
+            l2_bytes * (1.0 - l2_rf) / f64::from(SECTOR_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+
+    let dram_bytes = kernel.bytes(Component::Dram) + xt * u_of(Component::L2Cache) * dram_capacity;
+    let dram_rf = kernel.read_fraction(Component::Dram);
+    split_metric(
+        &table,
+        Metric::DramReadSectors,
+        noisy(
+            Metric::DramReadSectors,
+            dram_bytes * dram_rf / f64::from(SECTOR_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::DramWriteSectors,
+        noisy(
+            Metric::DramWriteSectors,
+            dram_bytes * (1.0 - dram_rf) / f64::from(SECTOR_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+
+    let sh_bytes =
+        kernel.bytes(Component::SharedMem) + xt * 0.5 * u_of(Component::L2Cache) * shared_capacity;
+    let sh_lf = kernel.read_fraction(Component::SharedMem);
+    split_metric(
+        &table,
+        Metric::SharedLoadTrans,
+        noisy(
+            Metric::SharedLoadTrans,
+            sh_bytes * sh_lf / f64::from(SHARED_TRANSACTION_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::SharedStoreTrans,
+        noisy(
+            Metric::SharedStoreTrans,
+            sh_bytes * (1.0 - sh_lf) / f64::from(SHARED_TRANSACTION_BYTES),
+            rng,
+        ),
+        &mut counts,
+    );
+
+    // Warp counters: INT and SP are one combined event set (Table I); the
+    // per-type instruction counters allow the Eq. 10 split.
+    let w_int = kernel.warp_insts(Component::Int);
+    let w_sp = kernel.warp_insts(Component::Sp);
+    let warp_size = f64::from(spec.warp_size());
+    let w_intsp =
+        w_int + w_sp + xt * 0.5 * (u_of(Component::Dp) + u_of(Component::Sf)) * intsp_capacity;
+    let w_dp = kernel.warp_insts(Component::Dp)
+        + xt * 0.5 * (u_of(Component::Int) + u_of(Component::Sp)) * dp_capacity;
+    let w_sf = kernel.warp_insts(Component::Sf)
+        + xt * 0.5 * (u_of(Component::Int) + u_of(Component::Sp)) * sf_capacity;
+    // Cross-talk also blurs the INT/SP instruction split of Eq. 10.
+    let inst_int = (w_int + xt * 0.5 * w_sp) * warp_size;
+    let inst_sp = (w_sp + xt * 0.5 * w_int) * warp_size;
+    split_metric(
+        &table,
+        Metric::WarpsIntSp,
+        noisy(Metric::WarpsIntSp, w_intsp, rng),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::WarpsDp,
+        noisy(Metric::WarpsDp, w_dp, rng),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::WarpsSf,
+        noisy(Metric::WarpsSf, w_sf, rng),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::InstInt,
+        noisy(Metric::InstInt, inst_int, rng),
+        &mut counts,
+    );
+    split_metric(
+        &table,
+        Metric::InstSp,
+        noisy(Metric::InstSp, inst_sp, rng),
+        &mut counts,
+    );
+
+    counts
+}
+
+/// Splits a metric total across its raw events (subpartitions see roughly
+/// even shares on streaming workloads) and records them.
+fn split_metric(
+    table: &EventTable,
+    metric: Metric,
+    total: f64,
+    counts: &mut BTreeMap<EventId, u64>,
+) {
+    let events = table.events(metric);
+    debug_assert!(!events.is_empty(), "every metric has events");
+    let share = total / events.len() as f64;
+    for &ev in events {
+        counts.insert(ev, share.round().max(0.0) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerfModel;
+    use gpm_spec::devices;
+    use gpm_workloads::microbenchmark_suite;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn emit_for(name: &str, noise: f64, seed: u64) -> (DeviceSpec, BTreeMap<EventId, u64>) {
+        let spec = devices::gtx_titan_x();
+        let suite = microbenchmark_suite(&spec);
+        let k = suite.iter().find(|k| k.name() == name).unwrap();
+        let perf = PerfModel::new(spec.clone(), 640.0);
+        let cfg = spec.default_config();
+        let exec = perf.execute(k, cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut truth = crate::GroundTruth::nominal(spec.architecture());
+        truth.event_noise_sd = noise;
+        truth.event_crosstalk = 0.0;
+        let counts = emit_events(&spec, k, &exec, cfg, &truth, &mut rng);
+        (spec, counts)
+    }
+
+    #[test]
+    fn all_table1_events_are_present() {
+        let (spec, counts) = emit_for("SP_n64", 0.0, 1);
+        let table = EventTable::for_architecture(spec.architecture());
+        for ev in table.all_events() {
+            assert!(counts.contains_key(&ev), "missing {ev}");
+        }
+    }
+
+    #[test]
+    fn noiseless_dram_sectors_reconstruct_bytes() {
+        let (spec, counts) = emit_for("DRAM_n0_w4", 0.0, 1);
+        let table = EventTable::for_architecture(spec.architecture());
+        let total_sectors: u64 = table
+            .events(Metric::DramReadSectors)
+            .iter()
+            .chain(table.events(Metric::DramWriteSectors))
+            .map(|ev| counts[ev])
+            .sum();
+        let suite = microbenchmark_suite(&spec);
+        let k = suite.iter().find(|k| k.name() == "DRAM_n0_w4").unwrap();
+        let bytes = total_sectors as f64 * f64::from(SECTOR_BYTES);
+        let rel = (bytes - k.bytes(Component::Dram)).abs() / k.bytes(Component::Dram);
+        assert!(rel < 1e-6, "rel err {rel}");
+    }
+
+    #[test]
+    fn int_sp_events_are_combined_but_instructions_split() {
+        let (spec, counts) = emit_for("MIX_sf_sp", 0.0, 1);
+        let table = EventTable::for_architecture(spec.architecture());
+        let suite = microbenchmark_suite(&spec);
+        let k = suite.iter().find(|k| k.name() == "MIX_sf_sp").unwrap();
+        let combined: u64 = table
+            .events(Metric::WarpsIntSp)
+            .iter()
+            .map(|ev| counts[ev])
+            .sum();
+        let expected = k.warp_insts(Component::Int) + k.warp_insts(Component::Sp);
+        assert!((combined as f64 - expected).abs() / expected < 1e-6);
+        let inst_int: u64 = table
+            .events(Metric::InstInt)
+            .iter()
+            .map(|ev| counts[ev])
+            .sum();
+        let inst_sp: u64 = table
+            .events(Metric::InstSp)
+            .iter()
+            .map(|ev| counts[ev])
+            .sum();
+        let ratio = inst_int as f64 / (inst_int + inst_sp) as f64;
+        let want = k.warp_insts(Component::Int) / expected;
+        assert!((ratio - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subpartitions_share_the_traffic_evenly() {
+        let (spec, counts) = emit_for("L2_n0", 0.0, 1);
+        let table = EventTable::for_architecture(spec.architecture());
+        let evs = table.events(Metric::L2ReadSectors);
+        assert_eq!(evs.len(), 2);
+        let a = counts[&evs[0]] as f64;
+        let b = counts[&evs[1]] as f64;
+        assert!((a - b).abs() <= 1.0);
+    }
+
+    #[test]
+    fn noise_perturbs_counts_reproducibly() {
+        let (_, exact) = emit_for("SP_n64", 0.0, 1);
+        let (_, noisy1) = emit_for("SP_n64", 0.05, 2);
+        let (_, noisy2) = emit_for("SP_n64", 0.05, 2);
+        assert_eq!(noisy1, noisy2, "same seed, same counts");
+        assert_ne!(exact, noisy1, "noise must change counts");
+        // ... but only by a few percent.
+        for (ev, &v) in &exact {
+            if v > 1000 {
+                let n = noisy1[ev] as f64;
+                assert!((n - v as f64).abs() / (v as f64) < 0.25, "{ev}: {v} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn active_cycles_match_duration_times_frequency() {
+        let (spec, counts) = emit_for("Idle", 0.0, 1);
+        let suite = microbenchmark_suite(&spec);
+        let idle = suite.iter().find(|k| k.name() == "Idle").unwrap();
+        let perf = PerfModel::new(spec.clone(), 640.0);
+        let cfg = spec.default_config();
+        let exec = perf.execute(idle, cfg);
+        let cycles = counts[&EventId::Named("active_cycles")] as f64;
+        let want = exec.duration_s * cfg.core.as_hz();
+        assert!((cycles - want).abs() / want < 1e-6);
+    }
+}

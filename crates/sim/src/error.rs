@@ -1,0 +1,52 @@
+//! Error type for the simulated substrate.
+
+use gpm_spec::FreqConfig;
+use std::fmt;
+
+/// Errors produced by the simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The requested clocks are not in the device's frequency tables
+    /// (the driver rejects them, as NVML does).
+    UnsupportedClocks(FreqConfig),
+    /// A measurement window was too short to contain a single sensor
+    /// sample even after the repetition protocol.
+    WindowTooShort {
+        /// Window duration in seconds.
+        duration_s: f64,
+        /// Sensor refresh period in seconds.
+        refresh_s: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnsupportedClocks(c) => {
+                write!(f, "driver rejected unsupported clock configuration {c}")
+            }
+            SimError::WindowTooShort { duration_s, refresh_s } => write!(
+                f,
+                "measurement window of {duration_s:.4} s holds no sample at a {refresh_s:.3} s refresh period"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::UnsupportedClocks(FreqConfig::from_mhz(1, 2));
+        assert!(e.to_string().contains("core 1 MHz"));
+        let e = SimError::WindowTooShort {
+            duration_s: 0.01,
+            refresh_s: 0.1,
+        };
+        assert!(e.to_string().contains("0.0100"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Simulated GPU substrate for DVFS power-model experiments.
+//!
+//! The paper's experimental setup needs three things from hardware:
+//! clock control + a power sensor (NVML) and performance-event collection
+//! (CUPTI). This crate provides all three against a *simulated* GPU whose
+//! physics are hidden behind [`GroundTruth`]:
+//!
+//! - a two-regime core voltage curve (constant below a break frequency,
+//!   linear above it — the exact shape the paper measures in Fig. 6) and a
+//!   constant memory voltage;
+//! - a per-component power law `P = a₀V + V²f(a₁ + Σ γᵢUᵢ)` with
+//!   coefficients calibrated so the three paper devices land on their
+//!   published power ranges (idle ≈ 50-84 W constant part, ≈ 250 W TDP),
+//!   plus an *unmodeled* hidden component so the fitted model can never be
+//!   exact;
+//! - a roofline performance model ([`PerfModel`]) that converts a
+//!   [`gpm_workloads::KernelDesc`] into an execution time and *true*
+//!   per-component utilizations at any V-F point — so utilizations shift
+//!   with frequency exactly as on hardware, while the model only ever sees
+//!   events from the reference configuration;
+//! - a sampled, quantized, noisy power sensor ([`PowerSensor`]) with the
+//!   per-device refresh periods of Section V-A, and an event counter layer
+//!   ([`counters`]) emitting the raw Table I events with per-device count
+//!   noise (larger on the Tesla K40c, the paper's explanation for its
+//!   higher validation error).
+//!
+//! The model crate (`gpm-core`) deliberately does **not** depend on this
+//! crate: estimators consume only measurements, never ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use gpm_sim::SimulatedGpu;
+//! use gpm_spec::{devices, FreqConfig};
+//! use gpm_workloads::microbenchmark_suite;
+//!
+//! let spec = devices::gtx_titan_x();
+//! let suite = microbenchmark_suite(&spec);
+//! let mut gpu = SimulatedGpu::new(spec, 7);
+//!
+//! gpu.set_clocks(FreqConfig::from_mhz(975, 3505))?;
+//! let power = gpu.measure_power(&suite[0])?;
+//! assert!(power.watts > 40.0 && power.watts < 260.0);
+//!
+//! let events = gpu.collect_events(&suite[0]);
+//! assert!(!events.counts.is_empty());
+//! # Ok::<(), gpm_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+mod error;
+mod gpu;
+mod perf;
+mod rng;
+mod sensor;
+mod thermal;
+mod truth;
+mod voltage;
+
+pub use error::SimError;
+pub use gpu::{EventRecord, PowerMeasurement, SimulatedGpu};
+pub use perf::{Execution, PerfModel};
+pub use sensor::PowerSensor;
+pub use thermal::ThermalModel;
+pub use truth::{GroundTruth, PowerCoeffs};
+pub use voltage::VoltageCurve;

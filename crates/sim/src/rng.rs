@@ -1,0 +1,55 @@
+//! Gaussian sampling on top of `rand` (Box–Muller; `rand_distr` is not in
+//! the approved dependency set).
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, sd²)`.
+///
+/// Uses the Box–Muller transform; `sd = 0` returns `mean` exactly.
+pub(crate) fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    if sd == 0.0 {
+        return mean;
+    }
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sd_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn moments_are_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

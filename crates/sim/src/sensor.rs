@@ -1,0 +1,173 @@
+//! NVML-like sampled power sensor.
+
+use crate::rng::normal;
+use crate::SimError;
+use rand::Rng;
+
+/// A sampled on-board power sensor.
+///
+/// NVML exposes a power reading that refreshes at a device-specific period
+/// — an estimated 35 ms on the Titan Xp, 100 ms on the GTX Titan X and
+/// 15 ms on the Tesla K40c (Section V-A). Short kernels therefore yield
+/// "misleading power measurements", which is why the paper repeats kernels
+/// until the run is at least one second long. The sensor model reproduces
+/// this: a measurement window of duration `D` yields `⌊D / refresh⌋`
+/// samples, each the true power perturbed by multiplicative Gaussian noise
+/// and quantized to milliwatts; the reported value is the sample mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSensor {
+    refresh_s: f64,
+    noise_sd: f64,
+}
+
+impl PowerSensor {
+    /// Creates a sensor with the given refresh period (milliseconds) and
+    /// relative per-sample noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refresh_ms` is not positive or `noise_sd` is negative.
+    pub fn new(refresh_ms: f64, noise_sd: f64) -> Self {
+        assert!(
+            refresh_ms > 0.0 && refresh_ms.is_finite(),
+            "refresh must be positive"
+        );
+        assert!(
+            noise_sd >= 0.0 && noise_sd.is_finite(),
+            "noise must be non-negative"
+        );
+        PowerSensor {
+            refresh_s: refresh_ms / 1000.0,
+            noise_sd,
+        }
+    }
+
+    /// The refresh period in seconds.
+    pub fn refresh_s(&self) -> f64 {
+        self.refresh_s
+    }
+
+    /// Samples the sensor over a window of `duration_s` seconds during
+    /// which the true draw is `true_watts`, returning the averaged reading
+    /// and the number of samples it aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WindowTooShort`] when the window contains no
+    /// sample — the hardware situation the repetition protocol exists to
+    /// avoid.
+    pub fn sample_window<R: Rng>(
+        &self,
+        rng: &mut R,
+        true_watts: f64,
+        duration_s: f64,
+    ) -> Result<(f64, u32), SimError> {
+        let n = (duration_s / self.refresh_s).floor() as u32;
+        if n == 0 {
+            return Err(SimError::WindowTooShort {
+                duration_s,
+                refresh_s: self.refresh_s,
+            });
+        }
+        let mut acc = 0.0;
+        for _ in 0..n {
+            let sample = normal(rng, true_watts, true_watts * self.noise_sd).max(0.0);
+            // NVML reports integer milliwatts.
+            acc += (sample * 1000.0).round() / 1000.0;
+        }
+        Ok((acc / f64::from(n), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn short_window_errors() {
+        let s = PowerSensor::new(100.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            s.sample_window(&mut rng, 100.0, 0.05),
+            Err(SimError::WindowTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn noiseless_sensor_reads_truth() {
+        let s = PowerSensor::new(100.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (w, n) = s.sample_window(&mut rng, 123.456, 1.0).unwrap();
+        assert_eq!(n, 10);
+        assert!((w - 123.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_count_scales_with_window_and_refresh() {
+        let s = PowerSensor::new(15.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_, n) = s.sample_window(&mut rng, 100.0, 1.5).unwrap();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn noise_averages_out_over_long_windows() {
+        let s = PowerSensor::new(15.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(42);
+        let (short, _) = s.sample_window(&mut rng, 200.0, 0.05).unwrap(); // 3 samples
+        let (long, _) = s.sample_window(&mut rng, 200.0, 30.0).unwrap(); // 2000 samples
+        assert!((long - 200.0).abs() < (short - 200.0).abs().max(0.5));
+        assert!((long - 200.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn readings_are_quantized_to_milliwatts() {
+        let s = PowerSensor::new(100.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (w, _) = s.sample_window(&mut rng, 99.999_999_7, 0.2).unwrap();
+        assert_eq!(w, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh")]
+    fn zero_refresh_panics() {
+        let _ = PowerSensor::new(0.0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn sample_counts_and_means_are_sane(
+            refresh_ms in 5.0f64..200.0,
+            truth in 30.0f64..280.0,
+            duration in 0.5f64..5.0,
+            seed in 0u64..100,
+        ) {
+            let sensor = PowerSensor::new(refresh_ms, 0.01);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match sensor.sample_window(&mut rng, truth, duration) {
+                Ok((watts, n)) => {
+                    prop_assert_eq!(n, (duration / (refresh_ms / 1000.0)).floor() as u32);
+                    prop_assert!(watts > 0.0);
+                    // 1% noise: the mean stays within ~6 sigma/sqrt(n).
+                    let bound = truth * 0.06 / (f64::from(n)).sqrt() + 0.01;
+                    prop_assert!((watts - truth).abs() < bound.max(truth * 0.05),
+                        "{watts} vs {truth} (n = {n})");
+                }
+                Err(SimError::WindowTooShort { .. }) => {
+                    prop_assert!(duration < refresh_ms / 1000.0);
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+            }
+        }
+    }
+}

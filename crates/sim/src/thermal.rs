@@ -1,0 +1,114 @@
+//! Optional first-order thermal model.
+//!
+//! The paper's measurement campaigns run long enough for the card to
+//! reach a thermal steady state, and leakage power grows with die
+//! temperature — one of the real-hardware effects folded into the
+//! "constant" part of the paper's model. This module provides an opt-in
+//! RC thermal model for the simulated GPU: die temperature follows the
+//! dissipated power with a first-order lag, and the static (leakage)
+//! power grows linearly with the temperature rise. It is **disabled by
+//! default** so the calibrated figures are unaffected; enabling it lets
+//! robustness experiments inject realistic measurement drift.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order (RC) thermal model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Ambient/idle temperature in °C.
+    pub ambient_c: f64,
+    /// Thermal resistance in °C per watt: the steady-state temperature
+    /// rise is `resistance x power`.
+    pub resistance_c_per_w: f64,
+    /// Thermal time constant in seconds (tens of seconds on real cards).
+    pub time_constant_s: f64,
+    /// Fractional increase of *static* power per °C above ambient
+    /// (leakage grows roughly exponentially; linearized here).
+    pub leakage_per_c: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        // Plausible air-cooled flagship values: ~250 W -> ~55 °C rise,
+        // tau ~ 25 s, leakage +0.4%/°C.
+        ThermalModel {
+            ambient_c: 28.0,
+            resistance_c_per_w: 0.22,
+            time_constant_s: 25.0,
+            leakage_per_c: 0.004,
+        }
+    }
+}
+
+impl ThermalModel {
+    /// Steady-state die temperature at a constant power draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + self.resistance_c_per_w * power_w
+    }
+
+    /// Advances the die temperature by `dt_s` seconds under a constant
+    /// power draw, returning the new temperature.
+    pub fn step(&self, temp_c: f64, power_w: f64, dt_s: f64) -> f64 {
+        let target = self.steady_state_c(power_w);
+        let alpha = 1.0 - (-dt_s / self.time_constant_s).exp();
+        temp_c + alpha * (target - temp_c)
+    }
+
+    /// Multiplier applied to the static power at a given temperature.
+    pub fn leakage_factor(&self, temp_c: f64) -> f64 {
+        1.0 + self.leakage_per_c * (temp_c - self.ambient_c).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_scales_with_power() {
+        let t = ThermalModel::default();
+        assert!((t.steady_state_c(0.0) - 28.0).abs() < 1e-12);
+        assert!((t.steady_state_c(250.0) - (28.0 + 55.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_converges_monotonically_to_steady_state() {
+        let t = ThermalModel::default();
+        let mut temp = t.ambient_c;
+        let target = t.steady_state_c(200.0);
+        let mut prev = temp;
+        for _ in 0..40 {
+            temp = t.step(temp, 200.0, 5.0);
+            assert!(temp >= prev - 1e-12, "heating must be monotone");
+            assert!(temp <= target + 1e-9);
+            prev = temp;
+        }
+        assert!((temp - target).abs() < 1.0, "{temp} vs {target}");
+    }
+
+    #[test]
+    fn cooling_returns_to_ambient() {
+        let t = ThermalModel::default();
+        let hot = t.steady_state_c(250.0);
+        let cooled = t.step(hot, 0.0, 100.0);
+        assert!(cooled < hot);
+        assert!(cooled > t.ambient_c - 1e-9);
+    }
+
+    #[test]
+    fn one_time_constant_covers_63_percent() {
+        let t = ThermalModel::default();
+        let target = t.steady_state_c(100.0);
+        let temp = t.step(t.ambient_c, 100.0, t.time_constant_s);
+        let progress = (temp - t.ambient_c) / (target - t.ambient_c);
+        assert!((progress - 0.632).abs() < 0.01, "progress {progress}");
+    }
+
+    #[test]
+    fn leakage_factor_grows_above_ambient_only() {
+        let t = ThermalModel::default();
+        assert_eq!(t.leakage_factor(t.ambient_c), 1.0);
+        assert_eq!(t.leakage_factor(t.ambient_c - 10.0), 1.0);
+        assert!((t.leakage_factor(t.ambient_c + 50.0) - 1.2).abs() < 1e-12);
+    }
+}

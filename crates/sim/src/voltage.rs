@@ -1,0 +1,176 @@
+//! Hidden voltage-frequency curves.
+
+use gpm_spec::Mhz;
+use serde::{Deserialize, Serialize};
+
+/// A domain's true voltage as a function of its frequency.
+///
+/// Fig. 6 of the paper measures "two distinct regions for the core voltage
+/// when scaling the core frequency: i) a constant voltage region, for
+/// lower frequencies; and ii) after a specific frequency, the voltage
+/// starts increasing linearly with the frequency". The memory domain
+/// showed no measurable voltage change on any device. Both behaviours are
+/// representable here; the estimator never sees these curves and must
+/// recover them from power measurements alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VoltageCurve {
+    /// Constant voltage regardless of frequency (memory domains; also the
+    /// Maxwell low-frequency core plateau in isolation).
+    Constant {
+        /// The fixed voltage in volts.
+        volts: f64,
+    },
+    /// Flat at `vmin` up to `break_mhz`, then rising linearly with slope
+    /// `volts_per_mhz` (the Fig. 6 shape).
+    TwoRegime {
+        /// Plateau voltage in volts.
+        vmin: f64,
+        /// Frequency where the linear region begins.
+        break_mhz: u32,
+        /// Slope of the linear region in volts per megahertz.
+        volts_per_mhz: f64,
+    },
+}
+
+impl VoltageCurve {
+    /// True voltage in volts at frequency `f`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpm_sim::VoltageCurve;
+    /// use gpm_spec::Mhz;
+    ///
+    /// let curve = VoltageCurve::TwoRegime { vmin: 0.85, break_mhz: 810, volts_per_mhz: 0.00075 };
+    /// assert_eq!(curve.volts_at(Mhz::new(700)), 0.85);          // plateau
+    /// assert!(curve.volts_at(Mhz::new(1164)) > 1.1);            // linear region
+    /// ```
+    pub fn volts_at(&self, f: Mhz) -> f64 {
+        match *self {
+            VoltageCurve::Constant { volts } => volts,
+            VoltageCurve::TwoRegime {
+                vmin,
+                break_mhz,
+                volts_per_mhz,
+            } => {
+                if f.as_u32() <= break_mhz {
+                    vmin
+                } else {
+                    vmin + volts_per_mhz * f64::from(f.as_u32() - break_mhz)
+                }
+            }
+        }
+    }
+
+    /// Voltage normalized to a reference frequency: `V(f) / V(f_ref)`
+    /// (the paper's `V̄`, Eq. 5).
+    pub fn normalized_at(&self, f: Mhz, reference: Mhz) -> f64 {
+        self.volts_at(f) / self.volts_at(reference)
+    }
+
+    /// The frequency where the linear region begins, if any.
+    pub fn break_frequency(&self) -> Option<Mhz> {
+        match *self {
+            VoltageCurve::Constant { .. } => None,
+            VoltageCurve::TwoRegime { break_mhz, .. } => Some(Mhz::new(break_mhz)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CURVE: VoltageCurve = VoltageCurve::TwoRegime {
+        vmin: 0.85,
+        break_mhz: 810,
+        volts_per_mhz: 0.00075,
+    };
+
+    #[test]
+    fn plateau_below_break() {
+        for f in [595, 700, 810] {
+            assert_eq!(CURVE.volts_at(Mhz::new(f)), 0.85);
+        }
+    }
+
+    #[test]
+    fn linear_above_break() {
+        let v1 = CURVE.volts_at(Mhz::new(900));
+        let v2 = CURVE.volts_at(Mhz::new(1000));
+        assert!((v2 - v1 - 0.00075 * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nondecreasing_over_sweep() {
+        let mut prev = 0.0;
+        for f in (500..2000).step_by(25) {
+            let v = CURVE.volts_at(Mhz::new(f));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn normalization_is_one_at_reference() {
+        let reference = Mhz::new(975);
+        assert_eq!(CURVE.normalized_at(reference, reference), 1.0);
+        assert!(CURVE.normalized_at(Mhz::new(595), reference) < 1.0);
+        assert!(CURVE.normalized_at(Mhz::new(1164), reference) > 1.0);
+    }
+
+    #[test]
+    fn constant_curve_ignores_frequency() {
+        let c = VoltageCurve::Constant { volts: 1.35 };
+        assert_eq!(c.volts_at(Mhz::new(810)), 1.35);
+        assert_eq!(c.volts_at(Mhz::new(4005)), 1.35);
+        assert_eq!(c.normalized_at(Mhz::new(810), Mhz::new(3505)), 1.0);
+        assert_eq!(c.break_frequency(), None);
+    }
+
+    #[test]
+    fn break_frequency_is_reported() {
+        assert_eq!(CURVE.break_frequency(), Some(Mhz::new(810)));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn two_regime_curves_are_monotone_for_any_parameters(
+            vmin in 0.5f64..1.2,
+            break_mhz in 500u32..1500,
+            slope in 0.0f64..0.002,
+            f1 in 100u32..3000,
+            f2 in 100u32..3000,
+        ) {
+            let curve = VoltageCurve::TwoRegime { vmin, break_mhz, volts_per_mhz: slope };
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(curve.volts_at(Mhz::new(lo)) <= curve.volts_at(Mhz::new(hi)) + 1e-12);
+            prop_assert!(curve.volts_at(Mhz::new(lo)) >= vmin);
+        }
+
+        #[test]
+        fn normalization_is_scale_free(
+            vmin in 0.5f64..1.2,
+            break_mhz in 500u32..1500,
+            slope in 0.00001f64..0.002,
+            f in 100u32..3000,
+            fref in 100u32..3000,
+        ) {
+            let curve = VoltageCurve::TwoRegime { vmin, break_mhz, volts_per_mhz: slope };
+            let scaled = VoltageCurve::TwoRegime {
+                vmin: vmin * 2.0,
+                break_mhz,
+                volts_per_mhz: slope * 2.0,
+            };
+            let a = curve.normalized_at(Mhz::new(f), Mhz::new(fref));
+            let b = scaled.normalized_at(Mhz::new(f), Mhz::new(fref));
+            prop_assert!((a - b).abs() < 1e-9, "normalized curves must agree: {a} vs {b}");
+        }
+    }
+}

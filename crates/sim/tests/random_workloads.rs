@@ -1,0 +1,88 @@
+//! Randomized cross-checks: arbitrary valid kernels keep every simulator
+//! invariant across the full V-F grid.
+
+use gpm_sim::{GroundTruth, SimulatedGpu};
+use gpm_spec::{devices, EventTable};
+use gpm_workloads::random_kernel;
+
+#[test]
+fn random_kernels_keep_simulator_invariants() {
+    for spec in devices::all() {
+        let mut gpu = SimulatedGpu::new(spec.clone(), 2024);
+        let grid = spec.vf_grid();
+        for seed in 0..60u64 {
+            let kernel = random_kernel(&spec, seed);
+            let config = grid[(seed as usize * 7) % grid.len()];
+            gpu.set_clocks(config).expect("grid configs are valid");
+
+            let exec = gpu.execute(&kernel);
+            assert!(exec.duration_s > 0.0);
+            for (i, &u) in exec.utilizations.iter().enumerate() {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&u),
+                    "{} seed {seed} comp {i} at {config}: {u}",
+                    spec.name()
+                );
+            }
+
+            let m = gpu.measure_power(&kernel).expect("measurement succeeds");
+            assert!(m.watts > 20.0, "{} seed {seed}: {} W", spec.name(), m.watts);
+            assert!(
+                m.watts < spec.tdp_w() * 1.3,
+                "{} seed {seed}: {} W",
+                spec.name(),
+                m.watts
+            );
+
+            let events = gpu.collect_events(&kernel);
+            let table = EventTable::for_architecture(spec.architecture());
+            for ev in table.all_events() {
+                assert!(events.counts.contains_key(&ev), "missing {ev}");
+            }
+        }
+    }
+}
+
+#[test]
+fn noise_free_power_is_monotone_in_core_frequency_for_any_kernel() {
+    let spec = devices::gtx_titan_x();
+    let mut truth = GroundTruth::nominal(spec.architecture());
+    truth.sensor_noise_sd = 0.0;
+    truth.event_noise_sd = 0.0;
+    let mut gpu = SimulatedGpu::with_truth(spec.clone(), truth, 0);
+    for seed in 0..25u64 {
+        let kernel = random_kernel(&spec, seed);
+        let mut prev = 0.0;
+        for &core in spec.core_freqs().iter().rev() {
+            gpu.set_clocks(gpm_spec::FreqConfig::new(core, gpm_spec::Mhz::new(3505)))
+                .expect("valid config");
+            let w = gpu
+                .measure_power(&kernel)
+                .expect("measurement succeeds")
+                .watts;
+            assert!(
+                w + 1e-6 >= prev,
+                "seed {seed}: power fell {prev} -> {w} at {core}"
+            );
+            prev = w;
+        }
+    }
+}
+
+#[test]
+fn the_full_pipeline_works_on_the_non_paper_device() {
+    // The GTX 980 preset is not one of the paper's three devices; the
+    // whole stack must still run on it (generality check).
+    let spec = devices::gtx_980();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 55);
+    let suite = gpm_workloads::microbenchmark_suite(&spec);
+    assert_eq!(suite.len(), 83);
+    for kernel in suite.iter().take(10) {
+        let m = gpu.measure_power(kernel).expect("measurement succeeds");
+        assert!(
+            m.watts > 15.0 && m.watts < spec.tdp_w() * 1.2,
+            "{} W",
+            m.watts
+        );
+    }
+}

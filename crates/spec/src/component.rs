@@ -1,0 +1,193 @@
+//! GPU architectural components and voltage-frequency domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An independent voltage-frequency domain of the GPU (Section II).
+///
+/// The paper's model (Eq. 3) sums the power of `N_{V-F}` independent
+/// domains; on the studied NVIDIA devices there are two. The L2 cache
+/// belongs to the *core* domain ("the core domain, which includes the L2
+/// cache", Section III-A), while only the DRAM is clocked by the memory
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Core (graphics) domain: SMs, shared memory, L2 cache.
+    Core,
+    /// Memory domain: device DRAM.
+    Memory,
+}
+
+impl Domain {
+    /// All domains, in model order (core first, as in Eqs. 6-7).
+    pub const ALL: [Domain; 2] = [Domain::Core, Domain::Memory];
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Domain::Core => write!(f, "core"),
+            Domain::Memory => write!(f, "memory"),
+        }
+    }
+}
+
+/// A GPU hardware component whose utilization enters the power model.
+///
+/// Section III-B selects the components "with the greatest contribution to
+/// the power consumption variations": the integer, single- and
+/// double-precision and special-function execution units, the shared
+/// memory, the L2 cache and the DRAM. Utilizations of compute units follow
+/// Eq. 8 (issued warps vs. peak issue rate); memory levels follow Eq. 9
+/// (achieved vs. peak bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Integer arithmetic units (share issue ports with SP on the studied devices).
+    Int,
+    /// Single-precision floating-point units ("CUDA cores").
+    Sp,
+    /// Double-precision floating-point units.
+    Dp,
+    /// Special-function units (transcendentals: `sin`, `cos`, `log`, ...).
+    Sf,
+    /// Per-SM shared memory (banked scratchpad).
+    SharedMem,
+    /// Device-level L2 cache (core domain).
+    L2Cache,
+    /// Device DRAM (memory domain).
+    Dram,
+}
+
+impl Component {
+    /// All modeled components, in the canonical order used throughout the
+    /// workspace (compute units, then memory levels, then DRAM).
+    pub const ALL: [Component; 7] = [
+        Component::Int,
+        Component::Sp,
+        Component::Dp,
+        Component::Sf,
+        Component::SharedMem,
+        Component::L2Cache,
+        Component::Dram,
+    ];
+
+    /// The components that belong to the core V-F domain, in order.
+    pub const CORE: [Component; 6] = [
+        Component::Int,
+        Component::Sp,
+        Component::Dp,
+        Component::Sf,
+        Component::SharedMem,
+        Component::L2Cache,
+    ];
+
+    /// Returns the V-F domain this component is clocked by.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpm_spec::{Component, Domain};
+    ///
+    /// assert_eq!(Component::L2Cache.domain(), Domain::Core);
+    /// assert_eq!(Component::Dram.domain(), Domain::Memory);
+    /// ```
+    pub fn domain(self) -> Domain {
+        match self {
+            Component::Dram => Domain::Memory,
+            _ => Domain::Core,
+        }
+    }
+
+    /// `true` for execution units whose utilization is defined by warp
+    /// issue counts (Eq. 8), `false` for memory levels (Eq. 9).
+    pub fn is_compute_unit(self) -> bool {
+        matches!(
+            self,
+            Component::Int | Component::Sp | Component::Dp | Component::Sf
+        )
+    }
+
+    /// Index of this component in [`Component::ALL`].
+    pub fn index(self) -> usize {
+        Component::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("component present in ALL")
+    }
+
+    /// Short label used in figures and reports (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Int => "INT Unit",
+            Component::Sp => "SP Unit",
+            Component::Dp => "DP Unit",
+            Component::Sf => "SF Unit",
+            Component::SharedMem => "Shared Memory",
+            Component::L2Cache => "L2 Cache",
+            Component::Dram => "DRAM",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_assignment_matches_paper() {
+        // Section III-A: L2 is in the core domain; only DRAM is in memory.
+        for c in Component::ALL {
+            match c {
+                Component::Dram => assert_eq!(c.domain(), Domain::Memory),
+                _ => assert_eq!(c.domain(), Domain::Core),
+            }
+        }
+    }
+
+    #[test]
+    fn core_list_is_all_minus_dram_in_order() {
+        let derived: Vec<Component> = Component::ALL
+            .into_iter()
+            .filter(|c| c.domain() == Domain::Core)
+            .collect();
+        assert_eq!(derived, Component::CORE.to_vec());
+    }
+
+    #[test]
+    fn compute_units_are_the_four_alus() {
+        let units: Vec<Component> = Component::ALL
+            .into_iter()
+            .filter(|c| c.is_compute_unit())
+            .collect();
+        assert_eq!(
+            units,
+            vec![Component::Int, Component::Sp, Component::Dp, Component::Sf]
+        );
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, c) in Component::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Component::ALL[c.index()], c);
+        }
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let labels: Vec<&str> = Component::ALL.iter().map(|c| c.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+        }
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,641 @@
+//! Device specification: the publicly known characteristics of a GPU.
+
+use crate::{Component, FreqConfig, Mhz, SpecError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// NVIDIA microarchitecture generation (Table II, "Base architecture").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Kepler (e.g. Tesla K40c, compute capability 3.5).
+    Kepler,
+    /// Maxwell (e.g. GTX Titan X, compute capability 5.2).
+    Maxwell,
+    /// Pascal (e.g. Titan Xp, compute capability 6.1).
+    Pascal,
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Architecture::Kepler => write!(f, "Kepler"),
+            Architecture::Maxwell => write!(f, "Maxwell"),
+            Architecture::Pascal => write!(f, "Pascal"),
+        }
+    }
+}
+
+/// The publicly known specification of a GPU device (Table II).
+///
+/// This is the information available to the *modeler*: driver frequency
+/// tables, unit counts, warp size, bus width and TDP. It deliberately does
+/// **not** include the L2 peak bandwidth — the paper shows it "cannot be
+/// computed as trivially" and determines it experimentally with dedicated
+/// microbenchmarks — nor any voltage or power coefficient, which are
+/// exactly what the model estimates.
+///
+/// Construct presets via [`crate::devices`] or custom devices via
+/// [`DeviceSpec::builder`].
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::{devices, Component};
+///
+/// let gpu = devices::tesla_k40c();
+/// assert_eq!(gpu.units_per_sm(Component::Dp)?, 64);
+/// assert_eq!(gpu.mem_freqs().len(), 1); // single non-idle memory level
+/// # Ok::<(), gpm_spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    name: String,
+    architecture: Architecture,
+    compute_capability: (u8, u8),
+    core_freqs: Vec<Mhz>,
+    mem_freqs: Vec<Mhz>,
+    default_config: FreqConfig,
+    warp_size: u32,
+    num_sms: u32,
+    mem_bus_bytes_per_cycle: u32,
+    shared_banks: u32,
+    shared_bank_bytes: u32,
+    int_sp_units_per_sm: u32,
+    dp_units_per_sm: u32,
+    sf_units_per_sm: u32,
+    tdp_w: f64,
+    power_refresh_ms: f64,
+}
+
+impl DeviceSpec {
+    /// Starts building a custom device specification.
+    pub fn builder() -> DeviceSpecBuilder {
+        DeviceSpecBuilder::default()
+    }
+
+    /// Marketing name of the device (e.g. `"GTX Titan X"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Microarchitecture generation.
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// CUDA compute capability `(major, minor)`.
+    pub fn compute_capability(&self) -> (u8, u8) {
+        self.compute_capability
+    }
+
+    /// Supported core frequencies, strictly decreasing (driver table order).
+    pub fn core_freqs(&self) -> &[Mhz] {
+        &self.core_freqs
+    }
+
+    /// Supported non-idle memory frequencies, strictly decreasing.
+    pub fn mem_freqs(&self) -> &[Mhz] {
+        &self.mem_freqs
+    }
+
+    /// The device's default (reference) frequency configuration.
+    pub fn default_config(&self) -> FreqConfig {
+        self.default_config
+    }
+
+    /// Number of threads per warp (32 on all studied devices).
+    pub fn warp_size(&self) -> u32 {
+        self.warp_size
+    }
+
+    /// Number of streaming multiprocessors.
+    pub fn num_sms(&self) -> u32 {
+        self.num_sms
+    }
+
+    /// DRAM bus width in bytes transferred per memory-domain cycle
+    /// (Table II lists 48 B for all three devices).
+    pub fn mem_bus_bytes_per_cycle(&self) -> u32 {
+        self.mem_bus_bytes_per_cycle
+    }
+
+    /// Number of shared-memory banks per SM.
+    pub fn shared_banks(&self) -> u32 {
+        self.shared_banks
+    }
+
+    /// Bytes served per shared-memory bank per cycle.
+    pub fn shared_bank_bytes(&self) -> u32 {
+        self.shared_bank_bytes
+    }
+
+    /// Thermal design power in watts.
+    pub fn tdp_w(&self) -> f64 {
+        self.tdp_w
+    }
+
+    /// Refresh period of the on-board power sensor in milliseconds
+    /// (35 ms Titan Xp, 100 ms GTX Titan X, 15 ms Tesla K40c; Section V-A).
+    pub fn power_refresh_ms(&self) -> f64 {
+        self.power_refresh_ms
+    }
+
+    /// Number of execution units of the given type per SM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NotAComputeUnit`] for memory-level components,
+    /// whose capacity is a bandwidth, not a unit count.
+    pub fn units_per_sm(&self, component: Component) -> Result<u32, SpecError> {
+        match component {
+            Component::Int | Component::Sp => Ok(self.int_sp_units_per_sm),
+            Component::Dp => Ok(self.dp_units_per_sm),
+            Component::Sf => Ok(self.sf_units_per_sm),
+            other => Err(SpecError::NotAComputeUnit(other)),
+        }
+    }
+
+    /// Peak warp-instruction throughput of a compute unit across the whole
+    /// device, in warp-instructions per second, at core frequency `fcore`.
+    ///
+    /// A unit type with `UnitsPerSM` lanes retires
+    /// `UnitsPerSM / WarpSize` warp-instructions per SM per cycle
+    /// (the denominator of Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::NotAComputeUnit`] for memory-level components.
+    pub fn peak_warp_throughput(&self, component: Component, fcore: Mhz) -> Result<f64, SpecError> {
+        let units = self.units_per_sm(component)?;
+        Ok(fcore.as_hz() * f64::from(units) / f64::from(self.warp_size) * f64::from(self.num_sms))
+    }
+
+    /// Peak DRAM bandwidth in bytes per second at memory frequency `fmem`
+    /// (`PeakBand = f · Bytes/Cycle`, Section III-C).
+    pub fn peak_dram_bandwidth(&self, fmem: Mhz) -> f64 {
+        fmem.as_hz() * f64::from(self.mem_bus_bytes_per_cycle)
+    }
+
+    /// Peak aggregate shared-memory bandwidth in bytes per second at core
+    /// frequency `fcore`: every bank serves one word per cycle on every SM.
+    pub fn peak_shared_bandwidth(&self, fcore: Mhz) -> f64 {
+        fcore.as_hz()
+            * f64::from(self.shared_banks)
+            * f64::from(self.shared_bank_bytes)
+            * f64::from(self.num_sms)
+    }
+
+    /// A *nominal* L2 bytes-per-core-cycle figure for workload sizing.
+    ///
+    /// The paper stresses that the true L2 peak bandwidth "cannot be
+    /// computed as trivially" from public specifications and determines it
+    /// experimentally with dedicated microbenchmarks. This nominal figure
+    /// exists only so that workload generators can size L2 traffic; the
+    /// *model* must never use it — it discovers the effective peak from
+    /// the L2 microbenchmark measurements, exactly as the paper does.
+    pub fn nominal_l2_bytes_per_cycle(&self) -> u32 {
+        match self.architecture {
+            Architecture::Kepler => 512,
+            Architecture::Maxwell => 640,
+            Architecture::Pascal => 1024,
+        }
+    }
+
+    /// All supported V-F configurations: the cross product of the memory
+    /// and core frequency tables, memory-major, descending (Table II grid).
+    pub fn vf_grid(&self) -> Vec<FreqConfig> {
+        let mut grid = Vec::with_capacity(self.mem_freqs.len() * self.core_freqs.len());
+        for &mem in &self.mem_freqs {
+            for &core in &self.core_freqs {
+                grid.push(FreqConfig::new(core, mem));
+            }
+        }
+        grid
+    }
+
+    /// `true` if `config` is in the device's frequency tables.
+    pub fn supports(&self, config: FreqConfig) -> bool {
+        self.core_freqs.contains(&config.core) && self.mem_freqs.contains(&config.mem)
+    }
+
+    /// Validates that `config` is supported, for use at API boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnsupportedConfig`] when the configuration is
+    /// not in the device tables.
+    pub fn check_config(&self, config: FreqConfig) -> Result<(), SpecError> {
+        if self.supports(config) {
+            Ok(())
+        } else {
+            Err(SpecError::UnsupportedConfig(config))
+        }
+    }
+
+    /// The highest-performance configuration (max core, max memory), used
+    /// to size kernel repetition counts in the measurement protocol.
+    pub fn fastest_config(&self) -> FreqConfig {
+        FreqConfig::new(self.core_freqs[0], self.mem_freqs[0])
+    }
+
+    /// The closest supported core frequency *not above* `limit` paired with
+    /// `mem`, used for TDP-respecting frequency fallback (Fig. 9 note).
+    /// Returns `None` if every core level exceeds `limit`.
+    pub fn core_level_at_or_below(&self, limit: Mhz, mem: Mhz) -> Option<FreqConfig> {
+        self.core_freqs
+            .iter()
+            .copied()
+            .find(|&f| f <= limit)
+            .map(|core| FreqConfig::new(core, mem))
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, CC {}.{}, {} SMs, TDP {} W)",
+            self.name,
+            self.architecture,
+            self.compute_capability.0,
+            self.compute_capability.1,
+            self.num_sms,
+            self.tdp_w
+        )
+    }
+}
+
+/// Builder for [`DeviceSpec`], validating table ordering and defaults.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::{Architecture, DeviceSpec, FreqConfig, Mhz};
+///
+/// let dev = DeviceSpec::builder()
+///     .name("Toy GPU")
+///     .architecture(Architecture::Maxwell)
+///     .compute_capability(5, 0)
+///     .core_freqs([1000, 900, 800])
+///     .mem_freqs([2000, 1000])
+///     .default_config(FreqConfig::from_mhz(900, 2000))
+///     .num_sms(4)
+///     .int_sp_units_per_sm(128)
+///     .dp_units_per_sm(4)
+///     .sf_units_per_sm(32)
+///     .tdp_w(120.0)
+///     .build()?;
+/// assert!(dev.supports(FreqConfig::from_mhz(800, 1000)));
+/// # Ok::<(), gpm_spec::SpecError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeviceSpecBuilder {
+    name: Option<String>,
+    architecture: Option<Architecture>,
+    compute_capability: (u8, u8),
+    core_freqs: Vec<Mhz>,
+    mem_freqs: Vec<Mhz>,
+    default_config: Option<FreqConfig>,
+    warp_size: u32,
+    num_sms: Option<u32>,
+    mem_bus_bytes_per_cycle: u32,
+    shared_banks: u32,
+    shared_bank_bytes: u32,
+    int_sp_units_per_sm: Option<u32>,
+    dp_units_per_sm: Option<u32>,
+    sf_units_per_sm: Option<u32>,
+    tdp_w: Option<f64>,
+    power_refresh_ms: f64,
+}
+
+impl DeviceSpecBuilder {
+    /// Sets the device name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the microarchitecture.
+    pub fn architecture(mut self, arch: Architecture) -> Self {
+        self.architecture = Some(arch);
+        self
+    }
+
+    /// Sets the compute capability.
+    pub fn compute_capability(mut self, major: u8, minor: u8) -> Self {
+        self.compute_capability = (major, minor);
+        self
+    }
+
+    /// Sets the core frequency table in megahertz (strictly decreasing).
+    pub fn core_freqs(mut self, mhz: impl IntoIterator<Item = u32>) -> Self {
+        self.core_freqs = mhz.into_iter().map(Mhz::new).collect();
+        self
+    }
+
+    /// Sets the memory frequency table in megahertz (strictly decreasing).
+    pub fn mem_freqs(mut self, mhz: impl IntoIterator<Item = u32>) -> Self {
+        self.mem_freqs = mhz.into_iter().map(Mhz::new).collect();
+        self
+    }
+
+    /// Sets the default (reference) configuration.
+    pub fn default_config(mut self, config: FreqConfig) -> Self {
+        self.default_config = Some(config);
+        self
+    }
+
+    /// Sets the warp size (defaults to 32).
+    pub fn warp_size(mut self, warp_size: u32) -> Self {
+        self.warp_size = warp_size;
+        self
+    }
+
+    /// Sets the SM count.
+    pub fn num_sms(mut self, n: u32) -> Self {
+        self.num_sms = Some(n);
+        self
+    }
+
+    /// Sets the DRAM bus width in bytes per cycle (defaults to 48).
+    pub fn mem_bus_bytes_per_cycle(mut self, bytes: u32) -> Self {
+        self.mem_bus_bytes_per_cycle = bytes;
+        self
+    }
+
+    /// Sets the shared-memory bank count per SM (defaults to 32).
+    pub fn shared_banks(mut self, banks: u32) -> Self {
+        self.shared_banks = banks;
+        self
+    }
+
+    /// Sets the bytes per shared bank per cycle (defaults to 4).
+    pub fn shared_bank_bytes(mut self, bytes: u32) -> Self {
+        self.shared_bank_bytes = bytes;
+        self
+    }
+
+    /// Sets the number of fused INT/SP lanes per SM.
+    pub fn int_sp_units_per_sm(mut self, n: u32) -> Self {
+        self.int_sp_units_per_sm = Some(n);
+        self
+    }
+
+    /// Sets the number of DP lanes per SM.
+    pub fn dp_units_per_sm(mut self, n: u32) -> Self {
+        self.dp_units_per_sm = Some(n);
+        self
+    }
+
+    /// Sets the number of SF lanes per SM.
+    pub fn sf_units_per_sm(mut self, n: u32) -> Self {
+        self.sf_units_per_sm = Some(n);
+        self
+    }
+
+    /// Sets the thermal design power in watts.
+    pub fn tdp_w(mut self, tdp: f64) -> Self {
+        self.tdp_w = Some(tdp);
+        self
+    }
+
+    /// Sets the power-sensor refresh period in milliseconds (defaults to 50).
+    pub fn power_refresh_ms(mut self, ms: f64) -> Self {
+        self.power_refresh_ms = ms;
+        self
+    }
+
+    /// Finalizes the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::MissingField`] if a required field was not set,
+    /// [`SpecError::UnsortedTable`] if a frequency table is not strictly
+    /// decreasing, or [`SpecError::DefaultNotInTable`] if the default
+    /// configuration is not covered by the tables.
+    pub fn build(self) -> Result<DeviceSpec, SpecError> {
+        let name = self.name.ok_or(SpecError::MissingField("name"))?;
+        let architecture = self
+            .architecture
+            .ok_or(SpecError::MissingField("architecture"))?;
+        if self.core_freqs.is_empty() {
+            return Err(SpecError::MissingField("core_freqs"));
+        }
+        if self.mem_freqs.is_empty() {
+            return Err(SpecError::MissingField("mem_freqs"));
+        }
+        if !self.core_freqs.windows(2).all(|w| w[0] > w[1]) {
+            return Err(SpecError::UnsortedTable("core_freqs"));
+        }
+        if !self.mem_freqs.windows(2).all(|w| w[0] > w[1]) {
+            return Err(SpecError::UnsortedTable("mem_freqs"));
+        }
+        let default_config = self
+            .default_config
+            .ok_or(SpecError::MissingField("default_config"))?;
+        let spec = DeviceSpec {
+            name,
+            architecture,
+            compute_capability: self.compute_capability,
+            core_freqs: self.core_freqs,
+            mem_freqs: self.mem_freqs,
+            default_config,
+            warp_size: if self.warp_size == 0 {
+                32
+            } else {
+                self.warp_size
+            },
+            num_sms: self.num_sms.ok_or(SpecError::MissingField("num_sms"))?,
+            mem_bus_bytes_per_cycle: if self.mem_bus_bytes_per_cycle == 0 {
+                48
+            } else {
+                self.mem_bus_bytes_per_cycle
+            },
+            shared_banks: if self.shared_banks == 0 {
+                32
+            } else {
+                self.shared_banks
+            },
+            shared_bank_bytes: if self.shared_bank_bytes == 0 {
+                4
+            } else {
+                self.shared_bank_bytes
+            },
+            int_sp_units_per_sm: self
+                .int_sp_units_per_sm
+                .ok_or(SpecError::MissingField("int_sp_units_per_sm"))?,
+            dp_units_per_sm: self
+                .dp_units_per_sm
+                .ok_or(SpecError::MissingField("dp_units_per_sm"))?,
+            sf_units_per_sm: self
+                .sf_units_per_sm
+                .ok_or(SpecError::MissingField("sf_units_per_sm"))?,
+            tdp_w: self.tdp_w.ok_or(SpecError::MissingField("tdp_w"))?,
+            power_refresh_ms: if self.power_refresh_ms <= 0.0 {
+                50.0
+            } else {
+                self.power_refresh_ms
+            },
+        };
+        if !spec.supports(spec.default_config) {
+            return Err(SpecError::DefaultNotInTable(spec.default_config));
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DeviceSpec {
+        DeviceSpec::builder()
+            .name("Toy")
+            .architecture(Architecture::Maxwell)
+            .compute_capability(5, 2)
+            .core_freqs([1000, 900, 800])
+            .mem_freqs([2000, 1000])
+            .default_config(FreqConfig::from_mhz(900, 2000))
+            .num_sms(4)
+            .int_sp_units_per_sm(128)
+            .dp_units_per_sm(4)
+            .sf_units_per_sm(32)
+            .tdp_w(120.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_applies_defaults() {
+        let d = toy();
+        assert_eq!(d.warp_size(), 32);
+        assert_eq!(d.mem_bus_bytes_per_cycle(), 48);
+        assert_eq!(d.shared_banks(), 32);
+        assert_eq!(d.shared_bank_bytes(), 4);
+        assert_eq!(d.power_refresh_ms(), 50.0);
+    }
+
+    #[test]
+    fn builder_rejects_missing_name() {
+        let err = DeviceSpec::builder().build().unwrap_err();
+        assert_eq!(err, SpecError::MissingField("name"));
+    }
+
+    #[test]
+    fn builder_rejects_unsorted_tables() {
+        let err = DeviceSpec::builder()
+            .name("x")
+            .architecture(Architecture::Kepler)
+            .core_freqs([800, 900])
+            .mem_freqs([2000])
+            .default_config(FreqConfig::from_mhz(800, 2000))
+            .num_sms(1)
+            .int_sp_units_per_sm(1)
+            .dp_units_per_sm(1)
+            .sf_units_per_sm(1)
+            .tdp_w(1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpecError::UnsortedTable("core_freqs"));
+    }
+
+    #[test]
+    fn builder_rejects_default_outside_table() {
+        let err = DeviceSpec::builder()
+            .name("x")
+            .architecture(Architecture::Kepler)
+            .core_freqs([900, 800])
+            .mem_freqs([2000])
+            .default_config(FreqConfig::from_mhz(850, 2000))
+            .num_sms(1)
+            .int_sp_units_per_sm(1)
+            .dp_units_per_sm(1)
+            .sf_units_per_sm(1)
+            .tdp_w(1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpecError::DefaultNotInTable(_)));
+    }
+
+    #[test]
+    fn vf_grid_is_full_cross_product() {
+        let d = toy();
+        let grid = d.vf_grid();
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0], FreqConfig::from_mhz(1000, 2000));
+        assert_eq!(grid[5], FreqConfig::from_mhz(800, 1000));
+        for c in grid {
+            assert!(d.supports(c));
+        }
+    }
+
+    #[test]
+    fn peak_throughputs_scale_linearly_with_frequency() {
+        let d = toy();
+        let t1 = d
+            .peak_warp_throughput(Component::Sp, Mhz::new(800))
+            .unwrap();
+        let t2 = d
+            .peak_warp_throughput(Component::Sp, Mhz::new(1000))
+            .unwrap();
+        assert!((t2 / t1 - 1.25).abs() < 1e-12);
+        // 128 lanes / 32 threads = 4 warps per cycle per SM, x4 SMs.
+        assert_eq!(t1, 800.0e6 * 4.0 * 4.0);
+    }
+
+    #[test]
+    fn dram_and_shared_bandwidths() {
+        let d = toy();
+        assert_eq!(d.peak_dram_bandwidth(Mhz::new(1000)), 1000.0e6 * 48.0);
+        // 32 banks x 4 B x 4 SMs = 512 B/cycle.
+        assert_eq!(d.peak_shared_bandwidth(Mhz::new(1000)), 1000.0e6 * 512.0);
+    }
+
+    #[test]
+    fn memory_levels_have_no_unit_count() {
+        let d = toy();
+        assert!(matches!(
+            d.units_per_sm(Component::Dram),
+            Err(SpecError::NotAComputeUnit(Component::Dram))
+        ));
+        assert!(d
+            .peak_warp_throughput(Component::L2Cache, Mhz::new(1000))
+            .is_err());
+    }
+
+    #[test]
+    fn core_level_fallback_picks_first_at_or_below() {
+        let d = toy();
+        let mem = Mhz::new(2000);
+        assert_eq!(
+            d.core_level_at_or_below(Mhz::new(950), mem),
+            Some(FreqConfig::from_mhz(900, 2000))
+        );
+        assert_eq!(
+            d.core_level_at_or_below(Mhz::new(800), mem),
+            Some(FreqConfig::from_mhz(800, 2000))
+        );
+        assert_eq!(d.core_level_at_or_below(Mhz::new(700), mem), None);
+    }
+
+    #[test]
+    fn check_config_errors_on_unsupported() {
+        let d = toy();
+        assert!(d.check_config(FreqConfig::from_mhz(900, 1000)).is_ok());
+        assert!(d.check_config(FreqConfig::from_mhz(901, 1000)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_arch() {
+        let s = toy().to_string();
+        assert!(s.contains("Toy") && s.contains("Maxwell"));
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let d = toy();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

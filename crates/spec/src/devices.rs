@@ -1,0 +1,228 @@
+//! Preset specifications of the three GPUs studied in the paper (Table II).
+//!
+//! The core frequency tables reproduce the ranges and level counts reported
+//! in Table II (the paper gives `[min:max]` and a level count; the exact
+//! intermediate driver steps are reconstructed to include the documented
+//! default levels and, for the GTX Titan X, the 1126 MHz level referenced
+//! in the Figure 9 TDP-fallback note).
+
+use crate::{Architecture, DeviceSpec, FreqConfig};
+
+/// NVIDIA Titan Xp (Pascal, compute capability 6.1).
+///
+/// 30 SMs, 128 INT/SP + 4 DP + 32 SF units per SM, TDP 250 W.
+/// Memory levels {5705, 4705} MHz ("NVIDIA driver does not allow setting
+/// the memory frequency to lower levels"), 22 core levels in
+/// [582:1911] MHz, default (1404, 5705), 35 ms power-sensor refresh.
+pub fn titan_xp() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("Titan Xp")
+        .architecture(Architecture::Pascal)
+        .compute_capability(6, 1)
+        .core_freqs([
+            1911, 1847, 1784, 1721, 1657, 1594, 1531, 1467, 1404, 1341, 1278, 1214, 1151, 1088,
+            1025, 961, 898, 835, 772, 708, 645, 582,
+        ])
+        .mem_freqs([5705, 4705])
+        .default_config(FreqConfig::from_mhz(1404, 5705))
+        .num_sms(30)
+        .int_sp_units_per_sm(128)
+        .dp_units_per_sm(4)
+        .sf_units_per_sm(32)
+        .tdp_w(250.0)
+        .power_refresh_ms(35.0)
+        .build()
+        .expect("titan xp preset is valid")
+}
+
+/// NVIDIA GTX Titan X (Maxwell, compute capability 5.2).
+///
+/// 24 SMs, 128 INT/SP + 4 DP + 32 SF units per SM, TDP 250 W.
+/// Memory levels {4005, 3505, 3300, 810} MHz, 16 core levels in
+/// [595:1164] MHz, default (975, 3505), 100 ms power-sensor refresh.
+pub fn gtx_titan_x() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("GTX Titan X")
+        .architecture(Architecture::Maxwell)
+        .compute_capability(5, 2)
+        .core_freqs([
+            1164, 1126, 1088, 1050, 1013, 975, 937, 899, 861, 823, 785, 747, 709, 671, 633, 595,
+        ])
+        .mem_freqs([4005, 3505, 3300, 810])
+        .default_config(FreqConfig::from_mhz(975, 3505))
+        .num_sms(24)
+        .int_sp_units_per_sm(128)
+        .dp_units_per_sm(4)
+        .sf_units_per_sm(32)
+        .tdp_w(250.0)
+        .power_refresh_ms(100.0)
+        .build()
+        .expect("gtx titan x preset is valid")
+}
+
+/// NVIDIA Tesla K40c (Kepler, compute capability 3.5).
+///
+/// 15 SMs, 192 INT/SP + 64 DP + 32 SF units per SM, TDP 235 W.
+/// A single non-idle memory level (3004 MHz), 4 core levels
+/// {875, 810, 745, 666} MHz, default (875, 3004), 15 ms sensor refresh.
+pub fn tesla_k40c() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("Tesla K40c")
+        .architecture(Architecture::Kepler)
+        .compute_capability(3, 5)
+        .core_freqs([875, 810, 745, 666])
+        .mem_freqs([3004])
+        .default_config(FreqConfig::from_mhz(875, 3004))
+        .num_sms(15)
+        .int_sp_units_per_sm(192)
+        .dp_units_per_sm(64)
+        .sf_units_per_sm(32)
+        .tdp_w(235.0)
+        .power_refresh_ms(15.0)
+        .build()
+        .expect("tesla k40c preset is valid")
+}
+
+/// NVIDIA GTX 980 (Maxwell, compute capability 5.2) — not a paper
+/// device; included to exercise the pipeline on a fourth specification
+/// (smaller SM count, different frequency tables).
+pub fn gtx_980() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("GTX 980")
+        .architecture(Architecture::Maxwell)
+        .compute_capability(5, 2)
+        .core_freqs([1278, 1215, 1152, 1089, 1026, 963, 900, 837, 774, 711, 648])
+        .mem_freqs([3505, 3000, 810])
+        .default_config(FreqConfig::from_mhz(1152, 3505))
+        .num_sms(16)
+        .mem_bus_bytes_per_cycle(32)
+        .int_sp_units_per_sm(128)
+        .dp_units_per_sm(4)
+        .sf_units_per_sm(32)
+        .tdp_w(165.0)
+        .power_refresh_ms(100.0)
+        .build()
+        .expect("gtx 980 preset is valid")
+}
+
+/// All three paper devices, Pascal first (the order of Fig. 7).
+pub fn all() -> Vec<DeviceSpec> {
+    vec![titan_xp(), gtx_titan_x(), tesla_k40c()]
+}
+
+/// The paper devices plus the extra non-paper preset ([`gtx_980`]).
+pub fn extended() -> Vec<DeviceSpec> {
+    let mut v = all();
+    v.push(gtx_980());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Component, Mhz};
+
+    #[test]
+    fn table2_level_counts() {
+        assert_eq!(titan_xp().core_freqs().len(), 22);
+        assert_eq!(titan_xp().mem_freqs().len(), 2);
+        assert_eq!(gtx_titan_x().core_freqs().len(), 16);
+        assert_eq!(gtx_titan_x().mem_freqs().len(), 4);
+        assert_eq!(tesla_k40c().core_freqs().len(), 4);
+        assert_eq!(tesla_k40c().mem_freqs().len(), 1);
+    }
+
+    #[test]
+    fn table2_core_ranges() {
+        let xp = titan_xp();
+        assert_eq!(xp.core_freqs()[0], Mhz::new(1911));
+        assert_eq!(*xp.core_freqs().last().unwrap(), Mhz::new(582));
+        let tx = gtx_titan_x();
+        assert_eq!(tx.core_freqs()[0], Mhz::new(1164));
+        assert_eq!(*tx.core_freqs().last().unwrap(), Mhz::new(595));
+        let k = tesla_k40c();
+        assert_eq!(k.core_freqs()[0], Mhz::new(875));
+        assert_eq!(*k.core_freqs().last().unwrap(), Mhz::new(666));
+    }
+
+    #[test]
+    fn table2_defaults_present() {
+        for d in all() {
+            assert!(d.supports(d.default_config()), "{}", d.name());
+        }
+        assert_eq!(
+            titan_xp().default_config(),
+            FreqConfig::from_mhz(1404, 5705)
+        );
+        assert_eq!(
+            gtx_titan_x().default_config(),
+            FreqConfig::from_mhz(975, 3505)
+        );
+        assert_eq!(
+            tesla_k40c().default_config(),
+            FreqConfig::from_mhz(875, 3004)
+        );
+    }
+
+    #[test]
+    fn table2_unit_counts() {
+        let k = tesla_k40c();
+        assert_eq!(k.units_per_sm(Component::Sp).unwrap(), 192);
+        assert_eq!(k.units_per_sm(Component::Dp).unwrap(), 64);
+        let tx = gtx_titan_x();
+        assert_eq!(tx.units_per_sm(Component::Int).unwrap(), 128);
+        assert_eq!(tx.units_per_sm(Component::Dp).unwrap(), 4);
+        for d in all() {
+            assert_eq!(d.units_per_sm(Component::Sf).unwrap(), 32);
+            assert_eq!(d.warp_size(), 32);
+            assert_eq!(d.mem_bus_bytes_per_cycle(), 48);
+            assert_eq!(d.shared_banks(), 32);
+        }
+    }
+
+    #[test]
+    fn table2_tdp_and_sms() {
+        assert_eq!(titan_xp().num_sms(), 30);
+        assert_eq!(gtx_titan_x().num_sms(), 24);
+        assert_eq!(tesla_k40c().num_sms(), 15);
+        assert_eq!(titan_xp().tdp_w(), 250.0);
+        assert_eq!(tesla_k40c().tdp_w(), 235.0);
+    }
+
+    #[test]
+    fn titan_x_has_fig9_fallback_level() {
+        // Fig. 9 footnote: prediction at 1164 MHz exceeds TDP, so the
+        // closest non-violating level 1126 MHz is used.
+        assert!(gtx_titan_x().core_freqs().contains(&Mhz::new(1126)));
+    }
+
+    #[test]
+    fn sensor_refresh_rates_match_section_5a() {
+        assert_eq!(titan_xp().power_refresh_ms(), 35.0);
+        assert_eq!(gtx_titan_x().power_refresh_ms(), 100.0);
+        assert_eq!(tesla_k40c().power_refresh_ms(), 15.0);
+    }
+
+    #[test]
+    fn extended_list_adds_the_gtx_980() {
+        let ext = extended();
+        assert_eq!(ext.len(), 4);
+        assert_eq!(ext[3].name(), "GTX 980");
+        let g = gtx_980();
+        assert_eq!(g.num_sms(), 16);
+        assert_eq!(g.core_freqs().len(), 11);
+        assert!(g.supports(g.default_config()));
+        assert_eq!(g.tdp_w(), 165.0);
+    }
+
+    #[test]
+    fn memory_range_ratios_match_paper() {
+        // Section V-B: 4.3x memory range on the Titan X, 1.2x on the Xp.
+        let tx = gtx_titan_x();
+        let ratio = tx.mem_freqs()[1].as_f64() / tx.mem_freqs().last().unwrap().as_f64();
+        assert!((ratio - 4.327).abs() < 0.01);
+        let xp = titan_xp();
+        let ratio = xp.mem_freqs()[0].as_f64() / xp.mem_freqs()[1].as_f64();
+        assert!((ratio - 1.21).abs() < 0.01);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for specification construction and lookups.
+
+use crate::{Component, FreqConfig};
+use std::fmt;
+
+/// Errors produced when building or querying a device specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A builder field was missing or a provided list was empty.
+    MissingField(&'static str),
+    /// The default frequency configuration is not in the device tables.
+    DefaultNotInTable(FreqConfig),
+    /// A frequency configuration is not supported by the device.
+    UnsupportedConfig(FreqConfig),
+    /// A per-unit count was requested for a component that has none
+    /// (memory levels have bandwidths, not unit counts).
+    NotAComputeUnit(Component),
+    /// A frequency table is not strictly decreasing.
+    UnsortedTable(&'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::MissingField(name) => write!(f, "missing or empty builder field `{name}`"),
+            SpecError::DefaultNotInTable(c) => {
+                write!(
+                    f,
+                    "default configuration {c} is not in the frequency tables"
+                )
+            }
+            SpecError::UnsupportedConfig(c) => {
+                write!(
+                    f,
+                    "frequency configuration {c} is not supported by this device"
+                )
+            }
+            SpecError::NotAComputeUnit(c) => {
+                write!(
+                    f,
+                    "component {c} is not a compute unit and has no per-SM unit count"
+                )
+            }
+            SpecError::UnsortedTable(name) => {
+                write!(f, "frequency table `{name}` must be strictly decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SpecError::MissingField("name");
+        assert!(e.to_string().contains("name"));
+        let e = SpecError::UnsupportedConfig(FreqConfig::from_mhz(1, 2));
+        assert!(e.to_string().contains("core 1 MHz"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SpecError>();
+    }
+}

@@ -1,0 +1,426 @@
+//! Performance-event identifiers per device (the paper's Table I).
+//!
+//! NVIDIA's CUPTI exposes two kinds of events: *disclosed* events with
+//! stable names (e.g. `active_cycles`, `fb_subp0_read_sectors`) and
+//! *undisclosed* events identified only by a numeric ID, whose meaning the
+//! authors uncovered "through an extensive experimental testing". Table I
+//! lists, for each of the three devices, which events feed each metric of
+//! Eqs. 8-10; the numeric IDs share a per-device prefix (352321 on the
+//! Titan Xp, 335544 on the GTX Titan X, 318767 on the Tesla K40c).
+//!
+//! The simulated counter layer in `gpm-sim` emits exactly these events, and
+//! the aggregation in `gpm-core` consumes them, so the full
+//! raw-events-to-metrics pipeline of the paper is exercised end to end.
+
+use crate::Architecture;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size in bytes of an L2/DRAM *sector* — the granularity of the
+/// `*_sector*` events. Aggregation multiplies sector counts by this to
+/// obtain achieved bytes.
+pub const SECTOR_BYTES: u32 = 32;
+
+/// Size in bytes of one shared-memory transaction (a full 32-bank x 4 B
+/// wavefront), the granularity of the `shared_*_transactions` events.
+pub const SHARED_TRANSACTION_BYTES: u32 = 128;
+
+/// Every disclosed event name that appears in Table I across the three
+/// devices — the closed set that [`EventId`] deserialization interns
+/// against.
+pub const ALL_EVENT_NAMES: &[&str] = &[
+    "active_cycles",
+    "l2_subp0_total_read_sector_queries",
+    "l2_subp1_total_read_sector_queries",
+    "l2_subp2_total_read_sector_queries",
+    "l2_subp3_total_read_sector_queries",
+    "l2_subp0_total_write_sector_queries",
+    "l2_subp1_total_write_sector_queries",
+    "l2_subp2_total_write_sector_queries",
+    "l2_subp3_total_write_sector_queries",
+    "shared_ld_transactions",
+    "shared_st_transactions",
+    "l1_shared_ld_transactions",
+    "l1_shared_st_transactions",
+    "fb_subp0_read_sectors",
+    "fb_subp1_read_sectors",
+    "fb_subp0_write_sectors",
+    "fb_subp1_write_sectors",
+];
+
+/// A CUPTI-style event identifier: either a disclosed name or an
+/// undisclosed numeric ID.
+///
+/// Serialized as a plain string (named events) or integer (numeric IDs);
+/// deserialization interns names against [`ALL_EVENT_NAMES`], since the
+/// set of Table I events is closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventId {
+    /// Disclosed event with a stable CUPTI name.
+    Named(&'static str),
+    /// Undisclosed event, identified only by its numeric ID
+    /// (per-device prefix x 1000 + suffix, as in Table I).
+    Numeric(u64),
+}
+
+impl Serialize for EventId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Always a string, so event IDs are usable as JSON map keys.
+        match self {
+            EventId::Named(name) => serializer.serialize_str(name),
+            EventId::Numeric(id) => serializer.collect_str(id),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for EventId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Visitor;
+        impl serde::de::Visitor<'_> for Visitor {
+            type Value = EventId;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Table I event name or a numeric event ID string")
+            }
+
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<EventId, E> {
+                Ok(EventId::Numeric(v))
+            }
+
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<EventId, E> {
+                if let Ok(id) = v.parse::<u64>() {
+                    return Ok(EventId::Numeric(id));
+                }
+                ALL_EVENT_NAMES
+                    .iter()
+                    .find(|&&n| n == v)
+                    .map(|&n| EventId::Named(n))
+                    .ok_or_else(|| E::custom(format!("unknown event name `{v}`")))
+            }
+        }
+        deserializer.deserialize_any(Visitor)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventId::Named(name) => f.write_str(name),
+            EventId::Numeric(id) => write!(f, "event_{id}"),
+        }
+    }
+}
+
+/// A model-level metric assembled from one or more raw events
+/// (rows of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Cycles with at least one active warp on the SMs (`ACycles`).
+    ActiveCycles,
+    /// L2 read sector queries, summed over subpartitions.
+    L2ReadSectors,
+    /// L2 write sector queries, summed over subpartitions.
+    L2WriteSectors,
+    /// Shared-memory load transactions.
+    SharedLoadTrans,
+    /// Shared-memory store transactions.
+    SharedStoreTrans,
+    /// DRAM (frame buffer) read sectors, summed over subpartitions.
+    DramReadSectors,
+    /// DRAM (frame buffer) write sectors, summed over subpartitions.
+    DramWriteSectors,
+    /// Warps issued to the fused INT/SP pipelines (`AWarps_{Int/SP}`;
+    /// indistinguishable at the event level, split by Eq. 10).
+    WarpsIntSp,
+    /// Warps issued to the DP pipeline (`AWarps_DP`).
+    WarpsDp,
+    /// Warps issued to the SF pipeline (`AWarps_SF`).
+    WarpsSf,
+    /// Executed integer instructions (`Inst_INT`, for the Eq. 10 split).
+    InstInt,
+    /// Executed single-precision instructions (`Inst_SP`).
+    InstSp,
+}
+
+impl Metric {
+    /// All metrics, in Table I row order.
+    pub const ALL: [Metric; 12] = [
+        Metric::ActiveCycles,
+        Metric::L2ReadSectors,
+        Metric::L2WriteSectors,
+        Metric::SharedLoadTrans,
+        Metric::SharedStoreTrans,
+        Metric::DramReadSectors,
+        Metric::DramWriteSectors,
+        Metric::WarpsIntSp,
+        Metric::WarpsDp,
+        Metric::WarpsSf,
+        Metric::InstInt,
+        Metric::InstSp,
+    ];
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Metric::ActiveCycles => "ACycles",
+            Metric::L2ReadSectors => "L2 read sectors",
+            Metric::L2WriteSectors => "L2 write sectors",
+            Metric::SharedLoadTrans => "shared load transactions",
+            Metric::SharedStoreTrans => "shared store transactions",
+            Metric::DramReadSectors => "DRAM read sectors",
+            Metric::DramWriteSectors => "DRAM write sectors",
+            Metric::WarpsIntSp => "AWarps INT/SP",
+            Metric::WarpsDp => "AWarps DP",
+            Metric::WarpsSf => "AWarps SF",
+            Metric::InstInt => "Inst INT",
+            Metric::InstSp => "Inst SP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The per-device mapping from metrics to raw events (Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTable {
+    architecture: Architecture,
+    rows: Vec<(Metric, Vec<EventId>)>,
+}
+
+impl EventTable {
+    /// Builds the Table I event mapping for a device family.
+    pub fn for_architecture(architecture: Architecture) -> Self {
+        let prefix: u64 = match architecture {
+            Architecture::Pascal => 352_321,
+            Architecture::Maxwell => 335_544,
+            Architecture::Kepler => 318_767,
+        };
+        let num = |suffix: u64| EventId::Numeric(prefix * 1000 + suffix);
+        let mut rows: Vec<(Metric, Vec<EventId>)> = Vec::new();
+        rows.push((Metric::ActiveCycles, vec![EventId::Named("active_cycles")]));
+        match architecture {
+            Architecture::Pascal | Architecture::Maxwell => {
+                rows.push((
+                    Metric::L2ReadSectors,
+                    vec![
+                        EventId::Named("l2_subp0_total_read_sector_queries"),
+                        EventId::Named("l2_subp1_total_read_sector_queries"),
+                    ],
+                ));
+                rows.push((
+                    Metric::L2WriteSectors,
+                    vec![
+                        EventId::Named("l2_subp0_total_write_sector_queries"),
+                        EventId::Named("l2_subp1_total_write_sector_queries"),
+                    ],
+                ));
+                rows.push((
+                    Metric::SharedLoadTrans,
+                    vec![EventId::Named("shared_ld_transactions")],
+                ));
+                rows.push((
+                    Metric::SharedStoreTrans,
+                    vec![EventId::Named("shared_st_transactions")],
+                ));
+            }
+            Architecture::Kepler => {
+                rows.push((
+                    Metric::L2ReadSectors,
+                    (0..4)
+                        .map(|i| {
+                            EventId::Named(match i {
+                                0 => "l2_subp0_total_read_sector_queries",
+                                1 => "l2_subp1_total_read_sector_queries",
+                                2 => "l2_subp2_total_read_sector_queries",
+                                _ => "l2_subp3_total_read_sector_queries",
+                            })
+                        })
+                        .collect(),
+                ));
+                rows.push((
+                    Metric::L2WriteSectors,
+                    (0..4)
+                        .map(|i| {
+                            EventId::Named(match i {
+                                0 => "l2_subp0_total_write_sector_queries",
+                                1 => "l2_subp1_total_write_sector_queries",
+                                2 => "l2_subp2_total_write_sector_queries",
+                                _ => "l2_subp3_total_write_sector_queries",
+                            })
+                        })
+                        .collect(),
+                ));
+                rows.push((
+                    Metric::SharedLoadTrans,
+                    vec![EventId::Named("l1_shared_ld_transactions")],
+                ));
+                rows.push((
+                    Metric::SharedStoreTrans,
+                    vec![EventId::Named("l1_shared_st_transactions")],
+                ));
+            }
+        }
+        rows.push((
+            Metric::DramReadSectors,
+            vec![
+                EventId::Named("fb_subp0_read_sectors"),
+                EventId::Named("fb_subp1_read_sectors"),
+            ],
+        ));
+        rows.push((
+            Metric::DramWriteSectors,
+            vec![
+                EventId::Named("fb_subp0_write_sectors"),
+                EventId::Named("fb_subp1_write_sectors"),
+            ],
+        ));
+        let (warps_intsp, warps_dp, warps_sf, inst_int, inst_sp): (Vec<u64>, u64, u64, u64, u64) =
+            match architecture {
+                Architecture::Pascal => (vec![580, 581], 584, 560, 831, 829),
+                Architecture::Maxwell => (vec![361, 362], 364, 359, 504, 502),
+                Architecture::Kepler => (vec![131, 134, 136, 137], 141, 133, 205, 203),
+            };
+        rows.push((
+            Metric::WarpsIntSp,
+            warps_intsp.into_iter().map(num).collect(),
+        ));
+        rows.push((Metric::WarpsDp, vec![num(warps_dp)]));
+        rows.push((Metric::WarpsSf, vec![num(warps_sf)]));
+        rows.push((Metric::InstInt, vec![num(inst_int)]));
+        rows.push((Metric::InstSp, vec![num(inst_sp)]));
+        EventTable { architecture, rows }
+    }
+
+    /// The architecture this table applies to.
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// Raw events that must be summed to obtain `metric` (one Table I cell).
+    pub fn events(&self, metric: Metric) -> &[EventId] {
+        self.rows
+            .iter()
+            .find(|(m, _)| *m == metric)
+            .map(|(_, evs)| evs.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over `(metric, events)` rows in Table I order.
+    pub fn iter(&self) -> impl Iterator<Item = (Metric, &[EventId])> {
+        self.rows.iter().map(|(m, evs)| (*m, evs.as_slice()))
+    }
+
+    /// Every distinct raw event the profiler must collect on this device.
+    pub fn all_events(&self) -> Vec<EventId> {
+        let mut out: Vec<EventId> = self.rows.iter().flat_map(|(_, evs)| evs.clone()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_metric_has_events_on_every_architecture() {
+        for arch in [
+            Architecture::Pascal,
+            Architecture::Maxwell,
+            Architecture::Kepler,
+        ] {
+            let t = EventTable::for_architecture(arch);
+            for m in Metric::ALL {
+                assert!(!t.events(m).is_empty(), "{arch:?} {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_prefixes_match_table1_footnote() {
+        let xp = EventTable::for_architecture(Architecture::Pascal);
+        assert_eq!(xp.events(Metric::WarpsSf), &[EventId::Numeric(352_321_560)]);
+        let tx = EventTable::for_architecture(Architecture::Maxwell);
+        assert_eq!(tx.events(Metric::WarpsDp), &[EventId::Numeric(335_544_364)]);
+        let k40 = EventTable::for_architecture(Architecture::Kepler);
+        assert_eq!(k40.events(Metric::InstSp), &[EventId::Numeric(318_767_203)]);
+    }
+
+    #[test]
+    fn kepler_has_four_l2_subpartitions_and_four_intsp_events() {
+        let k40 = EventTable::for_architecture(Architecture::Kepler);
+        assert_eq!(k40.events(Metric::L2ReadSectors).len(), 4);
+        assert_eq!(k40.events(Metric::L2WriteSectors).len(), 4);
+        assert_eq!(k40.events(Metric::WarpsIntSp).len(), 4);
+        let tx = EventTable::for_architecture(Architecture::Maxwell);
+        assert_eq!(tx.events(Metric::L2ReadSectors).len(), 2);
+        assert_eq!(tx.events(Metric::WarpsIntSp).len(), 2);
+    }
+
+    #[test]
+    fn dram_uses_two_fb_subpartitions_everywhere() {
+        for arch in [
+            Architecture::Pascal,
+            Architecture::Maxwell,
+            Architecture::Kepler,
+        ] {
+            let t = EventTable::for_architecture(arch);
+            assert_eq!(t.events(Metric::DramReadSectors).len(), 2);
+            assert_eq!(t.events(Metric::DramWriteSectors).len(), 2);
+        }
+    }
+
+    #[test]
+    fn all_events_deduplicates() {
+        let t = EventTable::for_architecture(Architecture::Maxwell);
+        let all = t.all_events();
+        let mut seen = all.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(all.len(), seen.len());
+        assert!(all.contains(&EventId::Named("active_cycles")));
+    }
+
+    #[test]
+    fn kepler_shared_events_are_l1_prefixed() {
+        let k40 = EventTable::for_architecture(Architecture::Kepler);
+        assert_eq!(
+            k40.events(Metric::SharedLoadTrans),
+            &[EventId::Named("l1_shared_ld_transactions")]
+        );
+    }
+
+    #[test]
+    fn event_id_serde_round_trips_both_variants() {
+        let named = EventId::Named("active_cycles");
+        let json = serde_json::to_string(&named).unwrap();
+        assert_eq!(json, "\"active_cycles\"");
+        assert_eq!(serde_json::from_str::<EventId>(&json).unwrap(), named);
+
+        let numeric = EventId::Numeric(335_544_361);
+        let json = serde_json::to_string(&numeric).unwrap();
+        assert_eq!(json, "\"335544361\"");
+        assert_eq!(serde_json::from_str::<EventId>(&json).unwrap(), numeric);
+
+        // Unknown names are rejected rather than silently interned.
+        assert!(serde_json::from_str::<EventId>("\"warp_yeet_count\"").is_err());
+    }
+
+    #[test]
+    fn event_ids_work_as_json_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<EventId, u64> = BTreeMap::new();
+        m.insert(EventId::Named("active_cycles"), 7);
+        m.insert(EventId::Numeric(318_767_141), 9);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BTreeMap<EventId, u64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn display_of_event_ids() {
+        assert_eq!(EventId::Named("active_cycles").to_string(), "active_cycles");
+        assert_eq!(EventId::Numeric(335544361).to_string(), "event_335544361");
+    }
+}

@@ -1,0 +1,189 @@
+//! Frequency newtypes and the two-domain frequency configuration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A clock frequency in megahertz.
+///
+/// GPU driver frequency tables are quantized to integer megahertz (e.g. the
+/// GTX Titan X exposes memory levels {4005, 3505, 3300, 810} MHz), so the
+/// representation is exact and hashable, which lets a [`FreqConfig`] be used
+/// as a lookup key for per-configuration data such as estimated voltages.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::Mhz;
+///
+/// let f = Mhz::new(975);
+/// assert_eq!(f.as_u32(), 975);
+/// assert_eq!(f.as_hz(), 975.0e6);
+/// assert_eq!(f.to_string(), "975 MHz");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Mhz(u32);
+
+impl Mhz {
+    /// Creates a frequency from an integer megahertz value.
+    pub const fn new(mhz: u32) -> Self {
+        Mhz(mhz)
+    }
+
+    /// Returns the frequency as integer megahertz.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the frequency in hertz as a float, for throughput math.
+    pub fn as_hz(self) -> f64 {
+        f64::from(self.0) * 1.0e6
+    }
+
+    /// Returns the frequency in megahertz as a float.
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+}
+
+impl From<u32> for Mhz {
+    fn from(mhz: u32) -> Self {
+        Mhz(mhz)
+    }
+}
+
+impl fmt::Display for Mhz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+/// A voltage-frequency *configuration*: one frequency per GPU domain.
+///
+/// Modern NVIDIA GPUs expose two independently clocked domains (Section II
+/// of the paper): the *core* (graphics) domain covering the SMs and the L2
+/// cache, and the *memory* domain covering the DRAM. A configuration is the
+/// pair of their operating frequencies; the driver sets voltages
+/// automatically and does not report them, which is precisely the gap the
+/// paper's model fills.
+///
+/// Serialized as the compact string `"<core>@<mem>"` (e.g. `"975@3505"`)
+/// so configurations can key JSON maps (per-configuration power tables,
+/// voltage tables).
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::{FreqConfig, Mhz};
+///
+/// let reference = FreqConfig::new(Mhz::new(975), Mhz::new(3505));
+/// assert_eq!(reference.to_string(), "(core 975 MHz, mem 3505 MHz)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FreqConfig {
+    /// Core (graphics) domain frequency.
+    pub core: Mhz,
+    /// Memory (DRAM) domain frequency.
+    pub mem: Mhz,
+}
+
+impl Serialize for FreqConfig {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(&format_args!(
+            "{}@{}",
+            self.core.as_u32(),
+            self.mem.as_u32()
+        ))
+    }
+}
+
+impl<'de> Deserialize<'de> for FreqConfig {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let (core, mem) = s
+            .split_once('@')
+            .ok_or_else(|| serde::de::Error::custom("expected \"<core>@<mem>\""))?;
+        let parse = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|_| serde::de::Error::custom(format!("invalid frequency `{v}`")))
+        };
+        Ok(FreqConfig::from_mhz(parse(core)?, parse(mem)?))
+    }
+}
+
+impl FreqConfig {
+    /// Creates a configuration from core and memory frequencies.
+    pub const fn new(core: Mhz, mem: Mhz) -> Self {
+        FreqConfig { core, mem }
+    }
+
+    /// Creates a configuration from raw megahertz values.
+    pub const fn from_mhz(core: u32, mem: u32) -> Self {
+        FreqConfig {
+            core: Mhz::new(core),
+            mem: Mhz::new(mem),
+        }
+    }
+
+    /// Returns the frequency of the given domain.
+    pub fn domain_freq(&self, domain: crate::Domain) -> Mhz {
+        match domain {
+            crate::Domain::Core => self.core,
+            crate::Domain::Memory => self.mem,
+        }
+    }
+}
+
+impl fmt::Display for FreqConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(core {}, mem {})", self.core, self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Domain;
+
+    #[test]
+    fn mhz_conversions_are_consistent() {
+        let f = Mhz::new(1404);
+        assert_eq!(f.as_u32(), 1404);
+        assert_eq!(f.as_f64(), 1404.0);
+        assert_eq!(f.as_hz(), 1.404e9);
+    }
+
+    #[test]
+    fn mhz_orders_numerically() {
+        assert!(Mhz::new(810) < Mhz::new(3505));
+        assert_eq!(Mhz::from(975), Mhz::new(975));
+    }
+
+    #[test]
+    fn config_domain_lookup() {
+        let c = FreqConfig::from_mhz(975, 3505);
+        assert_eq!(c.domain_freq(Domain::Core), Mhz::new(975));
+        assert_eq!(c.domain_freq(Domain::Memory), Mhz::new(3505));
+    }
+
+    #[test]
+    fn config_is_usable_as_map_key() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(FreqConfig::from_mhz(975, 3505), 1.0f64);
+        m.insert(FreqConfig::from_mhz(975, 810), 2.0f64);
+        assert_eq!(m[&FreqConfig::from_mhz(975, 810)], 2.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Mhz::new(810).to_string(), "810 MHz");
+        assert_eq!(
+            FreqConfig::from_mhz(595, 810).to_string(),
+            "(core 595 MHz, mem 810 MHz)"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! GPU device specifications for DVFS-aware power modeling.
+//!
+//! This crate captures the *publicly known* characteristics of the GPU
+//! devices used in Guerreiro et al., *GPGPU Power Modeling for Multi-Domain
+//! Voltage-Frequency Scaling* (HPCA 2018): the contents of the paper's
+//! Table II (device descriptions), Table I (performance-event identifiers)
+//! and the component/domain decomposition of Section III.
+//!
+//! Everything in this crate is information that a modeler targeting real
+//! hardware would have access to — data sheets, driver-reported frequency
+//! tables and CUPTI event listings. Hidden physical characteristics
+//! (voltage curves, power coefficients, the L2 peak bandwidth that the
+//! paper measures experimentally) live in the `gpm-sim` crate instead and
+//! are *not* visible here, which enforces the paper's black-box protocol
+//! at the crate-dependency level.
+//!
+//! # Example
+//!
+//! ```
+//! use gpm_spec::{devices, Component, Domain};
+//!
+//! let gpu = devices::gtx_titan_x();
+//! assert_eq!(gpu.num_sms(), 24);
+//! assert_eq!(gpu.default_config().core.as_u32(), 975);
+//! assert_eq!(Component::Dram.domain(), Domain::Memory);
+//! assert_eq!(gpu.vf_grid().len(), 4 * 16); // 4 memory x 16 core levels
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod device;
+pub mod devices;
+mod error;
+pub mod events;
+mod freq;
+
+pub use component::{Component, Domain};
+pub use device::{Architecture, DeviceSpec, DeviceSpecBuilder};
+pub use error::SpecError;
+pub use events::{EventId, EventTable, Metric};
+pub use freq::{FreqConfig, Mhz};

@@ -1,0 +1,287 @@
+//! Multi-kernel applications.
+//!
+//! Real benchmarks launch several kernels per run; Section V-A handles
+//! them by weighting "the consumption of each kernel with its relative
+//! execution time". An [`Application`] is an ordered set of kernels with
+//! per-iteration launch counts; the profiler measures each kernel
+//! separately and combines them with exactly that rule.
+
+use crate::{Category, KernelDesc, WorkloadError};
+use gpm_spec::{Component, DeviceSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A multi-kernel application: kernels plus how many times each is
+/// launched per application iteration.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::devices;
+/// use gpm_workloads::multi_kernel_suite;
+///
+/// let apps = multi_kernel_suite(&devices::gtx_titan_x());
+/// let kmeans = &apps[0];
+/// assert!(kmeans.kernels().len() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    kernels: Vec<(KernelDesc, u32)>,
+}
+
+impl Application {
+    /// Creates an application from `(kernel, launches per iteration)`
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::NoWork`] if no kernel has a non-zero
+    /// launch count.
+    pub fn new(
+        name: impl Into<String>,
+        kernels: impl IntoIterator<Item = (KernelDesc, u32)>,
+    ) -> Result<Self, WorkloadError> {
+        let kernels: Vec<(KernelDesc, u32)> = kernels.into_iter().collect();
+        if kernels.iter().all(|(_, calls)| *calls == 0) || kernels.is_empty() {
+            return Err(WorkloadError::NoWork);
+        }
+        Ok(Application {
+            name: name.into(),
+            kernels,
+        })
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The kernels with their per-iteration launch counts.
+    pub fn kernels(&self) -> &[(KernelDesc, u32)] {
+        &self.kernels
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} kernels)", self.name, self.kernels.len())
+    }
+}
+
+/// Combines per-kernel average powers into the application's average
+/// power by weighting each kernel with its share of the total execution
+/// time (the Section V-A rule). `parts` holds
+/// `(average power, total time)` per kernel.
+///
+/// Returns `None` when the total time is not positive.
+pub fn time_weighted_power(parts: &[(f64, f64)]) -> Option<f64> {
+    let total: f64 = parts.iter().map(|(_, t)| t).sum();
+    if total <= 0.0 || !total.is_finite() {
+        return None;
+    }
+    Some(parts.iter().map(|(p, t)| p * t).sum::<f64>() / total)
+}
+
+/// A small suite of multi-kernel applications modeled on benchmarks the
+/// paper's figures list with multiple entries (K-Means appears as `K-M`
+/// and `K-M_2`; SRAD as `SRAD_1`/`SRAD_2`), plus a conjugate-gradient
+/// solver with three kernels of very different character.
+pub fn multi_kernel_suite(spec: &DeviceSpec) -> Vec<Application> {
+    use crate::UtilizationProfile;
+    let mk = |name: &str, targets: &[(Component, f64)], dur: f64| {
+        KernelDesc::from_utilization_profile(
+            spec,
+            name,
+            Category::Application,
+            &UtilizationProfile::new(targets.iter().copied()),
+            dur,
+        )
+        .expect("static profiles are valid")
+    };
+    vec![
+        Application::new(
+            "KMEANS",
+            [
+                // Distance computation: compute-leaning.
+                (
+                    mk(
+                        "kmeans_distance",
+                        &[
+                            (Component::Int, 0.30),
+                            (Component::Sp, 0.55),
+                            (Component::L2Cache, 0.40),
+                            (Component::Dram, 0.45),
+                        ],
+                        0.04,
+                    ),
+                    1,
+                ),
+                // Centroid update: streaming reduction, memory-bound.
+                (
+                    mk(
+                        "kmeans_update",
+                        &[
+                            (Component::Int, 0.20),
+                            (Component::Sp, 0.15),
+                            (Component::L2Cache, 0.45),
+                            (Component::Dram, 0.70),
+                        ],
+                        0.02,
+                    ),
+                    1,
+                ),
+            ],
+        )
+        .expect("kmeans is well-formed"),
+        Application::new(
+            "SRAD",
+            [
+                (
+                    mk(
+                        "srad_kernel1",
+                        &[
+                            (Component::Sp, 0.50),
+                            (Component::Sf, 0.10),
+                            (Component::L2Cache, 0.35),
+                            (Component::Dram, 0.47),
+                        ],
+                        0.03,
+                    ),
+                    2,
+                ),
+                (
+                    mk(
+                        "srad_kernel2",
+                        &[
+                            (Component::Sp, 0.45),
+                            (Component::L2Cache, 0.30),
+                            (Component::Dram, 0.42),
+                        ],
+                        0.03,
+                    ),
+                    2,
+                ),
+            ],
+        )
+        .expect("srad is well-formed"),
+        Application::new(
+            "CG",
+            [
+                // SpMV: bandwidth-bound.
+                (
+                    mk(
+                        "cg_spmv",
+                        &[
+                            (Component::Int, 0.25),
+                            (Component::Sp, 0.20),
+                            (Component::L2Cache, 0.50),
+                            (Component::Dram, 0.75),
+                        ],
+                        0.05,
+                    ),
+                    1,
+                ),
+                // Dot products: reduction with shared memory.
+                (
+                    mk(
+                        "cg_dot",
+                        &[
+                            (Component::Sp, 0.45),
+                            (Component::SharedMem, 0.40),
+                            (Component::Dram, 0.30),
+                        ],
+                        0.01,
+                    ),
+                    2,
+                ),
+                // AXPY: pure streaming.
+                (
+                    mk(
+                        "cg_axpy",
+                        &[
+                            (Component::Sp, 0.15),
+                            (Component::Dram, 0.80),
+                            (Component::L2Cache, 0.45),
+                        ],
+                        0.01,
+                    ),
+                    3,
+                ),
+            ],
+        )
+        .expect("cg is well-formed"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::devices;
+
+    #[test]
+    fn construction_requires_work() {
+        let spec = devices::gtx_titan_x();
+        let k = crate::microbenchmark_suite(&spec)[0].clone();
+        assert!(Application::new("a", [(k.clone(), 0)]).is_err());
+        assert!(Application::new("a", []).is_err());
+        assert!(Application::new("a", [(k, 2)]).is_ok());
+    }
+
+    #[test]
+    fn weighted_power_is_the_section_5a_rule() {
+        // Two kernels: 100 W for 3 s, 200 W for 1 s -> 125 W.
+        let p = time_weighted_power(&[(100.0, 3.0), (200.0, 1.0)]).unwrap();
+        assert!((p - 125.0).abs() < 1e-12);
+        assert_eq!(time_weighted_power(&[]), None);
+        assert_eq!(time_weighted_power(&[(100.0, 0.0)]), None);
+    }
+
+    #[test]
+    fn weighted_power_is_bounded_by_extremes() {
+        let p = time_weighted_power(&[(80.0, 1.0), (120.0, 2.0), (100.0, 0.5)]).unwrap();
+        assert!(p > 80.0 && p < 120.0);
+    }
+
+    #[test]
+    fn suite_has_multi_kernel_apps_on_every_device() {
+        for spec in devices::all() {
+            let apps = multi_kernel_suite(&spec);
+            assert_eq!(apps.len(), 3);
+            for app in &apps {
+                assert!(app.kernels().len() >= 2, "{}", app.name());
+                assert!(app.kernels().iter().any(|(_, c)| *c > 0));
+            }
+        }
+    }
+
+    #[test]
+    fn cg_kernels_span_memory_and_compute_characters() {
+        let spec = devices::gtx_titan_x();
+        let apps = multi_kernel_suite(&spec);
+        let cg = apps.iter().find(|a| a.name() == "CG").unwrap();
+        let spmv = &cg.kernels()[0].0;
+        let axpy = &cg.kernels()[2].0;
+        // SpMV moves more DRAM bytes per SP instruction than AXPY has SP
+        // work relative to its size; both are DRAM-heavy but distinct.
+        assert!(spmv.bytes(Component::Dram) > 0.0);
+        assert!(axpy.bytes(Component::Dram) > 0.0);
+        assert_ne!(spmv, axpy);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = devices::tesla_k40c();
+        let apps = multi_kernel_suite(&spec);
+        let json = serde_json::to_string(&apps[0]).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(apps[0], back);
+    }
+
+    #[test]
+    fn display_shows_kernel_count() {
+        let spec = devices::tesla_k40c();
+        let apps = multi_kernel_suite(&spec);
+        assert_eq!(apps[2].to_string(), "CG (3 kernels)");
+    }
+}

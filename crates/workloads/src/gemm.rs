@@ -1,0 +1,151 @@
+//! Parameterized dense matrix multiply (`matrixMulCUBLAS`, Fig. 9).
+//!
+//! Fig. 9 studies how the *input size* changes component utilizations and
+//! hence power: a 64x64 multiply is latency/cache-bound, 512x512 begins to
+//! saturate the SP pipeline, and 4096x4096 runs the SP units at ~0.92
+//! utilization with substantially higher L2/DRAM pressure. The descriptor
+//! reproduces this with a classic tiled-GEMM traffic model.
+
+use crate::{Category, KernelDesc, WorkloadError};
+use gpm_spec::{Component, DeviceSpec};
+
+/// Builds a `matrixMulCUBLAS`-style kernel multiplying two `n x n`
+/// single-precision matrices.
+///
+/// Work model (tile size `t = 32`, the CUBLAS-like blocking the paper's
+/// device generation uses):
+/// - SP work: `2·n³` flops fused into `n³/32` FMA warp-instructions;
+/// - L2 traffic: each tile pass streams the `A` and `B` panels,
+///   `≈ 2·n³/t · 4` bytes;
+/// - DRAM traffic: panel reuse in L2 divides that by the reuse factor
+///   `r`, floored at the compulsory `3·4·n²` bytes;
+/// - shared-memory traffic: both input tiles are staged, `≈ 2·n³/t · 8`
+///   bytes served from shared memory after staging.
+///
+/// Small matrices (`n ≲ 128`) underfill the GPU, which appears as a
+/// reduced issue efficiency — the Fig. 9 effect where the 64x64 multiply
+/// consumes far less power at identical frequencies.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError::InvalidQuantity`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::devices;
+/// use gpm_workloads::gemm;
+///
+/// let spec = devices::gtx_titan_x();
+/// let small = gemm(&spec, 64)?;
+/// let large = gemm(&spec, 4096)?;
+/// assert!(large.issue_efficiency() > small.issue_efficiency());
+/// # Ok::<(), gpm_workloads::WorkloadError>(())
+/// ```
+pub fn gemm(spec: &DeviceSpec, n: u32) -> Result<KernelDesc, WorkloadError> {
+    if n == 0 {
+        return Err(WorkloadError::InvalidQuantity {
+            field: "matrix_size",
+            value: 0.0,
+        });
+    }
+    let nf = f64::from(n);
+    let tile = 32.0;
+    let warp_size = f64::from(spec.warp_size());
+
+    // Repeat small multiplies so every size produces a comparable amount
+    // of total work (the measurement protocol would do this anyway).
+    let reps = (f64::from(4096_u32 / n.min(4096)).powi(2)).max(1.0);
+
+    let flops_warps = nf * nf * nf / warp_size * reps; // n^3 FMAs / 32 lanes
+                                                       // Register blocking doubles the effective tile for L2 traffic.
+    let l2_bytes = 2.0 * nf * nf * nf / (2.0 * tile) * 4.0 * reps;
+    let shared_bytes = 2.0 * nf * nf * nf / tile * 8.0 * reps;
+    // L2 reuse of the panels: grows with how many tiles fit, capped by
+    // working-set effects for huge matrices.
+    let reuse = (nf / tile).clamp(1.0, 12.0);
+    let dram_bytes = (l2_bytes / reuse).max(3.0 * 4.0 * nf * nf * reps);
+    // All DRAM traffic passes through the L2 (compulsory-miss floor).
+    let l2_bytes = l2_bytes.max(dram_bytes);
+
+    // Device fill: an n x n multiply launches (n/t)^2 thread blocks; the
+    // GPU needs a few blocks per SM to hide latency.
+    let blocks = (nf / tile).powi(2);
+    let fill = (blocks / (4.0 * f64::from(spec.num_sms()))).clamp(0.3, 1.0);
+    let eta = 0.92 * fill.powf(0.35);
+
+    KernelDesc::builder(format!("CUBLAS_{n}x{n}"), Category::Application)
+        .warp_insts(Component::Sp, flops_warps)
+        .warp_insts(Component::Int, flops_warps * 0.08)
+        .shared_bytes(shared_bytes, 0.5)
+        .l2_bytes(l2_bytes, 0.8)
+        .dram_bytes(dram_bytes, 0.7)
+        .latency_cycles(5.0e5 * reps.sqrt())
+        .issue_efficiency(eta)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::devices;
+
+    #[test]
+    fn rejects_zero_size() {
+        assert!(gemm(&devices::gtx_titan_x(), 0).is_err());
+    }
+
+    #[test]
+    fn flop_count_scales_cubically_per_rep() {
+        let spec = devices::gtx_titan_x();
+        let a = gemm(&spec, 1024).unwrap();
+        let b = gemm(&spec, 2048).unwrap();
+        // reps: 16 for 1024, 4 for 2048 -> total work ratio 8/4 = 2.
+        let ratio = b.warp_insts(Component::Sp) / a.warp_insts(Component::Sp);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn larger_matrices_use_device_more_efficiently() {
+        let spec = devices::gtx_titan_x();
+        let sizes = [64, 512, 4096];
+        let etas: Vec<f64> = sizes
+            .iter()
+            .map(|&n| gemm(&spec, n).unwrap().issue_efficiency())
+            .collect();
+        assert!(etas[0] < etas[1] && etas[1] <= etas[2], "{etas:?}");
+        assert!(etas[2] > 0.9);
+    }
+
+    #[test]
+    fn arithmetic_intensity_grows_with_size() {
+        // DRAM bytes per flop must drop as reuse improves.
+        let spec = devices::gtx_titan_x();
+        let small = gemm(&spec, 128).unwrap();
+        let large = gemm(&spec, 4096).unwrap();
+        let ai = |k: &KernelDesc| k.warp_insts(Component::Sp) / k.bytes(Component::Dram);
+        assert!(ai(&large) > ai(&small));
+    }
+
+    #[test]
+    fn l2_traffic_exceeds_dram_traffic() {
+        let spec = devices::titan_xp();
+        for n in [64, 512, 4096] {
+            let k = gemm(&spec, n).unwrap();
+            assert!(
+                k.bytes(Component::L2Cache) >= k.bytes(Component::Dram),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_and_huge_sizes_are_well_formed() {
+        let spec = devices::tesla_k40c();
+        for n in [1, 16, 31, 33, 8192] {
+            let k = gemm(&spec, n).unwrap();
+            assert!(k.issue_efficiency() > 0.0 && k.issue_efficiency() <= 1.0);
+            assert!(k.bytes(Component::Dram) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,756 @@
+//! Kernel descriptors: the workload representation executed by the
+//! simulated GPU.
+
+use gpm_spec::{Component, DeviceSpec, FreqConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced when constructing kernel descriptors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A work quantity or fraction was negative, NaN or infinite.
+    InvalidQuantity {
+        /// The offending field.
+        field: &'static str,
+        /// The provided value.
+        value: f64,
+    },
+    /// The descriptor carries no work at all and no latency, so its
+    /// execution time would be zero.
+    NoWork,
+    /// A utilization target was outside `[0, 1]`.
+    InvalidUtilization(Component, f64),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidQuantity { field, value } => {
+                write!(
+                    f,
+                    "invalid value {value} for `{field}` (must be finite and non-negative)"
+                )
+            }
+            WorkloadError::NoWork => {
+                write!(
+                    f,
+                    "kernel has zero work and zero latency; execution time would be zero"
+                )
+            }
+            WorkloadError::InvalidUtilization(c, u) => {
+                write!(f, "utilization target {u} for {c} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Benchmark family a kernel belongs to (the groups on the Fig. 5 x-axis,
+/// plus the application categories of the validation set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Integer arithmetic microbenchmarks.
+    Int,
+    /// Single-precision microbenchmarks.
+    Sp,
+    /// Double-precision microbenchmarks.
+    Dp,
+    /// Special-function microbenchmarks.
+    Sf,
+    /// L2-cache microbenchmarks.
+    L2,
+    /// Shared-memory microbenchmarks.
+    Shared,
+    /// DRAM microbenchmarks.
+    Dram,
+    /// Mixed-component microbenchmarks.
+    Mix,
+    /// Awake GPU with no executing kernel.
+    Idle,
+    /// Full application from a standard benchmark suite.
+    Application,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Int => "INT",
+            Category::Sp => "SP",
+            Category::Dp => "DP",
+            Category::Sf => "SF",
+            Category::L2 => "L2",
+            Category::Shared => "Shared",
+            Category::Dram => "DRAM",
+            Category::Mix => "MIX",
+            Category::Idle => "Idle",
+            Category::Application => "Application",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A device-independent description of one GPU kernel launch.
+///
+/// All quantities are *whole-launch totals across the whole GPU*:
+/// warp-instruction counts per execution pipeline and bytes moved through
+/// each memory level. The simulator turns these into an execution time and
+/// per-component utilizations with a roofline model; see
+/// `gpm_sim::PerfModel`.
+///
+/// The INT and SP pipelines share issue ports on all three studied devices
+/// (Table I: their warp events are "combined into the same set of events,
+/// making them indistinguishable"), so the simulator's throughput
+/// constraint applies to `warp_insts(Int) + warp_insts(Sp)` jointly.
+///
+/// # Example
+///
+/// ```
+/// use gpm_workloads::{Category, KernelDesc};
+/// use gpm_spec::Component;
+///
+/// let k = KernelDesc::builder("axpy", Category::Application)
+///     .warp_insts(Component::Sp, 4.0e9)
+///     .dram_bytes(6.0e9, 0.67)
+///     .l2_bytes(6.0e9, 0.67)
+///     .latency_cycles(1.0e6)
+///     .build()?;
+/// assert_eq!(k.warp_insts(Component::Sp), 4.0e9);
+/// # Ok::<(), gpm_workloads::WorkloadError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    name: String,
+    category: Category,
+    warp_int: f64,
+    warp_sp: f64,
+    warp_dp: f64,
+    warp_sf: f64,
+    shared_bytes: f64,
+    l2_bytes: f64,
+    dram_bytes: f64,
+    shared_load_fraction: f64,
+    l2_read_fraction: f64,
+    dram_read_fraction: f64,
+    latency_cycles: f64,
+    issue_efficiency: f64,
+    #[serde(default = "one")]
+    shared_bank_conflict_factor: f64,
+    #[serde(default = "one")]
+    dram_coalescing: f64,
+}
+
+fn one() -> f64 {
+    1.0
+}
+
+impl KernelDesc {
+    /// Starts building a kernel descriptor.
+    pub fn builder(name: impl Into<String>, category: Category) -> KernelDescBuilder {
+        KernelDescBuilder::new(name, category)
+    }
+
+    /// Kernel name (benchmark label in figures).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Benchmark family.
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// Total warp-instructions issued to the pipeline of a compute unit.
+    ///
+    /// Returns 0 for memory-level components (their work is in bytes).
+    pub fn warp_insts(&self, unit: Component) -> f64 {
+        match unit {
+            Component::Int => self.warp_int,
+            Component::Sp => self.warp_sp,
+            Component::Dp => self.warp_dp,
+            Component::Sf => self.warp_sf,
+            _ => 0.0,
+        }
+    }
+
+    /// Total bytes moved through a memory level.
+    ///
+    /// Returns 0 for compute units.
+    pub fn bytes(&self, level: Component) -> f64 {
+        match level {
+            Component::SharedMem => self.shared_bytes,
+            Component::L2Cache => self.l2_bytes,
+            Component::Dram => self.dram_bytes,
+            _ => 0.0,
+        }
+    }
+
+    /// Fraction of a memory level's traffic that is reads (rest is writes).
+    pub fn read_fraction(&self, level: Component) -> f64 {
+        match level {
+            Component::SharedMem => self.shared_load_fraction,
+            Component::L2Cache => self.l2_read_fraction,
+            Component::Dram => self.dram_read_fraction,
+            _ => 0.0,
+        }
+    }
+
+    /// Core-clock cycles of unoverlappable latency (dependency chains,
+    /// kernel-launch overhead). This is what keeps an `Idle`-style kernel
+    /// from having zero duration.
+    pub fn latency_cycles(&self) -> f64 {
+        self.latency_cycles
+    }
+
+    /// Issue efficiency `η ∈ (0, 1]`: the fraction of the bottleneck
+    /// throughput the kernel actually sustains (occupancy limits,
+    /// scheduling stalls). The bottleneck component's utilization
+    /// saturates at `η` rather than 1.0.
+    pub fn issue_efficiency(&self) -> f64 {
+        self.issue_efficiency
+    }
+
+    /// Shared-memory bank-conflict replay factor `≥ 1`: a conflicted
+    /// access pattern replays each wavefront this many times, dividing
+    /// the effective shared bandwidth. The paper's shared microbenchmark
+    /// chooses addresses "in a way that minimizes the shared-memory bank
+    /// conflicts" — i.e. factor 1.
+    pub fn shared_bank_conflict_factor(&self) -> f64 {
+        self.shared_bank_conflict_factor
+    }
+
+    /// DRAM coalescing quality `∈ (0, 1]`: the fraction of the peak DRAM
+    /// bandwidth an access pattern can sustain (1 = fully coalesced
+    /// streaming, the microbenchmarks' pattern).
+    pub fn dram_coalescing(&self) -> f64 {
+        self.dram_coalescing
+    }
+
+    /// Returns a copy with every work quantity (instructions, bytes,
+    /// latency) multiplied by `factor` — used to repeat kernels until the
+    /// ≥ 1 s measurement window of Section V-A is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled(&self, factor: f64) -> KernelDesc {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive and finite"
+        );
+        KernelDesc {
+            name: self.name.clone(),
+            category: self.category,
+            warp_int: self.warp_int * factor,
+            warp_sp: self.warp_sp * factor,
+            warp_dp: self.warp_dp * factor,
+            warp_sf: self.warp_sf * factor,
+            shared_bytes: self.shared_bytes * factor,
+            l2_bytes: self.l2_bytes * factor,
+            dram_bytes: self.dram_bytes * factor,
+            latency_cycles: self.latency_cycles * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Builds a kernel that, on `spec` at its reference configuration,
+    /// produces approximately the given per-component utilizations for
+    /// `duration_s` seconds of execution.
+    ///
+    /// The work totals are back-computed from the device's peak
+    /// throughputs at the reference configuration:
+    /// `work_c = U_c · Peak_c(ref) · T`. The issue efficiency is set to
+    /// the largest target so that the roofline bottleneck lands exactly on
+    /// the most-utilized component. L2 traffic is sized against the
+    /// device's *nominal* L2 width (the model itself never sees that
+    /// number — it measures the effective L2 peak from microbenchmarks).
+    ///
+    /// This is how application descriptors (Table III) and the
+    /// arithmetic-intensity sweeps of the microbenchmark suite are
+    /// constructed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidUtilization`] if a target is
+    /// outside `[0, 1]` and [`WorkloadError::NoWork`] if all targets are
+    /// zero and no latency results.
+    pub fn from_utilization_profile(
+        spec: &DeviceSpec,
+        name: impl Into<String>,
+        category: Category,
+        profile: &UtilizationProfile,
+        duration_s: f64,
+    ) -> Result<KernelDesc, WorkloadError> {
+        let reference: FreqConfig = spec.default_config();
+        for (&c, &u) in &profile.targets {
+            if !(0.0..=1.0).contains(&u) || !u.is_finite() {
+                return Err(WorkloadError::InvalidUtilization(c, u));
+            }
+        }
+        let u = |c: Component| profile.targets.get(&c).copied().unwrap_or(0.0);
+        let eta = Component::ALL
+            .iter()
+            .map(|&c| u(c))
+            .fold(0.0f64, f64::max)
+            .clamp(0.05, 1.0);
+
+        // The INT and SP pipelines share throughput; splitting the joint
+        // peak according to the two targets keeps each individual target
+        // while making their *sum* the pipeline constraint.
+        let peak_intsp = spec
+            .peak_warp_throughput(Component::Sp, reference.core)
+            .expect("sp is a compute unit");
+        let peak_dp = spec
+            .peak_warp_throughput(Component::Dp, reference.core)
+            .expect("dp is a compute unit");
+        let peak_sf = spec
+            .peak_warp_throughput(Component::Sf, reference.core)
+            .expect("sf is a compute unit");
+        let l2_peak = reference.core.as_hz() * f64::from(spec.nominal_l2_bytes_per_cycle());
+
+        let mut builder = KernelDesc::builder(name, category)
+            .warp_insts(Component::Int, u(Component::Int) * peak_intsp * duration_s)
+            .warp_insts(Component::Sp, u(Component::Sp) * peak_intsp * duration_s)
+            .warp_insts(Component::Dp, u(Component::Dp) * peak_dp * duration_s)
+            .warp_insts(Component::Sf, u(Component::Sf) * peak_sf * duration_s)
+            .shared_bytes(
+                u(Component::SharedMem) * spec.peak_shared_bandwidth(reference.core) * duration_s,
+                profile.shared_load_fraction,
+            )
+            .l2_bytes(
+                u(Component::L2Cache) * l2_peak * duration_s,
+                profile.l2_read_fraction,
+            )
+            .dram_bytes(
+                u(Component::Dram) * spec.peak_dram_bandwidth(reference.mem) * duration_s,
+                profile.dram_read_fraction,
+            )
+            .issue_efficiency(eta);
+        // A small latency floor keeps degenerate (all-zero) profiles valid
+        // and models launch overhead.
+        builder = builder.latency_cycles(reference.core.as_hz() * duration_s * 0.01);
+        builder.build()
+    }
+}
+
+impl fmt::Display for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.category)
+    }
+}
+
+/// Builds a *power virus*: a kernel that keeps every component near
+/// saturation simultaneously (INT and SP split their shared pipeline).
+/// Useful for TDP, power-capping and cooling studies — the workload class
+/// behind the Fig. 9 footnote, where a prediction exceeds TDP and forces
+/// a frequency fallback.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::{devices, Component};
+/// use gpm_workloads::power_virus;
+///
+/// let virus = power_virus(&devices::gtx_titan_x());
+/// assert!(virus.warp_insts(Component::Sp) > 0.0);
+/// assert!(virus.bytes(Component::Dram) > 0.0);
+/// ```
+pub fn power_virus(spec: &DeviceSpec) -> KernelDesc {
+    let profile = UtilizationProfile::new([
+        (Component::Int, 0.49),
+        (Component::Sp, 0.49),
+        (Component::Dp, 0.95),
+        (Component::Sf, 0.95),
+        (Component::SharedMem, 0.95),
+        (Component::L2Cache, 0.95),
+        (Component::Dram, 0.95),
+    ]);
+    KernelDesc::from_utilization_profile(spec, "power_virus", Category::Mix, &profile, 0.05)
+        .expect("the virus profile is statically valid")
+}
+
+/// Target per-component utilizations used to construct descriptors.
+///
+/// Components absent from the map default to zero utilization.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct UtilizationProfile {
+    /// Target utilization per component, each in `[0, 1]`.
+    pub targets: BTreeMap<Component, f64>,
+    /// Read share of DRAM traffic (default 0.5).
+    pub dram_read_fraction: f64,
+    /// Read share of L2 traffic (default 0.5).
+    pub l2_read_fraction: f64,
+    /// Load share of shared-memory traffic (default 0.5).
+    pub shared_load_fraction: f64,
+}
+
+impl UtilizationProfile {
+    /// Creates a profile from `(component, utilization)` pairs with even
+    /// read/write splits.
+    pub fn new(targets: impl IntoIterator<Item = (Component, f64)>) -> Self {
+        UtilizationProfile {
+            targets: targets.into_iter().collect(),
+            dram_read_fraction: 0.5,
+            l2_read_fraction: 0.5,
+            shared_load_fraction: 0.5,
+        }
+    }
+}
+
+/// Builder for [`KernelDesc`], validating quantities as they are set.
+#[derive(Debug, Clone)]
+pub struct KernelDescBuilder {
+    desc: KernelDesc,
+    error: Option<WorkloadError>,
+}
+
+impl KernelDescBuilder {
+    fn new(name: impl Into<String>, category: Category) -> Self {
+        KernelDescBuilder {
+            desc: KernelDesc {
+                name: name.into(),
+                category,
+                warp_int: 0.0,
+                warp_sp: 0.0,
+                warp_dp: 0.0,
+                warp_sf: 0.0,
+                shared_bytes: 0.0,
+                l2_bytes: 0.0,
+                dram_bytes: 0.0,
+                shared_load_fraction: 0.5,
+                l2_read_fraction: 0.5,
+                dram_read_fraction: 0.5,
+                latency_cycles: 0.0,
+                issue_efficiency: 0.95,
+                shared_bank_conflict_factor: 1.0,
+                dram_coalescing: 1.0,
+            },
+            error: None,
+        }
+    }
+
+    fn check(&mut self, field: &'static str, value: f64, max: f64) -> bool {
+        if !value.is_finite() || value < 0.0 || value > max {
+            self.error
+                .get_or_insert(WorkloadError::InvalidQuantity { field, value });
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Sets total warp-instructions for a compute pipeline. Memory-level
+    /// components are ignored (their work is set in bytes).
+    pub fn warp_insts(mut self, unit: Component, count: f64) -> Self {
+        if self.check("warp_insts", count, f64::INFINITY) {
+            match unit {
+                Component::Int => self.desc.warp_int = count,
+                Component::Sp => self.desc.warp_sp = count,
+                Component::Dp => self.desc.warp_dp = count,
+                Component::Sf => self.desc.warp_sf = count,
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Sets total shared-memory bytes and the load fraction.
+    pub fn shared_bytes(mut self, bytes: f64, load_fraction: f64) -> Self {
+        if self.check("shared_bytes", bytes, f64::INFINITY)
+            && self.check("shared_load_fraction", load_fraction, 1.0)
+        {
+            self.desc.shared_bytes = bytes;
+            self.desc.shared_load_fraction = load_fraction;
+        }
+        self
+    }
+
+    /// Sets total L2 bytes and the read fraction.
+    pub fn l2_bytes(mut self, bytes: f64, read_fraction: f64) -> Self {
+        if self.check("l2_bytes", bytes, f64::INFINITY)
+            && self.check("l2_read_fraction", read_fraction, 1.0)
+        {
+            self.desc.l2_bytes = bytes;
+            self.desc.l2_read_fraction = read_fraction;
+        }
+        self
+    }
+
+    /// Sets total DRAM bytes and the read fraction.
+    pub fn dram_bytes(mut self, bytes: f64, read_fraction: f64) -> Self {
+        if self.check("dram_bytes", bytes, f64::INFINITY)
+            && self.check("dram_read_fraction", read_fraction, 1.0)
+        {
+            self.desc.dram_bytes = bytes;
+            self.desc.dram_read_fraction = read_fraction;
+        }
+        self
+    }
+
+    /// Sets the unoverlappable latency in core cycles.
+    pub fn latency_cycles(mut self, cycles: f64) -> Self {
+        if self.check("latency_cycles", cycles, f64::INFINITY) {
+            self.desc.latency_cycles = cycles;
+        }
+        self
+    }
+
+    /// Sets the issue efficiency `η ∈ (0, 1]`.
+    pub fn issue_efficiency(mut self, eta: f64) -> Self {
+        if self.check("issue_efficiency", eta, 1.0) && eta > 0.0 {
+            self.desc.issue_efficiency = eta;
+        } else if eta <= 0.0 {
+            self.error.get_or_insert(WorkloadError::InvalidQuantity {
+                field: "issue_efficiency",
+                value: eta,
+            });
+        }
+        self
+    }
+
+    /// Sets the shared-memory bank-conflict replay factor (`>= 1`).
+    pub fn shared_bank_conflicts(mut self, factor: f64) -> Self {
+        if !factor.is_finite() || factor < 1.0 {
+            self.error.get_or_insert(WorkloadError::InvalidQuantity {
+                field: "shared_bank_conflict_factor",
+                value: factor,
+            });
+        } else {
+            self.desc.shared_bank_conflict_factor = factor;
+        }
+        self
+    }
+
+    /// Sets the DRAM coalescing quality (`(0, 1]`).
+    pub fn dram_coalescing(mut self, quality: f64) -> Self {
+        if !quality.is_finite() || quality <= 0.0 || quality > 1.0 {
+            self.error.get_or_insert(WorkloadError::InvalidQuantity {
+                field: "dram_coalescing",
+                value: quality,
+            });
+        } else {
+            self.desc.dram_coalescing = quality;
+        }
+        self
+    }
+
+    /// Finalizes the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error recorded by a setter, or
+    /// [`WorkloadError::NoWork`] if the kernel has neither work nor
+    /// latency.
+    pub fn build(self) -> Result<KernelDesc, WorkloadError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let d = &self.desc;
+        let total = d.warp_int
+            + d.warp_sp
+            + d.warp_dp
+            + d.warp_sf
+            + d.shared_bytes
+            + d.l2_bytes
+            + d.dram_bytes
+            + d.latency_cycles;
+        if total <= 0.0 {
+            return Err(WorkloadError::NoWork);
+        }
+        Ok(self.desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::devices;
+
+    fn simple() -> KernelDesc {
+        KernelDesc::builder("k", Category::Sp)
+            .warp_insts(Component::Sp, 1.0e9)
+            .dram_bytes(2.0e9, 0.75)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_round_trips_quantities() {
+        let k = simple();
+        assert_eq!(k.warp_insts(Component::Sp), 1.0e9);
+        assert_eq!(k.warp_insts(Component::Int), 0.0);
+        assert_eq!(k.bytes(Component::Dram), 2.0e9);
+        assert_eq!(k.read_fraction(Component::Dram), 0.75);
+        assert_eq!(k.bytes(Component::Sp), 0.0);
+        assert_eq!(k.issue_efficiency(), 0.95);
+    }
+
+    #[test]
+    fn builder_rejects_negative_and_nan() {
+        let e = KernelDesc::builder("k", Category::Sp)
+            .warp_insts(Component::Sp, -1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            WorkloadError::InvalidQuantity {
+                field: "warp_insts",
+                ..
+            }
+        ));
+        let e = KernelDesc::builder("k", Category::Sp)
+            .dram_bytes(f64::NAN, 0.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, WorkloadError::InvalidQuantity { .. }));
+        let e = KernelDesc::builder("k", Category::Sp)
+            .dram_bytes(1.0, 1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            WorkloadError::InvalidQuantity {
+                field: "dram_read_fraction",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty_kernel() {
+        let e = KernelDesc::builder("k", Category::Idle)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, WorkloadError::NoWork);
+        // Latency-only kernels are fine (that is the Idle kernel).
+        assert!(KernelDesc::builder("idle", Category::Idle)
+            .latency_cycles(1.0e6)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_issue_efficiency_is_rejected() {
+        let e = KernelDesc::builder("k", Category::Sp)
+            .warp_insts(Component::Sp, 1.0)
+            .issue_efficiency(0.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            WorkloadError::InvalidQuantity {
+                field: "issue_efficiency",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn access_quality_factors_validate_and_default() {
+        let k = simple();
+        assert_eq!(k.shared_bank_conflict_factor(), 1.0);
+        assert_eq!(k.dram_coalescing(), 1.0);
+        let k = KernelDesc::builder("conflicted", Category::Shared)
+            .shared_bytes(1.0e9, 0.5)
+            .shared_bank_conflicts(4.0)
+            .dram_coalescing(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(k.shared_bank_conflict_factor(), 4.0);
+        assert_eq!(k.dram_coalescing(), 0.5);
+        // Out-of-range values are rejected.
+        assert!(KernelDesc::builder("x", Category::Shared)
+            .shared_bytes(1.0, 0.5)
+            .shared_bank_conflicts(0.5)
+            .build()
+            .is_err());
+        assert!(KernelDesc::builder("x", Category::Dram)
+            .dram_bytes(1.0, 0.5)
+            .dram_coalescing(0.0)
+            .build()
+            .is_err());
+        assert!(KernelDesc::builder("x", Category::Dram)
+            .dram_bytes(1.0, 0.5)
+            .dram_coalescing(1.5)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn scaling_multiplies_all_work() {
+        let k = simple().scaled(3.0);
+        assert_eq!(k.warp_insts(Component::Sp), 3.0e9);
+        assert_eq!(k.bytes(Component::Dram), 6.0e9);
+        assert_eq!(k.read_fraction(Component::Dram), 0.75);
+        assert_eq!(k.issue_efficiency(), 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaling_by_zero_panics() {
+        let _ = simple().scaled(0.0);
+    }
+
+    #[test]
+    fn profile_construction_sets_bottleneck_efficiency() {
+        let spec = devices::gtx_titan_x();
+        let profile = UtilizationProfile::new([
+            (Component::Sp, 0.8),
+            (Component::Dram, 0.4),
+            (Component::L2Cache, 0.3),
+        ]);
+        let k = KernelDesc::from_utilization_profile(
+            &spec,
+            "app",
+            Category::Application,
+            &profile,
+            0.05,
+        )
+        .unwrap();
+        assert_eq!(k.issue_efficiency(), 0.8);
+        assert!(k.warp_insts(Component::Sp) > 0.0);
+        assert!(k.bytes(Component::Dram) > 0.0);
+        assert_eq!(k.warp_insts(Component::Dp), 0.0);
+    }
+
+    #[test]
+    fn profile_rejects_out_of_range_target() {
+        let spec = devices::gtx_titan_x();
+        let profile = UtilizationProfile::new([(Component::Sp, 1.2)]);
+        let e =
+            KernelDesc::from_utilization_profile(&spec, "x", Category::Application, &profile, 0.05)
+                .unwrap_err();
+        assert!(matches!(
+            e,
+            WorkloadError::InvalidUtilization(Component::Sp, _)
+        ));
+    }
+
+    #[test]
+    fn profile_work_scales_with_duration() {
+        let spec = devices::gtx_titan_x();
+        let profile = UtilizationProfile::new([(Component::Sp, 0.5)]);
+        let a =
+            KernelDesc::from_utilization_profile(&spec, "a", Category::Application, &profile, 0.05)
+                .unwrap();
+        let b =
+            KernelDesc::from_utilization_profile(&spec, "b", Category::Application, &profile, 0.10)
+                .unwrap();
+        let ratio = b.warp_insts(Component::Sp) / a.warp_insts(Component::Sp);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let k = simple();
+        let json = serde_json::to_string(&k).unwrap();
+        let back: KernelDesc = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back);
+    }
+
+    #[test]
+    fn display_contains_name_and_category() {
+        assert_eq!(simple().to_string(), "k [SP]");
+    }
+}

@@ -1,0 +1,53 @@
+//! Kernel descriptors and benchmark suites for GPU power modeling.
+//!
+//! A real GPU executes CUDA kernels; the simulated substrate executes
+//! [`KernelDesc`] *descriptors* that capture exactly the characteristics
+//! the paper shows to matter for power (Section II-B): the instruction mix
+//! across the INT/SP/DP/SF pipelines, the bytes moved through shared
+//! memory, L2 and DRAM, the unoverlappable latency, and the issue
+//! efficiency.
+//!
+//! Two suites reproduce the paper's methodology:
+//!
+//! - [`microbenchmark_suite`] — the 83 training microbenchmarks of
+//!   Section IV, sweeping arithmetic intensity per component
+//!   (INT×12, SP×11, DP×12, SF×8, L2×10, Shared×10, DRAM×12, MIX×7 and
+//!   one Idle kernel, the counts of Fig. 5);
+//! - [`validation_suite`] — the 26 standard applications of Table III
+//!   (Rodinia, Parboil, Polybench, CUDA SDK), *never used for fitting*,
+//!   with the per-application component signatures of Figs. 2 and 10.
+//!
+//! [`gemm`] builds the `matrixMulCUBLAS` kernel at a given matrix size for
+//! the input-size study of Fig. 9.
+//!
+//! # Example
+//!
+//! ```
+//! use gpm_spec::devices;
+//! use gpm_workloads::{microbenchmark_suite, validation_suite, Category};
+//!
+//! let spec = devices::gtx_titan_x();
+//! let micro = microbenchmark_suite(&spec);
+//! assert_eq!(micro.len(), 83);
+//! assert_eq!(micro.iter().filter(|k| k.category() == Category::Idle).count(), 1);
+//! assert_eq!(validation_suite(&spec).len(), 26);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod application;
+mod gemm;
+mod kernel;
+mod micro;
+mod synthetic;
+mod validation;
+
+pub use application::{multi_kernel_suite, time_weighted_power, Application};
+pub use gemm::gemm;
+pub use kernel::{
+    power_virus, Category, KernelDesc, KernelDescBuilder, UtilizationProfile, WorkloadError,
+};
+pub use micro::microbenchmark_suite;
+pub use synthetic::{launch_trace, random_application, random_kernel};
+pub use validation::validation_suite;

@@ -1,0 +1,468 @@
+//! The 83-microbenchmark training suite (Section IV).
+//!
+//! The paper stresses each GPU component in isolation by sweeping the
+//! *arithmetic intensity* of small CUDA kernels: a loop of `N`
+//! multiply-add (or transcendental) operations per pair of global-memory
+//! accesses (Figs. 3-4). Increasing `N` shifts a kernel's bottleneck from
+//! the memory hierarchy to the targeted execution pipeline, tracing out
+//! the utilization staircase of Fig. 5A. The suite composition matches the
+//! Fig. 5 group sizes exactly: INT×12, SP×11, DP×12, SF×8, L2×10,
+//! Shared×10, DRAM×12, MIX×7 plus one Idle kernel — 83 in total.
+
+use crate::{Category, KernelDesc};
+use gpm_spec::{Component, DeviceSpec};
+
+/// Builds the 83-microbenchmark training suite for a device.
+///
+/// Work totals scale with the device's SM count so that the suite covers
+/// comparable utilization ranges on all three paper GPUs.
+///
+/// # Panics
+///
+/// Never panics for valid [`DeviceSpec`] values: every descriptor in the
+/// suite is statically well-formed.
+///
+/// # Example
+///
+/// ```
+/// use gpm_spec::devices;
+/// use gpm_workloads::{microbenchmark_suite, Category};
+///
+/// let suite = microbenchmark_suite(&devices::titan_xp());
+/// assert_eq!(suite.len(), 83);
+/// let sp = suite.iter().filter(|k| k.category() == Category::Sp).count();
+/// assert_eq!(sp, 11);
+/// ```
+pub fn microbenchmark_suite(spec: &DeviceSpec) -> Vec<KernelDesc> {
+    let mut suite = Vec::with_capacity(83);
+    // Elements processed per launch; scaled by SM count so per-SM work is
+    // device independent (2^18 elements per SM).
+    let elements = f64::from(spec.num_sms()) * 262_144.0;
+
+    // --- Arithmetic sweeps (Fig. 3a/3b): N multiply-adds per load/store.
+    let int_sweep = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+    for (i, &n) in int_sweep.iter().enumerate() {
+        suite.push(arith_micro(spec, Component::Int, n, elements, i));
+    }
+    let sp_sweep = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+    for (i, &n) in sp_sweep.iter().enumerate() {
+        suite.push(arith_micro(spec, Component::Sp, n, elements, i));
+    }
+    let dp_sweep = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+    for (i, &n) in dp_sweep.iter().enumerate() {
+        suite.push(arith_micro(spec, Component::Dp, n, elements, i));
+    }
+    let sf_sweep = [1, 2, 4, 8, 16, 32, 64, 128];
+    for (i, &n) in sf_sweep.iter().enumerate() {
+        suite.push(arith_micro(spec, Component::Sf, n, elements, i));
+    }
+
+    // --- L2 sweep (Fig. 3d): streaming a cache-resident buffer, with a
+    // growing amount of SP work diluting the L2 pressure.
+    let l2_ops = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+    for (i, &n) in l2_ops.iter().enumerate() {
+        suite.push(l2_micro(spec, n, elements, i));
+    }
+
+    // --- Shared-memory sweep (Fig. 3c): conflict-free load/store pairs,
+    // again diluted with integer work.
+    let shared_ops = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+    for (i, &n) in shared_ops.iter().enumerate() {
+        suite.push(shared_micro(spec, n, elements, i));
+    }
+
+    // --- DRAM sweep (Fig. 3e): low arithmetic intensities and both data
+    // widths, keeping the threads out of the SMs as much as possible.
+    let dram_sweep: [(u32, u32); 12] = [
+        (0, 4),
+        (1, 4),
+        (2, 4),
+        (3, 4),
+        (4, 4),
+        (6, 4),
+        (0, 8),
+        (1, 8),
+        (2, 8),
+        (3, 8),
+        (4, 8),
+        (6, 8),
+    ];
+    for (i, &(n, width)) in dram_sweep.iter().enumerate() {
+        suite.push(dram_micro(spec, n, width, elements, i));
+    }
+
+    // --- MIX benchmarks: concurrent pressure on several components.
+    suite.extend(mix_micros(spec, elements));
+
+    // --- Idle: the GPU awake with no executing kernel.
+    suite.push(
+        KernelDesc::builder("Idle", Category::Idle)
+            .latency_cycles(spec.default_config().core.as_hz() * 0.05)
+            .issue_efficiency(1.0)
+            .build()
+            .expect("idle kernel is valid"),
+    );
+
+    debug_assert_eq!(suite.len(), 83);
+    suite
+}
+
+/// Arithmetic microbenchmark: `n` fused multiply-adds on `unit` per
+/// element, one load + one store of the element (Fig. 3a/3b).
+fn arith_micro(
+    spec: &DeviceSpec,
+    unit: Component,
+    n: u32,
+    elements: f64,
+    index: usize,
+) -> KernelDesc {
+    let (label, category, dtype_bytes) = match unit {
+        Component::Int => ("INT", Category::Int, 4.0),
+        Component::Sp => ("SP", Category::Sp, 4.0),
+        Component::Dp => ("DP", Category::Dp, 8.0),
+        Component::Sf => ("SF", Category::Sf, 4.0),
+        _ => unreachable!("arithmetic microbenchmarks target compute units"),
+    };
+    let warp_size = f64::from(spec.warp_size());
+    let main_warps = elements * f64::from(n) / warp_size;
+    // Loop bookkeeping: one integer add + compare per iteration batch
+    // (the PTX in Fig. 4 unrolls 32x, so overhead is 2 ops per 32).
+    let overhead_int = elements * f64::from(n) / 16.0 / warp_size;
+    let bytes = elements * dtype_bytes * 2.0;
+    let mut b = KernelDesc::builder(format!("{label}_n{n}"), category)
+        .dram_bytes(bytes, 0.5)
+        .l2_bytes(bytes, 0.5)
+        .latency_cycles(2.0e5)
+        .issue_efficiency(efficiency_for(index));
+    b = match unit {
+        Component::Int => b.warp_insts(Component::Int, main_warps + overhead_int),
+        other => b
+            .warp_insts(other, main_warps)
+            .warp_insts(Component::Int, overhead_int),
+    };
+    b.build().expect("arithmetic microbenchmark is valid")
+}
+
+/// L2 microbenchmark: cache-resident streaming (footprint below the L2
+/// capacity, so DRAM sees only compulsory traffic), diluted with `n` SP
+/// operations per element.
+fn l2_micro(spec: &DeviceSpec, n: u32, elements: f64, index: usize) -> KernelDesc {
+    let warp_size = f64::from(spec.warp_size());
+    let passes = 40.0;
+    let l2_bytes = elements * 4.0 * 2.0 * passes;
+    // Compulsory misses only: one pass worth of traffic.
+    let dram_bytes = elements * 4.0 * 2.0;
+    KernelDesc::builder(format!("L2_n{n}"), Category::L2)
+        .l2_bytes(l2_bytes, 0.6)
+        .dram_bytes(dram_bytes, 0.5)
+        .warp_insts(Component::Sp, elements * passes * f64::from(n) / warp_size)
+        .warp_insts(Component::Int, elements * passes / warp_size)
+        .latency_cycles(2.0e5)
+        .issue_efficiency(efficiency_for(index))
+        .build()
+        .expect("l2 microbenchmark is valid")
+}
+
+/// Shared-memory microbenchmark: conflict-free load/store pairs per
+/// element (Fig. 3c), diluted with `n` integer operations.
+fn shared_micro(spec: &DeviceSpec, n: u32, elements: f64, index: usize) -> KernelDesc {
+    let warp_size = f64::from(spec.warp_size());
+    let passes = 60.0;
+    let shared_bytes = elements * 4.0 * 2.0 * passes;
+    let io_bytes = elements * 4.0 * 2.0;
+    KernelDesc::builder(format!("Shared_n{n}"), Category::Shared)
+        .shared_bytes(shared_bytes, 0.5)
+        .l2_bytes(io_bytes, 0.5)
+        .dram_bytes(io_bytes, 0.5)
+        .warp_insts(
+            Component::Int,
+            elements * passes * (1.0 + f64::from(n)) / warp_size,
+        )
+        .latency_cycles(2.0e5)
+        .issue_efficiency(efficiency_for(index))
+        .build()
+        .expect("shared microbenchmark is valid")
+}
+
+/// DRAM microbenchmark: streaming with very low arithmetic intensity
+/// (Fig. 3e); `width` bytes per element exercise both `float` and
+/// `double` traffic patterns.
+fn dram_micro(spec: &DeviceSpec, n: u32, width: u32, elements: f64, index: usize) -> KernelDesc {
+    let warp_size = f64::from(spec.warp_size());
+    let passes = 16.0;
+    let bytes = elements * f64::from(width) * 2.0 * passes;
+    let unit = if width == 8 {
+        Component::Dp
+    } else {
+        Component::Sp
+    };
+    KernelDesc::builder(format!("DRAM_n{n}_w{width}"), Category::Dram)
+        .dram_bytes(bytes, 0.55)
+        .l2_bytes(bytes, 0.55)
+        .warp_insts(unit, elements * passes * f64::from(n) / warp_size)
+        .warp_insts(Component::Int, elements * passes / warp_size)
+        .latency_cycles(2.0e5)
+        .issue_efficiency(efficiency_for(index))
+        .build()
+        .expect("dram microbenchmark is valid")
+}
+
+/// The seven MIX microbenchmarks: concurrent multi-component pressure,
+/// including the suite's peak-power points (Fig. 5B: the maximum dynamic
+/// contribution occurs "in one of the Mix microbenchmarks").
+fn mix_micros(spec: &DeviceSpec, elements: f64) -> Vec<KernelDesc> {
+    let warp_size = f64::from(spec.warp_size());
+    let e = elements;
+    let mk = |name: &str,
+              int: f64,
+              sp: f64,
+              dp: f64,
+              sf: f64,
+              sh: f64,
+              l2: f64,
+              dram: f64,
+              idx: usize| {
+        KernelDesc::builder(name, Category::Mix)
+            .warp_insts(Component::Int, int / warp_size)
+            .warp_insts(Component::Sp, sp / warp_size)
+            .warp_insts(Component::Dp, dp / warp_size)
+            .warp_insts(Component::Sf, sf / warp_size)
+            .shared_bytes(sh, 0.5)
+            .l2_bytes(l2, 0.55)
+            .dram_bytes(dram, 0.55)
+            .latency_cycles(2.0e5)
+            .issue_efficiency(efficiency_for(idx))
+            .build()
+            .expect("mix microbenchmark is valid")
+    };
+    vec![
+        // SP + DRAM: classic streaming compute.
+        mk(
+            "MIX_sp_dram",
+            e * 16.0,
+            e * 256.0,
+            0.0,
+            0.0,
+            0.0,
+            e * 128.0,
+            e * 96.0,
+            0,
+        ),
+        // INT + L2: pointer-chasing-like working set in cache.
+        mk(
+            "MIX_int_l2",
+            e * 384.0,
+            0.0,
+            0.0,
+            0.0,
+            0.0,
+            e * 256.0,
+            e * 8.0,
+            1,
+        ),
+        // SP + shared: tiled compute.
+        mk(
+            "MIX_sp_shared",
+            e * 16.0,
+            e * 320.0,
+            0.0,
+            0.0,
+            e * 256.0,
+            e * 16.0,
+            e * 8.0,
+            2,
+        ),
+        // DP + DRAM: double-precision streaming.
+        mk(
+            "MIX_dp_dram",
+            e * 8.0,
+            0.0,
+            e * 24.0,
+            0.0,
+            0.0,
+            e * 96.0,
+            e * 80.0,
+            3,
+        ),
+        // SF + SP: transcendental-heavy compute.
+        mk(
+            "MIX_sf_sp",
+            e * 8.0,
+            e * 192.0,
+            0.0,
+            e * 64.0,
+            0.0,
+            e * 16.0,
+            e * 8.0,
+            4,
+        ),
+        // All compute units together.
+        mk(
+            "MIX_all_compute",
+            e * 192.0,
+            e * 192.0,
+            e * 8.0,
+            e * 32.0,
+            e * 64.0,
+            e * 16.0,
+            e * 8.0,
+            5,
+        ),
+        // Everything at once: the suite's peak-power kernel.
+        mk(
+            "MIX_full",
+            e * 128.0,
+            e * 256.0,
+            e * 8.0,
+            e * 32.0,
+            e * 128.0,
+            e * 192.0,
+            e * 128.0,
+            6,
+        ),
+    ]
+}
+
+/// Deterministic per-benchmark issue-efficiency jitter in [0.88, 0.98]:
+/// real microbenchmarks never sustain identical fractions of peak.
+fn efficiency_for(index: usize) -> f64 {
+    0.93 + 0.01 * ((index * 7 + 3) % 6) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::devices;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn suite_has_83_kernels_with_fig5_group_sizes() {
+        for spec in devices::all() {
+            let suite = microbenchmark_suite(&spec);
+            assert_eq!(suite.len(), 83, "{}", spec.name());
+            let mut counts: BTreeMap<Category, usize> = BTreeMap::new();
+            for k in &suite {
+                *counts.entry(k.category()).or_default() += 1;
+            }
+            assert_eq!(counts[&Category::Int], 12);
+            assert_eq!(counts[&Category::Sp], 11);
+            assert_eq!(counts[&Category::Dp], 12);
+            assert_eq!(counts[&Category::Sf], 8);
+            assert_eq!(counts[&Category::L2], 10);
+            assert_eq!(counts[&Category::Shared], 10);
+            assert_eq!(counts[&Category::Dram], 12);
+            assert_eq!(counts[&Category::Mix], 7);
+            assert_eq!(counts[&Category::Idle], 1);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        let mut names: Vec<&str> = suite.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn arithmetic_sweep_increases_compute_work_monotonically() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        let sp: Vec<&KernelDesc> = suite
+            .iter()
+            .filter(|k| k.category() == Category::Sp)
+            .collect();
+        for pair in sp.windows(2) {
+            assert!(
+                pair[1].warp_insts(Component::Sp) > pair[0].warp_insts(Component::Sp),
+                "sweep must increase SP work"
+            );
+        }
+        // DRAM traffic stays constant within the sweep: intensity is the
+        // ratio that changes.
+        assert_eq!(sp[0].bytes(Component::Dram), sp[10].bytes(Component::Dram));
+    }
+
+    #[test]
+    fn sf_kernels_carry_sf_work_only_plus_overhead() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        for k in suite.iter().filter(|k| k.category() == Category::Sf) {
+            assert!(k.warp_insts(Component::Sf) > 0.0);
+            assert_eq!(k.warp_insts(Component::Sp), 0.0);
+            assert_eq!(k.warp_insts(Component::Dp), 0.0);
+        }
+    }
+
+    #[test]
+    fn l2_kernels_have_cache_resident_traffic() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        for k in suite.iter().filter(|k| k.category() == Category::L2) {
+            assert!(
+                k.bytes(Component::L2Cache) > 10.0 * k.bytes(Component::Dram),
+                "L2 traffic should dwarf DRAM traffic: {}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dram_kernels_route_all_traffic_through_l2() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        for k in suite.iter().filter(|k| k.category() == Category::Dram) {
+            assert_eq!(k.bytes(Component::L2Cache), k.bytes(Component::Dram));
+            assert!(k.bytes(Component::Dram) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_kernels_stress_shared_memory() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        for k in suite.iter().filter(|k| k.category() == Category::Shared) {
+            assert!(k.bytes(Component::SharedMem) > k.bytes(Component::Dram));
+        }
+    }
+
+    #[test]
+    fn idle_kernel_has_latency_only() {
+        let suite = microbenchmark_suite(&devices::tesla_k40c());
+        let idle = suite
+            .iter()
+            .find(|k| k.category() == Category::Idle)
+            .unwrap();
+        assert!(idle.latency_cycles() > 0.0);
+        for c in Component::ALL {
+            assert_eq!(idle.warp_insts(c), 0.0);
+            assert_eq!(idle.bytes(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn work_scales_with_sm_count() {
+        let big = microbenchmark_suite(&devices::titan_xp()); // 30 SMs
+        let small = microbenchmark_suite(&devices::tesla_k40c()); // 15 SMs
+        let b = big.iter().find(|k| k.name() == "SP_n64").unwrap();
+        let s = small.iter().find(|k| k.name() == "SP_n64").unwrap();
+        let ratio = b.warp_insts(Component::Sp) / s.warp_insts(Component::Sp);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiencies_vary_but_stay_in_band() {
+        let suite = microbenchmark_suite(&devices::gtx_titan_x());
+        let mut distinct: Vec<u64> = suite
+            .iter()
+            .map(|k| (k.issue_efficiency() * 1000.0).round() as u64)
+            .collect();
+        for k in &suite {
+            let eta = k.issue_efficiency();
+            assert!((0.85..=1.0).contains(&eta), "{}: {eta}", k.name());
+        }
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 3,
+            "efficiency should vary across the suite"
+        );
+    }
+}

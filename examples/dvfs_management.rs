@@ -1,0 +1,89 @@
+//! DVFS management (use case 3 of Section V-B and the paper's main
+//! future-work direction): profile a kernel's first invocation, then use
+//! the model to pick the frequency configuration that minimizes *energy*
+//! under a performance constraint — without executing the kernel at every
+//! candidate configuration.
+//!
+//! Power comes from the model (the expensive-to-measure quantity);
+//! execution time is measured per configuration by simply timing the
+//! kernel, which any runtime can do.
+//!
+//! Run with: `cargo run --release --example dvfs_management`
+
+use gpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::new(&mut gpu).profile_suite(&suite)?;
+    let model = Estimator::new().fit(&training)?;
+
+    // An iterative application: the first kernel call is profiled, every
+    // later call reuses the chosen configuration (the paper's future-work
+    // scheme for "the iterative nature of many of the most common GPU
+    // applications").
+    let app = validation_suite(&spec)
+        .into_iter()
+        .find(|k| k.name() == "SRAD_1")
+        .expect("srad in validation suite");
+    let profile = Profiler::new(&mut gpu).profile_at_reference(&app)?;
+
+    let reference = spec.default_config();
+    gpu.set_clocks(reference)?;
+    let t_ref = gpu.execute(&app).duration_s;
+    let p_ref = model.predict(&profile.utilizations, reference)?;
+    println!(
+        "{} at the default {}: {:.1} ms, {:.1} W, {:.2} J per call",
+        app.name(),
+        reference,
+        t_ref * 1e3,
+        p_ref,
+        p_ref * t_ref
+    );
+
+    // Search the whole grid: energy = predicted power x measured time,
+    // subject to at most 15% slowdown.
+    let max_slowdown = 1.15;
+    let mut best: Option<(FreqConfig, f64, f64, f64)> = None;
+    let mut evaluated = 0;
+    for config in spec.vf_grid() {
+        gpu.set_clocks(config)?;
+        let t = gpu.execute(&app).duration_s;
+        if t > t_ref * max_slowdown {
+            continue;
+        }
+        let p = model.predict(&profile.utilizations, config)?;
+        let energy = p * t;
+        evaluated += 1;
+        if best.is_none_or(|(_, _, _, e)| energy < e) {
+            best = Some((config, t, p, energy));
+        }
+    }
+    let (config, t, p, energy) =
+        best.expect("the reference configuration always meets the constraint");
+    println!(
+        "\nSearched {} configurations ({} meet the <= {:.0}% slowdown constraint).",
+        spec.vf_grid().len(),
+        evaluated,
+        (max_slowdown - 1.0) * 100.0
+    );
+    println!(
+        "Energy-optimal: {config} -> {:.1} ms, {:.1} W, {:.2} J per call",
+        t * 1e3,
+        p,
+        energy
+    );
+    println!(
+        "Savings vs default: {:.0}% energy at {:.0}% slowdown",
+        100.0 * (1.0 - energy / (p_ref * t_ref)),
+        100.0 * (t / t_ref - 1.0)
+    );
+
+    // Verify the pick against the sensor (not available to a real
+    // deployment, which is the point of the model).
+    gpu.set_clocks(config)?;
+    let measured = gpu.measure_power(&app)?.watts;
+    println!("Sensor check at {config}: predicted {p:.1} W, measured {measured:.1} W");
+    Ok(())
+}

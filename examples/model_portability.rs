@@ -1,0 +1,60 @@
+//! GPUs without a power sensor (use case 1 of Section V-B): build the
+//! model once on an instrumented card, serialize it, and use it on a
+//! *different card of the same model* that has no sensor at all — the
+//! deployment the paper describes for virtualized (NVIDIA GRID) guests,
+//! which "currently have no way of measuring" their power.
+//!
+//! Run with: `cargo run --release --example model_portability`
+
+use gpm::core::PowerModel;
+use gpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = gpm::spec::devices::titan_xp();
+
+    // Lab card: fully instrumented, used to build and export the model.
+    let mut lab_card = SimulatedGpu::new(spec.clone(), 7);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::new(&mut lab_card).profile_suite(&suite)?;
+    let model = Estimator::new().fit(&training)?;
+    let exported = model.to_json()?;
+    println!(
+        "Model built on the lab card and exported ({} bytes of JSON).",
+        exported.len()
+    );
+
+    // Production card: same GPU model, different physical card (seeded
+    // physics jitter), and — crucially — we never touch its power sensor.
+    let mut prod_card = SimulatedGpu::new(spec.clone(), 99);
+    let imported = PowerModel::from_json(&exported)?;
+
+    println!("\nPer-app prediction on the sensor-less production card:");
+    println!(
+        "{:<10} {:>11} {:>18} {:>8}",
+        "app", "predicted", "actual (hidden)", "error"
+    );
+    let mut errors = Vec::new();
+    let reference = spec.default_config();
+    for app in validation_suite(&spec).iter().take(10) {
+        // Events are available everywhere (CUPTI needs no power sensor).
+        let profile = Profiler::new(&mut prod_card).profile_at_reference(app)?;
+        let predicted = imported.predict(&profile.utilizations, reference)?;
+        // Ground truth for scoring only: what the card actually draws.
+        let actual = prod_card.measure_power(app)?.watts;
+        let err = 100.0 * (predicted - actual) / actual;
+        println!(
+            "{:<10} {:>9.1} W {:>16.1} W {:>7.1}%",
+            app.name(),
+            predicted,
+            actual,
+            err
+        );
+        errors.push(err.abs());
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    println!(
+        "\nMean absolute error across cards: {mean:.1}% — the exported model \
+         transfers between cards of the same GPU model."
+    );
+    Ok(())
+}

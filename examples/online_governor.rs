@@ -1,0 +1,66 @@
+//! Online DVFS governance (the paper's future-work loop, Section VII):
+//! profile each kernel's first call, pick a V-F configuration per
+//! objective, reuse it for every later call — and compare the energy
+//! ledger against an ungoverned run.
+//!
+//! Run with: `cargo run --release --example online_governor`
+
+use gpm::dvfs::{baseline_ledger, Governor, Objective};
+use gpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::new(&mut gpu).profile_suite(&suite)?;
+    let model = Estimator::new().fit(&training)?;
+
+    // An application phase: a mix of kernels, each called repeatedly.
+    let apps = validation_suite(&spec);
+    let pick = |name: &str| {
+        apps.iter()
+            .find(|k| k.name() == name)
+            .expect("app in validation suite")
+            .clone()
+    };
+    let mut launches = Vec::new();
+    for _ in 0..8 {
+        launches.push(pick("LBM")); // memory-bound
+        launches.push(pick("GEMM")); // compute-bound
+        launches.push(pick("SRAD_1")); // mixed
+    }
+
+    let baseline = baseline_ledger(&mut gpu, &model, &launches)?;
+    println!("Ungoverned (always default clocks): {baseline}");
+
+    for objective in [
+        Objective::MinEnergy,
+        Objective::MinEnergyWithSlowdown(1.10),
+        Objective::MinEdp,
+        Objective::PowerCap(150.0),
+    ] {
+        let mut governor = Governor::new(&mut gpu, model.clone(), objective);
+        for kernel in &launches {
+            governor.run_kernel(kernel)?;
+        }
+        let ledger = governor.ledger();
+        println!(
+            "\n{objective}: {ledger}\n  energy {:+.1}% | time {:+.1}% vs ungoverned \
+             ({} kernels profiled, {} cache hits)",
+            100.0 * (ledger.total_energy_j() / baseline.total_energy_j() - 1.0),
+            100.0 * (ledger.total_time_s() / baseline.total_time_s() - 1.0),
+            governor.stats().profiled,
+            governor.stats().cache_hits,
+        );
+        for name in ["LBM", "GEMM", "SRAD_1"] {
+            let d = governor.decision_for(name).expect("kernel was governed");
+            println!(
+                "  {name:<7} -> {} ({:.0} W predicted, {:.2}x reference time)",
+                d.config,
+                d.predicted_power_w,
+                d.predicted_time_s / d.reference_time_s
+            );
+        }
+    }
+    Ok(())
+}

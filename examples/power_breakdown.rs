@@ -1,0 +1,61 @@
+//! Application power analysis (use case 2 of Section V-B): decompose an
+//! application's predicted power into per-component contributions to find
+//! the power bottleneck — information no sensor provides.
+//!
+//! Run with: `cargo run --release --example power_breakdown`
+
+use gpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+    let suite = microbenchmark_suite(&spec);
+    let mut profiler = Profiler::new(&mut gpu);
+    let training = profiler.profile_suite(&suite)?;
+    let model = Estimator::new().fit(&training)?;
+
+    let reference = spec.default_config();
+    println!("Per-component power at {reference}:\n");
+    for name in ["BLCKSC", "CUTCP", "GEMM", "SYRK_D", "LBM"] {
+        let app = validation_suite(&spec)
+            .into_iter()
+            .find(|k| k.name() == name)
+            .expect("app in validation suite");
+        let profile = profiler.profile_at_reference(&app)?;
+        let b = model.breakdown(&profile.utilizations, reference)?;
+        println!("{name}: {b}");
+
+        // The power bottleneck: the component with the largest dynamic
+        // contribution — the optimization target the paper's use case 2
+        // describes.
+        let (bottleneck, watts) = b
+            .components()
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("powers are finite"))
+            .expect("seven components");
+        println!(
+            "  -> power bottleneck: {bottleneck} ({watts:.1} W, {:.0}% of dynamic)\n",
+            100.0 * watts / (b.total() - b.constant())
+        );
+    }
+
+    // How the decomposition shifts with DVFS: DRAM power collapses at the
+    // low memory level while core components barely move (Fig. 10).
+    let app = validation_suite(&spec)
+        .into_iter()
+        .find(|k| k.name() == "BLCKSC")
+        .expect("blackscholes present");
+    let profile = profiler.profile_at_reference(&app)?;
+    println!("BLCKSC across memory levels (fcore = 975 MHz):");
+    for mem in spec.mem_freqs() {
+        let b = model.breakdown(&profile.utilizations, FreqConfig::new(reference.core, *mem))?;
+        println!(
+            "  fmem {:>5}: total {:6.1} W, DRAM {:5.1} W, constant {:5.1} W",
+            mem.as_u32(),
+            b.total(),
+            b.component(Component::Dram),
+            b.constant()
+        );
+    }
+    Ok(())
+}

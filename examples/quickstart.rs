@@ -1,0 +1,71 @@
+//! Quickstart: build a DVFS-aware power model for a (simulated) GTX
+//! Titan X and predict an unseen application's power across the whole
+//! voltage-frequency grid from one profiling run.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A simulated GPU. On real hardware this would be an NVML handle;
+    //    here the card's physics are hidden behind the same interfaces
+    //    (clock control, power sensor, event counters).
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+    println!("Device: {}", gpu.spec());
+
+    // 2. Run the paper's training campaign: the 83-microbenchmark suite,
+    //    events at the reference configuration only, power at every V-F
+    //    configuration (median of 10 runs).
+    let suite = microbenchmark_suite(&spec);
+    let mut profiler = Profiler::new(&mut gpu);
+    let training = profiler.profile_suite(&suite)?;
+    println!(
+        "Training set: {} microbenchmarks x {} configurations = {} observations",
+        training.samples.len(),
+        training.configs().len(),
+        training.observation_count()
+    );
+    println!(
+        "Discovered L2 peak: {:.0} bytes/cycle (vendor does not disclose this)",
+        training.l2_bytes_per_cycle
+    );
+
+    // 3. Fit the model with the paper's iterative heuristic.
+    let (model, report) = Estimator::new().fit_with_report(&training)?;
+    println!(
+        "Fitted in {} iterations (training MAPE {:.1}%)",
+        report.iterations, report.training_mape
+    );
+
+    // 4. Profile an unseen application ONCE, at the reference
+    //    configuration, then predict its power everywhere.
+    let app = validation_suite(&spec)
+        .into_iter()
+        .find(|k| k.name() == "HOTS")
+        .expect("hotspot is in the validation suite");
+    let profile = profiler.profile_at_reference(&app)?;
+    println!("\n{} utilizations: {}", profile.name, profile.utilizations);
+
+    println!("\nPredicted power across the grid (no further measurement!):");
+    for mem in spec.mem_freqs() {
+        print!("  fmem {:>5}:", mem.as_u32());
+        for core in [595u32, 785, 975, 1164] {
+            let config = FreqConfig::from_mhz(core, mem.as_u32());
+            let p = model.predict(&profile.utilizations, config)?;
+            print!("  {core} MHz -> {p:6.1} W");
+        }
+        println!();
+    }
+
+    // 5. Sanity check against the (normally unavailable) sensor.
+    let check = FreqConfig::from_mhz(785, 810);
+    let predicted = model.predict(&profile.utilizations, check)?;
+    let measured = profiler.measure_power_at(&app, check)?;
+    println!(
+        "\nSpot check at {check}: predicted {predicted:.1} W, measured {measured:.1} W \
+         ({:+.1}% error)",
+        100.0 * (predicted - measured) / measured
+    );
+    Ok(())
+}

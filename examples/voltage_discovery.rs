@@ -1,0 +1,61 @@
+//! Voltage-curve discovery: the model estimates how the (driver-hidden)
+//! core voltage scales with frequency — the paper's Fig. 6 — including
+//! the flat region, the linear region and the breaking point between
+//! them, purely from power measurements.
+//!
+//! Run with: `cargo run --release --example voltage_discovery`
+
+use gpm::prelude::*;
+use gpm::spec::Domain;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for spec in [
+        gpm::spec::devices::gtx_titan_x(),
+        gpm::spec::devices::titan_xp(),
+    ] {
+        let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+        let suite = microbenchmark_suite(&spec);
+        let training = Profiler::new(&mut gpu).profile_suite(&suite)?;
+        let model = Estimator::new().fit(&training)?;
+        let reference = spec.default_config();
+
+        println!(
+            "\n{} — estimated core V/V_ref at fmem = {}:",
+            spec.name(),
+            reference.mem
+        );
+        let curve = model.voltage_table().core_curve(reference.mem);
+        let vmax = curve.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+        for (f, v) in &curve {
+            let width = ((v / vmax) * 40.0).round() as usize;
+            println!("  {:>5} MHz  {:>5.3}  {}", f.as_u32(), v, "#".repeat(width));
+        }
+
+        // Locate the estimated breaking point: the first frequency where
+        // the slope becomes clearly positive.
+        let mut break_at = None;
+        for w in curve.windows(2) {
+            let slope = (w[1].1 - w[0].1) / f64::from(w[1].0.as_u32() - w[0].0.as_u32());
+            if slope > 2.0e-4 {
+                break_at = Some(w[0].0);
+                break;
+            }
+        }
+        match break_at {
+            Some(f) => println!("  estimated breaking point near {f}"),
+            None => println!("  no breaking point detected (flat curve)"),
+        }
+
+        // The memory domain: the paper observed no voltage changes across
+        // memory levels; the estimate stays near 1.
+        print!("  memory-domain V/V_ref by level:");
+        for mem in spec.mem_freqs() {
+            let v = model
+                .voltage_table()
+                .voltage(Domain::Memory, FreqConfig::new(reference.core, *mem))?;
+            print!("  {}:{v:.2}", mem.as_u32());
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the extensions: multi-kernel applications
+//! (Section V-A weighting), the online DVFS governor (future work §VII),
+//! power capping and the thermal model.
+
+use gpm::dvfs::{baseline_ledger, Governor, Objective};
+use gpm::prelude::*;
+use gpm::sim::ThermalModel;
+use gpm::spec::devices;
+use gpm::workloads::{multi_kernel_suite, power_virus};
+
+fn fitted() -> (SimulatedGpu, PowerModel) {
+    let spec = devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 31);
+    let training = Profiler::with_repeats(&mut gpu, 1)
+        .profile_suite(&microbenchmark_suite(&spec))
+        .expect("campaign succeeds");
+    let model = Estimator::new().fit(&training).expect("fit succeeds");
+    (gpu, model)
+}
+
+#[test]
+fn multi_kernel_application_power_is_predicted_end_to_end() {
+    let (mut gpu, model) = fitted();
+    let apps = multi_kernel_suite(gpu.spec());
+    let mut profiler = Profiler::with_repeats(&mut gpu, 2);
+    for app in &apps {
+        let profile = profiler
+            .profile_application(app)
+            .expect("profiling succeeds");
+        assert_eq!(profile.kernels.len(), app.kernels().len());
+        let config = FreqConfig::from_mhz(785, 3505);
+        let times = profiler
+            .application_times(app, config)
+            .expect("timing succeeds");
+        let predicted = profile
+            .predict_power(&model, config, Some(&times))
+            .expect("prediction succeeds");
+        let measured = profiler
+            .measure_application_power(app, config)
+            .expect("measurement succeeds");
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.20,
+            "{}: {predicted:.1} vs {measured:.1} W",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn governor_full_run_improves_energy_and_respects_slowdown() {
+    let (mut gpu, model) = fitted();
+    let apps = validation_suite(gpu.spec());
+    let stream: Vec<KernelDesc> = ["LBM", "GEMM", "HOTS", "LBM", "GEMM", "HOTS"]
+        .iter()
+        .map(|n| {
+            apps.iter()
+                .find(|k| k.name() == *n)
+                .expect("app exists")
+                .clone()
+        })
+        .collect();
+
+    let baseline = baseline_ledger(&mut gpu, &model, &stream).expect("baseline runs");
+    let mut governor = Governor::new(&mut gpu, model, Objective::MinEnergyWithSlowdown(1.15));
+    for k in &stream {
+        governor.run_kernel(k).expect("governed launch succeeds");
+    }
+    let governed = governor.ledger();
+    assert!(governed.total_energy_j() <= baseline.total_energy_j() * 1.001);
+    assert!(governed.total_time_s() <= baseline.total_time_s() * 1.15 + 1e-9);
+    assert_eq!(governor.stats().profiled, 3);
+    assert_eq!(governor.stats().cache_hits, 3);
+}
+
+#[test]
+fn power_capping_and_model_tdp_fallback_agree_in_direction() {
+    let (mut gpu, model) = fitted();
+    let spec = gpu.spec().clone();
+    let virus = power_virus(&spec);
+    let top = spec.fastest_config();
+
+    // The model predicts the virus near/above TDP at the top level and
+    // steps down via predict_with_tdp.
+    let profile = Profiler::with_repeats(&mut gpu, 1)
+        .profile_at_reference(&virus)
+        .expect("profiling succeeds");
+    let (chosen, predicted) = model
+        .predict_with_tdp(&profile.utilizations, top)
+        .expect("tdp fallback succeeds");
+    assert!(predicted <= spec.tdp_w());
+
+    // The simulated hardware with capping enabled also steps down.
+    gpu.set_power_capping(true);
+    gpu.set_clocks(top).expect("clocks apply");
+    let measurement = gpu.measure_power(&virus).expect("measurement succeeds");
+    assert!(measurement.effective_clocks.core < top.core);
+    assert!(measurement.watts <= spec.tdp_w() * 1.02);
+    // Both mechanisms moved the same direction (down in core frequency).
+    assert!(chosen.core <= top.core);
+}
+
+#[test]
+fn thermal_model_keeps_validation_usable() {
+    // With the thermal model active during validation, the (cold-trained)
+    // model still predicts within a loose band — the drift is a static-
+    // power effect of a few percent.
+    let (_, model) = fitted();
+    let spec = devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 77);
+    gpu.set_thermal_model(Some(ThermalModel::default()));
+    let mut profiler = Profiler::with_repeats(&mut gpu, 2);
+    let apps = validation_suite(&spec);
+    let mut pred = Vec::new();
+    let mut meas = Vec::new();
+    for app in apps.iter().take(6) {
+        let profile = profiler
+            .profile_at_reference(app)
+            .expect("profiling succeeds");
+        for (config, watts) in profiler.measure_power_grid(app).expect("grid succeeds") {
+            pred.push(
+                model
+                    .predict(&profile.utilizations, config)
+                    .expect("prediction"),
+            );
+            meas.push(watts);
+        }
+    }
+    let mape = gpm::linalg::stats::mape(&pred, &meas).expect("mape");
+    assert!(mape < 15.0, "thermal-drift validation MAPE {mape:.1}%");
+}
+
+#[test]
+fn prediction_intervals_cover_most_measurements() {
+    let (mut gpu, model) = fitted();
+    assert!(model.residual_sigma_w() > 0.0, "estimator attaches sigma");
+    let spec = gpu.spec().clone();
+    let mut profiler = Profiler::with_repeats(&mut gpu, 2);
+    let apps = validation_suite(&spec);
+    let mut covered = 0;
+    let mut total = 0;
+    for app in apps.iter().take(8) {
+        let profile = profiler
+            .profile_at_reference(app)
+            .expect("profiling succeeds");
+        for (config, watts) in profiler.measure_power_grid(app).expect("grid succeeds") {
+            let (lo, _, hi) = model
+                .predict_interval(&profile.utilizations, config)
+                .expect("interval");
+            if (lo..=hi).contains(&watts) {
+                covered += 1;
+            }
+            total += 1;
+        }
+    }
+    let coverage = covered as f64 / total as f64;
+    // A ±2σ band should cover the bulk of held-out measurements.
+    assert!(coverage > 0.60, "interval coverage {coverage:.2}");
+}

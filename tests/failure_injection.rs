@@ -1,0 +1,146 @@
+//! Failure-injection tests: corrupted events, degenerate training sets,
+//! invalid clocks and broken sensors must produce typed errors, never
+//! panics or silent garbage.
+
+use gpm::core::events::EventSet;
+use gpm::core::{Estimator, MicrobenchSample, ModelError, TrainingSet, Utilizations};
+use gpm::prelude::*;
+use gpm::sim::{PowerSensor, SimError};
+use gpm::spec::{devices, EventId, Metric};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn missing_raw_events_are_reported_with_the_metric() {
+    let spec = devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 1);
+    let suite = microbenchmark_suite(&spec);
+    let mut record = gpu.collect_events(&suite[0]);
+    record
+        .counts
+        .remove(&EventId::Named("fb_subp0_read_sectors"));
+    let events = EventSet::new(record.config, record.counts);
+    let err = Utilizations::from_events(&spec, &events, 640.0).unwrap_err();
+    assert_eq!(err, ModelError::MissingEvents(Metric::DramReadSectors));
+}
+
+#[test]
+fn zeroed_cycle_counter_is_rejected() {
+    let spec = devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 1);
+    let suite = microbenchmark_suite(&spec);
+    let mut record = gpu.collect_events(&suite[0]);
+    record.counts.insert(EventId::Named("active_cycles"), 0);
+    let events = EventSet::new(record.config, record.counts);
+    let err = Utilizations::from_events(&spec, &events, 640.0).unwrap_err();
+    assert_eq!(err, ModelError::ZeroActiveCycles);
+}
+
+#[test]
+fn driver_rejects_unsupported_clocks_without_changing_state() {
+    let spec = devices::tesla_k40c();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 1);
+    let before = gpu.clocks();
+    let err = gpu.set_clocks(FreqConfig::from_mhz(876, 3004)).unwrap_err();
+    assert!(matches!(err, SimError::UnsupportedClocks(_)));
+    assert_eq!(gpu.clocks(), before);
+}
+
+#[test]
+fn broken_sensor_reports_window_too_short() {
+    // A refresh period longer than the window yields zero samples.
+    let sensor = PowerSensor::new(5_000.0, 0.0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let err = sensor.sample_window(&mut rng, 100.0, 1.0).unwrap_err();
+    assert!(matches!(err, SimError::WindowTooShort { .. }));
+}
+
+/// A degenerate training set: every kernel has identical utilizations, so
+/// per-component coefficients are unidentifiable.
+fn degenerate_training(spec: &DeviceSpec) -> TrainingSet {
+    let u = Utilizations::from_values([0.4; 7]).unwrap();
+    let samples = (0..12)
+        .map(|i| MicrobenchSample {
+            name: format!("same_{i}"),
+            utilizations: u,
+            power_by_config: spec
+                .vf_grid()
+                .into_iter()
+                .map(|c| (c, 100.0 + c.core.as_f64() / 20.0))
+                .collect(),
+        })
+        .collect();
+    TrainingSet {
+        device: spec.clone(),
+        reference: spec.default_config(),
+        l2_bytes_per_cycle: 640.0,
+        samples,
+    }
+}
+
+#[test]
+fn degenerate_training_sets_do_not_panic() {
+    // Identical utilizations make individual omegas unidentifiable; the
+    // estimator must either fit a (non-unique) solution or return a typed
+    // error — never panic.
+    let spec = devices::gtx_titan_x();
+    let training = degenerate_training(&spec);
+    match Estimator::new().fit(&training) {
+        Ok(model) => {
+            // Whatever split was chosen, total predictions must track the
+            // (perfectly linear) training power.
+            let u = Utilizations::from_values([0.4; 7]).unwrap();
+            let p = model.predict(&u, spec.default_config()).unwrap();
+            assert!((p - (100.0 + 975.0 / 20.0)).abs() < 5.0, "{p}");
+        }
+        Err(e) => assert!(matches!(
+            e,
+            ModelError::Numerical(_) | ModelError::InsufficientTraining(_)
+        )),
+    }
+}
+
+#[test]
+fn empty_and_underdetermined_training_sets_error_cleanly() {
+    let spec = devices::gtx_titan_x();
+    let mut t = degenerate_training(&spec);
+    t.samples.clear();
+    assert!(matches!(
+        Estimator::new().fit(&t),
+        Err(ModelError::InsufficientTraining(_))
+    ));
+
+    let mut t = degenerate_training(&spec);
+    t.samples.truncate(2);
+    for s in &mut t.samples {
+        let p = s.power_by_config[&spec.default_config()];
+        s.power_by_config.clear();
+        s.power_by_config.insert(spec.default_config(), p);
+    }
+    assert!(matches!(
+        Estimator::new().fit(&t),
+        Err(ModelError::InsufficientTraining(_))
+    ));
+}
+
+#[test]
+fn prediction_outside_the_fitted_grid_is_a_typed_error() {
+    let spec = devices::tesla_k40c();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 3);
+    let suite = microbenchmark_suite(&spec);
+    let training = Profiler::with_repeats(&mut gpu, 1)
+        .profile_suite(&suite)
+        .unwrap();
+    let model = Estimator::new().fit(&training).unwrap();
+    let u = Utilizations::from_values([0.1; 7]).unwrap();
+    let err = model
+        .predict(&u, FreqConfig::from_mhz(1000, 9999))
+        .unwrap_err();
+    assert!(matches!(err, ModelError::UnknownConfig(_)));
+}
+
+#[test]
+fn corrupted_training_json_is_rejected() {
+    assert!(TrainingSet::from_json("{\"oops\": 1}").is_err());
+    assert!(gpm::core::PowerModel::from_json("[]").is_err());
+}

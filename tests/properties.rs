@@ -1,0 +1,136 @@
+//! Property-based tests over the public API: invariants that must hold
+//! for arbitrary utilizations, configurations and model inputs.
+
+use gpm::core::{DomainParams, PowerModel, Utilizations, VoltageTable};
+use gpm::prelude::*;
+use gpm::spec::{devices, Domain};
+use proptest::prelude::*;
+
+/// A small but non-trivial fitted-model stand-in with hand-set physical
+/// (non-negative) coefficients over the GTX Titan X grid.
+fn toy_model() -> PowerModel {
+    let spec = devices::gtx_titan_x();
+    let reference = spec.default_config();
+    // Normalized so the curve equals exactly 1 at the reference core
+    // frequency (the table pins the reference to 1 regardless).
+    let raw = |f: f64| 0.87 + 0.28 * (f - 595.0) / (1164.0 - 595.0);
+    let at_ref = raw(reference.core.as_f64());
+    let entries: Vec<_> = spec
+        .vf_grid()
+        .into_iter()
+        .map(|c| (c, [raw(c.core.as_f64()) / at_ref, 1.0]))
+        .collect();
+    PowerModel::new(
+        spec,
+        DomainParams {
+            static_coef: 15.0,
+            idle_dyn: 20.0,
+            omegas: vec![18.0, 24.0, 30.0, 22.0, 15.0, 17.0],
+        },
+        DomainParams {
+            static_coef: 10.0,
+            idle_dyn: 11.0,
+            omegas: vec![26.0],
+        },
+        VoltageTable::new(reference, entries),
+        640.0,
+    )
+}
+
+fn utilization_strategy() -> impl Strategy<Value = Utilizations> {
+    proptest::collection::vec(0.0f64..1.0, 7).prop_map(|v| {
+        let arr: [f64; 7] = v.try_into().expect("seven values");
+        Utilizations::from_values(arr).expect("in range")
+    })
+}
+
+proptest! {
+    #[test]
+    fn predictions_are_positive_and_below_a_physical_ceiling(
+        u in utilization_strategy(),
+        config_idx in 0usize..64,
+    ) {
+        let model = toy_model();
+        let config = model.spec().vf_grid()[config_idx];
+        let p = model.predict(&u, config).expect("fitted config");
+        prop_assert!(p > 0.0);
+        prop_assert!(p < 2.0 * model.spec().tdp_w(), "{p} W");
+    }
+
+    #[test]
+    fn power_is_monotone_in_every_utilization(
+        base in utilization_strategy(),
+        comp_idx in 0usize..7,
+        bump in 0.01f64..0.5,
+        config_idx in 0usize..64,
+    ) {
+        let model = toy_model();
+        let config = model.spec().vf_grid()[config_idx];
+        let mut bumped = base.as_array();
+        bumped[comp_idx] = (bumped[comp_idx] + bump).min(1.0);
+        let lo = model.predict(&base, config).expect("fitted config");
+        let hi = model
+            .predict(&Utilizations::from_values(bumped).expect("in range"), config)
+            .expect("fitted config");
+        prop_assert!(hi + 1e-9 >= lo, "raising U must not lower power");
+    }
+
+    #[test]
+    fn breakdown_components_always_sum_to_total(
+        u in utilization_strategy(),
+        config_idx in 0usize..64,
+    ) {
+        let model = toy_model();
+        let config = model.spec().vf_grid()[config_idx];
+        let b = model.breakdown(&u, config).expect("fitted config");
+        let sum = b.constant() + b.components().iter().map(|(_, w)| w).sum::<f64>();
+        prop_assert!((sum - b.total()).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&b.dynamic_fraction()));
+    }
+
+    #[test]
+    fn power_rises_with_core_frequency_at_fixed_utilization(
+        u in utilization_strategy(),
+        mem_idx in 0usize..4,
+    ) {
+        let model = toy_model();
+        let spec = model.spec().clone();
+        let mem = spec.mem_freqs()[mem_idx];
+        let mut prev = 0.0;
+        for &core in spec.core_freqs().iter().rev() {
+            let p = model
+                .predict(&u, FreqConfig::new(core, mem))
+                .expect("fitted config");
+            prop_assert!(p >= prev, "power must not fall as fcore rises");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn model_json_round_trip_preserves_predictions(
+        u in utilization_strategy(),
+    ) {
+        let model = toy_model();
+        let json = model.to_json().expect("serializes");
+        let back = PowerModel::from_json(&json).expect("deserializes");
+        let config = model.spec().default_config();
+        prop_assert_eq!(
+            model.predict(&u, config).expect("prediction"),
+            back.predict(&u, config).expect("prediction")
+        );
+    }
+
+    #[test]
+    fn voltage_table_is_normalized_at_reference(
+        config_idx in 0usize..64,
+    ) {
+        let model = toy_model();
+        let reference = model.reference();
+        let vt = model.voltage_table();
+        prop_assert_eq!(vt.voltages(reference).expect("reference"), (1.0, 1.0));
+        let config = model.spec().vf_grid()[config_idx];
+        let (vc, vm) = vt.voltages(config).expect("fitted config");
+        prop_assert!(vc > 0.0 && vm > 0.0);
+        let _ = vt.voltage(Domain::Core, config).expect("core voltage");
+    }
+}
