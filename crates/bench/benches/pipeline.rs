@@ -1,9 +1,9 @@
-//! Criterion benchmarks for the end-to-end pipeline stages: measurement
-//! campaign, model estimation (the paper reports ~30 s on an i7 4500U;
-//! the Rust estimator is orders of magnitude faster) and prediction
-//! throughput.
+//! Benchmarks for the end-to-end pipeline stages: measurement campaign,
+//! model estimation (the paper reports ~30 s on an i7 4500U; the Rust
+//! estimator is orders of magnitude faster) and prediction throughput.
+//! Run with `cargo bench -p gpm-bench --bench pipeline`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::harness::bench;
 use gpm_core::{Estimator, Utilizations};
 use gpm_dvfs::{Governor, Objective};
 use gpm_profiler::Profiler;
@@ -11,85 +11,55 @@ use gpm_sim::SimulatedGpu;
 use gpm_spec::devices;
 use gpm_workloads::{microbenchmark_suite, validation_suite};
 
-fn bench_campaign(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling_campaign");
-    group.sample_size(10);
+fn main() {
     for spec in devices::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.name().replace(' ', "_")),
-            &spec,
-            |bencher, spec| {
-                let suite = microbenchmark_suite(spec);
-                bencher.iter(|| {
-                    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
-                    Profiler::new(&mut gpu).profile_suite(&suite).unwrap()
-                })
-            },
-        );
+        let suite = microbenchmark_suite(&spec);
+        let label = spec.name().replace(' ', "_");
+        bench(&format!("profiling_campaign/{label}"), 3, || {
+            let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+            Profiler::new(&mut gpu).profile_suite(&suite).unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_estimator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("estimator_fit");
-    group.sample_size(10);
     for spec in devices::all() {
         let suite = microbenchmark_suite(&spec);
         let mut gpu = SimulatedGpu::new(spec.clone(), 42);
         let training = Profiler::new(&mut gpu).profile_suite(&suite).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.name().replace(' ', "_")),
-            &training,
-            |bencher, training| bencher.iter(|| Estimator::new().fit(training).unwrap()),
-        );
+        let label = spec.name().replace(' ', "_");
+        bench(&format!("estimator_fit/{label}"), 5, || {
+            Estimator::new().fit(&training).unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_prediction(c: &mut Criterion) {
-    let spec = devices::gtx_titan_x();
-    let suite = microbenchmark_suite(&spec);
-    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
-    let training = Profiler::new(&mut gpu).profile_suite(&suite).unwrap();
-    let model = Estimator::new().fit(&training).unwrap();
-    let u = Utilizations::from_values([0.2, 0.6, 0.0, 0.1, 0.3, 0.4, 0.5]).unwrap();
-    let grid = spec.vf_grid();
-    c.bench_function("predict_full_grid", |bencher| {
-        bencher.iter(|| {
+    {
+        let spec = devices::gtx_titan_x();
+        let suite = microbenchmark_suite(&spec);
+        let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+        let training = Profiler::new(&mut gpu).profile_suite(&suite).unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        let u = Utilizations::from_values([0.2, 0.6, 0.0, 0.1, 0.3, 0.4, 0.5]).unwrap();
+        let grid = spec.vf_grid();
+        bench("predict_full_grid", 1000, || {
             grid.iter()
                 .map(|&cfg| model.predict(&u, cfg).unwrap())
                 .sum::<f64>()
-        })
-    });
-}
+        });
+    }
 
-fn bench_governor_first_call(c: &mut Criterion) {
-    let spec = devices::gtx_titan_x();
-    let suite = microbenchmark_suite(&spec);
-    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
-    let training = Profiler::with_repeats(&mut gpu, 1)
-        .profile_suite(&suite)
-        .unwrap();
-    let model = Estimator::new().fit(&training).unwrap();
-    let app = validation_suite(&spec)[0].clone();
-    let mut group = c.benchmark_group("governor_first_call");
-    group.sample_size(20);
-    group.bench_function("min_energy", |bencher| {
-        bencher.iter(|| {
+    {
+        let spec = devices::gtx_titan_x();
+        let suite = microbenchmark_suite(&spec);
+        let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+        let training = Profiler::with_repeats(&mut gpu, 1)
+            .profile_suite(&suite)
+            .unwrap();
+        let model = Estimator::new().fit(&training).unwrap();
+        let app = validation_suite(&spec)[0].clone();
+        bench("governor_first_call/min_energy", 10, || {
             // Fresh governor each iteration so the decision is recomputed
             // (64-config timing sweep + model evaluation).
             let mut governor = Governor::new(&mut gpu, model.clone(), Objective::MinEnergy);
             governor.run_kernel(&app).unwrap()
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_campaign,
-    bench_estimator,
-    bench_prediction,
-    bench_governor_first_call
-);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
-//! Criterion benchmarks for the numerical kernels the estimator relies
-//! on: least squares, NNLS, isotonic regression and cubic roots.
+//! Benchmarks for the numerical kernels the estimator relies on: least
+//! squares, NNLS, isotonic regression and cubic roots. Run with
+//! `cargo bench -p gpm-bench --bench solvers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::harness::bench;
 use gpm_linalg::{cubic_roots, isotonic_increasing, lstsq, nnls, Matrix};
 
 fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<f64>) {
@@ -19,51 +20,19 @@ fn deterministic_matrix(rows: usize, cols: usize, seed: u64) -> (Matrix, Vec<f64
     (a, b)
 }
 
-fn bench_lstsq(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lstsq");
+fn main() {
     for &rows in &[64usize, 512, 4096] {
         let (a, b) = deterministic_matrix(rows, 11, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bencher, _| {
-            bencher.iter(|| lstsq(&a, &b).unwrap())
-        });
+        bench(&format!("lstsq/{rows}"), 20, || lstsq(&a, &b).unwrap());
     }
-    group.finish();
-}
-
-fn bench_nnls(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nnls");
     for &rows in &[64usize, 512, 4096] {
         let (a, b) = deterministic_matrix(rows, 11, 11);
-        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bencher, _| {
-            bencher.iter(|| nnls(&a, &b).unwrap())
-        });
+        bench(&format!("nnls/{rows}"), 20, || nnls(&a, &b).unwrap());
     }
-    group.finish();
-}
-
-fn bench_isotonic(c: &mut Criterion) {
-    let mut group = c.benchmark_group("isotonic");
     for &n in &[16usize, 256, 4096] {
         let y: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
         let w = vec![1.0; n];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| isotonic_increasing(&y, &w))
-        });
+        bench(&format!("isotonic/{n}"), 50, || isotonic_increasing(&y, &w));
     }
-    group.finish();
+    bench("cubic_roots", 1000, || cubic_roots(2.0, -12.0, 22.0, -12.0));
 }
-
-fn bench_cubic(c: &mut Criterion) {
-    c.bench_function("cubic_roots", |bencher| {
-        bencher.iter(|| cubic_roots(2.0, -12.0, 22.0, -12.0))
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_lstsq,
-    bench_nnls,
-    bench_isotonic,
-    bench_cubic
-);
-criterion_main!(benches);

@@ -117,7 +117,10 @@ fn main() {
     println!("  unconstrained voltage curve has {violations} monotonicity violations");
 
     heading("Ablation 4: training-suite size");
-    for keep in [12usize, 21, 28, 42, 83] {
+    // Each subset fit is independent: run the sweep through the parallel
+    // engine and print the (order-preserved) results afterwards.
+    let sizes = [12usize, 21, 28, 42, 83];
+    for line in gpm_par::par_map(&sizes, |&keep| {
         // Stratified subset: every k-th sample keeps the category mix.
         let stride = fitted.training.samples.len().div_ceil(keep);
         let mut subset = fitted.training.clone();
@@ -129,16 +132,18 @@ fn main() {
             .cloned()
             .collect();
         match Estimator::new().fit(&subset) {
-            Ok(model) => println!(
+            Ok(model) => format!(
                 "  {:>2} microbenchmarks -> validation MAPE {:.2}%",
                 subset.samples.len(),
                 validation_mape(&model, &data)
             ),
-            Err(e) => println!(
+            Err(e) => format!(
                 "  {:>2} microbenchmarks -> fit failed: {e}",
                 subset.samples.len()
             ),
         }
+    }) {
+        println!("{line}");
     }
 
     heading("Ablation 5: error vs distance from the reference configuration");
@@ -165,11 +170,14 @@ fn main() {
     }
 
     heading("Ablation 5b: refitting with a different reference configuration");
-    for reference in [
+    // Each reference placement runs a full campaign on its own simulated
+    // GPU, so the three studies parallelize without sharing state.
+    let references = [
         FreqConfig::from_mhz(975, 3505),  // device default (paper)
         FreqConfig::from_mhz(1164, 4005), // fast corner
         FreqConfig::from_mhz(595, 810),   // slow corner
-    ] {
+    ];
+    for line in gpm_par::par_map(&references, |&reference| {
         let mut gpu = SimulatedGpu::new(spec.clone(), REPRO_SEED);
         let suite = gpm_workloads::microbenchmark_suite(&spec);
         let mut profiler = Profiler::new(&mut gpu);
@@ -189,10 +197,12 @@ fn main() {
                 meas.push(watts);
             }
         }
-        println!(
+        format!(
             "  reference {reference} -> validation MAPE {:.2}%",
             stats::mape(&pred, &meas).unwrap()
-        );
+        )
+    }) {
+        println!("{line}");
     }
 
     heading("Ablation 6: absolute vs relative (percentage) error objective");

@@ -73,6 +73,66 @@ pub fn heading(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Minimal wall-clock benchmarking harness for the `harness = false`
+/// benches: a warmup pass followed by timed iterations, reporting mean
+/// and best per-iteration time. Set `GPM_BENCH_ITERS` to override the
+/// iteration count (e.g. `GPM_BENCH_ITERS=1` for a smoke run).
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Outcome of one [`bench`] run.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct BenchResult {
+        /// Benchmark label.
+        pub label: String,
+        /// Timed iterations.
+        pub iters: u32,
+        /// Mean per-iteration wall-clock time.
+        pub mean: Duration,
+        /// Best per-iteration wall-clock time.
+        pub min: Duration,
+    }
+
+    fn iteration_count(default: u32) -> u32 {
+        std::env::var("GPM_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default)
+    }
+
+    /// Times `f` over `default_iters` iterations (after one warmup call)
+    /// and prints one aligned result line.
+    pub fn bench<R>(label: &str, default_iters: u32, mut f: impl FnMut() -> R) -> BenchResult {
+        let iters = iteration_count(default_iters);
+        black_box(f());
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            min = min.min(elapsed);
+            total += elapsed;
+        }
+        let result = BenchResult {
+            label: label.to_string(),
+            iters,
+            mean: total / iters,
+            min,
+        };
+        println!(
+            "{:<40} {:>12.3} ms/iter (best {:>10.3} ms, {} iters)",
+            result.label,
+            result.mean.as_secs_f64() * 1e3,
+            result.min.as_secs_f64() * 1e3,
+            result.iters
+        );
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

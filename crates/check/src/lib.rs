@@ -1,0 +1,234 @@
+//! Dependency-free property testing.
+//!
+//! The workspace's property tests previously used `proptest`, which the
+//! offline build environment cannot fetch. This crate keeps the spirit —
+//! run each property over many randomized inputs — with a deliberately
+//! small, fully deterministic harness:
+//!
+//! - [`check`] runs a property body over `CASES` generated cases (or
+//!   `GPM_CHECK_CASES` when set), each seeded deterministically from the
+//!   property name and case index, so failures reproduce exactly on
+//!   every machine and thread count.
+//! - [`Gen`] hands the body primitive draws (`f64_in`, `usize_in`,
+//!   `vec_f64`, …) backed by a splitmix64 stream.
+//! - On failure the harness re-panics with the property name, case
+//!   index, and seed prepended, which substitutes for shrinking: rerun
+//!   [`check_case`] with that seed to replay the single failing case.
+//!
+//! ```
+//! gpm_check::check("abs_is_nonnegative", |g| {
+//!     let x = g.f64_in(-100.0, 100.0);
+//!     assert!(x.abs() >= 0.0);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of generated cases per property.
+pub const CASES: u32 = 192;
+
+/// Deterministic primitive-value generator (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator seeded explicitly; the same seed yields the same
+    /// draw sequence forever.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            // Avoid the all-zero fixed point without disturbing other seeds.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn u64_any(&mut self) -> u64 {
+        // splitmix64 (Steele et al.): tiny, full-period, well mixed.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.u64_any() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`; `lo` must be `< hi` and both finite.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite());
+        lo + self.unit_f64() * (hi - lo)
+    }
+
+    /// Uniform draw in `range` (half-open, like proptest's `a..b`).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end);
+        let span = (range.end - range.start) as u64;
+        range.start + (self.u64_any() % span) as usize
+    }
+
+    /// Uniform draw in `range` (half-open).
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end);
+        range.start + self.u64_any() % (range.end - range.start)
+    }
+
+    /// Uniform draw in `range` (half-open).
+    pub fn i64_in(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end);
+        let span = (range.end - range.start) as u64;
+        range.start.wrapping_add((self.u64_any() % span) as i64)
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.u64_any() & 1 == 1
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty());
+        &items[self.usize_in(0..items.len())]
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// uniform in `[lo, hi)` — the `proptest::collection::vec` shape.
+    pub fn vec_f64(&mut self, len: Range<usize>, lo: f64, hi: f64) -> Vec<f64> {
+        let n = if len.start == 0 && len.end == 1 {
+            0
+        } else {
+            self.usize_in(len)
+        };
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}
+
+/// Per-case seed: mixes the property name and case index so distinct
+/// properties never share draw sequences.
+fn case_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, then mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `body` once with the generator for (`name`, `case`) — replays a
+/// single case reported by a [`check`] failure.
+pub fn check_case(name: &str, case: u32, body: impl FnOnce(&mut Gen)) {
+    let mut gen = Gen::new(case_seed(name, case));
+    body(&mut gen);
+}
+
+/// Runs `body` over many generated cases; panics with the case index and
+/// seed of the first failing case.
+///
+/// The case count defaults to [`CASES`] and can be raised or lowered via
+/// the `GPM_CHECK_CASES` environment variable.
+pub fn check(name: &str, body: impl Fn(&mut Gen)) {
+    let cases = std::env::var("GPM_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(CASES)
+        .max(1);
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut gen = Gen::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut gen)));
+        if let Err(payload) = result {
+            let detail = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            panic!(
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#x}): {detail}\n\
+                 replay with gpm_check::check_case({name:?}, {case}, ...)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.u64_any(), b.u64_any());
+        }
+        let mut c = Gen::new(8);
+        assert_ne!(Gen::new(7).u64_any(), c.u64_any());
+    }
+
+    #[test]
+    fn draws_respect_their_ranges() {
+        let mut g = Gen::new(42);
+        for _ in 0..2000 {
+            let x = g.f64_in(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+            let n = g.usize_in(2..9);
+            assert!((2..9).contains(&n));
+            let u = g.u64_in(10..11);
+            assert_eq!(u, 10);
+            let i = g.i64_in(-5..-1);
+            assert!((-5..-1).contains(&i));
+            let v = g.vec_f64(0..4, 0.0, 1.0);
+            assert!(v.len() < 4);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn unit_draws_cover_the_interval() {
+        let mut g = Gen::new(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = g.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn check_reports_case_and_seed_on_failure() {
+        let err = catch_unwind(|| {
+            check("always_fails", |_g| panic!("inner message"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"));
+        assert!(msg.contains("case 0"));
+        assert!(msg.contains("inner message"));
+    }
+
+    #[test]
+    fn passing_properties_run_all_cases() {
+        let mut count = 0u32;
+        check("counts_cases", |_g| {});
+        check("observes_gen", |g| {
+            let _ = g.bool();
+        });
+        // `check` has no side channel; recount manually via check_case.
+        for case in 0..3 {
+            check_case("counts_cases", case, |_g| count += 1);
+        }
+        assert_eq!(count, 3);
+    }
+}

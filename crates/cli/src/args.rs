@@ -19,6 +19,18 @@ impl ParsedArgs {
     /// Returns [`CliError::Usage`] on a missing command, a flag without a
     /// value, or a stray positional argument.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parses `[command, --flag, value, ...]` where flags named in
+    /// `switches` are valueless booleans (e.g. `--timings`); they are
+    /// recorded with the value `"true"` and queried via
+    /// [`ParsedArgs::switch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParsedArgs::parse`].
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Result<Self, CliError> {
         let mut iter = args.iter();
         let command = iter
             .next()
@@ -29,12 +41,22 @@ impl ParsedArgs {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("unexpected argument `{arg}`")));
             };
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
             flags.insert(name.to_string(), value.clone());
         }
         Ok(ParsedArgs { command, flags })
+    }
+
+    /// Whether a boolean switch (see [`ParsedArgs::parse_with_switches`])
+    /// was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     /// The subcommand.
@@ -120,6 +142,21 @@ mod tests {
         assert_eq!(a.integer_or("repeats", 10).unwrap(), 10);
         let bad = parse(&["x", "--seed", "abc"]).unwrap();
         assert!(bad.integer_or("seed", 1).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let v: Vec<String> = ["crossval", "--timings", "--folds", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = ParsedArgs::parse_with_switches(&v, &["timings"]).unwrap();
+        assert!(a.switch("timings"));
+        assert!(!a.switch("threads"));
+        assert_eq!(a.integer_or("folds", 5).unwrap(), 3);
+        // Without the switch list, --timings consumes `--folds` as its
+        // value and `3` becomes a stray positional.
+        assert!(ParsedArgs::parse(&v).is_err());
     }
 
     #[test]

@@ -25,22 +25,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
         return Err(CliError::Usage("missing command".into()));
     }
-    let parsed = ParsedArgs::parse(args)?;
+    let parsed = ParsedArgs::parse_with_switches(args, &["timings"])?;
+    // `--threads N` pins the gpm-par worker count for this invocation
+    // (0 or absent: GPM_THREADS, then available parallelism). Results
+    // are identical at any thread count; only wall-clock changes.
+    let threads = parsed.integer_or("threads", 0)? as usize;
+    gpm_par::set_threads((threads > 0).then_some(threads));
     match parsed.command() {
         "devices" => {
             parsed.allow_only(&[])?;
             cmd_devices()
         }
         "characterize" => {
-            parsed.allow_only(&["device", "out", "seed", "repeats"])?;
+            parsed.allow_only(&["device", "out", "seed", "repeats", "threads"])?;
             cmd_characterize(&parsed)
         }
         "train" => {
-            parsed.allow_only(&["training", "out", "max-iterations"])?;
+            parsed.allow_only(&["training", "out", "max-iterations", "threads", "timings"])?;
             cmd_train(&parsed)
         }
         "validate" => {
-            parsed.allow_only(&["model", "seed", "apps"])?;
+            parsed.allow_only(&["model", "seed", "apps", "threads"])?;
             cmd_validate(&parsed)
         }
         "predict" => {
@@ -60,7 +65,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             cmd_export_csv(&parsed)
         }
         "crossval" => {
-            parsed.allow_only(&["training", "folds"])?;
+            parsed.allow_only(&["training", "folds", "threads"])?;
             cmd_crossval(&parsed)
         }
         "governor" => {
@@ -151,13 +156,22 @@ fn cmd_train(args: &ParsedArgs) -> Result<String, CliError> {
         .fit_with_report(&training)
         .map_err(pipeline)?;
     fs::write(out_path, model.to_json().map_err(pipeline)?)?;
-    Ok(format!(
+    let mut out = format!(
         "trained model for {} in {} iterations (converged: {}, training MAPE {:.1}%) -> {out_path}\n",
         model.spec().name(),
         report.iterations,
         report.converged,
         report.training_mape
-    ))
+    );
+    if args.switch("timings") {
+        let _ = write!(
+            out,
+            "phase timings ({} worker threads):\n{}",
+            gpm_par::current_threads(),
+            report.timings
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_validate(args: &ParsedArgs) -> Result<String, CliError> {
@@ -436,8 +450,29 @@ mod tests {
         .unwrap();
         assert!(out.contains("332 observations"), "{out}"); // 83 x 4
 
-        let out = call(&["crossval", "--training", &training_path, "--folds", "3"]).unwrap();
+        let out = call(&[
+            "crossval",
+            "--training",
+            &training_path,
+            "--folds",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
         assert!(out.contains("3-fold CV"), "{out}");
+
+        let out = call(&[
+            "train",
+            "--training",
+            &training_path,
+            "--out",
+            &model_path,
+            "--timings",
+        ])
+        .unwrap();
+        assert!(out.contains("phase timings"), "{out}");
+        assert!(out.contains("voltage_step"), "{out}");
 
         let out = call(&[
             "governor",

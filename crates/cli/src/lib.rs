@@ -71,8 +71,9 @@ COMMANDS
   devices                               list the simulated devices
   characterize --device D --out FILE    run the 83-microbenchmark campaign
                [--seed N] [--repeats N]
-  train        --training FILE --out FILE [--max-iterations N]
+  train        --training FILE --out FILE [--max-iterations N] [--timings]
                                         fit the DVFS-aware power model
+                                        (--timings: print per-phase wall-clock)
   validate     --model FILE [--seed N] [--apps N]
                                         score the model on unseen applications
   predict      --model FILE --app NAME [--seed N]
@@ -89,6 +90,11 @@ COMMANDS
                                         govern a synthetic kernel stream
                                         (O: min-power|min-energy|min-edp|slowdown-10)
   help                                  this text
+
+PARALLELISM
+  characterize, train, validate and crossval accept --threads N to pin
+  the gpm-par worker count (default: GPM_THREADS env, then the machine's
+  available parallelism). Output is identical at any thread count.
 
 DEVICES
   titan-xp | gtx-titan-x | tesla-k40c";

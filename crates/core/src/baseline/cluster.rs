@@ -18,13 +18,13 @@
 //! clusters" — which the comparison benches demonstrate.
 
 use crate::{ModelError, TrainingSet, Utilizations};
+use gpm_json::impl_json;
 use gpm_linalg::{ridge_lstsq, Matrix};
 use gpm_spec::FreqConfig;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Summary of one fitted cluster (for inspection/reporting).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSummary {
     /// Centroid in utilization space ([`gpm_spec::Component::ALL`] order).
     pub centroid: [f64; 7],
@@ -35,7 +35,9 @@ pub struct ClusterSummary {
     pub extreme_ratio: f64,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl_json!(struct ClusterSummary { centroid, members, extreme_ratio });
+
+#[derive(Debug, Clone, PartialEq)]
 struct Cluster {
     centroid: [f64; 7],
     members: usize,
@@ -45,12 +47,16 @@ struct Cluster {
     ratios: BTreeMap<FreqConfig, f64>,
 }
 
+impl_json!(struct Cluster { centroid, members, ref_power_coefs, ratios });
+
 /// The Wu-et-al.-style clustering baseline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingClusterModel {
     reference: FreqConfig,
     clusters: Vec<Cluster>,
 }
+
+impl_json!(struct ScalingClusterModel { reference, clusters });
 
 impl ScalingClusterModel {
     /// Fits the baseline with `k` clusters.
@@ -372,8 +378,8 @@ mod tests {
     fn serde_round_trip() {
         let training = bimodal_training();
         let model = ScalingClusterModel::fit(&training, 2).unwrap();
-        let json = serde_json::to_string(&model).unwrap();
-        let back: ScalingClusterModel = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&model).unwrap();
+        let back: ScalingClusterModel = gpm_json::from_str(&json).unwrap();
         assert_eq!(model, back);
     }
 }

@@ -10,15 +10,15 @@
 //! the comparison can be reproduced.
 
 use crate::{ModelError, TrainingSet, Utilizations};
+use gpm_json::impl_json;
 use gpm_linalg::{ridge_lstsq, Matrix};
 use gpm_spec::{Component, FreqConfig, Mhz};
-use serde::{Deserialize, Serialize};
 
 /// Number of coefficients: intercept, core `(1 + 6)` and memory `(1 + 1)`.
 const NUM_PARAMS: usize = 10;
 
 /// Which training observations the baseline fits on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BaselineFitStrategy {
     /// 3 core x 3 memory frequency subset (max / middle / min), the
     /// protocol of Abe et al. \[14\]. Falls back to every available level
@@ -27,6 +27,13 @@ pub enum BaselineFitStrategy {
     /// Every configuration in the training set.
     AllConfigs,
 }
+
+impl_json!(
+    enum BaselineFitStrategy {
+        Subset3x3,
+        AllConfigs,
+    }
+);
 
 /// A linear-in-frequency power model (the Abe et al. \[14\] baseline):
 ///
@@ -37,11 +44,13 @@ pub enum BaselineFitStrategy {
 /// No voltage terms: the model cannot represent the superlinear power
 /// rise in the high-frequency region, which is exactly why the paper's
 /// DVFS-aware model beats it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearFreqModel {
     reference: FreqConfig,
     coefs: Vec<f64>,
 }
+
+impl_json!(struct LinearFreqModel { reference, coefs });
 
 impl LinearFreqModel {
     /// Fits the baseline from a training set.

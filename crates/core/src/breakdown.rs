@@ -1,7 +1,7 @@
 //! Per-component power decomposition (Figs. 5B and 10).
 
+use gpm_json::impl_json;
 use gpm_spec::Component;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A predicted power decomposition: the utilization-independent constant
@@ -12,11 +12,13 @@ use std::fmt;
 /// about which components represent the main power consumption
 /// bottlenecks". The constant part aggregates static power, the idle
 /// power of the V-F level and any non-modeled components.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerBreakdown {
     constant: f64,
     components: [f64; 7],
 }
+
+impl_json!(struct PowerBreakdown { constant, components });
 
 impl PowerBreakdown {
     /// Assembles a breakdown from the constant part and per-component

@@ -8,12 +8,12 @@
 //! `ω` coefficient poorly identified — worth a warning before fitting.
 
 use crate::TrainingSet;
+use gpm_json::impl_json;
 use gpm_spec::Component;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-component utilization coverage across a training set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ComponentCoverage {
     /// The component.
     pub component: Component,
@@ -25,14 +25,18 @@ pub struct ComponentCoverage {
     pub mean: f64,
 }
 
+impl_json!(struct ComponentCoverage { component, min, max, mean });
+
 /// Coverage report for a training set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageReport {
     /// Per-component statistics, in [`Component::ALL`] order.
     pub components: Vec<ComponentCoverage>,
     /// Number of samples inspected.
     pub samples: usize,
 }
+
+impl_json!(struct CoverageReport { components, samples });
 
 /// A component is considered well-covered when some microbenchmark
 /// drives it at least this hard.

@@ -7,11 +7,11 @@
 //! each fold's kernels are predicted by a model fitted without them.
 
 use crate::{AccuracyReport, Estimator, EstimatorConfig, ModelError, TrainingSet};
-use serde::{Deserialize, Serialize};
+use gpm_json::impl_json;
 use std::fmt;
 
 /// The outcome of one cross-validation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvReport {
     /// Number of folds actually evaluated.
     pub folds: usize,
@@ -20,6 +20,8 @@ pub struct CvReport {
     /// Pooled held-out MAPE over all folds.
     pub overall_mape: f64,
 }
+
+impl_json!(struct CvReport { folds, fold_mape, overall_mape });
 
 impl fmt::Display for CvReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -63,29 +65,41 @@ pub fn cross_validate(
         ));
     }
 
+    // Folds are independent end-to-end (each fits its own model), so they
+    // run in parallel; `par_map` returns them in fold order, and the
+    // pooled report is rebuilt in that order, so the output is identical
+    // to the sequential loop at any thread count.
+    let fold_reports: Vec<Result<AccuracyReport, ModelError>> =
+        gpm_par::par_map_indices(k, |fold| {
+            let mut train_fold = training.clone();
+            let mut held_out = Vec::new();
+            let mut kept = Vec::new();
+            for (i, s) in training.samples.iter().enumerate() {
+                if i % k == fold {
+                    held_out.push(s.clone());
+                } else {
+                    kept.push(s.clone());
+                }
+            }
+            train_fold.samples = kept;
+            let model = Estimator::with_config(config.clone()).fit(&train_fold)?;
+
+            let mut report = AccuracyReport::new();
+            for s in &held_out {
+                for (&cfg, &watts) in &s.power_by_config {
+                    let p = model.predict(&s.utilizations, cfg)?;
+                    report.add(&s.name, cfg, p, watts);
+                }
+            }
+            Ok(report)
+        });
+
     let mut fold_mape = Vec::with_capacity(k);
     let mut pooled = AccuracyReport::new();
-    for fold in 0..k {
-        let mut train_fold = training.clone();
-        let mut held_out = Vec::new();
-        let mut kept = Vec::new();
-        for (i, s) in training.samples.iter().enumerate() {
-            if i % k == fold {
-                held_out.push(s.clone());
-            } else {
-                kept.push(s.clone());
-            }
-        }
-        train_fold.samples = kept;
-        let model = Estimator::with_config(config.clone()).fit(&train_fold)?;
-
-        let mut report = AccuracyReport::new();
-        for s in &held_out {
-            for (&cfg, &watts) in &s.power_by_config {
-                let p = model.predict(&s.utilizations, cfg)?;
-                report.add(&s.name, cfg, p, watts);
-                pooled.add(&s.name, cfg, p, watts);
-            }
+    for result in fold_reports {
+        let report = result?;
+        for e in report.entries() {
+            pooled.add(e.label.clone(), e.config, e.predicted, e.measured);
         }
         fold_mape.push(report.mape()?);
     }

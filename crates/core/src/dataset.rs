@@ -8,12 +8,12 @@
 //! one profiled run at the reference configuration.
 
 use crate::{ModelError, Utilizations};
+use gpm_json::impl_json;
 use gpm_spec::{DeviceSpec, FreqConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One microbenchmark's contribution to model training.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicrobenchSample {
     /// Microbenchmark name (e.g. `"SP_n512"`).
     pub name: String,
@@ -23,8 +23,10 @@ pub struct MicrobenchSample {
     pub power_by_config: BTreeMap<FreqConfig, f64>,
 }
 
+impl_json!(struct MicrobenchSample { name, utilizations, power_by_config });
+
 /// The complete training dataset for one device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSet {
     /// The profiled device's public specification.
     pub device: DeviceSpec,
@@ -36,6 +38,13 @@ pub struct TrainingSet {
     /// Per-microbenchmark samples.
     pub samples: Vec<MicrobenchSample>,
 }
+
+impl_json!(struct TrainingSet {
+    device,
+    reference,
+    l2_bytes_per_cycle,
+    samples,
+});
 
 impl TrainingSet {
     /// All configurations covered by at least one sample, ascending.
@@ -100,7 +109,7 @@ impl TrainingSet {
     /// Returns [`ModelError::InsufficientTraining`] if serialization
     /// fails (cannot occur for well-formed data).
     pub fn to_json(&self) -> Result<String, ModelError> {
-        serde_json::to_string(self)
+        gpm_json::to_string(self)
             .map_err(|_| ModelError::InsufficientTraining("training set not serializable"))
     }
 
@@ -110,7 +119,7 @@ impl TrainingSet {
     ///
     /// Returns [`ModelError::InsufficientTraining`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, ModelError> {
-        serde_json::from_str(json)
+        gpm_json::from_str(json)
             .map_err(|_| ModelError::InsufficientTraining("malformed training-set JSON"))
     }
 }
@@ -118,7 +127,7 @@ impl TrainingSet {
 /// A profiled application, ready for power prediction: utilizations from
 /// one run at the reference configuration (Section III-E — "by simply
 /// measuring its performance events on a single configuration").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppProfile {
     /// Application name.
     pub name: String,
@@ -127,6 +136,8 @@ pub struct AppProfile {
     /// The reference configuration the profile was taken at.
     pub reference: FreqConfig,
 }
+
+impl_json!(struct AppProfile { name, utilizations, reference });
 
 #[cfg(test)]
 mod tests {

@@ -29,6 +29,7 @@
 
 use crate::{DomainParams, MicrobenchSample, ModelError, PowerModel, TrainingSet, VoltageTable};
 use gpm_linalg::{cubic_roots, isotonic_increasing, nnls, ridge_lstsq, spd_inverse, stats, Matrix};
+use gpm_par::timer::{Collector, PhaseTimings};
 use gpm_spec::{Component, FreqConfig, Mhz};
 use std::collections::BTreeMap;
 
@@ -103,6 +104,10 @@ pub struct FitReport {
     /// A coefficient with a standard error comparable to its value was
     /// not pinned down by the training suite.
     pub coefficient_sigma: Vec<f64>,
+    /// Wall-clock time per estimation phase (bootstrap, voltage step,
+    /// coefficient step, diagnostics) — printed by the CLI's `--timings`
+    /// flag and aggregated across cross-validation folds.
+    pub timings: PhaseTimings,
 }
 
 /// Fits [`PowerModel`]s from [`TrainingSet`]s via the paper's iterative
@@ -224,8 +229,11 @@ impl Estimator {
             })
             .collect();
 
+        let timings = Collector::new();
+
         // --- Step 1: bootstrap on {F1, F2, F3} with V̄ ≡ 1 (cold start),
         // or reuse the previous coefficients (warm start).
+        let bootstrap_guard = timings.scoped("bootstrap");
         let mut x = match warm {
             Some(m) => {
                 let mut x = Vec::with_capacity(NUM_PARAMS);
@@ -247,6 +255,7 @@ impl Estimator {
                 self.solve_coefficients(training, &obs, &vcore, &vmem, Some(&bootstrap))?
             }
         };
+        drop(bootstrap_guard);
 
         // --- Steps 2-4: alternate voltage and coefficient fits.
         let mut rmse_history = Vec::new();
@@ -255,9 +264,13 @@ impl Estimator {
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             if self.config.estimate_voltages {
+                let _g = timings.scoped("voltage_step");
                 self.fit_voltages(training, &obs, &x, reference, &mut vcore, &mut vmem);
             }
-            x = self.solve_coefficients(training, &obs, &vcore, &vmem, None)?;
+            {
+                let _g = timings.scoped("coefficient_step");
+                x = self.solve_coefficients(training, &obs, &vcore, &vmem, None)?;
+            }
             let rmse = rmse_of(training, &obs, &x, &vcore, &vmem);
             let done = rmse_history.last().is_some_and(|prev: &f64| {
                 (prev - rmse).abs() <= self.config.tolerance * prev.max(1e-12)
@@ -293,6 +306,7 @@ impl Estimator {
         .with_residual_sigma(residual_sigma);
 
         // Training MAPE for the report.
+        let diagnostics_guard = timings.scoped("diagnostics");
         let (pred, meas): (Vec<f64>, Vec<f64>) = obs
             .iter()
             .map(|o| {
@@ -340,6 +354,7 @@ impl Estimator {
                 Err(_) => Vec::new(),
             }
         };
+        drop(diagnostics_guard);
 
         Ok((
             model,
@@ -349,6 +364,7 @@ impl Estimator {
                 rmse_history,
                 training_mape,
                 coefficient_sigma,
+                timings: timings.report(),
             },
         ))
     }
@@ -428,48 +444,55 @@ impl Estimator {
         for (i, o) in obs.iter().enumerate() {
             by_config.entry(o.config).or_default().push(i);
         }
+        let groups: Vec<(FreqConfig, Vec<usize>)> = by_config.into_iter().collect();
 
         for _ in 0..self.config.voltage_sweeps {
-            for (&config, idxs) in &by_config {
-                if config == reference {
-                    continue; // pinned at (1, 1) by normalization
-                }
-                let fc = config.core.as_f64() / 1000.0;
-                let fm = config.mem.as_f64() / 1000.0;
-                let weight_of = |i: usize| -> f64 {
-                    if self.config.relative_error {
-                        let p = obs[i].watts.max(1e-6);
-                        1.0 / (p * p)
-                    } else {
-                        1.0
+            // Each configuration's Eq. 12 solve touches only its own
+            // voltage pair, so the solves run in parallel; `par_map`
+            // preserves input order, keeping the result bit-identical to
+            // the sequential sweep at any thread count.
+            let updates: Vec<Option<(FreqConfig, f64, f64)>> =
+                gpm_par::par_map(&groups, |(config, idxs)| {
+                    let config = *config;
+                    if config == reference {
+                        return None; // pinned at (1, 1) by normalization
                     }
-                };
-                // Core voltage given the current memory voltage.
-                let vm = vmem[&config];
-                let pairs: Vec<(f64, f64, f64)> = idxs
-                    .iter()
-                    .map(|&i| {
-                        let (a_core, b_mem) = activities[obs[i].sample];
-                        let r = obs[i].watts - (x[8] * vm + b_mem * fm * vm * vm);
-                        (a_core * fc, r, weight_of(i))
-                    })
-                    .collect();
-                if let Some(v) = minimize_quartic(x[0], &pairs) {
-                    vcore.insert(config, v);
-                }
-                // Memory voltage given the updated core voltage.
-                let vc = vcore[&config];
-                let pairs: Vec<(f64, f64, f64)> = idxs
-                    .iter()
-                    .map(|&i| {
-                        let (a_core, b_mem) = activities[obs[i].sample];
-                        let r = obs[i].watts - (x[0] * vc + a_core * fc * vc * vc);
-                        (b_mem * fm, r, weight_of(i))
-                    })
-                    .collect();
-                if let Some(v) = minimize_quartic(x[8], &pairs) {
-                    vmem.insert(config, v);
-                }
+                    let fc = config.core.as_f64() / 1000.0;
+                    let fm = config.mem.as_f64() / 1000.0;
+                    let weight_of = |i: usize| -> f64 {
+                        if self.config.relative_error {
+                            let p = obs[i].watts.max(1e-6);
+                            1.0 / (p * p)
+                        } else {
+                            1.0
+                        }
+                    };
+                    // Core voltage given the current memory voltage.
+                    let vm = vmem[&config];
+                    let pairs: Vec<(f64, f64, f64)> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let (a_core, b_mem) = activities[obs[i].sample];
+                            let r = obs[i].watts - (x[8] * vm + b_mem * fm * vm * vm);
+                            (a_core * fc, r, weight_of(i))
+                        })
+                        .collect();
+                    let vc = minimize_quartic(x[0], &pairs).unwrap_or(vcore[&config]);
+                    // Memory voltage given the updated core voltage.
+                    let pairs: Vec<(f64, f64, f64)> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let (a_core, b_mem) = activities[obs[i].sample];
+                            let r = obs[i].watts - (x[0] * vc + a_core * fc * vc * vc);
+                            (b_mem * fm, r, weight_of(i))
+                        })
+                        .collect();
+                    let vm = minimize_quartic(x[8], &pairs).unwrap_or(vm);
+                    Some((config, vc, vm))
+                });
+            for (config, vc, vm) in updates.into_iter().flatten() {
+                vcore.insert(config, vc);
+                vmem.insert(config, vm);
             }
         }
 

@@ -7,20 +7,22 @@
 //! (Section III-C). This module owns that step.
 
 use crate::ModelError;
+use gpm_json::impl_json;
 use gpm_spec::events::{EventTable, SECTOR_BYTES, SHARED_TRANSACTION_BYTES};
 use gpm_spec::{DeviceSpec, EventId, FreqConfig, Metric};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A raw event collection for one profiled kernel launch, as gathered on
 /// (real or simulated) hardware at one frequency configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EventSet {
     /// The configuration the launch was profiled at.
     pub config: FreqConfig,
     /// Raw event counts keyed by the Table I identifiers.
     pub counts: BTreeMap<EventId, u64>,
 }
+
+impl_json!(struct EventSet { config, counts });
 
 impl EventSet {
     /// Creates an event set from a configuration and raw counts.
@@ -48,7 +50,7 @@ impl EventSet {
 
 /// The aggregated per-launch quantities of Table I, ready for the
 /// utilization formulas of Eqs. 8-10.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// Cycles with at least one active warp (`ACycles`).
     pub active_cycles: f64,
@@ -72,6 +74,19 @@ pub struct Metrics {
     /// Executed single-precision thread-instructions.
     pub inst_sp: f64,
 }
+
+impl_json!(struct Metrics {
+    active_cycles,
+    elapsed_s,
+    l2_bytes,
+    shared_bytes,
+    dram_bytes,
+    warps_int_sp,
+    warps_dp,
+    warps_sf,
+    inst_int,
+    inst_sp,
+});
 
 impl Metrics {
     /// Aggregates the raw events of a launch into model metrics.

@@ -14,6 +14,7 @@
 use crate::estimator::{design_row, NUM_PARAMS, V_BOUNDS};
 use crate::{DomainParams, FitReport, ModelError, PowerModel, TrainingSet, VoltageTable};
 use gpm_linalg::{isotonic_increasing, ridge_lstsq, stats, Matrix};
+use gpm_par::timer::Collector;
 use gpm_spec::{Component, FreqConfig, Mhz};
 use std::collections::BTreeMap;
 
@@ -112,22 +113,24 @@ pub fn fit_joint(
             Some(i) => (theta[vc_base + i], theta[vm_base + i]),
         }
     };
+    // Per-observation residuals are independent; `par_map` keeps them in
+    // observation order, so the SSE (and every LM decision derived from
+    // it) is bit-identical at any thread count.
     let residuals = |theta: &[f64]| -> Vec<f64> {
-        obs.iter()
-            .map(|o| {
-                let (vc, vm) = voltages_of(theta, o.free_idx);
-                let row = design_row(&o.u, o.config, vc, vm);
-                let p: f64 = row
-                    .iter()
-                    .zip(&theta[..NUM_PARAMS])
-                    .map(|(a, b)| a * b)
-                    .sum();
-                p - o.watts
-            })
-            .collect()
+        gpm_par::par_map(&obs, |o| {
+            let (vc, vm) = voltages_of(theta, o.free_idx);
+            let row = design_row(&o.u, o.config, vc, vm);
+            let p: f64 = row
+                .iter()
+                .zip(&theta[..NUM_PARAMS])
+                .map(|(a, b)| a * b)
+                .sum();
+            p - o.watts
+        })
     };
     let sse = |r: &[f64]| -> f64 { r.iter().map(|e| e * e).sum() };
 
+    let timings = Collector::new();
     let mut lambda = config.lambda_init;
     let mut r = residuals(&theta);
     let mut current_sse = sse(&r);
@@ -137,34 +140,31 @@ pub fn fit_joint(
 
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
-        // Analytical Jacobian.
-        let jac = Matrix::from_fn(obs.len(), n_params, |i, j| {
-            let o = &obs[i];
+        // Analytical Jacobian, one independent row per observation.
+        let jac_guard = timings.scoped("jacobian");
+        let jac_rows: Vec<Vec<f64>> = gpm_par::par_map(&obs, |o| {
             let (vc, vm) = voltages_of(&theta, o.free_idx);
             let fc = o.config.core.as_f64() / 1000.0;
             let fm = o.config.mem.as_f64() / 1000.0;
-            if j < NUM_PARAMS {
-                design_row(&o.u, o.config, vc, vm)[j]
-            } else if j < vm_base {
-                if o.free_idx == Some(j - vc_base) {
-                    let mut activity = theta[1];
-                    for (k, comp) in Component::CORE.iter().enumerate() {
-                        activity += theta[2 + k] * o.u[comp.index()];
-                    }
-                    theta[0] + 2.0 * vc * fc * activity
-                } else {
-                    0.0
+            let mut row = vec![0.0; n_params];
+            row[..NUM_PARAMS].copy_from_slice(&design_row(&o.u, o.config, vc, vm));
+            if let Some(i) = o.free_idx {
+                let mut activity = theta[1];
+                for (k, comp) in Component::CORE.iter().enumerate() {
+                    activity += theta[2 + k] * o.u[comp.index()];
                 }
-            } else if o.free_idx == Some(j - vm_base) {
+                row[vc_base + i] = theta[0] + 2.0 * vc * fc * activity;
                 let activity = theta[9] + theta[10] * o.u[Component::Dram.index()];
-                theta[8] + 2.0 * vm * fm * activity
-            } else {
-                0.0
+                row[vm_base + i] = theta[8] + 2.0 * vm * fm * activity;
             }
+            row
         });
+        let jac = Matrix::from_rows(&jac_rows)?;
+        drop(jac_guard);
         let neg_r: Vec<f64> = r.iter().map(|e| -e).collect();
 
         // Damped step, retried with larger damping until SSE improves.
+        let _lm_guard = timings.scoped("lm_step");
         let mut stepped = false;
         for _ in 0..8 {
             let delta = ridge_lstsq(&jac, &neg_r, lambda)?;
@@ -239,6 +239,7 @@ pub fn fit_joint(
             rmse_history,
             training_mape,
             coefficient_sigma: Vec::new(),
+            timings: timings.report(),
         },
     ))
 }

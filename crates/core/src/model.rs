@@ -1,8 +1,8 @@
 //! The DVFS-aware power model (Eqs. 5-7) and its voltage tables.
 
 use crate::{ModelError, PowerBreakdown, Utilizations};
+use gpm_json::impl_json;
 use gpm_spec::{Component, DeviceSpec, Domain, FreqConfig, Mhz};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Converts a driver frequency to the gigahertz units used for model
@@ -17,7 +17,7 @@ fn ghz(f: Mhz) -> f64 {
 /// Frequencies are in GHz, so coefficients are in watts per (normalized-
 /// volt · GHz) — arbitrary but consistent units, as in the paper (the
 /// voltages are only known up to the reference normalization anyway).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomainParams {
     /// Static coefficient `β₀` (watts per normalized volt).
     pub static_coef: f64,
@@ -28,6 +28,8 @@ pub struct DomainParams {
     /// order for the core domain and `[ω_dram]` for the memory domain.
     pub omegas: Vec<f64>,
 }
+
+impl_json!(struct DomainParams { static_coef, idle_dyn, omegas });
 
 impl DomainParams {
     /// Power of this domain at normalized voltage `vbar`, frequency
@@ -44,11 +46,13 @@ impl DomainParams {
 /// the core voltage differs across memory frequencies, which the paper
 /// predicts on the GTX Titan X. The memory voltage is modeled per memory
 /// frequency (no fcore dependence was ever observed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VoltageTable {
     reference: FreqConfig,
     entries: BTreeMap<FreqConfig, [f64; 2]>,
 }
+
+impl_json!(struct VoltageTable { reference, entries });
 
 impl VoltageTable {
     /// Creates a table from per-configuration `(V̄core, V̄mem)` estimates.
@@ -199,7 +203,7 @@ fn bracket(levels: &[Mhz], x: Mhz) -> (Mhz, Mhz, f64) {
 /// assert!(p_low < p_ref);
 /// # Ok::<(), gpm_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     spec: DeviceSpec,
     core: DomainParams,
@@ -207,9 +211,17 @@ pub struct PowerModel {
     voltages: VoltageTable,
     l2_bytes_per_cycle: f64,
     /// Training residual standard deviation in watts (0 when unknown).
-    #[serde(default)]
     residual_sigma_w: f64,
 }
+
+impl_json!(struct PowerModel {
+    spec,
+    core,
+    mem,
+    voltages,
+    l2_bytes_per_cycle,
+    residual_sigma_w = 0.0,
+});
 
 impl PowerModel {
     /// Assembles a model from fitted parts (normally done by
@@ -452,7 +464,7 @@ impl PowerModel {
     /// Returns [`ModelError::InsufficientTraining`] if serialization
     /// fails (cannot occur for well-formed models).
     pub fn to_json(&self) -> Result<String, ModelError> {
-        serde_json::to_string(self)
+        gpm_json::to_string(self)
             .map_err(|_| ModelError::InsufficientTraining("model not serializable"))
     }
 
@@ -462,7 +474,7 @@ impl PowerModel {
     ///
     /// Returns [`ModelError::InsufficientTraining`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self, ModelError> {
-        serde_json::from_str(json)
+        gpm_json::from_str(json)
             .map_err(|_| ModelError::InsufficientTraining("malformed model JSON"))
     }
 }

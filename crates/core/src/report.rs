@@ -8,14 +8,14 @@
 //! queries.
 
 use crate::ModelError;
+use gpm_json::impl_json;
 use gpm_linalg::stats;
 use gpm_spec::{FreqConfig, Mhz};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// One validated prediction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyEntry {
     /// Benchmark label.
     pub label: String,
@@ -26,6 +26,8 @@ pub struct AccuracyEntry {
     /// Measured power in watts.
     pub measured: f64,
 }
+
+impl_json!(struct AccuracyEntry { label, config, predicted, measured });
 
 /// A collection of validated predictions with the paper's aggregation
 /// queries.
@@ -42,10 +44,12 @@ pub struct AccuracyEntry {
 /// assert!((r.mape()? - 5.0).abs() < 1e-12);
 /// # Ok::<(), gpm_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AccuracyReport {
     entries: Vec<AccuracyEntry>,
 }
+
+impl_json!(struct AccuracyReport { entries });
 
 impl AccuracyReport {
     /// Creates an empty report.
@@ -285,8 +289,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let r = sample();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: AccuracyReport = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&r).unwrap();
+        let back: AccuracyReport = gpm_json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 }

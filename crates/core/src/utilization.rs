@@ -2,8 +2,8 @@
 
 use crate::events::{EventSet, Metrics};
 use crate::ModelError;
+use gpm_json::impl_json;
 use gpm_spec::{Component, DeviceSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Tolerated utilization overshoot before an event set is rejected.
@@ -33,10 +33,12 @@ const OVERSHOOT_TOLERANCE: f64 = 1.0;
 /// assert!(u.iter().all(|(_, v)| (0.0..=1.0).contains(&v)));
 /// # Ok::<(), gpm_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Utilizations {
     values: [f64; 7],
 }
+
+impl_json!(struct Utilizations { values });
 
 impl Utilizations {
     /// Creates utilizations from raw values in [`Component::ALL`] order.
@@ -332,19 +334,17 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn valid_inputs_round_trip_within_bounds(
-                vals in proptest::collection::vec(0.0f64..1.0, 7),
-            ) {
+        #[test]
+        fn valid_inputs_round_trip_within_bounds() {
+            gpm_check::check("valid_inputs_round_trip_within_bounds", |g| {
+                let vals = g.vec_f64(7..8, 0.0, 1.0);
                 let arr: [f64; 7] = vals.clone().try_into().unwrap();
                 let u = Utilizations::from_values(arr).unwrap();
                 for (i, (_, v)) in u.iter().enumerate() {
-                    prop_assert!((v - vals[i]).abs() < 1e-12);
+                    assert!((v - vals[i]).abs() < 1e-12);
                 }
-            }
+            });
         }
     }
 }

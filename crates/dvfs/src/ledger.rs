@@ -1,11 +1,11 @@
 //! Energy accounting across a governed run.
 
+use gpm_json::impl_json;
 use gpm_spec::FreqConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One governed kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LedgerEntry {
     /// Kernel name.
     pub kernel: String,
@@ -17,6 +17,8 @@ pub struct LedgerEntry {
     pub power_w: f64,
 }
 
+impl_json!(struct LedgerEntry { kernel, config, time_s, power_w });
+
 impl LedgerEntry {
     /// Predicted energy of this launch in joules.
     pub fn energy_j(&self) -> f64 {
@@ -25,10 +27,12 @@ impl LedgerEntry {
 }
 
 /// Accumulated time and predicted energy over a governed run.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyLedger {
     entries: Vec<LedgerEntry>,
 }
+
+impl_json!(struct EnergyLedger { entries });
 
 impl EnergyLedger {
     /// Creates an empty ledger.

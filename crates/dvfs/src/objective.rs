@@ -1,6 +1,6 @@
 //! Governor objectives.
 
-use serde::{Deserialize, Serialize};
+use gpm_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// What the governor optimizes when it picks a V-F configuration.
@@ -8,7 +8,7 @@ use std::fmt;
 /// Every objective works on `(predicted power, measured time)` pairs per
 /// candidate configuration; power comes from the model, time from simply
 /// running the kernel (no sensor needed).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Objective {
     /// Minimize average power, regardless of performance.
     MinPower,
@@ -25,6 +25,49 @@ pub enum Objective {
     /// if no configuration satisfies the cap, fall back to the
     /// lowest-power configuration.
     PowerCap(f64),
+}
+
+// Externally-tagged encoding matching the serde convention: unit
+// variants as bare strings, payload variants as one-entry objects.
+impl ToJson for Objective {
+    fn to_json(&self) -> Json {
+        match *self {
+            Objective::MinPower => Json::Str("MinPower".to_string()),
+            Objective::MinEnergy => Json::Str("MinEnergy".to_string()),
+            Objective::MinEdp => Json::Str("MinEdp".to_string()),
+            Objective::MinEnergyWithSlowdown(r) => {
+                Json::Obj(vec![("MinEnergyWithSlowdown".to_string(), Json::Num(r))])
+            }
+            Objective::PowerCap(w) => Json::Obj(vec![("PowerCap".to_string(), Json::Num(w))]),
+        }
+    }
+}
+
+impl FromJson for Objective {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) => match s.as_str() {
+                "MinPower" => Ok(Objective::MinPower),
+                "MinEnergy" => Ok(Objective::MinEnergy),
+                "MinEdp" => Ok(Objective::MinEdp),
+                other => Err(JsonError::new(format!("unknown Objective `{other}`"))),
+            },
+            Json::Obj(fields) => {
+                let (tag, payload) = fields
+                    .first()
+                    .ok_or_else(|| JsonError::new("empty object is not an Objective"))?;
+                let num = payload
+                    .as_num()
+                    .ok_or_else(|| JsonError::expected("Objective payload number", payload))?;
+                match tag.as_str() {
+                    "MinEnergyWithSlowdown" => Ok(Objective::MinEnergyWithSlowdown(num)),
+                    "PowerCap" => Ok(Objective::PowerCap(num)),
+                    other => Err(JsonError::new(format!("unknown Objective `{other}`"))),
+                }
+            }
+            other => Err(JsonError::expected("Objective", other)),
+        }
+    }
 }
 
 impl Objective {

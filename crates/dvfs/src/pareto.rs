@@ -8,14 +8,14 @@
 
 use crate::GovernorError;
 use gpm_core::PowerModel;
+use gpm_json::impl_json;
 use gpm_profiler::Profiler;
 use gpm_sim::SimulatedGpu;
 use gpm_spec::FreqConfig;
 use gpm_workloads::KernelDesc;
-use serde::{Deserialize, Serialize};
 
 /// One V-F configuration's position on the time/energy plane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPoint {
     /// The configuration.
     pub config: FreqConfig,
@@ -24,6 +24,8 @@ pub struct ParetoPoint {
     /// Model-predicted average power in watts.
     pub power_w: f64,
 }
+
+impl_json!(struct ParetoPoint { config, time_s, power_w });
 
 impl ParetoPoint {
     /// Predicted energy per launch in joules.

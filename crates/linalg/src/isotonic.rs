@@ -181,60 +181,61 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn output_is_monotone(
-                y in proptest::collection::vec(-100.0f64..100.0, 0..40),
-            ) {
+        #[test]
+        fn output_is_monotone() {
+            gpm_check::check("output_is_monotone", |g| {
+                let y = g.vec_f64(0..40, -100.0, 100.0);
                 let w = vec![1.0; y.len()];
                 let fit = isotonic_increasing(&y, &w);
-                prop_assert_eq!(fit.len(), y.len());
+                assert_eq!(fit.len(), y.len());
                 for p in fit.windows(2) {
-                    prop_assert!(p[0] <= p[1] + 1e-9);
+                    assert!(p[0] <= p[1] + 1e-9);
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn weighted_mean_is_preserved(
-                y in proptest::collection::vec(-50.0f64..50.0, 1..30),
-                wseed in 1u64..100,
-            ) {
+        #[test]
+        fn weighted_mean_is_preserved() {
+            gpm_check::check("weighted_mean_is_preserved", |g| {
+                let y = g.vec_f64(1..30, -50.0, 50.0);
+                let wseed = g.u64_in(1..100);
                 let w: Vec<f64> = (0..y.len())
                     .map(|i| ((i as u64 * wseed) % 5 + 1) as f64)
                     .collect();
                 let fit = isotonic_increasing(&y, &w);
                 let m0: f64 = y.iter().zip(&w).map(|(v, wi)| v * wi).sum();
                 let m1: f64 = fit.iter().zip(&w).map(|(v, wi)| v * wi).sum();
-                prop_assert!((m0 - m1).abs() < 1e-6 * (1.0 + m0.abs()));
-            }
+                assert!((m0 - m1).abs() < 1e-6 * (1.0 + m0.abs()));
+            });
+        }
 
-            #[test]
-            fn idempotent(
-                y in proptest::collection::vec(-10.0f64..10.0, 0..25),
-            ) {
+        #[test]
+        fn idempotent() {
+            gpm_check::check("idempotent", |g| {
+                let y = g.vec_f64(0..25, -10.0, 10.0);
                 let w = vec![1.0; y.len()];
                 let once = isotonic_increasing(&y, &w);
                 let twice = isotonic_increasing(&once, &w);
                 for (a, b) in once.iter().zip(&twice) {
-                    prop_assert!((a - b).abs() < 1e-9);
+                    assert!((a - b).abs() < 1e-9);
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn no_worse_than_any_constant(
-                y in proptest::collection::vec(-10.0f64..10.0, 1..20),
-                c in -10.0f64..10.0,
-            ) {
+        #[test]
+        fn no_worse_than_any_constant() {
+            gpm_check::check("no_worse_than_any_constant", |g| {
                 // The isotonic fit must have SSE no worse than the best
                 // constant (a feasible monotone solution).
+                let y = g.vec_f64(1..20, -10.0, 10.0);
+                let c = g.f64_in(-10.0, 10.0);
                 let w = vec![1.0; y.len()];
                 let fit = isotonic_increasing(&y, &w);
                 let sse_fit: f64 = fit.iter().zip(&y).map(|(f, v)| (f - v) * (f - v)).sum();
                 let sse_c: f64 = y.iter().map(|v| (c - v) * (c - v)).sum();
-                prop_assert!(sse_fit <= sse_c + 1e-9);
-            }
+                assert!(sse_fit <= sse_c + 1e-9);
+            });
         }
     }
 }

@@ -204,7 +204,6 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
         fn pseudo_matrix(seed: u64, rows: usize, cols: usize) -> (Matrix, Vec<f64>) {
             let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99991);
@@ -219,16 +218,15 @@ mod tests {
             (a, b)
         }
 
-        proptest! {
-            #[test]
-            fn output_is_nonnegative_and_kkt_holds(
-                seed in 0u64..400,
-                rows in 4usize..12,
-                cols in 1usize..6,
-            ) {
+        #[test]
+        fn output_is_nonnegative_and_kkt_holds() {
+            gpm_check::check("output_is_nonnegative_and_kkt_holds", |g| {
+                let seed = g.u64_in(0..400);
+                let rows = g.usize_in(4..12);
+                let cols = g.usize_in(1..6);
                 let (a, b) = pseudo_matrix(seed, rows, cols);
                 if let Ok(x) = nnls(&a, &b) {
-                    prop_assert!(x.iter().all(|&v| v >= 0.0));
+                    assert!(x.iter().all(|&v| v >= 0.0));
                     // KKT: gradient must be <= 0 on active (zero) coords
                     // and ~0 on passive coords.
                     let ax = a.mat_vec(&x).unwrap();
@@ -237,26 +235,30 @@ mod tests {
                     let scale = a.max_abs() * b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
                     for (j, &wj) in w.iter().enumerate() {
                         if x[j] > 1e-9 {
-                            prop_assert!(wj.abs() <= 1e-6 * scale.max(1.0), "passive grad {wj}");
+                            assert!(wj.abs() <= 1e-6 * scale.max(1.0), "passive grad {wj}");
                         } else {
-                            prop_assert!(wj <= 1e-6 * scale.max(1.0), "active grad {wj}");
+                            assert!(wj <= 1e-6 * scale.max(1.0), "active grad {wj}");
                         }
                     }
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn never_beats_unconstrained_but_close_when_truth_nonneg(
-                seed in 0u64..200,
-            ) {
-                let (a, _) = pseudo_matrix(seed, 10, 3);
-                let truth = [0.5, 1.0, 2.0];
-                let b = a.mat_vec(&truth).unwrap();
-                let x = nnls(&a, &b).unwrap();
-                for (xi, ti) in x.iter().zip(truth) {
-                    prop_assert!((xi - ti).abs() < 1e-6);
-                }
-            }
+        #[test]
+        fn never_beats_unconstrained_but_close_when_truth_nonneg() {
+            gpm_check::check(
+                "never_beats_unconstrained_but_close_when_truth_nonneg",
+                |g| {
+                    let seed = g.u64_in(0..200);
+                    let (a, _) = pseudo_matrix(seed, 10, 3);
+                    let truth = [0.5, 1.0, 2.0];
+                    let b = a.mat_vec(&truth).unwrap();
+                    let x = nnls(&a, &b).unwrap();
+                    for (xi, ti) in x.iter().zip(truth) {
+                        assert!((xi - ti).abs() < 1e-6);
+                    }
+                },
+            );
         }
     }
 }

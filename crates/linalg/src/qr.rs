@@ -295,37 +295,43 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn lstsq_recovers_planted_solution(
-                coefs in proptest::collection::vec(-5.0f64..5.0, 3),
-                rows in 6usize..20,
-                seed in 0u64..1000,
-            ) {
+        #[test]
+        fn lstsq_recovers_planted_solution() {
+            gpm_check::check("lstsq_recovers_planted_solution", |g| {
+                let coefs: Vec<f64> = (0..3).map(|_| g.f64_in(-5.0, 5.0)).collect();
+                let rows = g.usize_in(6..20);
+                let seed = g.u64_in(0..1000);
                 // Deterministic pseudo-random full-rank design.
                 let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
                 };
-                let a = Matrix::from_fn(rows, 3, |i, j| next() + if i % 3 == j { 2.0 } else { 0.0 });
+                let a =
+                    Matrix::from_fn(rows, 3, |i, j| next() + if i % 3 == j { 2.0 } else { 0.0 });
                 let b = a.mat_vec(&coefs).unwrap();
                 if let Ok(x) = lstsq(&a, &b) {
                     for (xi, ci) in x.iter().zip(&coefs) {
-                        prop_assert!((xi - ci).abs() < 1e-6);
+                        assert!((xi - ci).abs() < 1e-6);
                     }
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn ridge_solution_norm_decreases_with_lambda(
-                seed in 0u64..500,
-            ) {
-                let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        #[test]
+        fn ridge_solution_norm_decreases_with_lambda() {
+            gpm_check::check("ridge_solution_norm_decreases_with_lambda", |g| {
+                let seed = g.u64_in(0..500);
+                let mut state = seed
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 let mut next = || {
-                    state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                    state = state
+                        .wrapping_mul(2862933555777941757)
+                        .wrapping_add(3037000493);
                     ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
                 };
                 let a = Matrix::from_fn(8, 3, |_, _| next());
@@ -334,9 +340,9 @@ mod tests {
                 let small = ridge_lstsq(&a, &b, 1e-6);
                 let large = ridge_lstsq(&a, &b, 100.0);
                 if let (Ok(s), Ok(l)) = (small, large) {
-                    prop_assert!(norm(&l) <= norm(&s) + 1e-9);
+                    assert!(norm(&l) <= norm(&s) + 1e-9);
                 }
-            }
+            });
         }
     }
 }

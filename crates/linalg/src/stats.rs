@@ -214,38 +214,39 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn median_is_between_min_and_max(
-                xs in proptest::collection::vec(-1e6f64..1e6, 1..50),
-            ) {
+        #[test]
+        fn median_is_between_min_and_max() {
+            gpm_check::check("median_is_between_min_and_max", |g| {
+                let xs = g.vec_f64(1..50, -1e6, 1e6);
                 let m = median(&xs).unwrap();
                 let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
                 let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                prop_assert!(m >= lo && m <= hi);
-            }
+                assert!(m >= lo && m <= hi);
+            });
+        }
 
-            #[test]
-            fn rmse_dominates_mae(
-                pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..40),
-            ) {
-                let (pred, meas): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        #[test]
+        fn rmse_dominates_mae() {
+            gpm_check::check("rmse_dominates_mae", |g| {
+                let n = g.usize_in(1..40);
+                let pred: Vec<f64> = (0..n).map(|_| g.f64_in(-1e3, 1e3)).collect();
+                let meas: Vec<f64> = (0..n).map(|_| g.f64_in(-1e3, 1e3)).collect();
                 let a = mae(&pred, &meas).unwrap();
                 let r = rmse(&pred, &meas).unwrap();
-                prop_assert!(r + 1e-9 >= a);
-            }
+                assert!(r + 1e-9 >= a);
+            });
+        }
 
-            #[test]
-            fn quantile_is_monotone_in_q(
-                xs in proptest::collection::vec(-100.0f64..100.0, 2..30),
-                q1 in 0.0f64..1.0,
-                q2 in 0.0f64..1.0,
-            ) {
+        #[test]
+        fn quantile_is_monotone_in_q() {
+            gpm_check::check("quantile_is_monotone_in_q", |g| {
+                let xs = g.vec_f64(2..30, -100.0, 100.0);
+                let q1 = g.unit_f64();
+                let q2 = g.unit_f64();
                 let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-                prop_assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
-            }
+                assert!(quantile(&xs, lo).unwrap() <= quantile(&xs, hi).unwrap() + 1e-9);
+            });
         }
     }
 }

@@ -1,0 +1,236 @@
+//! Lightweight phase timing: scope guards aggregated into a wall-clock
+//! report.
+//!
+//! A [`Collector`] is a cheap, cloneable handle to a shared registry of
+//! named phases. Dropping the guard returned by [`Collector::scoped`]
+//! adds the elapsed wall-clock time (and one call) to its phase; guards
+//! may be dropped on worker threads. The drained [`PhaseTimings`] travel
+//! inside `FitReport` and render via `Display` for the CLI's `--timings`
+//! flag.
+//!
+//! ```
+//! use gpm_par::timer::Collector;
+//!
+//! let timings = Collector::new();
+//! {
+//!     let _g = timings.scoped("voltage_step");
+//!     // ... work ...
+//! }
+//! let report = timings.report();
+//! assert_eq!(report.entries()[0].label, "voltage_step");
+//! assert_eq!(report.entries()[0].calls, 1);
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Aggregated wall-clock time of one named phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseTiming {
+    /// Phase label (e.g. `"voltage_step"`).
+    pub label: String,
+    /// Number of guard drops recorded.
+    pub calls: u64,
+    /// Total wall-clock time across all calls.
+    pub total: Duration,
+}
+
+/// A per-phase wall-clock report, ordered by descending total time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    entries: Vec<PhaseTiming>,
+}
+
+impl PhaseTimings {
+    /// The phases, ordered by descending total time.
+    pub fn entries(&self) -> &[PhaseTiming] {
+        &self.entries
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total wall-clock time of one phase, if recorded.
+    pub fn total_of(&self, label: &str) -> Option<Duration> {
+        self.entries
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| e.total)
+    }
+
+    /// Merges another report into this one (summing shared phases) —
+    /// used to aggregate per-fold timings across a cross-validation run.
+    pub fn merge(&mut self, other: &PhaseTimings) {
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.label == e.label) {
+                Some(m) => {
+                    m.calls += e.calls;
+                    m.total += e.total;
+                }
+                None => self.entries.push(e.clone()),
+            }
+        }
+        self.entries
+            .sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(&b.label)));
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return writeln!(f, "  (no phases recorded)");
+        }
+        let grand: Duration = self.entries.iter().map(|e| e.total).sum();
+        for e in &self.entries {
+            let share = if grand.as_secs_f64() > 0.0 {
+                100.0 * e.total.as_secs_f64() / grand.as_secs_f64()
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  {:<24} {:>10.3} ms  {:>6} calls  {:>5.1}%",
+                e.label,
+                e.total.as_secs_f64() * 1e3,
+                e.calls,
+                share
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared registry handle; clone freely, guards are cheap.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    phases: Arc<Mutex<BTreeMap<&'static str, (u64, Duration)>>>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Starts timing a phase; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn scoped(&self, label: &'static str) -> Guard {
+        Guard {
+            collector: self.clone(),
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an explicit duration (used by tests and by phases timed
+    /// externally).
+    pub fn record(&self, label: &'static str, elapsed: Duration) {
+        let mut phases = self.phases.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = phases.entry(label).or_insert((0, Duration::ZERO));
+        entry.0 += 1;
+        entry.1 += elapsed;
+    }
+
+    /// Snapshots the recorded phases, ordered by descending total time.
+    pub fn report(&self) -> PhaseTimings {
+        let phases = self.phases.lock().unwrap_or_else(|p| p.into_inner());
+        let mut entries: Vec<PhaseTiming> = phases
+            .iter()
+            .map(|(&label, &(calls, total))| PhaseTiming {
+                label: label.to_string(),
+                calls,
+                total,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(&b.label)));
+        PhaseTimings { entries }
+    }
+}
+
+/// Scope guard created by [`Collector::scoped`]; records on drop.
+#[derive(Debug)]
+pub struct Guard {
+    collector: Collector,
+    label: &'static str,
+    start: Instant,
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        self.collector.record(self.label, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guards_accumulate_calls_and_time() {
+        let c = Collector::new();
+        for _ in 0..3 {
+            let _g = c.scoped("phase_a");
+        }
+        c.record("phase_b", Duration::from_millis(5));
+        let r = c.report();
+        assert_eq!(r.entries().len(), 2);
+        let a = r.entries().iter().find(|e| e.label == "phase_a").unwrap();
+        assert_eq!(a.calls, 3);
+        assert_eq!(r.total_of("phase_b"), Some(Duration::from_millis(5)));
+        assert_eq!(r.total_of("phase_c"), None);
+    }
+
+    #[test]
+    fn report_orders_by_descending_total() {
+        let c = Collector::new();
+        c.record("small", Duration::from_millis(1));
+        c.record("large", Duration::from_millis(50));
+        let r = c.report();
+        assert_eq!(r.entries()[0].label, "large");
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_shared_phases() {
+        let a = Collector::new();
+        a.record("fit", Duration::from_millis(10));
+        let b = Collector::new();
+        b.record("fit", Duration::from_millis(20));
+        b.record("other", Duration::from_millis(1));
+        let mut merged = a.report();
+        merged.merge(&b.report());
+        assert_eq!(merged.total_of("fit"), Some(Duration::from_millis(30)));
+        let fit = merged.entries().iter().find(|e| e.label == "fit").unwrap();
+        assert_eq!(fit.calls, 2);
+        assert_eq!(merged.entries().len(), 2);
+    }
+
+    #[test]
+    fn display_renders_one_line_per_phase() {
+        let c = Collector::new();
+        c.record("alpha", Duration::from_millis(2));
+        c.record("beta", Duration::from_millis(8));
+        let text = c.report().to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains('%'));
+        // Empty reports render a placeholder instead of nothing.
+        assert!(PhaseTimings::default().to_string().contains("no phases"));
+    }
+
+    #[test]
+    fn collectors_are_shared_across_clones_and_threads() {
+        let c = Collector::new();
+        let c2 = c.clone();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = c2.scoped("worker");
+            });
+        });
+        assert_eq!(c.report().entries()[0].label, "worker");
+    }
+}

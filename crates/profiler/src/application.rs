@@ -2,12 +2,12 @@
 
 use crate::{ProfileError, Profiler};
 use gpm_core::{AppProfile, PowerModel};
+use gpm_json::impl_json;
 use gpm_spec::FreqConfig;
 use gpm_workloads::{time_weighted_power, Application};
-use serde::{Deserialize, Serialize};
 
 /// One kernel's share of an application profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
     /// Utilizations from events at the reference configuration.
     pub profile: AppProfile,
@@ -17,15 +17,19 @@ pub struct KernelProfile {
     pub reference_time_s: f64,
 }
 
+impl_json!(struct KernelProfile { profile, calls, reference_time_s });
+
 /// A profiled multi-kernel application: everything needed to predict its
 /// time-weighted power at any configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApplicationProfile {
     /// Application name.
     pub name: String,
     /// Per-kernel profiles, in launch order.
     pub kernels: Vec<KernelProfile>,
 }
+
+impl_json!(struct ApplicationProfile { name, kernels });
 
 impl ApplicationProfile {
     /// Predicts the application's average power at `config` using the

@@ -10,12 +10,11 @@
 //! undisclosed events are less reliable.
 
 use crate::perf::Execution;
-use crate::rng::normal;
+use crate::rng::{normal, SimRng};
 use crate::GroundTruth;
 use gpm_spec::events::{EventId, EventTable, Metric, SECTOR_BYTES, SHARED_TRANSACTION_BYTES};
 use gpm_spec::{Component, DeviceSpec, FreqConfig};
 use gpm_workloads::KernelDesc;
-use rand::Rng;
 use std::collections::BTreeMap;
 
 /// Emits the raw Table I events for one kernel launch.
@@ -25,17 +24,17 @@ use std::collections::BTreeMap;
 /// jitter of relative standard deviation `GroundTruth::event_noise_sd`,
 /// then split across its raw events. Returned counts are keyed by
 /// [`EventId`] exactly as a CUPTI reader would deliver them.
-pub fn emit_events<R: Rng>(
+pub fn emit_events(
     spec: &DeviceSpec,
     kernel: &KernelDesc,
     exec: &Execution,
     config: FreqConfig,
     truth: &GroundTruth,
-    rng: &mut R,
+    rng: &mut SimRng,
 ) -> BTreeMap<EventId, u64> {
     let table = EventTable::for_architecture(spec.architecture());
     let mut counts = BTreeMap::new();
-    let noisy = |metric: Metric, value: f64, rng: &mut R| -> f64 {
+    let noisy = |metric: Metric, value: f64, rng: &mut SimRng| -> f64 {
         // Cycle counting is reliable on every device; only the activity
         // counters inherit the device's event inaccuracy.
         let sd = if metric == Metric::ActiveCycles {
@@ -221,8 +220,6 @@ mod tests {
     use crate::PerfModel;
     use gpm_spec::devices;
     use gpm_workloads::microbenchmark_suite;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn emit_for(name: &str, noise: f64, seed: u64) -> (DeviceSpec, BTreeMap<EventId, u64>) {
         let spec = devices::gtx_titan_x();
@@ -231,7 +228,7 @@ mod tests {
         let perf = PerfModel::new(spec.clone(), 640.0);
         let cfg = spec.default_config();
         let exec = perf.execute(k, cfg);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut truth = crate::GroundTruth::nominal(spec.architecture());
         truth.event_noise_sd = noise;
         truth.event_crosstalk = 0.0;

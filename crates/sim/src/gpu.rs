@@ -2,11 +2,10 @@
 //! collection — the NVML + CUPTI surface the paper's tool drives.
 
 use crate::counters::emit_events;
+use crate::rng::SimRng;
 use crate::{Execution, GroundTruth, PerfModel, PowerSensor, SimError, ThermalModel};
 use gpm_spec::{DeviceSpec, EventId, FreqConfig};
 use gpm_workloads::KernelDesc;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -63,6 +62,7 @@ pub struct EventRecord {
 /// assert!(high.watts > low.watts);
 /// # Ok::<(), gpm_sim::SimError>(())
 /// ```
+#[derive(Clone)]
 pub struct SimulatedGpu {
     spec: DeviceSpec,
     truth: GroundTruth,
@@ -71,7 +71,7 @@ pub struct SimulatedGpu {
     clocks: FreqConfig,
     power_capping: bool,
     thermal: Option<(ThermalModel, f64)>,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl fmt::Debug for SimulatedGpu {
@@ -107,7 +107,7 @@ impl SimulatedGpu {
             clocks,
             power_capping: false,
             thermal: None,
-            rng: StdRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D)),
+            rng: SimRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D)),
         }
     }
 

@@ -63,6 +63,7 @@ mod voltage;
 pub use error::SimError;
 pub use gpu::{EventRecord, PowerMeasurement, SimulatedGpu};
 pub use perf::{Execution, PerfModel};
+pub use rng::SimRng;
 pub use sensor::PowerSensor;
 pub use thermal::ThermalModel;
 pub use truth::{GroundTruth, PowerCoeffs};

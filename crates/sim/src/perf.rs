@@ -1,11 +1,11 @@
 //! Roofline performance model: execution time and true utilizations.
 
+use gpm_json::{impl_json, FromJson, Json, JsonError, ToJson};
 use gpm_spec::{Component, DeviceSpec, FreqConfig, Mhz};
 use gpm_workloads::KernelDesc;
-use serde::{Deserialize, Serialize};
 
 /// What limited a kernel's execution time at a given configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bottleneck {
     /// Throughput of a hardware component.
     Component(Component),
@@ -13,8 +13,32 @@ pub enum Bottleneck {
     Latency,
 }
 
+// Externally tagged, mixing the unit variant (`"Latency"`) with the
+// newtype variant (`{"Component": "Sp"}`).
+impl ToJson for Bottleneck {
+    fn to_json(&self) -> Json {
+        match self {
+            Bottleneck::Latency => Json::Str("Latency".to_string()),
+            Bottleneck::Component(c) => Json::Obj(vec![("Component".to_string(), c.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Bottleneck {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) if s == "Latency" => Ok(Bottleneck::Latency),
+            Json::Obj(fields) => match gpm_json::field(fields, "Component") {
+                Some(c) => Ok(Bottleneck::Component(Component::from_json(c)?)),
+                None => Err(JsonError::new("unknown Bottleneck variant")),
+            },
+            other => Err(JsonError::expected("Bottleneck", other)),
+        }
+    }
+}
+
 /// The outcome of executing one kernel launch at one V-F configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Execution {
     /// Wall-clock duration of the launch in seconds.
     pub duration_s: f64,
@@ -24,6 +48,12 @@ pub struct Execution {
     /// The limiting resource.
     pub bottleneck: Bottleneck,
 }
+
+impl_json!(struct Execution {
+    duration_s,
+    utilizations,
+    bottleneck,
+});
 
 impl Execution {
     /// True utilization of one component.

@@ -1,37 +1,95 @@
-//! Gaussian sampling on top of `rand` (Box–Muller; `rand_distr` is not in
-//! the approved dependency set).
+//! Deterministic pseudo-random numbers for the simulator.
+//!
+//! The offline build environment cannot fetch the `rand` crate, so the
+//! simulator carries its own small generator: xoshiro256++ seeded through
+//! splitmix64 (Blackman & Vigna's recommended construction). Streams are
+//! a pure function of the seed — identical on every platform, thread
+//! count and build — which is what the reproducibility guarantees of the
+//! measurement campaigns rest on.
 
-use rand::Rng;
+use std::f64::consts::PI;
+
+/// A seeded xoshiro256++ stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed (splitmix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// A child stream derived from this one's seed material and a label —
+    /// used to give each independent measurement its own stream so that
+    /// campaigns can run in any order (or in parallel) and still produce
+    /// identical numbers.
+    pub fn derive(&self, label: u64) -> SimRng {
+        SimRng::seed_from_u64(
+            self.s[0] ^ self.s[2].rotate_left(17) ^ label.wrapping_mul(0xA24B_AED4_963E_E407),
+        )
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
 
 /// Draws one sample from `N(mean, sd²)`.
 ///
 /// Uses the Box–Muller transform; `sd = 0` returns `mean` exactly.
-pub(crate) fn normal<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+pub(crate) fn normal(rng: &mut SimRng, mean: f64, sd: f64) -> f64 {
     if sd == 0.0 {
         return mean;
     }
-    // Avoid ln(0) by sampling u1 from the open interval.
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    // Avoid ln(0) by nudging u1 into the open interval.
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
     mean + sd * z
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zero_sd_is_deterministic() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
     }
 
     #[test]
     fn moments_are_approximately_right() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -43,13 +101,39 @@ mod tests {
     #[test]
     fn seeded_streams_are_reproducible() {
         let a: Vec<f64> = {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SimRng::seed_from_u64(7);
             (0..10).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
         };
         let b: Vec<f64> = {
-            let mut rng = StdRng::seed_from_u64(7);
+            let mut rng = SimRng::seed_from_u64(7);
             (0..10).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_streams_are_stable_and_distinct() {
+        let parent = SimRng::seed_from_u64(3);
+        let mut a = parent.derive(10);
+        let mut b = parent.derive(11);
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Deriving is a pure function of (parent seed, label).
+        let mut a2 = SimRng::seed_from_u64(3).derive(10);
+        let mut a3 = SimRng::seed_from_u64(3).derive(10);
+        assert_eq!(a2.next_u64(), a3.next_u64());
+    }
+
+    #[test]
+    fn uniform_draws_cover_the_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
     }
 }

@@ -1,8 +1,7 @@
 //! NVML-like sampled power sensor.
 
-use crate::rng::normal;
+use crate::rng::{normal, SimRng};
 use crate::SimError;
-use rand::Rng;
 
 /// A sampled on-board power sensor.
 ///
@@ -56,9 +55,9 @@ impl PowerSensor {
     /// Returns [`SimError::WindowTooShort`] when the window contains no
     /// sample — the hardware situation the repetition protocol exists to
     /// avoid.
-    pub fn sample_window<R: Rng>(
+    pub fn sample_window(
         &self,
-        rng: &mut R,
+        rng: &mut SimRng,
         true_watts: f64,
         duration_s: f64,
     ) -> Result<(f64, u32), SimError> {
@@ -82,13 +81,11 @@ impl PowerSensor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn short_window_errors() {
         let s = PowerSensor::new(100.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         assert!(matches!(
             s.sample_window(&mut rng, 100.0, 0.05),
             Err(SimError::WindowTooShort { .. })
@@ -98,7 +95,7 @@ mod tests {
     #[test]
     fn noiseless_sensor_reads_truth() {
         let s = PowerSensor::new(100.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let (w, n) = s.sample_window(&mut rng, 123.456, 1.0).unwrap();
         assert_eq!(n, 10);
         assert!((w - 123.456).abs() < 1e-9);
@@ -107,7 +104,7 @@ mod tests {
     #[test]
     fn sample_count_scales_with_window_and_refresh() {
         let s = PowerSensor::new(15.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let (_, n) = s.sample_window(&mut rng, 100.0, 1.5).unwrap();
         assert_eq!(n, 100);
     }
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn noise_averages_out_over_long_windows() {
         let s = PowerSensor::new(15.0, 0.05);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SimRng::seed_from_u64(42);
         let (short, _) = s.sample_window(&mut rng, 200.0, 0.05).unwrap(); // 3 samples
         let (long, _) = s.sample_window(&mut rng, 200.0, 30.0).unwrap(); // 2000 samples
         assert!((long - 200.0).abs() < (short - 200.0).abs().max(0.5));
@@ -125,7 +122,7 @@ mod tests {
     #[test]
     fn readings_are_quantized_to_milliwatts() {
         let s = PowerSensor::new(100.0, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SimRng::seed_from_u64(0);
         let (w, _) = s.sample_window(&mut rng, 99.999_999_7, 0.2).unwrap();
         assert_eq!(w, 100.0);
     }
@@ -140,34 +137,32 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    proptest! {
-        #[test]
-        fn sample_counts_and_means_are_sane(
-            refresh_ms in 5.0f64..200.0,
-            truth in 30.0f64..280.0,
-            duration in 0.5f64..5.0,
-            seed in 0u64..100,
-        ) {
+    #[test]
+    fn sample_counts_and_means_are_sane() {
+        gpm_check::check("sample_counts_and_means_are_sane", |g| {
+            let refresh_ms = g.f64_in(5.0, 200.0);
+            let truth = g.f64_in(30.0, 280.0);
+            let duration = g.f64_in(0.5, 5.0);
+            let seed = g.u64_in(0..100);
             let sensor = PowerSensor::new(refresh_ms, 0.01);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SimRng::seed_from_u64(seed);
             match sensor.sample_window(&mut rng, truth, duration) {
                 Ok((watts, n)) => {
-                    prop_assert_eq!(n, (duration / (refresh_ms / 1000.0)).floor() as u32);
-                    prop_assert!(watts > 0.0);
+                    assert_eq!(n, (duration / (refresh_ms / 1000.0)).floor() as u32);
+                    assert!(watts > 0.0);
                     // 1% noise: the mean stays within ~6 sigma/sqrt(n).
                     let bound = truth * 0.06 / (f64::from(n)).sqrt() + 0.01;
-                    prop_assert!((watts - truth).abs() < bound.max(truth * 0.05),
-                        "{watts} vs {truth} (n = {n})");
+                    assert!(
+                        (watts - truth).abs() < bound.max(truth * 0.05),
+                        "{watts} vs {truth} (n = {n})"
+                    );
                 }
                 Err(SimError::WindowTooShort { .. }) => {
-                    prop_assert!(duration < refresh_ms / 1000.0);
+                    assert!(duration < refresh_ms / 1000.0);
                 }
-                Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+                Err(e) => panic!("unexpected error {e}"),
             }
-        }
+        });
     }
 }

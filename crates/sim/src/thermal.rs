@@ -10,10 +10,10 @@
 //! default** so the calibrated figures are unaffected; enabling it lets
 //! robustness experiments inject realistic measurement drift.
 
-use serde::{Deserialize, Serialize};
+use gpm_json::impl_json;
 
 /// First-order (RC) thermal model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Ambient/idle temperature in °C.
     pub ambient_c: f64,
@@ -26,6 +26,13 @@ pub struct ThermalModel {
     /// (leakage grows roughly exponentially; linearized here).
     pub leakage_per_c: f64,
 }
+
+impl_json!(struct ThermalModel {
+    ambient_c,
+    resistance_c_per_w,
+    time_constant_s,
+    leakage_per_c,
+});
 
 impl Default for ThermalModel {
     fn default() -> Self {

@@ -6,12 +6,10 @@
 //! estimator in `gpm-core` never sees these values; tests and benches use
 //! them to score how well the estimator recovered them.
 
-use crate::rng::normal;
+use crate::rng::{normal, SimRng};
 use crate::VoltageCurve;
+use gpm_json::impl_json;
 use gpm_spec::{Architecture, Component, Domain, FreqConfig, Metric};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// True power-law coefficients of a device (all hidden from the model).
@@ -28,7 +26,7 @@ use std::collections::BTreeMap;
 /// the paper could not observe through events ("the power consumptions of
 /// other non-modelled GPU components", Section V-B) — it guarantees the
 /// fitted model has an irreducible error floor, as on real hardware.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerCoeffs {
     /// Core-domain static coefficient `a₀` (W/V).
     pub core_static: f64,
@@ -48,7 +46,7 @@ pub struct PowerCoeffs {
 }
 
 /// The complete hidden state of one simulated GPU instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroundTruth {
     /// True core-domain voltage curve.
     pub core_voltage: VoltageCurve,
@@ -82,6 +80,27 @@ pub struct GroundTruth {
     /// Relative standard deviation of each power-sensor sample.
     pub sensor_noise_sd: f64,
 }
+
+impl_json!(struct PowerCoeffs {
+    core_static,
+    core_idle_dyn,
+    gamma_core,
+    mem_static,
+    mem_idle_dyn,
+    gamma_dram,
+    gamma_hidden,
+});
+
+impl_json!(struct GroundTruth {
+    core_voltage,
+    mem_voltage,
+    coeffs,
+    l2_bytes_per_cycle,
+    event_noise_sd,
+    event_bias,
+    event_crosstalk,
+    sensor_noise_sd,
+});
 
 impl GroundTruth {
     /// The nominal (unjittered) physics of a device family, calibrated so
@@ -166,7 +185,7 @@ impl GroundTruth {
     /// are close but not identical.
     pub fn for_architecture(arch: Architecture, seed: u64) -> GroundTruth {
         let mut truth = GroundTruth::nominal(arch);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
         let mut jitter = |x: &mut f64| *x *= normal(&mut rng, 1.0, 0.03).clamp(0.9, 1.1);
         jitter(&mut truth.coeffs.core_static);
         jitter(&mut truth.coeffs.core_idle_dyn);

@@ -1,7 +1,7 @@
 //! Hidden voltage-frequency curves.
 
+use gpm_json::{FromJson, Json, JsonError, ToJson};
 use gpm_spec::Mhz;
-use serde::{Deserialize, Serialize};
 
 /// A domain's true voltage as a function of its frequency.
 ///
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// showed no measurable voltage change on any device. Both behaviours are
 /// representable here; the estimator never sees these curves and must
 /// recover them from power measurements alone.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VoltageCurve {
     /// Constant voltage regardless of frequency (memory domains; also the
     /// Maxwell low-frequency core plateau in isolation).
@@ -30,6 +30,61 @@ pub enum VoltageCurve {
         /// Slope of the linear region in volts per megahertz.
         volts_per_mhz: f64,
     },
+}
+
+// Externally tagged, matching the serialization of struct-variant enums:
+// `{"Constant": {"volts": ...}}` / `{"TwoRegime": {...}}`.
+impl ToJson for VoltageCurve {
+    fn to_json(&self) -> Json {
+        match *self {
+            VoltageCurve::Constant { volts } => Json::Obj(vec![(
+                "Constant".to_string(),
+                Json::Obj(vec![("volts".to_string(), volts.to_json())]),
+            )]),
+            VoltageCurve::TwoRegime {
+                vmin,
+                break_mhz,
+                volts_per_mhz,
+            } => Json::Obj(vec![(
+                "TwoRegime".to_string(),
+                Json::Obj(vec![
+                    ("vmin".to_string(), vmin.to_json()),
+                    ("break_mhz".to_string(), break_mhz.to_json()),
+                    ("volts_per_mhz".to_string(), volts_per_mhz.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for VoltageCurve {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let fields = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("VoltageCurve object", json))?;
+        let (tag, payload) = fields
+            .first()
+            .ok_or_else(|| JsonError::new("empty object is not a VoltageCurve"))?;
+        let inner = payload
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("VoltageCurve payload object", payload))?;
+        let req = |name: &str| -> Result<&Json, JsonError> {
+            gpm_json::field(inner, name).ok_or_else(|| JsonError::missing_field(name))
+        };
+        match tag.as_str() {
+            "Constant" => Ok(VoltageCurve::Constant {
+                volts: f64::from_json(req("volts")?)?,
+            }),
+            "TwoRegime" => Ok(VoltageCurve::TwoRegime {
+                vmin: f64::from_json(req("vmin")?)?,
+                break_mhz: u32::from_json(req("break_mhz")?)?,
+                volts_per_mhz: f64::from_json(req("volts_per_mhz")?)?,
+            }),
+            other => Err(JsonError::new(format!(
+                "unknown VoltageCurve variant `{other}`"
+            ))),
+        }
+    }
 }
 
 impl VoltageCurve {
@@ -137,32 +192,39 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn two_regime_curves_are_monotone_for_any_parameters(
-            vmin in 0.5f64..1.2,
-            break_mhz in 500u32..1500,
-            slope in 0.0f64..0.002,
-            f1 in 100u32..3000,
-            f2 in 100u32..3000,
-        ) {
-            let curve = VoltageCurve::TwoRegime { vmin, break_mhz, volts_per_mhz: slope };
+    #[test]
+    fn two_regime_curves_are_monotone_for_any_parameters() {
+        gpm_check::check("two_regime_curves_are_monotone_for_any_parameters", |g| {
+            let vmin = g.f64_in(0.5, 1.2);
+            let break_mhz = g.u64_in(500..1500) as u32;
+            let slope = g.f64_in(0.0, 0.002);
+            let f1 = g.u64_in(100..3000) as u32;
+            let f2 = g.u64_in(100..3000) as u32;
+            let curve = VoltageCurve::TwoRegime {
+                vmin,
+                break_mhz,
+                volts_per_mhz: slope,
+            };
             let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-            prop_assert!(curve.volts_at(Mhz::new(lo)) <= curve.volts_at(Mhz::new(hi)) + 1e-12);
-            prop_assert!(curve.volts_at(Mhz::new(lo)) >= vmin);
-        }
+            assert!(curve.volts_at(Mhz::new(lo)) <= curve.volts_at(Mhz::new(hi)) + 1e-12);
+            assert!(curve.volts_at(Mhz::new(lo)) >= vmin);
+        });
+    }
 
-        #[test]
-        fn normalization_is_scale_free(
-            vmin in 0.5f64..1.2,
-            break_mhz in 500u32..1500,
-            slope in 0.00001f64..0.002,
-            f in 100u32..3000,
-            fref in 100u32..3000,
-        ) {
-            let curve = VoltageCurve::TwoRegime { vmin, break_mhz, volts_per_mhz: slope };
+    #[test]
+    fn normalization_is_scale_free() {
+        gpm_check::check("normalization_is_scale_free", |g| {
+            let vmin = g.f64_in(0.5, 1.2);
+            let break_mhz = g.u64_in(500..1500) as u32;
+            let slope = g.f64_in(0.00001, 0.002);
+            let f = g.u64_in(100..3000) as u32;
+            let fref = g.u64_in(100..3000) as u32;
+            let curve = VoltageCurve::TwoRegime {
+                vmin,
+                break_mhz,
+                volts_per_mhz: slope,
+            };
             let scaled = VoltageCurve::TwoRegime {
                 vmin: vmin * 2.0,
                 break_mhz,
@@ -170,7 +232,30 @@ mod prop_tests {
             };
             let a = curve.normalized_at(Mhz::new(f), Mhz::new(fref));
             let b = scaled.normalized_at(Mhz::new(f), Mhz::new(fref));
-            prop_assert!((a - b).abs() < 1e-9, "normalized curves must agree: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "normalized curves must agree: {a} vs {b}"
+            );
+        });
+    }
+
+    #[test]
+    fn json_round_trips_both_variants() {
+        for curve in [
+            VoltageCurve::Constant { volts: 1.35 },
+            VoltageCurve::TwoRegime {
+                vmin: 0.85,
+                break_mhz: 810,
+                volts_per_mhz: 0.00075,
+            },
+        ] {
+            let text = gpm_json::to_string(&curve).unwrap();
+            let back: VoltageCurve = gpm_json::from_str(&text).unwrap();
+            assert_eq!(back, curve, "{text}");
         }
+        assert_eq!(
+            gpm_json::to_string(&VoltageCurve::Constant { volts: 1.35 }).unwrap(),
+            r#"{"Constant":{"volts":1.35}}"#
+        );
     }
 }

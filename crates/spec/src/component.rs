@@ -1,6 +1,6 @@
 //! GPU architectural components and voltage-frequency domains.
 
-use serde::{Deserialize, Serialize};
+use gpm_json::impl_json;
 use std::fmt;
 
 /// An independent voltage-frequency domain of the GPU (Section II).
@@ -10,13 +10,20 @@ use std::fmt;
 /// belongs to the *core* domain ("the core domain, which includes the L2
 /// cache", Section III-A), while only the DRAM is clocked by the memory
 /// domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Domain {
     /// Core (graphics) domain: SMs, shared memory, L2 cache.
     Core,
     /// Memory domain: device DRAM.
     Memory,
 }
+
+impl_json!(
+    enum Domain {
+        Core,
+        Memory,
+    }
+);
 
 impl Domain {
     /// All domains, in model order (core first, as in Eqs. 6-7).
@@ -40,7 +47,7 @@ impl fmt::Display for Domain {
 /// memory, the L2 cache and the DRAM. Utilizations of compute units follow
 /// Eq. 8 (issued warps vs. peak issue rate); memory levels follow Eq. 9
 /// (achieved vs. peak bandwidth).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Component {
     /// Integer arithmetic units (share issue ports with SP on the studied devices).
     Int,
@@ -57,6 +64,18 @@ pub enum Component {
     /// Device DRAM (memory domain).
     Dram,
 }
+
+impl_json!(
+    enum Component {
+        Int,
+        Sp,
+        Dp,
+        Sf,
+        SharedMem,
+        L2Cache,
+        Dram,
+    }
+);
 
 impl Component {
     /// All modeled components, in the canonical order used throughout the

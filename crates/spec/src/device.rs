@@ -1,11 +1,11 @@
 //! Device specification: the publicly known characteristics of a GPU.
 
 use crate::{Component, FreqConfig, Mhz, SpecError};
-use serde::{Deserialize, Serialize};
+use gpm_json::impl_json;
 use std::fmt;
 
 /// NVIDIA microarchitecture generation (Table II, "Base architecture").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Architecture {
     /// Kepler (e.g. Tesla K40c, compute capability 3.5).
     Kepler,
@@ -14,6 +14,14 @@ pub enum Architecture {
     /// Pascal (e.g. Titan Xp, compute capability 6.1).
     Pascal,
 }
+
+impl_json!(
+    enum Architecture {
+        Kepler,
+        Maxwell,
+        Pascal,
+    }
+);
 
 impl fmt::Display for Architecture {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -47,7 +55,7 @@ impl fmt::Display for Architecture {
 /// assert_eq!(gpu.mem_freqs().len(), 1); // single non-idle memory level
 /// # Ok::<(), gpm_spec::SpecError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     name: String,
     architecture: Architecture,
@@ -66,6 +74,25 @@ pub struct DeviceSpec {
     tdp_w: f64,
     power_refresh_ms: f64,
 }
+
+impl_json!(struct DeviceSpec {
+    name,
+    architecture,
+    compute_capability,
+    core_freqs,
+    mem_freqs,
+    default_config,
+    warp_size,
+    num_sms,
+    mem_bus_bytes_per_cycle,
+    shared_banks,
+    shared_bank_bytes,
+    int_sp_units_per_sm,
+    dp_units_per_sm,
+    sf_units_per_sm,
+    tdp_w,
+    power_refresh_ms,
+});
 
 impl DeviceSpec {
     /// Starts building a custom device specification.
@@ -634,8 +661,8 @@ mod tests {
     #[test]
     fn spec_serde_round_trip() {
         let d = toy();
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&d).unwrap();
+        let back: DeviceSpec = gpm_json::from_str(&json).unwrap();
         assert_eq!(d, back);
     }
 }

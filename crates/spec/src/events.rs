@@ -13,7 +13,7 @@
 //! raw-events-to-metrics pipeline of the paper is exercised end to end.
 
 use crate::Architecture;
-use serde::{Deserialize, Serialize};
+use gpm_json::{impl_json, FromJson, Json, JsonError, JsonKey, ToJson};
 use std::fmt;
 
 /// Size in bytes of an L2/DRAM *sector* — the granularity of the
@@ -63,42 +63,44 @@ pub enum EventId {
     Numeric(u64),
 }
 
-impl Serialize for EventId {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        // Always a string, so event IDs are usable as JSON map keys.
+impl JsonKey for EventId {
+    // Always a string, so event IDs are usable as JSON map keys.
+    fn to_key(&self) -> String {
         match self {
-            EventId::Named(name) => serializer.serialize_str(name),
-            EventId::Numeric(id) => serializer.collect_str(id),
+            EventId::Named(name) => name.to_string(),
+            EventId::Numeric(id) => id.to_string(),
         }
+    }
+
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        if let Ok(id) = key.parse::<u64>() {
+            return Ok(EventId::Numeric(id));
+        }
+        ALL_EVENT_NAMES
+            .iter()
+            .find(|&&n| n == key)
+            .map(|&n| EventId::Named(n))
+            .ok_or_else(|| JsonError::new(format!("unknown event name `{key}`")))
     }
 }
 
-impl<'de> Deserialize<'de> for EventId {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        struct Visitor;
-        impl serde::de::Visitor<'_> for Visitor {
-            type Value = EventId;
+impl ToJson for EventId {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_key())
+    }
+}
 
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("a Table I event name or a numeric event ID string")
-            }
-
-            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<EventId, E> {
-                Ok(EventId::Numeric(v))
-            }
-
-            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<EventId, E> {
-                if let Ok(id) = v.parse::<u64>() {
-                    return Ok(EventId::Numeric(id));
-                }
-                ALL_EVENT_NAMES
-                    .iter()
-                    .find(|&&n| n == v)
-                    .map(|&n| EventId::Named(n))
-                    .ok_or_else(|| E::custom(format!("unknown event name `{v}`")))
-            }
+impl FromJson for EventId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Str(s) => EventId::from_key(s),
+            // Accept bare integers too, matching the permissive old input
+            // format for undisclosed numeric IDs.
+            Json::Num(n) => u64::from_json(json)
+                .map(EventId::Numeric)
+                .map_err(|_| JsonError::new(format!("invalid numeric event ID {n}"))),
+            other => Err(JsonError::expected("event name or numeric ID", other)),
         }
-        deserializer.deserialize_any(Visitor)
     }
 }
 
@@ -113,7 +115,7 @@ impl fmt::Display for EventId {
 
 /// A model-level metric assembled from one or more raw events
 /// (rows of Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Metric {
     /// Cycles with at least one active warp on the SMs (`ACycles`).
     ActiveCycles,
@@ -141,6 +143,23 @@ pub enum Metric {
     /// Executed single-precision instructions (`Inst_SP`).
     InstSp,
 }
+
+impl_json!(
+    enum Metric {
+        ActiveCycles,
+        L2ReadSectors,
+        L2WriteSectors,
+        SharedLoadTrans,
+        SharedStoreTrans,
+        DramReadSectors,
+        DramWriteSectors,
+        WarpsIntSp,
+        WarpsDp,
+        WarpsSf,
+        InstInt,
+        InstSp,
+    }
+);
 
 impl Metric {
     /// All metrics, in Table I row order.
@@ -394,17 +413,17 @@ mod tests {
     #[test]
     fn event_id_serde_round_trips_both_variants() {
         let named = EventId::Named("active_cycles");
-        let json = serde_json::to_string(&named).unwrap();
+        let json = gpm_json::to_string(&named).unwrap();
         assert_eq!(json, "\"active_cycles\"");
-        assert_eq!(serde_json::from_str::<EventId>(&json).unwrap(), named);
+        assert_eq!(gpm_json::from_str::<EventId>(&json).unwrap(), named);
 
         let numeric = EventId::Numeric(335_544_361);
-        let json = serde_json::to_string(&numeric).unwrap();
+        let json = gpm_json::to_string(&numeric).unwrap();
         assert_eq!(json, "\"335544361\"");
-        assert_eq!(serde_json::from_str::<EventId>(&json).unwrap(), numeric);
+        assert_eq!(gpm_json::from_str::<EventId>(&json).unwrap(), numeric);
 
         // Unknown names are rejected rather than silently interned.
-        assert!(serde_json::from_str::<EventId>("\"warp_yeet_count\"").is_err());
+        assert!(gpm_json::from_str::<EventId>("\"warp_yeet_count\"").is_err());
     }
 
     #[test]
@@ -413,8 +432,8 @@ mod tests {
         let mut m: BTreeMap<EventId, u64> = BTreeMap::new();
         m.insert(EventId::Named("active_cycles"), 7);
         m.insert(EventId::Numeric(318_767_141), 9);
-        let json = serde_json::to_string(&m).unwrap();
-        let back: BTreeMap<EventId, u64> = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&m).unwrap();
+        let back: BTreeMap<EventId, u64> = gpm_json::from_str(&json).unwrap();
         assert_eq!(m, back);
     }
 

@@ -1,6 +1,6 @@
 //! Frequency newtypes and the two-domain frequency configuration.
 
-use serde::{Deserialize, Serialize};
+use gpm_json::{FromJson, Json, JsonError, JsonKey, ToJson};
 use std::fmt;
 
 /// A clock frequency in megahertz.
@@ -20,11 +20,21 @@ use std::fmt;
 /// assert_eq!(f.as_hz(), 975.0e6);
 /// assert_eq!(f.to_string(), "975 MHz");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Mhz(u32);
+
+// Serialized transparently as the inner integer megahertz value.
+impl ToJson for Mhz {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for Mhz {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        u32::from_json(json).map(Mhz)
+    }
+}
 
 impl Mhz {
     /// Creates a frequency from an integer megahertz value.
@@ -89,27 +99,34 @@ pub struct FreqConfig {
     pub mem: Mhz,
 }
 
-impl Serialize for FreqConfig {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(&format_args!(
-            "{}@{}",
-            self.core.as_u32(),
-            self.mem.as_u32()
-        ))
+impl JsonKey for FreqConfig {
+    fn to_key(&self) -> String {
+        format!("{}@{}", self.core.as_u32(), self.mem.as_u32())
+    }
+
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        let (core, mem) = key
+            .split_once('@')
+            .ok_or_else(|| JsonError::new("expected \"<core>@<mem>\""))?;
+        let parse = |v: &str| {
+            v.parse::<u32>()
+                .map_err(|_| JsonError::new(format!("invalid frequency `{v}`")))
+        };
+        Ok(FreqConfig::from_mhz(parse(core)?, parse(mem)?))
     }
 }
 
-impl<'de> Deserialize<'de> for FreqConfig {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        let (core, mem) = s
-            .split_once('@')
-            .ok_or_else(|| serde::de::Error::custom("expected \"<core>@<mem>\""))?;
-        let parse = |v: &str| {
-            v.parse::<u32>()
-                .map_err(|_| serde::de::Error::custom(format!("invalid frequency `{v}`")))
-        };
-        Ok(FreqConfig::from_mhz(parse(core)?, parse(mem)?))
+impl ToJson for FreqConfig {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_key())
+    }
+}
+
+impl FromJson for FreqConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .ok_or_else(|| JsonError::expected("\"<core>@<mem>\" string", json))
+            .and_then(FreqConfig::from_key)
     }
 }
 

@@ -7,8 +7,8 @@
 //! separately and combines them with exactly that rule.
 
 use crate::{Category, KernelDesc, WorkloadError};
+use gpm_json::impl_json;
 use gpm_spec::{Component, DeviceSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A multi-kernel application: kernels plus how many times each is
@@ -24,11 +24,13 @@ use std::fmt;
 /// let kmeans = &apps[0];
 /// assert!(kmeans.kernels().len() >= 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Application {
     name: String,
     kernels: Vec<(KernelDesc, u32)>,
 }
+
+impl_json!(struct Application { name, kernels });
 
 impl Application {
     /// Creates an application from `(kernel, launches per iteration)`
@@ -273,8 +275,8 @@ mod tests {
     fn serde_round_trip() {
         let spec = devices::tesla_k40c();
         let apps = multi_kernel_suite(&spec);
-        let json = serde_json::to_string(&apps[0]).unwrap();
-        let back: Application = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&apps[0]).unwrap();
+        let back: Application = gpm_json::from_str(&json).unwrap();
         assert_eq!(apps[0], back);
     }
 

@@ -1,8 +1,8 @@
 //! Kernel descriptors: the workload representation executed by the
 //! simulated GPU.
 
+use gpm_json::impl_json;
 use gpm_spec::{Component, DeviceSpec, FreqConfig};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -49,7 +49,7 @@ impl std::error::Error for WorkloadError {}
 
 /// Benchmark family a kernel belongs to (the groups on the Fig. 5 x-axis,
 /// plus the application categories of the validation set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Category {
     /// Integer arithmetic microbenchmarks.
     Int,
@@ -72,6 +72,21 @@ pub enum Category {
     /// Full application from a standard benchmark suite.
     Application,
 }
+
+impl_json!(
+    enum Category {
+        Int,
+        Sp,
+        Dp,
+        Sf,
+        L2,
+        Shared,
+        Dram,
+        Mix,
+        Idle,
+        Application,
+    }
+);
 
 impl fmt::Display for Category {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -119,7 +134,7 @@ impl fmt::Display for Category {
 /// assert_eq!(k.warp_insts(Component::Sp), 4.0e9);
 /// # Ok::<(), gpm_workloads::WorkloadError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelDesc {
     name: String,
     category: Category,
@@ -135,11 +150,28 @@ pub struct KernelDesc {
     dram_read_fraction: f64,
     latency_cycles: f64,
     issue_efficiency: f64,
-    #[serde(default = "one")]
     shared_bank_conflict_factor: f64,
-    #[serde(default = "one")]
     dram_coalescing: f64,
 }
+
+impl_json!(struct KernelDesc {
+    name,
+    category,
+    warp_int,
+    warp_sp,
+    warp_dp,
+    warp_sf,
+    shared_bytes,
+    l2_bytes,
+    dram_bytes,
+    shared_load_fraction,
+    l2_read_fraction,
+    dram_read_fraction,
+    latency_cycles,
+    issue_efficiency,
+    shared_bank_conflict_factor = one(),
+    dram_coalescing = one(),
+});
 
 fn one() -> f64 {
     1.0
@@ -373,7 +405,7 @@ pub fn power_virus(spec: &DeviceSpec) -> KernelDesc {
 /// Target per-component utilizations used to construct descriptors.
 ///
 /// Components absent from the map default to zero utilization.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct UtilizationProfile {
     /// Target utilization per component, each in `[0, 1]`.
     pub targets: BTreeMap<Component, f64>,
@@ -384,6 +416,13 @@ pub struct UtilizationProfile {
     /// Load share of shared-memory traffic (default 0.5).
     pub shared_load_fraction: f64,
 }
+
+impl_json!(struct UtilizationProfile {
+    targets,
+    dram_read_fraction,
+    l2_read_fraction,
+    shared_load_fraction,
+});
 
 impl UtilizationProfile {
     /// Creates a profile from `(component, utilization)` pairs with even
@@ -744,9 +783,23 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let k = simple();
-        let json = serde_json::to_string(&k).unwrap();
-        let back: KernelDesc = serde_json::from_str(&json).unwrap();
+        let json = gpm_json::to_string(&k).unwrap();
+        let back: KernelDesc = gpm_json::from_str(&json).unwrap();
         assert_eq!(k, back);
+    }
+
+    #[test]
+    fn missing_quality_fields_default_to_one() {
+        // Serialized kernels from before the access-quality fields were
+        // added must still parse (the serde `default` behaviour).
+        let json = gpm_json::to_string(&simple()).unwrap();
+        let trimmed = json
+            .replace(",\"shared_bank_conflict_factor\":1", "")
+            .replace(",\"dram_coalescing\":1", "");
+        assert_ne!(json, trimmed, "fields should have been present");
+        let back: KernelDesc = gpm_json::from_str(&trimmed).unwrap();
+        assert_eq!(back.shared_bank_conflict_factor(), 1.0);
+        assert_eq!(back.dram_coalescing(), 1.0);
     }
 
     #[test]

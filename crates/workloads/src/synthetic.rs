@@ -105,9 +105,11 @@ pub fn launch_trace(
     launches: usize,
 ) -> Vec<KernelDesc> {
     assert!(distinct > 0, "need at least one distinct kernel");
-    let kernels: Vec<KernelDesc> = (0..distinct)
-        .map(|i| random_kernel(spec, seed.wrapping_add(i as u64)))
-        .collect();
+    // Each kernel is generated from its own derived seed, so the batch
+    // parallelizes with per-seed determinism intact.
+    let kernels: Vec<KernelDesc> = gpm_par::par_map_indices(distinct, |i| {
+        random_kernel(spec, seed.wrapping_add(i as u64))
+    });
     let mut rng = Lcg::new(seed ^ 0x1357_9BDF_2468_ACE0);
     let mut trace = Vec::with_capacity(launches);
     let mut current = rng.below(distinct);
@@ -133,13 +135,12 @@ pub fn launch_trace(
 pub fn random_application(spec: &DeviceSpec, seed: u64, distinct: usize) -> Application {
     assert!(distinct > 0, "need at least one distinct kernel");
     let mut rng = Lcg::new(seed ^ 0x0F0F_F0F0_5A5A_A5A5);
-    let kernels: Vec<(KernelDesc, u32)> = (0..distinct)
-        .map(|i| {
-            (
-                random_kernel(spec, seed.wrapping_add(1000 + i as u64)),
-                1 + rng.below(5) as u32,
-            )
-        })
+    let generated: Vec<KernelDesc> = gpm_par::par_map_indices(distinct, |i| {
+        random_kernel(spec, seed.wrapping_add(1000 + i as u64))
+    });
+    let kernels: Vec<(KernelDesc, u32)> = generated
+        .into_iter()
+        .map(|k| (k, 1 + rng.below(5) as u32))
         .collect();
     Application::new(format!("rand_app_{seed}"), kernels)
         .expect("generated applications always have work")

@@ -56,7 +56,9 @@
 
 pub use gpm_core as core;
 pub use gpm_dvfs as dvfs;
+pub use gpm_json as json;
 pub use gpm_linalg as linalg;
+pub use gpm_par as par;
 pub use gpm_profiler as profiler;
 pub use gpm_sim as sim;
 pub use gpm_spec as spec;

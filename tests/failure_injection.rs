@@ -5,10 +5,8 @@
 use gpm::core::events::EventSet;
 use gpm::core::{Estimator, MicrobenchSample, ModelError, TrainingSet, Utilizations};
 use gpm::prelude::*;
-use gpm::sim::{PowerSensor, SimError};
+use gpm::sim::{PowerSensor, SimError, SimRng};
 use gpm::spec::{devices, EventId, Metric};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn missing_raw_events_are_reported_with_the_metric() {
@@ -50,7 +48,7 @@ fn driver_rejects_unsupported_clocks_without_changing_state() {
 fn broken_sensor_reports_window_too_short() {
     // A refresh period longer than the window yields zero samples.
     let sensor = PowerSensor::new(5_000.0, 0.0);
-    let mut rng = StdRng::seed_from_u64(0);
+    let mut rng = SimRng::seed_from_u64(0);
     let err = sensor.sample_window(&mut rng, 100.0, 1.0).unwrap_err();
     assert!(matches!(err, SimError::WindowTooShort { .. }));
 }

@@ -1,10 +1,15 @@
 //! Property-based tests over the public API: invariants that must hold
-//! for arbitrary utilizations, configurations and model inputs.
+//! for arbitrary utilizations, configurations and model inputs — plus
+//! the reproducibility contract that parallel estimation is bit-identical
+//! across thread counts.
 
-use gpm::core::{DomainParams, PowerModel, Utilizations, VoltageTable};
+use gpm::core::{
+    cross_validate, DomainParams, EstimatorConfig, MicrobenchSample, PowerModel, Utilizations,
+    VoltageTable,
+};
 use gpm::prelude::*;
 use gpm::spec::{devices, Domain};
-use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 /// A small but non-trivial fitted-model stand-in with hand-set physical
 /// (non-negative) coefficients over the GTX Titan X grid.
@@ -37,100 +42,202 @@ fn toy_model() -> PowerModel {
     )
 }
 
-fn utilization_strategy() -> impl Strategy<Value = Utilizations> {
-    proptest::collection::vec(0.0f64..1.0, 7).prop_map(|v| {
-        let arr: [f64; 7] = v.try_into().expect("seven values");
-        Utilizations::from_values(arr).expect("in range")
-    })
+fn draw_utilizations(g: &mut gpm_check::Gen) -> Utilizations {
+    let vals = g.vec_f64(7..8, 0.0, 1.0);
+    let arr: [f64; 7] = vals.try_into().expect("seven values");
+    Utilizations::from_values(arr).expect("in range")
 }
 
-proptest! {
-    #[test]
-    fn predictions_are_positive_and_below_a_physical_ceiling(
-        u in utilization_strategy(),
-        config_idx in 0usize..64,
-    ) {
-        let model = toy_model();
-        let config = model.spec().vf_grid()[config_idx];
-        let p = model.predict(&u, config).expect("fitted config");
-        prop_assert!(p > 0.0);
-        prop_assert!(p < 2.0 * model.spec().tdp_w(), "{p} W");
-    }
+#[test]
+fn predictions_are_positive_and_below_a_physical_ceiling() {
+    let model = toy_model();
+    let grid = model.spec().vf_grid();
+    gpm_check::check(
+        "predictions_are_positive_and_below_a_physical_ceiling",
+        |g| {
+            let u = draw_utilizations(g);
+            let config = grid[g.usize_in(0..grid.len())];
+            let p = model.predict(&u, config).expect("fitted config");
+            assert!(p > 0.0);
+            assert!(p < 2.0 * model.spec().tdp_w(), "{p} W");
+        },
+    );
+}
 
-    #[test]
-    fn power_is_monotone_in_every_utilization(
-        base in utilization_strategy(),
-        comp_idx in 0usize..7,
-        bump in 0.01f64..0.5,
-        config_idx in 0usize..64,
-    ) {
-        let model = toy_model();
-        let config = model.spec().vf_grid()[config_idx];
+#[test]
+fn power_is_monotone_in_every_utilization() {
+    let model = toy_model();
+    let grid = model.spec().vf_grid();
+    gpm_check::check("power_is_monotone_in_every_utilization", |g| {
+        let base = draw_utilizations(g);
+        let comp_idx = g.usize_in(0..7);
+        let bump = g.f64_in(0.01, 0.5);
+        let config = grid[g.usize_in(0..grid.len())];
         let mut bumped = base.as_array();
         bumped[comp_idx] = (bumped[comp_idx] + bump).min(1.0);
         let lo = model.predict(&base, config).expect("fitted config");
         let hi = model
-            .predict(&Utilizations::from_values(bumped).expect("in range"), config)
+            .predict(
+                &Utilizations::from_values(bumped).expect("in range"),
+                config,
+            )
             .expect("fitted config");
-        prop_assert!(hi + 1e-9 >= lo, "raising U must not lower power");
-    }
+        assert!(hi + 1e-9 >= lo, "raising U must not lower power");
+    });
+}
 
-    #[test]
-    fn breakdown_components_always_sum_to_total(
-        u in utilization_strategy(),
-        config_idx in 0usize..64,
-    ) {
-        let model = toy_model();
-        let config = model.spec().vf_grid()[config_idx];
+#[test]
+fn breakdown_components_always_sum_to_total() {
+    let model = toy_model();
+    let grid = model.spec().vf_grid();
+    gpm_check::check("breakdown_components_always_sum_to_total", |g| {
+        let u = draw_utilizations(g);
+        let config = grid[g.usize_in(0..grid.len())];
         let b = model.breakdown(&u, config).expect("fitted config");
         let sum = b.constant() + b.components().iter().map(|(_, w)| w).sum::<f64>();
-        prop_assert!((sum - b.total()).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&b.dynamic_fraction()));
-    }
+        assert!((sum - b.total()).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&b.dynamic_fraction()));
+    });
+}
 
-    #[test]
-    fn power_rises_with_core_frequency_at_fixed_utilization(
-        u in utilization_strategy(),
-        mem_idx in 0usize..4,
-    ) {
-        let model = toy_model();
-        let spec = model.spec().clone();
-        let mem = spec.mem_freqs()[mem_idx];
-        let mut prev = 0.0;
-        for &core in spec.core_freqs().iter().rev() {
-            let p = model
-                .predict(&u, FreqConfig::new(core, mem))
-                .expect("fitted config");
-            prop_assert!(p >= prev, "power must not fall as fcore rises");
-            prev = p;
-        }
-    }
+#[test]
+fn power_rises_with_core_frequency_at_fixed_utilization() {
+    let model = toy_model();
+    let spec = model.spec().clone();
+    gpm_check::check(
+        "power_rises_with_core_frequency_at_fixed_utilization",
+        |g| {
+            let u = draw_utilizations(g);
+            let mem = spec.mem_freqs()[g.usize_in(0..spec.mem_freqs().len())];
+            let mut prev = 0.0;
+            for &core in spec.core_freqs().iter().rev() {
+                let p = model
+                    .predict(&u, FreqConfig::new(core, mem))
+                    .expect("fitted config");
+                assert!(p >= prev, "power must not fall as fcore rises");
+                prev = p;
+            }
+        },
+    );
+}
 
-    #[test]
-    fn model_json_round_trip_preserves_predictions(
-        u in utilization_strategy(),
-    ) {
-        let model = toy_model();
-        let json = model.to_json().expect("serializes");
-        let back = PowerModel::from_json(&json).expect("deserializes");
-        let config = model.spec().default_config();
-        prop_assert_eq!(
+#[test]
+fn model_json_round_trip_preserves_predictions() {
+    let model = toy_model();
+    let json = model.to_json().expect("serializes");
+    let back = PowerModel::from_json(&json).expect("deserializes");
+    let config = model.spec().default_config();
+    gpm_check::check("model_json_round_trip_preserves_predictions", |g| {
+        let u = draw_utilizations(g);
+        assert_eq!(
             model.predict(&u, config).expect("prediction"),
             back.predict(&u, config).expect("prediction")
         );
-    }
+    });
+}
 
-    #[test]
-    fn voltage_table_is_normalized_at_reference(
-        config_idx in 0usize..64,
-    ) {
-        let model = toy_model();
+#[test]
+fn voltage_table_is_normalized_at_reference() {
+    let model = toy_model();
+    let grid = model.spec().vf_grid();
+    gpm_check::check("voltage_table_is_normalized_at_reference", |g| {
         let reference = model.reference();
         let vt = model.voltage_table();
-        prop_assert_eq!(vt.voltages(reference).expect("reference"), (1.0, 1.0));
-        let config = model.spec().vf_grid()[config_idx];
+        assert_eq!(vt.voltages(reference).expect("reference"), (1.0, 1.0));
+        let config = grid[g.usize_in(0..grid.len())];
         let (vc, vm) = vt.voltages(config).expect("fitted config");
-        prop_assert!(vc > 0.0 && vm > 0.0);
+        assert!(vc > 0.0 && vm > 0.0);
         let _ = vt.voltage(Domain::Core, config).expect("core voltage");
+    });
+}
+
+/// Synthetic training set from an exact Eq. 5-7 model, small enough that
+/// repeated fits stay cheap.
+fn synthetic_training() -> TrainingSet {
+    let spec = devices::gtx_titan_x();
+    let reference = spec.default_config();
+    let vbar = |c: FreqConfig| -> f64 {
+        let v = |f: f64| {
+            if f <= 810.0 {
+                0.85
+            } else {
+                0.85 + 0.00075 * (f - 810.0)
+            }
+        };
+        v(c.core.as_f64()) / v(reference.core.as_f64())
+    };
+    let mut samples = Vec::new();
+    for i in 0..16 {
+        let t = i as f64 / 15.0;
+        let u = Utilizations::from_values([
+            0.1 + 0.4 * t,
+            0.5 * (1.0 - t),
+            0.0,
+            0.2 * t,
+            0.3 * (1.0 - t),
+            0.2 + 0.5 * t * (1.0 - t),
+            (0.8 - 0.7 * t).max(0.05),
+        ])
+        .unwrap();
+        let mut power_by_config = BTreeMap::new();
+        for config in spec.vf_grid() {
+            let vc = vbar(config);
+            let fc = config.core.as_f64() / 1000.0;
+            let fm = config.mem.as_f64() / 1000.0;
+            let core_act = 20.0
+                + 18.0 * u.get(Component::Int)
+                + 24.0 * u.get(Component::Sp)
+                + 22.0 * u.get(Component::Sf)
+                + 15.0 * u.get(Component::SharedMem)
+                + 17.0 * u.get(Component::L2Cache);
+            let p = 15.0 * vc
+                + vc * vc * fc * core_act
+                + 10.0
+                + fm * (11.0 + 26.0 * u.get(Component::Dram));
+            power_by_config.insert(config, p);
+        }
+        samples.push(MicrobenchSample {
+            name: format!("par_{i}"),
+            utilizations: u,
+            power_by_config,
+        });
     }
+    TrainingSet {
+        device: spec,
+        reference,
+        l2_bytes_per_cycle: 640.0,
+        samples,
+    }
+}
+
+/// The parallel engine's reproducibility contract: fitting and
+/// cross-validating with 2, 4 or 8 worker threads must produce output
+/// *byte-identical* to the single-threaded run — `gpm_par::par_map`
+/// preserves input order, so the arithmetic is the same in any schedule.
+#[test]
+fn fit_and_cross_validation_are_thread_count_independent() {
+    let training = synthetic_training();
+    let config = EstimatorConfig::default();
+
+    gpm::par::set_threads(Some(1));
+    let model_seq = Estimator::with_config(config.clone())
+        .fit(&training)
+        .unwrap();
+    let cv_seq = cross_validate(&training, &config, 4).unwrap();
+    let model_seq_json = model_seq.to_json().unwrap();
+
+    for threads in [2usize, 4, 8] {
+        gpm::par::set_threads(Some(threads));
+        let model = Estimator::with_config(config.clone())
+            .fit(&training)
+            .unwrap();
+        let cv = cross_validate(&training, &config, 4).unwrap();
+        assert_eq!(
+            model.to_json().unwrap(),
+            model_seq_json,
+            "fit diverged at {threads} threads"
+        );
+        assert_eq!(cv, cv_seq, "cross-validation diverged at {threads} threads");
+    }
+    gpm::par::set_threads(None);
 }
