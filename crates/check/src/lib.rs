@@ -12,8 +12,10 @@
 //! - [`Gen`] hands the body primitive draws (`f64_in`, `usize_in`,
 //!   `vec_f64`, …) backed by a splitmix64 stream.
 //! - On failure the harness re-panics with the property name, case
-//!   index, and seed prepended, which substitutes for shrinking: rerun
-//!   [`check_case`] with that seed to replay the single failing case.
+//!   index, and seed prepended, plus the **verbatim replay command**
+//!   (`GPM_CHECK_SEED=0x... cargo test <name>`), which substitutes for
+//!   shrinking: setting `GPM_CHECK_SEED` makes [`check`] replay exactly
+//!   that one case instead of the full sweep.
 //!
 //! ```
 //! gpm_check::check("abs_is_nonnegative", |g| {
@@ -130,12 +132,59 @@ pub fn check_case(name: &str, case: u32, body: impl FnOnce(&mut Gen)) {
     body(&mut gen);
 }
 
-/// Runs `body` over many generated cases; panics with the case index and
-/// seed of the first failing case.
+/// The shell command that replays one failing case of `name` verbatim.
+pub fn replay_command(name: &str, seed: u64) -> String {
+    format!("GPM_CHECK_SEED={seed:#x} cargo test {name}")
+}
+
+/// Parses a `GPM_CHECK_SEED` value: decimal or `0x`-prefixed hex.
+fn parse_seed(text: &str) -> Option<u64> {
+    let t = text.trim();
+    match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => t.parse::<u64>().ok(),
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// Runs `body` once with an explicitly seeded generator — the
+/// `GPM_CHECK_SEED` replay path, callable directly from code.
+pub fn check_seed(name: &str, seed: u64, body: impl Fn(&mut Gen)) {
+    let mut gen = Gen::new(seed);
+    let result = catch_unwind(AssertUnwindSafe(|| body(&mut gen)));
+    if let Err(payload) = result {
+        let detail = panic_detail(payload.as_ref());
+        panic!(
+            "property `{name}` failed replaying seed {seed:#x}: {detail}\n\
+             replay with: {}",
+            replay_command(name, seed)
+        );
+    }
+}
+
+/// Runs `body` over many generated cases; panics with the case index,
+/// seed, and verbatim replay command of the first failing case.
 ///
 /// The case count defaults to [`CASES`] and can be raised or lowered via
-/// the `GPM_CHECK_CASES` environment variable.
+/// the `GPM_CHECK_CASES` environment variable. When `GPM_CHECK_SEED` is
+/// set (decimal or `0x`-hex), the sweep is skipped and only that seed is
+/// replayed — paste the replay command from a failure message to
+/// reproduce it.
 pub fn check(name: &str, body: impl Fn(&mut Gen)) {
+    if let Ok(text) = std::env::var("GPM_CHECK_SEED") {
+        let seed = parse_seed(&text).unwrap_or_else(|| {
+            panic!("invalid GPM_CHECK_SEED value `{text}` (expected decimal or 0x-hex u64)")
+        });
+        check_seed(name, seed, body);
+        return;
+    }
     let cases = std::env::var("GPM_CHECK_CASES")
         .ok()
         .and_then(|v| v.parse::<u32>().ok())
@@ -146,14 +195,11 @@ pub fn check(name: &str, body: impl Fn(&mut Gen)) {
         let mut gen = Gen::new(seed);
         let result = catch_unwind(AssertUnwindSafe(|| body(&mut gen)));
         if let Err(payload) = result {
-            let detail = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            let detail = panic_detail(payload.as_ref());
             panic!(
                 "property `{name}` failed at case {case}/{cases} (seed {seed:#x}): {detail}\n\
-                 replay with gpm_check::check_case({name:?}, {case}, ...)"
+                 replay with: {}",
+                replay_command(name, seed)
             );
         }
     }
@@ -216,6 +262,44 @@ mod tests {
         assert!(msg.contains("always_fails"));
         assert!(msg.contains("case 0"));
         assert!(msg.contains("inner message"));
+        // The replay command is quoted verbatim, ready to paste.
+        let seed = case_seed("always_fails", 0);
+        assert!(
+            msg.contains(&format!("replay with: GPM_CHECK_SEED={seed:#x} cargo test")),
+            "missing verbatim replay command in: {msg}"
+        );
+    }
+
+    #[test]
+    fn seed_values_parse_in_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed("0X2A"), Some(42));
+        assert_eq!(parse_seed(" 0xdeadbeef "), Some(0xDEAD_BEEF));
+        assert_eq!(parse_seed("nope"), None);
+        assert_eq!(parse_seed("0x"), None);
+    }
+
+    #[test]
+    fn check_seed_replays_one_exact_case() {
+        // A body that records its first draw: the same seed must replay
+        // the same draw the sweep produced.
+        let seed = case_seed("replay_target", 3);
+        let mut from_sweep = None;
+        check_case("replay_target", 3, |g| from_sweep = Some(g.u64_any()));
+        let expected = from_sweep.unwrap();
+        check_seed("replay_target", seed, |g| {
+            assert_eq!(g.u64_any(), expected);
+        });
+
+        // And a failing body surfaces the replay command again.
+        let err = catch_unwind(|| {
+            check_seed("replay_target", seed, |_g| panic!("boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains(&replay_command("replay_target", seed)));
+        assert!(msg.contains("boom"));
     }
 
     #[test]

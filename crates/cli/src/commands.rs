@@ -31,30 +31,60 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // are identical at any thread count; only wall-clock changes.
     let threads = parsed.integer_or("threads", 0)? as usize;
     gpm_par::set_threads((threads > 0).then_some(threads));
+
+    // `--trace FILE` records a structured trace of the invocation (spans
+    // for every pipeline phase plus the process-wide metrics) and writes
+    // it as gpm-obs JSON on success.
+    let trace_path = parsed.optional("trace").map(str::to_string);
+    let recorder = trace_path.as_ref().map(|_| {
+        let r = gpm_obs::Recorder::new();
+        gpm_obs::install(&r);
+        r
+    });
+    let mut result = dispatch(&parsed);
+    if let Some(recorder) = recorder {
+        gpm_obs::uninstall();
+        if let (Ok(out), Some(path)) = (&mut result, trace_path) {
+            let trace = recorder.snapshot();
+            fs::write(&path, trace.to_json_string())?;
+            let _ = writeln!(out, "wrote trace ({} spans) -> {path}", trace.spans.len());
+        }
+    }
+    result
+}
+
+fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
     match parsed.command() {
         "devices" => {
             parsed.allow_only(&[])?;
             cmd_devices()
         }
         "characterize" => {
-            parsed.allow_only(&["device", "out", "seed", "repeats", "threads"])?;
-            cmd_characterize(&parsed)
+            parsed.allow_only(&["device", "out", "seed", "repeats", "threads", "trace"])?;
+            cmd_characterize(parsed)
         }
         "train" => {
-            parsed.allow_only(&["training", "out", "max-iterations", "threads", "timings"])?;
-            cmd_train(&parsed)
+            parsed.allow_only(&[
+                "training",
+                "out",
+                "max-iterations",
+                "threads",
+                "timings",
+                "trace",
+            ])?;
+            cmd_train(parsed)
         }
         "validate" => {
-            parsed.allow_only(&["model", "seed", "apps", "threads"])?;
-            cmd_validate(&parsed)
+            parsed.allow_only(&["model", "seed", "apps", "threads", "trace"])?;
+            cmd_validate(parsed)
         }
         "predict" => {
             parsed.allow_only(&["model", "app", "seed"])?;
-            cmd_predict(&parsed)
+            cmd_predict(parsed)
         }
         "voltage" => {
             parsed.allow_only(&["model"])?;
-            cmd_voltage(&parsed)
+            cmd_voltage(parsed)
         }
         "describe" => {
             parsed.allow_only(&["model"])?;
@@ -62,19 +92,19 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         "export-csv" => {
             parsed.allow_only(&["training", "out"])?;
-            cmd_export_csv(&parsed)
+            cmd_export_csv(parsed)
         }
         "crossval" => {
-            parsed.allow_only(&["training", "folds", "threads"])?;
-            cmd_crossval(&parsed)
+            parsed.allow_only(&["training", "folds", "threads", "trace"])?;
+            cmd_crossval(parsed)
         }
         "governor" => {
-            parsed.allow_only(&["model", "objective", "launches", "seed"])?;
-            cmd_governor(&parsed)
+            parsed.allow_only(&["model", "objective", "launches", "seed", "trace"])?;
+            cmd_governor(parsed)
         }
         "pareto" => {
             parsed.allow_only(&["model", "app", "seed"])?;
-            cmd_pareto(&parsed)
+            cmd_pareto(parsed)
         }
         "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -503,6 +533,66 @@ mod tests {
         // The CSV landed on disk with the right header.
         let csv = fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("kernel,fcore_mhz,fmem_mhz,power_w"));
+    }
+
+    #[test]
+    fn trace_flag_writes_a_valid_trace() {
+        let training_path = tmp("k40c-training3.json");
+        let model_path = tmp("k40c-model3.json");
+        let trace_path = tmp("k40c-train-trace.json");
+        call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        let out = call(&[
+            "train",
+            "--training",
+            &training_path,
+            "--out",
+            &model_path,
+            "--trace",
+            &trace_path,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote trace ("), "{out}");
+        assert!(out.contains(&trace_path), "{out}");
+
+        let trace =
+            gpm_obs::Trace::from_json_str(&fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(!trace.spans.is_empty());
+        // Other tests in this binary may run concurrently while the
+        // global recorder is installed, so counts are lower bounds.
+        assert!(!trace.spans_named("estimator.fit").is_empty());
+        assert!(!trace.spans_named("estimator.iteration").is_empty());
+        assert!(trace
+            .metrics
+            .counters
+            .get("estimator.iterations")
+            .is_some_and(|&v| v > 0));
+        // The recorder is uninstalled afterwards: a traceless run leaves
+        // no active recorder behind.
+        assert!(gpm_obs::active().is_none());
+
+        // An unknown-path trace file surfaces as an I/O error.
+        assert!(matches!(
+            call(&[
+                "crossval",
+                "--training",
+                &training_path,
+                "--folds",
+                "2",
+                "--trace",
+                "/nonexistent/dir/trace.json",
+            ]),
+            Err(CliError::Io(_))
+        ));
+        assert!(gpm_obs::active().is_none());
     }
 
     #[test]

@@ -96,5 +96,12 @@ PARALLELISM
   the gpm-par worker count (default: GPM_THREADS env, then the machine's
   available parallelism). Output is identical at any thread count.
 
+OBSERVABILITY
+  characterize, train, validate, crossval and governor accept
+  --trace FILE to record a structured gpm-obs trace of the run: one
+  span per pipeline phase (campaign configs, estimator iterations,
+  CV folds, governor decisions) plus process-wide counters and
+  histograms, written as JSON on success.
+
 DEVICES
   titan-xp | gtx-titan-x | tesla-k40c";

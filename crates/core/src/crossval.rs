@@ -65,12 +65,28 @@ pub fn cross_validate(
         ));
     }
 
+    let cv_span = gpm_obs::span("crossval", 0);
+    if let Some(s) = cv_span.as_deref() {
+        s.set_attr("folds", k);
+        s.set_attr("samples", training.samples.len());
+    }
+
     // Folds are independent end-to-end (each fits its own model), so they
     // run in parallel; `par_map` returns them in fold order, and the
     // pooled report is rebuilt in that order, so the output is identical
-    // to the sequential loop at any thread count.
+    // to the sequential loop at any thread count. Each fold opens a span
+    // under the crossval span (the handle is cloneable across workers)
+    // keyed by its fold index, so the normalized trace is
+    // schedule-independent too.
+    let cv_handle = cv_span.as_deref().cloned();
     let fold_reports: Vec<Result<AccuracyReport, ModelError>> =
         gpm_par::par_map_indices(k, |fold| {
+            let fold_span = cv_handle
+                .as_ref()
+                .map(|s| s.child("crossval.fold", fold as u64));
+            if let Some(s) = fold_span.as_deref() {
+                s.set_attr("fold", fold);
+            }
             let mut train_fold = training.clone();
             let mut held_out = Vec::new();
             let mut kept = Vec::new();
@@ -82,7 +98,9 @@ pub fn cross_validate(
                 }
             }
             train_fold.samples = kept;
-            let model = Estimator::with_config(config.clone()).fit(&train_fold)?;
+            let model = Estimator::with_config(config.clone())
+                .fit_report_under(&train_fold, fold_span.as_deref())
+                .map(|(m, _)| m)?;
 
             let mut report = AccuracyReport::new();
             for s in &held_out {
@@ -91,6 +109,13 @@ pub fn cross_validate(
                     report.add(&s.name, cfg, p, watts);
                 }
             }
+            if let Some(s) = fold_span.as_deref() {
+                s.set_attr("held_out", held_out.len());
+                if let Ok(m) = report.mape() {
+                    s.set_attr("mape", m);
+                }
+            }
+            gpm_obs::counter_add("crossval.folds", 1);
             Ok(report)
         });
 
@@ -104,10 +129,14 @@ pub fn cross_validate(
         fold_mape.push(report.mape()?);
     }
 
+    let overall_mape = pooled.mape()?;
+    if let Some(s) = cv_span.as_deref() {
+        s.set_attr("overall_mape", overall_mape);
+    }
     Ok(CvReport {
         folds: k,
         fold_mape,
-        overall_mape: pooled.mape()?,
+        overall_mape,
     })
 }
 

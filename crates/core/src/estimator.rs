@@ -28,7 +28,9 @@
 //!    convergence in under 50 iterations).
 
 use crate::{DomainParams, MicrobenchSample, ModelError, PowerModel, TrainingSet, VoltageTable};
+use gpm_json::impl_json;
 use gpm_linalg::{cubic_roots, isotonic_increasing, nnls, ridge_lstsq, spd_inverse, stats, Matrix};
+use gpm_obs::SpanHandle;
 use gpm_par::timer::{Collector, PhaseTimings};
 use gpm_spec::{Component, FreqConfig, Mhz};
 use std::collections::BTreeMap;
@@ -110,6 +112,15 @@ pub struct FitReport {
     pub timings: PhaseTimings,
 }
 
+impl_json!(struct FitReport {
+    iterations,
+    converged,
+    rmse_history,
+    training_mape,
+    coefficient_sigma,
+    timings = PhaseTimings::default(),
+});
+
 /// Fits [`PowerModel`]s from [`TrainingSet`]s via the paper's iterative
 /// heuristic.
 ///
@@ -173,7 +184,18 @@ impl Estimator {
         &self,
         training: &TrainingSet,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        self.fit_inner(training, None)
+        self.fit_inner(training, None, None)
+    }
+
+    /// Like [`Estimator::fit_with_report`], with the fit's trace span
+    /// parented under `parent` — used by cross-validation so per-fold
+    /// fits nest under their fold span.
+    pub(crate) fn fit_report_under(
+        &self,
+        training: &TrainingSet,
+        parent: Option<&SpanHandle>,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        self.fit_inner(training, None, parent)
     }
 
     /// Fits with a *warm start* from a previously fitted model: the
@@ -190,13 +212,14 @@ impl Estimator {
         training: &TrainingSet,
         previous: &PowerModel,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        self.fit_inner(training, Some(previous))
+        self.fit_inner(training, Some(previous), None)
     }
 
     fn fit_inner(
         &self,
         training: &TrainingSet,
         warm: Option<&PowerModel>,
+        parent: Option<&SpanHandle>,
     ) -> Result<(PowerModel, FitReport), ModelError> {
         training.validate()?;
         let reference = training.reference;
@@ -206,6 +229,12 @@ impl Estimator {
             return Err(ModelError::InsufficientTraining(
                 "need at least two frequency configurations",
             ));
+        }
+        let fit_span = gpm_obs::span_under(parent, "estimator.fit", 0);
+        if let Some(s) = fit_span.as_deref() {
+            s.set_attr("samples", training.samples.len());
+            s.set_attr("configs", configs.len());
+            s.set_attr("warm", warm.is_some());
         }
 
         // Voltage state: V̄ = (V̄core, V̄mem) per configuration (Eq. 12),
@@ -234,6 +263,7 @@ impl Estimator {
         // --- Step 1: bootstrap on {F1, F2, F3} with V̄ ≡ 1 (cold start),
         // or reuse the previous coefficients (warm start).
         let bootstrap_guard = timings.scoped("bootstrap");
+        let bootstrap_span = gpm_obs::span_under(fit_span.as_deref(), "estimator.bootstrap", 0);
         let mut x = match warm {
             Some(m) => {
                 let mut x = Vec::with_capacity(NUM_PARAMS);
@@ -255,6 +285,7 @@ impl Estimator {
                 self.solve_coefficients(training, &obs, &vcore, &vmem, Some(&bootstrap))?
             }
         };
+        drop(bootstrap_span);
         drop(bootstrap_guard);
 
         // --- Steps 2-4: alternate voltage and coefficient fits.
@@ -263,6 +294,8 @@ impl Estimator {
         let mut iterations = 0;
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
+            let iter_span =
+                gpm_obs::span_under(fit_span.as_deref(), "estimator.iteration", iter as u64);
             if self.config.estimate_voltages {
                 let _g = timings.scoped("voltage_step");
                 self.fit_voltages(training, &obs, &x, reference, &mut vcore, &mut vmem);
@@ -270,8 +303,15 @@ impl Estimator {
             {
                 let _g = timings.scoped("coefficient_step");
                 x = self.solve_coefficients(training, &obs, &vcore, &vmem, None)?;
+                gpm_obs::counter_add("estimator.coefficient_solves", 1);
             }
             let rmse = rmse_of(training, &obs, &x, &vcore, &vmem);
+            if let Some(s) = iter_span.as_deref() {
+                s.set_attr("iteration", iter);
+                s.set_attr("rmse", rmse);
+            }
+            gpm_obs::counter_add("estimator.iterations", 1);
+            gpm_obs::histogram_record("estimator.rmse", rmse);
             let done = rmse_history.last().is_some_and(|prev: &f64| {
                 (prev - rmse).abs() <= self.config.tolerance * prev.max(1e-12)
             });
@@ -307,6 +347,11 @@ impl Estimator {
 
         // Training MAPE for the report.
         let diagnostics_guard = timings.scoped("diagnostics");
+        let diagnostics_span = gpm_obs::span_under(
+            fit_span.as_deref(),
+            "estimator.diagnostics",
+            self.config.max_iterations as u64,
+        );
         let (pred, meas): (Vec<f64>, Vec<f64>) = obs
             .iter()
             .map(|o| {
@@ -354,7 +399,17 @@ impl Estimator {
                 Err(_) => Vec::new(),
             }
         };
+        drop(diagnostics_span);
         drop(diagnostics_guard);
+
+        if let Some(s) = fit_span.as_deref() {
+            s.set_attr("iterations", iterations);
+            s.set_attr("converged", converged);
+            s.set_attr("training_mape", training_mape);
+            if let Some(&rmse) = rmse_history.last() {
+                s.set_attr("final_rmse", rmse);
+            }
+        }
 
         Ok((
             model,
@@ -490,10 +545,13 @@ impl Estimator {
                     let vm = minimize_quartic(x[8], &pairs).unwrap_or(vm);
                     Some((config, vc, vm))
                 });
+            let mut solved = 0u64;
             for (config, vc, vm) in updates.into_iter().flatten() {
                 vcore.insert(config, vc);
                 vmem.insert(config, vm);
+                solved += 1;
             }
+            gpm_obs::counter_add("estimator.voltage_solves", solved);
         }
 
         if self.config.enforce_monotonic_voltage {

@@ -131,6 +131,11 @@ pub fn fit_joint(
     let sse = |r: &[f64]| -> f64 { r.iter().map(|e| e * e).sum() };
 
     let timings = Collector::new();
+    let joint_span = gpm_obs::span("joint.fit", 0);
+    if let Some(s) = joint_span.as_deref() {
+        s.set_attr("observations", obs.len());
+        s.set_attr("parameters", n_params);
+    }
     let mut lambda = config.lambda_init;
     let mut r = residuals(&theta);
     let mut current_sse = sse(&r);
@@ -140,6 +145,7 @@ pub fn fit_joint(
 
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
+        let iter_span = gpm_obs::span_under(joint_span.as_deref(), "joint.iteration", iter as u64);
         // Analytical Jacobian, one independent row per observation.
         let jac_guard = timings.scoped("jacobian");
         let jac_rows: Vec<Vec<f64>> = gpm_par::par_map(&obs, |o| {
@@ -198,6 +204,14 @@ pub fn fit_joint(
         if !stepped {
             converged = true; // no descent direction left at any damping
         }
+        let iter_rmse = (current_sse / obs.len() as f64).sqrt();
+        if let Some(s) = iter_span.as_deref() {
+            s.set_attr("iteration", iter);
+            s.set_attr("rmse", iter_rmse);
+            s.set_attr("stepped", stepped);
+        }
+        gpm_obs::counter_add("joint.iterations", 1);
+        gpm_obs::histogram_record("joint.rmse", iter_rmse);
         if converged {
             break;
         }
@@ -230,6 +244,12 @@ pub fn fit_joint(
     let pred: Vec<f64> = obs.iter().zip(&r).map(|(o, e)| o.watts + e).collect();
     let meas: Vec<f64> = obs.iter().map(|o| o.watts).collect();
     let training_mape = stats::mape(&pred, &meas)?;
+
+    if let Some(s) = joint_span.as_deref() {
+        s.set_attr("iterations", iterations);
+        s.set_attr("converged", converged);
+        s.set_attr("training_mape", training_mape);
+    }
 
     Ok((
         model,

@@ -102,6 +102,9 @@ pub struct GovernorStats {
     pub profiled: u32,
     /// Launches served from the decision cache.
     pub cache_hits: u32,
+    /// Profiling passes triggered by decision staleness (a subset of
+    /// `profiled`).
+    pub reprofiles: u32,
 }
 
 /// An online DVFS governor: the paper's future-work loop.
@@ -179,6 +182,13 @@ impl<'g> Governor<'g> {
     /// [`GovernorError::NoFeasibleConfig`] when the objective's
     /// constraint excludes the whole grid and has no fallback.
     pub fn run_kernel(&mut self, kernel: &KernelDesc) -> Result<KernelRun, GovernorError> {
+        // Launch index before this call's own counters move — a stable,
+        // schedule-independent span order key.
+        let launch = u64::from(self.stats.profiled + self.stats.cache_hits);
+        let span = gpm_obs::span("governor.kernel", launch);
+        if let Some(s) = span.as_deref() {
+            s.set_attr("kernel", kernel.name());
+        }
         let stale = match (self.decisions.get(kernel.name()), self.reprofile_interval) {
             (Some((_, uses)), Some(interval)) => *uses >= interval,
             _ => false,
@@ -193,14 +203,40 @@ impl<'g> Governor<'g> {
                 self.decisions
                     .insert(kernel.name().to_string(), (d.clone(), 0));
                 self.stats.profiled += 1;
+                gpm_obs::counter_add("governor.profiled", 1);
+                if stale {
+                    self.stats.reprofiles += 1;
+                    gpm_obs::counter_add("governor.reprofiles", 1);
+                }
                 (d, DecisionOrigin::Profiled)
             }
         };
         if origin == DecisionOrigin::Cached {
             self.stats.cache_hits += 1;
+            gpm_obs::counter_add("governor.cache_hits", 1);
         }
         self.gpu.set_clocks(decision.config)?;
         let exec = self.gpu.execute(kernel);
+        let energy_j = exec.duration_s * decision.predicted_power_w;
+        if let Some(s) = span.as_deref() {
+            s.set_attr(
+                "origin",
+                match origin {
+                    DecisionOrigin::Profiled => "profiled",
+                    DecisionOrigin::Cached => "cached",
+                },
+            );
+            s.set_attr("reprofile", stale);
+            s.set_attr("fcore_mhz", decision.config.core.as_f64());
+            s.set_attr("fmem_mhz", decision.config.mem.as_f64());
+            s.set_attr("predicted_power_w", decision.predicted_power_w);
+            s.set_attr("predicted_time_s", decision.predicted_time_s);
+            s.set_attr("reference_time_s", decision.reference_time_s);
+            s.set_attr("exec_time_s", exec.duration_s);
+            s.set_attr("energy_j", energy_j);
+        }
+        gpm_obs::counter_add("governor.launches", 1);
+        gpm_obs::histogram_record("governor.predicted_power_w", decision.predicted_power_w);
         self.ledger.record(LedgerEntry {
             kernel: kernel.name().to_string(),
             config: decision.config,

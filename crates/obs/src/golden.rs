@@ -1,0 +1,354 @@
+//! Golden-trace conformance: normalization and structural comparison.
+//!
+//! Raw traces are full of schedule- and wall-clock-dependent detail:
+//! span ids, start offsets, durations, worker/steal counts. Conformance
+//! works on a *normalized* form instead:
+//!
+//! - the span tree is rebuilt from parent links and every sibling list
+//!   is sorted by `(name, order, serialized attrs)` — the deterministic
+//!   order key supplied at span creation, not the schedule-dependent id;
+//! - ids, start offsets and durations are dropped;
+//! - metrics named in [`NormalizeOptions::volatile_metrics`] (queue
+//!   depths, steal counts, thread gauges...) keep their *name* but have
+//!   their value replaced by `null`, so the instrument set is still
+//!   pinned while the value floats;
+//! - attributes named in [`NormalizeOptions::volatile_attrs`] are
+//!   dropped from spans.
+//!
+//! Two normalized traces from bit-identical pipeline runs are equal as
+//! JSON text at any thread count; [`compare`] reports structural diffs
+//! with a numeric tolerance for cross-platform drift.
+
+use gpm_json::Json;
+
+use crate::trace::{SpanRecord, Trace, ROOT_PARENT};
+
+/// What to treat as volatile (schedule- or clock-dependent) when
+/// normalizing a trace.
+#[derive(Debug, Clone)]
+pub struct NormalizeOptions {
+    /// Span attributes dropped entirely. A trailing `*` matches any
+    /// suffix (`"wall_*"` drops `wall_us`, `wall_s`, ...).
+    pub volatile_attrs: Vec<String>,
+    /// Metrics whose value is nulled but whose name is kept. Trailing
+    /// `*` wildcard as above.
+    pub volatile_metrics: Vec<String>,
+}
+
+impl Default for NormalizeOptions {
+    fn default() -> Self {
+        NormalizeOptions {
+            // Everything the gpm-par pool reports about its schedule is
+            // thread-count-dependent by nature.
+            volatile_metrics: vec![
+                "par.threads".to_string(),
+                "par.blocks".to_string(),
+                "par.steals".to_string(),
+                "par.queue_depth".to_string(),
+            ],
+            volatile_attrs: Vec::new(),
+        }
+    }
+}
+
+impl NormalizeOptions {
+    fn attr_is_volatile(&self, name: &str) -> bool {
+        self.volatile_attrs.iter().any(|p| matches_pattern(p, name))
+    }
+
+    fn metric_is_volatile(&self, name: &str) -> bool {
+        self.volatile_metrics
+            .iter()
+            .any(|p| matches_pattern(p, name))
+    }
+}
+
+fn matches_pattern(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
+    }
+}
+
+/// Normalizes a trace to its deterministic structural form.
+pub fn normalize(trace: &Trace, opts: &NormalizeOptions) -> Json {
+    let spans = normalize_spans(&trace.spans, opts);
+    let m = &trace.metrics;
+    let counters = Json::Obj(
+        m.counters
+            .iter()
+            .map(|(name, &v)| {
+                let value = if opts.metric_is_volatile(name) {
+                    Json::Null
+                } else {
+                    Json::Num(v as f64)
+                };
+                (name.clone(), value)
+            })
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        m.gauges
+            .iter()
+            .map(|(name, &v)| {
+                let value = if opts.metric_is_volatile(name) {
+                    Json::Null
+                } else {
+                    Json::Num(v)
+                };
+                (name.clone(), value)
+            })
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        m.histograms
+            .iter()
+            .map(|(name, h)| {
+                let value = if opts.metric_is_volatile(name) {
+                    Json::Null
+                } else {
+                    // No `sum`: it is a float reduction whose accumulation
+                    // order is schedule-dependent, so only the integral
+                    // count and bucket tallies are pinned.
+                    Json::Obj(vec![
+                        ("count".to_string(), Json::Num(h.count as f64)),
+                        (
+                            "buckets".to_string(),
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(b, c)| {
+                                        Json::Arr(vec![Json::Num(b as f64), Json::Num(c as f64)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                };
+                (name.clone(), value)
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("version".to_string(), Json::Num(trace.version as f64)),
+        ("spans".to_string(), spans),
+        ("counters".to_string(), counters),
+        ("gauges".to_string(), gauges),
+        ("histograms".to_string(), histograms),
+    ])
+}
+
+fn normalize_spans(spans: &[SpanRecord], opts: &NormalizeOptions) -> Json {
+    // children[parent id] -> indices into `spans`.
+    let mut roots = Vec::new();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    for (idx, span) in spans.iter().enumerate() {
+        if span.parent == ROOT_PARENT {
+            roots.push(idx);
+        } else if let Some(list) = children.get_mut(span.parent as usize - 1) {
+            list.push(idx);
+        } else {
+            // Dangling parent id: treat as top-level rather than drop.
+            roots.push(idx);
+        }
+    }
+    build_sorted(&roots, spans, &children, opts)
+}
+
+fn build_sorted(
+    indices: &[usize],
+    spans: &[SpanRecord],
+    children: &[Vec<usize>],
+    opts: &NormalizeOptions,
+) -> Json {
+    let mut rendered: Vec<(SortKey, Json)> = indices
+        .iter()
+        .map(|&idx| {
+            let span = &spans[idx];
+            let attrs = Json::Obj(
+                span.attrs
+                    .iter()
+                    .filter(|(k, _)| !opts.attr_is_volatile(k))
+                    .map(|(k, v)| (k.clone(), gpm_json::ToJson::to_json(v)))
+                    .collect(),
+            );
+            let kids = build_sorted(&children[idx], spans, children, opts);
+            let key = (span.name.clone(), span.order, gpm_json::write(&attrs));
+            let value = Json::Obj(vec![
+                ("name".to_string(), Json::Str(span.name.clone())),
+                ("order".to_string(), Json::Num(span.order as f64)),
+                ("attrs".to_string(), attrs),
+                ("children".to_string(), kids),
+            ]);
+            (key, value)
+        })
+        .collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Arr(rendered.into_iter().map(|(_, v)| v).collect())
+}
+
+type SortKey = (String, u64, String);
+
+/// One structural difference found by [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diff {
+    /// JSON-pointer-ish path to the differing node.
+    pub path: String,
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// Compares two normalized traces structurally. Numbers match when
+/// `|a-b| <= tolerance * max(1, |a|, |b|)`; everything else must be
+/// exactly equal (same keys, same array lengths, same strings).
+pub fn compare(golden: &Json, actual: &Json, tolerance: f64) -> Vec<Diff> {
+    let mut diffs = Vec::new();
+    compare_into(golden, actual, tolerance, "$", &mut diffs);
+    diffs
+}
+
+fn compare_into(golden: &Json, actual: &Json, tol: f64, path: &str, out: &mut Vec<Diff>) {
+    // Bound the report size; one mismatch usually cascades.
+    if out.len() >= 64 {
+        return;
+    }
+    match (golden, actual) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(a), Json::Bool(b)) if a == b => {}
+        (Json::Str(a), Json::Str(b)) if a == b => {}
+        (Json::Num(a), Json::Num(b)) => {
+            let scale = 1.0_f64.max(a.abs()).max(b.abs());
+            if (a - b).abs() > tol * scale {
+                out.push(Diff {
+                    path: path.to_string(),
+                    message: format!("expected {a}, found {b}"),
+                });
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                out.push(Diff {
+                    path: path.to_string(),
+                    message: format!("expected {} elements, found {}", a.len(), b.len()),
+                });
+                return;
+            }
+            for (i, (ga, ac)) in a.iter().zip(b).enumerate() {
+                compare_into(ga, ac, tol, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (key, gv) in a {
+                match b.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => compare_into(gv, av, tol, &format!("{path}.{key}"), out),
+                    None => out.push(Diff {
+                        path: format!("{path}.{key}"),
+                        message: "missing in actual".to_string(),
+                    }),
+                }
+            }
+            for (key, _) in b {
+                if !a.iter().any(|(k, _)| k == key) {
+                    out.push(Diff {
+                        path: format!("{path}.{key}"),
+                        message: "unexpected in actual".to_string(),
+                    });
+                }
+            }
+        }
+        _ => out.push(Diff {
+            path: path.to_string(),
+            message: "type mismatch".to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn capture(shuffle: bool) -> Trace {
+        let rec = Recorder::new();
+        {
+            let root = rec.span("fit", 0);
+            root.set_attr("samples", 4u64);
+            let orders: Vec<u64> = if shuffle {
+                vec![2, 0, 1]
+            } else {
+                vec![0, 1, 2]
+            };
+            for i in orders {
+                let iter = root.child("iteration", i);
+                iter.set_attr("rmse", 1.0 / (i + 1) as f64);
+            }
+        }
+        rec.metrics().counter_add("estimator.iterations", 3);
+        rec.metrics()
+            .gauge_set("par.threads", if shuffle { 8.0 } else { 1.0 });
+        rec.snapshot()
+    }
+
+    #[test]
+    fn normalization_is_schedule_independent() {
+        let opts = NormalizeOptions::default();
+        let a = normalize(&capture(false), &opts);
+        let b = normalize(&capture(true), &opts);
+        assert_eq!(gpm_json::write(&a), gpm_json::write(&b));
+        assert!(compare(&a, &b, 0.0).is_empty());
+    }
+
+    #[test]
+    fn structural_changes_are_detected() {
+        let opts = NormalizeOptions::default();
+        let golden = normalize(&capture(false), &opts);
+
+        // A run with one extra iteration must not conform.
+        let rec = Recorder::new();
+        {
+            let root = rec.span("fit", 0);
+            root.set_attr("samples", 4u64);
+            for i in 0..4u64 {
+                let iter = root.child("iteration", i);
+                iter.set_attr("rmse", 1.0 / (i + 1) as f64);
+            }
+        }
+        rec.metrics().counter_add("estimator.iterations", 4);
+        rec.metrics().gauge_set("par.threads", 1.0);
+        let actual = normalize(&rec.snapshot(), &opts);
+        let diffs = compare(&golden, &actual, 1e-9);
+        assert!(!diffs.is_empty());
+    }
+
+    #[test]
+    fn numeric_tolerance_applies_to_attrs() {
+        let opts = NormalizeOptions::default();
+        let golden = normalize(&capture(false), &opts);
+        let mut trace = capture(false);
+        // Perturb one rmse attribute by 1e-12 (relative): within tolerance.
+        for span in &mut trace.spans {
+            if let Some(crate::AttrValue::Num(v)) = span.attrs.get_mut("rmse") {
+                *v *= 1.0 + 1e-12;
+            }
+        }
+        let actual = normalize(&trace, &opts);
+        assert!(compare(&golden, &actual, 1e-9).is_empty());
+        assert!(!compare(&golden, &actual, 1e-15).is_empty());
+    }
+
+    #[test]
+    fn volatile_metrics_keep_name_but_not_value() {
+        let opts = NormalizeOptions::default();
+        let json = normalize(&capture(false), &opts);
+        let gauges = json.get("gauges").unwrap();
+        assert_eq!(gauges.get("par.threads"), Some(&Json::Null));
+        let counters = json.get("counters").unwrap();
+        assert_eq!(counters.get("estimator.iterations"), Some(&Json::Num(3.0)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Structured observability for the gpm workspace.
+//!
+//! The estimation pipeline (Eqs. 5-12 fit, voltage solves, governor
+//! decisions) used to be a black box: `FitReport::timings` was the only
+//! runtime signal. This crate adds the two telemetry primitives a
+//! production DVFS stack needs, with zero external dependencies:
+//!
+//! - a process-wide **metrics registry** ([`Metrics`]): monotonic
+//!   counters, last-write-wins gauges and log2-bucketed histograms;
+//! - **hierarchical tracing spans** ([`Recorder`], [`SpanGuard`]): span
+//!   id, parent, phase name, wall-clock, and typed attributes such as
+//!   iteration count, residual norm or fold index.
+//!
+//! Both serialize through `gpm-json` ([`Trace::to_json_string`]) and
+//! feed the **golden-trace conformance suite** ([`normalize`] /
+//! [`compare`]): committed traces of a deterministic pipeline run,
+//! compared structurally so silent behavior changes — extra iterations,
+//! skipped folds, reordered phases — fail a test at any thread count.
+//!
+//! # Capturing a trace
+//!
+//! Instrumented code records through the *active* recorder, installed
+//! process-wide; when none is installed every hook is a cheap no-op:
+//!
+//! ```
+//! let recorder = gpm_obs::Recorder::new();
+//! gpm_obs::install(&recorder);
+//! {
+//!     let fit = gpm_obs::span("estimator.fit", 0).expect("recorder installed");
+//!     fit.set_attr("samples", 16u64);
+//!     gpm_obs::counter_add("estimator.iterations", 1);
+//! }
+//! gpm_obs::uninstall();
+//! let trace = recorder.snapshot();
+//! assert_eq!(trace.spans.len(), 1);
+//! ```
+//!
+//! Worker threads spawned by `gpm-par` may record concurrently; span
+//! *ids* are schedule-dependent, which is why every span carries a
+//! deterministic `order` key and conformance runs on the normalized
+//! form (see [`golden`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod metrics;
+pub mod trace;
+
+pub use golden::{compare, normalize, Diff, NormalizeOptions};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, UNDERFLOW_BUCKET};
+pub use trace::{AttrValue, Recorder, SpanGuard, SpanHandle, SpanRecord, Trace, TRACE_VERSION};
+
+use std::sync::Mutex;
+
+static ACTIVE: Mutex<Option<Recorder>> = Mutex::new(None);
+
+/// Installs `recorder` as the process-wide active recorder, returning
+/// the previously installed one (restore it with [`install`] to support
+/// nesting).
+pub fn install(recorder: &Recorder) -> Option<Recorder> {
+    ACTIVE
+        .lock()
+        .expect("active recorder lock")
+        .replace(recorder.clone())
+}
+
+/// Removes and returns the active recorder, if any.
+pub fn uninstall() -> Option<Recorder> {
+    ACTIVE.lock().expect("active recorder lock").take()
+}
+
+/// A clone of the active recorder, if one is installed.
+pub fn active() -> Option<Recorder> {
+    ACTIVE.lock().expect("active recorder lock").clone()
+}
+
+/// Opens a top-level span on the active recorder, or `None` when no
+/// recorder is installed.
+pub fn span(name: &str, order: u64) -> Option<SpanGuard> {
+    active().map(|r| r.span(name, order))
+}
+
+/// Opens a span under `parent` when given, else a top-level span on the
+/// active recorder. The idiom for instrumented library code that may or
+/// may not have been handed a parent span:
+///
+/// ```
+/// fn fit(parent: Option<&gpm_obs::SpanHandle>) {
+///     let _span = gpm_obs::span_under(parent, "fit", 0);
+///     // ... work ...
+/// }
+/// fit(None); // no recorder installed: _span is None, zero overhead
+/// ```
+pub fn span_under(parent: Option<&SpanHandle>, name: &str, order: u64) -> Option<SpanGuard> {
+    match parent {
+        Some(p) => Some(p.child(name, order)),
+        None => span(name, order),
+    }
+}
+
+/// Adds to a counter on the active recorder's registry (no-op when none).
+pub fn counter_add(name: &str, by: u64) {
+    if let Some(r) = active() {
+        r.metrics().counter_add(name, by);
+    }
+}
+
+/// Sets a gauge on the active recorder's registry (no-op when none).
+pub fn gauge_set(name: &str, value: f64) {
+    if let Some(r) = active() {
+        r.metrics().gauge_set(name, value);
+    }
+}
+
+/// Records a histogram observation on the active recorder's registry
+/// (no-op when none).
+pub fn histogram_record(name: &str, value: f64) {
+    if let Some(r) = active() {
+        r.metrics().histogram_record(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The active-recorder slot is process-global; tests that install
+    // into it serialize on this lock (the test harness runs tests on
+    // parallel threads).
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn helpers_are_noops_without_a_recorder() {
+        let _guard = GLOBAL.lock().unwrap();
+        uninstall();
+        assert!(span("x", 0).is_none());
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        histogram_record("h", 1.0);
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn install_routes_helpers_to_the_recorder() {
+        let _guard = GLOBAL.lock().unwrap();
+        let rec = Recorder::new();
+        assert!(install(&rec).is_none());
+        {
+            let s = span("phase", 3).expect("installed");
+            s.set_attr("k", "v");
+        }
+        counter_add("c", 2);
+        gauge_set("g", 4.5);
+        histogram_record("h", 2.0);
+        let prev = uninstall().expect("was installed");
+        let trace = prev.snapshot();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].order, 3);
+        assert_eq!(trace.metrics.counters["c"], 2);
+        assert_eq!(trace.metrics.gauges["g"], 4.5);
+        assert_eq!(trace.metrics.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn span_under_prefers_the_parent() {
+        let _guard = GLOBAL.lock().unwrap();
+        let rec = Recorder::new();
+        install(&rec);
+        {
+            let root = rec.span("root", 0);
+            let _child = span_under(Some(&root), "child", 1);
+            let _top = span_under(None, "top", 2);
+        }
+        uninstall();
+        let trace = rec.snapshot();
+        let child = &trace.spans_named("child")[0];
+        let top = &trace.spans_named("top")[0];
+        assert_eq!(child.parent, trace.spans_named("root")[0].id);
+        assert_eq!(top.parent, trace::ROOT_PARENT);
+    }
+}

@@ -1,0 +1,242 @@
+//! Process-wide metrics registry: counters, gauges and fixed log-scale
+//! histograms.
+//!
+//! All three instrument types live behind one mutex-protected registry so
+//! a snapshot is internally consistent. The registry is cheap enough for
+//! the workspace's hot paths (a few thousand updates per estimation run)
+//! and deliberately has no lock-free fast path: determinism and
+//! snapshot consistency matter more here than nanosecond overhead.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use gpm_json::impl_json;
+
+/// Power-of-two histogram bucket for strictly positive values: bucket
+/// `i` covers `[2^i, 2^(i+1))`. Values `<= 0` (and non-finite values)
+/// land in the dedicated underflow bucket so that the bucket counts
+/// always sum to the observation count.
+pub const UNDERFLOW_BUCKET: i64 = i64::MIN;
+
+/// Exponent clamp: buckets outside `[-MAX_EXPONENT, MAX_EXPONENT]` are
+/// merged into the edge bucket, bounding the bucket-key space.
+const MAX_EXPONENT: i64 = 128;
+
+/// A log2-bucketed histogram with exact count/sum/min/max side stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    buckets: BTreeMap<i64, u64>,
+}
+
+impl Histogram {
+    /// The bucket index a value falls into: `floor(log2(v))` clamped to
+    /// `[-MAX_EXPONENT, MAX_EXPONENT]`, or [`UNDERFLOW_BUCKET`] for
+    /// values that are zero, negative or non-finite.
+    pub fn bucket_index(value: f64) -> i64 {
+        if !value.is_finite() || value <= 0.0 {
+            return UNDERFLOW_BUCKET;
+        }
+        (value.log2().floor() as i64).clamp(-MAX_EXPONENT, MAX_EXPONENT)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = Some(self.min.map_or(value, |m| m.min(value)));
+            self.max = Some(self.max.map_or(value, |m| m.max(value)));
+        }
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs in
+    /// ascending index order.
+    pub fn buckets(&self) -> Vec<(i64, u64)> {
+        self.buckets.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Immutable snapshot for serialization.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self.buckets(),
+        }
+    }
+}
+
+/// Serializable view of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all finite observations.
+    pub sum: f64,
+    /// Smallest finite observation, if any.
+    pub min: Option<f64>,
+    /// Largest finite observation, if any.
+    pub max: Option<f64>,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(i64, u64)>,
+}
+
+impl_json!(struct HistogramSnapshot { count, sum, min = None, max = None, buckets });
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared, thread-safe registry of counters, gauges and histograms.
+///
+/// Clones share the same underlying state, so a [`Metrics`] handle can
+/// be captured by worker closures while the owner snapshots it later.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    state: Arc<Mutex<MetricsState>>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named monotonic counter, creating it at zero.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        let mut state = self.state.lock().expect("metrics lock");
+        *state.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut state = self.state.lock().expect("metrics lock");
+        state.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let mut state = self.state.lock().expect("metrics lock");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// An internally consistent snapshot of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let state = self.state.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
+            histograms: state
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl_json!(struct MetricsSnapshot { counters, gauges, histograms });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(Histogram::bucket_index(1.0), 0);
+        assert_eq!(Histogram::bucket_index(1.5), 0);
+        assert_eq!(Histogram::bucket_index(2.0), 1);
+        assert_eq!(Histogram::bucket_index(0.5), -1);
+        assert_eq!(Histogram::bucket_index(0.0), UNDERFLOW_BUCKET);
+        assert_eq!(Histogram::bucket_index(-3.0), UNDERFLOW_BUCKET);
+        assert_eq!(Histogram::bucket_index(f64::NAN), UNDERFLOW_BUCKET);
+        assert_eq!(Histogram::bucket_index(f64::INFINITY), UNDERFLOW_BUCKET);
+        assert_eq!(Histogram::bucket_index(1e300), 128);
+        assert_eq!(Histogram::bucket_index(1e-300), -128);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [3.0, 0.25, 100.0, -1.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 102.25);
+        assert_eq!(h.min(), Some(-1.0));
+        assert_eq!(h.max(), Some(100.0));
+        let total: u64 = h.buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let m = Metrics::new();
+        m.counter_add("calls", 2);
+        m.counter_add("calls", 3);
+        m.gauge_set("threads", 4.0);
+        m.gauge_set("threads", 8.0);
+        m.histogram_record("lat", 1.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["calls"], 5);
+        assert_eq!(snap.gauges["threads"], 8.0);
+        assert_eq!(snap.histograms["lat"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.counter_add("a", 1);
+        m.gauge_set("g", 2.5);
+        m.histogram_record("h", 0.0);
+        m.histogram_record("h", 3.5);
+        let snap = m.snapshot();
+        let text = gpm_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = gpm_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

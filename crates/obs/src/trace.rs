@@ -1,0 +1,380 @@
+//! Hierarchical tracing spans and the recorder that collects them.
+//!
+//! A [`Recorder`] owns a buffer of [`SpanRecord`]s plus a
+//! [`Metrics`](crate::Metrics) registry. Spans form a tree via parent
+//! ids; each span carries a *deterministic order key* supplied at
+//! creation (iteration index, fold index, configuration rank, launch
+//! counter, ...). Span **ids** are assigned under a mutex and therefore
+//! depend on thread scheduling — the order key is what conformance
+//! comparisons sort on, so a trace captured with 8 worker threads
+//! normalizes to the same tree as a single-threaded run.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gpm_json::{impl_json, FromJson, Json, JsonError, ToJson};
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Schema version stamped into every serialized trace.
+pub const TRACE_VERSION: u64 = 1;
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Numeric attribute (counts, residuals, watts, seconds, ...).
+    Num(f64),
+    /// Free-form string attribute (kernel name, decision origin, ...).
+    Str(String),
+}
+
+impl ToJson for AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::Bool(b) => Json::Bool(*b),
+            AttrValue::Num(n) => Json::Num(*n),
+            AttrValue::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+impl FromJson for AttrValue {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Bool(b) => Ok(AttrValue::Bool(*b)),
+            Json::Num(n) => Ok(AttrValue::Num(*n)),
+            Json::Str(s) => Ok(AttrValue::Str(s.clone())),
+            other => Err(JsonError::expected("bool, number or string", other)),
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Num(v as f64)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Num(v as f64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Num(f64::from(v))
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// Sentinel parent id for top-level spans.
+pub const ROOT_PARENT: u64 = 0;
+
+/// One completed (or still-open) span in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span id; ids start at 1 and are assigned in creation order
+    /// (schedule-dependent under parallelism).
+    pub id: u64,
+    /// Parent span id, or [`ROOT_PARENT`] for top-level spans.
+    pub parent: u64,
+    /// Phase name, e.g. `estimator.iteration`.
+    pub name: String,
+    /// Deterministic sibling order key supplied at creation.
+    pub order: u64,
+    /// Start offset from the recorder's epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds (0 while the span is open).
+    pub duration_us: u64,
+    /// Named attributes (iteration count, residual norm, fold index...).
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl_json!(struct SpanRecord {
+    id,
+    parent,
+    name,
+    order,
+    start_us,
+    duration_us,
+    attrs = BTreeMap::new(),
+});
+
+/// A complete serializable trace: span tree plus metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Schema version ([`TRACE_VERSION`]).
+    pub version: u64,
+    /// All recorded spans, ordered by id.
+    pub spans: Vec<SpanRecord>,
+    /// Snapshot of the recorder's metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+impl_json!(struct Trace {
+    version,
+    spans,
+    metrics = MetricsSnapshot::default(),
+});
+
+impl Trace {
+    /// Serializes the trace to compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        gpm_json::write(&self.to_json())
+    }
+
+    /// Parses a trace from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        gpm_json::from_str(text)
+    }
+
+    /// The spans whose name equals `name`, in id order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    spans: Vec<SpanRecord>,
+}
+
+/// Collects spans and metrics for one capture session.
+///
+/// Clones share the same buffers; the handle is `Send + Sync` so worker
+/// threads spawned by `gpm-par` can open spans concurrently.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    state: Arc<Mutex<RecorderState>>,
+    metrics: Metrics,
+    epoch: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder with an empty span buffer and metrics registry.
+    pub fn new() -> Self {
+        Recorder {
+            state: Arc::new(Mutex::new(RecorderState { spans: Vec::new() })),
+            metrics: Metrics::new(),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The recorder's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Opens a top-level span. The guard closes the span on drop.
+    pub fn span(&self, name: &str, order: u64) -> SpanGuard {
+        self.open(ROOT_PARENT, name, order)
+    }
+
+    fn open(&self, parent: u64, name: &str, order: u64) -> SpanGuard {
+        let start_us = duration_us(self.epoch.elapsed());
+        let id = {
+            let mut state = self.state.lock().expect("recorder lock");
+            let id = state.spans.len() as u64 + 1;
+            state.spans.push(SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                order,
+                start_us,
+                duration_us: 0,
+                attrs: BTreeMap::new(),
+            });
+            id
+        };
+        SpanGuard {
+            handle: SpanHandle {
+                recorder: self.clone(),
+                id,
+            },
+            start: Instant::now(),
+        }
+    }
+
+    fn set_attr(&self, id: u64, key: &str, value: AttrValue) {
+        let mut state = self.state.lock().expect("recorder lock");
+        // Ids are assigned sequentially from 1, so the span lives at
+        // index id-1.
+        if let Some(span) = state.spans.get_mut(id as usize - 1) {
+            span.attrs.insert(key.to_string(), value);
+        }
+    }
+
+    fn close(&self, id: u64, elapsed: std::time::Duration) {
+        let mut state = self.state.lock().expect("recorder lock");
+        if let Some(span) = state.spans.get_mut(id as usize - 1) {
+            span.duration_us = duration_us(elapsed).max(1);
+        }
+    }
+
+    /// A consistent snapshot of all spans and metrics recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let spans = self.state.lock().expect("recorder lock").spans.clone();
+        Trace {
+            version: TRACE_VERSION,
+            spans,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+fn duration_us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// An addressable open span: create children and attach attributes.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    recorder: Recorder,
+    id: u64,
+}
+
+impl SpanHandle {
+    /// Opens a child span under this one.
+    pub fn child(&self, name: &str, order: u64) -> SpanGuard {
+        self.recorder.open(self.id, name, order)
+    }
+
+    /// Sets (or overwrites) an attribute on this span.
+    pub fn set_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        self.recorder.set_attr(self.id, key, value.into());
+    }
+
+    /// The span's id within its recorder.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// RAII guard for an open span; records the duration when dropped.
+///
+/// Derefs to [`SpanHandle`] so attributes and children can be attached
+/// through the guard.
+#[derive(Debug)]
+pub struct SpanGuard {
+    handle: SpanHandle,
+    start: Instant,
+}
+
+impl std::ops::Deref for SpanGuard {
+    type Target = SpanHandle;
+
+    fn deref(&self) -> &SpanHandle {
+        &self.handle
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.handle
+            .recorder
+            .close(self.handle.id, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_carry_attributes() {
+        let rec = Recorder::new();
+        {
+            let fit = rec.span("fit", 0);
+            fit.set_attr("samples", 16u64);
+            for i in 0..3u64 {
+                let iter = fit.child("iteration", i);
+                iter.set_attr("rmse", 0.5 / (i + 1) as f64);
+            }
+        }
+        let trace = rec.snapshot();
+        assert_eq!(trace.spans.len(), 4);
+        let fit = &trace.spans[0];
+        assert_eq!(fit.parent, ROOT_PARENT);
+        assert_eq!(fit.attrs["samples"], AttrValue::Num(16.0));
+        for (i, span) in trace.spans[1..].iter().enumerate() {
+            assert_eq!(span.parent, fit.id);
+            assert_eq!(span.order, i as u64);
+            assert!(span.duration_us >= 1, "closed spans have a duration");
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        let rec = Recorder::new();
+        {
+            let s = rec.span("phase", 7);
+            s.set_attr("name", "k1");
+            s.set_attr("ok", true);
+        }
+        rec.metrics().counter_add("calls", 3);
+        let trace = rec.snapshot();
+        let text = trace.to_json_string();
+        let back = Trace::from_json_str(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.version, TRACE_VERSION);
+    }
+
+    #[test]
+    fn concurrent_span_creation_is_safe() {
+        let rec = Recorder::new();
+        let root = rec.span("root", 0);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let root = SpanHandle {
+                    recorder: root.recorder.clone(),
+                    id: root.id(),
+                };
+                scope.spawn(move || {
+                    for i in 0..8u64 {
+                        let s = root.child("work", t * 8 + i);
+                        s.set_attr("t", t);
+                    }
+                });
+            }
+        });
+        drop(root);
+        let trace = rec.snapshot();
+        assert_eq!(trace.spans.len(), 33);
+        let mut orders: Vec<u64> = trace.spans_named("work").iter().map(|s| s.order).collect();
+        orders.sort_unstable();
+        assert_eq!(orders, (0..32).collect::<Vec<_>>());
+    }
+}

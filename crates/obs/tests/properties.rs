@@ -1,0 +1,70 @@
+//! Property tests for the metrics registry: invariants that must hold
+//! for arbitrary observation streams.
+
+use gpm_obs::{Histogram, Metrics, UNDERFLOW_BUCKET};
+
+/// The histogram contract: every observation lands in exactly one
+/// bucket, so the bucket counts always sum to the observation count —
+/// including zero, negative and non-finite values, which share the
+/// underflow bucket.
+#[test]
+fn histogram_bucket_counts_sum_to_observation_count() {
+    gpm_check::check("histogram_bucket_counts_sum_to_observation_count", |g| {
+        let mut h = Histogram::default();
+        let n = g.usize_in(0..200);
+        let mut finite_sum = 0.0;
+        for _ in 0..n {
+            let v = match g.usize_in(0..8) {
+                0 => 0.0,
+                1 => -g.f64_in(0.0, 1e6),
+                2 => g.f64_in(0.0, 1e-280),
+                3 => g.f64_in(1e250, 1e300),
+                4 => f64::NAN,
+                _ => g.f64_in(1e-3, 1e3),
+            };
+            h.record(v);
+            if v.is_finite() {
+                finite_sum += v;
+            }
+        }
+        assert_eq!(h.count(), n as u64);
+        let total: u64 = h.buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count(), "buckets must partition the stream");
+        assert!((h.sum() - finite_sum).abs() <= 1e-9 * finite_sum.abs().max(1.0));
+    });
+}
+
+/// Bucket boundaries: a positive finite value `v` in bucket `i` (with
+/// `i` inside the clamp range) satisfies `2^i <= v < 2^(i+1)`.
+#[test]
+fn histogram_buckets_bound_their_values() {
+    gpm_check::check("histogram_buckets_bound_their_values", |g| {
+        let v = g.f64_in(1e-30, 1e30);
+        let idx = Histogram::bucket_index(v);
+        assert_ne!(idx, UNDERFLOW_BUCKET);
+        let lo = 2.0_f64.powi(idx as i32);
+        let hi = 2.0_f64.powi(idx as i32 + 1);
+        assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+    });
+}
+
+/// Counters are order-independent: interleaving increments across
+/// instruments never loses or duplicates counts.
+#[test]
+fn counter_totals_match_increment_sum() {
+    gpm_check::check("counter_totals_match_increment_sum", |g| {
+        let m = Metrics::new();
+        let names = ["a", "b", "c"];
+        let mut expected = [0u64; 3];
+        for _ in 0..g.usize_in(0..100) {
+            let which = g.usize_in(0..3);
+            let by = g.u64_in(0..17);
+            m.counter_add(names[which], by);
+            expected[which] += by;
+        }
+        let snap = m.snapshot();
+        for (name, want) in names.iter().zip(expected) {
+            assert_eq!(snap.counters.get(*name).copied().unwrap_or(0), want);
+        }
+    });
+}

@@ -92,7 +92,25 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = current_threads().min(items.len().max(1));
+    // Pool telemetry when a recorder is installed. `par.calls` and
+    // `par.items` are schedule-independent; threads, block claims,
+    // steals and queue depths vary with the thread count and are
+    // treated as volatile by trace normalization.
+    let traced = gpm_obs::active().is_some();
+    if traced {
+        gpm_obs::counter_add("par.calls", 1);
+        gpm_obs::counter_add("par.items", items.len() as u64);
+        gpm_obs::gauge_set("par.threads", threads as f64);
+    }
     if threads <= 1 || items.len() <= 1 {
+        // Keep the metric *name set* identical to the pooled path so a
+        // normalized single-threaded trace pins the same instruments:
+        // one "block" covering the whole slice, zero steals.
+        if traced {
+            gpm_obs::counter_add("par.blocks", 1);
+            gpm_obs::counter_add("par.steals", 0);
+            gpm_obs::histogram_record("par.queue_depth", items.len() as f64);
+        }
         return items.iter().map(f).collect();
     }
 
@@ -111,10 +129,19 @@ where
                 // Per-worker buffer: results land here first so the
                 // shared mutex is only taken once per claimed block.
                 let mut local: Vec<(usize, R)> = Vec::new();
+                let mut claimed_blocks = 0u64;
                 loop {
                     let start = cursor.fetch_add(block, Ordering::Relaxed);
                     if start >= items.len() {
                         break;
+                    }
+                    if traced {
+                        claimed_blocks += 1;
+                        // Unclaimed items remaining at this claim.
+                        gpm_obs::histogram_record(
+                            "par.queue_depth",
+                            items.len().saturating_sub(start) as f64,
+                        );
                     }
                     let end = (start + block).min(items.len());
                     let result = catch_unwind(AssertUnwindSafe(|| {
@@ -131,6 +158,12 @@ where
                         cursor.store(items.len(), Ordering::Relaxed);
                         return;
                     }
+                }
+                if traced && claimed_blocks > 0 {
+                    gpm_obs::counter_add("par.blocks", claimed_blocks);
+                    // Every claim past a worker's first means it went
+                    // back to the shared queue for more work.
+                    gpm_obs::counter_add("par.steals", claimed_blocks - 1);
                 }
                 collected
                     .lock()
@@ -289,6 +322,30 @@ mod tests {
         let expected: Vec<u64> = items.iter().map(slow_square).collect();
         let got = with_threads(8, || par_map(&items, slow_square));
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pool_telemetry_reaches_an_installed_recorder() {
+        // The recorder slot is process-global; nothing else in this test
+        // binary installs one, but serialize against re-runs anyway.
+        static OBS_LOCK: Mutex<()> = Mutex::new(());
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let rec = gpm_obs::Recorder::new();
+        gpm_obs::install(&rec);
+        let items: Vec<u64> = (0..100).collect();
+        let got = with_threads(4, || par_map(&items, |&x| x + 1));
+        gpm_obs::uninstall();
+        assert_eq!(got.len(), 100);
+        let m = rec.snapshot().metrics;
+        assert_eq!(m.counters["par.calls"], 1);
+        assert_eq!(m.counters["par.items"], 100);
+        assert_eq!(m.gauges["par.threads"], 4.0);
+        // All claimed blocks together cover the input exactly once, and
+        // steals are claims beyond each worker's first.
+        let blocks = m.counters["par.blocks"];
+        assert!(blocks >= 1);
+        assert!(m.counters["par.steals"] <= blocks);
+        assert_eq!(m.histograms["par.queue_depth"].count, blocks);
     }
 
     #[test]

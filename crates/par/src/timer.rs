@@ -26,6 +26,8 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use gpm_json::{FromJson, Json, JsonError, ToJson};
+
 /// Aggregated wall-clock time of one named phase.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PhaseTiming {
@@ -76,6 +78,69 @@ impl PhaseTimings {
         }
         self.entries
             .sort_by(|a, b| b.total.cmp(&a.total).then(a.label.cmp(&b.label)));
+    }
+}
+
+// JSON forms, consumed by `FitReport` serialization and the `--trace`
+// schema. Durations travel as integer nanoseconds (`total_ns`) so the
+// round trip is exact.
+
+impl ToJson for PhaseTiming {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".to_string(), Json::Str(self.label.clone())),
+            ("calls".to_string(), self.calls.to_json()),
+            (
+                "total_ns".to_string(),
+                u64::try_from(self.total.as_nanos())
+                    .unwrap_or(u64::MAX)
+                    .to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for PhaseTiming {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let obj = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("object", json))?;
+        let label = gpm_json::field(obj, "label")
+            .map(String::from_json)
+            .transpose()?
+            .ok_or_else(|| JsonError::missing_field("label"))?;
+        let calls = gpm_json::field(obj, "calls")
+            .map(u64::from_json)
+            .transpose()?
+            .ok_or_else(|| JsonError::missing_field("calls"))?;
+        let total_ns = gpm_json::field(obj, "total_ns")
+            .map(u64::from_json)
+            .transpose()?
+            .ok_or_else(|| JsonError::missing_field("total_ns"))?;
+        Ok(PhaseTiming {
+            label,
+            calls,
+            total: Duration::from_nanos(total_ns),
+        })
+    }
+}
+
+impl ToJson for PhaseTimings {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("entries".to_string(), self.entries.to_json())])
+    }
+}
+
+impl FromJson for PhaseTimings {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let obj = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("object", json))?;
+        let entries = gpm_json::field(obj, "entries")
+            .map(Vec::<PhaseTiming>::from_json)
+            .transpose()?
+            .unwrap_or_default();
+        Ok(PhaseTimings { entries })
     }
 }
 
@@ -220,6 +285,21 @@ mod tests {
         assert!(text.contains('%'));
         // Empty reports render a placeholder instead of nothing.
         assert!(PhaseTimings::default().to_string().contains("no phases"));
+    }
+
+    #[test]
+    fn timings_round_trip_through_json_exactly() {
+        let c = Collector::new();
+        c.record("voltage_step", Duration::from_nanos(123_456_789));
+        c.record("voltage_step", Duration::from_nanos(1));
+        c.record("coefficient_step", Duration::from_secs(2));
+        let report = c.report();
+        let text = gpm_json::to_string(&report).unwrap();
+        let back: PhaseTimings = gpm_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        // The empty report round-trips too (FitReport default path).
+        let empty: PhaseTimings = gpm_json::from_str("{\"entries\":[]}").unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

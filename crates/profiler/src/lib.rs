@@ -180,18 +180,34 @@ impl<'g> Profiler<'g> {
     pub fn profile_suite(&mut self, suite: &[KernelDesc]) -> Result<TrainingSet, ProfileError> {
         let spec = self.gpu.spec().clone();
         let reference = self.reference();
+        let campaign_span = gpm_obs::span("profiler.campaign", 0);
+        if let Some(s) = campaign_span.as_deref() {
+            s.set_attr("kernels", suite.len());
+            s.set_attr("configs", spec.vf_grid().len());
+            s.set_attr("repeats", self.repeats as u64);
+        }
 
         // Events at the reference configuration only.
         self.gpu.set_clocks(reference)?;
-        let mut event_sets: Vec<EventSet> = Vec::with_capacity(suite.len());
-        for kernel in suite {
-            let record = self.gpu.collect_events(kernel);
-            event_sets.push(EventSet::new(record.config, record.counts));
-        }
+        let event_sets: Vec<EventSet> = {
+            let events_span = gpm_obs::span_under(campaign_span.as_deref(), "profiler.events", 0);
+            let mut sets = Vec::with_capacity(suite.len());
+            for kernel in suite {
+                let record = self.gpu.collect_events(kernel);
+                sets.push(EventSet::new(record.config, record.counts));
+            }
+            if let Some(s) = events_span.as_deref() {
+                s.set_attr("kernels", sets.len());
+            }
+            sets
+        };
 
         // Experimental L2 peak discovery (Section III-C).
         let l2_bpc = self.discover_l2_peak(suite, &event_sets)?;
         self.l2_bytes_per_cycle = Some(l2_bpc);
+        if let Some(s) = campaign_span.as_deref() {
+            s.set_attr("l2_bytes_per_cycle", l2_bpc);
+        }
 
         // Utilizations from the reference events — pure per-kernel
         // aggregation, computed in parallel in suite order. (The power
@@ -208,7 +224,13 @@ impl<'g> Profiler<'g> {
         .collect::<Result<_, ModelError>>()?;
 
         // Median power of every kernel at every configuration.
-        for config in spec.vf_grid() {
+        for (rank, config) in spec.vf_grid().into_iter().enumerate() {
+            let config_span =
+                gpm_obs::span_under(campaign_span.as_deref(), "profiler.config", rank as u64);
+            if let Some(s) = config_span.as_deref() {
+                s.set_attr("fcore_mhz", config.core.as_f64());
+                s.set_attr("fmem_mhz", config.mem.as_f64());
+            }
             self.gpu.set_clocks(config)?;
             for (kernel, sample) in suite.iter().zip(samples.iter_mut()) {
                 let watts = self.measure_median(kernel)?;
@@ -238,6 +260,10 @@ impl<'g> Profiler<'g> {
     ) -> Result<AppProfile, ProfileError> {
         let spec = self.gpu.spec().clone();
         let reference = self.reference();
+        let app_span = gpm_obs::span("profiler.profile_app", 0);
+        if let Some(s) = app_span.as_deref() {
+            s.set_attr("kernel", kernel.name());
+        }
         let l2_bpc = self.l2_bytes_per_cycle(None)?;
         self.gpu.set_clocks(reference)?;
         let record = self.gpu.collect_events(kernel);
@@ -261,6 +287,11 @@ impl<'g> Profiler<'g> {
         kernel: &KernelDesc,
     ) -> Result<BTreeMap<FreqConfig, f64>, ProfileError> {
         let spec = self.gpu.spec().clone();
+        let grid_span = gpm_obs::span("profiler.power_grid", 0);
+        if let Some(s) = grid_span.as_deref() {
+            s.set_attr("kernel", kernel.name());
+            s.set_attr("configs", spec.vf_grid().len());
+        }
         let mut grid = BTreeMap::new();
         for config in spec.vf_grid() {
             self.gpu.set_clocks(config)?;
@@ -358,6 +389,7 @@ impl<'g> Profiler<'g> {
         for _ in 0..self.repeats {
             readings.push(self.gpu.measure_power(kernel)?.watts);
         }
+        gpm_obs::counter_add("profiler.power_measurements", u64::from(self.repeats));
         Ok(median(&mut readings))
     }
 }

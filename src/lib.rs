@@ -26,6 +26,8 @@
 //!   power breakdown, plus baseline models for comparison
 //! - [`dvfs`] — an online DVFS governor on top of the fitted model (the
 //!   paper's future-work direction)
+//! - [`obs`] — structured observability: metrics registry, hierarchical
+//!   tracing spans, and golden-trace conformance tooling
 //!
 //! # Quickstart
 //!
@@ -58,6 +60,7 @@ pub use gpm_core as core;
 pub use gpm_dvfs as dvfs;
 pub use gpm_json as json;
 pub use gpm_linalg as linalg;
+pub use gpm_obs as obs;
 pub use gpm_par as par;
 pub use gpm_profiler as profiler;
 pub use gpm_sim as sim;

@@ -1,0 +1,131 @@
+//! Deterministic integration test for governor observability: under a
+//! fixed-seed simulated device (whose power sensor is noisy by
+//! construction), every `run_kernel` call emits exactly one decision
+//! span whose attributes agree with the energy ledger and the
+//! governor's own counters.
+
+use gpm::core::Estimator;
+use gpm::dvfs::{Governor, Objective};
+use gpm::obs::{AttrValue, Recorder};
+use gpm::prelude::*;
+
+fn attr_num(span: &gpm::obs::SpanRecord, key: &str) -> f64 {
+    match span.attrs.get(key) {
+        Some(AttrValue::Num(n)) => *n,
+        other => panic!(
+            "span `{}` attr `{key}` is {other:?}, expected a number",
+            span.name
+        ),
+    }
+}
+
+fn attr_str<'a>(span: &'a gpm::obs::SpanRecord, key: &str) -> &'a str {
+    match span.attrs.get(key) {
+        Some(AttrValue::Str(s)) => s,
+        other => panic!(
+            "span `{}` attr `{key}` is {other:?}, expected a string",
+            span.name
+        ),
+    }
+}
+
+#[test]
+fn governor_emits_one_decision_span_per_launch_matching_the_ledger() {
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 17);
+    let training = Profiler::with_repeats(&mut gpu, 1)
+        .profile_suite(&microbenchmark_suite(&spec))
+        .expect("campaign succeeds");
+    let model = Estimator::new().fit(&training).expect("fit succeeds");
+
+    // Recorder installed only around the governed launches, so the
+    // trace contains exactly the governor's activity.
+    let recorder = Recorder::new();
+    assert!(gpm::obs::install(&recorder).is_none());
+
+    let apps = validation_suite(&spec);
+    let lbm = apps.iter().find(|k| k.name() == "LBM").unwrap();
+    let gemm = apps.iter().find(|k| k.name() == "GEMM").unwrap();
+    let launches = [lbm, gemm, lbm, lbm, gemm, lbm];
+
+    let mut governor = Governor::new(&mut gpu, model, Objective::MinEnergy);
+    governor.set_reprofile_interval(Some(2));
+    let mut runs = Vec::new();
+    for kernel in launches {
+        runs.push(governor.run_kernel(kernel).expect("governed launch"));
+    }
+    let stats = governor.stats();
+    let ledger_total_j = governor.ledger().total_energy_j();
+    let ledger_len = governor.ledger().len();
+    drop(governor);
+
+    gpm::obs::uninstall();
+    let trace = recorder.snapshot();
+
+    // Exactly one decision span per launch, order keys 0..n in launch
+    // order, kernel names matching the launch sequence.
+    let mut spans = trace.spans_named("governor.kernel");
+    assert_eq!(spans.len(), launches.len());
+    spans.sort_by_key(|s| s.order);
+    for (i, (span, kernel)) in spans.iter().zip(launches).enumerate() {
+        assert_eq!(span.order, i as u64);
+        assert_eq!(attr_str(span, "kernel"), kernel.name());
+    }
+
+    // Ledger length equals the governor's own totals, and the summed
+    // per-span energy attribute reproduces the ledger's total.
+    assert_eq!(ledger_len, (stats.profiled + stats.cache_hits) as usize);
+    assert_eq!(ledger_len, launches.len());
+    let span_energy_j: f64 = spans.iter().map(|s| attr_num(s, "energy_j")).sum();
+    assert!(
+        (span_energy_j - ledger_total_j).abs() <= 1e-9 * ledger_total_j.max(1.0),
+        "span energy {span_energy_j} J vs ledger {ledger_total_j} J"
+    );
+
+    // Span origins agree with the returned runs, and the reprofile
+    // interval of 2 shows up both in the stats and the span attrs.
+    let origins: Vec<&str> = spans.iter().map(|s| attr_str(s, "origin")).collect();
+    let expected: Vec<&str> = runs
+        .iter()
+        .map(|r| match r.origin {
+            gpm::dvfs::DecisionOrigin::Profiled => "profiled",
+            gpm::dvfs::DecisionOrigin::Cached => "cached",
+        })
+        .collect();
+    assert_eq!(origins, expected);
+    let reprofiled = spans
+        .iter()
+        .filter(|s| s.attrs.get("reprofile") == Some(&AttrValue::Bool(true)))
+        .count();
+    assert_eq!(reprofiled as u32, stats.reprofiles);
+    assert!(
+        stats.reprofiles > 0,
+        "interval 2 over 6 launches must reprofile"
+    );
+
+    // Predicted vs sensed: every decision span carries both sides.
+    for span in &spans {
+        assert!(attr_num(span, "predicted_power_w") > 0.0);
+        assert!(attr_num(span, "exec_time_s") > 0.0);
+        assert!(attr_num(span, "reference_time_s") > 0.0);
+    }
+
+    // Counters agree with GovernorStats.
+    let counters = &trace.metrics.counters;
+    assert_eq!(
+        counters.get("governor.launches"),
+        Some(&(launches.len() as u64))
+    );
+    assert_eq!(
+        counters.get("governor.profiled"),
+        Some(&u64::from(stats.profiled))
+    );
+    assert_eq!(
+        counters.get("governor.cache_hits"),
+        Some(&u64::from(stats.cache_hits))
+    );
+    assert_eq!(
+        counters.get("governor.reprofiles"),
+        Some(&u64::from(stats.reprofiles))
+    );
+}

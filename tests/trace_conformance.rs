@@ -1,0 +1,162 @@
+//! Golden-trace conformance suite: the observability capstone.
+//!
+//! A small deterministic pipeline (Tesla K40c, fixed seed: campaign →
+//! fit → cross-validation → governed launches) runs with a recorder
+//! installed; its trace is *normalized* (span tree sorted by the
+//! deterministic order keys, ids and wall-clock dropped, volatile
+//! pool metrics nulled) and compared structurally against a committed
+//! fixture. Silent behavior changes — a phase that stops emitting
+//! spans, an estimator that takes a different number of iterations, a
+//! governor that profiles twice — fail here.
+//!
+//! Regenerate after an *intentional* behavior change with
+//! `GPM_UPDATE_GOLDEN=1 cargo test --test trace_conformance`.
+
+use gpm::core::{cross_validate, Estimator, EstimatorConfig};
+use gpm::dvfs::{Governor, Objective};
+use gpm::obs::{compare, normalize, NormalizeOptions, Recorder, Trace};
+use gpm::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they install a process-global
+/// recorder and pin the process-global worker count.
+static PIPELINE_LOCK: Mutex<()> = Mutex::new(());
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/pipeline_trace.json")
+}
+
+/// Runs the small deterministic pipeline under a fresh recorder and
+/// returns its raw trace. Everything downstream of the fixed seed is
+/// deterministic at any worker count: measurements are sequential on
+/// the one simulated device, and the parallel stages are
+/// order-preserving.
+fn traced_pipeline() -> Trace {
+    let recorder = Recorder::new();
+    let previous = gpm::obs::install(&recorder);
+    assert!(previous.is_none(), "another recorder was active");
+
+    let spec = gpm::spec::devices::tesla_k40c();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 7);
+    let suite = microbenchmark_suite(&spec);
+    let training = gpm::profiler::Profiler::with_repeats(&mut gpu, 1)
+        .profile_suite(&suite)
+        .expect("campaign succeeds");
+
+    let (model, report) = Estimator::new()
+        .fit_with_report(&training)
+        .expect("fit succeeds");
+    assert!(report.iterations > 0);
+
+    let cv = cross_validate(&training, &EstimatorConfig::default(), 3).expect("cv succeeds");
+    assert_eq!(cv.folds, 3);
+
+    let apps = validation_suite(&spec);
+    let mut governor = Governor::new(&mut gpu, model, Objective::MinEnergy);
+    for _ in 0..2 {
+        governor.run_kernel(&apps[0]).expect("governed launch");
+    }
+
+    gpm::obs::uninstall();
+    recorder.snapshot()
+}
+
+fn normalized_pipeline_json() -> String {
+    gpm::json::write(&normalize(&traced_pipeline(), &NormalizeOptions::default()))
+}
+
+#[test]
+fn pipeline_trace_matches_the_committed_golden() {
+    let _guard = PIPELINE_LOCK.lock().unwrap();
+    // Ambient worker count (GPM_THREADS in the CI matrix) — the golden
+    // must hold at every thread count.
+    let actual_json = normalized_pipeline_json();
+    let path = golden_path();
+    if std::env::var("GPM_UPDATE_GOLDEN").is_ok() {
+        fs::write(&path, &actual_json).expect("write golden trace");
+        return;
+    }
+    let golden_json = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with GPM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let golden = gpm::json::parse(&golden_json).expect("golden parses");
+    let actual = gpm::json::parse(&actual_json).expect("actual parses");
+    let diffs = compare(&golden, &actual, 1e-9);
+    assert!(
+        diffs.is_empty(),
+        "normalized trace drifted from the golden ({} diffs):\n{}",
+        diffs.len(),
+        diffs
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn normalized_trace_is_bit_identical_at_any_thread_count() {
+    let _guard = PIPELINE_LOCK.lock().unwrap();
+    let mut normalized = Vec::new();
+    for threads in [1usize, 4, 8] {
+        gpm::par::set_threads(Some(threads));
+        normalized.push((threads, normalized_pipeline_json()));
+    }
+    gpm::par::set_threads(None);
+    let (_, reference) = &normalized[0];
+    for (threads, json) in &normalized[1..] {
+        assert_eq!(
+            json, reference,
+            "normalized trace at {threads} threads differs from the single-threaded run"
+        );
+    }
+}
+
+#[test]
+fn every_pipeline_phase_appears_in_the_trace() {
+    let _guard = PIPELINE_LOCK.lock().unwrap();
+    let trace = traced_pipeline();
+    for phase in [
+        "profiler.campaign",
+        "profiler.events",
+        "profiler.config",
+        "estimator.fit",
+        "estimator.bootstrap",
+        "estimator.iteration",
+        "crossval",
+        "crossval.fold",
+        "profiler.profile_app",
+        "governor.kernel",
+    ] {
+        assert!(
+            !trace.spans_named(phase).is_empty(),
+            "no `{phase}` span in the pipeline trace"
+        );
+    }
+    // One decision span per governed launch, ordered by launch index.
+    let launches = trace.spans_named("governor.kernel");
+    assert_eq!(launches.len(), 2);
+    let mut orders: Vec<u64> = launches.iter().map(|s| s.order).collect();
+    orders.sort_unstable();
+    assert_eq!(orders, vec![0, 1]);
+    // The counter set covers every instrumented subsystem.
+    for counter in [
+        "profiler.power_measurements",
+        "estimator.iterations",
+        "estimator.coefficient_solves",
+        "estimator.voltage_solves",
+        "crossval.folds",
+        "governor.launches",
+        "par.calls",
+    ] {
+        assert!(
+            trace.metrics.counters.get(counter).copied().unwrap_or(0) > 0,
+            "counter `{counter}` missing from the pipeline trace"
+        );
+    }
+}
