@@ -7,12 +7,16 @@ use gpm_core::{
     TrainingSet,
 };
 use gpm_dvfs::{baseline_ledger, pareto_frontier, Governor, Objective};
-use gpm_profiler::{training_set_to_csv, Profiler};
+use gpm_faults::{FaultPlan, FaultyGpu};
+use gpm_profiler::{
+    training_set_to_csv, CampaignCheckpoint, CampaignOutcome, Profiler, ResilientProfiler,
+};
 use gpm_sim::SimulatedGpu;
 use gpm_spec::{devices, DeviceSpec};
 use gpm_workloads::{launch_trace, microbenchmark_suite, validation_suite};
 use std::fmt::Write as _;
 use std::fs;
+use std::path::Path;
 
 /// Executes one CLI invocation and returns its stdout text.
 ///
@@ -25,7 +29,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
         return Err(CliError::Usage("missing command".into()));
     }
-    let parsed = ParsedArgs::parse_with_switches(args, &["timings"])?;
+    let parsed = ParsedArgs::parse_with_switches(args, &["timings", "robust"])?;
     // `--threads N` pins the gpm-par worker count for this invocation
     // (0 or absent: GPM_THREADS, then available parallelism). Results
     // are identical at any thread count; only wall-clock changes.
@@ -60,7 +64,18 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
             cmd_devices()
         }
         "characterize" => {
-            parsed.allow_only(&["device", "out", "seed", "repeats", "threads", "trace"])?;
+            parsed.allow_only(&[
+                "device",
+                "out",
+                "seed",
+                "repeats",
+                "threads",
+                "trace",
+                "faults",
+                "fault-seed",
+                "resume",
+                "budget",
+            ])?;
             cmd_characterize(parsed)
         }
         "train" => {
@@ -71,6 +86,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
                 "threads",
                 "timings",
                 "trace",
+                "robust",
             ])?;
             cmd_train(parsed)
         }
@@ -157,6 +173,11 @@ fn cmd_characterize(args: &ParsedArgs) -> Result<String, CliError> {
     let seed = args.integer_or("seed", 42)?;
     let repeats = args.integer_or("repeats", 10)?.max(1) as u32;
 
+    // `--faults` / `--resume` route through the fault-tolerant campaign.
+    if args.optional("faults").is_some() || args.optional("resume").is_some() {
+        return cmd_characterize_resilient(args, &spec, out_path, seed, repeats);
+    }
+
     let mut gpu = SimulatedGpu::new(spec.clone(), seed);
     let suite = microbenchmark_suite(&spec);
     let training = Profiler::with_repeats(&mut gpu, repeats)
@@ -174,12 +195,127 @@ fn cmd_characterize(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+/// Resolves `--faults` to a plan: a named preset first, then a JSON plan
+/// file. `--fault-seed` overrides the plan's seed either way.
+fn resolve_fault_plan(args: &ParsedArgs, seed: u64) -> Result<FaultPlan, CliError> {
+    let fault_seed = args.integer_or("fault-seed", seed)?;
+    let plan = match args.optional("faults") {
+        None => FaultPlan::default(), // benign: --resume without --faults
+        Some(name) => match FaultPlan::preset(name, fault_seed) {
+            Some(plan) => plan,
+            None => {
+                let text = fs::read_to_string(name).map_err(|_| {
+                    CliError::Usage(format!(
+                        "--faults expects a preset (transient | missing-counter | \
+                         sensor-spike) or a readable JSON plan file, got `{name}`"
+                    ))
+                })?;
+                let mut plan: FaultPlan = gpm_json::from_str(&text).map_err(pipeline)?;
+                if args.optional("fault-seed").is_some() {
+                    plan.seed = fault_seed;
+                }
+                plan
+            }
+        },
+    };
+    plan.validate().map_err(CliError::Usage)?;
+    Ok(plan)
+}
+
+fn cmd_characterize_resilient(
+    args: &ParsedArgs,
+    spec: &DeviceSpec,
+    out_path: &str,
+    seed: u64,
+    repeats: u32,
+) -> Result<String, CliError> {
+    let plan = resolve_fault_plan(args, seed)?;
+    let budget = match args.optional("budget") {
+        None => None,
+        Some(_) => Some(args.integer_or("budget", 0)? as usize),
+    };
+    let resume = args.optional("resume");
+    let checkpoint_path = resume.map_or_else(|| format!("{out_path}.ckpt"), str::to_string);
+
+    let gpu = SimulatedGpu::new(spec.clone(), seed);
+    let mut device = FaultyGpu::new(gpu, plan.clone());
+    let suite = microbenchmark_suite(spec);
+    let mut profiler = ResilientProfiler::new(&mut device).with_repeats(repeats);
+    // Checkpoints are only loaded on explicit --resume; a fresh campaign
+    // must never silently continue a stale one left at the default path.
+    let mut checkpoint = if resume.is_some() && Path::new(&checkpoint_path).exists() {
+        CampaignCheckpoint::from_json_str(&fs::read_to_string(&checkpoint_path)?)
+            .map_err(pipeline)?
+    } else {
+        profiler.new_checkpoint()
+    };
+
+    let outcome = profiler
+        .run(&suite, &mut checkpoint, budget)
+        .map_err(pipeline)?;
+    let stats = device.stats().clone();
+    match outcome {
+        CampaignOutcome::Suspended {
+            completed_cells,
+            total_cells,
+        } => {
+            fs::write(&checkpoint_path, checkpoint.to_json_string())?;
+            Ok(format!(
+                "campaign suspended at {completed_cells}/{total_cells} cells \
+                 ({} retries, {} quarantined so far) -> {checkpoint_path}\n\
+                 resume with: characterize --device ... --resume {checkpoint_path}\n",
+                checkpoint.retries,
+                checkpoint.quarantined.len()
+            ))
+        }
+        CampaignOutcome::Complete(training) => {
+            fs::write(out_path, training.to_json().map_err(pipeline)?)?;
+            fs::write(&checkpoint_path, checkpoint.to_json_string())?;
+            let coverage = CoverageReport::of(&training);
+            let mut out = format!(
+                "characterized {} (seed {seed}, fault seed {}): {} microbenchmarks x {} \
+                 configurations, L2 peak {:.0} B/cycle -> {out_path}\n",
+                spec.name(),
+                plan.seed,
+                training.samples.len(),
+                training.configs().len(),
+                training.l2_bytes_per_cycle
+            );
+            let _ = writeln!(
+                out,
+                "recovery: {} retries, {} quarantined samples, {:.0} ms backoff, \
+                 {} faults injected",
+                checkpoint.retries,
+                checkpoint.quarantined.len(),
+                checkpoint.backoff_ms,
+                stats.total()
+            );
+            if !checkpoint.degraded.is_empty() {
+                let names: Vec<String> = checkpoint
+                    .degraded
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "degraded components (train with --robust): {}",
+                    names.join(", ")
+                );
+            }
+            let _ = writeln!(out, "checkpoint -> {checkpoint_path}");
+            let _ = write!(out, "{coverage}");
+            Ok(out)
+        }
+    }
+}
+
 fn cmd_train(args: &ParsedArgs) -> Result<String, CliError> {
     let training = load_training(args.required("training")?)?;
     let out_path = args.required("out")?;
     let max_iterations = args.integer_or("max-iterations", 50)? as usize;
     let config = EstimatorConfig {
         max_iterations,
+        robust: args.switch("robust"),
         ..EstimatorConfig::default()
     };
     let (model, report) = Estimator::with_config(config)
@@ -193,6 +329,25 @@ fn cmd_train(args: &ParsedArgs) -> Result<String, CliError> {
         report.converged,
         report.training_mape
     );
+    if report.robust {
+        let _ = writeln!(
+            out,
+            "robust fit: {} IRLS reweights, {} watchdog restarts",
+            report.robust_reweights, report.watchdog_restarts
+        );
+        if !report.degraded_components.is_empty() {
+            let names: Vec<String> = report
+                .degraded_components
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            let _ = writeln!(
+                out,
+                "degraded components (omega pinned at zero): {}",
+                names.join(", ")
+            );
+        }
+    }
     if args.switch("timings") {
         let _ = write!(
             out,
@@ -593,6 +748,154 @@ mod tests {
             Err(CliError::Io(_))
         ));
         assert!(gpm_obs::active().is_none());
+    }
+
+    #[test]
+    fn faulty_campaign_trains_robustly_end_to_end() {
+        let training_path = tmp("k40c-faulty-training.json");
+        let model_path = tmp("k40c-faulty-model.json");
+        let out = call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--seed",
+            "7",
+            "--repeats",
+            "2",
+            "--faults",
+            "transient",
+            "--fault-seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("83 microbenchmarks"), "{out}");
+        assert!(out.contains("recovery:"), "{out}");
+        assert!(out.contains("fault seed 3"), "{out}");
+
+        let out = call(&[
+            "train",
+            "--training",
+            &training_path,
+            "--out",
+            &model_path,
+            "--robust",
+        ])
+        .unwrap();
+        assert!(out.contains("trained model for Tesla K40c"), "{out}");
+        assert!(out.contains("robust fit:"), "{out}");
+
+        // A missing-counter plan degrades the DRAM column, and robust
+        // training reports it.
+        let out = call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--repeats",
+            "2",
+            "--faults",
+            "missing-counter",
+        ])
+        .unwrap();
+        assert!(out.contains("degraded components"), "{out}");
+        assert!(out.contains("DRAM"), "{out}");
+        let out = call(&[
+            "train",
+            "--training",
+            &training_path,
+            "--out",
+            &model_path,
+            "--robust",
+        ])
+        .unwrap();
+        assert!(out.contains("degraded components"), "{out}");
+
+        // Unknown preset / unreadable plan file is a usage error.
+        assert!(matches!(
+            call(&[
+                "characterize",
+                "--device",
+                "tesla-k40c",
+                "--out",
+                &training_path,
+                "--faults",
+                "meteor-strike",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_identical_output() {
+        let straight_path = tmp("k40c-straight-training.json");
+        let resumed_path = tmp("k40c-resumed-training.json");
+        let ckpt_path = tmp("k40c-campaign.ckpt");
+        let _ = fs::remove_file(&ckpt_path);
+        let _ = fs::remove_file(format!("{straight_path}.ckpt"));
+
+        // Uninterrupted run.
+        call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &straight_path,
+            "--seed",
+            "5",
+            "--repeats",
+            "2",
+            "--faults",
+            "sensor-spike",
+        ])
+        .unwrap();
+
+        // Interrupted (100-cell budget of 332), then resumed.
+        let out = call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &resumed_path,
+            "--seed",
+            "5",
+            "--repeats",
+            "2",
+            "--faults",
+            "sensor-spike",
+            "--resume",
+            &ckpt_path,
+            "--budget",
+            "100",
+        ])
+        .unwrap();
+        assert!(out.contains("campaign suspended at 100/332"), "{out}");
+        let out = call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &resumed_path,
+            "--seed",
+            "5",
+            "--repeats",
+            "2",
+            "--faults",
+            "sensor-spike",
+            "--resume",
+            &ckpt_path,
+        ])
+        .unwrap();
+        assert!(out.contains("83 microbenchmarks"), "{out}");
+
+        let straight = fs::read_to_string(&straight_path).unwrap();
+        let resumed = fs::read_to_string(&resumed_path).unwrap();
+        assert_eq!(
+            straight, resumed,
+            "resumed campaign must produce byte-identical training data"
+        );
     }
 
     #[test]

@@ -71,8 +71,9 @@ COMMANDS
   devices                               list the simulated devices
   characterize --device D --out FILE    run the 83-microbenchmark campaign
                [--seed N] [--repeats N]
+               [--faults PLAN] [--fault-seed N] [--resume CKPT] [--budget N]
   train        --training FILE --out FILE [--max-iterations N] [--timings]
-                                        fit the DVFS-aware power model
+               [--robust]               fit the DVFS-aware power model
                                         (--timings: print per-phase wall-clock)
   validate     --model FILE [--seed N] [--apps N]
                                         score the model on unseen applications
@@ -90,6 +91,18 @@ COMMANDS
                                         govern a synthetic kernel stream
                                         (O: min-power|min-energy|min-edp|slowdown-10)
   help                                  this text
+
+ROBUSTNESS
+  characterize --faults PLAN injects deterministic, seeded faults
+  (PLAN: transient | missing-counter | sensor-spike, or a JSON plan
+  file) and runs the fault-tolerant campaign: bounded retry with
+  recorded exponential backoff, typed sample quarantine, graceful
+  degradation of permanently-missing counters, and checkpointing.
+  --resume CKPT continues an interrupted campaign (byte-identical to
+  an uninterrupted run); --budget N caps the cells measured per run;
+  --fault-seed N reseeds the fault stream independently of --seed.
+  train --robust fits with Huber IRLS reweighting, a convergence
+  watchdog (damped restarts) and auto-drop of degraded omega columns.
 
 PARALLELISM
   characterize, train, validate and crossval accept --threads N to pin

@@ -72,6 +72,35 @@ pub struct EstimatorConfig {
     /// MAPE evaluation metric more directly. Off by default (the paper's
     /// formulation).
     pub relative_error: bool,
+    /// Robust-fit mode: every coefficient solve is followed by Huber
+    /// IRLS reweighting, so corrupted observations (sensor spikes that
+    /// survived quarantine) lose influence instead of dragging the whole
+    /// model. Also enables auto-dropping of ω columns whose utilization
+    /// is zero across the entire training set (permanently-unavailable
+    /// counters zero-filled by the resilient profiler). Off by default.
+    pub robust: bool,
+    /// Huber tuning constant in robust mode: residuals beyond
+    /// `huber_k x scale` get down-weighted (1.345 gives 95% efficiency
+    /// under Gaussian noise).
+    pub huber_k: f64,
+    /// IRLS reweighting passes per coefficient solve in robust mode.
+    pub robust_iterations: usize,
+    /// Convergence watchdog: the joint V̄/X iteration is declared
+    /// divergent when the RMSE is non-finite or exceeds
+    /// `divergence_factor x` the best RMSE seen so far.
+    pub divergence_factor: f64,
+    /// Damped restarts the watchdog may attempt before giving up
+    /// (voltages pulled halfway back toward 1, coefficients re-solved).
+    pub max_restarts: usize,
+    /// Hard wall-clock cap on the alternation in seconds; `0.0` (the
+    /// default) means unlimited. When the cap trips, the fit returns the
+    /// best model so far with `converged = false`.
+    pub max_fit_seconds: f64,
+    /// Model components whose ω columns are excluded from the fit (their
+    /// coefficients are pinned at zero and recorded in
+    /// [`FitReport::degraded_components`]). The resilient profiler feeds
+    /// its degradation list here.
+    pub drop_components: Vec<Component>,
 }
 
 impl Default for EstimatorConfig {
@@ -85,6 +114,13 @@ impl Default for EstimatorConfig {
             ridge: 1e-6,
             voltage_sweeps: 3,
             relative_error: false,
+            robust: false,
+            huber_k: 1.345,
+            robust_iterations: 3,
+            divergence_factor: 10.0,
+            max_restarts: 2,
+            max_fit_seconds: 0.0,
+            drop_components: Vec::new(),
         }
     }
 }
@@ -110,6 +146,17 @@ pub struct FitReport {
     /// coefficient step, diagnostics) — printed by the CLI's `--timings`
     /// flag and aggregated across cross-validation folds.
     pub timings: PhaseTimings,
+    /// Whether the fit ran in robust (Huber IRLS) mode.
+    pub robust: bool,
+    /// Damped restarts the convergence watchdog performed.
+    pub watchdog_restarts: usize,
+    /// Total Huber IRLS reweighting passes across all coefficient solves.
+    pub robust_reweights: usize,
+    /// Components whose ω columns were dropped from the fit — explicitly
+    /// via [`EstimatorConfig::drop_components`] or auto-detected (robust
+    /// mode, utilization identically zero). Their coefficients and
+    /// standard errors are pinned at zero.
+    pub degraded_components: Vec<Component>,
 }
 
 impl_json!(struct FitReport {
@@ -119,6 +166,10 @@ impl_json!(struct FitReport {
     training_mape,
     coefficient_sigma,
     timings = PhaseTimings::default(),
+    robust = false,
+    watchdog_restarts = 0,
+    robust_reweights = 0,
+    degraded_components = Vec::new(),
 });
 
 /// Fits [`PowerModel`]s from [`TrainingSet`]s via the paper's iterative
@@ -237,6 +288,30 @@ impl Estimator {
             s.set_attr("warm", warm.is_some());
         }
 
+        // Graceful degradation: explicitly dropped ω columns plus (in
+        // robust mode) components whose utilization is identically zero —
+        // the signature a resilient campaign leaves when a counter is
+        // permanently unavailable and its events were zero-filled.
+        let mut dropped: Vec<Component> = self.config.drop_components.clone();
+        if self.config.robust {
+            let with_columns = Component::CORE.iter().chain([&Component::Dram]);
+            for &component in with_columns {
+                let all_zero = training
+                    .samples
+                    .iter()
+                    .all(|s| s.utilizations.as_array()[component.index()] == 0.0);
+                if all_zero && !dropped.contains(&component) {
+                    dropped.push(component);
+                }
+            }
+        }
+        dropped.sort_by_key(|c| c.index());
+        dropped.dedup();
+        if !dropped.is_empty() {
+            gpm_obs::counter_add("estimator.degraded_components", dropped.len() as u64);
+        }
+        let mut robust_reweights = 0usize;
+
         // Voltage state: V̄ = (V̄core, V̄mem) per configuration (Eq. 12),
         // seeded from the previous model when warm-starting.
         let mut vcore: BTreeMap<FreqConfig, f64> = configs
@@ -282,36 +357,104 @@ impl Estimator {
             }
             None => {
                 let bootstrap = bootstrap_configs(reference, &configs);
-                self.solve_coefficients(training, &obs, &vcore, &vmem, Some(&bootstrap))?
+                self.solve_coefficients(
+                    training,
+                    &obs,
+                    &vcore,
+                    &vmem,
+                    Some(&bootstrap),
+                    &dropped,
+                    &mut robust_reweights,
+                )?
             }
         };
         drop(bootstrap_span);
         drop(bootstrap_guard);
 
-        // --- Steps 2-4: alternate voltage and coefficient fits.
+        // --- Steps 2-4: alternate voltage and coefficient fits, under a
+        // convergence watchdog: a diverging alternation (non-finite RMSE,
+        // or RMSE exploding past `divergence_factor x` the best seen) gets
+        // a damped restart — voltages pulled halfway back toward the
+        // V̄ ≡ 1 bootstrap, coefficients re-solved — up to `max_restarts`
+        // times before the fit gives up with `converged = false`.
+        let fit_start = std::time::Instant::now();
         let mut rmse_history = Vec::new();
         let mut converged = false;
         let mut iterations = 0;
+        let mut watchdog_restarts = 0usize;
+        let mut best_rmse = f64::INFINITY;
+        let mut obs_weights = vec![1.0; obs.len()];
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             let iter_span =
                 gpm_obs::span_under(fit_span.as_deref(), "estimator.iteration", iter as u64);
+            if self.config.robust {
+                // Refresh the per-observation Huber weights from the
+                // current iterate so *both* alternation steps — not just
+                // the coefficient solve — stop chasing corrupted
+                // observations.
+                obs_weights = huber_weights(training, &obs, &x, &vcore, &vmem, self.config.huber_k);
+            }
             if self.config.estimate_voltages {
                 let _g = timings.scoped("voltage_step");
-                self.fit_voltages(training, &obs, &x, reference, &mut vcore, &mut vmem);
+                self.fit_voltages(
+                    training,
+                    &obs,
+                    &obs_weights,
+                    &x,
+                    reference,
+                    &mut vcore,
+                    &mut vmem,
+                );
             }
             {
                 let _g = timings.scoped("coefficient_step");
-                x = self.solve_coefficients(training, &obs, &vcore, &vmem, None)?;
+                x = self.solve_coefficients(
+                    training,
+                    &obs,
+                    &vcore,
+                    &vmem,
+                    None,
+                    &dropped,
+                    &mut robust_reweights,
+                )?;
                 gpm_obs::counter_add("estimator.coefficient_solves", 1);
             }
-            let rmse = rmse_of(training, &obs, &x, &vcore, &vmem);
+            let rmse = rmse_of(training, &obs, &obs_weights, &x, &vcore, &vmem);
             if let Some(s) = iter_span.as_deref() {
                 s.set_attr("iteration", iter);
                 s.set_attr("rmse", rmse);
             }
             gpm_obs::counter_add("estimator.iterations", 1);
             gpm_obs::histogram_record("estimator.rmse", rmse);
+
+            let diverged =
+                !rmse.is_finite() || rmse > self.config.divergence_factor * best_rmse.max(1e-12);
+            if diverged {
+                if watchdog_restarts < self.config.max_restarts {
+                    watchdog_restarts += 1;
+                    gpm_obs::counter_add("estimator.watchdog_restarts", 1);
+                    for v in vcore.values_mut() {
+                        *v = 0.5 * (*v + 1.0);
+                    }
+                    for v in vmem.values_mut() {
+                        *v = 0.5 * (*v + 1.0);
+                    }
+                    x = self.solve_coefficients(
+                        training,
+                        &obs,
+                        &vcore,
+                        &vmem,
+                        None,
+                        &dropped,
+                        &mut robust_reweights,
+                    )?;
+                    continue; // the divergent RMSE is not recorded
+                }
+                break; // restarts exhausted: give up, converged stays false
+            }
+            best_rmse = best_rmse.min(rmse);
+
             let done = rmse_history.last().is_some_and(|prev: &f64| {
                 (prev - rmse).abs() <= self.config.tolerance * prev.max(1e-12)
             });
@@ -319,6 +462,11 @@ impl Estimator {
             if done || !self.config.estimate_voltages {
                 converged = true;
                 break;
+            }
+            if self.config.max_fit_seconds > 0.0
+                && fit_start.elapsed().as_secs_f64() > self.config.max_fit_seconds
+            {
+                break; // hard time cap: best-so-far model, converged false
             }
         }
 
@@ -393,9 +541,18 @@ impl Estimator {
             let sse: f64 = pred.iter().zip(&meas).map(|(p, m)| (p - m) * (p - m)).sum();
             let sigma2 = sse / dof;
             match spd_inverse(&ata) {
-                Ok(inv) => (0..NUM_PARAMS)
-                    .map(|i| (sigma2 * inv[(i, i)].max(0.0)).sqrt())
-                    .collect(),
+                Ok(inv) => {
+                    let drop_cols: Vec<usize> = dropped.iter().map(|&c| column_of(c)).collect();
+                    (0..NUM_PARAMS)
+                        .map(|i| {
+                            if drop_cols.contains(&i) {
+                                0.0 // pinned, not estimated
+                            } else {
+                                (sigma2 * inv[(i, i)].max(0.0)).sqrt()
+                            }
+                        })
+                        .collect()
+                }
                 Err(_) => Vec::new(),
             }
         };
@@ -406,6 +563,14 @@ impl Estimator {
             s.set_attr("iterations", iterations);
             s.set_attr("converged", converged);
             s.set_attr("training_mape", training_mape);
+            // Only attached in robust mode so clean golden traces are
+            // unchanged by the robustness machinery's existence.
+            if self.config.robust {
+                s.set_attr("robust", true);
+            }
+            if watchdog_restarts > 0 {
+                s.set_attr("watchdog_restarts", watchdog_restarts as u64);
+            }
             if let Some(&rmse) = rmse_history.last() {
                 s.set_attr("final_rmse", rmse);
             }
@@ -420,12 +585,20 @@ impl Estimator {
                 training_mape,
                 coefficient_sigma,
                 timings: timings.report(),
+                robust: self.config.robust,
+                watchdog_restarts,
+                robust_reweights,
+                degraded_components: dropped,
             },
         ))
     }
 
     /// Linear coefficient solve (steps 1 and 3). `subset` restricts the
-    /// observations to the bootstrap configurations.
+    /// observations to the bootstrap configurations; `dropped` columns
+    /// are excluded from the solve and pinned at zero; in robust mode the
+    /// solve is followed by Huber IRLS reweighting passes (counted in
+    /// `reweights`).
+    #[allow(clippy::too_many_arguments)]
     fn solve_coefficients(
         &self,
         training: &TrainingSet,
@@ -433,8 +606,10 @@ impl Estimator {
         vcore: &BTreeMap<FreqConfig, f64>,
         vmem: &BTreeMap<FreqConfig, f64>,
         subset: Option<&[FreqConfig]>,
+        dropped: &[Component],
+        reweights: &mut usize,
     ) -> Result<Vec<f64>, ModelError> {
-        let mut rows = Vec::new();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut y = Vec::new();
         for o in obs {
             if let Some(keep) = subset {
@@ -467,21 +642,73 @@ impl Estimator {
                 "fewer observations than model coefficients",
             ));
         }
-        let a = Matrix::from_rows(&rows)?;
-        let x = if self.config.nonnegative {
-            nnls(&a, &y)?
-        } else {
-            ridge_lstsq(&a, &y, self.config.ridge)?
+
+        // Degraded columns are solved in a reduced system and re-expanded
+        // with zeros, so the coefficient layout never changes.
+        let drop_cols: Vec<usize> = dropped.iter().map(|&c| column_of(c)).collect();
+        let keep: Vec<usize> = (0..NUM_PARAMS).filter(|i| !drop_cols.contains(i)).collect();
+        let solve = |rows: &[Vec<f64>], y: &[f64]| -> Result<Vec<f64>, ModelError> {
+            let reduced: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| keep.iter().map(|&i| r[i]).collect())
+                .collect();
+            let a = Matrix::from_rows(&reduced)?;
+            let xr = if self.config.nonnegative {
+                nnls(&a, y)?
+            } else {
+                ridge_lstsq(&a, y, self.config.ridge)?
+            };
+            let mut x = vec![0.0; NUM_PARAMS];
+            for (&i, v) in keep.iter().zip(xr) {
+                x[i] = v;
+            }
+            Ok(x)
         };
+
+        let mut x = solve(&rows, &y)?;
+        if self.config.robust && rows.len() > NUM_PARAMS {
+            // Huber IRLS: residuals beyond k x (MAD-based scale) get
+            // weight k·scale/|r| < 1, shrinking the pull of corrupted
+            // observations without discarding them outright.
+            for _ in 0..self.config.robust_iterations {
+                let residuals: Vec<f64> = rows
+                    .iter()
+                    .zip(&y)
+                    .map(|(r, &yi)| dot_slice(r, &x) - yi)
+                    .collect();
+                let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+                abs.sort_by(f64::total_cmp);
+                let scale = (1.4826 * abs[abs.len() / 2]).max(1e-9);
+                let cutoff = self.config.huber_k * scale;
+                let weighted: (Vec<Vec<f64>>, Vec<f64>) = rows
+                    .iter()
+                    .zip(&y)
+                    .zip(&residuals)
+                    .map(|((r, &yi), &resid)| {
+                        let s = huber_weight(resid, cutoff).sqrt();
+                        (r.iter().map(|v| v * s).collect::<Vec<f64>>(), yi * s)
+                    })
+                    .unzip();
+                x = solve(&weighted.0, &weighted.1)?;
+                *reweights += 1;
+            }
+            gpm_obs::counter_add(
+                "estimator.robust_reweights",
+                self.config.robust_iterations as u64,
+            );
+        }
         Ok(x)
     }
 
     /// Voltage step (Eq. 12): coordinate descent with exact cubic
-    /// stationary points, then isotonic projection.
+    /// stationary points, then isotonic projection. `obs_weights` carries
+    /// the robust-mode Huber weights (all ones otherwise).
+    #[allow(clippy::too_many_arguments)]
     fn fit_voltages(
         &self,
         training: &TrainingSet,
         obs: &[Obs],
+        obs_weights: &[f64],
         x: &[f64],
         reference: FreqConfig,
         vcore: &mut BTreeMap<FreqConfig, f64>,
@@ -515,12 +742,13 @@ impl Estimator {
                     let fc = config.core.as_f64() / 1000.0;
                     let fm = config.mem.as_f64() / 1000.0;
                     let weight_of = |i: usize| -> f64 {
-                        if self.config.relative_error {
+                        let base = if self.config.relative_error {
                             let p = obs[i].watts.max(1e-6);
                             1.0 / (p * p)
                         } else {
                             1.0
-                        }
+                        };
+                        base * obs_weights[i]
                     };
                     // Core voltage given the current memory voltage.
                     let vm = vmem[&config];
@@ -735,16 +963,79 @@ fn dot(row: &[f64; NUM_PARAMS], x: &[f64]) -> f64 {
     row.iter().zip(x).map(|(a, b)| a * b).sum()
 }
 
-/// Training RMSE under the current parameters and voltages.
-fn rmse_of(
+fn dot_slice(row: &[f64], x: &[f64]) -> f64 {
+    row.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+/// Per-observation Huber weights under the current iterate: 1 inside
+/// `k x` the MAD-based residual scale, shrinking as `k·scale/|r|` beyond.
+fn huber_weights(
     training: &TrainingSet,
     obs: &[Obs],
     x: &[f64],
     vcore: &BTreeMap<FreqConfig, f64>,
     vmem: &BTreeMap<FreqConfig, f64>,
+    k: f64,
+) -> Vec<f64> {
+    let residuals: Vec<f64> = obs
+        .iter()
+        .map(|o| {
+            let row = design_row(
+                &training.samples[o.sample].utilizations.as_array(),
+                o.config,
+                vcore[&o.config],
+                vmem[&o.config],
+            );
+            dot(&row, x) - o.watts
+        })
+        .collect();
+    let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+    abs.sort_by(f64::total_cmp);
+    let scale = (1.4826 * abs[abs.len() / 2]).max(1e-9);
+    let cutoff = k * scale;
+    residuals.iter().map(|r| huber_weight(*r, cutoff)).collect()
+}
+
+/// One Huber weight, with a redescending tail: residuals beyond
+/// `REDESCEND x` the Huber cutoff are gross outliers (sensor spikes, not
+/// noise) and get zero weight instead of a soft `cutoff/|r|`.
+fn huber_weight(residual: f64, cutoff: f64) -> f64 {
+    const REDESCEND: f64 = 8.0;
+    let a = residual.abs();
+    if a <= cutoff {
+        1.0
+    } else if a > REDESCEND * cutoff {
+        0.0
+    } else {
+        cutoff / a
+    }
+}
+
+/// The design-row column a component's ω occupies.
+fn column_of(component: Component) -> usize {
+    match Component::CORE.iter().position(|&c| c == component) {
+        Some(j) => 2 + j,
+        None => 10, // Dram
+    }
+}
+
+/// Training RMSE under the current parameters and voltages, weighted by
+/// `weights` (all ones outside robust mode, where this reduces to the
+/// plain RMSE bit-for-bit). In robust mode the weights keep quarantine
+/// survivors from dominating the convergence test: without them the
+/// constant spike residuals swamp the RMSE and the relative-change
+/// stopping rule fires while the good-data fit is still improving.
+fn rmse_of(
+    training: &TrainingSet,
+    obs: &[Obs],
+    weights: &[f64],
+    x: &[f64],
+    vcore: &BTreeMap<FreqConfig, f64>,
+    vmem: &BTreeMap<FreqConfig, f64>,
 ) -> f64 {
     let mut sse = 0.0;
-    for o in obs {
+    let mut denom = 0.0;
+    for (o, &w) in obs.iter().zip(weights) {
         let row = design_row(
             &training.samples[o.sample].utilizations.as_array(),
             o.config,
@@ -752,9 +1043,10 @@ fn rmse_of(
             vmem[&o.config],
         );
         let e = dot(&row, x) - o.watts;
-        sse += e * e;
+        sse += w * e * e;
+        denom += w;
     }
-    (sse / obs.len() as f64).sqrt()
+    (sse / denom.max(1e-12)).sqrt()
 }
 
 #[cfg(test)]
@@ -1039,6 +1331,156 @@ mod tests {
         let heavy_low = minimize_quartic(1.0, &[(1.0, 2.0, 10.0), (1.0, 6.0, 1.0)]).unwrap();
         let heavy_high = minimize_quartic(1.0, &[(1.0, 2.0, 1.0), (1.0, 6.0, 10.0)]).unwrap();
         assert!(heavy_low < heavy_high);
+    }
+
+    #[test]
+    fn robust_fit_resists_corrupted_observations() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+
+        // Corrupt ~2% of the observations with 4x spikes (deterministic
+        // placement), the acceptance scenario's sensor-side fault.
+        let mut corrupted = training.clone();
+        let mut flat_index = 0usize;
+        for s in corrupted.samples.iter_mut() {
+            for w in s.power_by_config.values_mut() {
+                if flat_index.is_multiple_of(47) {
+                    *w *= 4.0;
+                }
+                flat_index += 1;
+            }
+        }
+
+        let clean_model = Estimator::new().fit(&training).unwrap();
+        let plain_model = Estimator::new().fit(&corrupted).unwrap();
+        let robust_cfg = EstimatorConfig {
+            robust: true,
+            ..EstimatorConfig::default()
+        };
+        let (robust_model, report) = Estimator::with_config(robust_cfg)
+            .fit_with_report(&corrupted)
+            .unwrap();
+        assert!(report.robust);
+        assert!(report.robust_reweights > 0);
+
+        // Judge each model against the *clean* measurements.
+        let rmse_vs_clean = |model: &crate::PowerModel| -> f64 {
+            let mut sse = 0.0;
+            let mut n = 0usize;
+            for s in &training.samples {
+                for (&config, &watts) in &s.power_by_config {
+                    let p = model.predict(&s.utilizations, config).unwrap();
+                    sse += (p - watts) * (p - watts);
+                    n += 1;
+                }
+            }
+            (sse / n as f64).sqrt()
+        };
+        let clean = rmse_vs_clean(&clean_model);
+        let plain = rmse_vs_clean(&plain_model);
+        let robust = rmse_vs_clean(&robust_model);
+        assert!(
+            robust < plain,
+            "Huber IRLS must beat plain LS on spiked data: robust {robust:.3} vs plain {plain:.3}"
+        );
+        assert!(
+            robust <= (2.0 * clean).max(1.0),
+            "robust fit under 2% spikes must stay within 2x the clean RMSE: \
+             robust {robust:.3} vs clean {clean:.3}"
+        );
+    }
+
+    #[test]
+    fn explicit_component_drop_pins_its_coefficient_at_zero() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let cfg = EstimatorConfig {
+            drop_components: vec![Component::Dp],
+            ..EstimatorConfig::default()
+        };
+        let (model, report) = Estimator::with_config(cfg)
+            .fit_with_report(&training)
+            .unwrap();
+        // Dp is CORE position 2 -> omegas[2].
+        assert_eq!(model.core_params().omegas[2], 0.0);
+        assert_eq!(report.degraded_components, vec![Component::Dp]);
+        assert_eq!(
+            report.coefficient_sigma[4], 0.0,
+            "sigma pinned for Dp column"
+        );
+        // The reduced model still predicts finite, physical power.
+        let u = Utilizations::from_values([0.3; 7]).unwrap();
+        let p = model.predict(&u, spec.default_config()).unwrap();
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn robust_mode_auto_drops_identically_zero_columns() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        // Zero the DRAM utilization everywhere: the signature a resilient
+        // campaign leaves when the DRAM sector counters never existed.
+        let mut degraded = training.clone();
+        for s in degraded.samples.iter_mut() {
+            let mut u = s.utilizations.as_array();
+            u[Component::Dram.index()] = 0.0;
+            s.utilizations = Utilizations::from_values(u).unwrap();
+        }
+        let cfg = EstimatorConfig {
+            robust: true,
+            ..EstimatorConfig::default()
+        };
+        let (model, report) = Estimator::with_config(cfg)
+            .fit_with_report(&degraded)
+            .unwrap();
+        assert!(report.degraded_components.contains(&Component::Dram));
+        assert_eq!(model.mem_params().omegas[0], 0.0);
+        let u = Utilizations::from_values([0.2; 7]).unwrap();
+        let p = model.predict(&u, FreqConfig::from_mhz(595, 810)).unwrap();
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn watchdog_restarts_then_gives_up_on_forced_divergence() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        // A pathological divergence threshold flags every iteration after
+        // the first as divergent, forcing the watchdog through its damped
+        // restarts and then a clean non-converged exit.
+        let cfg = EstimatorConfig {
+            divergence_factor: 1e-9,
+            ..EstimatorConfig::default()
+        };
+        let (model, report) = Estimator::with_config(cfg.clone())
+            .fit_with_report(&training)
+            .unwrap();
+        assert_eq!(report.watchdog_restarts, cfg.max_restarts);
+        assert!(!report.converged);
+        // Even a non-converged fit must hand back a usable model.
+        let u = Utilizations::from_values([0.3; 7]).unwrap();
+        assert!(model
+            .predict(&u, spec.default_config())
+            .unwrap()
+            .is_finite());
+    }
+
+    #[test]
+    fn fit_time_cap_bounds_the_iteration_count() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let cfg = EstimatorConfig {
+            max_fit_seconds: 1e-9,
+            tolerance: 0.0, // never converge on tolerance
+            ..EstimatorConfig::default()
+        };
+        let (_, report) = Estimator::with_config(cfg)
+            .fit_with_report(&training)
+            .unwrap();
+        assert_eq!(
+            report.iterations, 1,
+            "the cap must trip after one iteration"
+        );
+        assert!(!report.converged);
     }
 
     #[test]

@@ -260,6 +260,10 @@ pub fn fit_joint(
             training_mape,
             coefficient_sigma: Vec::new(),
             timings: timings.report(),
+            robust: false,
+            watchdog_restarts: 0,
+            robust_reweights: 0,
+            degraded_components: Vec::new(),
         },
     ))
 }

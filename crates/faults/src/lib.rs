@@ -1,0 +1,34 @@
+//! Deterministic fault injection between `gpm-sim` and `gpm-profiler`.
+//!
+//! Real NVML/CUPTI collection is not clean: counter reads fail
+//! transiently, whole counters are missing on some driver/device
+//! combinations, the power sensor spikes, drops readings or returns NaN,
+//! clock requests are silently ignored, and thermal management throttles
+//! the core mid-campaign. This crate reproduces those failure modes as a
+//! *seeded, replayable plan* so the resilience machinery in the profiler
+//! and estimator can be tested deterministically:
+//!
+//! - [`FaultPlan`] — the per-fault probabilities and parameters, JSON
+//!   round-trippable via `gpm-json` (partial plans parse; every field has
+//!   a default) with named presets for the CI fault matrix;
+//! - [`FaultyGpu`] — a decorator over any [`gpm_sim::GpuDevice`] that
+//!   draws faults from its own `SimRng` stream, so the *same plan + seed*
+//!   injects the same faults at the same points in the campaign
+//!   regardless of what the underlying device does;
+//! - [`FaultStats`] — counts of every injected fault, mirrored into
+//!   `gpm-obs` counters (`faults.*`) when a recorder is installed.
+//!
+//! The decorator honors the reseeding contract of [`gpm_sim::GpuDevice`]:
+//! `reseed_measurements(label)` re-derives both the inner device's noise
+//! stream *and* the fault stream from `(plan.seed, label)`, which is what
+//! makes checkpoint/resume campaigns bit-identical to uninterrupted ones
+//! even under faults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gpu;
+mod plan;
+
+pub use gpu::{FaultStats, FaultyGpu};
+pub use plan::FaultPlan;

@@ -1,0 +1,213 @@
+//! The seeded fault plan: what goes wrong, how often, and how badly.
+
+use gpm_json::impl_json;
+use gpm_spec::Metric;
+
+/// A deterministic fault plan.
+///
+/// Each probability is a per-opportunity chance in `[0, 1]`: counter
+/// faults are drawn once per `collect_events` call, sensor and throttle
+/// faults once per `measure_power` call, stuck clocks once per
+/// `set_clocks` call. `missing_metrics` is not probabilistic — the named
+/// metrics' raw events are *permanently* stripped from every event
+/// record, modeling a counter the driver simply does not expose.
+///
+/// All fields have JSON defaults, so a plan file listing only the faults
+/// it cares about parses; everything else stays off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault stream (independent of the device seed).
+    pub seed: u64,
+    /// Per-read chance that a counter read fails transiently.
+    pub transient_counter_failure: f64,
+    /// Metrics whose raw events are permanently unavailable.
+    pub missing_metrics: Vec<Metric>,
+    /// Per-measurement chance of a silent multiplicative power spike.
+    pub sensor_spike: f64,
+    /// Spike multiplier applied to the reading (e.g. 4.0 = 4x).
+    pub spike_magnitude: f64,
+    /// Per-measurement chance the sensor returns NaN.
+    pub sensor_nan: f64,
+    /// Per-measurement chance the sensor returns no reading at all.
+    pub sensor_dropout: f64,
+    /// Per-call chance a clock request is silently ignored.
+    pub stuck_clocks: f64,
+    /// Per-measurement chance a thermal-throttle burst starts.
+    pub thermal_throttle: f64,
+    /// Number of consecutive throttled measurements per burst.
+    pub throttle_burst: u32,
+}
+
+impl_json!(struct FaultPlan {
+    seed = 0,
+    transient_counter_failure = 0.0,
+    missing_metrics = Vec::new(),
+    sensor_spike = 0.0,
+    spike_magnitude = 4.0,
+    sensor_nan = 0.0,
+    sensor_dropout = 0.0,
+    stuck_clocks = 0.0,
+    thermal_throttle = 0.0,
+    throttle_burst = 3,
+});
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_counter_failure: 0.0,
+            missing_metrics: Vec::new(),
+            sensor_spike: 0.0,
+            spike_magnitude: 4.0,
+            sensor_nan: 0.0,
+            sensor_dropout: 0.0,
+            stuck_clocks: 0.0,
+            thermal_throttle: 0.0,
+            throttle_burst: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A named preset, or `None` for an unknown name. The names match the
+    /// CI fault matrix:
+    ///
+    /// - `"transient"` — 10% transient counter-read failures plus
+    ///   occasional sensor dropouts and stuck clocks (the acceptance
+    ///   scenario's counter side);
+    /// - `"missing-counter"` — the DRAM sector counters are permanently
+    ///   unavailable, forcing graceful degradation of the ω_mem column;
+    /// - `"sensor-spike"` — 1% silent 4x power spikes plus NaN readings
+    ///   and dropouts (the acceptance scenario's sensor side).
+    pub fn preset(name: &str, seed: u64) -> Option<FaultPlan> {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        match name {
+            "transient" => {
+                plan.transient_counter_failure = 0.10;
+                plan.sensor_dropout = 0.02;
+                plan.stuck_clocks = 0.05;
+            }
+            "missing-counter" => {
+                plan.missing_metrics = vec![Metric::DramReadSectors, Metric::DramWriteSectors];
+                plan.transient_counter_failure = 0.02;
+            }
+            "sensor-spike" => {
+                plan.sensor_spike = 0.01;
+                plan.spike_magnitude = 4.0;
+                plan.sensor_nan = 0.005;
+                plan.sensor_dropout = 0.01;
+            }
+            _ => return None,
+        }
+        Some(plan)
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_benign(&self) -> bool {
+        self.transient_counter_failure == 0.0
+            && self.missing_metrics.is_empty()
+            && self.sensor_spike == 0.0
+            && self.sensor_nan == 0.0
+            && self.sensor_dropout == 0.0
+            && self.stuck_clocks == 0.0
+            && self.thermal_throttle == 0.0
+    }
+
+    /// Validates probabilities and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("transient_counter_failure", self.transient_counter_failure),
+            ("sensor_spike", self.sensor_spike),
+            ("sensor_nan", self.sensor_nan),
+            ("sensor_dropout", self.sensor_dropout),
+            ("stuck_clocks", self.stuck_clocks),
+            ("thermal_throttle", self.thermal_throttle),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if !self.spike_magnitude.is_finite() || self.spike_magnitude <= 0.0 {
+            return Err(format!(
+                "spike_magnitude must be positive and finite, got {}",
+                self.spike_magnitude
+            ));
+        }
+        if self.throttle_burst == 0 {
+            return Err("throttle_burst must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_json::{from_str, to_string};
+
+    #[test]
+    fn default_plan_is_benign_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_benign());
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_exist_are_valid_and_not_benign() {
+        for name in ["transient", "missing-counter", "sensor-spike"] {
+            let plan = FaultPlan::preset(name, 7).unwrap_or_else(|| panic!("preset {name}"));
+            assert_eq!(plan.seed, 7);
+            plan.validate().unwrap();
+            assert!(!plan.is_benign(), "{name} must inject something");
+        }
+        assert!(FaultPlan::preset("nope", 0).is_none());
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan::preset("missing-counter", 3).unwrap();
+        let json = to_string(&plan).expect("plan serializes");
+        let back: FaultPlan = from_str(&json).expect("plan parses back");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn partial_plan_json_fills_defaults() {
+        let plan: FaultPlan =
+            from_str(r#"{"seed": 5, "sensor_spike": 0.01}"#).expect("partial plan parses");
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.sensor_spike, 0.01);
+        assert_eq!(plan.spike_magnitude, 4.0);
+        assert_eq!(plan.throttle_burst, 3);
+        assert!(plan.missing_metrics.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        let mut plan = FaultPlan {
+            sensor_nan: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+        plan.sensor_nan = f64::NAN;
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            spike_magnitude: 0.0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            throttle_burst: 0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+    }
+}

@@ -75,6 +75,43 @@ pub fn current_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A worker task panicked inside the pool.
+///
+/// Returned by the fallible entry points ([`try_par_map`],
+/// [`try_par_map_indices`]); the infallible ones re-raise the original
+/// payload instead. The pool itself always drains and joins cleanly, so a
+/// panic never hangs the submitting thread or poisons later calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    message: String,
+}
+
+impl PoolPanic {
+    /// The panic payload rendered as text (`String`/`&str` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Applies `f` to every item, in parallel, preserving input order in the
 /// output: `par_map(items, f)[i] == f(&items[i])`.
 ///
@@ -86,6 +123,57 @@ pub fn current_threads() -> usize {
 /// Re-raises the first worker panic on the calling thread with its
 /// original payload.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match run_pool(items, f) {
+        Ok(results) => results,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Fallible variant of [`par_map`]: a worker panic surfaces as
+/// `Err(PoolPanic)` on the submitting thread instead of unwinding it.
+///
+/// All pool state is per-call, so after an error the pool is fully
+/// drained and subsequent parallel calls behave normally — a panicking
+/// campaign item can never hang or poison the next campaign.
+///
+/// # Errors
+///
+/// Returns [`PoolPanic`] carrying the first worker's panic message.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, PoolPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_pool(items, f).map_err(|payload| PoolPanic {
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Fallible variant of [`par_map_indices`]; see [`try_par_map`].
+///
+/// # Errors
+///
+/// Returns [`PoolPanic`] carrying the first worker's panic message.
+pub fn try_par_map_indices<R, F>(n: usize, f: F) -> Result<Vec<R>, PoolPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    try_par_map(&indices, |&i| f(i))
+}
+
+/// The shared pool core: runs the map and reports the first worker panic
+/// as an `Err` payload, leaving re-raise vs. typed-error policy to the
+/// entry points. The sequential fast path catches panics too, so the
+/// fallible entry points behave identically at every thread count.
+fn run_pool<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, Box<dyn std::any::Any + Send>>
 where
     T: Sync,
     R: Send,
@@ -111,7 +199,7 @@ where
             gpm_obs::counter_add("par.steals", 0);
             gpm_obs::histogram_record("par.queue_depth", items.len() as f64);
         }
-        return items.iter().map(f).collect();
+        return catch_unwind(AssertUnwindSafe(|| items.iter().map(&f).collect()));
     }
 
     let cursor = AtomicUsize::new(0);
@@ -174,14 +262,14 @@ where
     });
 
     if let Some(payload) = panic_slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
-        resume_unwind(payload);
+        return Err(payload);
     }
     let mut pairs = collected.into_inner().unwrap_or_else(|p| p.into_inner());
     debug_assert_eq!(pairs.len(), items.len());
     // Indices are unique, so this sort is a total order: the output is
     // deterministic no matter how blocks were claimed.
     pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, r)| r).collect()
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Like [`par_map`] but discards results; useful for closures run only
@@ -287,6 +375,69 @@ mod tests {
             .cloned()
             .unwrap_or_else(|| "?".into());
         assert!(msg.contains("boom at 57"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn try_par_map_surfaces_panics_as_errors() {
+        for threads in [1, 4, 8] {
+            let err = with_threads(threads, || {
+                try_par_map(&(0..100).collect::<Vec<_>>(), |&i| {
+                    if i == 31 {
+                        panic!("boom at {i}");
+                    }
+                    i * 2
+                })
+            })
+            .unwrap_err();
+            assert!(
+                err.message().contains("boom at 31"),
+                "threads={threads}: {err}"
+            );
+            assert!(err.to_string().contains("worker task panicked"));
+        }
+    }
+
+    #[test]
+    fn a_panicking_call_does_not_poison_subsequent_calls() {
+        with_threads(4, || {
+            let items: Vec<u64> = (0..200).collect();
+            // A failing campaign...
+            let err = try_par_map(&items, |&i| {
+                if i % 7 == 3 {
+                    panic!("injected");
+                }
+                i
+            });
+            assert!(err.is_err());
+            // ...must leave the pool fully usable: both the fallible and
+            // the panicking entry points produce correct results after.
+            let ok = try_par_map(&items, |&i| i + 1).unwrap();
+            assert_eq!(ok, items.iter().map(|&i| i + 1).collect::<Vec<_>>());
+            let ok = par_map(&items, |&i| i * 3);
+            assert_eq!(ok, items.iter().map(|&i| i * 3).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn try_par_map_indices_matches_sequential_on_success() {
+        let got = with_threads(6, || try_par_map_indices(123, |i| i * i)).unwrap();
+        let seq: Vec<usize> = (0..123).map(|i| i * i).collect();
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    fn opaque_panic_payloads_get_a_placeholder_message() {
+        struct Opaque;
+        let err = with_threads(2, || {
+            try_par_map(&(0..10).collect::<Vec<_>>(), |&i| {
+                if i == 5 {
+                    std::panic::panic_any(Opaque);
+                }
+                i
+            })
+        })
+        .unwrap_err();
+        assert_eq!(err.message(), "opaque panic payload");
     }
 
     #[test]

@@ -77,7 +77,7 @@ impl ApplicationProfile {
     }
 }
 
-impl Profiler<'_> {
+impl<G: gpm_sim::GpuDevice> Profiler<'_, G> {
     /// Profiles every kernel of a multi-kernel application at the
     /// reference configuration (events + per-launch timing).
     ///

@@ -37,23 +37,30 @@
 
 mod application;
 mod export;
+mod resilient;
 
 pub use application::{ApplicationProfile, KernelProfile};
 pub use export::training_set_to_csv;
+pub use resilient::{
+    CampaignCheckpoint, CampaignOutcome, QuarantineReason, QuarantineRecord, ResilientProfiler,
+    RetryPolicy,
+};
 
 use gpm_core::events::EventSet;
 use gpm_core::{
     l2_peak_from_profiles, AppProfile, MicrobenchSample, ModelError, TrainingSet, Utilizations,
 };
-use gpm_sim::{SimError, SimulatedGpu};
+use gpm_sim::{GpuDevice, SimError, SimulatedGpu};
 use gpm_spec::FreqConfig;
 use gpm_workloads::{microbenchmark_suite, Category, KernelDesc};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Median of a non-empty vector of finite readings.
+/// Median of a non-empty vector of readings. Total order on bits, so a
+/// stray NaN cannot panic the sort (it sorts to the end; callers that
+/// care reject NaNs before they ever reach a median).
 fn median(xs: &mut [f64]) -> f64 {
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("power readings are finite"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]
@@ -69,6 +76,12 @@ pub enum ProfileError {
     Hardware(SimError),
     /// Event aggregation or dataset assembly failed.
     Model(ModelError),
+    /// A parallel aggregation worker panicked (surfaced, not re-raised,
+    /// so one poisoned item cannot take down a whole campaign driver).
+    WorkerPanic(String),
+    /// The resilient campaign could not make progress within its fault
+    /// budget (retries exhausted, mismatched checkpoint, ...).
+    Campaign(String),
 }
 
 impl fmt::Display for ProfileError {
@@ -76,6 +89,8 @@ impl fmt::Display for ProfileError {
         match self {
             ProfileError::Hardware(e) => write!(f, "hardware failure: {e}"),
             ProfileError::Model(e) => write!(f, "profile processing failure: {e}"),
+            ProfileError::WorkerPanic(msg) => write!(f, "aggregation worker panicked: {msg}"),
+            ProfileError::Campaign(msg) => write!(f, "campaign failure: {msg}"),
         }
     }
 }
@@ -85,6 +100,7 @@ impl std::error::Error for ProfileError {
         match self {
             ProfileError::Hardware(e) => Some(e),
             ProfileError::Model(e) => Some(e),
+            ProfileError::WorkerPanic(_) | ProfileError::Campaign(_) => None,
         }
     }
 }
@@ -102,14 +118,18 @@ impl From<ModelError> for ProfileError {
 }
 
 /// Drives a GPU through the paper's measurement protocol.
-pub struct Profiler<'g> {
-    gpu: &'g mut SimulatedGpu,
+///
+/// Generic over [`GpuDevice`] so the same protocol runs against the
+/// clean simulator or a fault-injecting decorator; the default type
+/// parameter keeps existing `Profiler<'_>` signatures compiling.
+pub struct Profiler<'g, G: GpuDevice = SimulatedGpu> {
+    gpu: &'g mut G,
     repeats: u32,
     reference: Option<FreqConfig>,
     l2_bytes_per_cycle: Option<f64>,
 }
 
-impl fmt::Debug for Profiler<'_> {
+impl<G: GpuDevice> fmt::Debug for Profiler<'_, G> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Profiler")
             .field("device", &self.gpu.spec().name())
@@ -118,10 +138,10 @@ impl fmt::Debug for Profiler<'_> {
     }
 }
 
-impl<'g> Profiler<'g> {
+impl<'g, G: GpuDevice> Profiler<'g, G> {
     /// Creates a profiler with the paper's protocol (10 measurement
     /// repeats, median).
-    pub fn new(gpu: &'g mut SimulatedGpu) -> Self {
+    pub fn new(gpu: &'g mut G) -> Self {
         Profiler::with_repeats(gpu, 10)
     }
 
@@ -131,7 +151,7 @@ impl<'g> Profiler<'g> {
     /// # Panics
     ///
     /// Panics if `repeats` is zero.
-    pub fn with_repeats(gpu: &'g mut SimulatedGpu, repeats: u32) -> Self {
+    pub fn with_repeats(gpu: &'g mut G, repeats: u32) -> Self {
         assert!(repeats > 0, "at least one measurement repeat is required");
         Profiler {
             gpu,
@@ -193,7 +213,7 @@ impl<'g> Profiler<'g> {
             let events_span = gpm_obs::span_under(campaign_span.as_deref(), "profiler.events", 0);
             let mut sets = Vec::with_capacity(suite.len());
             for kernel in suite {
-                let record = self.gpu.collect_events(kernel);
+                let record = self.gpu.collect_events(kernel)?;
                 sets.push(EventSet::new(record.config, record.counts));
             }
             if let Some(s) = events_span.as_deref() {
@@ -213,13 +233,14 @@ impl<'g> Profiler<'g> {
         // aggregation, computed in parallel in suite order. (The power
         // measurements below stay sequential: they share one stateful
         // device, exactly like the paper's single physical GPU.)
-        let mut samples: Vec<MicrobenchSample> = gpm_par::par_map_indices(suite.len(), |i| {
+        let mut samples: Vec<MicrobenchSample> = gpm_par::try_par_map_indices(suite.len(), |i| {
             Ok(MicrobenchSample {
                 name: suite[i].name().to_string(),
                 utilizations: Utilizations::from_events(&spec, &event_sets[i], l2_bpc)?,
                 power_by_config: BTreeMap::new(),
             })
         })
+        .map_err(|p| ProfileError::WorkerPanic(p.message().to_string()))?
         .into_iter()
         .collect::<Result<_, ModelError>>()?;
 
@@ -266,7 +287,7 @@ impl<'g> Profiler<'g> {
         }
         let l2_bpc = self.l2_bytes_per_cycle(None)?;
         self.gpu.set_clocks(reference)?;
-        let record = self.gpu.collect_events(kernel);
+        let record = self.gpu.collect_events(kernel)?;
         let events = EventSet::new(record.config, record.counts);
         Ok(AppProfile {
             name: kernel.name().to_string(),
@@ -339,14 +360,11 @@ impl<'g> Profiler<'g> {
         };
         let spec = self.gpu.spec().clone();
         self.gpu.set_clocks(self.reference())?;
-        let records: Vec<EventSet> = suite
-            .iter()
-            .filter(|k| k.category() == Category::L2)
-            .map(|k| {
-                let r = self.gpu.collect_events(k);
-                EventSet::new(r.config, r.counts)
-            })
-            .collect();
+        let mut records: Vec<EventSet> = Vec::new();
+        for k in suite.iter().filter(|k| k.category() == Category::L2) {
+            let r = self.gpu.collect_events(k)?;
+            records.push(EventSet::new(r.config, r.counts));
+        }
         let v = l2_peak_from_profiles(&spec, &records)?;
         self.l2_bytes_per_cycle = Some(v);
         Ok(v)

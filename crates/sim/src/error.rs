@@ -17,6 +17,22 @@ pub enum SimError {
         /// Sensor refresh period in seconds.
         refresh_s: f64,
     },
+    /// A performance-counter read failed transiently (the CUPTI-style
+    /// failure mode: the kernel ran but the counters came back empty).
+    CounterReadFailed {
+        /// Name of the kernel whose counters were lost.
+        kernel: String,
+    },
+    /// The power sensor returned no reading for the window (an NVML
+    /// query timeout / dropout).
+    SensorDropout,
+    /// The power sensor produced a physically impossible reading
+    /// (NaN, infinite, or negative watts). The raw value is carried for
+    /// diagnostics; callers must not compare it with `==` (NaN).
+    InvalidPowerSample {
+        /// The offending raw reading.
+        watts: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +45,15 @@ impl fmt::Display for SimError {
                 f,
                 "measurement window of {duration_s:.4} s holds no sample at a {refresh_s:.3} s refresh period"
             ),
+            SimError::CounterReadFailed { kernel } => {
+                write!(f, "performance-counter read failed for kernel {kernel}")
+            }
+            SimError::SensorDropout => {
+                write!(f, "power sensor returned no reading for the window")
+            }
+            SimError::InvalidPowerSample { watts } => {
+                write!(f, "power sensor produced an invalid reading of {watts} W")
+            }
         }
     }
 }
@@ -48,5 +73,12 @@ mod tests {
             refresh_s: 0.1,
         };
         assert!(e.to_string().contains("0.0100"));
+        let e = SimError::CounterReadFailed {
+            kernel: "MaxFlops".to_string(),
+        };
+        assert!(e.to_string().contains("MaxFlops"));
+        assert!(SimError::SensorDropout.to_string().contains("no reading"));
+        let e = SimError::InvalidPowerSample { watts: f64::NAN };
+        assert!(e.to_string().contains("NaN"));
     }
 }

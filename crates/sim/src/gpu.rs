@@ -71,6 +71,7 @@ pub struct SimulatedGpu {
     clocks: FreqConfig,
     power_capping: bool,
     thermal: Option<(ThermalModel, f64)>,
+    seed: u64,
     rng: SimRng,
 }
 
@@ -107,8 +108,19 @@ impl SimulatedGpu {
             clocks,
             power_capping: false,
             thermal: None,
+            seed,
             rng: SimRng::seed_from_u64(seed.wrapping_mul(0x5851_F42D_4C95_7F2D)),
         }
+    }
+
+    /// Rewinds the measurement-noise stream to a state that is a pure
+    /// function of `(seed, label)`, independent of how many measurements
+    /// were taken before. Checkpoint/resume relies on this: re-deriving
+    /// the stream before each campaign cell makes the cell's readings
+    /// identical whether the campaign ran straight through or restarted.
+    pub fn reseed_measurements(&mut self, label: u64) {
+        self.rng =
+            SimRng::seed_from_u64(self.seed.wrapping_mul(0x5851_F42D_4C95_7F2D)).derive(label);
     }
 
     /// Enables the opt-in thermal model: the die heats with dissipated

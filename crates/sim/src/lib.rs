@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+mod device;
 mod error;
 mod gpu;
 mod perf;
@@ -60,6 +61,7 @@ mod thermal;
 mod truth;
 mod voltage;
 
+pub use device::GpuDevice;
 pub use error::SimError;
 pub use gpu::{EventRecord, PowerMeasurement, SimulatedGpu};
 pub use perf::{Execution, PerfModel};

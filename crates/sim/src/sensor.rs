@@ -54,13 +54,19 @@ impl PowerSensor {
     ///
     /// Returns [`SimError::WindowTooShort`] when the window contains no
     /// sample — the hardware situation the repetition protocol exists to
-    /// avoid.
+    /// avoid — and [`SimError::InvalidPowerSample`] when the true draw or
+    /// any individual sample is NaN, infinite, or negative. Rejecting bad
+    /// samples here keeps them out of medians and training data, where a
+    /// single NaN used to poison the whole campaign silently.
     pub fn sample_window(
         &self,
         rng: &mut SimRng,
         true_watts: f64,
         duration_s: f64,
     ) -> Result<(f64, u32), SimError> {
+        if !true_watts.is_finite() || true_watts < 0.0 {
+            return Err(SimError::InvalidPowerSample { watts: true_watts });
+        }
         let n = (duration_s / self.refresh_s).floor() as u32;
         if n == 0 {
             return Err(SimError::WindowTooShort {
@@ -70,7 +76,10 @@ impl PowerSensor {
         }
         let mut acc = 0.0;
         for _ in 0..n {
-            let sample = normal(rng, true_watts, true_watts * self.noise_sd).max(0.0);
+            let sample = normal(rng, true_watts, true_watts * self.noise_sd);
+            if !sample.is_finite() || sample < 0.0 {
+                return Err(SimError::InvalidPowerSample { watts: sample });
+            }
             // NVML reports integer milliwatts.
             acc += (sample * 1000.0).round() / 1000.0;
         }
@@ -131,6 +140,54 @@ mod tests {
     #[should_panic(expected = "refresh")]
     fn zero_refresh_panics() {
         let _ = PowerSensor::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn nan_truth_is_a_typed_error() {
+        let s = PowerSensor::new(100.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(0);
+        match s.sample_window(&mut rng, f64::NAN, 1.0) {
+            Err(SimError::InvalidPowerSample { watts }) => assert!(watts.is_nan()),
+            other => panic!("expected InvalidPowerSample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_and_infinite_truth_are_typed_errors() {
+        let s = PowerSensor::new(100.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(matches!(
+            s.sample_window(&mut rng, -5.0, 1.0),
+            Err(SimError::InvalidPowerSample { watts }) if watts == -5.0
+        ));
+        assert!(matches!(
+            s.sample_window(&mut rng, f64::INFINITY, 1.0),
+            Err(SimError::InvalidPowerSample { .. })
+        ));
+    }
+
+    #[test]
+    fn pathological_noise_cannot_smuggle_negative_samples() {
+        // With absurd relative noise individual samples go negative; the
+        // sensor must refuse rather than clamp (the old behavior) or
+        // average the negative reading into the window.
+        let s = PowerSensor::new(5.0, 50.0);
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut saw_rejection = false;
+        for _ in 0..20 {
+            match s.sample_window(&mut rng, 100.0, 1.0) {
+                Ok((w, _)) => assert!(w.is_finite() && w >= 0.0),
+                Err(SimError::InvalidPowerSample { watts }) => {
+                    assert!(watts < 0.0 || !watts.is_finite());
+                    saw_rejection = true;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(
+            saw_rejection,
+            "50x relative noise never produced a negative sample"
+        );
     }
 }
 

@@ -28,6 +28,9 @@
 //!   paper's future-work direction)
 //! - [`obs`] — structured observability: metrics registry, hierarchical
 //!   tracing spans, and golden-trace conformance tooling
+//! - [`faults`] — deterministic, seed-driven fault injection between the
+//!   simulator and the profiler, exercising the resilient campaign path
+//!   ([`profiler::ResilientProfiler`]) and the robust estimator mode
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@
 
 pub use gpm_core as core;
 pub use gpm_dvfs as dvfs;
+pub use gpm_faults as faults;
 pub use gpm_json as json;
 pub use gpm_linalg as linalg;
 pub use gpm_obs as obs;
@@ -72,8 +76,11 @@ pub mod prelude {
     pub use gpm_core::{
         Estimator, EstimatorConfig, PowerBreakdown, PowerModel, TrainingSet, Utilizations,
     };
-    pub use gpm_profiler::Profiler;
-    pub use gpm_sim::SimulatedGpu;
+    pub use gpm_faults::{FaultPlan, FaultyGpu};
+    pub use gpm_profiler::{
+        CampaignCheckpoint, CampaignOutcome, Profiler, ResilientProfiler, RetryPolicy,
+    };
+    pub use gpm_sim::{GpuDevice, SimulatedGpu};
     pub use gpm_spec::{Component, DeviceSpec, Domain, FreqConfig, Mhz};
     pub use gpm_workloads::{microbenchmark_suite, validation_suite, KernelDesc};
 }

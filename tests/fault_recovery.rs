@@ -1,0 +1,183 @@
+//! End-to-end fault-recovery acceptance tests: the resilient campaign
+//! plus the robust estimator must produce a usable model from a faulty
+//! device, degrade gracefully when a counter is permanently missing, and
+//! resume interrupted campaigns byte-identically.
+
+use gpm::core::{EstimatorConfig, TrainingSet};
+use gpm::prelude::*;
+use gpm::spec::{devices, Metric};
+
+/// Root-mean-square prediction error of `model` against the power grid
+/// of a (clean) training set.
+fn rmse_against(model: &PowerModel, clean: &TrainingSet) -> f64 {
+    let mut sse = 0.0;
+    let mut n = 0usize;
+    for sample in &clean.samples {
+        for (&config, &watts) in &sample.power_by_config {
+            let p = model.predict(&sample.utilizations, config).unwrap();
+            sse += (p - watts) * (p - watts);
+            n += 1;
+        }
+    }
+    (sse / n as f64).sqrt()
+}
+
+fn faulty_campaign(
+    plan: FaultPlan,
+    seed: u64,
+    repeats: u32,
+) -> (TrainingSet, FaultyGpu<SimulatedGpu>) {
+    let spec = devices::tesla_k40c();
+    let suite = microbenchmark_suite(&spec);
+    let gpu = SimulatedGpu::new(spec, seed);
+    let mut device = FaultyGpu::new(gpu, plan);
+    let training = {
+        let mut profiler = ResilientProfiler::new(&mut device).with_repeats(repeats);
+        let mut checkpoint = profiler.new_checkpoint();
+        match profiler.run(&suite, &mut checkpoint, None).unwrap() {
+            CampaignOutcome::Complete(t) => t,
+            CampaignOutcome::Suspended { .. } => panic!("unbudgeted run must complete"),
+        }
+    };
+    (training, device)
+}
+
+/// The headline acceptance criterion: with 10% transient counter
+/// failures and 1% sensor spikes, `--robust` training still produces a
+/// model whose error against the *clean* power grid stays within 2x the
+/// clean-run validation RMSE.
+#[test]
+fn robust_training_survives_transient_faults_and_spikes() {
+    let spec = devices::tesla_k40c();
+    let suite = microbenchmark_suite(&spec);
+
+    // Clean baseline: same device seed, no faults.
+    let mut clean_gpu = SimulatedGpu::new(spec.clone(), 42);
+    let clean_training = Profiler::with_repeats(&mut clean_gpu, 4)
+        .profile_suite(&suite)
+        .unwrap();
+    let clean_model = Estimator::new().fit(&clean_training).unwrap();
+    let clean_rmse = rmse_against(&clean_model, &clean_training);
+
+    // Faulty campaign over the same device.
+    let plan = FaultPlan {
+        seed: 11,
+        transient_counter_failure: 0.10,
+        sensor_spike: 0.01,
+        spike_magnitude: 4.0,
+        ..FaultPlan::default()
+    };
+    let (faulty_training, device) = faulty_campaign(plan, 42, 4);
+    assert!(
+        device.stats().counter_failures > 0 && device.stats().spikes > 0,
+        "plan must actually fire: {:?}",
+        device.stats()
+    );
+
+    let (robust_model, report) = Estimator::with_config(EstimatorConfig {
+        robust: true,
+        ..EstimatorConfig::default()
+    })
+    .fit_with_report(&faulty_training)
+    .unwrap();
+    assert!(report.robust);
+
+    let robust_rmse = rmse_against(&robust_model, &clean_training);
+    let bound = (2.0 * clean_rmse).max(1.0);
+    assert!(
+        robust_rmse <= bound,
+        "robust RMSE {robust_rmse:.3} W vs clean grid exceeds bound {bound:.3} W \
+         (clean fit: {clean_rmse:.3} W)"
+    );
+}
+
+/// Permanently missing DRAM sector counters must not abort the campaign:
+/// the affected utilization column is zero-filled, the degradation is
+/// recorded in the checkpoint, and robust training pins the matching
+/// omega at zero instead of fitting garbage.
+#[test]
+fn missing_dram_counters_degrade_gracefully_end_to_end() {
+    let spec = devices::tesla_k40c();
+    let suite = microbenchmark_suite(&spec);
+    let plan = FaultPlan {
+        seed: 2,
+        missing_metrics: vec![Metric::DramReadSectors, Metric::DramWriteSectors],
+        ..FaultPlan::default()
+    };
+    let gpu = SimulatedGpu::new(spec, 7);
+    let mut device = FaultyGpu::new(gpu, plan);
+    let mut profiler = ResilientProfiler::new(&mut device).with_repeats(2);
+    let mut checkpoint = profiler.new_checkpoint();
+    let training = match profiler.run(&suite, &mut checkpoint, None).unwrap() {
+        CampaignOutcome::Complete(t) => t,
+        CampaignOutcome::Suspended { .. } => panic!("unbudgeted run must complete"),
+    };
+    assert_eq!(checkpoint.degraded, vec![Component::Dram]);
+    for sample in &training.samples {
+        assert_eq!(sample.utilizations.get(Component::Dram), 0.0);
+    }
+
+    let (model, report) = Estimator::with_config(EstimatorConfig {
+        robust: true,
+        ..EstimatorConfig::default()
+    })
+    .fit_with_report(&training)
+    .unwrap();
+    assert_eq!(report.degraded_components, vec![Component::Dram]);
+    assert_eq!(model.mem_params().omegas[0], 0.0);
+    // The degraded model still predicts physical power.
+    let p = model
+        .predict(&training.samples[0].utilizations, training.reference)
+        .unwrap();
+    assert!(p > 0.0 && p < model.spec().tdp_w() * 2.0, "{p} W");
+}
+
+/// Checkpoint/resume acceptance: interrupting a faulty campaign after an
+/// arbitrary cell budget and resuming from the serialized checkpoint
+/// yields a training set byte-identical to the uninterrupted run.
+#[test]
+fn interrupted_faulty_campaign_resumes_byte_identically() {
+    let spec = devices::tesla_k40c();
+    let suite: Vec<KernelDesc> = microbenchmark_suite(&spec)[..12].to_vec();
+    let plan = FaultPlan::preset("sensor-spike", 3).unwrap();
+
+    let run_full = || {
+        let gpu = SimulatedGpu::new(spec.clone(), 9);
+        let mut device = FaultyGpu::new(gpu, plan.clone());
+        let mut profiler = ResilientProfiler::new(&mut device).with_repeats(2);
+        let mut checkpoint = profiler.new_checkpoint();
+        match profiler.run(&suite, &mut checkpoint, None).unwrap() {
+            CampaignOutcome::Complete(t) => t.to_json().unwrap(),
+            CampaignOutcome::Suspended { .. } => panic!("unbudgeted run must complete"),
+        }
+    };
+    let straight = run_full();
+
+    // Interrupt after 17 of 48 cells, serialize, resume in a fresh
+    // process-equivalent (new device, new profiler, checkpoint from JSON).
+    let gpu = SimulatedGpu::new(spec.clone(), 9);
+    let mut device = FaultyGpu::new(gpu, plan.clone());
+    let mut profiler = ResilientProfiler::new(&mut device).with_repeats(2);
+    let mut checkpoint = profiler.new_checkpoint();
+    match profiler.run(&suite, &mut checkpoint, Some(17)).unwrap() {
+        CampaignOutcome::Suspended {
+            completed_cells,
+            total_cells,
+        } => {
+            assert_eq!(completed_cells, 17);
+            assert_eq!(total_cells, 48);
+        }
+        CampaignOutcome::Complete(_) => panic!("budget of 17 must suspend"),
+    }
+    let serialized = checkpoint.to_json_string();
+
+    let gpu = SimulatedGpu::new(spec.clone(), 9);
+    let mut device = FaultyGpu::new(gpu, plan.clone());
+    let mut profiler = ResilientProfiler::new(&mut device).with_repeats(2);
+    let mut resumed = CampaignCheckpoint::from_json_str(&serialized).unwrap();
+    let resumed_json = match profiler.run(&suite, &mut resumed, None).unwrap() {
+        CampaignOutcome::Complete(t) => t.to_json().unwrap(),
+        CampaignOutcome::Suspended { .. } => panic!("resume must complete"),
+    };
+    assert_eq!(straight, resumed_json, "resume must be byte-identical");
+}

@@ -11,6 +11,73 @@ use gpm::prelude::*;
 use gpm::spec::{devices, Domain};
 use std::collections::BTreeMap;
 
+/// The backoff schedule contract: for any policy and seed, the recorded
+/// delays are non-decreasing, bounded by `max_backoff_ms * (1 + jitter)`,
+/// have exactly `max_attempts - 1` entries, and are bit-identical when
+/// recomputed from the same `(policy, seed)`.
+#[test]
+fn backoff_schedules_are_monotone_bounded_and_reproducible() {
+    gpm_check::check(
+        "backoff_schedules_are_monotone_bounded_and_reproducible",
+        |g| {
+            let policy = RetryPolicy {
+                max_attempts: g.u64_in(1..16) as u32,
+                base_backoff_ms: g.f64_in(0.1, 200.0),
+                max_backoff_ms: g.f64_in(200.0, 5_000.0),
+                jitter: g.f64_in(0.0, 1.0),
+            };
+            let seed = g.u64_any();
+            let schedule = policy.backoff_schedule_ms(seed);
+            assert_eq!(schedule.len(), policy.max_attempts as usize - 1);
+            let cap = policy.max_backoff_ms * (1.0 + policy.jitter);
+            let mut prev = 0.0;
+            for &delay in &schedule {
+                assert!(delay >= prev, "schedule must be non-decreasing");
+                assert!(delay > 0.0 && delay <= cap, "{delay} ms over cap {cap} ms");
+                prev = delay;
+            }
+            let again = policy.backoff_schedule_ms(seed);
+            let bits = |v: &[f64]| v.iter().map(|d| d.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&schedule), bits(&again), "must be bit-identical");
+        },
+    );
+}
+
+/// The resilient campaign's determinism contract extends to faults: the
+/// quarantine ledger (and the whole checkpoint) is independent of the
+/// gpm-par worker count.
+#[test]
+fn quarantine_ledger_is_thread_count_independent() {
+    let spec = devices::tesla_k40c();
+    let suite: Vec<KernelDesc> = microbenchmark_suite(&spec)[..8].to_vec();
+    let plan = FaultPlan::preset("transient", 6).unwrap();
+
+    let run = |threads: usize| {
+        gpm::par::set_threads(Some(threads));
+        let gpu = SimulatedGpu::new(spec.clone(), 3);
+        let mut device = FaultyGpu::new(gpu, plan.clone());
+        let mut profiler = ResilientProfiler::new(&mut device).with_repeats(2);
+        let mut checkpoint = profiler.new_checkpoint();
+        match profiler.run(&suite, &mut checkpoint, None).unwrap() {
+            CampaignOutcome::Complete(_) => {}
+            CampaignOutcome::Suspended { .. } => panic!("unbudgeted run must complete"),
+        }
+        (checkpoint.quarantined.len(), checkpoint.to_json_string())
+    };
+
+    let (count_1, json_1) = run(1);
+    assert!(count_1 > 0, "transient preset must quarantine something");
+    for threads in [4usize, 8] {
+        let (count_n, json_n) = run(threads);
+        assert_eq!(
+            count_n, count_1,
+            "quarantine count diverged at {threads} threads"
+        );
+        assert_eq!(json_n, json_1, "checkpoint diverged at {threads} threads");
+    }
+    gpm::par::set_threads(None);
+}
+
 /// A small but non-trivial fitted-model stand-in with hand-set physical
 /// (non-negative) coefficients over the GTX Titan X grid.
 fn toy_model() -> PowerModel {

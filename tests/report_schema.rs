@@ -9,6 +9,7 @@
 use gpm::core::{CvReport, FitReport};
 use gpm::json::{from_str, write, ToJson};
 use gpm::par::timer::PhaseTimings;
+use gpm::spec::Component;
 use std::fs;
 use std::path::PathBuf;
 
@@ -49,6 +50,10 @@ fn sample_fit_report() -> FitReport {
         training_mape: 2.875,
         coefficient_sigma: vec![0.5, 0.25],
         timings: PhaseTimings::default(),
+        robust: true,
+        watchdog_restarts: 1,
+        robust_reweights: 21,
+        degraded_components: vec![Component::Dp, Component::Dram],
     }
 }
 
@@ -107,6 +112,22 @@ fn pre_timings_fit_reports_still_parse() {
     assert_eq!(report.iterations, 4);
     assert!(!report.converged);
     assert_eq!(report.timings, PhaseTimings::default());
+}
+
+#[test]
+fn pre_robustness_fit_reports_still_parse() {
+    // Reports serialized before the robustness fields existed must keep
+    // parsing: `robust` defaults to false, the recovery counters to zero
+    // and `degraded_components` to empty.
+    let legacy = r#"{"iterations":7,"converged":true,
+                     "rmse_history":[12.5,3.25,1.0625],"training_mape":2.875,
+                     "coefficient_sigma":[0.5,0.25],
+                     "timings":{"entries":[]}}"#;
+    let report: FitReport = from_str(legacy).expect("pre-robustness fit report parses");
+    assert!(!report.robust);
+    assert_eq!(report.watchdog_restarts, 0);
+    assert_eq!(report.robust_reweights, 0);
+    assert!(report.degraded_components.is_empty());
 }
 
 #[test]
