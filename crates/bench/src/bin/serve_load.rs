@@ -1,0 +1,237 @@
+//! Load generator for the prediction server (gpm-serve).
+//!
+//! Binds a server on a loopback port and drives it with concurrent TCP
+//! clients at 1, 4 and 8 engine worker threads, writing client-side
+//! throughput and exact p50/p99 latencies to `BENCH_serve.json`.
+//! `GPM_BENCH_ITERS` overrides the per-client request count (e.g.
+//! `GPM_BENCH_ITERS=4` for a smoke-sized run).
+//!
+//! `--smoke` runs the CI gate instead: a low-load phase that must shed
+//! nothing, then a forced-overload phase that must shed at least one
+//! request with a typed `Overloaded` reply.
+
+use gpm_bench::{fit_device, heading};
+use gpm_core::{PowerModel, Utilizations};
+use gpm_json::impl_json;
+use gpm_serve::{
+    EngineConfig, PredictionEngine, Reply, Request, ServerConfig, ServerHandle, TcpClient,
+};
+use gpm_spec::{devices, FreqConfig};
+use std::time::Instant;
+
+/// Concurrent TCP clients per sweep point; enough to keep the admission
+/// queue non-empty so micro-batches actually form.
+const CLIENTS: usize = 4;
+
+/// Validation kernels cycled through by the Energy requests.
+const KERNELS: [&str; 4] = ["LBM", "GEMM", "SRAD_1", "BLCKSC"];
+
+fn requests_per_client() -> usize {
+    std::env::var("GPM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
+}
+
+/// A deterministic request mix: three cheap Power lookups for every
+/// Energy request (which profiles and re-times a kernel). Distinct
+/// slots produce distinct requests, so the LRU cache cannot hide the
+/// compute path.
+fn request_for(slot: usize) -> Request {
+    if slot % 4 == 3 {
+        Request::Energy {
+            kernel: KERNELS[(slot / 4) % KERNELS.len()].to_string(),
+            config: FreqConfig::from_mhz(if slot % 8 == 3 { 595 } else { 975 }, 3505),
+        }
+    } else {
+        let mut values = [0.0; 7];
+        for (component, v) in values.iter_mut().enumerate() {
+            *v = ((slot * 7 + component * 3) % 11) as f64 / 10.0;
+        }
+        Request::Power {
+            utilizations: Utilizations::from_values(values).expect("bench utilizations"),
+            config: FreqConfig::from_mhz(975, 3505),
+        }
+    }
+}
+
+/// Exact nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted_us: &[f64], pct: f64) -> f64 {
+    let rank = ((pct / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.max(1) - 1]
+}
+
+/// One measured point of the worker-thread sweep.
+struct ServePoint {
+    threads: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    batches: u64,
+    shed: u64,
+}
+
+impl_json!(struct ServePoint {
+    threads, requests, wall_s, throughput_rps, p50_us, p99_us, batches, shed
+});
+
+/// The artifact written to `BENCH_serve.json`.
+struct ServeReport {
+    device: String,
+    protocol: String,
+    clients: usize,
+    requests_per_client: usize,
+    points: Vec<ServePoint>,
+}
+
+impl_json!(struct ServeReport { device, protocol, clients, requests_per_client, points });
+
+fn sweep(model: &PowerModel) -> Vec<ServePoint> {
+    let per_client = requests_per_client();
+    let mut points = Vec::new();
+    println!(
+        "{:>8} {:>9} {:>10} {:>11} {:>11} {:>8} {:>6}",
+        "threads", "requests", "rps", "p50", "p99", "batches", "shed"
+    );
+    for &threads in &[1usize, 4, 8] {
+        gpm_par::set_threads(Some(threads));
+        let engine = PredictionEngine::new(model.clone(), "bench@v1", &EngineConfig::default());
+        let handle = ServerHandle::bind(engine, ServerConfig::default(), "127.0.0.1:0")
+            .expect("bind loopback listener");
+        let addr = handle.local_addr().expect("bound address");
+
+        let started = Instant::now();
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = TcpClient::connect(addr).expect("connect to server");
+                    let mut latencies_us = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let request = request_for(c * per_client + i);
+                        let t0 = Instant::now();
+                        let reply = client.call(&request).expect("round trip");
+                        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert!(reply.is_ok(), "bench request failed: {reply:?}");
+                    }
+                    latencies_us
+                })
+            })
+            .collect();
+        let mut latencies_us: Vec<f64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect();
+        let wall_s = started.elapsed().as_secs_f64();
+        latencies_us.sort_by(f64::total_cmp);
+        let (_, stats) = handle.shutdown();
+
+        let point = ServePoint {
+            threads,
+            requests: latencies_us.len(),
+            wall_s,
+            throughput_rps: latencies_us.len() as f64 / wall_s,
+            p50_us: percentile(&latencies_us, 50.0),
+            p99_us: percentile(&latencies_us, 99.0),
+            batches: stats.batches,
+            shed: stats.shed,
+        };
+        println!(
+            "{threads:>8} {:>9} {:>10.0} {:>9.0}us {:>9.0}us {:>8} {:>6}",
+            point.requests,
+            point.throughput_rps,
+            point.p50_us,
+            point.p99_us,
+            point.batches,
+            point.shed
+        );
+        assert_eq!(
+            stats.served, point.requests as u64,
+            "every bench request was admitted and answered"
+        );
+        points.push(point);
+    }
+    gpm_par::set_threads(None);
+    points
+}
+
+/// The CI gate: proves the admission controller is wired end to end
+/// without timing anything.
+fn smoke(model: &PowerModel) {
+    heading("serve smoke: low load sheds nothing");
+    let engine = PredictionEngine::new(model.clone(), "smoke@v1", &EngineConfig::default());
+    let handle = ServerHandle::bind(engine, ServerConfig::default(), "127.0.0.1:0")
+        .expect("bind loopback listener");
+    let mut client =
+        TcpClient::connect(handle.local_addr().expect("bound address")).expect("connect to server");
+    for slot in 0..16 {
+        let reply = client.call(&request_for(slot)).expect("round trip");
+        assert!(reply.is_ok(), "low-load request failed: {reply:?}");
+    }
+    drop(client);
+    let (_, stats) = handle.shutdown();
+    assert_eq!(stats.shed, 0, "low load must not shed");
+    assert_eq!(stats.served, 16);
+    println!("16/16 served over TCP, 0 shed");
+
+    heading("serve smoke: forced overload sheds with a typed reply");
+    // A one-deep queue with one-request batches, hit with a burst of
+    // slow, distinct Pareto requests: the excess must come back as
+    // Reply::Overloaded, not hang or drop.
+    let engine = PredictionEngine::new(model.clone(), "smoke@v1", &EngineConfig::default());
+    let config = ServerConfig {
+        queue_depth: 1,
+        batch_max: 1,
+        ..ServerConfig::default()
+    };
+    let handle = ServerHandle::spawn(engine, config);
+    let burst: Vec<Request> = (0..8)
+        .map(|i| Request::Pareto {
+            kernel: "LBM".to_string(),
+            max_points: i,
+        })
+        .collect();
+    let replies = handle.client().call_batch(&burst);
+    let shed = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::Overloaded { queue_depth: 1 }))
+        .count();
+    assert!(
+        shed >= 1,
+        "a one-deep queue must shed part of an 8-request burst: {replies:?}"
+    );
+    let (_, stats) = handle.shutdown();
+    assert_eq!(stats.shed, shed as u64);
+    println!("{shed} of 8 burst requests shed with Reply::Overloaded");
+
+    println!("\nserve smoke passed");
+}
+
+fn main() {
+    let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let spec = devices::gtx_titan_x();
+    heading(&format!(
+        "gpm-serve load generator: {} ({CLIENTS} TCP clients)",
+        spec.name()
+    ));
+    let fitted = fit_device(spec);
+
+    if smoke_mode {
+        smoke(&fitted.model);
+        return;
+    }
+
+    let points = sweep(&fitted.model);
+    let report = ServeReport {
+        device: fitted.model.spec().name().to_string(),
+        protocol: "length-prefixed JSON over TCP".to_string(),
+        clients: CLIENTS,
+        requests_per_client: requests_per_client(),
+        points,
+    };
+    let json = gpm_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

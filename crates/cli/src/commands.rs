@@ -11,6 +11,9 @@ use gpm_faults::{FaultPlan, FaultyGpu};
 use gpm_profiler::{
     training_set_to_csv, CampaignCheckpoint, CampaignOutcome, Profiler, ResilientProfiler,
 };
+use gpm_serve::{
+    EngineConfig, ModelRegistry, PredictionEngine, Request, ServerConfig, ServerHandle,
+};
 use gpm_sim::SimulatedGpu;
 use gpm_spec::{devices, DeviceSpec};
 use gpm_workloads::{launch_trace, microbenchmark_suite, validation_suite};
@@ -87,6 +90,7 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
                 "timings",
                 "trace",
                 "robust",
+                "report",
             ])?;
             cmd_train(parsed)
         }
@@ -95,8 +99,12 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
             cmd_validate(parsed)
         }
         "predict" => {
-            parsed.allow_only(&["model", "app", "seed"])?;
-            cmd_predict(parsed)
+            parsed.allow_only(&["model", "app", "seed", "registry", "request", "name"])?;
+            if parsed.optional("registry").is_some() {
+                cmd_predict_registry(parsed)
+            } else {
+                cmd_predict(parsed)
+            }
         }
         "voltage" => {
             parsed.allow_only(&["model"])?;
@@ -121,6 +129,28 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
         "pareto" => {
             parsed.allow_only(&["model", "app", "seed"])?;
             cmd_pareto(parsed)
+        }
+        "publish" => {
+            parsed.allow_only(&["registry", "model", "name", "report"])?;
+            cmd_publish(parsed)
+        }
+        "models" => {
+            parsed.allow_only(&["registry", "activate"])?;
+            cmd_models(parsed)
+        }
+        "serve" => {
+            parsed.allow_only(&[
+                "registry",
+                "name",
+                "addr",
+                "seed",
+                "queue",
+                "batch",
+                "conn-cap",
+                "max-requests",
+                "threads",
+            ])?;
+            cmd_serve(parsed)
         }
         "help" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -322,6 +352,11 @@ fn cmd_train(args: &ParsedArgs) -> Result<String, CliError> {
         .fit_with_report(&training)
         .map_err(pipeline)?;
     fs::write(out_path, model.to_json().map_err(pipeline)?)?;
+    // `--report FILE` persists the fit diagnostics so `publish` can
+    // attach them to the registry entry.
+    if let Some(report_path) = args.optional("report") {
+        fs::write(report_path, gpm_json::to_string(&report).map_err(pipeline)?)?;
+    }
     let mut out = format!(
         "trained model for {} in {} iterations (converged: {}, training MAPE {:.1}%) -> {out_path}\n",
         model.spec().name(),
@@ -524,6 +559,127 @@ fn cmd_pareto(args: &ParsedArgs) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+fn cmd_publish(args: &ParsedArgs) -> Result<String, CliError> {
+    let registry_path = args.required("registry")?;
+    let registry = ModelRegistry::open(registry_path).map_err(pipeline)?;
+    let model = load_model(args.required("model")?)?;
+    let name = args.required("name")?;
+    let report = match args.optional("report") {
+        None => None,
+        Some(path) => Some(gpm_json::from_str(&fs::read_to_string(path)?).map_err(pipeline)?),
+    };
+    let version = registry
+        .publish(name, &model, report.as_ref())
+        .map_err(pipeline)?;
+    let active = registry.active().map_err(pipeline)?;
+    let marker = if active == Some((name.to_string(), version)) {
+        " (active)"
+    } else {
+        ""
+    };
+    Ok(format!(
+        "published {name}@v{version}{marker} for {} -> {registry_path}\n",
+        model.spec().name()
+    ))
+}
+
+fn cmd_models(args: &ParsedArgs) -> Result<String, CliError> {
+    let registry = ModelRegistry::open(args.required("registry")?).map_err(pipeline)?;
+    if let Some(target) = args.optional("activate") {
+        let (name, version) = target
+            .split_once("@v")
+            .and_then(|(n, v)| Some((n, v.parse::<u32>().ok()?)))
+            .ok_or_else(|| {
+                CliError::Usage(format!("--activate expects NAME@vN, got `{target}`"))
+            })?;
+        registry.activate(name, version).map_err(pipeline)?;
+    }
+    let infos = registry.list().map_err(pipeline)?;
+    if infos.is_empty() {
+        return Ok("registry is empty\n".to_string());
+    }
+    let mut out = String::new();
+    for info in infos {
+        let versions: Vec<String> = info
+            .versions
+            .iter()
+            .map(|v| {
+                if info.active == Some(*v) {
+                    format!("*v{v}")
+                } else {
+                    format!("v{v}")
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{:<20} {}", info.name, versions.join(" "));
+    }
+    let _ = writeln!(out, "(* = active)");
+    Ok(out)
+}
+
+/// One-shot prediction against a registry model: parses a [`Request`]
+/// from `--request` JSON and prints the engine's reply as JSON.
+fn cmd_predict_registry(args: &ParsedArgs) -> Result<String, CliError> {
+    let registry = ModelRegistry::open(args.required("registry")?).map_err(pipeline)?;
+    let entry = registry.resolve(args.optional("name")).map_err(pipeline)?;
+    let request: Request = gpm_json::from_str(args.required("request")?).map_err(|e| {
+        CliError::Usage(format!(
+            "--request expects Request JSON, e.g. \
+                 {{\"Energy\":{{\"kernel\":\"LBM\",\"config\":\"975@3505\"}}}}: {e}"
+        ))
+    })?;
+    let engine_config = EngineConfig {
+        seed: args.integer_or("seed", 1042)?,
+        ..EngineConfig::default()
+    };
+    let identity = entry.identity();
+    let mut engine = PredictionEngine::new(entry.model, &identity, &engine_config);
+    let reply = engine.process(&request);
+    let mut out = gpm_json::to_string(&reply).map_err(pipeline)?;
+    out.push('\n');
+    Ok(out)
+}
+
+/// Runs the prediction server until it stops admitting (`--max-requests`
+/// served) and its queue is drained. The listening line is printed
+/// eagerly so clients can connect while the command blocks.
+fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let registry = ModelRegistry::open(args.required("registry")?).map_err(pipeline)?;
+    let entry = registry.resolve(args.optional("name")).map_err(pipeline)?;
+    let engine_config = EngineConfig {
+        seed: args.integer_or("seed", 1042)?,
+        ..EngineConfig::default()
+    };
+    let server_config = ServerConfig {
+        queue_depth: args.integer_or("queue", 64)? as usize,
+        batch_max: args.integer_or("batch", 16)?.max(1) as usize,
+        conn_inflight: args.integer_or("conn-cap", 32)?.max(1) as usize,
+        max_requests: match args.integer_or("max-requests", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+    };
+    let identity = entry.identity();
+    let engine = PredictionEngine::new(entry.model, &identity, &engine_config);
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:7979");
+    let handle = ServerHandle::bind(engine, server_config, addr)?;
+    let bound = handle.local_addr().expect("bound server has an address");
+    println!("serving {identity} on {bound}");
+    let (engine, stats) = handle.join();
+    let engine_stats = engine.stats();
+    Ok(format!(
+        "served {} requests in {} batches, {} shed\n\
+         cache: {} hits, {} misses, {} entries; {} errors\n",
+        stats.served,
+        stats.batches,
+        stats.shed,
+        engine_stats.cache.hits,
+        engine_stats.cache.misses,
+        engine_stats.cache.entries,
+        engine_stats.errors
+    ))
 }
 
 fn cmd_crossval(args: &ParsedArgs) -> Result<String, CliError> {
@@ -896,6 +1052,130 @@ mod tests {
             straight, resumed,
             "resumed campaign must produce byte-identical training data"
         );
+    }
+
+    #[test]
+    fn registry_workflow_publish_list_predict_serve() {
+        let training_path = tmp("k40c-serve-training.json");
+        let model_path = tmp("k40c-serve-model.json");
+        let report_path = tmp("k40c-serve-report.json");
+        let registry_path = tmp("k40c-registry");
+        let _ = fs::remove_dir_all(&registry_path);
+
+        call(&[
+            "characterize",
+            "--device",
+            "tesla-k40c",
+            "--out",
+            &training_path,
+            "--repeats",
+            "1",
+        ])
+        .unwrap();
+        call(&[
+            "train",
+            "--training",
+            &training_path,
+            "--out",
+            &model_path,
+            "--report",
+            &report_path,
+        ])
+        .unwrap();
+        assert!(fs::read_to_string(&report_path)
+            .unwrap()
+            .contains("\"iterations\""));
+
+        // Publish twice: v1 becomes active, v2 is published alongside.
+        let out = call(&[
+            "publish",
+            "--registry",
+            &registry_path,
+            "--model",
+            &model_path,
+            "--name",
+            "k40c",
+            "--report",
+            &report_path,
+        ])
+        .unwrap();
+        assert!(out.contains("published k40c@v1 (active)"), "{out}");
+        let out = call(&[
+            "publish",
+            "--registry",
+            &registry_path,
+            "--model",
+            &model_path,
+            "--name",
+            "k40c",
+        ])
+        .unwrap();
+        assert!(out.contains("published k40c@v2"), "{out}");
+        assert!(!out.contains("active"), "{out}");
+
+        let out = call(&["models", "--registry", &registry_path]).unwrap();
+        assert!(out.contains("*v1 v2"), "{out}");
+        let out = call(&[
+            "models",
+            "--registry",
+            &registry_path,
+            "--activate",
+            "k40c@v2",
+        ])
+        .unwrap();
+        assert!(out.contains("v1 *v2"), "{out}");
+
+        // One-shot prediction through the registry.
+        let out = call(&[
+            "predict",
+            "--registry",
+            &registry_path,
+            "--request",
+            r#"{"Energy":{"kernel":"LBM","config":"745@3004"}}"#,
+        ])
+        .unwrap();
+        assert!(out.contains("\"Ok\""), "{out}");
+        assert!(out.contains("\"joules\""), "{out}");
+        assert!(matches!(
+            call(&[
+                "predict",
+                "--registry",
+                &registry_path,
+                "--request",
+                "not json",
+            ]),
+            Err(CliError::Usage(_))
+        ));
+
+        // A bounded server run: serve exactly two requests over TCP,
+        // then drain and report.
+        let registry_for_server = registry_path.clone();
+        let server = std::thread::spawn(move || {
+            call(&[
+                "serve",
+                "--registry",
+                &registry_for_server,
+                "--addr",
+                "127.0.0.1:47917",
+                "--max-requests",
+                "2",
+            ])
+        });
+        let mut client = loop {
+            match gpm_serve::TcpClient::connect("127.0.0.1:47917") {
+                Ok(client) => break client,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        };
+        let request = Request::Energy {
+            kernel: "LBM".to_string(),
+            config: gpm_spec::FreqConfig::from_mhz(745, 3004),
+        };
+        let replies = client.pipeline(&[request.clone(), request]).unwrap();
+        assert!(replies.iter().all(gpm_serve::Reply::is_ok), "{replies:?}");
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("served 2 requests"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
     }
 
     #[test]

@@ -90,6 +90,15 @@ COMMANDS
   governor     --model FILE [--objective O] [--launches N] [--seed N]
                                         govern a synthetic kernel stream
                                         (O: min-power|min-energy|min-edp|slowdown-10)
+  publish      --registry DIR --model FILE --name NAME [--report FILE]
+                                        version a fitted model in the registry
+  models       --registry DIR [--activate NAME@vN]
+                                        list registry models (* = active)
+  predict      --registry DIR --request JSON [--name NAME[@vN]] [--seed N]
+                                        one-shot prediction through the registry
+  serve        --registry DIR [--name NAME[@vN]] [--addr HOST:PORT]
+               [--seed N] [--queue N] [--batch N] [--conn-cap N]
+               [--max-requests N]       run the batched prediction server
   help                                  this text
 
 ROBUSTNESS
@@ -115,6 +124,18 @@ OBSERVABILITY
   span per pipeline phase (campaign configs, estimator iterations,
   CV folds, governor decisions) plus process-wide counters and
   histograms, written as JSON on success.
+
+SERVING
+  publish versions a trained model (train --report FILE captures the
+  fit diagnostics to attach). serve loads the active (or --name'd)
+  registry model and answers typed requests — Power, Energy,
+  BestConfig, Pareto — over a length-prefixed JSON protocol on TCP
+  (default 127.0.0.1:7979), micro-batching up to --batch requests and
+  shedding load beyond --queue admitted requests with a typed
+  Overloaded reply. --max-requests N serves exactly N requests, drains
+  and exits (otherwise the server runs until killed). predict
+  --registry answers a single --request JSON one-shot, e.g.
+  '{\"Energy\":{\"kernel\":\"LBM\",\"config\":\"975@3505\"}}'.
 
 DEVICES
   titan-xp | gtx-titan-x | tesla-k40c";

@@ -107,6 +107,39 @@ pub struct GovernorStats {
     pub reprofiles: u32,
 }
 
+/// Detachable governor memory: the decision cache, launch counters and
+/// energy ledger, without the device borrow.
+///
+/// A [`Governor`] borrows its device mutably, so a long-lived service
+/// cannot hold one across calls that also need the device. Instead it
+/// keeps a `GovernorState`, rehydrates a governor per batch with
+/// [`Governor::resume`] and detaches again with
+/// [`Governor::into_state`]; cached decisions survive the round trip, so
+/// a kernel is still profiled exactly once across batches.
+#[derive(Debug, Clone, Default)]
+pub struct GovernorState {
+    decisions: HashMap<String, (Decision, u32)>,
+    stats: GovernorStats,
+    ledger: EnergyLedger,
+}
+
+impl GovernorState {
+    /// Launch statistics accumulated so far.
+    pub fn stats(&self) -> GovernorStats {
+        self.stats
+    }
+
+    /// The accumulated energy ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Number of kernels with a cached decision.
+    pub fn cached_kernels(&self) -> usize {
+        self.decisions.len()
+    }
+}
+
 /// An online DVFS governor: the paper's future-work loop.
 ///
 /// See the crate-level docs for the protocol and an example.
@@ -141,6 +174,34 @@ impl<'g> Governor<'g> {
             reprofile_interval: None,
             ledger: EnergyLedger::new(),
             stats: GovernorStats::default(),
+        }
+    }
+
+    /// Rehydrates a governor from a detached [`GovernorState`]: cached
+    /// decisions, counters and the ledger continue where they left off.
+    pub fn resume(
+        gpu: &'g mut SimulatedGpu,
+        model: PowerModel,
+        objective: Objective,
+        state: GovernorState,
+    ) -> Self {
+        Governor {
+            gpu,
+            model,
+            objective,
+            decisions: state.decisions,
+            reprofile_interval: None,
+            ledger: state.ledger,
+            stats: state.stats,
+        }
+    }
+
+    /// Detaches the governor's memory, releasing the device borrow.
+    pub fn into_state(self) -> GovernorState {
+        GovernorState {
+            decisions: self.decisions,
+            stats: self.stats,
+            ledger: self.ledger,
         }
     }
 

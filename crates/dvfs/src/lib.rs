@@ -48,7 +48,8 @@ mod objective;
 mod pareto;
 
 pub use governor::{
-    baseline_ledger, Decision, DecisionOrigin, Governor, GovernorError, GovernorStats, KernelRun,
+    baseline_ledger, Decision, DecisionOrigin, Governor, GovernorError, GovernorState,
+    GovernorStats, KernelRun,
 };
 pub use ledger::{EnergyLedger, LedgerEntry};
 pub use objective::Objective;

@@ -174,6 +174,56 @@ fn write_into(value: &Json, out: &mut String) {
     }
 }
 
+/// Serializes a value to compact JSON text, rejecting non-finite numbers.
+///
+/// [`write`] follows the serde_json convention of turning `NaN`/`inf`
+/// into `null`, which is the right lossy behaviour for diagnostics
+/// (traces, reports) but silently corrupts artifacts that must parse
+/// back into the same numbers — a degraded robust fit can leave `NaN`
+/// coefficients, and a model registry must refuse to persist them. This
+/// variant walks the value first and names the offending location.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] carrying the JSON path of the first
+/// non-finite number (e.g. `$.core.omegas[3]`).
+pub fn write_checked(value: &Json) -> Result<String, JsonError> {
+    let mut path = String::from("$");
+    check_finite(value, &mut path)?;
+    Ok(write(value))
+}
+
+fn check_finite(value: &Json, path: &mut String) -> Result<(), JsonError> {
+    match value {
+        Json::Num(n) if !n.is_finite() => Err(JsonError::new(format!(
+            "non-finite number ({n}) at {path} cannot be serialized losslessly"
+        ))),
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let len = path.len();
+                let _ = {
+                    use fmt::Write;
+                    write!(path, "[{i}]")
+                };
+                check_finite(item, path)?;
+                path.truncate(len);
+            }
+            Ok(())
+        }
+        Json::Obj(fields) => {
+            for (key, val) in fields {
+                let len = path.len();
+                path.push('.');
+                path.push_str(key);
+                check_finite(val, path)?;
+                path.truncate(len);
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
 fn write_num(n: f64, out: &mut String) {
     use fmt::Write;
     if !n.is_finite() {
@@ -482,6 +532,17 @@ pub trait FromJson: Sized {
 /// `serde_json::to_string` replacement; infallible by construction).
 pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
     Ok(write(&value.to_json()))
+}
+
+/// Serializes any [`ToJson`] value to compact JSON text, failing with a
+/// typed error (naming the JSON path) if the value contains a
+/// non-finite number. See [`write_checked`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] for the first non-finite number encountered.
+pub fn to_string_checked<T: ToJson + ?Sized>(value: &T) -> Result<String, JsonError> {
+    write_checked(&value.to_json())
 }
 
 /// Parses JSON text into any [`FromJson`] type (the
@@ -816,6 +877,31 @@ mod tests {
         assert_eq!(write(&Json::Num(0.1)), "0.1");
         assert_eq!(write(&Json::Num(f64::NAN)), "null");
         assert_eq!(write(&Json::Str("a\"b".into())), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn checked_writer_rejects_non_finite_numbers_with_a_path() {
+        let ok = parse(r#"{"a":[1,2.5],"b":{"c":-0.5}}"#).unwrap();
+        assert_eq!(write_checked(&ok).unwrap(), write(&ok));
+
+        let nan_in_array = Json::Obj(vec![(
+            "omegas".to_string(),
+            Json::Arr(vec![Json::Num(1.0), Json::Num(f64::NAN)]),
+        )]);
+        let err = write_checked(&nan_in_array).unwrap_err();
+        assert!(err.to_string().contains("$.omegas[1]"), "{err}");
+
+        let inf_nested = Json::Obj(vec![(
+            "core".to_string(),
+            Json::Obj(vec![("static_coef".to_string(), Json::Num(f64::INFINITY))]),
+        )]);
+        let err = write_checked(&inf_nested).unwrap_err();
+        assert!(err.to_string().contains("$.core.static_coef"), "{err}");
+
+        // The lossy writer still follows the serde_json convention.
+        assert_eq!(write(&Json::Num(f64::NEG_INFINITY)), "null");
+        assert!(to_string_checked(&f64::NEG_INFINITY).is_err());
+        assert_eq!(to_string_checked(&1.5f64).unwrap(), "1.5");
     }
 
     #[test]

@@ -121,6 +121,13 @@ pub fn histogram_record(name: &str, value: f64) {
     }
 }
 
+/// Records a duration as microseconds in a histogram (no-op when no
+/// recorder is active) — the convention latency histograms use so their
+/// log2 buckets resolve the microsecond-to-second range.
+pub fn histogram_record_duration(name: &str, duration: std::time::Duration) {
+    histogram_record(name, duration.as_secs_f64() * 1e6);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

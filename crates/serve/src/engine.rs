@@ -1,0 +1,434 @@
+//! The prediction engine: typed requests in, deterministic replies out.
+//!
+//! Determinism at any `gpm-par` worker-thread count rests on a split:
+//!
+//! - **Pure requests** ([`Request::Power`], [`Request::Energy`],
+//!   [`Request::Pareto`]) are functions of the model and the kernel
+//!   alone. Each runs against a fresh clone of a pristine device
+//!   snapshot, so fan-out order cannot leak into results — the batch is
+//!   mapped with [`gpm_par::par_map`], which preserves item order.
+//! - **Governor-backed requests** ([`Request::BestConfig`]) advance the
+//!   device's measurement RNG when they profile, so they run
+//!   sequentially, in arrival order, against the engine's persistent
+//!   device. Per-objective [`GovernorState`] persists across batches,
+//!   which is what makes "profile once, then hit the decision cache"
+//!   observable through [`gpm_dvfs::GovernorStats`].
+//!
+//! In front of both sits a sharded LRU keyed by
+//! `(model version, canonical request JSON)`. Lookups happen up front
+//! for the whole batch — duplicates *within* a batch intentionally miss
+//! together and meet in the governor's decision cache instead, so the
+//! governor statistics stay meaningful.
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::request::{Reply, Request, Response};
+use gpm_core::PowerModel;
+use gpm_dvfs::{pareto_frontier, Governor, GovernorState, GovernorStats};
+use gpm_json::ToJson;
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_workloads::{microbenchmark_suite, validation_suite, KernelDesc};
+use std::collections::HashMap;
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Seed for the engine's simulated device (measurement noise).
+    pub seed: u64,
+    /// Total prediction-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Number of cache shards (locks).
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 1042,
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Engine-level counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests processed (including cache hits and errors).
+    pub requests: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Requests that produced [`Reply::Error`].
+    pub errors: u64,
+    /// Prediction-cache counters.
+    pub cache: CacheStats,
+}
+
+/// A long-lived predictor for one fitted model.
+///
+/// See the module docs for the determinism contract. The engine owns a
+/// simulated device seeded from [`EngineConfig::seed`]; all profiling
+/// the service performs happens on that device (or pristine clones of
+/// its initial state), never on the caller's.
+#[derive(Debug)]
+pub struct PredictionEngine {
+    model: PowerModel,
+    version: String,
+    /// Initial device state; pure requests clone this, so every request
+    /// sees identical measurement-noise state regardless of schedule.
+    snapshot: SimulatedGpu,
+    /// The governor-facing device, mutated only by sequential
+    /// [`Request::BestConfig`] processing.
+    gpu: SimulatedGpu,
+    kernels: HashMap<String, KernelDesc>,
+    /// Governor state per objective (keyed by the objective's canonical
+    /// JSON), detached between batches via [`GovernorState`].
+    governors: HashMap<String, GovernorState>,
+    cache: ShardedLru,
+    requests: u64,
+    batches: u64,
+    errors: u64,
+}
+
+enum Slot {
+    Done(Reply),
+    Governor(usize),
+    Pure(usize),
+}
+
+impl PredictionEngine {
+    /// Builds an engine for `model`, labelled with a `version` string
+    /// (typically [`crate::RegistryEntry::identity`]) that namespaces
+    /// the prediction cache.
+    pub fn new(model: PowerModel, version: &str, config: &EngineConfig) -> Self {
+        let spec = model.spec().clone();
+        let gpu = SimulatedGpu::new(spec.clone(), config.seed);
+        let mut kernels = HashMap::new();
+        // Microbenchmarks first so validation kernels win name clashes.
+        for k in microbenchmark_suite(&spec) {
+            kernels.insert(k.name().to_string(), k);
+        }
+        for k in validation_suite(&spec) {
+            kernels.insert(k.name().to_string(), k);
+        }
+        PredictionEngine {
+            model,
+            version: version.to_string(),
+            snapshot: gpu.clone(),
+            gpu,
+            kernels,
+            governors: HashMap::new(),
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            requests: 0,
+            batches: 0,
+            errors: 0,
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The model-version label namespacing the cache.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Kernel names the engine can answer [`Request::Energy`],
+    /// [`Request::BestConfig`] and [`Request::Pareto`] for, sorted.
+    pub fn kernel_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.kernels.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Engine counters, including cache statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests,
+            batches: self.batches,
+            errors: self.errors,
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Governor counters summed across objectives.
+    pub fn governor_stats(&self) -> GovernorStats {
+        let mut total = GovernorStats::default();
+        for state in self.governors.values() {
+            let s = state.stats();
+            total.profiled += s.profiled;
+            total.cache_hits += s.cache_hits;
+            total.reprofiles += s.reprofiles;
+        }
+        total
+    }
+
+    /// Processes one request (a batch of one).
+    pub fn process(&mut self, request: &Request) -> Reply {
+        self.process_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one reply per request")
+    }
+
+    /// Processes a batch: cache lookups up front, governor-backed
+    /// requests sequentially in arrival order, pure requests fanned
+    /// across `gpm-par` workers, replies in request order.
+    pub fn process_batch(&mut self, requests: &[Request]) -> Vec<Reply> {
+        self.requests += requests.len() as u64;
+        self.batches += 1;
+        gpm_obs::counter_add("serve.requests", requests.len() as u64);
+        gpm_obs::counter_add("serve.batches", 1);
+        gpm_obs::histogram_record("serve.batch_size", requests.len() as f64);
+
+        let keys: Vec<String> = requests.iter().map(|r| self.cache_key(r)).collect();
+        let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
+        for (request, key) in requests.iter().zip(&keys) {
+            match self.cache.get(key) {
+                Some(response) => slots.push(Slot::Done(Reply::Ok(response))),
+                None => slots.push(match request {
+                    Request::BestConfig { .. } => Slot::Governor(slots.len()),
+                    _ => Slot::Pure(slots.len()),
+                }),
+            }
+        }
+
+        // Phase 1: governor-backed requests, sequential, arrival order.
+        let mut governor_replies: HashMap<usize, Reply> = HashMap::new();
+        for slot in &slots {
+            if let Slot::Governor(i) = slot {
+                governor_replies.insert(*i, self.best_config(&requests[*i]));
+            }
+        }
+
+        // Phase 2: pure requests on pristine snapshot clones, in
+        // parallel. Order is preserved by par_map; each job is
+        // schedule-independent by construction.
+        let pure_jobs: Vec<usize> = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Pure(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        let model = &self.model;
+        let snapshot = &self.snapshot;
+        let kernels = &self.kernels;
+        let pure_replies: Vec<(usize, Reply)> = gpm_par::par_map(&pure_jobs, |&i| {
+            let reply = match pure_compute(model, snapshot, kernels, &requests[i]) {
+                Ok(response) => Reply::Ok(response),
+                Err(message) => Reply::Error { message },
+            };
+            (i, reply)
+        });
+        let pure_replies: HashMap<usize, Reply> = pure_replies.into_iter().collect();
+
+        // Stitch replies back into request order and fill the cache
+        // (successes only — errors stay recomputable).
+        let mut replies = Vec::with_capacity(requests.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            let reply = match slot {
+                Slot::Done(reply) => reply,
+                Slot::Governor(j) => governor_replies.remove(&j).expect("governor reply"),
+                Slot::Pure(j) => pure_replies.get(&j).cloned().expect("pure reply"),
+            };
+            if let Reply::Ok(response) = &reply {
+                self.cache.put(keys[i].clone(), response.clone());
+            }
+            if matches!(reply, Reply::Error { .. }) {
+                self.errors += 1;
+                gpm_obs::counter_add("serve.errors", 1);
+            }
+            replies.push(reply);
+        }
+        let cache = self.cache.stats();
+        gpm_obs::gauge_set("serve.cache_entries", cache.entries as f64);
+        replies
+    }
+
+    fn cache_key(&self, request: &Request) -> String {
+        // \u{1} cannot appear in the version label or JSON text, so the
+        // key is unambiguous.
+        format!(
+            "{}\u{1}{}",
+            self.version,
+            gpm_json::write(&request.to_json())
+        )
+    }
+
+    fn best_config(&mut self, request: &Request) -> Reply {
+        let Request::BestConfig { kernel, objective } = request else {
+            unreachable!("slot partition routes only BestConfig here");
+        };
+        let Some(kernel) = self.kernels.get(kernel) else {
+            return unknown_kernel(kernel);
+        };
+        let objective_key = gpm_json::write(&objective.to_json());
+        let state = self.governors.remove(&objective_key).unwrap_or_default();
+        let mut governor = Governor::resume(&mut self.gpu, self.model.clone(), *objective, state);
+        let result = governor.run_kernel(kernel);
+        let state = governor.into_state();
+        self.governors.insert(objective_key, state);
+        match result {
+            Ok(run) => Reply::Ok(Response::BestConfig {
+                config: run.decision.config,
+                power_w: run.decision.predicted_power_w,
+                time_s: run.decision.predicted_time_s,
+                reference_time_s: run.decision.reference_time_s,
+            }),
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+fn unknown_kernel(name: &str) -> Reply {
+    Reply::Error {
+        message: format!("unknown kernel `{name}` (not in the serving suites)"),
+    }
+}
+
+/// Computes a pure request on a fresh clone of the pristine snapshot.
+/// Everything here depends only on (model, snapshot seed, request), so
+/// the result is independent of batch composition and thread schedule.
+fn pure_compute(
+    model: &PowerModel,
+    snapshot: &SimulatedGpu,
+    kernels: &HashMap<String, KernelDesc>,
+    request: &Request,
+) -> Result<Response, String> {
+    match request {
+        Request::Power {
+            utilizations,
+            config,
+        } => {
+            let watts = model
+                .predict(utilizations, *config)
+                .map_err(|e| e.to_string())?;
+            Ok(Response::Power { watts })
+        }
+        Request::Energy { kernel, config } => {
+            let kernel = kernels
+                .get(kernel)
+                .ok_or_else(|| format!("unknown kernel `{kernel}` (not in the serving suites)"))?;
+            let mut gpu = snapshot.clone();
+            let profile = Profiler::with_repeats(&mut gpu, 1)
+                .profile_at_reference(kernel)
+                .map_err(|e| e.to_string())?;
+            let power_w = model
+                .predict(&profile.utilizations, *config)
+                .map_err(|e| e.to_string())?;
+            gpu.set_clocks(*config).map_err(|e| e.to_string())?;
+            let time_s = gpu.execute(kernel).duration_s;
+            Ok(Response::Energy {
+                joules: power_w * time_s,
+                time_s,
+                power_w,
+            })
+        }
+        Request::Pareto { kernel, max_points } => {
+            let kernel = kernels
+                .get(kernel)
+                .ok_or_else(|| format!("unknown kernel `{kernel}` (not in the serving suites)"))?;
+            let mut gpu = snapshot.clone();
+            let mut points = pareto_frontier(&mut gpu, model, kernel).map_err(|e| e.to_string())?;
+            if *max_points > 0 {
+                points.truncate(*max_points);
+            }
+            Ok(Response::Pareto { points })
+        }
+        Request::BestConfig { .. } => Err("BestConfig is governor-backed, not pure".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fitted_model;
+    use gpm_dvfs::Objective;
+    use gpm_spec::FreqConfig;
+
+    fn engine() -> PredictionEngine {
+        PredictionEngine::new(fitted_model(), "test@v1", &EngineConfig::default())
+    }
+
+    #[test]
+    fn identical_best_config_requests_profile_once_then_hit_caches() {
+        let mut engine = engine();
+        let batch: Vec<Request> = (0..8)
+            .map(|_| Request::BestConfig {
+                kernel: "LBM".to_string(),
+                objective: Objective::MinEdp,
+            })
+            .collect();
+        let replies = engine.process_batch(&batch);
+        assert!(replies.iter().all(Reply::is_ok));
+        assert!(replies.iter().all(|r| r == &replies[0]));
+        let stats = engine.governor_stats();
+        assert_eq!(stats.profiled, 1, "one profile for the whole batch");
+        assert_eq!(stats.cache_hits, 7, "duplicates hit the decision cache");
+
+        // A later batch is answered from the prediction LRU: the
+        // governor is not consulted at all.
+        let again = engine.process_batch(&batch[..1]);
+        assert_eq!(again[0], replies[0]);
+        let stats = engine.governor_stats();
+        assert_eq!((stats.profiled, stats.cache_hits), (1, 7));
+        assert!(engine.stats().cache.hits >= 1);
+    }
+
+    #[test]
+    fn energy_matches_the_direct_pipeline() {
+        let mut engine = engine();
+        let config = FreqConfig::from_mhz(975, 3505);
+        let reply = engine.process(&Request::Energy {
+            kernel: "LBM".to_string(),
+            config,
+        });
+        let Reply::Ok(Response::Energy {
+            joules,
+            time_s,
+            power_w,
+        }) = reply
+        else {
+            panic!("expected Energy response, got {reply:?}");
+        };
+
+        // Reference computation straight from the pipeline crates.
+        let kernel = validation_suite(engine.model().spec())
+            .into_iter()
+            .find(|k| k.name() == "LBM")
+            .unwrap();
+        let mut gpu = SimulatedGpu::new(engine.model().spec().clone(), 1042);
+        let profile = Profiler::with_repeats(&mut gpu, 1)
+            .profile_at_reference(&kernel)
+            .unwrap();
+        let expected_power = engine
+            .model()
+            .predict(&profile.utilizations, config)
+            .unwrap();
+        gpu.set_clocks(config).unwrap();
+        let expected_time = gpu.execute(&kernel).duration_s;
+        assert_eq!(power_w, expected_power, "bit-identical power");
+        assert_eq!(time_s, expected_time, "bit-identical runtime");
+        assert_eq!(joules, expected_power * expected_time);
+    }
+
+    #[test]
+    fn unknown_kernels_are_reported_not_cached() {
+        let mut engine = engine();
+        let request = Request::Energy {
+            kernel: "DOOM".to_string(),
+            config: FreqConfig::from_mhz(975, 3505),
+        };
+        for _ in 0..2 {
+            let reply = engine.process(&request);
+            assert!(matches!(reply, Reply::Error { ref message } if message.contains("DOOM")));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.cache.hits, 0, "errors are never cached");
+    }
+}

@@ -1,0 +1,157 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Each frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON. Requests travel as
+//! `{"id":N,"request":{...}}` envelopes and replies as
+//! `{"id":N,"reply":{...}}`; ids are caller-chosen and echoed back, so
+//! a client may pipeline and match replies out of order.
+
+use crate::request::{Reply, Request};
+use gpm_json::{FromJson, Json, JsonError, ToJson};
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload (1 MiB) — a cheap defence against a
+/// corrupt or hostile length prefix.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Fails when the payload exceeds [`MAX_FRAME_LEN`] or on I/O error.
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds {MAX_FRAME_LEN}", bytes.len()),
+        ));
+    }
+    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// Fails on oversized lengths, mid-frame EOF, non-UTF-8 payloads and
+/// I/O errors.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_bytes = [0u8; 4];
+    match reader.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Encodes a request envelope.
+pub fn encode_request(id: u64, request: &Request) -> String {
+    gpm_json::write(&Json::Obj(vec![
+        ("id".to_string(), id.to_json()),
+        ("request".to_string(), request.to_json()),
+    ]))
+}
+
+/// Encodes a reply envelope.
+pub fn encode_reply(id: u64, reply: &Reply) -> String {
+    gpm_json::write(&Json::Obj(vec![
+        ("id".to_string(), id.to_json()),
+        ("reply".to_string(), reply.to_json()),
+    ]))
+}
+
+fn envelope_field<T: FromJson>(text: &str, name: &str) -> Result<(u64, T), JsonError> {
+    let json = gpm_json::parse(text)?;
+    let id = u64::from_json(
+        json.get("id")
+            .ok_or_else(|| JsonError::missing_field("id"))?,
+    )?;
+    let value = T::from_json(
+        json.get(name)
+            .ok_or_else(|| JsonError::missing_field(name))?,
+    )?;
+    Ok((id, value))
+}
+
+/// Decodes a request envelope into `(id, request)`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing `id`/`request` field.
+pub fn decode_request(text: &str) -> Result<(u64, Request), JsonError> {
+    envelope_field(text, "request")
+}
+
+/// Decodes a reply envelope into `(id, reply)`.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a missing `id`/`reply` field.
+pub fn decode_reply(text: &str) -> Result<(u64, Reply), JsonError> {
+    envelope_field(text, "reply")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Response;
+    use gpm_spec::FreqConfig;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "first").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, "third").unwrap();
+        let mut reader = wire.as_slice();
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some("first"));
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some("third"));
+        assert_eq!(read_frame(&mut reader).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_be_bytes());
+        wire.extend_from_slice(b"shrt"); // 4 of 8 promised bytes
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn envelopes_round_trip() {
+        let request = Request::Energy {
+            kernel: "LBM".to_string(),
+            config: FreqConfig::from_mhz(975, 3505),
+        };
+        let (id, back) = decode_request(&encode_request(7, &request)).unwrap();
+        assert_eq!((id, back), (7, request));
+
+        let reply = Reply::Ok(Response::Power { watts: 145.0 });
+        let (id, back) = decode_reply(&encode_reply(9, &reply)).unwrap();
+        assert_eq!((id, back), (9, reply));
+
+        assert!(decode_request(r#"{"request":{"Pareto":{"kernel":"x"}}}"#).is_err());
+        assert!(decode_reply(r#"{"id":3}"#).is_err());
+    }
+}

@@ -1,0 +1,392 @@
+//! The persistent model registry: fit once, version it, serve it.
+//!
+//! Layout under the registry root:
+//!
+//! ```text
+//! <root>/models/<name>/v<version>.json   one RegistryEntry per version
+//! <root>/ACTIVE                          {"name":"...","version":N}
+//! ```
+//!
+//! Entries carry a `schema` version; loading an entry written by a newer
+//! schema fails with [`ServeError::SchemaIncompatible`] instead of
+//! silently mis-parsing. Writes go through the checked JSON writer, so a
+//! degraded fit with non-finite coefficients is refused with
+//! [`ServeError::NonFinite`] rather than persisted as `null`s that
+//! would not round-trip.
+
+use crate::ServeError;
+use gpm_core::{FitReport, PowerModel};
+use gpm_json::{impl_json, FromJson};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Highest registry-entry schema version this build reads and writes.
+pub const REGISTRY_SCHEMA_VERSION: u32 = 1;
+
+/// One persisted model version: the fitted model plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryEntry {
+    /// Entry schema version (see [`REGISTRY_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Registry name the model was published under.
+    pub name: String,
+    /// Monotonic version within the name.
+    pub version: u32,
+    /// Device the model was fitted for (display name).
+    pub device: String,
+    /// The fitted DVFS-aware power model.
+    pub model: PowerModel,
+    /// Estimator diagnostics captured at publish time, if any.
+    pub report: Option<FitReport>,
+}
+
+impl_json!(struct RegistryEntry {
+    schema,
+    name,
+    version,
+    device,
+    model,
+    report = None,
+});
+
+impl RegistryEntry {
+    /// The `name@vN` identity string used as the engine's model version
+    /// (and therefore as the prediction-cache key prefix).
+    pub fn identity(&self) -> String {
+        format!("{}@v{}", self.name, self.version)
+    }
+}
+
+/// A name's published versions and whether one is active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry name.
+    pub name: String,
+    /// Published versions, ascending.
+    pub versions: Vec<u32>,
+    /// The active version, if the ACTIVE pointer targets this name.
+    pub active: Option<u32>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ActivePointer {
+    name: String,
+    version: u32,
+}
+
+impl_json!(struct ActivePointer { name, version });
+
+/// A directory-backed registry of fitted [`PowerModel`]s.
+#[derive(Debug, Clone)]
+pub struct ModelRegistry {
+    root: PathBuf,
+}
+
+impl ModelRegistry {
+    /// Opens (creating if needed) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("models"))?;
+        Ok(ModelRegistry { root })
+    }
+
+    /// The registry root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn model_dir(&self, name: &str) -> PathBuf {
+        self.root.join("models").join(name)
+    }
+
+    fn entry_path(&self, name: &str, version: u32) -> PathBuf {
+        self.model_dir(name).join(format!("v{version}.json"))
+    }
+
+    fn active_path(&self) -> PathBuf {
+        self.root.join("ACTIVE")
+    }
+
+    fn check_name(name: &str) -> Result<(), ServeError> {
+        let valid = !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if valid {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidName(name.to_string()))
+        }
+    }
+
+    /// Published versions of `name`, ascending (empty if unknown).
+    fn versions_of(&self, name: &str) -> Vec<u32> {
+        let mut versions = Vec::new();
+        let Ok(entries) = fs::read_dir(self.model_dir(name)) else {
+            return versions;
+        };
+        for entry in entries.flatten() {
+            let file = entry.file_name();
+            let file = file.to_string_lossy();
+            if let Some(v) = file
+                .strip_prefix('v')
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        versions
+    }
+
+    /// Persists a model (and optionally its fit report) as the next
+    /// version of `name`, returning that version. The first publish into
+    /// an empty registry also becomes the active model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NonFinite`] when the model contains
+    /// non-finite parameters, [`ServeError::InvalidName`] for names that
+    /// cannot be file names, and [`ServeError::Io`] on write failure.
+    pub fn publish(
+        &self,
+        name: &str,
+        model: &PowerModel,
+        report: Option<&FitReport>,
+    ) -> Result<u32, ServeError> {
+        Self::check_name(name)?;
+        let version = self.versions_of(name).last().copied().unwrap_or(0) + 1;
+        let entry = RegistryEntry {
+            schema: REGISTRY_SCHEMA_VERSION,
+            name: name.to_string(),
+            version,
+            device: model.spec().name().to_string(),
+            model: model.clone(),
+            report: report.cloned(),
+        };
+        let text = gpm_json::to_string_checked(&entry).map_err(ServeError::NonFinite)?;
+        fs::create_dir_all(self.model_dir(name))?;
+        fs::write(self.entry_path(name, version), text)?;
+        gpm_obs::counter_add("registry.published", 1);
+        if self.active()?.is_none() {
+            self.activate(name, version)?;
+        }
+        Ok(version)
+    }
+
+    /// Loads one entry; `version: None` means the latest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`]/[`ServeError::UnknownVersion`]
+    /// for missing entries, [`ServeError::SchemaIncompatible`] for
+    /// entries written by a newer schema, and [`ServeError::Json`] for
+    /// corrupt files.
+    pub fn load(&self, name: &str, version: Option<u32>) -> Result<RegistryEntry, ServeError> {
+        Self::check_name(name)?;
+        let versions = self.versions_of(name);
+        let version = match version {
+            Some(v) => {
+                if !versions.contains(&v) {
+                    return Err(if versions.is_empty() {
+                        ServeError::UnknownModel(name.to_string())
+                    } else {
+                        ServeError::UnknownVersion {
+                            name: name.to_string(),
+                            version: v,
+                        }
+                    });
+                }
+                v
+            }
+            None => *versions
+                .last()
+                .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?,
+        };
+        let text = fs::read_to_string(self.entry_path(name, version))?;
+        let json = gpm_json::parse(&text)?;
+        // Schema gate before field-level conversion: a future schema may
+        // not even have today's fields, and "missing field" would be the
+        // wrong diagnosis.
+        let found = json
+            .get("schema")
+            .map(u32::from_json)
+            .transpose()?
+            .unwrap_or(0);
+        if found > REGISTRY_SCHEMA_VERSION {
+            return Err(ServeError::SchemaIncompatible {
+                found,
+                supported: REGISTRY_SCHEMA_VERSION,
+            });
+        }
+        Ok(RegistryEntry::from_json(&json)?)
+    }
+
+    /// All names with their versions and active marker, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the registry tree is unreadable.
+    pub fn list(&self) -> Result<Vec<ModelInfo>, ServeError> {
+        let active = self.active()?;
+        let mut infos = Vec::new();
+        for entry in fs::read_dir(self.root.join("models"))?.flatten() {
+            if !entry.file_type().map(|t| t.is_dir()).unwrap_or(false) {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let versions = self.versions_of(&name);
+            if versions.is_empty() {
+                continue;
+            }
+            let active_version = active.as_ref().filter(|(n, _)| *n == name).map(|&(_, v)| v);
+            infos.push(ModelInfo {
+                name,
+                versions,
+                active: active_version,
+            });
+        }
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(infos)
+    }
+
+    /// Marks `name@vversion` as the model [`ModelRegistry::load_active`]
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ServeError::UnknownModel`]/[`ServeError::UnknownVersion`]
+    /// when the target does not exist.
+    pub fn activate(&self, name: &str, version: u32) -> Result<(), ServeError> {
+        Self::check_name(name)?;
+        let versions = self.versions_of(name);
+        if versions.is_empty() {
+            return Err(ServeError::UnknownModel(name.to_string()));
+        }
+        if !versions.contains(&version) {
+            return Err(ServeError::UnknownVersion {
+                name: name.to_string(),
+                version,
+            });
+        }
+        let pointer = ActivePointer {
+            name: name.to_string(),
+            version,
+        };
+        fs::write(self.active_path(), gpm_json::to_string(&pointer)?)?;
+        Ok(())
+    }
+
+    /// The active `(name, version)`, if one has been set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Json`] for a corrupt ACTIVE pointer.
+    pub fn active(&self) -> Result<Option<(String, u32)>, ServeError> {
+        match fs::read_to_string(self.active_path()) {
+            Ok(text) => {
+                let pointer: ActivePointer = gpm_json::from_str(&text)?;
+                Ok(Some((pointer.name, pointer.version)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ServeError::Io(e)),
+        }
+    }
+
+    /// Loads the active entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoActiveModel`] when no pointer is set,
+    /// plus any [`ModelRegistry::load`] failure.
+    pub fn load_active(&self) -> Result<RegistryEntry, ServeError> {
+        let (name, version) = self.active()?.ok_or(ServeError::NoActiveModel)?;
+        self.load(&name, Some(version))
+    }
+
+    /// Resolves a `name[@vN]` reference (e.g. `gtx@v2`), or the active
+    /// model when `reference` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the corresponding load failure; malformed references
+    /// fail as [`ServeError::InvalidName`].
+    pub fn resolve(&self, reference: Option<&str>) -> Result<RegistryEntry, ServeError> {
+        match reference {
+            None => self.load_active(),
+            Some(r) => match r.split_once("@v") {
+                None => self.load(r, None),
+                Some((name, v)) => {
+                    let version = v
+                        .parse::<u32>()
+                        .map_err(|_| ServeError::InvalidName(r.to_string()))?;
+                    self.load(name, Some(version))
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("gpm-serve-registry-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let reg = ModelRegistry::open(tmp("names")).unwrap();
+        for bad in ["", "../etc", "a/b", ".hidden", "sp ace"] {
+            assert!(
+                matches!(reg.load(bad, None), Err(ServeError::InvalidName(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_models_are_typed_errors() {
+        let reg = ModelRegistry::open(tmp("missing")).unwrap();
+        assert!(matches!(
+            reg.load("ghost", None),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(reg.load_active(), Err(ServeError::NoActiveModel)));
+        assert!(matches!(
+            reg.activate("ghost", 1),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert_eq!(reg.list().unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn newer_schema_entries_are_refused() {
+        let reg = ModelRegistry::open(tmp("schema")).unwrap();
+        let dir = reg.model_dir("future");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("v1.json"),
+            format!(
+                r#"{{"schema":{},"name":"future","version":1}}"#,
+                REGISTRY_SCHEMA_VERSION + 1
+            ),
+        )
+        .unwrap();
+        assert!(matches!(
+            reg.load("future", None),
+            Err(ServeError::SchemaIncompatible { .. })
+        ));
+    }
+}

@@ -1,0 +1,396 @@
+//! The typed request/reply vocabulary shared by the engine, the wire
+//! protocol, the CLI `predict` one-shot and the benches.
+//!
+//! Encoding follows the workspace's serde_json conventions: externally
+//! tagged variants (`{"Variant": {...fields...}}`), unknown object
+//! fields ignored on input.
+
+use gpm_core::Utilizations;
+use gpm_dvfs::{Objective, ParetoPoint};
+use gpm_json::{field, FromJson, Json, JsonError, ToJson};
+use gpm_spec::FreqConfig;
+
+/// One prediction query against the active model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict average power (Eqs. 5-7) for known utilizations at a
+    /// V-F configuration on the fitted grid.
+    Power {
+        /// Component utilizations measured at the reference
+        /// configuration.
+        utilizations: Utilizations,
+        /// The configuration to predict at.
+        config: FreqConfig,
+    },
+    /// Predict one launch's energy for a named kernel at a
+    /// configuration: the kernel is profiled at the reference (the
+    /// paper's single-configuration protocol), timed at `config`, and
+    /// energy is `P_predicted x T`.
+    Energy {
+        /// Kernel name from the validation or microbenchmark suite.
+        kernel: String,
+        /// The configuration to run at.
+        config: FreqConfig,
+    },
+    /// Pick the best configuration for a kernel under an objective —
+    /// the governor's first-call decision.
+    BestConfig {
+        /// Kernel name from the validation or microbenchmark suite.
+        kernel: String,
+        /// What to optimize.
+        objective: Objective,
+    },
+    /// The kernel's time/energy Pareto frontier, optionally truncated.
+    Pareto {
+        /// Kernel name from the validation or microbenchmark suite.
+        kernel: String,
+        /// Keep at most this many points (`0` = all).
+        max_points: usize,
+    },
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        let (tag, body) = match self {
+            Request::Power {
+                utilizations,
+                config,
+            } => (
+                "Power",
+                vec![
+                    ("utilizations".to_string(), utilizations.to_json()),
+                    ("config".to_string(), config.to_json()),
+                ],
+            ),
+            Request::Energy { kernel, config } => (
+                "Energy",
+                vec![
+                    ("kernel".to_string(), kernel.to_json()),
+                    ("config".to_string(), config.to_json()),
+                ],
+            ),
+            Request::BestConfig { kernel, objective } => (
+                "BestConfig",
+                vec![
+                    ("kernel".to_string(), kernel.to_json()),
+                    ("objective".to_string(), objective.to_json()),
+                ],
+            ),
+            Request::Pareto { kernel, max_points } => (
+                "Pareto",
+                vec![
+                    ("kernel".to_string(), kernel.to_json()),
+                    ("max_points".to_string(), max_points.to_json()),
+                ],
+            ),
+        };
+        Json::Obj(vec![(tag.to_string(), Json::Obj(body))])
+    }
+}
+
+/// Pulls a required field out of an externally-tagged payload.
+fn need<'a>(fields: &'a [(String, Json)], name: &str) -> Result<&'a Json, JsonError> {
+    field(fields, name).ok_or_else(|| JsonError::missing_field(name))
+}
+
+impl FromJson for Request {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let fields = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("externally-tagged Request object", json))?;
+        let (tag, payload) = fields
+            .first()
+            .ok_or_else(|| JsonError::new("empty object is not a Request"))?;
+        let body = payload
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Request payload object", payload))?;
+        match tag.as_str() {
+            "Power" => Ok(Request::Power {
+                utilizations: FromJson::from_json(need(body, "utilizations")?)?,
+                config: FromJson::from_json(need(body, "config")?)?,
+            }),
+            "Energy" => Ok(Request::Energy {
+                kernel: FromJson::from_json(need(body, "kernel")?)?,
+                config: FromJson::from_json(need(body, "config")?)?,
+            }),
+            "BestConfig" => Ok(Request::BestConfig {
+                kernel: FromJson::from_json(need(body, "kernel")?)?,
+                objective: FromJson::from_json(need(body, "objective")?)?,
+            }),
+            "Pareto" => Ok(Request::Pareto {
+                kernel: FromJson::from_json(need(body, "kernel")?)?,
+                max_points: field(body, "max_points")
+                    .map(FromJson::from_json)
+                    .transpose()?
+                    .unwrap_or(0),
+            }),
+            other => Err(JsonError::new(format!("unknown Request `{other}`"))),
+        }
+    }
+}
+
+/// A successful prediction result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Power`].
+    Power {
+        /// Predicted average power in watts.
+        watts: f64,
+    },
+    /// Answer to [`Request::Energy`].
+    Energy {
+        /// Predicted energy per launch in joules.
+        joules: f64,
+        /// Measured per-launch runtime in seconds.
+        time_s: f64,
+        /// Predicted average power in watts.
+        power_w: f64,
+    },
+    /// Answer to [`Request::BestConfig`].
+    BestConfig {
+        /// The chosen configuration.
+        config: FreqConfig,
+        /// Predicted average power there, in watts.
+        power_w: f64,
+        /// Measured per-launch runtime there, in seconds.
+        time_s: f64,
+        /// Runtime at the reference configuration, in seconds.
+        reference_time_s: f64,
+    },
+    /// Answer to [`Request::Pareto`].
+    Pareto {
+        /// Frontier points, ascending in runtime.
+        points: Vec<ParetoPoint>,
+    },
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        let (tag, body) = match self {
+            Response::Power { watts } => ("Power", vec![("watts".to_string(), watts.to_json())]),
+            Response::Energy {
+                joules,
+                time_s,
+                power_w,
+            } => (
+                "Energy",
+                vec![
+                    ("joules".to_string(), joules.to_json()),
+                    ("time_s".to_string(), time_s.to_json()),
+                    ("power_w".to_string(), power_w.to_json()),
+                ],
+            ),
+            Response::BestConfig {
+                config,
+                power_w,
+                time_s,
+                reference_time_s,
+            } => (
+                "BestConfig",
+                vec![
+                    ("config".to_string(), config.to_json()),
+                    ("power_w".to_string(), power_w.to_json()),
+                    ("time_s".to_string(), time_s.to_json()),
+                    ("reference_time_s".to_string(), reference_time_s.to_json()),
+                ],
+            ),
+            Response::Pareto { points } => {
+                ("Pareto", vec![("points".to_string(), points.to_json())])
+            }
+        };
+        Json::Obj(vec![(tag.to_string(), Json::Obj(body))])
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let fields = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("externally-tagged Response object", json))?;
+        let (tag, payload) = fields
+            .first()
+            .ok_or_else(|| JsonError::new("empty object is not a Response"))?;
+        let body = payload
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("Response payload object", payload))?;
+        match tag.as_str() {
+            "Power" => Ok(Response::Power {
+                watts: FromJson::from_json(need(body, "watts")?)?,
+            }),
+            "Energy" => Ok(Response::Energy {
+                joules: FromJson::from_json(need(body, "joules")?)?,
+                time_s: FromJson::from_json(need(body, "time_s")?)?,
+                power_w: FromJson::from_json(need(body, "power_w")?)?,
+            }),
+            "BestConfig" => Ok(Response::BestConfig {
+                config: FromJson::from_json(need(body, "config")?)?,
+                power_w: FromJson::from_json(need(body, "power_w")?)?,
+                time_s: FromJson::from_json(need(body, "time_s")?)?,
+                reference_time_s: FromJson::from_json(need(body, "reference_time_s")?)?,
+            }),
+            "Pareto" => Ok(Response::Pareto {
+                points: FromJson::from_json(need(body, "points")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown Response `{other}`"))),
+        }
+    }
+}
+
+/// What a caller gets back for each submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The prediction succeeded.
+    Ok(Response),
+    /// The request was shed by admission control (bounded queue full or
+    /// per-connection in-flight cap reached). Retry later; nothing was
+    /// queued.
+    Overloaded {
+        /// The queue-depth bound that was hit.
+        queue_depth: usize,
+    },
+    /// The request was admitted but failed (unknown kernel, off-grid
+    /// configuration, model error, malformed frame, shutdown).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Reply {
+    /// `true` for [`Reply::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Reply::Ok(_))
+    }
+
+    /// The successful response, if any.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            Reply::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Reply {
+    fn to_json(&self) -> Json {
+        match self {
+            Reply::Ok(response) => Json::Obj(vec![("Ok".to_string(), response.to_json())]),
+            Reply::Overloaded { queue_depth } => Json::Obj(vec![(
+                "Overloaded".to_string(),
+                Json::Obj(vec![("queue_depth".to_string(), queue_depth.to_json())]),
+            )]),
+            Reply::Error { message } => Json::Obj(vec![(
+                "Error".to_string(),
+                Json::Obj(vec![("message".to_string(), message.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Reply {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let fields = json
+            .as_obj()
+            .ok_or_else(|| JsonError::expected("externally-tagged Reply object", json))?;
+        let (tag, payload) = fields
+            .first()
+            .ok_or_else(|| JsonError::new("empty object is not a Reply"))?;
+        match tag.as_str() {
+            "Ok" => Ok(Reply::Ok(FromJson::from_json(payload)?)),
+            "Overloaded" => {
+                let body = payload
+                    .as_obj()
+                    .ok_or_else(|| JsonError::expected("Overloaded payload object", payload))?;
+                Ok(Reply::Overloaded {
+                    queue_depth: FromJson::from_json(need(body, "queue_depth")?)?,
+                })
+            }
+            "Error" => {
+                let body = payload
+                    .as_obj()
+                    .ok_or_else(|| JsonError::expected("Error payload object", payload))?;
+                Ok(Reply::Error {
+                    message: FromJson::from_json(need(body, "message")?)?,
+                })
+            }
+            other => Err(JsonError::new(format!("unknown Reply `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_json::{from_str, to_string};
+
+    fn utils() -> Utilizations {
+        Utilizations::from_values([0.2, 0.6, 0.0, 0.1, 0.2, 0.3, 0.5]).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Power {
+                utilizations: utils(),
+                config: FreqConfig::from_mhz(975, 3505),
+            },
+            Request::Energy {
+                kernel: "LBM".to_string(),
+                config: FreqConfig::from_mhz(595, 810),
+            },
+            Request::BestConfig {
+                kernel: "BLCKSC".to_string(),
+                objective: Objective::MinEnergyWithSlowdown(1.1),
+            },
+            Request::Pareto {
+                kernel: "LBM".to_string(),
+                max_points: 4,
+            },
+        ];
+        for request in requests {
+            let text = to_string(&request).unwrap();
+            let back: Request = from_str(&text).unwrap();
+            assert_eq!(request, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = [
+            Reply::Ok(Response::Power { watts: 145.25 }),
+            Reply::Ok(Response::BestConfig {
+                config: FreqConfig::from_mhz(975, 3505),
+                power_w: 120.5,
+                time_s: 0.25,
+                reference_time_s: 0.2,
+            }),
+            Reply::Overloaded { queue_depth: 64 },
+            Reply::Error {
+                message: "unknown kernel `DOOM`".to_string(),
+            },
+        ];
+        for reply in replies {
+            let text = to_string(&reply).unwrap();
+            let back: Reply = from_str(&text).unwrap();
+            assert_eq!(reply, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn pareto_max_points_defaults_to_all() {
+        let req: Request = from_str(r#"{"Pareto":{"kernel":"LBM"}}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Pareto {
+                kernel: "LBM".to_string(),
+                max_points: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(from_str::<Request>(r#"{"Divine":{"kernel":"x"}}"#).is_err());
+        assert!(from_str::<Reply>(r#"{"Maybe":{}}"#).is_err());
+    }
+}

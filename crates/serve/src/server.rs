@@ -1,0 +1,575 @@
+//! The server front end: admission control, micro-batching, clients.
+//!
+//! One engine thread owns the [`PredictionEngine`] and drains a bounded
+//! queue into micro-batches ([`ServerConfig::batch_max`]). Admission is
+//! decided *before* enqueueing: when the queue is at
+//! [`ServerConfig::queue_depth`] the request is shed with a typed
+//! [`Reply::Overloaded`] — the server never buffers unboundedly.
+//! Shutdown is graceful: admitted requests are always answered before
+//! the engine thread exits.
+//!
+//! Two clients are provided. [`Client`] submits in-process (tests,
+//! benches, the CLI one-shot). [`TcpClient`] speaks the
+//! length-prefixed JSON protocol in [`crate::proto`]; ids are echoed,
+//! so it can pipeline. TCP connections additionally enforce a
+//! per-connection in-flight cap, shedding (not queueing) the excess.
+
+use crate::engine::PredictionEngine;
+use crate::proto;
+use crate::request::{Reply, Request};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admitted-but-unprocessed requests beyond this are shed.
+    pub queue_depth: usize,
+    /// Largest micro-batch handed to the engine at once.
+    pub batch_max: usize,
+    /// Per-TCP-connection cap on replies not yet written.
+    pub conn_inflight: usize,
+    /// Stop (gracefully) after serving this many requests — for bounded
+    /// CI and bench runs.
+    pub max_requests: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_depth: 64,
+            batch_max: 16,
+            conn_inflight: 32,
+            max_requests: None,
+        }
+    }
+}
+
+/// Lifetime counters reported at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered by the engine (including [`Reply::Error`]).
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Micro-batches processed.
+    pub batches: u64,
+}
+
+struct Job {
+    id: u64,
+    request: Request,
+    tx: mpsc::Sender<(u64, Reply)>,
+}
+
+/// Admission state shared by the engine thread and every client.
+struct Shared {
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    depth: AtomicUsize,
+    queue_depth: usize,
+    running: AtomicBool,
+    shed: AtomicU64,
+}
+
+impl Shared {
+    fn submit(&self, id: u64, request: Request, tx: mpsc::Sender<(u64, Reply)>) -> Option<Reply> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Some(Reply::Error {
+                message: "server is shutting down".to_string(),
+            });
+        }
+        if self.depth.load(Ordering::SeqCst) >= self.queue_depth {
+            self.shed.fetch_add(1, Ordering::SeqCst);
+            gpm_obs::counter_add("serve.shed", 1);
+            return Some(Reply::Overloaded {
+                queue_depth: self.queue_depth,
+            });
+        }
+        let sender = match self.tx.lock().expect("admission lock").as_ref() {
+            Some(sender) => sender.clone(),
+            None => {
+                return Some(Reply::Error {
+                    message: "server is shutting down".to_string(),
+                })
+            }
+        };
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        gpm_obs::gauge_set("serve.queue_depth", depth as f64);
+        if sender.send(Job { id, request, tx }).is_err() {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Some(Reply::Error {
+                message: "server is shutting down".to_string(),
+            });
+        }
+        None
+    }
+
+    /// Stops admission; the engine drains what was already admitted.
+    fn close(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.tx.lock().expect("admission lock").take();
+    }
+}
+
+/// A running prediction server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the worker threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    engine_thread: thread::JoinHandle<(PredictionEngine, u64, u64)>,
+    listener_thread: Option<thread::JoinHandle<()>>,
+    addr: Option<SocketAddr>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Starts the engine thread without a network listener — serve
+    /// in-process clients only.
+    pub fn spawn(engine: PredictionEngine, config: ServerConfig) -> Self {
+        Self::start(engine, config, None).expect("in-process spawn cannot fail on I/O")
+    }
+
+    /// Starts the engine thread and a TCP listener on `addr` (use port
+    /// 0 to let the OS pick; see [`ServerHandle::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot bind.
+    pub fn bind(
+        engine: PredictionEngine,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Self::start(engine, config, Some(listener))
+    }
+
+    fn start(
+        mut engine: PredictionEngine,
+        config: ServerConfig,
+        listener: Option<TcpListener>,
+    ) -> io::Result<Self> {
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let shared = Arc::new(Shared {
+            tx: Mutex::new(Some(jobs_tx)),
+            depth: AtomicUsize::new(0),
+            queue_depth: config.queue_depth,
+            running: AtomicBool::new(true),
+            shed: AtomicU64::new(0),
+        });
+
+        let engine_shared = Arc::clone(&shared);
+        let batch_max = config.batch_max.max(1);
+        let max_requests = config.max_requests;
+        let engine_thread = thread::spawn(move || {
+            let mut served = 0u64;
+            let mut batches = 0u64;
+            loop {
+                let first = match jobs_rx.recv_timeout(Duration::from_millis(25)) {
+                    Ok(job) => job,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                };
+                let mut batch = vec![first];
+                while batch.len() < batch_max {
+                    match jobs_rx.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
+                    }
+                }
+                engine_shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
+                let requests: Vec<Request> = batch.iter().map(|j| j.request.clone()).collect();
+                let started = std::time::Instant::now();
+                let replies = engine.process_batch(&requests);
+                gpm_obs::histogram_record_duration("serve.batch_service_us", started.elapsed());
+                for (job, reply) in batch.into_iter().zip(replies) {
+                    // A receiver may have given up; that is its problem.
+                    let _ = job.tx.send((job.id, reply));
+                }
+                served += requests.len() as u64;
+                batches += 1;
+                if max_requests.is_some_and(|max| served >= max) {
+                    engine_shared.close();
+                }
+            }
+            (engine, served, batches)
+        });
+
+        let mut addr = None;
+        let listener_thread = match listener {
+            None => None,
+            Some(listener) => {
+                addr = Some(listener.local_addr()?);
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&shared);
+                let conn_inflight = config.conn_inflight.max(1);
+                Some(thread::spawn(move || {
+                    accept_loop(&listener, &shared, conn_inflight);
+                }))
+            }
+        };
+
+        Ok(ServerHandle {
+            shared,
+            engine_thread,
+            listener_thread,
+            addr,
+        })
+    }
+
+    /// The bound address, when started with [`ServerHandle::bind`].
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// An in-process client for this server.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// `false` once the server stopped admitting (shutdown requested or
+    /// [`ServerConfig::max_requests`] reached).
+    pub fn is_admitting(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the engine thread exits (admission closed and queue
+    /// drained), then returns the engine and the lifetime counters.
+    pub fn join(self) -> (PredictionEngine, ServeStats) {
+        if let Some(listener) = self.listener_thread {
+            let _ = listener.join();
+        }
+        let (engine, served, batches) = self.engine_thread.join().expect("engine thread");
+        let stats = ServeStats {
+            served,
+            shed: self.shared.shed.load(Ordering::SeqCst),
+            batches,
+        };
+        (engine, stats)
+    }
+
+    /// Stops admission, drains every admitted request, and returns the
+    /// engine and the lifetime counters.
+    pub fn shutdown(self) -> (PredictionEngine, ServeStats) {
+        self.shared.close();
+        self.join()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conn_inflight: usize) {
+    let mut connections = Vec::new();
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                connections.push(thread::spawn(move || {
+                    let _ = serve_connection(stream, &shared, conn_inflight);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+/// One TCP connection: a reader here, a writer thread, a bounded
+/// in-flight window between them.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    conn_inflight: usize,
+) -> io::Result<()> {
+    gpm_obs::counter_add("serve.connections", 1);
+    // Frames are small; Nagle + delayed ACK would add ~40ms per reply.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let write_half = stream.try_clone()?;
+    // Replies not yet written; every message on `out_tx` was preceded
+    // by an increment, and the writer decrements per frame written.
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let (out_tx, out_rx) = mpsc::channel::<(u64, Reply)>();
+
+    let writer_inflight = Arc::clone(&inflight);
+    let writer = thread::spawn(move || {
+        let mut writer = BufWriter::new(write_half);
+        while let Ok((id, reply)) = out_rx.recv() {
+            writer_inflight.fetch_sub(1, Ordering::SeqCst);
+            if proto::write_frame(&mut writer, &proto::encode_reply(id, &reply)).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(&stream);
+    while shared.running.load(Ordering::SeqCst) {
+        let frame = match proto::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // peer closed
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let (id, request) = match proto::decode_request(&frame) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                inflight.fetch_add(1, Ordering::SeqCst);
+                let reply = Reply::Error {
+                    message: format!("malformed request frame: {e}"),
+                };
+                if out_tx.send((0, reply)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let occupied = inflight.fetch_add(1, Ordering::SeqCst);
+        if occupied >= conn_inflight {
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            gpm_obs::counter_add("serve.shed", 1);
+            let reply = Reply::Overloaded {
+                queue_depth: conn_inflight,
+            };
+            if out_tx.send((id, reply)).is_err() {
+                break;
+            }
+            continue;
+        }
+        if let Some(rejection) = shared.submit(id, request, out_tx.clone()) {
+            if out_tx.send((id, rejection)).is_err() {
+                break;
+            }
+        }
+    }
+    drop(out_tx);
+    let _ = writer.join();
+    Ok(())
+}
+
+/// An in-process client: submits straight to the admission queue.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Submits one request and blocks for its reply. Shed requests
+    /// return [`Reply::Overloaded`] immediately.
+    pub fn call(&self, request: Request) -> Reply {
+        let (tx, rx) = mpsc::channel();
+        if let Some(rejection) = self.shared.submit(0, request, tx) {
+            return rejection;
+        }
+        match rx.recv() {
+            Ok((_, reply)) => reply,
+            Err(_) => Reply::Error {
+                message: "server exited before replying".to_string(),
+            },
+        }
+    }
+
+    /// Submits a slice of requests (admission decided per request) and
+    /// blocks until every admitted one is answered. Replies come back
+    /// in request order.
+    pub fn call_batch(&self, requests: &[Request]) -> Vec<Reply> {
+        let (tx, rx) = mpsc::channel();
+        let mut replies: Vec<Option<Reply>> = vec![None; requests.len()];
+        let mut admitted = 0usize;
+        for (i, request) in requests.iter().enumerate() {
+            match self.shared.submit(i as u64, request.clone(), tx.clone()) {
+                Some(rejection) => replies[i] = Some(rejection),
+                None => admitted += 1,
+            }
+        }
+        drop(tx);
+        for _ in 0..admitted {
+            match rx.recv() {
+                Ok((id, reply)) => replies[id as usize] = Some(reply),
+                Err(_) => break,
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or(Reply::Error {
+                    message: "server exited before replying".to_string(),
+                })
+            })
+            .collect()
+    }
+}
+
+/// A TCP client speaking the [`crate::proto`] frame protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+    next_id: u64,
+    /// Replies that arrived while waiting for a different id.
+    pending: HashMap<u64, Reply>,
+}
+
+impl TcpClient {
+    /// Connects to a server started with [`ServerHandle::bind`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are small; without this Nagle holds them back until
+        // the server's delayed ACK (~40ms per round trip).
+        stream.set_nodelay(true)?;
+        Ok(TcpClient {
+            stream,
+            next_id: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        proto::write_frame(&mut self.stream, &proto::encode_request(id, request))?;
+        Ok(id)
+    }
+
+    fn recv_id(&mut self, id: u64) -> io::Result<Reply> {
+        if let Some(reply) = self.pending.remove(&id) {
+            return Ok(reply);
+        }
+        loop {
+            let frame = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            })?;
+            let (got, reply) = proto::decode_reply(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if got == id {
+                return Ok(reply);
+            }
+            self.pending.insert(got, reply);
+        }
+    }
+
+    /// One synchronous request/reply round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and framing failures.
+    pub fn call(&mut self, request: &Request) -> io::Result<Reply> {
+        let id = self.send(request)?;
+        self.recv_id(id)
+    }
+
+    /// Writes every request before reading any reply (pipelining), then
+    /// returns replies in request order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and framing failures.
+    pub fn pipeline(&mut self, requests: &[Request]) -> io::Result<Vec<Reply>> {
+        let ids: Vec<u64> = requests
+            .iter()
+            .map(|r| self.send(r))
+            .collect::<io::Result<_>>()?;
+        ids.into_iter().map(|id| self.recv_id(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::request::Response;
+    use crate::test_support::fitted_model;
+    use gpm_core::Utilizations;
+    use gpm_spec::FreqConfig;
+
+    fn power_request() -> Request {
+        Request::Power {
+            utilizations: Utilizations::from_values([0.2, 0.6, 0.0, 0.1, 0.2, 0.3, 0.5]).unwrap(),
+            config: FreqConfig::from_mhz(975, 3505),
+        }
+    }
+
+    fn engine() -> PredictionEngine {
+        PredictionEngine::new(fitted_model(), "test@v1", &EngineConfig::default())
+    }
+
+    #[test]
+    fn in_process_round_trip_and_graceful_shutdown() {
+        let handle = ServerHandle::spawn(engine(), ServerConfig::default());
+        let client = handle.client();
+        let reply = client.call(power_request());
+        assert!(
+            matches!(reply, Reply::Ok(Response::Power { watts }) if watts > 0.0),
+            "{reply:?}"
+        );
+        let (engine, stats) = handle.shutdown();
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.shed, 0);
+        assert!(stats.batches >= 1);
+        assert_eq!(engine.stats().requests, 1);
+
+        // Admission after shutdown is a typed error, not a hang.
+        let rejection = client.call(power_request());
+        assert!(matches!(rejection, Reply::Error { .. }), "{rejection:?}");
+    }
+
+    #[test]
+    fn zero_depth_queue_sheds_with_a_typed_reply() {
+        let config = ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        };
+        let handle = ServerHandle::spawn(engine(), config);
+        let reply = handle.client().call(power_request());
+        assert_eq!(reply, Reply::Overloaded { queue_depth: 0 });
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn max_requests_stops_admission_after_the_budget() {
+        let config = ServerConfig {
+            max_requests: Some(1),
+            ..ServerConfig::default()
+        };
+        let handle = ServerHandle::spawn(engine(), config);
+        let client = handle.client();
+        assert!(client.call(power_request()).is_ok());
+        // The budget is spent; the server has stopped admitting.
+        while handle.is_admitting() {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(matches!(client.call(power_request()), Reply::Error { .. }));
+        let (_, stats) = handle.join();
+        assert_eq!(stats.served, 1);
+    }
+}

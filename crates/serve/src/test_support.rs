@@ -1,0 +1,24 @@
+//! Shared test fixture: fit the reference model once per test binary.
+
+use gpm_core::{Estimator, PowerModel};
+use gpm_profiler::Profiler;
+use gpm_sim::SimulatedGpu;
+use gpm_workloads::microbenchmark_suite;
+use std::sync::OnceLock;
+
+/// A model fitted on the GTX Titan X microbenchmark suite (seed 42),
+/// computed once and cloned — fitting is the expensive part of every
+/// serve test.
+pub fn fitted_model() -> PowerModel {
+    static MODEL: OnceLock<PowerModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let spec = gpm_spec::devices::gtx_titan_x();
+            let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+            let training = Profiler::with_repeats(&mut gpu, 1)
+                .profile_suite(&microbenchmark_suite(&spec))
+                .unwrap();
+            Estimator::new().fit(&training).unwrap()
+        })
+        .clone()
+}

@@ -1,0 +1,94 @@
+//! Serving round trip: publish a fitted model to a registry, load the
+//! active version back, start the prediction server on a loopback port
+//! and answer every request type over the wire protocol.
+//!
+//! Run with: `cargo run --release --example serve_roundtrip`
+
+use gpm::dvfs::Objective;
+use gpm::prelude::*;
+use gpm::serve::{
+    EngineConfig, ModelRegistry, PredictionEngine, Reply, Request, ServerConfig, ServerHandle,
+    TcpClient,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Fit a model the usual way (single-repeat campaign: this example
+    //    is about serving, not measurement noise).
+    let spec = gpm::spec::devices::gtx_titan_x();
+    let mut gpu = SimulatedGpu::new(spec.clone(), 42);
+    let training =
+        Profiler::with_repeats(&mut gpu, 1).profile_suite(&microbenchmark_suite(&spec))?;
+    let (model, report) = Estimator::new().fit_with_report(&training)?;
+    println!(
+        "Fitted {} in {} iterations (training MAPE {:.1}%)",
+        spec.name(),
+        report.iterations,
+        report.training_mape
+    );
+
+    // 2. Publish it. The registry versions models as JSON on disk; the
+    //    first publish of a name becomes the active version.
+    let root = std::env::temp_dir().join("gpm-serve-example-registry");
+    let _ = std::fs::remove_dir_all(&root); // keep reruns at v1
+    let registry = ModelRegistry::open(&root)?;
+    let version = registry.publish("titan", &model, Some(&report))?;
+    let entry = registry.load_active()?;
+    println!(
+        "Published {} (device {}) to {}",
+        entry.identity(),
+        entry.device,
+        root.display()
+    );
+    assert_eq!(version, entry.version);
+
+    // 3. Serve it. Port 0 lets the OS pick; four requests is the budget,
+    //    so the server drains and exits on its own.
+    let identity = entry.identity();
+    let engine = PredictionEngine::new(entry.model, &identity, &EngineConfig::default());
+    let config = ServerConfig {
+        max_requests: Some(4),
+        ..ServerConfig::default()
+    };
+    let handle = ServerHandle::bind(engine, config, "127.0.0.1:0")?;
+    let addr = handle.local_addr().expect("bound address");
+    println!("Serving on {addr}\n");
+
+    // 4. One round trip per request type, over TCP.
+    let mut client = TcpClient::connect(addr)?;
+    let requests = [
+        Request::Power {
+            utilizations: Utilizations::from_values([0.2, 0.6, 0.0, 0.1, 0.2, 0.3, 0.5])?,
+            config: FreqConfig::from_mhz(975, 3505),
+        },
+        Request::Energy {
+            kernel: "LBM".to_string(),
+            config: FreqConfig::from_mhz(595, 810),
+        },
+        Request::BestConfig {
+            kernel: "GEMM".to_string(),
+            objective: Objective::MinEdp,
+        },
+        Request::Pareto {
+            kernel: "SRAD_1".to_string(),
+            max_points: 3,
+        },
+    ];
+    for request in &requests {
+        let reply = client.call(request)?;
+        assert!(matches!(reply, Reply::Ok(_)), "{reply:?}");
+        println!("-> {}", gpm::json::to_string(request)?);
+        println!("<- {}\n", gpm::json::to_string(&reply)?);
+    }
+
+    // 5. The budget is spent: the server drains and the join returns.
+    let (engine, stats) = handle.join();
+    println!(
+        "Server exited: {} served in {} batches, {} shed, cache {} hits / {} misses",
+        stats.served,
+        stats.batches,
+        stats.shed,
+        engine.stats().cache.hits,
+        engine.stats().cache.misses
+    );
+    Ok(())
+}

@@ -31,6 +31,8 @@
 //! - [`faults`] — deterministic, seed-driven fault injection between the
 //!   simulator and the profiler, exercising the resilient campaign path
 //!   ([`profiler::ResilientProfiler`]) and the robust estimator mode
+//! - [`serve`] — a batched, backpressured prediction service over a
+//!   persistent, versioned model registry
 //!
 //! # Quickstart
 //!
@@ -67,6 +69,7 @@ pub use gpm_linalg as linalg;
 pub use gpm_obs as obs;
 pub use gpm_par as par;
 pub use gpm_profiler as profiler;
+pub use gpm_serve as serve;
 pub use gpm_sim as sim;
 pub use gpm_spec as spec;
 pub use gpm_workloads as workloads;

@@ -6,10 +6,10 @@
 //! Regenerate the fixtures after an *intentional* schema change with
 //! `GPM_UPDATE_GOLDEN=1 cargo test --test report_schema`.
 
-use gpm::core::{CvReport, FitReport};
-use gpm::json::{from_str, write, ToJson};
+use gpm::core::{CvReport, DomainParams, FitReport, PowerModel, VoltageTable};
+use gpm::json::{from_str, write, Json, ToJson};
 use gpm::par::timer::PhaseTimings;
-use gpm::spec::Component;
+use gpm::spec::{devices, Component, FreqConfig};
 use std::fs;
 use std::path::PathBuf;
 
@@ -63,6 +63,62 @@ fn sample_cv_report() -> CvReport {
         fold_mape: vec![4.5, 5.25, 3.75],
         overall_mape: 4.5,
     }
+}
+
+/// A hand-assembled PowerModel with exactly-representable values, so
+/// the fixture is byte-stable without running the estimator.
+fn sample_power_model() -> PowerModel {
+    let spec = devices::gtx_titan_x();
+    let reference = spec.default_config();
+    let low = FreqConfig::from_mhz(595, 3505);
+    PowerModel::new(
+        spec,
+        DomainParams {
+            static_coef: 15.0,
+            idle_dyn: 20.0,
+            omegas: vec![20.0, 21.5, 22.0, 23.25, 24.0, 25.5],
+        },
+        DomainParams {
+            static_coef: 10.0,
+            idle_dyn: 11.0,
+            omegas: vec![26.0],
+        },
+        VoltageTable::new(reference, [(low, [0.875, 0.9375])]),
+        600.0,
+    )
+    .with_residual_sigma(1.5)
+}
+
+#[test]
+fn power_model_round_trips_and_matches_golden() {
+    // The registry (gpm-serve) persists PowerModels verbatim, so this
+    // schema is now a stored-data contract, not just an in-memory one.
+    let model = sample_power_model();
+    // `PowerModel::to_json` (inherent) returns a String; the trait impl
+    // is what the registry stores, so pin that one.
+    let json = write(&ToJson::to_json(&model));
+    let back: PowerModel = from_str(&json).expect("power model parses back");
+    assert_eq!(model, back);
+    assert_matches_golden("power_model.json", &json);
+}
+
+#[test]
+fn pre_sigma_power_models_still_parse() {
+    // Models serialized before `residual_sigma_w` existed must keep
+    // parsing, with the sigma defaulting to zero.
+    let full = ToJson::to_json(&sample_power_model());
+    let legacy = match full {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .filter(|(name, _)| name != "residual_sigma_w")
+                .collect(),
+        ),
+        other => other,
+    };
+    let model: PowerModel = from_str(&write(&legacy)).expect("legacy power model parses");
+    assert_eq!(model.residual_sigma_w(), 0.0);
+    assert_eq!(model.reference(), devices::gtx_titan_x().default_config());
 }
 
 #[test]
