@@ -1,48 +1,99 @@
 //! Load generator for the prediction server (gpm-serve).
 //!
-//! Binds a server on a loopback port and drives it with concurrent TCP
-//! clients at 1, 4 and 8 engine worker threads, writing client-side
-//! throughput and exact p50/p99 latencies to `BENCH_serve.json`.
-//! `GPM_BENCH_ITERS` overrides the per-client request count (e.g.
-//! `GPM_BENCH_ITERS=4` for a smoke-sized run).
+//! Binds a server on a loopback port and drives it with hundreds of
+//! concurrent pipelined TCP connections from a single event-driven
+//! generator (multiplexed over `gpm_serve::sys::Poller`, the same
+//! readiness shim the server's reactor uses). The shard sweep (1, 2, 4,
+//! 8 reactor shards) writes throughput and exact latency percentiles to
+//! `BENCH_serve.json`. `GPM_BENCH_ITERS` overrides the per-connection
+//! request count (e.g. `GPM_BENCH_ITERS=4` for a smoke-sized run).
 //!
-//! `--smoke` runs the CI gate instead: a low-load phase that must shed
-//! nothing, then a forced-overload phase that must shed at least one
-//! request with a typed `Overloaded` reply.
+//! Each sweep point runs two phases:
+//!
+//! - **closed loop** — every connection keeps a fixed window of
+//!   pipelined requests in flight; the wall-clock for the full request
+//!   count is the throughput measurement. Per-request latency here is
+//!   recorded naively (reply minus actual send) and is reported as
+//!   `p50_us`/`p99_us` for continuity with the old bench — it
+//!   under-reports queueing delay (coordinated omission).
+//! - **open loop** — arrivals are *scheduled* at a fixed rate (70% of
+//!   the measured closed-loop throughput) and latency is measured from
+//!   the scheduled arrival, not the (possibly delayed) send. These are
+//!   the coordinated-omission-safe `co_p50_us`/`co_p99_us` numbers; the
+//!   gap between the two columns is the queueing delay the old
+//!   methodology hid.
+//!
+//! `--smoke` runs the admission-control gate: a low-load phase that
+//! must shed nothing, then a forced-overload phase that must shed at
+//! least one request with a typed `Overloaded` reply.
+//!
+//! `--gate` runs the CI scaling gate: 64 pipelined connections against
+//! 1 and then 8 reactor shards, with **every reply byte-compared
+//! against a single-threaded oracle engine**, failing on any
+//! divergence or on a scaling ratio below the floor (1.5× with ≥4
+//! cores, relaxed on smaller machines — single-core runners cannot
+//! scale a CPU-bound server and only get a no-regression check).
+//! `GPM_GATE_MIN_RATIO` overrides the floor.
 
 use gpm_bench::{fit_device, heading};
 use gpm_core::{PowerModel, Utilizations};
+use gpm_dvfs::Objective;
 use gpm_json::impl_json;
+use gpm_serve::proto::{self, FrameDecoder};
+use gpm_serve::sys::{PollEvent, Poller};
 use gpm_serve::{
     EngineConfig, PredictionEngine, Reply, Request, ServerConfig, ServerHandle, TcpClient,
 };
 use gpm_spec::{devices, FreqConfig};
-use std::time::Instant;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 
-/// Concurrent TCP clients per sweep point; enough to keep the admission
-/// queue non-empty so micro-batches actually form.
-const CLIENTS: usize = 4;
+/// Concurrent pipelined connections for the shard sweep.
+const SWEEP_CONNS: usize = 256;
+
+/// Concurrent pipelined connections for the CI gate (the satellite
+/// contract requires at least 64).
+const GATE_CONNS: usize = 64;
+
+/// Pipelined requests each connection keeps in flight (closed loop).
+const WINDOW: usize = 16;
+
+/// Distinct request slots before the mix repeats.
+const SLOT_CYCLE: usize = 4096;
 
 /// Validation kernels cycled through by the Energy requests.
 const KERNELS: [&str; 4] = ["LBM", "GEMM", "SRAD_1", "BLCKSC"];
 
-fn requests_per_client() -> usize {
+fn requests_per_conn(default: usize) -> usize {
     std::env::var("GPM_BENCH_ITERS")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(24)
+        .unwrap_or(default)
 }
 
-/// A deterministic request mix: three cheap Power lookups for every
-/// Energy request (which profiles and re-times a kernel). Distinct
-/// slots produce distinct requests, so the LRU cache cannot hide the
-/// compute path.
-fn request_for(slot: usize) -> Request {
-    if slot % 4 == 3 {
+/// The deterministic request mix. Mostly cheap Power lookups, an
+/// Energy request (profiles and re-times a kernel) every 8th slot, and
+/// — when `with_gov` — a governor-backed BestConfig every 16th slot so
+/// the engine-thread path is exercised too. The BestConfig is always
+/// the *same* request: its first service profiles on the engine's
+/// fresh device (identically to a fresh oracle engine) and every
+/// repeat is answered from the decision cache, so replies stay
+/// byte-identical no matter which shard saw it first.
+fn request_for(slot: usize, with_gov: bool) -> Request {
+    let slot = slot % SLOT_CYCLE;
+    if with_gov && slot % 16 == 11 {
+        Request::BestConfig {
+            kernel: "LBM".to_string(),
+            objective: Objective::MinEnergy,
+        }
+    } else if slot % 8 == 3 {
         Request::Energy {
-            kernel: KERNELS[(slot / 4) % KERNELS.len()].to_string(),
-            config: FreqConfig::from_mhz(if slot % 8 == 3 { 595 } else { 975 }, 3505),
+            kernel: KERNELS[(slot / 8) % KERNELS.len()].to_string(),
+            config: FreqConfig::from_mhz(if slot % 16 == 3 { 595 } else { 975 }, 3505),
         }
     } else {
         let mut values = [0.0; 7];
@@ -56,108 +107,447 @@ fn request_for(slot: usize) -> Request {
     }
 }
 
+/// Replies a fresh single-threaded engine gives to slots `0..n` in
+/// order — the byte-equality oracle for `--gate`.
+fn oracle_replies(model: &PowerModel, with_gov: bool, n: usize) -> Vec<Reply> {
+    let mut engine = PredictionEngine::new(model.clone(), "oracle@v1", &EngineConfig::default());
+    (0..n.min(SLOT_CYCLE))
+        .map(|slot| engine.process(&request_for(slot, with_gov)))
+        .collect()
+}
+
 /// Exact nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted_us: &[f64], pct: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
     let rank = ((pct / 100.0) * sorted_us.len() as f64).ceil() as usize;
     sorted_us[rank.max(1) - 1]
 }
 
-/// One measured point of the worker-thread sweep.
+/// Pulls the wire id out of a reply payload (`{"id":N,...}`) without a
+/// full JSON parse — the generator is not allowed to become the
+/// bottleneck it is measuring.
+fn scan_id(payload: &str) -> Option<u64> {
+    let digits = payload.strip_prefix("{\"id\":")?;
+    let end = digits.find(|c: char| !c.is_ascii_digit())?;
+    digits[..end].parse().ok()
+}
+
+struct Meta {
+    slot: usize,
+    scheduled: Instant,
+    sent_at: Instant,
+}
+
+struct LoadConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    wpos: usize,
+    next_id: u64,
+    sent: usize,
+    done: usize,
+    meta: HashMap<u64, Meta>,
+    writable_interest: bool,
+}
+
+impl LoadConn {
+    fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(LoadConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            wpos: 0,
+            next_id: 1,
+            sent: 0,
+            done: 0,
+            meta: HashMap::new(),
+            writable_interest: false,
+        })
+    }
+
+    /// Frames one request and queues its bytes (id = send index + 1).
+    fn enqueue(&mut self, slot: usize, scheduled: Instant, with_gov: bool) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = proto::encode_request(id, &request_for(slot, with_gov));
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.out.extend_from_slice(payload.as_bytes());
+        self.meta.insert(
+            id,
+            Meta {
+                slot,
+                scheduled,
+                sent_at: Instant::now(),
+            },
+        );
+        self.sent += 1;
+    }
+
+    /// Pushes queued bytes; returns whether the buffer fully drained.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.out.len() {
+            match self.stream.write(&self.out[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+}
+
+/// The outcome of one measured phase.
+struct PhaseOut {
+    requests: usize,
+    wall_s: f64,
+    /// Reply minus actual send (the pre-fix methodology).
+    naive_us: Vec<f64>,
+    /// Reply minus *scheduled* arrival (coordinated-omission-safe);
+    /// empty for closed-loop phases.
+    co_us: Vec<f64>,
+    mismatches: usize,
+}
+
+/// Drives `n_conns` pipelined connections until `per_conn` requests per
+/// connection are answered. `pace_us = None` runs the closed loop
+/// (window refill); `Some(interval)` runs the open loop with arrivals
+/// scheduled every `interval` microseconds round-robin across
+/// connections. With `oracle`, every reply payload is byte-compared
+/// against `encode_reply(id, oracle[slot])`.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    addr: SocketAddr,
+    n_conns: usize,
+    per_conn: usize,
+    pace_us: Option<f64>,
+    with_gov: bool,
+    slot_base: usize,
+    oracle: Option<&[Reply]>,
+) -> PhaseOut {
+    let poller = Poller::new().expect("client poller");
+    let mut conns: Vec<LoadConn> = (0..n_conns)
+        .map(|_| LoadConn::connect(addr).expect("connect to server"))
+        .collect();
+    for (i, conn) in conns.iter().enumerate() {
+        poller
+            .register(conn.stream.as_raw_fd(), i as u64, false)
+            .expect("register connection");
+    }
+    let slot_for = |conn: usize, idx: usize| slot_base + conn * per_conn + idx;
+
+    let total = n_conns * per_conn;
+    let mut naive_us = Vec::with_capacity(total);
+    let mut co_us = Vec::with_capacity(if pace_us.is_some() { total } else { 0 });
+    let mut mismatches = 0usize;
+    let started = Instant::now();
+
+    // Closed loop: prime every connection's pipeline window up front.
+    if pace_us.is_none() {
+        for (c, conn) in conns.iter_mut().enumerate() {
+            for idx in 0..WINDOW.min(per_conn) {
+                let slot = slot_for(c, idx);
+                conn.enqueue(slot, Instant::now(), with_gov);
+            }
+        }
+        for (i, conn) in conns.iter_mut().enumerate() {
+            service_writes(&poller, i as u64, conn);
+        }
+    }
+
+    let interval = pace_us.map(|us| Duration::from_secs_f64(us / 1e6));
+    let mut next_arrival = 0usize; // open-loop arrival counter
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut done_total = 0usize;
+
+    while done_total < total {
+        // Open loop: emit every arrival whose scheduled time has come,
+        // pinning the schedule regardless of socket backpressure.
+        if let Some(interval) = interval {
+            let now = Instant::now();
+            while next_arrival < total {
+                let due = started + interval.mul_f64(next_arrival as f64);
+                if due > now {
+                    break;
+                }
+                let c = next_arrival % n_conns;
+                let idx = conns[c].sent;
+                let slot = slot_for(c, idx);
+                conns[c].enqueue(slot, due, with_gov);
+                service_writes(&poller, c as u64, &mut conns[c]);
+                next_arrival += 1;
+            }
+        }
+        let timeout = match interval {
+            Some(interval) if next_arrival < total => {
+                let due = started + interval.mul_f64(next_arrival as f64);
+                Some(due.saturating_duration_since(Instant::now()))
+            }
+            _ => Some(Duration::from_millis(20)),
+        };
+        poller.wait(&mut events, timeout).expect("client poll");
+        for &ev in &events {
+            let c = ev.token as usize;
+            if c >= conns.len() {
+                continue;
+            }
+            if ev.readable || ev.closed {
+                let mut buf = [0u8; 16 << 10];
+                loop {
+                    match conns[c].stream.read(&mut buf) {
+                        Ok(0) => panic!("server closed connection {c} mid-bench"),
+                        Ok(n) => {
+                            conns[c].decoder.extend(&buf[..n]);
+                            while let Some(frame) =
+                                conns[c].decoder.next_frame().expect("well-formed reply")
+                            {
+                                let id = scan_id(&frame).expect("reply carries an id");
+                                let meta =
+                                    conns[c].meta.remove(&id).expect("reply matches a request");
+                                let now = Instant::now();
+                                naive_us.push(now.duration_since(meta.sent_at).as_secs_f64() * 1e6);
+                                if interval.is_some() {
+                                    co_us.push(
+                                        now.duration_since(meta.scheduled).as_secs_f64() * 1e6,
+                                    );
+                                }
+                                if let Some(oracle) = oracle {
+                                    let expected =
+                                        proto::encode_reply(id, &oracle[meta.slot % SLOT_CYCLE]);
+                                    if frame != expected {
+                                        mismatches += 1;
+                                    }
+                                }
+                                conns[c].done += 1;
+                                done_total += 1;
+                                // Closed loop: refill the window.
+                                if interval.is_none() && conns[c].sent < per_conn {
+                                    let idx = conns[c].sent;
+                                    let slot = slot_for(c, idx);
+                                    conns[c].enqueue(slot, now, with_gov);
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("read from server failed: {e}"),
+                    }
+                }
+                service_writes(&poller, c as u64, &mut conns[c]);
+            }
+            if ev.writable {
+                service_writes(&poller, c as u64, &mut conns[c]);
+            }
+        }
+    }
+
+    let wall_s = started.elapsed().as_secs_f64();
+    naive_us.sort_by(f64::total_cmp);
+    co_us.sort_by(f64::total_cmp);
+    PhaseOut {
+        requests: total,
+        wall_s,
+        naive_us,
+        co_us,
+        mismatches,
+    }
+}
+
+/// Flushes a connection's queued bytes and keeps its write interest in
+/// step with whether anything is left.
+fn service_writes(poller: &Poller, token: u64, conn: &mut LoadConn) {
+    let drained = conn.flush().expect("write to server");
+    if drained && conn.writable_interest {
+        conn.writable_interest = false;
+        let _ = poller.set_writable(conn.stream.as_raw_fd(), token, false);
+    } else if !drained && !conn.writable_interest {
+        conn.writable_interest = true;
+        let _ = poller.set_writable(conn.stream.as_raw_fd(), token, true);
+    }
+}
+
+fn bench_server(model: &PowerModel, shards: usize) -> ServerHandle {
+    let engine = PredictionEngine::new(model.clone(), "bench@v1", &EngineConfig::default());
+    // Admission bounds sized so the bench measures the data path, not
+    // the shedder: every request must be admitted and answered.
+    let config = ServerConfig {
+        queue_depth: 1 << 15,
+        batch_max: 64,
+        conn_inflight: 1 << 15,
+        max_requests: None,
+        shards,
+        coalesce_us: 100,
+        fan_width: 1,
+    };
+    ServerHandle::bind(engine, config, "127.0.0.1:0").expect("bind loopback listener")
+}
+
+/// One measured point of the shard sweep.
 struct ServePoint {
-    threads: usize,
+    shards: usize,
     requests: usize,
     wall_s: f64,
     throughput_rps: f64,
     p50_us: f64,
     p99_us: f64,
+    offered_rps: f64,
+    co_p50_us: f64,
+    co_p99_us: f64,
     batches: u64,
     shed: u64,
 }
 
 impl_json!(struct ServePoint {
-    threads, requests, wall_s, throughput_rps, p50_us, p99_us, batches, shed
+    shards, requests, wall_s, throughput_rps, p50_us, p99_us,
+    offered_rps, co_p50_us, co_p99_us, batches, shed
 });
 
 /// The artifact written to `BENCH_serve.json`.
 struct ServeReport {
     device: String,
     protocol: String,
-    clients: usize,
-    requests_per_client: usize,
+    connections: usize,
+    requests_per_connection: usize,
+    window: usize,
+    latency_methodology: String,
     points: Vec<ServePoint>,
 }
 
-impl_json!(struct ServeReport { device, protocol, clients, requests_per_client, points });
+impl_json!(struct ServeReport {
+    device, protocol, connections, requests_per_connection, window,
+    latency_methodology, points
+});
 
 fn sweep(model: &PowerModel) -> Vec<ServePoint> {
-    let per_client = requests_per_client();
+    let per_conn = requests_per_conn(64);
     let mut points = Vec::new();
     println!(
-        "{:>8} {:>9} {:>10} {:>11} {:>11} {:>8} {:>6}",
-        "threads", "requests", "rps", "p50", "p99", "batches", "shed"
+        "{:>7} {:>9} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "shards", "requests", "rps", "p50", "p99", "offered", "co_p50", "co_p99"
     );
-    for &threads in &[1usize, 4, 8] {
-        gpm_par::set_threads(Some(threads));
-        let engine = PredictionEngine::new(model.clone(), "bench@v1", &EngineConfig::default());
-        let handle = ServerHandle::bind(engine, ServerConfig::default(), "127.0.0.1:0")
-            .expect("bind loopback listener");
+    for &shards in &[1usize, 2, 4, 8] {
+        let handle = bench_server(model, shards);
         let addr = handle.local_addr().expect("bound address");
 
-        let started = Instant::now();
-        let workers: Vec<_> = (0..CLIENTS)
-            .map(|c| {
-                std::thread::spawn(move || {
-                    let mut client = TcpClient::connect(addr).expect("connect to server");
-                    let mut latencies_us = Vec::with_capacity(per_client);
-                    for i in 0..per_client {
-                        let request = request_for(c * per_client + i);
-                        let t0 = Instant::now();
-                        let reply = client.call(&request).expect("round trip");
-                        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
-                        assert!(reply.is_ok(), "bench request failed: {reply:?}");
-                    }
-                    latencies_us
-                })
-            })
-            .collect();
-        let mut latencies_us: Vec<f64> = workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("client thread"))
-            .collect();
-        let wall_s = started.elapsed().as_secs_f64();
-        latencies_us.sort_by(f64::total_cmp);
+        // Phase 1 (closed loop): throughput + naive latency.
+        let closed = drive(addr, SWEEP_CONNS, per_conn, None, false, 0, None);
+        let throughput_rps = closed.requests as f64 / closed.wall_s;
+
+        // Phase 2 (open loop at 70% of measured capacity):
+        // coordinated-omission-safe latency. Distinct slot range so the
+        // prediction cache treats the phases alike across shard counts.
+        let offered_rps = throughput_rps * 0.7;
+        let open = drive(
+            addr,
+            SWEEP_CONNS,
+            per_conn,
+            Some(1e6 / offered_rps),
+            false,
+            SWEEP_CONNS * per_conn,
+            None,
+        );
         let (_, stats) = handle.shutdown();
+        assert_eq!(
+            stats.served,
+            (closed.requests + open.requests) as u64,
+            "every bench request was admitted and answered"
+        );
 
         let point = ServePoint {
-            threads,
-            requests: latencies_us.len(),
-            wall_s,
-            throughput_rps: latencies_us.len() as f64 / wall_s,
-            p50_us: percentile(&latencies_us, 50.0),
-            p99_us: percentile(&latencies_us, 99.0),
+            shards,
+            requests: closed.requests,
+            wall_s: closed.wall_s,
+            throughput_rps,
+            p50_us: percentile(&closed.naive_us, 50.0),
+            p99_us: percentile(&closed.naive_us, 99.0),
+            offered_rps,
+            co_p50_us: percentile(&open.co_us, 50.0),
+            co_p99_us: percentile(&open.co_us, 99.0),
             batches: stats.batches,
             shed: stats.shed,
         };
         println!(
-            "{threads:>8} {:>9} {:>10.0} {:>9.0}us {:>9.0}us {:>8} {:>6}",
+            "{shards:>7} {:>9} {:>10.0} {:>8.0}us {:>8.0}us {:>12.0} {:>8.0}us {:>8.0}us",
             point.requests,
             point.throughput_rps,
             point.p50_us,
             point.p99_us,
-            point.batches,
-            point.shed
-        );
-        assert_eq!(
-            stats.served, point.requests as u64,
-            "every bench request was admitted and answered"
+            point.offered_rps,
+            point.co_p50_us,
+            point.co_p99_us
         );
         points.push(point);
     }
-    gpm_par::set_threads(None);
     points
 }
 
-/// The CI gate: proves the admission controller is wired end to end
+/// The CI scaling gate (see the module docs).
+fn gate(model: &PowerModel) {
+    let per_conn = requests_per_conn(32);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    heading(&format!(
+        "serve scaling gate: {GATE_CONNS} pipelined connections, oracle-verified ({cores} cores)"
+    ));
+    let oracle = oracle_replies(model, true, GATE_CONNS * per_conn);
+
+    let mut rps = Vec::new();
+    for &shards in &[1usize, 8] {
+        let handle = bench_server(model, shards);
+        let addr = handle.local_addr().expect("bound address");
+        let out = drive(addr, GATE_CONNS, per_conn, None, true, 0, Some(&oracle));
+        let (_, stats) = handle.shutdown();
+        assert_eq!(
+            out.mismatches, 0,
+            "{} replies diverged from the single-threaded oracle at {shards} shards",
+            out.mismatches
+        );
+        assert_eq!(stats.shed, 0, "the gate run must not shed");
+        let point_rps = out.requests as f64 / out.wall_s;
+        println!(
+            "{shards} shard(s): {} requests in {:.3}s = {:.0} rps, all replies oracle-identical",
+            out.requests, out.wall_s, point_rps
+        );
+        rps.push(point_rps);
+    }
+
+    let ratio = rps[1] / rps[0];
+    let floor = std::env::var("GPM_GATE_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(if cores >= 4 {
+            1.5
+        } else if cores >= 2 {
+            1.2
+        } else {
+            0.75
+        });
+    if cores < 2 {
+        println!(
+            "NOTE: single core detected — a CPU-bound server cannot scale here; \
+             enforcing a no-regression floor of {floor}x instead of 1.5x"
+        );
+    }
+    println!("scaling ratio 8-shard/1-shard: {ratio:.2}x (floor {floor}x)");
+    assert!(
+        ratio >= floor,
+        "serve scaling regression: 8 shards reached only {ratio:.2}x of 1-shard \
+         throughput (floor {floor}x)"
+    );
+    println!("\nserve scaling gate passed");
+}
+
+/// The admission-control gate: proves the shedder is wired end to end
 /// without timing anything.
 fn smoke(model: &PowerModel) {
     heading("serve smoke: low load sheds nothing");
@@ -167,7 +557,7 @@ fn smoke(model: &PowerModel) {
     let mut client =
         TcpClient::connect(handle.local_addr().expect("bound address")).expect("connect to server");
     for slot in 0..16 {
-        let reply = client.call(&request_for(slot)).expect("round trip");
+        let reply = client.call(&request_for(slot, false)).expect("round trip");
         assert!(reply.is_ok(), "low-load request failed: {reply:?}");
     }
     drop(client);
@@ -211,15 +601,19 @@ fn smoke(model: &PowerModel) {
 
 fn main() {
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
+    let gate_mode = std::env::args().any(|a| a == "--gate");
     let spec = devices::gtx_titan_x();
-    heading(&format!(
-        "gpm-serve load generator: {} ({CLIENTS} TCP clients)",
-        spec.name()
-    ));
+    heading(&format!("gpm-serve load generator: {}", spec.name()));
     let fitted = fit_device(spec);
 
     if smoke_mode {
         smoke(&fitted.model);
+        if !gate_mode {
+            return;
+        }
+    }
+    if gate_mode {
+        gate(&fitted.model);
         return;
     }
 
@@ -227,8 +621,13 @@ fn main() {
     let report = ServeReport {
         device: fitted.model.spec().name().to_string(),
         protocol: "length-prefixed JSON over TCP".to_string(),
-        clients: CLIENTS,
-        requests_per_client: requests_per_client(),
+        connections: SWEEP_CONNS,
+        requests_per_connection: requests_per_conn(64),
+        window: WINDOW,
+        latency_methodology: "p50/p99 closed-loop naive; co_p50/co_p99 open-loop \
+                              scheduled-arrival (coordinated-omission-safe) at 70% of \
+                              measured throughput"
+            .to_string(),
         points,
     };
     let json = gpm_json::to_string(&report).expect("report serializes");

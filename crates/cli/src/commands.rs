@@ -149,6 +149,9 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
                 "conn-cap",
                 "max-requests",
                 "threads",
+                "shards",
+                "coalesce-us",
+                "fan",
             ])?;
             cmd_serve(parsed)
         }
@@ -660,6 +663,10 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
             0 => None,
             n => Some(n),
         },
+        // 0 = one reactor shard per core (capped inside gpm-serve).
+        shards: args.integer_or("shards", 0)? as usize,
+        coalesce_us: args.integer_or("coalesce-us", 100)?,
+        fan_width: args.integer_or("fan", 1)?.max(1) as usize,
     };
     let identity = entry.identity();
     let engine = PredictionEngine::new(entry.model, &identity, &engine_config);

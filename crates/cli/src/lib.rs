@@ -98,7 +98,8 @@ COMMANDS
                                         one-shot prediction through the registry
   serve        --registry DIR [--name NAME[@vN]] [--addr HOST:PORT]
                [--seed N] [--queue N] [--batch N] [--conn-cap N]
-               [--max-requests N]       run the batched prediction server
+               [--max-requests N] [--shards N] [--coalesce-us N]
+               [--fan N]                run the batched prediction server
   help                                  this text
 
 ROBUSTNESS
@@ -132,7 +133,11 @@ SERVING
   BestConfig, Pareto — over a length-prefixed JSON protocol on TCP
   (default 127.0.0.1:7979), micro-batching up to --batch requests and
   shedding load beyond --queue admitted requests with a typed
-  Overloaded reply. --max-requests N serves exactly N requests, drains
+  Overloaded reply. The TCP front end is an event-driven reactor:
+  --shards N event-loop threads (default: one per core) own their
+  connections, coalesce requests for up to --coalesce-us microseconds
+  (default 100) and fan pure work --fan wide (default 1).
+  --max-requests N serves exactly N requests, drains
   and exits (otherwise the server runs until killed). predict
   --registry answers a single --request JSON one-shot, e.g.
   '{\"Energy\":{\"kernel\":\"LBM\",\"config\":\"975@3505\"}}'.

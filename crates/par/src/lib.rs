@@ -134,6 +134,29 @@ where
     }
 }
 
+/// Like [`par_map`] but with an explicit worker count instead of the
+/// global [`current_threads`] resolution — for callers that already
+/// occupy a core each (e.g. one reactor shard per core fanning its own
+/// micro-batch) and must bound their fan-out so shards do not
+/// oversubscribe each other. A `threads` of 0 or 1 is the sequential
+/// fast path: no workers are spawned.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread with its
+/// original payload.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match run_pool_with(threads.max(1), items, f) {
+        Ok(results) => results,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
 /// Fallible variant of [`par_map`]: a worker panic surfaces as
 /// `Err(PoolPanic)` on the submitting thread instead of unwinding it.
 ///
@@ -179,7 +202,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = current_threads().min(items.len().max(1));
+    run_pool_with(current_threads(), items, f)
+}
+
+/// [`run_pool`] with the worker count chosen by the caller rather than
+/// the global resolution ([`par_map_with`]'s backing).
+fn run_pool_with<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<R>, Box<dyn std::any::Any + Send>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1));
     // Pool telemetry when a recorder is installed. `par.calls` and
     // `par.items` are schedule-independent; threads, block claims,
     // steals and queue depths vary with the thread count and are
@@ -446,6 +484,33 @@ mod tests {
         with_threads(3, || assert_eq!(current_threads(), 3));
         // Cleared override falls back to env/available_parallelism >= 1.
         assert!(current_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_with_matches_sequential_at_any_width() {
+        let items: Vec<u64> = (0..311).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 7 + 1).collect();
+        // Explicit widths ignore the global override entirely.
+        with_threads(1, || {
+            for width in [0, 1, 2, 5, 16] {
+                let got = par_map_with(width, &items, |&x| x * 7 + 1);
+                assert_eq!(got, expected, "width={width}");
+            }
+        });
+    }
+
+    #[test]
+    fn par_map_with_width_one_runs_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        // The global override is wide, but an explicit width of 1 must
+        // still take the spawn-free sequential path.
+        with_threads(8, || {
+            let got = par_map_with(1, &[1u32, 2, 3], |&x| {
+                assert_eq!(std::thread::current().id(), caller);
+                x + 1
+            });
+            assert_eq!(got, vec![2, 3, 4]);
+        });
     }
 
     #[test]

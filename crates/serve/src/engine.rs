@@ -29,6 +29,8 @@ use gpm_profiler::Profiler;
 use gpm_sim::SimulatedGpu;
 use gpm_workloads::{microbenchmark_suite, validation_suite, KernelDesc};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
@@ -64,6 +66,78 @@ pub struct EngineStats {
     pub cache: CacheStats,
 }
 
+/// The thread-shareable heart of the engine: everything needed to
+/// answer *pure* requests (and to consult/fill the prediction cache),
+/// with no interior state beyond the lock-sharded LRU and two counters.
+///
+/// Reactor shards hold this behind an `Arc` and answer
+/// [`Request::Power`]/[`Request::Energy`]/[`Request::Pareto`] in place,
+/// without crossing the engine thread. Determinism is inherited from
+/// [`pure_compute`]: results depend only on (model, snapshot seed,
+/// request), never on which shard or thread ran them.
+#[derive(Debug)]
+pub(crate) struct PureCore {
+    model: PowerModel,
+    version: String,
+    /// Initial device state; pure requests clone this, so every request
+    /// sees identical measurement-noise state regardless of schedule.
+    snapshot: SimulatedGpu,
+    kernels: HashMap<String, KernelDesc>,
+    cache: ShardedLru,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl PureCore {
+    /// Cache key for `request` under this core's model version.
+    pub(crate) fn cache_key(&self, request: &Request) -> String {
+        // \u{1} cannot appear in the version label or JSON text, so the
+        // key is unambiguous.
+        format!(
+            "{}\u{1}{}",
+            self.version,
+            gpm_json::write(&request.to_json())
+        )
+    }
+
+    /// Prediction-cache lookup.
+    pub(crate) fn cache_get(&self, key: &str) -> Option<Response> {
+        self.cache.get(key)
+    }
+
+    /// Prediction-cache fill (successes only, by convention).
+    pub(crate) fn cache_put(&self, key: String, response: Response) {
+        self.cache.put(key, response);
+        gpm_obs::gauge_set("serve.cache_entries", self.cache.stats().entries as f64);
+    }
+
+    /// Whether `request` can be answered by [`PureCore::compute`]
+    /// (everything except governor-backed [`Request::BestConfig`]).
+    pub(crate) fn is_pure(request: &Request) -> bool {
+        !matches!(request, Request::BestConfig { .. })
+    }
+
+    /// Computes a pure request on a pristine snapshot clone.
+    pub(crate) fn compute(&self, request: &Request) -> Reply {
+        match pure_compute(&self.model, &self.snapshot, &self.kernels, request) {
+            Ok(response) => Reply::Ok(response),
+            Err(message) => Reply::Error { message },
+        }
+    }
+
+    /// Counts `n` requests entering the service.
+    pub(crate) fn note_requests(&self, n: u64) {
+        self.requests.fetch_add(n, Ordering::Relaxed);
+        gpm_obs::counter_add("serve.requests", n);
+    }
+
+    /// Counts one request that produced [`Reply::Error`].
+    pub(crate) fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        gpm_obs::counter_add("serve.errors", 1);
+    }
+}
+
 /// A long-lived predictor for one fitted model.
 ///
 /// See the module docs for the determinism contract. The engine owns a
@@ -72,22 +146,14 @@ pub struct EngineStats {
 /// its initial state), never on the caller's.
 #[derive(Debug)]
 pub struct PredictionEngine {
-    model: PowerModel,
-    version: String,
-    /// Initial device state; pure requests clone this, so every request
-    /// sees identical measurement-noise state regardless of schedule.
-    snapshot: SimulatedGpu,
+    core: Arc<PureCore>,
     /// The governor-facing device, mutated only by sequential
     /// [`Request::BestConfig`] processing.
     gpu: SimulatedGpu,
-    kernels: HashMap<String, KernelDesc>,
     /// Governor state per objective (keyed by the objective's canonical
     /// JSON), detached between batches via [`GovernorState`].
     governors: HashMap<String, GovernorState>,
-    cache: ShardedLru,
-    requests: u64,
     batches: u64,
-    errors: u64,
 }
 
 enum Slot {
@@ -112,44 +178,54 @@ impl PredictionEngine {
             kernels.insert(k.name().to_string(), k);
         }
         PredictionEngine {
-            model,
-            version: version.to_string(),
-            snapshot: gpu.clone(),
+            core: Arc::new(PureCore {
+                model,
+                version: version.to_string(),
+                snapshot: gpu.clone(),
+                kernels,
+                cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+                requests: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
             gpu,
-            kernels,
             governors: HashMap::new(),
-            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            requests: 0,
             batches: 0,
-            errors: 0,
         }
+    }
+
+    /// The shareable pure-request core (reactor shards clone this Arc
+    /// and bypass the engine thread for cacheable pure work).
+    pub(crate) fn core(&self) -> Arc<PureCore> {
+        Arc::clone(&self.core)
     }
 
     /// The model being served.
     pub fn model(&self) -> &PowerModel {
-        &self.model
+        &self.core.model
     }
 
     /// The model-version label namespacing the cache.
     pub fn version(&self) -> &str {
-        &self.version
+        &self.core.version
     }
 
     /// Kernel names the engine can answer [`Request::Energy`],
     /// [`Request::BestConfig`] and [`Request::Pareto`] for, sorted.
     pub fn kernel_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.kernels.keys().cloned().collect();
+        let mut names: Vec<String> = self.core.kernels.keys().cloned().collect();
         names.sort();
         names
     }
 
-    /// Engine counters, including cache statistics.
+    /// Engine counters, including cache statistics. Requests answered
+    /// directly by reactor shards (from the shared [`PureCore`]) are
+    /// included — the counters live on the core itself.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
-            requests: self.requests,
+            requests: self.core.requests.load(Ordering::Relaxed),
             batches: self.batches,
-            errors: self.errors,
-            cache: self.cache.stats(),
+            errors: self.core.errors.load(Ordering::Relaxed),
+            cache: self.core.cache.stats(),
         }
     }
 
@@ -176,16 +252,15 @@ impl PredictionEngine {
     /// requests sequentially in arrival order, pure requests fanned
     /// across `gpm-par` workers, replies in request order.
     pub fn process_batch(&mut self, requests: &[Request]) -> Vec<Reply> {
-        self.requests += requests.len() as u64;
+        self.core.note_requests(requests.len() as u64);
         self.batches += 1;
-        gpm_obs::counter_add("serve.requests", requests.len() as u64);
         gpm_obs::counter_add("serve.batches", 1);
         gpm_obs::histogram_record("serve.batch_size", requests.len() as f64);
 
-        let keys: Vec<String> = requests.iter().map(|r| self.cache_key(r)).collect();
+        let keys: Vec<String> = requests.iter().map(|r| self.core.cache_key(r)).collect();
         let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
         for (request, key) in requests.iter().zip(&keys) {
-            match self.cache.get(key) {
+            match self.core.cache_get(key) {
                 Some(response) => slots.push(Slot::Done(Reply::Ok(response))),
                 None => slots.push(match request {
                     Request::BestConfig { .. } => Slot::Governor(slots.len()),
@@ -212,16 +287,9 @@ impl PredictionEngine {
                 _ => None,
             })
             .collect();
-        let model = &self.model;
-        let snapshot = &self.snapshot;
-        let kernels = &self.kernels;
-        let pure_replies: Vec<(usize, Reply)> = gpm_par::par_map(&pure_jobs, |&i| {
-            let reply = match pure_compute(model, snapshot, kernels, &requests[i]) {
-                Ok(response) => Reply::Ok(response),
-                Err(message) => Reply::Error { message },
-            };
-            (i, reply)
-        });
+        let core = &self.core;
+        let pure_replies: Vec<(usize, Reply)> =
+            gpm_par::par_map(&pure_jobs, |&i| (i, core.compute(&requests[i])));
         let pure_replies: HashMap<usize, Reply> = pure_replies.into_iter().collect();
 
         // Stitch replies back into request order and fill the cache
@@ -234,39 +302,27 @@ impl PredictionEngine {
                 Slot::Pure(j) => pure_replies.get(&j).cloned().expect("pure reply"),
             };
             if let Reply::Ok(response) = &reply {
-                self.cache.put(keys[i].clone(), response.clone());
+                self.core.cache_put(keys[i].clone(), response.clone());
             }
             if matches!(reply, Reply::Error { .. }) {
-                self.errors += 1;
-                gpm_obs::counter_add("serve.errors", 1);
+                self.core.note_error();
             }
             replies.push(reply);
         }
-        let cache = self.cache.stats();
-        gpm_obs::gauge_set("serve.cache_entries", cache.entries as f64);
         replies
-    }
-
-    fn cache_key(&self, request: &Request) -> String {
-        // \u{1} cannot appear in the version label or JSON text, so the
-        // key is unambiguous.
-        format!(
-            "{}\u{1}{}",
-            self.version,
-            gpm_json::write(&request.to_json())
-        )
     }
 
     fn best_config(&mut self, request: &Request) -> Reply {
         let Request::BestConfig { kernel, objective } = request else {
             unreachable!("slot partition routes only BestConfig here");
         };
-        let Some(kernel) = self.kernels.get(kernel) else {
+        let Some(kernel) = self.core.kernels.get(kernel) else {
             return unknown_kernel(kernel);
         };
         let objective_key = gpm_json::write(&objective.to_json());
         let state = self.governors.remove(&objective_key).unwrap_or_default();
-        let mut governor = Governor::resume(&mut self.gpu, self.model.clone(), *objective, state);
+        let mut governor =
+            Governor::resume(&mut self.gpu, self.core.model.clone(), *objective, state);
         let result = governor.run_kernel(kernel);
         let state = governor.into_state();
         self.governors.insert(objective_key, state);

@@ -22,10 +22,17 @@
 //!   arrival order against the engine's device.
 //! - [`ServerHandle`] — a micro-batching server over a length-prefixed
 //!   JSON protocol on TCP ([`proto`]), plus an in-process [`Client`] for
-//!   tests and benches. Admission control is explicit: a bounded queue,
-//!   a per-connection in-flight cap, and load shedding with a typed
-//!   [`Reply::Overloaded`] instead of unbounded buffering. Shutdown
-//!   drains every admitted request before the engine exits.
+//!   tests and benches. The TCP front end is a dependency-free
+//!   nonblocking reactor: per-core shards (epoll on Linux, `poll(2)`
+//!   elsewhere on Unix, via the syscall shims in [`sys`]) own their
+//!   connections outright, coalesce decoded requests into adaptive
+//!   micro-batches and answer pure requests in place, while
+//!   governor-backed requests funnel through the single engine thread
+//!   that the determinism contract requires. Admission control is
+//!   explicit: a bounded queue, a per-connection in-flight cap, and
+//!   load shedding with a typed [`Reply::Overloaded`] instead of
+//!   unbounded buffering. Shutdown drains every admitted request before
+//!   the threads exit.
 //!
 //! The whole path is instrumented through `gpm-obs` (request/batch/shed
 //! counters, queue-depth gauge, latency histograms, cache hit/miss).
@@ -49,15 +56,22 @@
 //! assert_eq!(stats.shed, 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `sys` module below needs an
+// allowance for its FFI readiness-polling shims; everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
 mod engine;
 pub mod proto;
+#[cfg(unix)]
+mod reactor;
 mod registry;
 mod request;
 mod server;
+#[allow(unsafe_code)]
+pub mod sys;
 #[cfg(test)]
 mod test_support;
 

@@ -60,6 +60,72 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// Incremental frame parser for nonblocking reads.
+///
+/// The reactor reads whatever bytes the kernel has and feeds them here;
+/// [`FrameDecoder::next_frame`] yields complete frames as they
+/// materialise, regardless of how the byte stream was split — a length
+/// prefix may arrive one byte at a time, and one read may carry many
+/// pipelined frames. Semantics mirror [`read_frame`]: oversized lengths
+/// and invalid UTF-8 are errors that poison the connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames (a non-zero value
+    /// at EOF means the peer hung up mid-frame).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an oversized length prefix or a non-UTF-8 payload;
+    /// the stream is unrecoverable after either.
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = std::str::from_utf8(&avail[4..4 + len])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .to_string();
+        self.pos += 4 + len;
+        // Reclaim consumed prefix once it is large enough to matter.
+        if self.pos > (64 << 10) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
 /// Encodes a request envelope.
 pub fn encode_request(id: u64, request: &Request) -> String {
     gpm_json::write(&Json::Obj(vec![
@@ -136,6 +202,46 @@ mod tests {
         wire.extend_from_slice(&8u32.to_be_bytes());
         wire.extend_from_slice(b"shrt"); // 4 of 8 promised bytes
         assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_split_boundaries() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "first").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, &"x".repeat(1000)).unwrap();
+
+        // Feed the byte stream at every possible chunk size; the frame
+        // sequence must be identical each time.
+        for chunk in [1usize, 2, 3, 5, 7, 64, wire.len()] {
+            let mut decoder = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                decoder.extend(piece);
+                while let Some(frame) = decoder.next_frame().unwrap() {
+                    frames.push(frame);
+                }
+            }
+            assert_eq!(
+                frames,
+                vec!["first".to_string(), String::new(), "x".repeat(1000)],
+                "chunk size {chunk}"
+            );
+            assert_eq!(decoder.buffered(), 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_frames_and_reports_partials() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&(MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        assert!(decoder.next_frame().is_err());
+
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&8u32.to_be_bytes());
+        decoder.extend(b"shrt");
+        assert_eq!(decoder.next_frame().unwrap(), None, "incomplete frame");
+        assert_eq!(decoder.buffered(), 8, "partial bytes are reported");
     }
 
     #[test]

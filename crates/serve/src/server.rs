@@ -1,25 +1,42 @@
 //! The server front end: admission control, micro-batching, clients.
 //!
-//! One engine thread owns the [`PredictionEngine`] and drains a bounded
-//! queue into micro-batches ([`ServerConfig::batch_max`]). Admission is
-//! decided *before* enqueueing: when the queue is at
-//! [`ServerConfig::queue_depth`] the request is shed with a typed
-//! [`Reply::Overloaded`] — the server never buffers unboundedly.
-//! Shutdown is graceful: admitted requests are always answered before
-//! the engine thread exits.
+//! Two execution paths share one [`PredictionEngine`]:
+//!
+//! - **In-process** ([`ServerHandle::spawn`] + [`Client`]) — a single
+//!   engine thread drains a bounded queue into micro-batches
+//!   ([`ServerConfig::batch_max`]). Admission is decided *before*
+//!   enqueueing: at [`ServerConfig::queue_depth`] the request is shed
+//!   with a typed [`Reply::Overloaded`] — the server never buffers
+//!   unboundedly.
+//! - **TCP** ([`ServerHandle::bind`]) — a nonblocking reactor
+//!   ([`crate::reactor`]): [`ServerConfig::shards`] event-loop threads
+//!   share the listener, own their connections outright, and answer
+//!   pure requests in place from the engine's thread-shareable core,
+//!   coalescing them for up to [`ServerConfig::coalesce_us`] before
+//!   fanning over `gpm-par` ([`ServerConfig::fan_width`]).
+//!   Governor-backed requests still funnel through the engine thread,
+//!   preserving the sequential-profiling determinism contract. The
+//!   per-connection in-flight cap and graceful drain carry over as
+//!   reactor state.
+//!
+//! Shutdown is graceful on both paths: admitted requests are always
+//! answered before the threads exit.
 //!
 //! Two clients are provided. [`Client`] submits in-process (tests,
 //! benches, the CLI one-shot). [`TcpClient`] speaks the
 //! length-prefixed JSON protocol in [`crate::proto`]; ids are echoed,
-//! so it can pipeline. TCP connections additionally enforce a
-//! per-connection in-flight cap, shedding (not queueing) the excess.
+//! so it can pipeline.
 
 use crate::engine::PredictionEngine;
 use crate::proto;
+#[cfg(unix)]
+use crate::reactor;
 use crate::request::{Reply, Request};
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -28,15 +45,27 @@ use std::time::Duration;
 /// Server construction knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Admitted-but-unprocessed requests beyond this are shed.
+    /// Admitted-but-unprocessed requests beyond this are shed (per
+    /// reactor shard on the TCP path).
     pub queue_depth: usize,
-    /// Largest micro-batch handed to the engine at once.
+    /// Largest micro-batch handed to the engine (or flushed by a
+    /// reactor shard) at once.
     pub batch_max: usize,
     /// Per-TCP-connection cap on replies not yet written.
     pub conn_inflight: usize,
     /// Stop (gracefully) after serving this many requests — for bounded
     /// CI and bench runs.
     pub max_requests: Option<u64>,
+    /// Reactor shards (event-loop threads) for the TCP path; 0 means
+    /// one per available core, capped at 16.
+    pub shards: usize,
+    /// Batch-coalescing window in microseconds: a decoded pure request
+    /// waits at most this long for batch-mates (shards flush early the
+    /// moment the stream goes quiet).
+    pub coalesce_us: u64,
+    /// `gpm-par` fan-out width per shard flush (1 = compute on the
+    /// shard thread; shards already scale across cores).
+    pub fan_width: usize,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +75,9 @@ impl Default for ServerConfig {
             batch_max: 16,
             conn_inflight: 32,
             max_requests: None,
+            shards: 0,
+            coalesce_us: 100,
+            fan_width: 1,
         }
     }
 }
@@ -53,11 +85,11 @@ impl Default for ServerConfig {
 /// Lifetime counters reported at shutdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Requests answered by the engine (including [`Reply::Error`]).
+    /// Requests answered (including [`Reply::Error`] and cache hits).
     pub served: u64,
     /// Requests shed by admission control.
     pub shed: u64,
-    /// Micro-batches processed.
+    /// Micro-batches processed (engine batches + reactor flushes).
     pub batches: u64,
 }
 
@@ -67,25 +99,38 @@ struct Job {
     tx: mpsc::Sender<(u64, Reply)>,
 }
 
-/// Admission state shared by the engine thread and every client.
-struct Shared {
+/// Admission state shared by the engine thread, reactor shards and
+/// every in-process client.
+pub(crate) struct Shared {
     tx: Mutex<Option<mpsc::Sender<Job>>>,
     depth: AtomicUsize,
     queue_depth: usize,
     running: AtomicBool,
     shed: AtomicU64,
+    served: AtomicU64,
+    batches: AtomicU64,
+    max_requests: Option<u64>,
+    /// Write ends poked by [`Shared::close`] so blocked reactor shards
+    /// wake up and begin their drain.
+    #[cfg(unix)]
+    wakers: Mutex<Vec<UnixStream>>,
 }
 
 impl Shared {
-    fn submit(&self, id: u64, request: Request, tx: mpsc::Sender<(u64, Reply)>) -> Option<Reply> {
+    /// Queue-admission for one request; `Some(reply)` is a rejection.
+    pub(crate) fn submit(
+        &self,
+        id: u64,
+        request: Request,
+        tx: mpsc::Sender<(u64, Reply)>,
+    ) -> Option<Reply> {
         if !self.running.load(Ordering::SeqCst) {
             return Some(Reply::Error {
                 message: "server is shutting down".to_string(),
             });
         }
         if self.depth.load(Ordering::SeqCst) >= self.queue_depth {
-            self.shed.fetch_add(1, Ordering::SeqCst);
-            gpm_obs::counter_add("serve.shed", 1);
+            self.note_shed();
             return Some(Reply::Overloaded {
                 queue_depth: self.queue_depth,
             });
@@ -109,10 +154,38 @@ impl Shared {
         None
     }
 
-    /// Stops admission; the engine drains what was already admitted.
-    fn close(&self) {
+    pub(crate) fn is_running(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+
+    /// Counts one shed request.
+    pub(crate) fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::SeqCst);
+        gpm_obs::counter_add("serve.shed", 1);
+    }
+
+    /// Counts answered requests (and batches), closing admission once
+    /// the `max_requests` budget is spent.
+    pub(crate) fn note_served(&self, requests: u64, batches: u64) {
+        self.batches.fetch_add(batches, Ordering::SeqCst);
+        let total = self.served.fetch_add(requests, Ordering::SeqCst) + requests;
+        if self.max_requests.is_some_and(|max| total >= max) {
+            self.close();
+        }
+    }
+
+    /// Stops admission; the engine and the shards drain what was
+    /// already admitted.
+    pub(crate) fn close(&self) {
         self.running.store(false, Ordering::SeqCst);
         self.tx.lock().expect("admission lock").take();
+        #[cfg(unix)]
+        {
+            use std::io::Write as _;
+            for waker in self.wakers.lock().expect("waker list").iter_mut() {
+                let _ = waker.write(&[1]);
+            }
+        }
     }
 }
 
@@ -120,8 +193,8 @@ impl Shared {
 /// [`ServerHandle::shutdown`] detaches the worker threads.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    engine_thread: thread::JoinHandle<(PredictionEngine, u64, u64)>,
-    listener_thread: Option<thread::JoinHandle<()>>,
+    engine_thread: thread::JoinHandle<PredictionEngine>,
+    shard_threads: Vec<thread::JoinHandle<()>>,
     addr: Option<SocketAddr>,
 }
 
@@ -129,7 +202,20 @@ impl std::fmt::Debug for ServerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerHandle")
             .field("addr", &self.addr)
+            .field("shards", &self.shard_threads.len())
             .finish_non_exhaustive()
+    }
+}
+
+/// Resolves [`ServerConfig::shards`] (0 = one per core, capped).
+fn effective_shards(requested: usize) -> usize {
+    if requested > 0 {
+        requested.min(64)
+    } else {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16)
     }
 }
 
@@ -140,12 +226,15 @@ impl ServerHandle {
         Self::start(engine, config, None).expect("in-process spawn cannot fail on I/O")
     }
 
-    /// Starts the engine thread and a TCP listener on `addr` (use port
-    /// 0 to let the OS pick; see [`ServerHandle::local_addr`]).
+    /// Starts the engine thread, the reactor shards and a TCP listener
+    /// on `addr` (use port 0 to let the OS pick; see
+    /// [`ServerHandle::local_addr`]).
     ///
     /// # Errors
     ///
-    /// Fails when the listener cannot bind.
+    /// Fails when the listener cannot bind (and with
+    /// [`io::ErrorKind::Unsupported`] on non-Unix platforms, where the
+    /// readiness reactor is unavailable).
     pub fn bind(
         engine: PredictionEngine,
         config: ServerConfig,
@@ -160,6 +249,37 @@ impl ServerHandle {
         config: ServerConfig,
         listener: Option<TcpListener>,
     ) -> io::Result<Self> {
+        #[cfg(not(unix))]
+        if listener.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the gpm-serve TCP reactor requires a Unix platform",
+            ));
+        }
+
+        // All fallible setup happens before any thread is spawned, so an
+        // error here cannot leak a running engine.
+        let mut addr = None;
+        #[cfg(unix)]
+        let mut wake_writers: Vec<UnixStream> = Vec::new();
+        #[cfg(unix)]
+        let mut wake_readers: Vec<UnixStream> = Vec::new();
+        #[cfg(unix)]
+        let listener = match listener {
+            None => None,
+            Some(listener) => {
+                addr = Some(listener.local_addr()?);
+                listener.set_nonblocking(true)?;
+                for _ in 0..effective_shards(config.shards) {
+                    let (reader, writer) = UnixStream::pair()?;
+                    reader.set_nonblocking(true)?;
+                    wake_readers.push(reader);
+                    wake_writers.push(writer);
+                }
+                Some(Arc::new(listener))
+            }
+        };
+
         let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
         let shared = Arc::new(Shared {
             tx: Mutex::new(Some(jobs_tx)),
@@ -167,14 +287,18 @@ impl ServerHandle {
             queue_depth: config.queue_depth,
             running: AtomicBool::new(true),
             shed: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_requests: config.max_requests,
+            #[cfg(unix)]
+            wakers: Mutex::new(wake_writers),
         });
 
+        #[cfg(unix)]
+        let core = engine.core();
         let engine_shared = Arc::clone(&shared);
         let batch_max = config.batch_max.max(1);
-        let max_requests = config.max_requests;
         let engine_thread = thread::spawn(move || {
-            let mut served = 0u64;
-            let mut batches = 0u64;
             loop {
                 let first = match jobs_rx.recv_timeout(Duration::from_millis(25)) {
                     Ok(job) => job,
@@ -197,33 +321,35 @@ impl ServerHandle {
                     // A receiver may have given up; that is its problem.
                     let _ = job.tx.send((job.id, reply));
                 }
-                served += requests.len() as u64;
-                batches += 1;
-                if max_requests.is_some_and(|max| served >= max) {
-                    engine_shared.close();
-                }
+                engine_shared.note_served(requests.len() as u64, 1);
             }
-            (engine, served, batches)
+            engine
         });
 
-        let mut addr = None;
-        let listener_thread = match listener {
-            None => None,
-            Some(listener) => {
-                addr = Some(listener.local_addr()?);
-                listener.set_nonblocking(true)?;
+        let mut shard_threads = Vec::new();
+        #[cfg(unix)]
+        if let Some(listener) = listener {
+            for waker in wake_readers {
+                let cfg = reactor::ShardConfig {
+                    queue_depth: config.queue_depth,
+                    batch_max,
+                    conn_inflight: config.conn_inflight.max(1),
+                    coalesce: Duration::from_micros(config.coalesce_us),
+                    fan_width: config.fan_width.max(1),
+                };
+                let core = Arc::clone(&core);
                 let shared = Arc::clone(&shared);
-                let conn_inflight = config.conn_inflight.max(1);
-                Some(thread::spawn(move || {
-                    accept_loop(&listener, &shared, conn_inflight);
-                }))
+                let listener = Arc::clone(&listener);
+                shard_threads.push(thread::spawn(move || {
+                    reactor::run_shard(cfg, core, shared, listener, waker);
+                }));
             }
-        };
+        }
 
         Ok(ServerHandle {
             shared,
             engine_thread,
-            listener_thread,
+            shard_threads,
             addr,
         })
     }
@@ -243,20 +369,21 @@ impl ServerHandle {
     /// `false` once the server stopped admitting (shutdown requested or
     /// [`ServerConfig::max_requests`] reached).
     pub fn is_admitting(&self) -> bool {
-        self.shared.running.load(Ordering::SeqCst)
+        self.shared.is_running()
     }
 
-    /// Blocks until the engine thread exits (admission closed and queue
-    /// drained), then returns the engine and the lifetime counters.
+    /// Blocks until the shards and the engine thread exit (admission
+    /// closed and queues drained), then returns the engine and the
+    /// lifetime counters.
     pub fn join(self) -> (PredictionEngine, ServeStats) {
-        if let Some(listener) = self.listener_thread {
-            let _ = listener.join();
+        for shard in self.shard_threads {
+            let _ = shard.join();
         }
-        let (engine, served, batches) = self.engine_thread.join().expect("engine thread");
+        let engine = self.engine_thread.join().expect("engine thread");
         let stats = ServeStats {
-            served,
+            served: self.shared.served.load(Ordering::SeqCst),
             shed: self.shared.shed.load(Ordering::SeqCst),
-            batches,
+            batches: self.shared.batches.load(Ordering::SeqCst),
         };
         (engine, stats)
     }
@@ -267,103 +394,6 @@ impl ServerHandle {
         self.shared.close();
         self.join()
     }
-}
-
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conn_inflight: usize) {
-    let mut connections = Vec::new();
-    while shared.running.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                connections.push(thread::spawn(move || {
-                    let _ = serve_connection(stream, &shared, conn_inflight);
-                }));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => break,
-        }
-    }
-    for conn in connections {
-        let _ = conn.join();
-    }
-}
-
-/// One TCP connection: a reader here, a writer thread, a bounded
-/// in-flight window between them.
-fn serve_connection(
-    stream: TcpStream,
-    shared: &Arc<Shared>,
-    conn_inflight: usize,
-) -> io::Result<()> {
-    gpm_obs::counter_add("serve.connections", 1);
-    // Frames are small; Nagle + delayed ACK would add ~40ms per reply.
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let write_half = stream.try_clone()?;
-    // Replies not yet written; every message on `out_tx` was preceded
-    // by an increment, and the writer decrements per frame written.
-    let inflight = Arc::new(AtomicUsize::new(0));
-    let (out_tx, out_rx) = mpsc::channel::<(u64, Reply)>();
-
-    let writer_inflight = Arc::clone(&inflight);
-    let writer = thread::spawn(move || {
-        let mut writer = BufWriter::new(write_half);
-        while let Ok((id, reply)) = out_rx.recv() {
-            writer_inflight.fetch_sub(1, Ordering::SeqCst);
-            if proto::write_frame(&mut writer, &proto::encode_reply(id, &reply)).is_err() {
-                break;
-            }
-        }
-    });
-
-    let mut reader = BufReader::new(&stream);
-    while shared.running.load(Ordering::SeqCst) {
-        let frame = match proto::read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break, // peer closed
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue
-            }
-            Err(_) => break,
-        };
-        let (id, request) = match proto::decode_request(&frame) {
-            Ok(decoded) => decoded,
-            Err(e) => {
-                inflight.fetch_add(1, Ordering::SeqCst);
-                let reply = Reply::Error {
-                    message: format!("malformed request frame: {e}"),
-                };
-                if out_tx.send((0, reply)).is_err() {
-                    break;
-                }
-                continue;
-            }
-        };
-        let occupied = inflight.fetch_add(1, Ordering::SeqCst);
-        if occupied >= conn_inflight {
-            shared.shed.fetch_add(1, Ordering::SeqCst);
-            gpm_obs::counter_add("serve.shed", 1);
-            let reply = Reply::Overloaded {
-                queue_depth: conn_inflight,
-            };
-            if out_tx.send((id, reply)).is_err() {
-                break;
-            }
-            continue;
-        }
-        if let Some(rejection) = shared.submit(id, request, out_tx.clone()) {
-            if out_tx.send((id, rejection)).is_err() {
-                break;
-            }
-        }
-    }
-    drop(out_tx);
-    let _ = writer.join();
-    Ok(())
 }
 
 /// An in-process client: submits straight to the admission queue.
@@ -571,5 +601,31 @@ mod tests {
         assert!(matches!(client.call(power_request()), Reply::Error { .. }));
         let (_, stats) = handle.join();
         assert_eq!(stats.served, 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn tcp_round_trip_through_the_reactor() {
+        let config = ServerConfig {
+            shards: 2,
+            ..ServerConfig::default()
+        };
+        let handle = ServerHandle::bind(engine(), config, "127.0.0.1:0").unwrap();
+        let addr = handle.local_addr().unwrap();
+        let mut client = TcpClient::connect(addr).unwrap();
+        let reply = client.call(&power_request()).unwrap();
+        assert!(
+            matches!(reply, Reply::Ok(Response::Power { watts }) if watts > 0.0),
+            "{reply:?}"
+        );
+        // Pipelined requests all come back, matched by id.
+        let batch: Vec<Request> = (0..16).map(|_| power_request()).collect();
+        let replies = client.pipeline(&batch).unwrap();
+        assert_eq!(replies.len(), 16);
+        assert!(replies.iter().all(|r| r == &reply), "{replies:?}");
+        drop(client);
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.served, 17);
+        assert_eq!(stats.shed, 0);
     }
 }

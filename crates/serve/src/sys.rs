@@ -1,0 +1,477 @@
+//! Readiness polling without `libc`: the one module in the workspace
+//! that talks to the kernel directly.
+//!
+//! The reactor ([`crate::server`]'s TCP front end) needs a blocking
+//! "which of my sockets are ready?" primitive. The approved dependency
+//! set has neither `libc` nor `mio`, so this module declares the two
+//! syscall entry points it needs itself (`extern "C"` against the C
+//! runtime the standard library already links) and wraps them in a safe
+//! [`Poller`]:
+//!
+//! - **Linux** — `epoll` (`epoll_create1`/`epoll_ctl`/`epoll_wait`),
+//!   level-triggered. The epoll fd is held as a
+//!   [`std::os::fd::OwnedFd`], so lifetime and close are std's problem.
+//! - **Other Unix** — POSIX `poll(2)` over a registration table; same
+//!   semantics, O(n) per wakeup, fine at per-shard connection counts.
+//! - **Non-Unix** — a stub whose constructor fails with
+//!   `ErrorKind::Unsupported`; the rest of the crate (in-process
+//!   serving, the engine, the registry) works everywhere.
+//!
+//! All `unsafe` in `gpm-serve` lives here (the crate root is
+//! `#![deny(unsafe_code)]` with an allowance for this module only) and
+//! is limited to the FFI calls plus adopting the epoll fd.
+//!
+//! Interest is "always readable, optionally writable": every
+//! registered fd reports read readiness and hangup; write readiness is
+//! toggled with [`Poller::set_writable`] only while a connection has
+//! unflushed output, which keeps level-triggered wakeups quiet.
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can accept more output.
+    pub writable: bool,
+    /// The peer closed or the fd errored; reads will observe EOF/error.
+    pub closed: bool,
+}
+
+pub use imp::Poller;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::PollEvent;
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event` from the Linux UAPI; packed on x86-64 only,
+    /// exactly as the kernel headers declare it.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    /// An epoll instance; see the module docs for the interest model.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance (close-on-exec).
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_create1` failure.
+        pub fn new() -> io::Result<Self> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // The fd is fresh and exclusively ours: adopting it is the
+            // entire point of OwnedFd.
+            Ok(Poller {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn interest(writable: bool) -> u32 {
+            EPOLLIN | EPOLLRDHUP | if writable { EPOLLOUT } else { 0 }
+        }
+
+        /// Registers `fd` under `token`, read-interested (plus write
+        /// interest when `writable`).
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure.
+        pub fn register(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, Self::interest(writable), token)
+        }
+
+        /// Toggles write interest for an already-registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure.
+        pub fn set_writable(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, Self::interest(writable), token)
+        }
+
+        /// Removes an fd from the interest set.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until at least one registered fd is ready or `timeout`
+        /// elapses (`None` = wait forever; sub-millisecond timeouts
+        /// round down to an immediate poll). Clears and refills
+        /// `events`; returns the event count.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_wait` failure (`EINTR` is retried).
+        pub fn wait(
+            &self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 128];
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd.as_raw_fd(),
+                        buf.as_mut_ptr(),
+                        buf.len() as c_int,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &buf[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (ev.events, ev.data);
+                events.push(PollEvent {
+                    token: data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod imp {
+    use super::PollEvent;
+    use std::ffi::{c_int, c_short};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    struct Pollfd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        // `nfds_t` is `unsigned int` on the BSD family; this fallback
+        // never runs on Linux (where it is `unsigned long`).
+        fn poll(fds: *mut Pollfd, nfds: std::ffi::c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// POSIX `poll(2)` fallback; same contract as the Linux poller.
+    #[derive(Debug)]
+    pub struct Poller {
+        slots: Mutex<Vec<(RawFd, u64, bool)>>,
+    }
+
+    impl Poller {
+        /// Creates an empty registration table.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend (signature matches the others).
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller {
+                slots: Mutex::new(Vec::new()),
+            })
+        }
+
+        /// Registers `fd` under `token`; see the Linux poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend.
+        pub fn register(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            self.slots
+                .lock()
+                .expect("poller table")
+                .push((fd, token, writable));
+            Ok(())
+        }
+
+        /// Toggles write interest; see the Linux poller.
+        ///
+        /// # Errors
+        ///
+        /// Fails with `NotFound` for an unregistered fd.
+        pub fn set_writable(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+            let mut slots = self.slots.lock().expect("poller table");
+            for slot in slots.iter_mut() {
+                if slot.0 == fd {
+                    *slot = (fd, token, writable);
+                    return Ok(());
+                }
+            }
+            Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        /// Removes an fd; see the Linux poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.slots
+                .lock()
+                .expect("poller table")
+                .retain(|s| s.0 != fd);
+            Ok(())
+        }
+
+        /// Polls the registered set; see the Linux poller.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `poll` failure (`EINTR` is retried).
+        pub fn wait(
+            &self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut fds: Vec<Pollfd> = {
+                let slots = self.slots.lock().expect("poller table");
+                slots
+                    .iter()
+                    .map(|&(fd, _, writable)| Pollfd {
+                        fd,
+                        events: POLLIN | if writable { POLLOUT } else { 0 },
+                        revents: 0,
+                    })
+                    .collect()
+            };
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(c_int::MAX as u128) as c_int,
+            };
+            loop {
+                let rc =
+                    unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_uint, timeout_ms) };
+                if rc >= 0 {
+                    break;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+            let slots = self.slots.lock().expect("poller table");
+            for (pollfd, &(_, token, _)) in fds.iter().zip(slots.iter()) {
+                if pollfd.revents == 0 {
+                    continue;
+                }
+                events.push(PollEvent {
+                    token,
+                    readable: pollfd.revents & POLLIN != 0,
+                    writable: pollfd.revents & POLLOUT != 0,
+                    closed: pollfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::PollEvent;
+    use std::io;
+    use std::time::Duration;
+
+    /// Stub backend: readiness polling is Unix-only; constructing one
+    /// fails, so `ServerHandle::bind` reports `Unsupported` instead of
+    /// failing to compile the workspace.
+    #[derive(Debug)]
+    pub struct Poller {
+        never: std::convert::Infallible,
+    }
+
+    impl Poller {
+        /// Always fails on non-Unix platforms.
+        ///
+        /// # Errors
+        ///
+        /// `ErrorKind::Unsupported`, unconditionally.
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the gpm-serve reactor requires a Unix platform",
+            ))
+        }
+
+        /// Unreachable (a stub `Poller` cannot be constructed).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn register(&self, _fd: i32, _token: u64, _writable: bool) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (a stub `Poller` cannot be constructed).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn set_writable(&self, _fd: i32, _token: u64, _writable: bool) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (a stub `Poller` cannot be constructed).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn deregister(&self, _fd: i32) -> io::Result<()> {
+            match self.never {}
+        }
+
+        /// Unreachable (a stub `Poller` cannot be constructed).
+        ///
+        /// # Errors
+        ///
+        /// Unreachable.
+        pub fn wait(
+            &self,
+            _events: &mut Vec<PollEvent>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            match self.never {}
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_tracks_writes_and_hangup() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 7, false).unwrap();
+
+        // Nothing pending: a zero timeout returns promptly with no events.
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+        a.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.token == 7)
+            .expect("readable event");
+        assert!(ev.readable);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+
+        // Peer hangup surfaces as readable (EOF) and/or closed.
+        drop(a);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 7).expect("hangup event");
+        assert!(ev.readable || ev.closed);
+    }
+
+    #[test]
+    fn write_interest_is_toggleable() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 3, true).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 3 && e.writable),
+            "an idle socket is write-ready: {events:?}"
+        );
+        poller.set_writable(b.as_raw_fd(), 3, false).unwrap();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 3 || !e.writable),
+            "write interest cleared: {events:?}"
+        );
+        poller.deregister(b.as_raw_fd()).unwrap();
+        poller.wait(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.iter().all(|e| e.token != 3));
+    }
+}
