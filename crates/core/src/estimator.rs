@@ -29,6 +29,7 @@
 
 use crate::{DomainParams, MicrobenchSample, ModelError, PowerModel, TrainingSet, VoltageTable};
 use gpm_json::impl_json;
+use gpm_linalg::batch::{domain_residuals_into, dot_rows_into};
 use gpm_linalg::{cubic_roots, isotonic_increasing, nnls, ridge_lstsq, spd_inverse, stats, Matrix};
 use gpm_obs::SpanHandle;
 use gpm_par::timer::{Collector, PhaseTimings};
@@ -500,18 +501,8 @@ impl Estimator {
             "estimator.diagnostics",
             self.config.max_iterations as u64,
         );
-        let (pred, meas): (Vec<f64>, Vec<f64>) = obs
-            .iter()
-            .map(|o| {
-                let row = design_row(
-                    &training.samples[o.sample].utilizations.as_array(),
-                    o.config,
-                    vcore[&o.config],
-                    vmem[&o.config],
-                );
-                (dot(&row, &x), o.watts)
-            })
-            .unzip();
+        let pred = predict_obs(training, &obs, &x, &vcore, &vmem);
+        let meas: Vec<f64> = obs.iter().map(|o| o.watts).collect();
         let training_mape = stats::mape(&pred, &meas)?;
 
         // Per-coefficient standard errors from sigma^2 * (A^T A)^-1 at the
@@ -750,25 +741,34 @@ impl Estimator {
                         };
                         base * obs_weights[i]
                     };
+                    // The Eq. 12 inner loop, batched: residuals against
+                    // the *other* domain's contribution come from one
+                    // `domain_residuals_into` pass over the group (same
+                    // association as the scalar expression, so the solve
+                    // inputs are bit-identical).
+                    let a_acts: Vec<f64> =
+                        idxs.iter().map(|&i| activities[obs[i].sample].0).collect();
+                    let b_acts: Vec<f64> =
+                        idxs.iter().map(|&i| activities[obs[i].sample].1).collect();
+                    let watts: Vec<f64> = idxs.iter().map(|&i| obs[i].watts).collect();
+                    let mut resid = vec![0.0; idxs.len()];
                     // Core voltage given the current memory voltage.
                     let vm = vmem[&config];
+                    domain_residuals_into(x[8], fm, vm, &b_acts, &watts, &mut resid);
                     let pairs: Vec<(f64, f64, f64)> = idxs
                         .iter()
-                        .map(|&i| {
-                            let (a_core, b_mem) = activities[obs[i].sample];
-                            let r = obs[i].watts - (x[8] * vm + b_mem * fm * vm * vm);
-                            (a_core * fc, r, weight_of(i))
-                        })
+                        .zip(&a_acts)
+                        .zip(&resid)
+                        .map(|((&i, &a_core), &r)| (a_core * fc, r, weight_of(i)))
                         .collect();
                     let vc = minimize_quartic(x[0], &pairs).unwrap_or(vcore[&config]);
                     // Memory voltage given the updated core voltage.
+                    domain_residuals_into(x[0], fc, vc, &a_acts, &watts, &mut resid);
                     let pairs: Vec<(f64, f64, f64)> = idxs
                         .iter()
-                        .map(|&i| {
-                            let (a_core, b_mem) = activities[obs[i].sample];
-                            let r = obs[i].watts - (x[0] * vc + a_core * fc * vc * vc);
-                            (b_mem * fm, r, weight_of(i))
-                        })
+                        .zip(&b_acts)
+                        .zip(&resid)
+                        .map(|((&i, &b_mem), &r)| (b_mem * fm, r, weight_of(i)))
                         .collect();
                     let vm = minimize_quartic(x[8], &pairs).unwrap_or(vm);
                     Some((config, vc, vm))
@@ -959,8 +959,37 @@ fn project_monotone(
     }
 }
 
+/// Scalar design-row product — the reference `predict_obs`'s batched
+/// panel pass must match bit-for-bit (hot paths all go through the
+/// batch; tests build ground truth with this).
+#[cfg(test)]
 fn dot(row: &[f64; NUM_PARAMS], x: &[f64]) -> f64 {
     row.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+/// Batched model predictions for a set of observations: one flat
+/// design-row panel, one blocked dot pass through `gpm_linalg::batch` —
+/// bit-identical to computing `dot(&design_row(..), x)` per observation.
+fn predict_obs(
+    training: &TrainingSet,
+    obs: &[Obs],
+    x: &[f64],
+    vcore: &BTreeMap<FreqConfig, f64>,
+    vmem: &BTreeMap<FreqConfig, f64>,
+) -> Vec<f64> {
+    let mut panel = Vec::with_capacity(obs.len() * NUM_PARAMS);
+    for o in obs {
+        panel.extend_from_slice(&design_row(
+            &training.samples[o.sample].utilizations.as_array(),
+            o.config,
+            vcore[&o.config],
+            vmem[&o.config],
+        ));
+    }
+    let mut out = vec![0.0; obs.len()];
+    dot_rows_into(&panel, &x[..NUM_PARAMS], &mut out)
+        .expect("design panel is rectangular by construction");
+    out
 }
 
 fn dot_slice(row: &[f64], x: &[f64]) -> f64 {
@@ -977,17 +1006,10 @@ fn huber_weights(
     vmem: &BTreeMap<FreqConfig, f64>,
     k: f64,
 ) -> Vec<f64> {
-    let residuals: Vec<f64> = obs
+    let residuals: Vec<f64> = predict_obs(training, obs, x, vcore, vmem)
         .iter()
-        .map(|o| {
-            let row = design_row(
-                &training.samples[o.sample].utilizations.as_array(),
-                o.config,
-                vcore[&o.config],
-                vmem[&o.config],
-            );
-            dot(&row, x) - o.watts
-        })
+        .zip(obs)
+        .map(|(p, o)| p - o.watts)
         .collect();
     let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
     abs.sort_by(f64::total_cmp);
@@ -1033,16 +1055,11 @@ fn rmse_of(
     vcore: &BTreeMap<FreqConfig, f64>,
     vmem: &BTreeMap<FreqConfig, f64>,
 ) -> f64 {
+    let pred = predict_obs(training, obs, x, vcore, vmem);
     let mut sse = 0.0;
     let mut denom = 0.0;
-    for (o, &w) in obs.iter().zip(weights) {
-        let row = design_row(
-            &training.samples[o.sample].utilizations.as_array(),
-            o.config,
-            vcore[&o.config],
-            vmem[&o.config],
-        );
-        let e = dot(&row, x) - o.watts;
+    for ((o, &w), &p) in obs.iter().zip(weights).zip(&pred) {
+        let e = p - o.watts;
         sse += w * e * e;
         denom += w;
     }

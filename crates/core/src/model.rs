@@ -158,6 +158,52 @@ impl VoltageTable {
     }
 }
 
+/// A tiny open-addressing index from [`FreqConfig`] to its position in
+/// the flattened voltage table. Batched sweeps resolve every point
+/// through this instead of a B-tree walk or binary search: one
+/// multiplicative hash plus (almost always) one L1 probe per point.
+struct ConfigIndex {
+    /// `(packed_key + 1, position)`; key 0 marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    mask: usize,
+}
+
+impl ConfigIndex {
+    fn pack(config: FreqConfig) -> u64 {
+        (u64::from(config.core.as_u32()) << 32) | u64::from(config.mem.as_u32())
+    }
+
+    fn build(configs: impl ExactSizeIterator<Item = FreqConfig>) -> Self {
+        let capacity = (configs.len() * 2).next_power_of_two().max(8);
+        let mask = capacity - 1;
+        let mut slots = vec![(0u64, 0u32); capacity];
+        for (pos, config) in configs.enumerate() {
+            let key = Self::pack(config) + 1;
+            let mut slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+            while slots[slot].0 != 0 {
+                slot = (slot + 1) & mask;
+            }
+            slots[slot] = (key, pos as u32);
+        }
+        ConfigIndex { slots, mask }
+    }
+
+    fn get(&self, config: FreqConfig) -> Option<usize> {
+        let key = Self::pack(config) + 1;
+        let mut slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
+        loop {
+            let (k, pos) = self.slots[slot];
+            if k == key {
+                return Some(pos as usize);
+            }
+            if k == 0 {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
 /// Finds the grid neighbours of `x` in a sorted level list, returning
 /// `(below, above, interpolation weight)`; clamps outside the range.
 fn bracket(levels: &[Mhz], x: Mhz) -> (Mhz, Mhz, f64) {
@@ -371,6 +417,112 @@ impl PowerModel {
         Ok(self.breakdown(utilizations, config)?.total())
     }
 
+    /// Predicts total power (watts) at *many* configurations in one
+    /// blocked pass — the batch counterpart of [`PowerModel::predict`],
+    /// bit-identical to calling it per configuration.
+    ///
+    /// The per-sweep constants (coefficients and reference utilizations)
+    /// are folded into one [`gpm_linalg::PanelModel`], the voltage table
+    /// is flattened once into a sorted array (so the per-point lookup is
+    /// a cache-friendly binary search instead of a B-tree walk), and the
+    /// arithmetic runs through `gpm_linalg::batch` — blocked panels, or
+    /// runtime-dispatched SSE2/AVX2 when built with the `simd` feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownConfig`] for the first configuration
+    /// outside the fitted voltage table, exactly as a scalar loop would.
+    pub fn predict_batch(
+        &self,
+        utilizations: &Utilizations,
+        configs: &[FreqConfig],
+    ) -> Result<Vec<f64>, ModelError> {
+        let mut out = vec![0.0; configs.len()];
+        self.predict_batch_into(utilizations, configs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`PowerModel::predict_batch`] into a caller-provided buffer
+    /// (serving hot paths reuse their buffers across requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownConfig`] for the first configuration
+    /// outside the fitted voltage table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != configs.len()`.
+    pub fn predict_batch_into(
+        &self,
+        utilizations: &Utilizations,
+        configs: &[FreqConfig],
+        out: &mut [f64],
+    ) -> Result<(), ModelError> {
+        assert_eq!(
+            configs.len(),
+            out.len(),
+            "one output slot per configuration"
+        );
+        let mut core_terms = [(0.0, 0.0); 6];
+        for (i, comp) in Component::CORE.iter().enumerate() {
+            core_terms[i] = (self.core.omegas[i], utilizations.get(*comp));
+        }
+        let panel = gpm_linalg::PanelModel {
+            core_static: self.core.static_coef,
+            core_idle: self.core.idle_dyn,
+            core_terms: &core_terms,
+            mem_static: self.mem.static_coef,
+            mem_idle: self.mem.idle_dyn,
+            mem_term: (self.mem.omegas[0], utilizations.get(Component::Dram)),
+        };
+        let table: Vec<(FreqConfig, [f64; 2])> = self
+            .voltages
+            .entries
+            .iter()
+            .map(|(c, v)| (*c, *v))
+            .collect();
+        let index = ConfigIndex::build(table.iter().map(|&(c, _)| c));
+
+        if configs.len() > table.len() {
+            // Sweep shape (e.g. a tiled V-F grid): the batch revisits
+            // fitted configurations, so evaluate each *distinct* one
+            // exactly once through the kernel and resolve every point by
+            // O(1) index lookup. Identical `(utilizations, config)`
+            // arithmetic, so outputs stay bit-identical to the per-point
+            // path.
+            let points: Vec<gpm_linalg::VfPoint> = table
+                .iter()
+                .map(|&(config, [vc, vm])| gpm_linalg::VfPoint {
+                    vc,
+                    fc: ghz(config.core),
+                    vm,
+                    fm: ghz(config.mem),
+                })
+                .collect();
+            let mut memo = vec![0.0; table.len()];
+            gpm_linalg::batch::predict_into(&panel, &points, &mut memo);
+            for (&config, o) in configs.iter().zip(out.iter_mut()) {
+                let i = index.get(config).ok_or(ModelError::UnknownConfig(config))?;
+                *o = memo[i];
+            }
+        } else {
+            let mut points = Vec::with_capacity(configs.len());
+            for &config in configs {
+                let i = index.get(config).ok_or(ModelError::UnknownConfig(config))?;
+                let [vc, vm] = table[i].1;
+                points.push(gpm_linalg::VfPoint {
+                    vc,
+                    fc: ghz(config.core),
+                    vm,
+                    fm: ghz(config.mem),
+                });
+            }
+            gpm_linalg::batch::predict_into(&panel, &points, out);
+        }
+        Ok(())
+    }
+
     /// Predicts power at an arbitrary (possibly off-grid) configuration
     /// by interpolating the voltage table — use case 4's fine-grained
     /// V-F adjustments. On-grid configurations match [`PowerModel::predict`]
@@ -554,6 +706,24 @@ mod tests {
         // DRAM part uses the memory domain frequency/voltage.
         let dram = b.component(Component::Dram);
         assert!((dram - 3.505 * 26.4 * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_is_bit_identical_to_scalar_predict() {
+        let m = model();
+        let u = Utilizations::from_values([0.2, 0.6, 0.1, 0.1, 0.2, 0.3, 0.5]).unwrap();
+        let configs: Vec<FreqConfig> = m.voltage_table().configs().collect();
+        let batch = m.predict_batch(&u, &configs).unwrap();
+        for (c, b) in configs.iter().zip(&batch) {
+            assert_eq!(m.predict(&u, *c).unwrap().to_bits(), b.to_bits());
+        }
+        // Unknown configurations error exactly like the scalar path.
+        let err = m
+            .predict_batch(&u, &[FreqConfig::from_mhz(123, 456)])
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownConfig(_)));
+        // Empty batches are a no-op.
+        assert!(m.predict_batch(&u, &[]).unwrap().is_empty());
     }
 
     #[test]

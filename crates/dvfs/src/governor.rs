@@ -324,12 +324,23 @@ impl<'g> Governor<'g> {
         self.gpu.set_clocks(reference)?;
         let time_ref = self.gpu.execute(kernel).duration_s;
 
+        // Timing needs the device per configuration; power does not —
+        // sweep the grid for runtimes, predict the whole grid in one
+        // batched call, then score. Same device op sequence and same
+        // scoring order as the per-point loop, so decisions (and the
+        // serve replies built on them) are byte-identical.
+        let configs = spec.vf_grid();
+        let mut times = Vec::with_capacity(configs.len());
+        for &config in &configs {
+            self.gpu.set_clocks(config)?;
+            times.push(self.gpu.execute(kernel).duration_s);
+        }
+        self.gpu.set_clocks(reference)?;
+        let powers = self.model.predict_batch(&profile.utilizations, &configs)?;
+
         let mut best: Option<(FreqConfig, f64, f64, f64)> = None; // cfg, p, t, score
         let mut lowest_power: Option<(FreqConfig, f64, f64)> = None;
-        for config in spec.vf_grid() {
-            self.gpu.set_clocks(config)?;
-            let t = self.gpu.execute(kernel).duration_s;
-            let p = self.model.predict(&profile.utilizations, config)?;
+        for ((&config, &t), &p) in configs.iter().zip(&times).zip(&powers) {
             if lowest_power.is_none_or(|(_, lp, _)| p < lp) {
                 lowest_power = Some((config, p, t));
             }
@@ -339,7 +350,6 @@ impl<'g> Governor<'g> {
                 }
             }
         }
-        self.gpu.set_clocks(reference)?;
 
         let (config, p, t) = match best {
             Some((c, p, t, _)) => (c, p, t),

@@ -59,18 +59,28 @@ pub fn pareto_frontier(
         profiler.profile_at_reference(kernel)?
     };
 
-    let mut points = Vec::new();
-    for config in spec.vf_grid() {
+    // Runtimes need the simulated device (clock changes mutate its
+    // state), but power is a pure function of the model — so time the
+    // grid in one pass, then evaluate the whole sweep as a single
+    // batched prediction instead of 64+ scalar calls.
+    let configs = spec.vf_grid();
+    let mut times = Vec::with_capacity(configs.len());
+    for &config in &configs {
         gpu.set_clocks(config)?;
-        let time_s = gpu.execute(kernel).duration_s;
-        let power_w = model.predict(&profile.utilizations, config)?;
-        points.push(ParetoPoint {
+        times.push(gpu.execute(kernel).duration_s);
+    }
+    gpu.set_clocks(spec.default_config())?;
+    let powers = model.predict_batch(&profile.utilizations, &configs)?;
+    let mut points: Vec<ParetoPoint> = configs
+        .iter()
+        .zip(&times)
+        .zip(&powers)
+        .map(|((&config, &time_s), &power_w)| ParetoPoint {
             config,
             time_s,
             power_w,
-        });
-    }
-    gpu.set_clocks(spec.default_config())?;
+        })
+        .collect();
 
     // Sort by runtime, then sweep keeping strictly improving energy.
     points.sort_by(|a, b| {

@@ -1,0 +1,604 @@
+//! Batched evaluation kernels for the two-domain V-F power surface.
+//!
+//! Every downstream sweep — Pareto frontiers, governor grid scans,
+//! serve-engine batches, the Eq. 12 voltage solves — evaluates one fitted
+//! model over *many* `(utilization, V-F)` points. Doing that through the
+//! scalar per-point predictor wastes most of its time on per-call
+//! overhead; these kernels evaluate the same arithmetic as blocked,
+//! cache-friendly panels instead.
+//!
+//! The contract that makes the kernels safe to substitute anywhere is
+//! **bit-identity**: for every point, every path here performs exactly
+//! the floating-point operations of the scalar reference, in exactly the
+//! same order, so results are equal to the last ULP — not merely close.
+//! [`predict_scalar_into`] *is* that reference (the conformance oracle);
+//! [`predict_blocked_into`] restates it as structure-of-arrays panels
+//! whose inner loops the compiler can pipeline; with the `simd` feature
+//! enabled, [`predict_into`] additionally dispatches to hand-written
+//! SSE2/AVX2 lanes at runtime. Vector lanes evaluate *distinct points*
+//! side by side while preserving the within-point operation order (pure
+//! IEEE mul/add, never FMA), which is why lane width cannot change
+//! results.
+//!
+//! The panel model here is deliberately shape-generic (any number of
+//! core-domain terms): `gpm-linalg` knows nothing about GPUs, only about
+//! the quadratic-in-voltage surface `P(v, f) = β₀v + v²f·(β₁ + Σωᵢuᵢ)`
+//! summed over two domains.
+
+use crate::LinalgError;
+
+/// One evaluation point: normalized voltages and frequencies (GHz) of
+/// both V-F domains.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VfPoint {
+    /// Normalized core-domain voltage `V̄core`.
+    pub vc: f64,
+    /// Core-domain frequency in GHz.
+    pub fc: f64,
+    /// Normalized memory-domain voltage `V̄mem`.
+    pub vm: f64,
+    /// Memory-domain frequency in GHz.
+    pub fm: f64,
+}
+
+/// The per-batch constants of the power surface: domain coefficients plus
+/// the `(ωᵢ, Uᵢ)` activity pairs that are fixed across the sweep.
+///
+/// The dynamic term of each component is applied as `((v²f)·ω)·U` — the
+/// exact association the scalar per-component breakdown uses. The
+/// component terms are folded from `0.0` in slice order (core terms,
+/// then the memory term) and the two-domain constant is added *last*,
+/// matching the breakdown's `constant + components.iter().sum()` total
+/// to the bit.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelModel<'a> {
+    /// Core-domain static coefficient `β₀` (multiplies `V̄core`).
+    pub core_static: f64,
+    /// Core-domain idle dynamic coefficient `β₁` (multiplies `V̄²f`).
+    pub core_idle: f64,
+    /// Core-domain `(ωᵢ, Uᵢ)` pairs, in canonical component order.
+    pub core_terms: &'a [(f64, f64)],
+    /// Memory-domain static coefficient `β₂`.
+    pub mem_static: f64,
+    /// Memory-domain idle dynamic coefficient `β₃`.
+    pub mem_idle: f64,
+    /// Memory-domain `(ω, U)` pair (DRAM).
+    pub mem_term: (f64, f64),
+}
+
+/// Panel width of the blocked and SIMD paths: big enough to amortize the
+/// per-panel setup, small enough that the three f64 scratch panels stay
+/// resident in L1 (3 × 256 × 8 B = 6 KiB).
+const BLOCK: usize = 256;
+
+/// Evaluates one point exactly as the scalar per-component breakdown
+/// does: constant part of both domains, then each dynamic component in
+/// order. This is the reference everything else must match bit-for-bit.
+#[inline]
+fn predict_one(m: &PanelModel<'_>, p: VfPoint) -> f64 {
+    let g = p.vc * p.vc * p.fc;
+    let h = p.vm * p.vm * p.fm;
+    let constant = (m.core_static * p.vc + g * (m.core_idle + 0.0))
+        + (m.mem_static * p.vm + h * (m.mem_idle + 0.0));
+    let mut acc = 0.0;
+    for &(w, u) in m.core_terms {
+        acc += g * w * u;
+    }
+    let (w, u) = m.mem_term;
+    constant + (acc + h * w * u)
+}
+
+/// The scalar conformance oracle: a plain per-point loop over
+/// [`predict_one`]. Every other path in this module must produce output
+/// bit-identical to this one.
+///
+/// # Panics
+///
+/// Panics if `out.len() != points.len()`.
+pub fn predict_scalar_into(m: &PanelModel<'_>, points: &[VfPoint], out: &mut [f64]) {
+    assert_eq!(points.len(), out.len(), "one output slot per point");
+    for (p, o) in points.iter().zip(out.iter_mut()) {
+        *o = predict_one(m, *p);
+    }
+}
+
+/// Blocked panel evaluation: points are processed [`BLOCK`] at a time as
+/// structure-of-arrays scratch panels, with one tight inner loop per
+/// model term streaming over the panel. Per point, the operations and
+/// their order are identical to [`predict_scalar_into`]; only the loop
+/// nest differs, so the output is bit-identical while the inner loops
+/// auto-vectorize and keep their operands in L1.
+///
+/// # Panics
+///
+/// Panics if `out.len() != points.len()`.
+pub fn predict_blocked_into(m: &PanelModel<'_>, points: &[VfPoint], out: &mut [f64]) {
+    assert_eq!(points.len(), out.len(), "one output slot per point");
+    let ci = m.core_idle + 0.0;
+    let mi = m.mem_idle + 0.0;
+    let mut g = [0.0f64; BLOCK];
+    let mut h = [0.0f64; BLOCK];
+    let mut konst = [0.0f64; BLOCK];
+    let mut acc = [0.0f64; BLOCK];
+    for (pts, outs) in points.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+        let n = pts.len();
+        for i in 0..n {
+            let p = pts[i];
+            g[i] = p.vc * p.vc * p.fc;
+            h[i] = p.vm * p.vm * p.fm;
+            konst[i] = (m.core_static * p.vc + g[i] * ci) + (m.mem_static * p.vm + h[i] * mi);
+            acc[i] = 0.0;
+        }
+        for &(w, u) in m.core_terms {
+            for i in 0..n {
+                acc[i] += g[i] * w * u;
+            }
+        }
+        let (w, u) = m.mem_term;
+        for i in 0..n {
+            outs[i] = konst[i] + (acc[i] + h[i] * w * u);
+        }
+    }
+}
+
+/// Batched evaluation with runtime dispatch: the widest available path —
+/// AVX2, then SSE2 (compiled only under the `simd` feature on x86-64),
+/// then the blocked scalar panels. All paths are bit-identical, so the
+/// dispatch choice is purely a throughput decision.
+///
+/// # Panics
+///
+/// Panics if `out.len() != points.len()`.
+#[cfg_attr(feature = "simd", allow(unsafe_code))]
+pub fn predict_into(m: &PanelModel<'_>, points: &[VfPoint], out: &mut [f64]) {
+    assert_eq!(points.len(), out.len(), "one output slot per point");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { simd_x86::predict_avx2(m, points, out) };
+            return;
+        }
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { simd_x86::predict_sse2(m, points, out) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    predict_blocked_into(m, points, out)
+}
+
+/// The path [`predict_into`] dispatches to on this machine and build:
+/// `"avx2"`, `"sse2"` or `"blocked"`. Benchmarks record it so a
+/// regression report names the kernel it measured; tests use it to
+/// assert that disabling the `simd` feature cleanly falls back.
+pub fn dispatch_kind() -> &'static str {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+        return "sse2";
+    }
+    #[allow(unreachable_code)]
+    "blocked"
+}
+
+/// Row-panel dot products: `out[r] = Σⱼ rows[r·ncols + j] · x[j]` with a
+/// strictly in-order accumulation per row (starting from `+0.0`), which
+/// is bit-identical to `row.iter().zip(x).map(|(a, b)| a * b).sum()`.
+/// `rows` is one row-major panel; the estimator uses this for its
+/// design-matrix predictions (RMSE, Huber weights, diagnostics).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `rows` is not exactly
+/// `out.len()` rows of `x.len()` columns.
+pub fn dot_rows_into(rows: &[f64], x: &[f64], out: &mut [f64]) -> Result<(), LinalgError> {
+    let ncols = x.len();
+    if ncols == 0 || rows.len() != ncols * out.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("{}x{ncols} row panel", out.len()),
+            got: format!("{} elements", rows.len()),
+        });
+    }
+    for (row, o) in rows.chunks_exact(ncols).zip(out.iter_mut()) {
+        let mut acc = 0.0;
+        for (a, b) in row.iter().zip(x) {
+            acc += a * b;
+        }
+        *o = acc;
+    }
+    Ok(())
+}
+
+/// Batched Eq. 12 cross-domain residuals: with one domain's voltage `v`
+/// and frequency `f` fixed for the whole batch,
+/// `out[i] = watts[i] - (static_coef·v + activity[i]·f·v·v)`
+/// — the measured power minus the *other* domain's contribution, which
+/// is the target the per-configuration quartic voltage solve fits. The
+/// expression associates exactly as the scalar estimator wrote it, so
+/// the solve's inputs (and therefore the fitted voltages and every
+/// golden trace downstream) are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `activity`, `watts` and `out` differ in length.
+pub fn domain_residuals_into(
+    static_coef: f64,
+    f: f64,
+    v: f64,
+    activity: &[f64],
+    watts: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(
+        activity.len(),
+        watts.len(),
+        "one activity term per observation"
+    );
+    assert_eq!(activity.len(), out.len(), "one output slot per observation");
+    let fixed = static_coef * v;
+    for i in 0..activity.len() {
+        out[i] = watts[i] - (fixed + activity[i] * f * v * v);
+    }
+}
+
+/// Hand-written SSE2/AVX2 lanes (x86-64, `simd` feature only).
+///
+/// Lanes evaluate distinct points in parallel; each lane performs the
+/// scalar operation sequence (pure IEEE mul/add, no FMA), so widening
+/// from 1 to 2 to 4 lanes cannot change any result bit. Points are first
+/// transposed into structure-of-arrays panels because [`VfPoint`] is
+/// laid out AoS; the transpose is scalar and cheap relative to the
+/// per-term vector loops. The panel tail (`n % lanes`) and sub-panel
+/// batches fall back to [`predict_one`].
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod simd_x86 {
+    use super::{predict_one, PanelModel, VfPoint, BLOCK};
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Scalar AoS → SoA transpose of one panel.
+    #[inline]
+    fn transpose(
+        pts: &[VfPoint],
+        vc: &mut [f64; BLOCK],
+        fc: &mut [f64; BLOCK],
+        vm: &mut [f64; BLOCK],
+        fm: &mut [f64; BLOCK],
+    ) {
+        for (i, p) in pts.iter().enumerate() {
+            vc[i] = p.vc;
+            fc[i] = p.fc;
+            vm[i] = p.vm;
+            fm[i] = p.fm;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must verify AVX2 support (`is_x86_feature_detected!`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn predict_avx2(m: &PanelModel<'_>, points: &[VfPoint], out: &mut [f64]) {
+        let ci = m.core_idle + 0.0;
+        let mi = m.mem_idle + 0.0;
+        let cs = _mm256_set1_pd(m.core_static);
+        let ms = _mm256_set1_pd(m.mem_static);
+        let civ = _mm256_set1_pd(ci);
+        let miv = _mm256_set1_pd(mi);
+        let (mw, mu) = m.mem_term;
+        let mwv = _mm256_set1_pd(mw);
+        let muv = _mm256_set1_pd(mu);
+
+        let mut vc = [0.0f64; BLOCK];
+        let mut fc = [0.0f64; BLOCK];
+        let mut vm = [0.0f64; BLOCK];
+        let mut fm = [0.0f64; BLOCK];
+        let mut g = [0.0f64; BLOCK];
+        let mut h = [0.0f64; BLOCK];
+        let mut konst = [0.0f64; BLOCK];
+        let mut acc = [0.0f64; BLOCK];
+
+        for (pts, outs) in points.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+            let n = pts.len();
+            let lanes = n - n % 4;
+            transpose(pts, &mut vc, &mut fc, &mut vm, &mut fm);
+            let zero = _mm256_setzero_pd();
+            let mut i = 0;
+            while i < lanes {
+                let vcv = _mm256_loadu_pd(vc.as_ptr().add(i));
+                let fcv = _mm256_loadu_pd(fc.as_ptr().add(i));
+                let vmv = _mm256_loadu_pd(vm.as_ptr().add(i));
+                let fmv = _mm256_loadu_pd(fm.as_ptr().add(i));
+                // g = vc*vc*fc ; h = vm*vm*fm  (left-associated muls)
+                let gv = _mm256_mul_pd(_mm256_mul_pd(vcv, vcv), fcv);
+                let hv = _mm256_mul_pd(_mm256_mul_pd(vmv, vmv), fmv);
+                // konst = (cs*vc + g*ci) + (ms*vm + h*mi)
+                let core = _mm256_add_pd(_mm256_mul_pd(cs, vcv), _mm256_mul_pd(gv, civ));
+                let mem = _mm256_add_pd(_mm256_mul_pd(ms, vmv), _mm256_mul_pd(hv, miv));
+                _mm256_storeu_pd(g.as_mut_ptr().add(i), gv);
+                _mm256_storeu_pd(h.as_mut_ptr().add(i), hv);
+                _mm256_storeu_pd(konst.as_mut_ptr().add(i), _mm256_add_pd(core, mem));
+                _mm256_storeu_pd(acc.as_mut_ptr().add(i), zero);
+                i += 4;
+            }
+            for &(w, u) in m.core_terms {
+                let wv = _mm256_set1_pd(w);
+                let uv = _mm256_set1_pd(u);
+                let mut i = 0;
+                while i < lanes {
+                    let gv = _mm256_loadu_pd(g.as_ptr().add(i));
+                    let av = _mm256_loadu_pd(acc.as_ptr().add(i));
+                    // acc += (g*w)*u
+                    let t = _mm256_mul_pd(_mm256_mul_pd(gv, wv), uv);
+                    _mm256_storeu_pd(acc.as_mut_ptr().add(i), _mm256_add_pd(av, t));
+                    i += 4;
+                }
+            }
+            let mut i = 0;
+            while i < lanes {
+                let hv = _mm256_loadu_pd(h.as_ptr().add(i));
+                let av = _mm256_loadu_pd(acc.as_ptr().add(i));
+                let kv = _mm256_loadu_pd(konst.as_ptr().add(i));
+                // out = konst + (acc + (h*w)*u)
+                let t = _mm256_mul_pd(_mm256_mul_pd(hv, mwv), muv);
+                _mm256_storeu_pd(
+                    outs.as_mut_ptr().add(i),
+                    _mm256_add_pd(kv, _mm256_add_pd(av, t)),
+                );
+                i += 4;
+            }
+            // Tail lanes: the scalar reference.
+            for i in lanes..n {
+                outs[i] = predict_one(m, pts[i]);
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// SSE2 is unconditionally available on x86-64; the function is
+    /// `unsafe` only for symmetry with the intrinsics it calls.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn predict_sse2(m: &PanelModel<'_>, points: &[VfPoint], out: &mut [f64]) {
+        let ci = m.core_idle + 0.0;
+        let mi = m.mem_idle + 0.0;
+        let cs = _mm_set1_pd(m.core_static);
+        let ms = _mm_set1_pd(m.mem_static);
+        let civ = _mm_set1_pd(ci);
+        let miv = _mm_set1_pd(mi);
+        let (mw, mu) = m.mem_term;
+        let mwv = _mm_set1_pd(mw);
+        let muv = _mm_set1_pd(mu);
+
+        let mut vc = [0.0f64; BLOCK];
+        let mut fc = [0.0f64; BLOCK];
+        let mut vm = [0.0f64; BLOCK];
+        let mut fm = [0.0f64; BLOCK];
+        let mut g = [0.0f64; BLOCK];
+        let mut h = [0.0f64; BLOCK];
+        let mut konst = [0.0f64; BLOCK];
+        let mut acc = [0.0f64; BLOCK];
+
+        for (pts, outs) in points.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+            let n = pts.len();
+            let lanes = n - n % 2;
+            transpose(pts, &mut vc, &mut fc, &mut vm, &mut fm);
+            let zero = _mm_setzero_pd();
+            let mut i = 0;
+            while i < lanes {
+                let vcv = _mm_loadu_pd(vc.as_ptr().add(i));
+                let fcv = _mm_loadu_pd(fc.as_ptr().add(i));
+                let vmv = _mm_loadu_pd(vm.as_ptr().add(i));
+                let fmv = _mm_loadu_pd(fm.as_ptr().add(i));
+                let gv = _mm_mul_pd(_mm_mul_pd(vcv, vcv), fcv);
+                let hv = _mm_mul_pd(_mm_mul_pd(vmv, vmv), fmv);
+                let core = _mm_add_pd(_mm_mul_pd(cs, vcv), _mm_mul_pd(gv, civ));
+                let mem = _mm_add_pd(_mm_mul_pd(ms, vmv), _mm_mul_pd(hv, miv));
+                _mm_storeu_pd(g.as_mut_ptr().add(i), gv);
+                _mm_storeu_pd(h.as_mut_ptr().add(i), hv);
+                _mm_storeu_pd(konst.as_mut_ptr().add(i), _mm_add_pd(core, mem));
+                _mm_storeu_pd(acc.as_mut_ptr().add(i), zero);
+                i += 2;
+            }
+            for &(w, u) in m.core_terms {
+                let wv = _mm_set1_pd(w);
+                let uv = _mm_set1_pd(u);
+                let mut i = 0;
+                while i < lanes {
+                    let gv = _mm_loadu_pd(g.as_ptr().add(i));
+                    let av = _mm_loadu_pd(acc.as_ptr().add(i));
+                    let t = _mm_mul_pd(_mm_mul_pd(gv, wv), uv);
+                    _mm_storeu_pd(acc.as_mut_ptr().add(i), _mm_add_pd(av, t));
+                    i += 2;
+                }
+            }
+            let mut i = 0;
+            while i < lanes {
+                let hv = _mm_loadu_pd(h.as_ptr().add(i));
+                let av = _mm_loadu_pd(acc.as_ptr().add(i));
+                let kv = _mm_loadu_pd(konst.as_ptr().add(i));
+                let t = _mm_mul_pd(_mm_mul_pd(hv, mwv), muv);
+                _mm_storeu_pd(outs.as_mut_ptr().add(i), _mm_add_pd(kv, _mm_add_pd(av, t)));
+                i += 2;
+            }
+            for i in lanes..n {
+                outs[i] = predict_one(m, pts[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// (core terms, [core_static, core_idle, mem_static, mem_idle], mem term).
+    type DrawnModel = (Vec<(f64, f64)>, [f64; 4], (f64, f64));
+
+    fn arbitrary_model(g: &mut gpm_check::Gen) -> DrawnModel {
+        let n_terms = g.usize_in(0..9);
+        let terms: Vec<(f64, f64)> = (0..n_terms)
+            .map(|_| (g.f64_in(0.0, 50.0), g.f64_in(0.0, 1.0)))
+            .collect();
+        let coeffs = [
+            g.f64_in(0.0, 30.0),
+            g.f64_in(0.0, 30.0),
+            g.f64_in(0.0, 30.0),
+            g.f64_in(0.0, 30.0),
+        ];
+        let mem = (g.f64_in(0.0, 50.0), g.f64_in(0.0, 1.0));
+        (terms, coeffs, mem)
+    }
+
+    fn arbitrary_points(g: &mut gpm_check::Gen, len: usize) -> Vec<VfPoint> {
+        (0..len)
+            .map(|_| VfPoint {
+                vc: g.f64_in(0.25, 3.0),
+                fc: g.f64_in(0.1, 2.0),
+                vm: g.f64_in(0.25, 3.0),
+                fm: g.f64_in(0.1, 5.0),
+            })
+            .collect()
+    }
+
+    /// Every path agrees with the scalar oracle bit-for-bit, across
+    /// batch sizes that cover empty batches, single points, sub-block
+    /// batches, exact blocks and non-lane-multiple tails.
+    #[test]
+    fn blocked_and_dispatched_paths_match_the_scalar_oracle() {
+        gpm_check::check(
+            "blocked_and_dispatched_paths_match_the_scalar_oracle",
+            |g| {
+                let (terms, [cs, ci, ms, mi], mem) = arbitrary_model(g);
+                let m = PanelModel {
+                    core_static: cs,
+                    core_idle: ci,
+                    core_terms: &terms,
+                    mem_static: ms,
+                    mem_idle: mi,
+                    mem_term: mem,
+                };
+                let sizes = [0usize, 1, 2, 3, 5, 7, 63, 255, 256, 257, 1003];
+                let len = sizes[g.usize_in(0..sizes.len())];
+                let points = arbitrary_points(g, len);
+                let mut oracle = vec![0.0; len];
+                let mut blocked = vec![0.0; len];
+                let mut dispatched = vec![0.0; len];
+                predict_scalar_into(&m, &points, &mut oracle);
+                predict_blocked_into(&m, &points, &mut blocked);
+                predict_into(&m, &points, &mut dispatched);
+                assert_eq!(bits(&oracle), bits(&blocked), "blocked diverged");
+                assert_eq!(
+                    bits(&oracle),
+                    bits(&dispatched),
+                    "dispatched ({}) diverged",
+                    dispatch_kind()
+                );
+            },
+        );
+    }
+
+    /// NaN and infinity inputs propagate identically through every path:
+    /// degraded sensors produce the same poisoned lanes everywhere.
+    #[test]
+    fn non_finite_inputs_propagate_bit_identically() {
+        // Degraded components: one with zero utilization, one with zero ω.
+        let terms = [(18.0, 0.3), (24.0, 0.0), (0.0, 0.9)];
+        let m = PanelModel {
+            core_static: 15.0,
+            core_idle: 12.0,
+            core_terms: &terms,
+            mem_static: 10.0,
+            mem_idle: 11.0,
+            mem_term: (26.0, 0.5),
+        };
+        let mut points = vec![
+            VfPoint {
+                vc: f64::NAN,
+                fc: 1.0,
+                vm: 1.0,
+                fm: 3.5,
+            };
+            7
+        ];
+        points.push(VfPoint {
+            vc: 1.0,
+            fc: f64::INFINITY,
+            vm: 0.9,
+            fm: 3.5,
+        });
+        points.push(VfPoint {
+            vc: 0.9,
+            fc: 0.975,
+            vm: 1.0,
+            fm: 3.505,
+        });
+        let mut oracle = vec![0.0; points.len()];
+        let mut blocked = vec![0.0; points.len()];
+        let mut dispatched = vec![0.0; points.len()];
+        predict_scalar_into(&m, &points, &mut oracle);
+        predict_blocked_into(&m, &points, &mut blocked);
+        predict_into(&m, &points, &mut dispatched);
+        assert_eq!(bits(&oracle), bits(&blocked));
+        assert_eq!(bits(&oracle), bits(&dispatched));
+        assert!(oracle[0].is_nan(), "NaN voltages must poison their point");
+        assert!(oracle[8].is_finite(), "clean points stay clean");
+    }
+
+    #[test]
+    fn dot_rows_matches_the_iterator_sum() {
+        gpm_check::check("dot_rows_matches_the_iterator_sum", |g| {
+            let ncols = g.usize_in(1..16);
+            let nrows = g.usize_in(0..40);
+            let rows = g.vec_f64(ncols * nrows..ncols * nrows + 1, -100.0, 100.0);
+            let x = g.vec_f64(ncols..ncols + 1, -10.0, 10.0);
+            let mut out = vec![0.0; nrows];
+            dot_rows_into(&rows, &x, &mut out).unwrap();
+            for (r, o) in rows.chunks_exact(ncols).zip(&out) {
+                let want: f64 = r.iter().zip(&x).map(|(a, b)| a * b).sum();
+                assert_eq!(want.to_bits(), o.to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn dot_rows_rejects_ragged_panels() {
+        let mut out = vec![0.0; 2];
+        assert!(dot_rows_into(&[1.0, 2.0, 3.0], &[1.0, 1.0], &mut out).is_err());
+        assert!(dot_rows_into(&[1.0, 2.0], &[], &mut out).is_err());
+    }
+
+    #[test]
+    fn domain_residuals_match_the_scalar_expression() {
+        gpm_check::check("domain_residuals_match_the_scalar_expression", |g| {
+            let n = g.usize_in(0..50);
+            let activity = g.vec_f64(n..n + 1, 0.0, 80.0);
+            let watts = g.vec_f64(n..n + 1, 10.0, 400.0);
+            let (sc, f, v) = (g.f64_in(0.0, 30.0), g.f64_in(0.1, 5.0), g.f64_in(0.25, 3.0));
+            let mut out = vec![0.0; n];
+            domain_residuals_into(sc, f, v, &activity, &watts, &mut out);
+            for i in 0..n {
+                let want = watts[i] - (sc * v + activity[i] * f * v * v);
+                assert_eq!(want.to_bits(), out[i].to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn dispatch_kind_names_a_real_path() {
+        let kind = dispatch_kind();
+        assert!(
+            ["avx2", "sse2", "blocked"].contains(&kind),
+            "unknown dispatch kind {kind}"
+        );
+        if !cfg!(feature = "simd") {
+            assert_eq!(kind, "blocked", "without the feature, fallback is scalar");
+        }
+    }
+}

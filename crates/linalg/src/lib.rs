@@ -28,9 +28,14 @@
 //! # Ok::<(), gpm_linalg::LinalgError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden everywhere except the hand-written SSE2/AVX2
+// lanes in `batch::simd_x86`, which exist only under the opt-in `simd`
+// feature and carry their own `#[allow(unsafe_code)]` + safety notes.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod cholesky;
 mod cubic;
 mod error;
@@ -40,6 +45,7 @@ mod nnls;
 mod qr;
 pub mod stats;
 
+pub use batch::{PanelModel, VfPoint};
 pub use cholesky::{cholesky, spd_inverse};
 pub use cubic::{cubic_roots, quadratic_roots};
 pub use error::LinalgError;

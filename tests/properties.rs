@@ -218,6 +218,117 @@ fn voltage_table_is_normalized_at_reference() {
     });
 }
 
+/// Batched-prediction conformance: for *random* models (random physical
+/// coefficients, random voltage curves) and random batches drawn from the
+/// V-F grid — including empty batches, singletons and non-lane-multiple
+/// tails — `predict_batch` must be *bit-identical* to calling the scalar
+/// `predict` per point. Runs with and without `--features simd`; the
+/// dispatched kernel must never change a single mantissa bit.
+#[test]
+fn predict_batch_is_bit_identical_to_scalar_predict_for_random_models() {
+    let spec = devices::gtx_titan_x();
+    let grid = spec.vf_grid();
+    let reference = spec.default_config();
+    gpm_check::check(
+        "predict_batch_is_bit_identical_to_scalar_predict_for_random_models",
+        |g| {
+            let entries: Vec<_> = grid
+                .iter()
+                .map(|&c| (c, [g.f64_in(0.7, 1.3), g.f64_in(0.7, 1.3)]))
+                .collect();
+            let model = PowerModel::new(
+                spec.clone(),
+                DomainParams {
+                    static_coef: g.f64_in(0.0, 30.0),
+                    idle_dyn: g.f64_in(0.0, 40.0),
+                    omegas: (0..6).map(|_| g.f64_in(0.0, 40.0)).collect(),
+                },
+                DomainParams {
+                    static_coef: g.f64_in(0.0, 20.0),
+                    idle_dyn: g.f64_in(0.0, 20.0),
+                    omegas: vec![g.f64_in(0.0, 40.0)],
+                },
+                VoltageTable::new(reference, entries),
+                640.0,
+            );
+            let u = draw_utilizations(g);
+            // Exercise the empty batch, singletons, SSE2/AVX2 tail
+            // remainders, a full block and the memoized sweep path
+            // (batch larger than the 64-config grid).
+            const SIZES: [usize; 9] = [0, 1, 2, 3, 5, 63, 64, 130, 257];
+            let n = SIZES[g.usize_in(0..SIZES.len())];
+            let configs: Vec<FreqConfig> =
+                (0..n).map(|_| grid[g.usize_in(0..grid.len())]).collect();
+            let batched = model.predict_batch(&u, &configs).expect("on-grid batch");
+            assert_eq!(batched.len(), n);
+            for (&c, b) in configs.iter().zip(&batched) {
+                let scalar = model.predict(&u, c).expect("on-grid predict");
+                assert_eq!(
+                    scalar.to_bits(),
+                    b.to_bits(),
+                    "predict_batch diverged from scalar predict at {c}"
+                );
+            }
+        },
+    );
+}
+
+/// Degraded inputs keep the conformance contract: zeroed-out components
+/// (dead counters), zero model coefficients and all-zero utilizations
+/// must flow through the batched kernels exactly as through the scalar
+/// path, and an off-grid config must error rather than fabricate a
+/// voltage.
+#[test]
+fn predict_batch_conformance_survives_degraded_components() {
+    let model = toy_model();
+    let grid = model.spec().vf_grid();
+    gpm_check::check(
+        "predict_batch_conformance_survives_degraded_components",
+        |g| {
+            let mut vals = draw_utilizations(g).as_array();
+            // Kill a random subset of components outright.
+            for v in vals.iter_mut() {
+                if g.usize_in(0..3) == 0 {
+                    *v = 0.0;
+                }
+            }
+            let u = Utilizations::from_values(vals).expect("in range");
+            let configs: Vec<FreqConfig> = (0..g.usize_in(0..100))
+                .map(|_| grid[g.usize_in(0..grid.len())])
+                .collect();
+            let batched = model.predict_batch(&u, &configs).expect("on-grid batch");
+            for (&c, b) in configs.iter().zip(&batched) {
+                let scalar = model.predict(&u, c).expect("on-grid predict");
+                assert_eq!(scalar.to_bits(), b.to_bits());
+            }
+            let off_grid = FreqConfig::from_mhz(12_345, 67);
+            let mut with_bad = configs;
+            with_bad.push(off_grid);
+            assert!(
+                model.predict_batch(&u, &with_bad).is_err(),
+                "off-grid config must fail the whole batch"
+            );
+        },
+    );
+}
+
+/// The runtime dispatcher must agree with the compile-time feature: with
+/// `simd` off the only legal path is the safe blocked kernel (the clean
+/// scalar fallback CI's conformance job asserts), with it on an x86_64
+/// host must pick a vector path.
+#[test]
+fn batched_dispatch_agrees_with_the_simd_feature() {
+    let kind = gpm::linalg::batch::dispatch_kind();
+    if cfg!(feature = "simd") && cfg!(target_arch = "x86_64") {
+        assert!(
+            kind == "avx2" || kind == "sse2",
+            "simd build on x86_64 must dispatch a vector kernel, got {kind}"
+        );
+    } else {
+        assert_eq!(kind, "blocked", "non-simd build must fall back cleanly");
+    }
+}
+
 /// Synthetic training set from an exact Eq. 5-7 model, small enough that
 /// repeated fits stay cheap.
 fn synthetic_training() -> TrainingSet {

@@ -12,6 +12,7 @@ use gpm::serve::{
 use gpm::sim::SimulatedGpu;
 use gpm::spec::{devices, FreqConfig};
 use gpm::workloads::{microbenchmark_suite, validation_suite};
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Fit the reference model once for the whole test binary.
@@ -174,6 +175,63 @@ fn batched_replies_are_bit_identical_at_any_thread_count() {
     assert_eq!(
         per_thread_count[0][3],
         gpm::json::to_string(&Reply::Ok(Response::Pareto { points })).unwrap()
+    );
+}
+
+/// The grid-sweep requests (`Pareto`, `BestConfig`) are pinned against a
+/// committed fixture captured *before* the batched-prediction rewire:
+/// serialized replies must stay byte-identical forever, whatever path
+/// (scalar, blocked, SIMD) evaluates the model underneath. Regenerate
+/// with `GPM_BLESS=1 cargo test pareto_and_best_config` only for a
+/// deliberate, documented protocol change.
+#[test]
+fn pareto_and_best_config_replies_match_the_golden_fixture() {
+    let model = fitted_model();
+    let mut engine = PredictionEngine::new(model, "golden@v1", &EngineConfig::default());
+    let batch = vec![
+        Request::Pareto {
+            kernel: "LBM".to_string(),
+            max_points: 0,
+        },
+        Request::Pareto {
+            kernel: "GEMM".to_string(),
+            max_points: 4,
+        },
+        Request::BestConfig {
+            kernel: "GEMM".to_string(),
+            objective: Objective::MinEdp,
+        },
+        Request::BestConfig {
+            kernel: "LBM".to_string(),
+            objective: Objective::MinEnergy,
+        },
+        Request::BestConfig {
+            kernel: "HOTS".to_string(),
+            objective: Objective::MinEnergyWithSlowdown(1.1),
+        },
+        Request::Pareto {
+            kernel: "SRAD_1".to_string(),
+            max_points: 0,
+        },
+    ];
+    let replies = engine.process_batch(&batch);
+    assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+    let actual = serialize(&replies).join("\n") + "\n";
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_replies.json");
+    if std::env::var("GPM_BLESS").is_ok() {
+        std::fs::write(&path, &actual).expect("write golden serve replies");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with GPM_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, actual,
+        "serve grid-sweep replies drifted from the pre-batching fixture"
     );
 }
 
