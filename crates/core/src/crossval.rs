@@ -78,7 +78,12 @@ pub fn cross_validate(
     // under the crossval span (the handle is cloneable across workers)
     // keyed by its fold index, so the normalized trace is
     // schedule-independent too.
+    // The training set itself is shared read-only across folds: each fold
+    // trains through a kept-sample mask instead of cloning its complement
+    // of the set, and scores the held-out samples straight off the shared
+    // reference.
     let cv_handle = cv_span.as_deref().cloned();
+    let estimator = Estimator::with_config(config.clone());
     let fold_reports: Vec<Result<AccuracyReport, ModelError>> =
         gpm_par::par_map_indices(k, |fold| {
             let fold_span = cv_handle
@@ -87,30 +92,28 @@ pub fn cross_validate(
             if let Some(s) = fold_span.as_deref() {
                 s.set_attr("fold", fold);
             }
-            let mut train_fold = training.clone();
-            let mut held_out = Vec::new();
-            let mut kept = Vec::new();
-            for (i, s) in training.samples.iter().enumerate() {
-                if i % k == fold {
-                    held_out.push(s.clone());
-                } else {
-                    kept.push(s.clone());
-                }
-            }
-            train_fold.samples = kept;
-            let model = Estimator::with_config(config.clone())
-                .fit_report_under(&train_fold, fold_span.as_deref())
+            let kept: Vec<bool> = (0..training.samples.len()).map(|i| i % k != fold).collect();
+            let model = estimator
+                .fit_fold(training, &kept, fold_span.as_deref())
                 .map(|(m, _)| m)?;
 
             let mut report = AccuracyReport::new();
-            for s in &held_out {
+            let mut held_out = 0usize;
+            for s in training
+                .samples
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !kept[i])
+                .map(|(_, s)| s)
+            {
+                held_out += 1;
                 for (&cfg, &watts) in &s.power_by_config {
                     let p = model.predict(&s.utilizations, cfg)?;
                     report.add(&s.name, cfg, p, watts);
                 }
             }
             if let Some(s) = fold_span.as_deref() {
-                s.set_attr("held_out", held_out.len());
+                s.set_attr("held_out", held_out);
                 if let Ok(m) = report.mape() {
                     s.set_attr("mape", m);
                 }

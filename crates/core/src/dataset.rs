@@ -102,6 +102,52 @@ impl TrainingSet {
         Ok(())
     }
 
+    /// [`TrainingSet::validate`] restricted to the samples whose `kept`
+    /// flag is set — the masked view cross-validation folds train on
+    /// without cloning the set. Checks (and error messages) mirror
+    /// `validate` exactly, applied to the kept subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InsufficientTraining`] under the same
+    /// conditions as [`TrainingSet::validate`], evaluated on the kept
+    /// samples only.
+    pub fn validate_subset(&self, kept: &[bool]) -> Result<(), ModelError> {
+        let kept_samples = || {
+            self.samples
+                .iter()
+                .zip(kept)
+                .filter(|(_, &k)| k)
+                .map(|(s, _)| s)
+        };
+        if kept_samples().next().is_none() {
+            return Err(ModelError::InsufficientTraining("no samples"));
+        }
+        if self.l2_bytes_per_cycle <= 0.0 || !self.l2_bytes_per_cycle.is_finite() {
+            return Err(ModelError::InsufficientTraining(
+                "non-positive discovered L2 peak bandwidth",
+            ));
+        }
+        let covering_ref = kept_samples()
+            .filter(|s| s.power_by_config.contains_key(&self.reference))
+            .count();
+        if covering_ref < 2 {
+            return Err(ModelError::InsufficientTraining(
+                "fewer than two samples measured at the reference configuration",
+            ));
+        }
+        if kept_samples().any(|s| {
+            s.power_by_config
+                .values()
+                .any(|w| !w.is_finite() || *w < 0.0)
+        }) {
+            return Err(ModelError::InsufficientTraining(
+                "negative or non-finite power measurement",
+            ));
+        }
+        Ok(())
+    }
+
     /// Serializes the set to JSON (dataset caching / sharing).
     ///
     /// # Errors

@@ -26,15 +26,24 @@
 //!    ablation study).
 //! 4. Iterate 2-3 until the training RMSE converges (the paper reports
 //!    convergence in under 50 iterations).
+//!
+//! All scratch state lives in a [`FitWorkspace`]: the flattened
+//! observations, a cached design panel at the current voltages, and the
+//! solver workspaces. A fit with a fresh workspace, a reused workspace,
+//! or the plain [`Estimator::fit`] entry point produces bit-identical
+//! models — the workspace only removes steady-state allocations.
 
+use crate::workspace::{FitWorkspace, GroupScratch};
 use crate::{DomainParams, MicrobenchSample, ModelError, PowerModel, TrainingSet, VoltageTable};
 use gpm_json::impl_json;
 use gpm_linalg::batch::{domain_residuals_into, dot_rows_into};
-use gpm_linalg::{cubic_roots, isotonic_increasing, nnls, ridge_lstsq, spd_inverse, stats, Matrix};
+use gpm_linalg::{
+    cubic_roots_into, isotonic_increasing_into, nnls_with, ridge_lstsq_with, spd_inverse_with,
+    stats, LstsqWorkspace, Matrix, NnlsWorkspace,
+};
 use gpm_obs::SpanHandle;
 use gpm_par::timer::{Collector, PhaseTimings};
-use gpm_spec::{Component, FreqConfig, Mhz};
-use std::collections::BTreeMap;
+use gpm_spec::{Component, FreqConfig};
 
 /// Number of model coefficients: `[β₀, β₁, ω₁..ω₆, β₂, β₃, ω_mem]`.
 pub(crate) const NUM_PARAMS: usize = 11;
@@ -42,7 +51,7 @@ pub(crate) const NUM_PARAMS: usize = 11;
 pub(crate) const V_BOUNDS: (f64, f64) = (0.25, 3.0);
 /// Weight that effectively pins the reference voltage at 1 in the
 /// isotonic projection.
-const PIN_WEIGHT: f64 = 1.0e9;
+pub(crate) const PIN_WEIGHT: f64 = 1.0e9;
 
 /// Tuning knobs for [`Estimator`].
 #[derive(Debug, Clone, PartialEq)]
@@ -192,14 +201,6 @@ pub struct Estimator {
     config: EstimatorConfig,
 }
 
-/// Flattened observation: one `(microbenchmark, configuration)` power
-/// measurement.
-struct Obs {
-    sample: usize,
-    config: FreqConfig,
-    watts: f64,
-}
-
 impl Estimator {
     /// Creates an estimator with the paper's default settings.
     pub fn new() -> Self {
@@ -236,18 +237,25 @@ impl Estimator {
         &self,
         training: &TrainingSet,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        self.fit_inner(training, None, None)
+        let mut ws = FitWorkspace::new();
+        self.fit_inner(training, None, None, None, &mut ws)
     }
 
-    /// Like [`Estimator::fit_with_report`], with the fit's trace span
-    /// parented under `parent` — used by cross-validation so per-fold
-    /// fits nest under their fold span.
-    pub(crate) fn fit_report_under(
+    /// Like [`Estimator::fit_with_report`] but reusing a caller-owned
+    /// [`FitWorkspace`]: after the first (sizing) fit, repeated fits over
+    /// same-shaped training sets perform zero steady-state heap
+    /// allocations in the alternation loop. Bit-identical to
+    /// [`Estimator::fit_with_report`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::fit_with_report`].
+    pub fn fit_with_workspace(
         &self,
         training: &TrainingSet,
-        parent: Option<&SpanHandle>,
+        ws: &mut FitWorkspace,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        self.fit_inner(training, None, parent)
+        self.fit_inner(training, None, None, None, ws)
     }
 
     /// Fits with a *warm start* from a previously fitted model: the
@@ -264,7 +272,38 @@ impl Estimator {
         training: &TrainingSet,
         previous: &PowerModel,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        self.fit_inner(training, Some(previous), None)
+        let mut ws = FitWorkspace::new();
+        self.fit_inner(training, Some(previous), None, None, &mut ws)
+    }
+
+    /// [`Estimator::fit_warm`] with a reusable [`FitWorkspace`] — the
+    /// allocation-free periodic-recalibration path. Bit-identical to
+    /// [`Estimator::fit_warm`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Estimator::fit_with_report`].
+    pub fn fit_warm_with(
+        &self,
+        training: &TrainingSet,
+        previous: &PowerModel,
+        ws: &mut FitWorkspace,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        self.fit_inner(training, Some(previous), None, None, ws)
+    }
+
+    /// Cross-validation fold fit: trains on the samples whose `kept`
+    /// flag is set, sharing the untouched training set across folds
+    /// instead of cloning it per fold, with the fit's trace span parented
+    /// under `parent` (so per-fold fits nest under their fold span).
+    pub(crate) fn fit_fold(
+        &self,
+        training: &TrainingSet,
+        kept: &[bool],
+        parent: Option<&SpanHandle>,
+    ) -> Result<(PowerModel, FitReport), ModelError> {
+        let mut ws = FitWorkspace::new();
+        self.fit_inner(training, None, parent, Some(kept), &mut ws)
     }
 
     fn fit_inner(
@@ -272,20 +311,27 @@ impl Estimator {
         training: &TrainingSet,
         warm: Option<&PowerModel>,
         parent: Option<&SpanHandle>,
+        kept: Option<&[bool]>,
+        ws: &mut FitWorkspace,
     ) -> Result<(PowerModel, FitReport), ModelError> {
-        training.validate()?;
+        match kept {
+            Some(mask) => training.validate_subset(mask)?,
+            None => training.validate()?,
+        }
         let reference = training.reference;
-        let obs = flatten(&training.samples);
-        let configs = training.configs();
-        if configs.len() < 2 {
+        ws.prepare(training, kept);
+        if ws.configs.len() < 2 {
             return Err(ModelError::InsufficientTraining(
                 "need at least two frequency configurations",
             ));
         }
+        let n_samples = kept.map_or(training.samples.len(), |m| {
+            m.iter().filter(|&&keep| keep).count()
+        });
         let fit_span = gpm_obs::span_under(parent, "estimator.fit", 0);
         if let Some(s) = fit_span.as_deref() {
-            s.set_attr("samples", training.samples.len());
-            s.set_attr("configs", configs.len());
+            s.set_attr("samples", n_samples);
+            s.set_attr("configs", ws.configs.len());
             s.set_attr("warm", warm.is_some());
         }
 
@@ -293,6 +339,7 @@ impl Estimator {
         // robust mode) components whose utilization is identically zero —
         // the signature a resilient campaign leaves when a counter is
         // permanently unavailable and its events were zero-filled.
+        let keep_sample = |i: usize| kept.is_none_or(|m| m[i]);
         let mut dropped: Vec<Component> = self.config.drop_components.clone();
         if self.config.robust {
             let with_columns = Component::CORE.iter().chain([&Component::Dram]);
@@ -300,7 +347,9 @@ impl Estimator {
                 let all_zero = training
                     .samples
                     .iter()
-                    .all(|s| s.utilizations.as_array()[component.index()] == 0.0);
+                    .enumerate()
+                    .filter(|&(i, _)| keep_sample(i))
+                    .all(|(_, s)| s.utilizations.as_array()[component.index()] == 0.0);
                 if all_zero && !dropped.contains(&component) {
                     dropped.push(component);
                 }
@@ -311,28 +360,27 @@ impl Estimator {
         if !dropped.is_empty() {
             gpm_obs::counter_add("estimator.degraded_components", dropped.len() as u64);
         }
+        ws.set_dropped_columns(dropped.iter().map(|&c| column_of(c)));
         let mut robust_reweights = 0usize;
 
         // Voltage state: V̄ = (V̄core, V̄mem) per configuration (Eq. 12),
-        // seeded from the previous model when warm-starting.
-        let mut vcore: BTreeMap<FreqConfig, f64> = configs
-            .iter()
-            .map(|&c| {
-                let v = warm
-                    .and_then(|m| m.voltage_table().voltages(c).ok())
-                    .map_or(1.0, |(vc, _)| vc);
-                (c, v)
-            })
-            .collect();
-        let mut vmem: BTreeMap<FreqConfig, f64> = configs
-            .iter()
-            .map(|&c| {
-                let v = warm
-                    .and_then(|m| m.voltage_table().voltages(c).ok())
-                    .map_or(1.0, |(_, vm)| vm);
-                (c, v)
-            })
-            .collect();
+        // indexed by config index, seeded from the previous model when
+        // warm-starting. The design panel is (re)filled after *every*
+        // voltage mutation and trusted in between.
+        let ncfg = ws.configs.len();
+        ws.vcore.clear();
+        ws.vcore.resize(ncfg, 1.0);
+        ws.vmem.clear();
+        ws.vmem.resize(ncfg, 1.0);
+        if let Some(m) = warm {
+            for (g, &c) in ws.configs.iter().enumerate() {
+                if let Ok((vc, vm)) = m.voltage_table().voltages(c) {
+                    ws.vcore[g] = vc;
+                    ws.vmem[g] = vm;
+                }
+            }
+        }
+        fill_panel(training, ws);
 
         let timings = Collector::new();
 
@@ -340,35 +388,31 @@ impl Estimator {
         // or reuse the previous coefficients (warm start).
         let bootstrap_guard = timings.scoped("bootstrap");
         let bootstrap_span = gpm_obs::span_under(fit_span.as_deref(), "estimator.bootstrap", 0);
-        let mut x = match warm {
+        let mut x = [0.0; NUM_PARAMS];
+        match warm {
             Some(m) => {
-                let mut x = Vec::with_capacity(NUM_PARAMS);
-                x.push(m.core_params().static_coef);
-                x.push(m.core_params().idle_dyn);
-                x.extend_from_slice(&m.core_params().omegas);
-                x.push(m.mem_params().static_coef);
-                x.push(m.mem_params().idle_dyn);
-                x.push(m.mem_params().omegas[0]);
-                if x.len() != NUM_PARAMS {
+                let core = m.core_params();
+                let mem = m.mem_params();
+                if core.omegas.len() + 5 != NUM_PARAMS {
                     return Err(ModelError::InsufficientTraining(
                         "warm-start model has an unexpected coefficient layout",
                     ));
                 }
-                x
+                x[0] = core.static_coef;
+                x[1] = core.idle_dyn;
+                x[2..8].copy_from_slice(&core.omegas);
+                x[8] = mem.static_coef;
+                x[9] = mem.idle_dyn;
+                x[10] = mem.omegas[0];
             }
             None => {
-                let bootstrap = bootstrap_configs(reference, &configs);
-                self.solve_coefficients(
-                    training,
-                    &obs,
-                    &vcore,
-                    &vmem,
-                    Some(&bootstrap),
-                    &dropped,
-                    &mut robust_reweights,
-                )?
+                // Cold start seeds every voltage at 1, so the cached
+                // panel rows already carry the Eq. 11 bootstrap
+                // assumption V̄ ≡ 1.
+                let bootstrap = bootstrap_configs(reference, &ws.configs);
+                self.solve_coefficients_ws(ws, Some(&bootstrap), &mut robust_reweights, &mut x)?;
             }
-        };
+        }
         drop(bootstrap_span);
         drop(bootstrap_guard);
 
@@ -379,12 +423,13 @@ impl Estimator {
         // V̄ ≡ 1 bootstrap, coefficients re-solved — up to `max_restarts`
         // times before the fit gives up with `converged = false`.
         let fit_start = std::time::Instant::now();
-        let mut rmse_history = Vec::new();
+        let mut rmse_history = Vec::with_capacity(self.config.max_iterations + 1);
         let mut converged = false;
         let mut iterations = 0;
         let mut watchdog_restarts = 0usize;
         let mut best_rmse = f64::INFINITY;
-        let mut obs_weights = vec![1.0; obs.len()];
+        ws.obs_weights.clear();
+        ws.obs_weights.resize(ws.obs.len(), 1.0);
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             let iter_span =
@@ -394,34 +439,19 @@ impl Estimator {
                 // current iterate so *both* alternation steps — not just
                 // the coefficient solve — stop chasing corrupted
                 // observations.
-                obs_weights = huber_weights(training, &obs, &x, &vcore, &vmem, self.config.huber_k);
+                huber_weights_ws(self.config.huber_k, &x, ws);
             }
             if self.config.estimate_voltages {
                 let _g = timings.scoped("voltage_step");
-                self.fit_voltages(
-                    training,
-                    &obs,
-                    &obs_weights,
-                    &x,
-                    reference,
-                    &mut vcore,
-                    &mut vmem,
-                );
+                fit_voltages_ws(&self.config, reference, &x, training, ws);
+                fill_panel(training, ws);
             }
             {
                 let _g = timings.scoped("coefficient_step");
-                x = self.solve_coefficients(
-                    training,
-                    &obs,
-                    &vcore,
-                    &vmem,
-                    None,
-                    &dropped,
-                    &mut robust_reweights,
-                )?;
+                self.solve_coefficients_ws(ws, None, &mut robust_reweights, &mut x)?;
                 gpm_obs::counter_add("estimator.coefficient_solves", 1);
             }
-            let rmse = rmse_of(training, &obs, &obs_weights, &x, &vcore, &vmem);
+            let rmse = rmse_of_ws(&x, ws);
             if let Some(s) = iter_span.as_deref() {
                 s.set_attr("iteration", iter);
                 s.set_attr("rmse", rmse);
@@ -435,21 +465,14 @@ impl Estimator {
                 if watchdog_restarts < self.config.max_restarts {
                     watchdog_restarts += 1;
                     gpm_obs::counter_add("estimator.watchdog_restarts", 1);
-                    for v in vcore.values_mut() {
+                    for v in ws.vcore.iter_mut() {
                         *v = 0.5 * (*v + 1.0);
                     }
-                    for v in vmem.values_mut() {
+                    for v in ws.vmem.iter_mut() {
                         *v = 0.5 * (*v + 1.0);
                     }
-                    x = self.solve_coefficients(
-                        training,
-                        &obs,
-                        &vcore,
-                        &vmem,
-                        None,
-                        &dropped,
-                        &mut robust_reweights,
-                    )?;
+                    fill_panel(training, ws);
+                    self.solve_coefficients_ws(ws, None, &mut robust_reweights, &mut x)?;
                     continue; // the divergent RMSE is not recorded
                 }
                 break; // restarts exhausted: give up, converged stays false
@@ -474,7 +497,10 @@ impl Estimator {
         // --- Assemble the model.
         let voltages = VoltageTable::new(
             reference,
-            configs.iter().map(|&c| (c, [vcore[&c], vmem[&c]])),
+            ws.configs
+                .iter()
+                .enumerate()
+                .map(|(g, &c)| (c, [ws.vcore[g], ws.vmem[g]])),
         );
         let residual_sigma = rmse_history.last().copied().unwrap_or(0.0);
         let model = PowerModel::new(
@@ -494,59 +520,14 @@ impl Estimator {
         )
         .with_residual_sigma(residual_sigma);
 
-        // Training MAPE for the report.
+        // Training MAPE and coefficient standard errors for the report.
         let diagnostics_guard = timings.scoped("diagnostics");
         let diagnostics_span = gpm_obs::span_under(
             fit_span.as_deref(),
             "estimator.diagnostics",
             self.config.max_iterations as u64,
         );
-        let pred = predict_obs(training, &obs, &x, &vcore, &vmem);
-        let meas: Vec<f64> = obs.iter().map(|o| o.watts).collect();
-        let training_mape = stats::mape(&pred, &meas)?;
-
-        // Per-coefficient standard errors from sigma^2 * (A^T A)^-1 at the
-        // final voltages (a diagnostic, not part of the model).
-        let coefficient_sigma = {
-            let rows: Vec<Vec<f64>> = obs
-                .iter()
-                .map(|o| {
-                    design_row(
-                        &training.samples[o.sample].utilizations.as_array(),
-                        o.config,
-                        vcore[&o.config],
-                        vmem[&o.config],
-                    )
-                    .to_vec()
-                })
-                .collect();
-            let a = Matrix::from_rows(&rows)?;
-            let mut ata = a.transpose().matmul(&a)?;
-            // Tiny jitter keeps the inverse defined when NNLS zeroed a
-            // coefficient (its column may be collinear at the optimum).
-            let jitter = 1e-9 * ata.max_abs().max(1.0);
-            for i in 0..NUM_PARAMS {
-                ata[(i, i)] += jitter;
-            }
-            let dof = (obs.len().saturating_sub(NUM_PARAMS)).max(1) as f64;
-            let sse: f64 = pred.iter().zip(&meas).map(|(p, m)| (p - m) * (p - m)).sum();
-            let sigma2 = sse / dof;
-            match spd_inverse(&ata) {
-                Ok(inv) => {
-                    let drop_cols: Vec<usize> = dropped.iter().map(|&c| column_of(c)).collect();
-                    (0..NUM_PARAMS)
-                        .map(|i| {
-                            if drop_cols.contains(&i) {
-                                0.0 // pinned, not estimated
-                            } else {
-                                (sigma2 * inv[(i, i)].max(0.0)).sqrt()
-                            }
-                        })
-                        .collect()
-                }
-                Err(_) => Vec::new(),
-            }
-        };
+        let (training_mape, coefficient_sigma) = diagnostics_ws(ws, &x)?;
         drop(diagnostics_span);
         drop(diagnostics_guard);
 
@@ -584,34 +565,43 @@ impl Estimator {
         ))
     }
 
-    /// Linear coefficient solve (steps 1 and 3). `subset` restricts the
-    /// observations to the bootstrap configurations; `dropped` columns
-    /// are excluded from the solve and pinned at zero; in robust mode the
-    /// solve is followed by Huber IRLS reweighting passes (counted in
-    /// `reweights`).
-    #[allow(clippy::too_many_arguments)]
-    fn solve_coefficients(
+    /// Linear coefficient solve (steps 1 and 3), reading the cached
+    /// design panel. `subset` restricts the observations to the bootstrap
+    /// configurations (valid only while all voltages are 1, i.e. cold
+    /// start — the panel rows then carry the Eq. 11 assumption); dropped
+    /// columns are excluded from the solve and pinned at zero; in robust
+    /// mode the solve is followed by Huber IRLS reweighting passes
+    /// (counted in `reweights`).
+    fn solve_coefficients_ws(
         &self,
-        training: &TrainingSet,
-        obs: &[Obs],
-        vcore: &BTreeMap<FreqConfig, f64>,
-        vmem: &BTreeMap<FreqConfig, f64>,
+        ws: &mut FitWorkspace,
         subset: Option<&[FreqConfig]>,
-        dropped: &[Component],
         reweights: &mut usize,
-    ) -> Result<Vec<f64>, ModelError> {
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        let mut y = Vec::new();
-        for o in obs {
+        x_out: &mut [f64; NUM_PARAMS],
+    ) -> Result<(), ModelError> {
+        let FitWorkspace {
+            obs,
+            panel,
+            rows,
+            y,
+            wrows,
+            wy,
+            a,
+            resid,
+            abs,
+            nnls,
+            lstsq,
+            keep_cols,
+            ..
+        } = ws;
+        rows.clear();
+        y.clear();
+        for (i, o) in obs.iter().enumerate() {
             if let Some(keep) = subset {
                 if !keep.contains(&o.config) {
                     continue;
                 }
             }
-            let (vc, vm) = match subset {
-                Some(_) => (1.0, 1.0), // bootstrap assumption (Eq. 11)
-                None => (vcore[&o.config], vmem[&o.config]),
-            };
             // Relative-error mode: scale each equation by 1/P, turning
             // the absolute least squares into a percentage least squares.
             let w = if self.config.relative_error {
@@ -619,68 +609,68 @@ impl Estimator {
             } else {
                 1.0
             };
-            let row = design_row(
-                &training.samples[o.sample].utilizations.as_array(),
-                o.config,
-                vc,
-                vm,
-            );
-            rows.push(row.iter().map(|v| v * w).collect());
+            let prow = &panel[i * NUM_PARAMS..(i + 1) * NUM_PARAMS];
+            rows.extend(prow.iter().map(|v| v * w));
             y.push(o.watts * w);
         }
-        if rows.len() < NUM_PARAMS {
+        if y.len() < NUM_PARAMS {
             return Err(ModelError::InsufficientTraining(
                 "fewer observations than model coefficients",
             ));
         }
 
-        // Degraded columns are solved in a reduced system and re-expanded
-        // with zeros, so the coefficient layout never changes.
-        let drop_cols: Vec<usize> = dropped.iter().map(|&c| column_of(c)).collect();
-        let keep: Vec<usize> = (0..NUM_PARAMS).filter(|i| !drop_cols.contains(i)).collect();
-        let solve = |rows: &[Vec<f64>], y: &[f64]| -> Result<Vec<f64>, ModelError> {
-            let reduced: Vec<Vec<f64>> = rows
-                .iter()
-                .map(|r| keep.iter().map(|&i| r[i]).collect())
-                .collect();
-            let a = Matrix::from_rows(&reduced)?;
-            let xr = if self.config.nonnegative {
-                nnls(&a, y)?
-            } else {
-                ridge_lstsq(&a, y, self.config.ridge)?
-            };
-            let mut x = vec![0.0; NUM_PARAMS];
-            for (&i, v) in keep.iter().zip(xr) {
-                x[i] = v;
-            }
-            Ok(x)
-        };
-
-        let mut x = solve(&rows, &y)?;
-        if self.config.robust && rows.len() > NUM_PARAMS {
+        solve_reduced(
+            keep_cols,
+            rows,
+            y,
+            self.config.nonnegative,
+            self.config.ridge,
+            a,
+            nnls,
+            lstsq,
+            x_out,
+        )?;
+        if self.config.robust && y.len() > NUM_PARAMS {
             // Huber IRLS: residuals beyond k x (MAD-based scale) get
             // weight k·scale/|r| < 1, shrinking the pull of corrupted
-            // observations without discarding them outright.
+            // observations without discarding them outright. Residuals
+            // use the full-width rows — dropped columns contribute +0.0
+            // against their pinned-zero coefficients.
             for _ in 0..self.config.robust_iterations {
-                let residuals: Vec<f64> = rows
-                    .iter()
-                    .zip(&y)
-                    .map(|(r, &yi)| dot_slice(r, &x) - yi)
-                    .collect();
-                let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-                abs.sort_by(f64::total_cmp);
+                resid.clear();
+                resid.resize(y.len(), 0.0);
+                dot_rows_into(rows, &x_out[..], resid)
+                    .expect("weighted rows panel is rectangular by construction");
+                for (r, &yi) in resid.iter_mut().zip(y.iter()) {
+                    *r -= yi;
+                }
+                abs.clear();
+                abs.extend(resid.iter().map(|r| r.abs()));
+                abs.sort_unstable_by(f64::total_cmp);
                 let scale = (1.4826 * abs[abs.len() / 2]).max(1e-9);
                 let cutoff = self.config.huber_k * scale;
-                let weighted: (Vec<Vec<f64>>, Vec<f64>) = rows
-                    .iter()
-                    .zip(&y)
-                    .zip(&residuals)
-                    .map(|((r, &yi), &resid)| {
-                        let s = huber_weight(resid, cutoff).sqrt();
-                        (r.iter().map(|v| v * s).collect::<Vec<f64>>(), yi * s)
-                    })
-                    .unzip();
-                x = solve(&weighted.0, &weighted.1)?;
+                wrows.clear();
+                wy.clear();
+                for ((chunk, &yi), &rv) in rows
+                    .chunks_exact(NUM_PARAMS)
+                    .zip(y.iter())
+                    .zip(resid.iter())
+                {
+                    let s = huber_weight(rv, cutoff).sqrt();
+                    wrows.extend(chunk.iter().map(|v| v * s));
+                    wy.push(yi * s);
+                }
+                solve_reduced(
+                    keep_cols,
+                    wrows,
+                    wy,
+                    self.config.nonnegative,
+                    self.config.ridge,
+                    a,
+                    nnls,
+                    lstsq,
+                    x_out,
+                )?;
                 *reweights += 1;
             }
             gpm_obs::counter_add(
@@ -688,119 +678,206 @@ impl Estimator {
                 self.config.robust_iterations as u64,
             );
         }
-        Ok(x)
+        Ok(())
+    }
+}
+
+/// Solves the kept-column reduction of `rows·x ≈ y` into `x_out`,
+/// re-expanding with zeros so the coefficient layout never changes.
+/// Degraded columns only leave the system here — the stored rows stay
+/// full width.
+#[allow(clippy::too_many_arguments)]
+fn solve_reduced(
+    keep: &[usize],
+    rows: &[f64],
+    y: &[f64],
+    nonnegative: bool,
+    ridge: f64,
+    a: &mut Matrix,
+    nnls_ws: &mut NnlsWorkspace,
+    lstsq_ws: &mut LstsqWorkspace,
+    x_out: &mut [f64; NUM_PARAMS],
+) -> Result<(), ModelError> {
+    let k = keep.len();
+    a.reshape(y.len(), k);
+    let dst = a.as_mut_slice();
+    for (r, chunk) in rows.chunks_exact(NUM_PARAMS).enumerate() {
+        for (j, &col) in keep.iter().enumerate() {
+            dst[r * k + j] = chunk[col];
+        }
+    }
+    let xr = if nonnegative {
+        nnls_with(a, y, nnls_ws)?
+    } else {
+        ridge_lstsq_with(a, y, ridge, lstsq_ws)?
+    };
+    x_out.fill(0.0);
+    for (&i, &v) in keep.iter().zip(xr) {
+        x_out[i] = v;
+    }
+    Ok(())
+}
+
+/// Voltage step (Eq. 12): coordinate descent with exact cubic stationary
+/// points per configuration group, then isotonic projection along the
+/// precomputed monotone chains. The observation weights carry the
+/// robust-mode Huber weights (all ones otherwise). Groups solve in
+/// parallel through `par_map_reusing`, which preserves input order and
+/// per-group scratch, keeping the result bit-identical to the sequential
+/// sweep at any thread count.
+fn fit_voltages_ws(
+    cfg: &EstimatorConfig,
+    reference: FreqConfig,
+    x: &[f64; NUM_PARAMS],
+    training: &TrainingSet,
+    ws: &mut FitWorkspace,
+) {
+    let FitWorkspace {
+        obs,
+        configs,
+        group_offsets,
+        group_items,
+        group_ids,
+        core_chain_offsets,
+        core_chains,
+        core_pins,
+        mem_chain_offsets,
+        mem_chains,
+        mem_pins,
+        vcore,
+        vmem,
+        obs_weights,
+        act_a,
+        act_b,
+        vupdates,
+        group_scratch,
+        chain_vals,
+        chain_fit,
+        iso,
+        ..
+    } = ws;
+
+    // Per-sample activity terms: A_i = β₁ + Σ ωⱼuⱼ, B_i = β₃ + ω_mem·u_dram.
+    act_a.clear();
+    act_b.clear();
+    for s in &training.samples {
+        let (a, b) = activity_terms(s, &x[..]);
+        act_a.push(a);
+        act_b.push(b);
     }
 
-    /// Voltage step (Eq. 12): coordinate descent with exact cubic
-    /// stationary points, then isotonic projection. `obs_weights` carries
-    /// the robust-mode Huber weights (all ones otherwise).
-    #[allow(clippy::too_many_arguments)]
-    fn fit_voltages(
-        &self,
-        training: &TrainingSet,
-        obs: &[Obs],
-        obs_weights: &[f64],
-        x: &[f64],
-        reference: FreqConfig,
-        vcore: &mut BTreeMap<FreqConfig, f64>,
-        vmem: &mut BTreeMap<FreqConfig, f64>,
-    ) {
-        // Per-sample activity terms: A_i = β₁ + Σ ωⱼuⱼ, B_i = β₃ + ω_mem·u_dram.
-        let activities: Vec<(f64, f64)> = training
-            .samples
-            .iter()
-            .map(|s| activity_terms(s, x))
-            .collect();
-
-        // Group observation indices by configuration.
-        let mut by_config: BTreeMap<FreqConfig, Vec<usize>> = BTreeMap::new();
-        for (i, o) in obs.iter().enumerate() {
-            by_config.entry(o.config).or_default().push(i);
-        }
-        let groups: Vec<(FreqConfig, Vec<usize>)> = by_config.into_iter().collect();
-
-        for _ in 0..self.config.voltage_sweeps {
-            // Each configuration's Eq. 12 solve touches only its own
-            // voltage pair, so the solves run in parallel; `par_map`
-            // preserves input order, keeping the result bit-identical to
-            // the sequential sweep at any thread count.
-            let updates: Vec<Option<(FreqConfig, f64, f64)>> =
-                gpm_par::par_map(&groups, |(config, idxs)| {
-                    let config = *config;
-                    if config == reference {
-                        return None; // pinned at (1, 1) by normalization
-                    }
-                    let fc = config.core.as_f64() / 1000.0;
-                    let fm = config.mem.as_f64() / 1000.0;
-                    let weight_of = |i: usize| -> f64 {
-                        let base = if self.config.relative_error {
-                            let p = obs[i].watts.max(1e-6);
-                            1.0 / (p * p)
-                        } else {
-                            1.0
-                        };
-                        base * obs_weights[i]
+    let relative = cfg.relative_error;
+    for _ in 0..cfg.voltage_sweeps {
+        gpm_par::par_map_reusing(
+            group_ids,
+            group_scratch,
+            vupdates,
+            GroupScratch::default,
+            |s: &mut GroupScratch, &g: &usize| -> Option<(usize, f64, f64)> {
+                let config = configs[g];
+                if config == reference {
+                    return None; // pinned at (1, 1) by normalization
+                }
+                let fc = config.core.as_f64() / 1000.0;
+                let fm = config.mem.as_f64() / 1000.0;
+                let idxs = &group_items[group_offsets[g]..group_offsets[g + 1]];
+                s.a_acts.clear();
+                s.b_acts.clear();
+                s.watts.clear();
+                s.weights.clear();
+                for &i in idxs {
+                    let o = &obs[i];
+                    s.a_acts.push(act_a[o.sample]);
+                    s.b_acts.push(act_b[o.sample]);
+                    s.watts.push(o.watts);
+                    let base = if relative {
+                        let p = o.watts.max(1e-6);
+                        1.0 / (p * p)
+                    } else {
+                        1.0
                     };
-                    // The Eq. 12 inner loop, batched: residuals against
-                    // the *other* domain's contribution come from one
-                    // `domain_residuals_into` pass over the group (same
-                    // association as the scalar expression, so the solve
-                    // inputs are bit-identical).
-                    let a_acts: Vec<f64> =
-                        idxs.iter().map(|&i| activities[obs[i].sample].0).collect();
-                    let b_acts: Vec<f64> =
-                        idxs.iter().map(|&i| activities[obs[i].sample].1).collect();
-                    let watts: Vec<f64> = idxs.iter().map(|&i| obs[i].watts).collect();
-                    let mut resid = vec![0.0; idxs.len()];
-                    // Core voltage given the current memory voltage.
-                    let vm = vmem[&config];
-                    domain_residuals_into(x[8], fm, vm, &b_acts, &watts, &mut resid);
-                    let pairs: Vec<(f64, f64, f64)> = idxs
-                        .iter()
-                        .zip(&a_acts)
-                        .zip(&resid)
-                        .map(|((&i, &a_core), &r)| (a_core * fc, r, weight_of(i)))
-                        .collect();
-                    let vc = minimize_quartic(x[0], &pairs).unwrap_or(vcore[&config]);
-                    // Memory voltage given the updated core voltage.
-                    domain_residuals_into(x[0], fc, vc, &a_acts, &watts, &mut resid);
-                    let pairs: Vec<(f64, f64, f64)> = idxs
-                        .iter()
-                        .zip(&b_acts)
-                        .zip(&resid)
-                        .map(|((&i, &b_mem), &r)| (b_mem * fm, r, weight_of(i)))
-                        .collect();
-                    let vm = minimize_quartic(x[8], &pairs).unwrap_or(vm);
-                    Some((config, vc, vm))
-                });
-            let mut solved = 0u64;
-            for (config, vc, vm) in updates.into_iter().flatten() {
-                vcore.insert(config, vc);
-                vmem.insert(config, vm);
-                solved += 1;
-            }
-            gpm_obs::counter_add("estimator.voltage_solves", solved);
+                    s.weights.push(base * obs_weights[i]);
+                }
+                // The Eq. 12 inner loop, batched: residuals against the
+                // *other* domain's contribution come from one
+                // `domain_residuals_into` pass over the group (same
+                // association as the scalar expression, so the solve
+                // inputs are bit-identical).
+                s.resid.clear();
+                s.resid.resize(idxs.len(), 0.0);
+                // Core voltage given the current memory voltage.
+                let vm_old = vmem[g];
+                domain_residuals_into(x[8], fm, vm_old, &s.b_acts, &s.watts, &mut s.resid);
+                s.coef.clear();
+                s.coef.extend(s.a_acts.iter().map(|&a| a * fc));
+                let vc = minimize_quartic_slices(x[0], &s.coef, &s.resid, &s.weights)
+                    .unwrap_or(vcore[g]);
+                // Memory voltage given the updated core voltage.
+                domain_residuals_into(x[0], fc, vc, &s.a_acts, &s.watts, &mut s.resid);
+                s.coef.clear();
+                s.coef.extend(s.b_acts.iter().map(|&b| b * fm));
+                let vm =
+                    minimize_quartic_slices(x[8], &s.coef, &s.resid, &s.weights).unwrap_or(vm_old);
+                Some((g, vc, vm))
+            },
+        );
+        let mut solved = 0u64;
+        for &(g, vc, vm) in vupdates.iter().flatten() {
+            vcore[g] = vc;
+            vmem[g] = vm;
+            solved += 1;
         }
+        gpm_obs::counter_add("estimator.voltage_solves", solved);
+    }
 
-        if self.config.enforce_monotonic_voltage {
-            project_monotone(reference, vcore, vmem);
+    // Monotone projection (Eq. 12 constraint) along the chains `prepare`
+    // precomputed: per memory level, `V̄core` non-decreasing in core
+    // frequency; per core level, `V̄mem` non-decreasing in memory
+    // frequency. Reference entries carry a huge weight, pinning them at 1.
+    if cfg.enforce_monotonic_voltage {
+        for w in core_chain_offsets.windows(2) {
+            let chain = &core_chains[w[0]..w[1]];
+            let pins = &core_pins[w[0]..w[1]];
+            chain_vals.clear();
+            chain_vals.extend(chain.iter().map(|&g| vcore[g]));
+            isotonic_increasing_into(chain_vals, pins, iso, chain_fit);
+            for (&g, &v) in chain.iter().zip(chain_fit.iter()) {
+                vcore[g] = v;
+            }
+        }
+        for w in mem_chain_offsets.windows(2) {
+            let chain = &mem_chains[w[0]..w[1]];
+            let pins = &mem_pins[w[0]..w[1]];
+            chain_vals.clear();
+            chain_vals.extend(chain.iter().map(|&g| vmem[g]));
+            isotonic_increasing_into(chain_vals, pins, iso, chain_fit);
+            for (&g, &v) in chain.iter().zip(chain_fit.iter()) {
+                vmem[g] = v;
+            }
         }
     }
 }
 
-/// Flattens samples into per-observation records.
-fn flatten(samples: &[MicrobenchSample]) -> Vec<Obs> {
-    let mut obs = Vec::new();
-    for (i, s) in samples.iter().enumerate() {
-        for (&config, &watts) in &s.power_by_config {
-            obs.push(Obs {
-                sample: i,
-                config,
-                watts,
-            });
-        }
+/// (Re)fills the cached design panel: one Eq. 6/7 row per observation at
+/// the current voltages. Called after every voltage mutation.
+fn fill_panel(training: &TrainingSet, ws: &mut FitWorkspace) {
+    let FitWorkspace {
+        obs,
+        obs_cfg,
+        vcore,
+        vmem,
+        panel,
+        ..
+    } = ws;
+    panel.clear();
+    for (o, &g) in obs.iter().zip(obs_cfg.iter()) {
+        panel.extend_from_slice(&design_row(
+            &training.samples[o.sample].utilizations.as_array(),
+            o.config,
+            vcore[g],
+            vmem[g],
+        ));
     }
-    obs
 }
 
 /// Chooses the bootstrap configurations `{F1, F2, F3}`: the reference,
@@ -862,33 +939,34 @@ fn activity_terms(sample: &MicrobenchSample, x: &[f64]) -> (f64, f64) {
 }
 
 /// Minimizes `Σ wᵢ·(b·v + aᵢ·v² - rᵢ)²` over `v ∈ V_BOUNDS` exactly: the
-/// derivative is a cubic whose real roots are closed form. `pairs` holds
-/// `(aᵢ, rᵢ, wᵢ)` (weights are 1 in the paper's absolute-error mode,
-/// `1/P²` in relative-error mode).
-fn minimize_quartic(b: f64, pairs: &[(f64, f64, f64)]) -> Option<f64> {
-    if pairs.is_empty() {
+/// derivative is a cubic whose real roots are closed form. The parallel
+/// slices hold `aᵢ`, `rᵢ` and `wᵢ` (weights are 1 in the paper's
+/// absolute-error mode, `1/P²` in relative-error mode, scaled by the
+/// Huber weights in robust mode).
+fn minimize_quartic_slices(b: f64, a: &[f64], r: &[f64], w: &[f64]) -> Option<f64> {
+    if a.is_empty() {
         return None;
     }
     let (mut sw, mut sa2, mut sa, mut sar, mut sr) = (0.0, 0.0, 0.0, 0.0, 0.0);
-    for &(a, r, w) in pairs {
-        sw += w;
-        sa2 += w * a * a;
-        sa += w * a;
-        sar += w * a * r;
-        sr += w * r;
+    for i in 0..a.len() {
+        let (ai, ri, wi) = (a[i], r[i], w[i]);
+        sw += wi;
+        sa2 += wi * ai * ai;
+        sa += wi * ai;
+        sar += wi * ai * ri;
+        sr += wi * ri;
     }
     let c3 = 2.0 * sa2;
     let c2 = 3.0 * b * sa;
     let c1 = sw * b * b - 2.0 * sar;
     let c0 = -b * sr;
     let objective = |v: f64| -> f64 {
-        pairs
-            .iter()
-            .map(|&(a, r, w)| {
-                let e = b * v + a * v * v - r;
-                w * e * e
-            })
-            .sum()
+        let mut g = 0.0;
+        for i in 0..a.len() {
+            let e = b * v + a[i] * v * v - r[i];
+            g += w[i] * e * e;
+        }
+        g
     };
     let mut best: Option<(f64, f64)> = None;
     let mut consider = |v: f64| {
@@ -900,7 +978,9 @@ fn minimize_quartic(b: f64, pairs: &[(f64, f64, f64)]) -> Option<f64> {
             }
         }
     };
-    for root in cubic_roots(c3, c2, c1, c0) {
+    let mut roots = [0.0; 3];
+    let n = cubic_roots_into(c3, c2, c1, c0, &mut roots);
+    for &root in &roots[..n] {
         consider(root);
     }
     consider(V_BOUNDS.0);
@@ -908,114 +988,31 @@ fn minimize_quartic(b: f64, pairs: &[(f64, f64, f64)]) -> Option<f64> {
     best.map(|(v, _)| v)
 }
 
-/// Projects the voltage maps onto the Eq. 12 monotone cone: for each
-/// memory level, `V̄core` is non-decreasing in core frequency; `V̄mem` is
-/// non-decreasing in memory frequency. Reference entries carry a huge
-/// weight, pinning them at 1.
-fn project_monotone(
-    reference: FreqConfig,
-    vcore: &mut BTreeMap<FreqConfig, f64>,
-    vmem: &mut BTreeMap<FreqConfig, f64>,
-) {
-    let mems: Vec<Mhz> = {
-        let mut m: Vec<Mhz> = vcore.keys().map(|c| c.mem).collect();
-        m.sort_unstable();
-        m.dedup();
-        m
-    };
-    let cores: Vec<Mhz> = {
-        let mut m: Vec<Mhz> = vcore.keys().map(|c| c.core).collect();
-        m.sort_unstable();
-        m.dedup();
-        m
-    };
-    // Core: per memory level, ascending core frequency.
-    for &mem in &mems {
-        let mut keys: Vec<FreqConfig> = vcore.keys().copied().filter(|c| c.mem == mem).collect();
-        keys.sort_unstable_by_key(|c| c.core);
-        let values: Vec<f64> = keys.iter().map(|k| vcore[k]).collect();
-        let weights: Vec<f64> = keys
-            .iter()
-            .map(|k| if *k == reference { PIN_WEIGHT } else { 1.0 })
-            .collect();
-        let fitted = isotonic_increasing(&values, &weights);
-        for (k, v) in keys.iter().zip(fitted) {
-            vcore.insert(*k, v);
-        }
-    }
-    // Memory: per core level, ascending memory frequency.
-    for &core in &cores {
-        let mut keys: Vec<FreqConfig> = vmem.keys().copied().filter(|c| c.core == core).collect();
-        keys.sort_unstable_by_key(|c| c.mem);
-        let values: Vec<f64> = keys.iter().map(|k| vmem[k]).collect();
-        let weights: Vec<f64> = keys
-            .iter()
-            .map(|k| if *k == reference { PIN_WEIGHT } else { 1.0 })
-            .collect();
-        let fitted = isotonic_increasing(&values, &weights);
-        for (k, v) in keys.iter().zip(fitted) {
-            vmem.insert(*k, v);
-        }
-    }
-}
-
-/// Scalar design-row product — the reference `predict_obs`'s batched
-/// panel pass must match bit-for-bit (hot paths all go through the
-/// batch; tests build ground truth with this).
-#[cfg(test)]
-fn dot(row: &[f64; NUM_PARAMS], x: &[f64]) -> f64 {
-    row.iter().zip(x).map(|(a, b)| a * b).sum()
-}
-
-/// Batched model predictions for a set of observations: one flat
-/// design-row panel, one blocked dot pass through `gpm_linalg::batch` —
-/// bit-identical to computing `dot(&design_row(..), x)` per observation.
-fn predict_obs(
-    training: &TrainingSet,
-    obs: &[Obs],
-    x: &[f64],
-    vcore: &BTreeMap<FreqConfig, f64>,
-    vmem: &BTreeMap<FreqConfig, f64>,
-) -> Vec<f64> {
-    let mut panel = Vec::with_capacity(obs.len() * NUM_PARAMS);
-    for o in obs {
-        panel.extend_from_slice(&design_row(
-            &training.samples[o.sample].utilizations.as_array(),
-            o.config,
-            vcore[&o.config],
-            vmem[&o.config],
-        ));
-    }
-    let mut out = vec![0.0; obs.len()];
-    dot_rows_into(&panel, &x[..NUM_PARAMS], &mut out)
-        .expect("design panel is rectangular by construction");
-    out
-}
-
-fn dot_slice(row: &[f64], x: &[f64]) -> f64 {
-    row.iter().zip(x).map(|(a, b)| a * b).sum()
-}
-
-/// Per-observation Huber weights under the current iterate: 1 inside
-/// `k x` the MAD-based residual scale, shrinking as `k·scale/|r|` beyond.
-fn huber_weights(
-    training: &TrainingSet,
-    obs: &[Obs],
-    x: &[f64],
-    vcore: &BTreeMap<FreqConfig, f64>,
-    vmem: &BTreeMap<FreqConfig, f64>,
-    k: f64,
-) -> Vec<f64> {
-    let residuals: Vec<f64> = predict_obs(training, obs, x, vcore, vmem)
-        .iter()
-        .zip(obs)
-        .map(|(p, o)| p - o.watts)
-        .collect();
-    let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-    abs.sort_by(f64::total_cmp);
+/// Per-observation Huber weights under the current iterate (read off the
+/// cached panel): 1 inside `k x` the MAD-based residual scale, shrinking
+/// as `k·scale/|r|` beyond.
+fn huber_weights_ws(k: f64, x: &[f64; NUM_PARAMS], ws: &mut FitWorkspace) {
+    let FitWorkspace {
+        obs,
+        panel,
+        pred,
+        resid,
+        abs,
+        obs_weights,
+        ..
+    } = ws;
+    pred.clear();
+    pred.resize(obs.len(), 0.0);
+    dot_rows_into(panel, &x[..], pred).expect("design panel is rectangular by construction");
+    resid.clear();
+    resid.extend(pred.iter().zip(obs.iter()).map(|(p, o)| p - o.watts));
+    abs.clear();
+    abs.extend(resid.iter().map(|r| r.abs()));
+    abs.sort_unstable_by(f64::total_cmp);
     let scale = (1.4826 * abs[abs.len() / 2]).max(1e-9);
     let cutoff = k * scale;
-    residuals.iter().map(|r| huber_weight(*r, cutoff)).collect()
+    obs_weights.clear();
+    obs_weights.extend(resid.iter().map(|r| huber_weight(*r, cutoff)));
 }
 
 /// One Huber weight, with a redescending tail: residuals beyond
@@ -1041,24 +1038,27 @@ fn column_of(component: Component) -> usize {
     }
 }
 
-/// Training RMSE under the current parameters and voltages, weighted by
-/// `weights` (all ones outside robust mode, where this reduces to the
-/// plain RMSE bit-for-bit). In robust mode the weights keep quarantine
-/// survivors from dominating the convergence test: without them the
-/// constant spike residuals swamp the RMSE and the relative-change
-/// stopping rule fires while the good-data fit is still improving.
-fn rmse_of(
-    training: &TrainingSet,
-    obs: &[Obs],
-    weights: &[f64],
-    x: &[f64],
-    vcore: &BTreeMap<FreqConfig, f64>,
-    vmem: &BTreeMap<FreqConfig, f64>,
-) -> f64 {
-    let pred = predict_obs(training, obs, x, vcore, vmem);
+/// Training RMSE under the current parameters (read off the cached
+/// panel), weighted by the observation weights (all ones outside robust
+/// mode, where this reduces to the plain RMSE bit-for-bit). In robust
+/// mode the weights keep quarantine survivors from dominating the
+/// convergence test: without them the constant spike residuals swamp the
+/// RMSE and the relative-change stopping rule fires while the good-data
+/// fit is still improving.
+fn rmse_of_ws(x: &[f64; NUM_PARAMS], ws: &mut FitWorkspace) -> f64 {
+    let FitWorkspace {
+        obs,
+        panel,
+        pred,
+        obs_weights,
+        ..
+    } = ws;
+    pred.clear();
+    pred.resize(obs.len(), 0.0);
+    dot_rows_into(panel, &x[..], pred).expect("design panel is rectangular by construction");
     let mut sse = 0.0;
     let mut denom = 0.0;
-    for ((o, &w), &p) in obs.iter().zip(weights).zip(&pred) {
+    for ((o, &w), &p) in obs.iter().zip(obs_weights.iter()).zip(pred.iter()) {
         let e = p - o.watts;
         sse += w * e * e;
         denom += w;
@@ -1066,11 +1066,78 @@ fn rmse_of(
     (sse / denom.max(1e-12)).sqrt()
 }
 
+/// Fit diagnostics off the cached panel at the final voltages: the
+/// training MAPE and the per-coefficient standard errors from
+/// `σ²·(AᵀA)⁻¹` (a diagnostic, not part of the model).
+fn diagnostics_ws(
+    ws: &mut FitWorkspace,
+    x: &[f64; NUM_PARAMS],
+) -> Result<(f64, Vec<f64>), ModelError> {
+    let FitWorkspace {
+        obs,
+        panel,
+        pred,
+        meas,
+        amat,
+        at,
+        ata,
+        inv,
+        spd,
+        drop_cols,
+        ..
+    } = ws;
+    pred.clear();
+    pred.resize(obs.len(), 0.0);
+    dot_rows_into(panel, &x[..], pred).expect("design panel is rectangular by construction");
+    meas.clear();
+    meas.extend(obs.iter().map(|o| o.watts));
+    let training_mape = stats::mape(pred, meas)?;
+
+    amat.copy_from_flat(obs.len(), NUM_PARAMS, panel);
+    amat.transpose_into(at);
+    at.matmul_into(amat, ata)
+        .expect("inner dimensions agree by construction");
+    // Tiny jitter keeps the inverse defined when NNLS zeroed a
+    // coefficient (its column may be collinear at the optimum).
+    let jitter = 1e-9 * ata.max_abs().max(1.0);
+    for i in 0..NUM_PARAMS {
+        ata[(i, i)] += jitter;
+    }
+    let dof = (obs.len().saturating_sub(NUM_PARAMS)).max(1) as f64;
+    let sse: f64 = pred
+        .iter()
+        .zip(meas.iter())
+        .map(|(p, m)| (p - m) * (p - m))
+        .sum();
+    let sigma2 = sse / dof;
+    let coefficient_sigma = match spd_inverse_with(ata, inv, spd) {
+        Ok(()) => (0..NUM_PARAMS)
+            .map(|i| {
+                if drop_cols.contains(&i) {
+                    0.0 // pinned, not estimated
+                } else {
+                    (sigma2 * inv[(i, i)].max(0.0)).sqrt()
+                }
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    Ok((training_mape, coefficient_sigma))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Utilizations;
-    use gpm_spec::{devices, DeviceSpec, Domain};
+    use gpm_spec::{devices, DeviceSpec, Domain, Mhz};
+    use std::collections::BTreeMap;
+
+    /// Scalar design-row product — the hot paths all go through the
+    /// batched panel pass, which must match this bit-for-bit; tests build
+    /// ground truth with it.
+    fn dot(row: &[f64; NUM_PARAMS], x: &[f64]) -> f64 {
+        row.iter().zip(x).map(|(a, b)| a * b).sum()
+    }
 
     /// Builds a synthetic, noise-free training set from a known
     /// Eq. 5-7 model with known (hidden) voltages.
@@ -1290,6 +1357,44 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let spec = devices::gtx_titan_x();
+        let (training, _) = synthetic_training(&spec);
+        let estimator = Estimator::new();
+        let (fresh_model, fresh_report) = estimator.fit_with_report(&training).unwrap();
+
+        let mut ws = FitWorkspace::new();
+        let (first_model, first_report) = estimator.fit_with_workspace(&training, &mut ws).unwrap();
+        // Second fit reuses grown (and now dirty) buffers.
+        let (reused_model, reused_report) =
+            estimator.fit_with_workspace(&training, &mut ws).unwrap();
+
+        for (label, model, report) in [
+            ("first", &first_model, &first_report),
+            ("reused", &reused_model, &reused_report),
+        ] {
+            assert_eq!(
+                model.to_json().unwrap(),
+                fresh_model.to_json().unwrap(),
+                "{label} workspace fit must match the workspace-free fit exactly"
+            );
+            assert_eq!(report.rmse_history, fresh_report.rmse_history, "{label}");
+            assert_eq!(report.training_mape, fresh_report.training_mape, "{label}");
+            assert_eq!(
+                report.coefficient_sigma, fresh_report.coefficient_sigma,
+                "{label}"
+            );
+        }
+
+        // Warm refits through the same workspace match fit_warm exactly.
+        let (warm_a, _) = estimator.fit_warm(&training, &fresh_model).unwrap();
+        let (warm_b, _) = estimator
+            .fit_warm_with(&training, &fresh_model, &mut ws)
+            .unwrap();
+        assert_eq!(warm_a.to_json().unwrap(), warm_b.to_json().unwrap());
+    }
+
+    #[test]
     fn rejects_insufficient_training() {
         let spec = devices::gtx_titan_x();
         let (mut training, _) = synthetic_training(&spec);
@@ -1335,18 +1440,20 @@ mod tests {
 
     #[test]
     fn minimize_quartic_finds_known_minimum() {
-        // Single pair: minimize (b v + a v² - r)²; with b=1, a=1, r=2 the
-        // residual vanishes at v=1.
-        let v = minimize_quartic(1.0, &[(1.0, 2.0, 1.0)]).unwrap();
+        // Single observation: minimize (b v + a v² - r)²; with b=1, a=1,
+        // r=2 the residual vanishes at v=1.
+        let v = minimize_quartic_slices(1.0, &[1.0], &[2.0], &[1.0]).unwrap();
         assert!((v - 1.0).abs() < 1e-9, "v = {v}");
         // Empty input yields nothing.
-        assert_eq!(minimize_quartic(1.0, &[]), None);
+        assert_eq!(minimize_quartic_slices(1.0, &[], &[], &[]), None);
         // Unattainable negative target clamps at the lower bound.
-        let v = minimize_quartic(1.0, &[(1.0, -100.0, 1.0)]).unwrap();
+        let v = minimize_quartic_slices(1.0, &[1.0], &[-100.0], &[1.0]).unwrap();
         assert_eq!(v, V_BOUNDS.0);
-        // Weights shift the pooled optimum toward the heavy pair.
-        let heavy_low = minimize_quartic(1.0, &[(1.0, 2.0, 10.0), (1.0, 6.0, 1.0)]).unwrap();
-        let heavy_high = minimize_quartic(1.0, &[(1.0, 2.0, 1.0), (1.0, 6.0, 10.0)]).unwrap();
+        // Weights shift the pooled optimum toward the heavy observation.
+        let heavy_low =
+            minimize_quartic_slices(1.0, &[1.0, 1.0], &[2.0, 6.0], &[10.0, 1.0]).unwrap();
+        let heavy_high =
+            minimize_quartic_slices(1.0, &[1.0, 1.0], &[2.0, 6.0], &[1.0, 10.0]).unwrap();
         assert!(heavy_low < heavy_high);
     }
 

@@ -10,10 +10,17 @@
 //! Gauss–Newton steps with monotonicity projection. The comparison bench
 //! shows the heuristic is essentially at the joint optimum — evidence
 //! for the paper's design choice.
+//!
+//! The inner loop is allocation-free after warm-up: residuals come from
+//! one cached design panel and a batched `dot_rows_into` pass, the
+//! Jacobian is assembled into a reused flat buffer (a scalar per-row
+//! construction is kept as the conformance oracle in the tests), and the
+//! LM solves reuse one QR workspace.
 
 use crate::estimator::{design_row, NUM_PARAMS, V_BOUNDS};
 use crate::{DomainParams, FitReport, ModelError, PowerModel, TrainingSet, VoltageTable};
-use gpm_linalg::{isotonic_increasing, ridge_lstsq, stats, Matrix};
+use gpm_linalg::batch::dot_rows_into;
+use gpm_linalg::{isotonic_increasing, ridge_lstsq_with, stats, LstsqWorkspace, Matrix};
 use gpm_par::timer::Collector;
 use gpm_spec::{Component, FreqConfig, Mhz};
 use std::collections::BTreeMap;
@@ -38,6 +45,89 @@ impl Default for JointFitConfig {
             tolerance: 1e-7,
             lambda_init: 1e-2,
             enforce_monotonic_voltage: true,
+        }
+    }
+}
+
+/// Flattened observation for the joint solve.
+struct JointObs {
+    u: [f64; 7],
+    config: FreqConfig,
+    watts: f64,
+    free_idx: Option<usize>,
+}
+
+fn voltages_of(
+    theta: &[f64],
+    vc_base: usize,
+    vm_base: usize,
+    free_idx: Option<usize>,
+) -> (f64, f64) {
+    match free_idx {
+        None => (1.0, 1.0),
+        Some(i) => (theta[vc_base + i], theta[vm_base + i]),
+    }
+}
+
+/// Eq. 6/7 residuals `p(θ) - watts` for every observation, through the
+/// cached design panel and one batched `dot_rows_into` pass —
+/// bit-identical to the scalar per-observation `dot(row, x) - watts`.
+fn residuals_into(
+    obs: &[JointObs],
+    theta: &[f64],
+    vc_base: usize,
+    vm_base: usize,
+    panel: &mut Vec<f64>,
+    r: &mut Vec<f64>,
+) {
+    panel.clear();
+    for o in obs {
+        let (vc, vm) = voltages_of(theta, vc_base, vm_base, o.free_idx);
+        panel.extend_from_slice(&design_row(&o.u, o.config, vc, vm));
+    }
+    r.clear();
+    r.resize(obs.len(), 0.0);
+    dot_rows_into(panel, &theta[..NUM_PARAMS], r)
+        .expect("design panel is rectangular by construction");
+    for (e, o) in r.iter_mut().zip(obs) {
+        *e -= o.watts;
+    }
+}
+
+/// Assembles the analytical Jacobian into a reused flat row-major buffer
+/// (`obs.len() x n_params`). The per-observation activity terms are
+/// batched into two reused vectors; entry values match the scalar
+/// per-row construction (the tests' oracle) exactly.
+fn jacobian_into(
+    obs: &[JointObs],
+    theta: &[f64],
+    vc_base: usize,
+    vm_base: usize,
+    act_core: &mut Vec<f64>,
+    act_mem: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    let n_params = vm_base + (vm_base - vc_base);
+    act_core.clear();
+    act_mem.clear();
+    for o in obs {
+        let mut activity = theta[1];
+        for (k, comp) in Component::CORE.iter().enumerate() {
+            activity += theta[2 + k] * o.u[comp.index()];
+        }
+        act_core.push(activity);
+        act_mem.push(theta[9] + theta[10] * o.u[Component::Dram.index()]);
+    }
+    out.clear();
+    out.resize(obs.len() * n_params, 0.0);
+    for ((row, o), j) in out.chunks_exact_mut(n_params).zip(obs).zip(0..) {
+        let (vc, vm) = voltages_of(theta, vc_base, vm_base, o.free_idx);
+        let fc = o.config.core.as_f64() / 1000.0;
+        let fm = o.config.mem.as_f64() / 1000.0;
+        row[..NUM_PARAMS].copy_from_slice(&design_row(&o.u, o.config, vc, vm));
+        if let Some(i) = o.free_idx {
+            row[vc_base + i] = theta[0] + 2.0 * vc * fc * act_core[j];
+            row[vm_base + i] = theta[8] + 2.0 * vm * fm * act_mem[j];
         }
     }
 }
@@ -72,16 +162,10 @@ pub fn fit_joint(
     let n_params = vm_base + free.len();
 
     // Flatten observations.
-    struct Obs {
-        u: [f64; 7],
-        config: FreqConfig,
-        watts: f64,
-        free_idx: Option<usize>,
-    }
     let mut obs = Vec::new();
     for s in &training.samples {
         for (&cfg, &watts) in &s.power_by_config {
-            obs.push(Obs {
+            obs.push(JointObs {
                 u: s.utilizations.as_array(),
                 config: cfg,
                 watts,
@@ -95,39 +179,30 @@ pub fn fit_joint(
         ));
     }
 
-    // Initialize: V̄ ≡ 1 everywhere, X from a ridge solve at V̄ ≡ 1.
+    // Reused solver state: the design panel, residual/Jacobian buffers
+    // and one QR workspace shared by the init solve and every LM step.
+    let mut panel = Vec::new();
+    let mut r = Vec::new();
+    let mut cand_r = Vec::new();
+    let mut neg_r = Vec::new();
+    let mut act_core = Vec::new();
+    let mut act_mem = Vec::new();
+    let mut jac_flat = Vec::new();
+    let mut jac = Matrix::default();
+    let mut candidate = Vec::new();
+    let mut lstsq = LstsqWorkspace::default();
+
+    // Initialize: V̄ ≡ 1 everywhere, X from a ridge solve at V̄ ≡ 1. The
+    // all-ones θ makes the residual panel exactly the V̄ ≡ 1 design.
     let mut theta = vec![1.0; n_params];
     {
-        let rows: Vec<Vec<f64>> = obs
-            .iter()
-            .map(|o| design_row(&o.u, o.config, 1.0, 1.0).to_vec())
-            .collect();
+        residuals_into(&obs, &theta, vc_base, vm_base, &mut panel, &mut r);
         let y: Vec<f64> = obs.iter().map(|o| o.watts).collect();
-        let x0 = ridge_lstsq(&Matrix::from_rows(&rows)?, &y, 1e-4)?;
-        theta[..NUM_PARAMS].copy_from_slice(&x0);
+        jac.copy_from_flat(obs.len(), NUM_PARAMS, &panel);
+        let x0 = ridge_lstsq_with(&jac, &y, 1e-4, &mut lstsq)?;
+        theta[..NUM_PARAMS].copy_from_slice(x0);
     }
 
-    let voltages_of = |theta: &[f64], o_free: Option<usize>| -> (f64, f64) {
-        match o_free {
-            None => (1.0, 1.0),
-            Some(i) => (theta[vc_base + i], theta[vm_base + i]),
-        }
-    };
-    // Per-observation residuals are independent; `par_map` keeps them in
-    // observation order, so the SSE (and every LM decision derived from
-    // it) is bit-identical at any thread count.
-    let residuals = |theta: &[f64]| -> Vec<f64> {
-        gpm_par::par_map(&obs, |o| {
-            let (vc, vm) = voltages_of(theta, o.free_idx);
-            let row = design_row(&o.u, o.config, vc, vm);
-            let p: f64 = row
-                .iter()
-                .zip(&theta[..NUM_PARAMS])
-                .map(|(a, b)| a * b)
-                .sum();
-            p - o.watts
-        })
-    };
     let sse = |r: &[f64]| -> f64 { r.iter().map(|e| e * e).sum() };
 
     let timings = Collector::new();
@@ -137,7 +212,7 @@ pub fn fit_joint(
         s.set_attr("parameters", n_params);
     }
     let mut lambda = config.lambda_init;
-    let mut r = residuals(&theta);
+    residuals_into(&obs, &theta, vc_base, vm_base, &mut panel, &mut r);
     let mut current_sse = sse(&r);
     let mut rmse_history = vec![(current_sse / obs.len() as f64).sqrt()];
     let mut converged = false;
@@ -146,36 +221,31 @@ pub fn fit_joint(
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
         let iter_span = gpm_obs::span_under(joint_span.as_deref(), "joint.iteration", iter as u64);
-        // Analytical Jacobian, one independent row per observation.
+        // Analytical Jacobian, one independent row per observation,
+        // assembled into the reused flat buffer.
         let jac_guard = timings.scoped("jacobian");
-        let jac_rows: Vec<Vec<f64>> = gpm_par::par_map(&obs, |o| {
-            let (vc, vm) = voltages_of(&theta, o.free_idx);
-            let fc = o.config.core.as_f64() / 1000.0;
-            let fm = o.config.mem.as_f64() / 1000.0;
-            let mut row = vec![0.0; n_params];
-            row[..NUM_PARAMS].copy_from_slice(&design_row(&o.u, o.config, vc, vm));
-            if let Some(i) = o.free_idx {
-                let mut activity = theta[1];
-                for (k, comp) in Component::CORE.iter().enumerate() {
-                    activity += theta[2 + k] * o.u[comp.index()];
-                }
-                row[vc_base + i] = theta[0] + 2.0 * vc * fc * activity;
-                let activity = theta[9] + theta[10] * o.u[Component::Dram.index()];
-                row[vm_base + i] = theta[8] + 2.0 * vm * fm * activity;
-            }
-            row
-        });
-        let jac = Matrix::from_rows(&jac_rows)?;
+        jacobian_into(
+            &obs,
+            &theta,
+            vc_base,
+            vm_base,
+            &mut act_core,
+            &mut act_mem,
+            &mut jac_flat,
+        );
+        jac.copy_from_flat(obs.len(), n_params, &jac_flat);
         drop(jac_guard);
-        let neg_r: Vec<f64> = r.iter().map(|e| -e).collect();
+        neg_r.clear();
+        neg_r.extend(r.iter().map(|e| -e));
 
         // Damped step, retried with larger damping until SSE improves.
         let _lm_guard = timings.scoped("lm_step");
         let mut stepped = false;
         for _ in 0..8 {
-            let delta = ridge_lstsq(&jac, &neg_r, lambda)?;
-            let mut candidate = theta.clone();
-            for (t, d) in candidate.iter_mut().zip(&delta) {
+            let delta = ridge_lstsq_with(&jac, &neg_r, lambda, &mut lstsq)?;
+            candidate.clear();
+            candidate.extend_from_slice(&theta);
+            for (t, d) in candidate.iter_mut().zip(delta) {
                 *t += d;
             }
             for v in candidate[vc_base..].iter_mut() {
@@ -184,11 +254,11 @@ pub fn fit_joint(
             if config.enforce_monotonic_voltage {
                 project_joint_monotone(&mut candidate, vc_base, vm_base, &free, reference);
             }
-            let cand_r = residuals(&candidate);
+            residuals_into(&obs, &candidate, vc_base, vm_base, &mut panel, &mut cand_r);
             let cand_sse = sse(&cand_r);
             if cand_sse < current_sse {
-                theta = candidate;
-                r = cand_r;
+                std::mem::swap(&mut theta, &mut candidate);
+                std::mem::swap(&mut r, &mut cand_r);
                 let improvement = (current_sse - cand_sse) / current_sse.max(1e-300);
                 current_sse = cand_sse;
                 lambda = (lambda / 3.0).max(1e-10);
@@ -387,6 +457,95 @@ mod tests {
             reference,
             l2_bytes_per_cycle: 512.0,
             samples,
+        }
+    }
+
+    /// Flattens a training set the way `fit_joint` does.
+    fn flatten(training: &TrainingSet, free: &[FreqConfig]) -> Vec<JointObs> {
+        let mut obs = Vec::new();
+        for s in &training.samples {
+            for (&cfg, &watts) in &s.power_by_config {
+                obs.push(JointObs {
+                    u: s.utilizations.as_array(),
+                    config: cfg,
+                    watts,
+                    free_idx: free.iter().position(|&f| f == cfg),
+                });
+            }
+        }
+        obs
+    }
+
+    /// The original scalar per-row Jacobian construction, kept verbatim
+    /// as the conformance oracle for the batched `jacobian_into`.
+    fn jacobian_row_scalar(
+        o: &JointObs,
+        theta: &[f64],
+        vc_base: usize,
+        vm_base: usize,
+        n_params: usize,
+    ) -> Vec<f64> {
+        let (vc, vm) = voltages_of(theta, vc_base, vm_base, o.free_idx);
+        let fc = o.config.core.as_f64() / 1000.0;
+        let fm = o.config.mem.as_f64() / 1000.0;
+        let mut row = vec![0.0; n_params];
+        row[..NUM_PARAMS].copy_from_slice(&design_row(&o.u, o.config, vc, vm));
+        if let Some(i) = o.free_idx {
+            let mut activity = theta[1];
+            for (k, comp) in Component::CORE.iter().enumerate() {
+                activity += theta[2 + k] * o.u[comp.index()];
+            }
+            row[vc_base + i] = theta[0] + 2.0 * vc * fc * activity;
+            let activity = theta[9] + theta[10] * o.u[Component::Dram.index()];
+            row[vm_base + i] = theta[8] + 2.0 * vm * fm * activity;
+        }
+        row
+    }
+
+    #[test]
+    fn batched_jacobian_matches_the_scalar_oracle_exactly() {
+        let training = synthetic();
+        let reference = training.reference;
+        let free: Vec<FreqConfig> = training
+            .configs()
+            .into_iter()
+            .filter(|&c| c != reference)
+            .collect();
+        let vc_base = NUM_PARAMS;
+        let vm_base = vc_base + free.len();
+        let n_params = vm_base + free.len();
+        let obs = flatten(&training, &free);
+
+        // A deliberately non-uniform θ exercises every entry.
+        let theta: Vec<f64> = (0..n_params).map(|i| 0.8 + 0.013 * i as f64).collect();
+        let (mut act_core, mut act_mem, mut flat) = (Vec::new(), Vec::new(), Vec::new());
+        jacobian_into(
+            &obs,
+            &theta,
+            vc_base,
+            vm_base,
+            &mut act_core,
+            &mut act_mem,
+            &mut flat,
+        );
+        assert_eq!(flat.len(), obs.len() * n_params);
+        for (o, row) in obs.iter().zip(flat.chunks_exact(n_params)) {
+            let oracle = jacobian_row_scalar(o, &theta, vc_base, vm_base, n_params);
+            assert_eq!(row, &oracle[..], "batched Jacobian row diverged");
+        }
+
+        // Residuals through the panel match the scalar dot bit-for-bit.
+        let (mut panel, mut r) = (Vec::new(), Vec::new());
+        residuals_into(&obs, &theta, vc_base, vm_base, &mut panel, &mut r);
+        for (o, &e) in obs.iter().zip(&r) {
+            let (vc, vm) = voltages_of(&theta, vc_base, vm_base, o.free_idx);
+            let row = design_row(&o.u, o.config, vc, vm);
+            let p: f64 = row
+                .iter()
+                .zip(&theta[..NUM_PARAMS])
+                .map(|(a, b)| a * b)
+                .sum();
+            assert_eq!(e, p - o.watts, "batched residual diverged");
         }
     }
 

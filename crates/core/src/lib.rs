@@ -46,6 +46,7 @@ mod joint;
 mod model;
 mod report;
 mod utilization;
+mod workspace;
 
 pub use breakdown::PowerBreakdown;
 pub use coverage::{ComponentCoverage, CoverageReport, COVERAGE_THRESHOLD};
@@ -57,3 +58,4 @@ pub use joint::{fit_joint, JointFitConfig};
 pub use model::{DomainParams, PowerModel, VoltageTable};
 pub use report::{AccuracyEntry, AccuracyReport};
 pub use utilization::{l2_peak_from_profiles, Utilizations};
+pub use workspace::FitWorkspace;

@@ -202,13 +202,26 @@ pub fn dot_rows_into(rows: &[f64], x: &[f64], out: &mut [f64]) -> Result<(), Lin
         });
     }
     for (row, o) in rows.chunks_exact(ncols).zip(out.iter_mut()) {
-        let mut acc = 0.0;
-        for (a, b) in row.iter().zip(x) {
-            acc += a * b;
-        }
-        *o = acc;
+        *o = dot(row, x);
     }
     Ok(())
+}
+
+/// Strictly in-order inner product: `Σᵢ a[i]·b[i]` accumulated left to
+/// right from `+0.0` — bit-identical to
+/// `a.iter().zip(b).map(|(x, y)| x * y).sum()`. This is the one audited
+/// inner-product implementation in the workspace; the estimator and joint
+/// solver route their residual and design-row dot products through it so
+/// there is a single place where the bit-identity contract for inner
+/// products lives. Trailing elements of the longer slice are ignored
+/// (zip semantics).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Batched Eq. 12 cross-domain residuals: with one domain's voltage `v`

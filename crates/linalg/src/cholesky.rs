@@ -28,6 +28,19 @@ use crate::{LinalgError, Matrix};
 /// # Ok::<(), gpm_linalg::LinalgError>(())
 /// ```
 pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let mut l = Matrix::zeros(0, 0);
+    cholesky_into(a, &mut l)?;
+    Ok(l)
+}
+
+/// [`cholesky`] writing the factor into a reused output matrix.
+///
+/// Allocation-free once `l`'s backing store has grown to `n x n`.
+///
+/// # Errors
+///
+/// Same conditions as [`cholesky`].
+pub fn cholesky_into(a: &Matrix, l: &mut Matrix) -> Result<(), LinalgError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(LinalgError::DimensionMismatch {
@@ -39,7 +52,8 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
         return Err(LinalgError::NotFinite);
     }
     let scale = a.max_abs().max(1e-300);
-    let mut l = Matrix::zeros(n, n);
+    l.reshape(n, n);
+    l.as_mut_slice().fill(0.0);
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[(i, j)];
@@ -56,7 +70,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
             }
         }
     }
-    Ok(l)
+    Ok(())
 }
 
 /// Inverts a symmetric positive-definite matrix via its Cholesky factor.
@@ -65,13 +79,48 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
 ///
 /// Same conditions as [`cholesky`].
 pub fn spd_inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
-    let l = cholesky(a)?;
+    let mut inv = Matrix::zeros(0, 0);
+    let mut ws = SpdInverseWorkspace::new();
+    spd_inverse_with(a, &mut inv, &mut ws)?;
+    Ok(inv)
+}
+
+/// Reusable scratch for [`spd_inverse_with`]: the Cholesky factor and the
+/// two substitution vectors.
+#[derive(Debug, Default)]
+pub struct SpdInverseWorkspace {
+    l: Matrix,
+    y: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl SpdInverseWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SpdInverseWorkspace::default()
+    }
+}
+
+/// [`spd_inverse`] writing into a reused output matrix and workspace.
+///
+/// # Errors
+///
+/// Same conditions as [`cholesky`].
+pub fn spd_inverse_with(
+    a: &Matrix,
+    inv: &mut Matrix,
+    ws: &mut SpdInverseWorkspace,
+) -> Result<(), LinalgError> {
+    let SpdInverseWorkspace { l, y, x } = ws;
+    cholesky_into(a, l)?;
     let n = a.rows();
     // Solve L·Lᵀ·X = I column by column (forward + back substitution).
-    let mut inv = Matrix::zeros(n, n);
+    inv.reshape(n, n);
+    inv.as_mut_slice().fill(0.0);
     for col in 0..n {
         // Forward: L·y = e_col.
-        let mut y = vec![0.0; n];
+        y.clear();
+        y.resize(n, 0.0);
         for i in 0..n {
             let mut s = if i == col { 1.0 } else { 0.0 };
             for k in 0..i {
@@ -80,7 +129,8 @@ pub fn spd_inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
             y[i] = s / l[(i, i)];
         }
         // Back: Lᵀ·x = y.
-        let mut x = vec![0.0; n];
+        x.clear();
+        x.resize(n, 0.0);
         for i in (0..n).rev() {
             let mut s = y[i];
             for k in (i + 1)..n {
@@ -92,7 +142,7 @@ pub fn spd_inverse(a: &Matrix) -> Result<Matrix, LinalgError> {
             inv[(i, col)] = x[i];
         }
     }
-    Ok(inv)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -168,6 +218,29 @@ mod tests {
         let id = Matrix::identity(4);
         assert_eq!(cholesky(&id).unwrap(), id);
         assert_eq!(spd_inverse(&id).unwrap(), id);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let mut l = Matrix::zeros(0, 0);
+        let mut inv = Matrix::zeros(0, 0);
+        let mut ws = SpdInverseWorkspace::new();
+        for seed in [3u64, 9, 21] {
+            let a = spd(5, seed);
+            cholesky_into(&a, &mut l).unwrap();
+            assert_eq!(l, cholesky(&a).unwrap());
+            spd_inverse_with(&a, &mut inv, &mut ws).unwrap();
+            assert_eq!(inv, spd_inverse(&a).unwrap());
+        }
+        // Error paths leave the reused buffers usable.
+        let indefinite = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert_eq!(
+            cholesky_into(&indefinite, &mut l),
+            Err(LinalgError::Singular)
+        );
+        let a = spd(3, 1);
+        spd_inverse_with(&a, &mut inv, &mut ws).unwrap();
+        assert_eq!(inv, spd_inverse(&a).unwrap());
     }
 
     mod prop {

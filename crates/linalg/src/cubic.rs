@@ -14,27 +14,60 @@
 /// assert!(quadratic_roots(1.0, 0.0, 1.0).is_empty());
 /// ```
 pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
+    let mut buf = [0.0; 3];
+    let n = quadratic_roots_into(a, b, c, &mut buf);
+    buf[..n].to_vec()
+}
+
+/// [`quadratic_roots`] writing into a fixed caller buffer (no allocation).
+///
+/// Returns the number of roots stored in `out[..n]`, ascending and
+/// deduplicated exactly as [`quadratic_roots`].
+pub fn quadratic_roots_into(a: f64, b: f64, c: f64, out: &mut [f64; 3]) -> usize {
     if a == 0.0 {
         if b == 0.0 {
-            return Vec::new();
+            return 0;
         }
-        return vec![-c / b];
+        out[0] = -c / b;
+        return 1;
     }
     let disc = b * b - 4.0 * a * c;
     if disc < 0.0 {
-        return Vec::new();
+        return 0;
     }
     if disc == 0.0 {
-        return vec![-b / (2.0 * a)];
+        out[0] = -b / (2.0 * a);
+        return 1;
     }
     // Numerically stable form avoiding cancellation.
     let sq = disc.sqrt();
     let q = -0.5 * (b + b.signum() * sq);
     let (r1, r2) = if q == 0.0 { (0.0, 0.0) } else { (q / a, c / q) };
-    let mut roots = vec![r1, r2];
-    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
-    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12 * (1.0 + x.abs()));
-    roots
+    out[0] = r1;
+    out[1] = r2;
+    sort_dedup(out, 2, 1e-12)
+}
+
+/// Sorts `out[..n]` ascending and deduplicates near-equal neighbours with
+/// the same rule as `Vec::dedup_by` in the allocating root finders: a root
+/// is dropped when it is within `tol * (1 + |root|)` of the last kept one.
+fn sort_dedup(out: &mut [f64; 3], n: usize, tol: f64) -> usize {
+    out[..n].sort_unstable_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
+    if n == 0 {
+        return 0;
+    }
+    let mut kept = 1;
+    for i in 1..n {
+        let x = out[i];
+        let prev = out[kept - 1];
+        // Keep unless within tolerance (roots are finite, so `>=` is
+        // exactly the negation of the dedup predicate).
+        if (x - prev).abs() >= tol * (1.0 + x.abs()) {
+            out[kept] = x;
+            kept += 1;
+        }
+    }
+    kept
 }
 
 /// Real roots of `a·x³ + b·x² + c·x + d = 0`, ascending, refined by a few
@@ -60,8 +93,21 @@ pub fn quadratic_roots(a: f64, b: f64, c: f64) -> Vec<f64> {
 /// assert!((roots[2] - 3.0).abs() < 1e-9);
 /// ```
 pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
+    let mut buf = [0.0; 3];
+    let n = cubic_roots_into(a, b, c, d, &mut buf);
+    buf[..n].to_vec()
+}
+
+/// [`cubic_roots`] writing into a fixed caller buffer (no allocation).
+///
+/// Returns the number of roots stored in `out[..n]`, ascending,
+/// Newton-refined, and deduplicated exactly as [`cubic_roots`]. The
+/// estimator's per-configuration voltage solves call this on every sweep,
+/// so the fixed buffer keeps the whole Eq. 12 coordinate-descent path
+/// heap-allocation-free.
+pub fn cubic_roots_into(a: f64, b: f64, c: f64, d: f64, out: &mut [f64; 3]) -> usize {
     if a == 0.0 {
-        return quadratic_roots(b, c, d);
+        return quadratic_roots_into(b, c, d, out);
     }
     // Normalize to x³ + p2 x² + p1 x + p0.
     let p2 = b / a;
@@ -72,16 +118,18 @@ pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
     let p = p1 - p2 * p2 / 3.0;
     let q = 2.0 * p2 * p2 * p2 / 27.0 - p2 * p1 / 3.0 + p0;
 
-    let mut roots: Vec<f64> = Vec::with_capacity(3);
+    let mut n = 0;
     let disc = (q / 2.0) * (q / 2.0) + (p / 3.0) * (p / 3.0) * (p / 3.0);
     if disc > 0.0 {
         // One real root (Cardano).
         let sq = disc.sqrt();
         let u = (-q / 2.0 + sq).cbrt();
         let v = (-q / 2.0 - sq).cbrt();
-        roots.push(u + v - shift);
+        out[0] = u + v - shift;
+        n = 1;
     } else if p == 0.0 && q == 0.0 {
-        roots.push(-shift); // Triple root.
+        out[0] = -shift; // Triple root.
+        n = 1;
     } else {
         // Three real roots (Viète's trigonometric form).
         let m = 2.0 * (-p / 3.0).sqrt();
@@ -89,12 +137,13 @@ pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
         let theta = arg.acos() / 3.0;
         for k in 0..3 {
             let t = m * (theta - 2.0 * std::f64::consts::PI * f64::from(k) / 3.0).cos();
-            roots.push(t - shift);
+            out[n] = t - shift;
+            n += 1;
         }
     }
 
     // Newton refinement against the original coefficients.
-    for r in roots.iter_mut() {
+    for r in out[..n].iter_mut() {
         for _ in 0..3 {
             let f = ((a * *r + b) * *r + c) * *r + d;
             let df = (3.0 * a * *r + 2.0 * b) * *r + c;
@@ -106,9 +155,7 @@ pub fn cubic_roots(a: f64, b: f64, c: f64, d: f64) -> Vec<f64> {
             }
         }
     }
-    roots.sort_by(|x, y| x.partial_cmp(y).expect("roots are finite"));
-    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-9 * (1.0 + x.abs()));
-    roots
+    sort_dedup(out, n, 1e-9)
 }
 
 #[cfg(test)]
@@ -163,6 +210,31 @@ mod tests {
     #[test]
     fn cubic_degenerates_to_quadratic() {
         assert_eq!(cubic_roots(0.0, 1.0, -3.0, 2.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let cases = [
+            (1.0, -6.0, 11.0, -6.0),
+            (2.0, -12.0, 22.0, -12.0),
+            (1.0, 0.0, 1.0, -2.0),
+            (1.0, -6.0, 12.0, -8.0),
+            (0.0, 1.0, -3.0, 2.0),
+            (0.0, 0.0, 2.0, -4.0),
+            (0.0, 0.0, 0.0, 5.0),
+            (0.0, 1.0, 0.0, 1.0),
+        ];
+        let mut buf = [0.0; 3];
+        for (a, b, c, d) in cases {
+            let n = cubic_roots_into(a, b, c, d, &mut buf);
+            assert_eq!(
+                buf[..n].to_vec(),
+                cubic_roots(a, b, c, d),
+                "{a} {b} {c} {d}"
+            );
+        }
+        let n = quadratic_roots_into(1.0, -3.0, 2.0, &mut buf);
+        assert_eq!(buf[..n].to_vec(), quadratic_roots(1.0, -3.0, 2.0));
     }
 
     #[test]

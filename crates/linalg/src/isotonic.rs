@@ -32,6 +32,41 @@
 /// assert_eq!(fit, vec![1.0, 2.5, 2.5, 4.0]);
 /// ```
 pub fn isotonic_increasing(y: &[f64], w: &[f64]) -> Vec<f64> {
+    let mut ws = IsotonicWorkspace::new();
+    let mut out = Vec::new();
+    isotonic_increasing_into(y, w, &mut ws, &mut out);
+    out
+}
+
+/// Reusable PAVA block storage for [`isotonic_increasing_into`].
+#[derive(Debug, Default)]
+pub struct IsotonicWorkspace {
+    vals: Vec<f64>,
+    wts: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+impl IsotonicWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        IsotonicWorkspace::default()
+    }
+}
+
+/// [`isotonic_increasing`] reusing caller-owned block and output buffers.
+///
+/// `out` is cleared and refilled; allocation-free once both the workspace
+/// and `out` have grown to the sequence length.
+///
+/// # Panics
+///
+/// Same conditions as [`isotonic_increasing`].
+pub fn isotonic_increasing_into(
+    y: &[f64],
+    w: &[f64],
+    ws: &mut IsotonicWorkspace,
+    out: &mut Vec<f64>,
+) {
     assert_eq!(
         y.len(),
         w.len(),
@@ -42,15 +77,17 @@ pub fn isotonic_increasing(y: &[f64], w: &[f64]) -> Vec<f64> {
         "weights must be non-negative and finite"
     );
     let n = y.len();
+    out.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
 
     // Each block stores (pooled value, total weight, count). Blocks merge
     // whenever the monotonicity between adjacent blocks is violated.
-    let mut vals: Vec<f64> = Vec::with_capacity(n);
-    let mut wts: Vec<f64> = Vec::with_capacity(n);
-    let mut counts: Vec<usize> = Vec::with_capacity(n);
+    let IsotonicWorkspace { vals, wts, counts } = ws;
+    vals.clear();
+    wts.clear();
+    counts.clear();
 
     for i in 0..n {
         vals.push(y[i]);
@@ -79,11 +116,9 @@ pub fn isotonic_increasing(y: &[f64], w: &[f64]) -> Vec<f64> {
         }
     }
 
-    let mut out = Vec::with_capacity(n);
-    for (v, c) in vals.iter().zip(&counts) {
+    for (v, c) in vals.iter().zip(&*counts) {
         out.extend(std::iter::repeat_n(*v, *c));
     }
-    out
 }
 
 /// Weighted isotonic regression with a non-increasing constraint.
@@ -152,6 +187,23 @@ mod tests {
         assert_eq!(fit[0], 3.0);
         assert_eq!(fit[1], 3.0);
         assert_eq!(fit[2], 4.0);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_version() {
+        let mut ws = IsotonicWorkspace::new();
+        let mut out = Vec::new();
+        let cases: [&[f64]; 4] = [
+            &[1.0, 3.0, 2.0, 4.0],
+            &[5.0, 4.0, 3.0, 2.0, 1.0],
+            &[7.0],
+            &[],
+        ];
+        for y in cases {
+            let w = vec![1.0; y.len()];
+            isotonic_increasing_into(y, &w, &mut ws, &mut out);
+            assert_eq!(out, isotonic_increasing(y, &w));
+        }
     }
 
     #[test]

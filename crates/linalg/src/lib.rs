@@ -45,11 +45,13 @@ mod nnls;
 mod qr;
 pub mod stats;
 
-pub use batch::{PanelModel, VfPoint};
-pub use cholesky::{cholesky, spd_inverse};
-pub use cubic::{cubic_roots, quadratic_roots};
+pub use batch::{dot, PanelModel, VfPoint};
+pub use cholesky::{cholesky, cholesky_into, spd_inverse, spd_inverse_with, SpdInverseWorkspace};
+pub use cubic::{cubic_roots, cubic_roots_into, quadratic_roots, quadratic_roots_into};
 pub use error::LinalgError;
-pub use isotonic::{isotonic_decreasing, isotonic_increasing};
+pub use isotonic::{
+    isotonic_decreasing, isotonic_increasing, isotonic_increasing_into, IsotonicWorkspace,
+};
 pub use matrix::Matrix;
-pub use nnls::nnls;
-pub use qr::{lstsq, ridge_lstsq};
+pub use nnls::{nnls, nnls_with, NnlsWorkspace};
+pub use qr::{lstsq, lstsq_with, ridge_lstsq, ridge_lstsq_with, LstsqWorkspace};

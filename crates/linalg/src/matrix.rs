@@ -22,7 +22,7 @@ use std::ops::{Index, IndexMut};
 /// assert_eq!(a, b);
 /// # Ok::<(), gpm_linalg::LinalgError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -160,6 +160,37 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Matrix product `self * other` into a caller-owned matrix, which is
+    /// reshaped to `rows() x other.cols()` — the allocation-free variant
+    /// of [`Matrix::matmul`], bit-identical entry for entry (same loop
+    /// nest, same accumulation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if inner dimensions differ.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{}x_", self.cols),
+                got: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        out.reshape(self.rows, other.cols);
+        out.as_mut_slice().fill(0.0);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix-vector product `self * v`.
     ///
     /// # Errors
@@ -185,6 +216,118 @@ impl Matrix {
     /// Maximum absolute entry (0 for an all-zero matrix).
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for a zero-sized shape and
+    /// [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{rows}x{cols}"),
+                got: format!("flat buffer of length {}", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Borrows the row-major backing store.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing store.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Resizes to `rows x cols` in place, reusing the backing allocation.
+    ///
+    /// Entry values after a reshape are unspecified (a mix of stale data and
+    /// zeros); callers are expected to overwrite every entry.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `src` into `self`, reusing the backing allocation.
+    ///
+    /// Unlike the derived `Clone::clone_from`, this never reallocates once
+    /// capacity has been established (the derived impl falls back to
+    /// `*self = src.clone()`).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
+    /// Copies a flat row-major buffer into `self`, reusing the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn copy_from_flat(&mut self, rows: usize, cols: usize, data: &[f64]) {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.extend_from_slice(data);
+    }
+
+    /// [`Matrix::select_cols`] writing into a reused output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols_into(&self, cols: &[usize], out: &mut Matrix) {
+        out.reshape(self.rows, cols.len());
+        for i in 0..self.rows {
+            for (j, &c) in cols.iter().enumerate() {
+                out.data[i * cols.len() + j] = self[(i, c)];
+            }
+        }
+    }
+
+    /// [`Matrix::transpose`] writing into a reused output matrix.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
+        for i in 0..self.cols {
+            for j in 0..self.rows {
+                out.data[i * self.rows + j] = self[(j, i)];
+            }
+        }
+    }
+
+    /// [`Matrix::mat_vec`] writing into a reused output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols()`.
+    pub fn mat_vec_into(&self, v: &[f64], out: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("length {}", v.len()),
+            });
+        }
+        out.clear();
+        for i in 0..self.rows {
+            out.push(self.row(i).iter().zip(v).map(|(a, b)| a * b).sum());
+        }
+        Ok(())
     }
 }
 
@@ -265,6 +408,23 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_matches_matmul_and_reuses_storage() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, -1.5]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0, 0.0], vec![7.0, 8.0, -2.0]]).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+        // Stale contents from a previous, larger product must not leak.
+        let small = Matrix::from_rows(&[vec![2.0]]).unwrap();
+        small.matmul_into(&small, &mut out).unwrap();
+        assert_eq!(out, Matrix::from_rows(&[vec![4.0]]).unwrap());
+        // Same dimension check as `matmul`.
+        assert!(Matrix::zeros(2, 3)
+            .matmul_into(&Matrix::zeros(2, 3), &mut out)
+            .is_err());
+    }
+
+    #[test]
     fn mat_vec_matches_matmul() {
         let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.5]]).unwrap();
         let v = vec![3.0, 4.0];
@@ -310,5 +470,54 @@ mod tests {
     fn display_contains_shape() {
         let a = Matrix::zeros(2, 3);
         assert!(a.to_string().contains("[2x3]"));
+    }
+
+    #[test]
+    fn from_flat_validates_shape() {
+        let m = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(
+            m,
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap()
+        );
+        assert_eq!(Matrix::from_flat(0, 2, vec![]), Err(LinalgError::Empty));
+        assert!(matches!(
+            Matrix::from_flat(2, 2, vec![1.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_from_matches_clone_without_reallocating() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let mut b = Matrix::zeros(4, 3);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        let cap = b.data.capacity();
+        b.copy_from(&a);
+        assert_eq!(b.data.capacity(), cap);
+    }
+
+    #[test]
+    fn copy_from_flat_roundtrips() {
+        let a = Matrix::from_fn(2, 3, |i, j| (i + j) as f64);
+        let mut b = Matrix::zeros(1, 1);
+        b.copy_from_flat(2, 3, a.as_slice());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 11 + j * 3) as f64 - 7.0);
+        let mut sel = Matrix::zeros(1, 1);
+        a.select_cols_into(&[3, 1], &mut sel);
+        assert_eq!(sel, a.select_cols(&[3, 1]));
+        let mut t = Matrix::zeros(1, 1);
+        a.transpose_into(&mut t);
+        assert_eq!(t, a.transpose());
+        let v = vec![1.0, -2.0, 0.5, 3.0];
+        let mut out = Vec::new();
+        a.mat_vec_into(&v, &mut out).unwrap();
+        assert_eq!(out, a.mat_vec(&v).unwrap());
+        assert!(a.mat_vec_into(&[1.0], &mut out).is_err());
     }
 }

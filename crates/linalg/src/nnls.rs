@@ -1,6 +1,155 @@
 //! Lawson–Hanson non-negative least squares.
 
-use crate::{lstsq, LinalgError, Matrix};
+use crate::{lstsq_with, LinalgError, LstsqWorkspace, Matrix};
+
+/// Reusable scratch for [`nnls_with`].
+///
+/// Owns the transposed design, the active-set bookkeeping, the gradient
+/// and residual vectors, the passive-column submatrix, and a nested
+/// [`LstsqWorkspace`], so repeated solves of same-shaped problems perform
+/// no heap allocation after the first call.
+#[derive(Debug, Default)]
+pub struct NnlsWorkspace {
+    at: Matrix,
+    x: Vec<f64>,
+    passive: Vec<bool>,
+    ax: Vec<f64>,
+    resid: Vec<f64>,
+    w: Vec<f64>,
+    idx: Vec<usize>,
+    sub: Matrix,
+    z: Vec<f64>,
+    lstsq: LstsqWorkspace,
+}
+
+impl NnlsWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        NnlsWorkspace::default()
+    }
+}
+
+/// [`nnls`] reusing a caller-owned [`NnlsWorkspace`].
+///
+/// Returns the solution as a slice borrowed from the workspace; copy it
+/// out before the next solve. Performs bit-identical arithmetic to
+/// [`nnls`]: same active-set order, same tolerances, same step-back rule.
+///
+/// # Errors
+///
+/// Same conditions as [`nnls`].
+pub fn nnls_with<'ws>(
+    a: &Matrix,
+    b: &[f64],
+    ws: &'ws mut NnlsWorkspace,
+) -> Result<&'ws [f64], LinalgError> {
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("rhs of length {m}"),
+            got: format!("length {}", b.len()),
+        });
+    }
+    if !a.is_finite() || b.iter().any(|x| !x.is_finite()) {
+        return Err(LinalgError::NotFinite);
+    }
+
+    let NnlsWorkspace {
+        at,
+        x,
+        passive,
+        ax,
+        resid,
+        w,
+        idx,
+        sub,
+        z,
+        lstsq: lws,
+    } = ws;
+    a.transpose_into(at);
+    x.clear();
+    x.resize(n, 0.0);
+    passive.clear();
+    passive.resize(n, false);
+    let tol = 1e-10 * a.max_abs().max(1.0) * b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
+    let max_outer = 3 * n + 30;
+
+    for _ in 0..max_outer {
+        // Gradient of 0.5||Ax-b||²: w = Aᵀ(b - Ax).
+        a.mat_vec_into(x, ax)?;
+        resid.clear();
+        resid.extend(b.iter().zip(&*ax).map(|(bi, axi)| bi - axi));
+        at.mat_vec_into(resid, w)?;
+
+        // Most-improving inactive coordinate.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
+        }
+        let Some((j_star, _)) = best else {
+            return Ok(x); // KKT satisfied.
+        };
+        passive[j_star] = true;
+
+        // Inner loop: solve the unconstrained problem on the passive set,
+        // stepping back whenever a passive coordinate would go negative.
+        let max_inner = 3 * n + 30;
+        let mut inner_ok = false;
+        for _ in 0..max_inner {
+            idx.clear();
+            idx.extend((0..n).filter(|&j| passive[j]));
+            a.select_cols_into(idx, sub);
+            let z_sub = match lstsq_with(sub, b, lws) {
+                Ok(z) => z,
+                Err(LinalgError::Singular) => {
+                    // The newly added column is linearly dependent on the
+                    // passive set; drop it and accept the current iterate.
+                    passive[j_star] = false;
+                    inner_ok = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            z.clear();
+            z.resize(n, 0.0);
+            for (k, &j) in idx.iter().enumerate() {
+                z[j] = z_sub[k];
+            }
+            if idx.iter().all(|&j| z[j] > tol.min(1e-12)) {
+                std::mem::swap(x, z);
+                inner_ok = true;
+                break;
+            }
+            // Step from x toward z, stopping at the first zero crossing.
+            let mut alpha = 1.0f64;
+            for &j in &*idx {
+                if z[j] <= 0.0 && x[j] > z[j] {
+                    alpha = alpha.min(x[j] / (x[j] - z[j]));
+                }
+            }
+            for j in 0..n {
+                x[j] += alpha * (z[j] - x[j]);
+                if passive[j] && x[j] <= tol.min(1e-12) {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+        if !inner_ok {
+            return Err(LinalgError::NoConvergence {
+                routine: "nnls inner loop",
+                iterations: max_inner,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        routine: "nnls",
+        iterations: max_outer,
+    })
+}
 
 /// Solves `min ||A x - b||₂` subject to `x ≥ 0` (Lawson–Hanson active set).
 ///
@@ -31,100 +180,29 @@ use crate::{lstsq, LinalgError, Matrix};
 /// # Ok::<(), gpm_linalg::LinalgError>(())
 /// ```
 pub fn nnls(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-    let m = a.rows();
-    let n = a.cols();
-    if b.len() != m {
-        return Err(LinalgError::DimensionMismatch {
-            expected: format!("rhs of length {m}"),
-            got: format!("length {}", b.len()),
-        });
-    }
-    if !a.is_finite() || b.iter().any(|x| !x.is_finite()) {
-        return Err(LinalgError::NotFinite);
-    }
-
-    let at = a.transpose();
-    let mut x = vec![0.0; n];
-    let mut passive: Vec<bool> = vec![false; n];
-    let tol = 1e-10 * a.max_abs().max(1.0) * b.iter().fold(1.0f64, |s, v| s.max(v.abs()));
-    let max_outer = 3 * n + 30;
-
-    for _ in 0..max_outer {
-        // Gradient of 0.5||Ax-b||²: w = Aᵀ(b - Ax).
-        let ax = a.mat_vec(&x)?;
-        let resid: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-        let w = at.mat_vec(&resid)?;
-
-        // Most-improving inactive coordinate.
-        let mut best: Option<(usize, f64)> = None;
-        for j in 0..n {
-            if !passive[j] && w[j] > tol && best.is_none_or(|(_, bw)| w[j] > bw) {
-                best = Some((j, w[j]));
-            }
-        }
-        let Some((j_star, _)) = best else {
-            return Ok(x); // KKT satisfied.
-        };
-        passive[j_star] = true;
-
-        // Inner loop: solve the unconstrained problem on the passive set,
-        // stepping back whenever a passive coordinate would go negative.
-        let max_inner = 3 * n + 30;
-        let mut inner_ok = false;
-        for _ in 0..max_inner {
-            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
-            let sub = a.select_cols(&idx);
-            let z_sub = match lstsq(&sub, b) {
-                Ok(z) => z,
-                Err(LinalgError::Singular) => {
-                    // The newly added column is linearly dependent on the
-                    // passive set; drop it and accept the current iterate.
-                    passive[j_star] = false;
-                    inner_ok = true;
-                    break;
-                }
-                Err(e) => return Err(e),
-            };
-            let mut z = vec![0.0; n];
-            for (k, &j) in idx.iter().enumerate() {
-                z[j] = z_sub[k];
-            }
-            if idx.iter().all(|&j| z[j] > tol.min(1e-12)) {
-                x = z;
-                inner_ok = true;
-                break;
-            }
-            // Step from x toward z, stopping at the first zero crossing.
-            let mut alpha = 1.0f64;
-            for &j in &idx {
-                if z[j] <= 0.0 && x[j] > z[j] {
-                    alpha = alpha.min(x[j] / (x[j] - z[j]));
-                }
-            }
-            for j in 0..n {
-                x[j] += alpha * (z[j] - x[j]);
-                if passive[j] && x[j] <= tol.min(1e-12) {
-                    x[j] = 0.0;
-                    passive[j] = false;
-                }
-            }
-        }
-        if !inner_ok {
-            return Err(LinalgError::NoConvergence {
-                routine: "nnls inner loop",
-                iterations: max_inner,
-            });
-        }
-    }
-    Err(LinalgError::NoConvergence {
-        routine: "nnls",
-        iterations: max_outer,
-    })
+    let mut ws = NnlsWorkspace::new();
+    nnls_with(a, b, &mut ws).map(<[f64]>::to_vec)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lstsq;
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let mut ws = NnlsWorkspace::new();
+        let a1 = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b1 = [1.0, -0.5, 1.0];
+        let a2 = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) % 5) as f64 + 0.5);
+        let b2: Vec<f64> = (0..6).map(|i| i as f64 - 1.0).collect();
+        for _ in 0..3 {
+            let x1 = nnls_with(&a1, &b1, &mut ws).unwrap().to_vec();
+            assert_eq!(x1, nnls(&a1, &b1).unwrap());
+            let x2 = nnls_with(&a2, &b2, &mut ws).unwrap().to_vec();
+            assert_eq!(x2, nnls(&a2, &b2).unwrap());
+        }
+    }
 
     #[test]
     fn matches_unconstrained_when_solution_is_positive() {

@@ -2,33 +2,42 @@
 
 use crate::{LinalgError, Matrix};
 
-/// Solves the least-squares problem `min ||A x - b||₂` via Householder QR.
+/// Reusable scratch for [`lstsq_with`] / [`ridge_lstsq_with`].
 ///
-/// Requires `A` to have at least as many rows as columns and full column
-/// rank; for rank-deficient designs (which arise legitimately in step 1 of
-/// the paper's estimator, where the core and memory static-power columns
-/// coincide) use [`ridge_lstsq`].
+/// Owns every buffer the Householder solve touches (the in-place `R`
+/// factor, the transformed right-hand side, the reflection vector, the
+/// solution, and the ridge-augmented system), so repeated solves of
+/// same-shaped problems perform no heap allocation after the first call.
+#[derive(Debug, Default)]
+pub struct LstsqWorkspace {
+    r: Matrix,
+    y: Vec<f64>,
+    v: Vec<f64>,
+    x: Vec<f64>,
+    aug: Matrix,
+    rhs: Vec<f64>,
+}
+
+impl LstsqWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        LstsqWorkspace::default()
+    }
+}
+
+/// The Householder-QR solve on explicit scratch buffers.
 ///
-/// # Errors
-///
-/// - [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()` or
-///   `A.rows() < A.cols()`;
-/// - [`LinalgError::NotFinite`] if any input entry is NaN/infinite;
-/// - [`LinalgError::Singular`] if a diagonal of `R` vanishes relative to
-///   the matrix scale (rank deficiency).
-///
-/// # Example
-///
-/// ```
-/// use gpm_linalg::{lstsq, Matrix};
-///
-/// // Overdetermined: y ≈ 3x fitted from noisy-free redundant rows.
-/// let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]])?;
-/// let x = lstsq(&a, &[3.0, 6.0, 9.0])?;
-/// assert!((x[0] - 3.0).abs() < 1e-12);
-/// # Ok::<(), gpm_linalg::LinalgError>(())
-/// ```
-pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+/// Performs bit-identical arithmetic to the original allocating [`lstsq`]:
+/// same reflection order, same singularity thresholds, same back
+/// substitution.
+fn lstsq_core(
+    a: &Matrix,
+    b: &[f64],
+    r: &mut Matrix,
+    y: &mut Vec<f64>,
+    v: &mut Vec<f64>,
+    x: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
     let m = a.rows();
     let n = a.cols();
     if b.len() != m {
@@ -49,8 +58,9 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 
     // Working copies: R starts as A, y as b; Householder reflections are
     // applied to both in lockstep.
-    let mut r = a.clone();
-    let mut y = b.to_vec();
+    r.copy_from(a);
+    y.clear();
+    y.extend_from_slice(b);
     let scale = r.max_abs().max(1e-300);
 
     for k in 0..n {
@@ -64,7 +74,8 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             return Err(LinalgError::Singular);
         }
         let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
-        let mut v = vec![0.0; m - k];
+        v.clear();
+        v.resize(m - k, 0.0);
         v[0] = r[(k, k)] - alpha;
         for i in (k + 1)..m {
             v[i - k] = r[(i, k)];
@@ -97,7 +108,8 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     }
 
     // Back substitution on the n x n upper triangle.
-    let mut x = vec![0.0; n];
+    x.clear();
+    x.resize(n, 0.0);
     for k in (0..n).rev() {
         let mut s = y[k];
         for j in (k + 1)..n {
@@ -109,7 +121,112 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
         x[k] = s / d;
     }
+    Ok(())
+}
+
+/// [`lstsq`] reusing a caller-owned [`LstsqWorkspace`].
+///
+/// Returns the solution as a slice borrowed from the workspace; copy it out
+/// before the next solve. Allocation-free once the workspace buffers have
+/// grown to the problem size.
+///
+/// # Errors
+///
+/// Same conditions as [`lstsq`].
+pub fn lstsq_with<'ws>(
+    a: &Matrix,
+    b: &[f64],
+    ws: &'ws mut LstsqWorkspace,
+) -> Result<&'ws [f64], LinalgError> {
+    let LstsqWorkspace { r, y, v, x, .. } = ws;
+    lstsq_core(a, b, r, y, v, x)?;
     Ok(x)
+}
+
+/// [`ridge_lstsq`] reusing a caller-owned [`LstsqWorkspace`].
+///
+/// # Errors
+///
+/// Same conditions as [`ridge_lstsq`].
+pub fn ridge_lstsq_with<'ws>(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    ws: &'ws mut LstsqWorkspace,
+) -> Result<&'ws [f64], LinalgError> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(LinalgError::NotFinite);
+    }
+    if lambda == 0.0 {
+        return lstsq_with(a, b, ws);
+    }
+    let m = a.rows();
+    let n = a.cols();
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("rhs of length {m}"),
+            got: format!("length {}", b.len()),
+        });
+    }
+    let sqrt_l = lambda.sqrt();
+    let LstsqWorkspace {
+        r,
+        y,
+        v,
+        x,
+        aug,
+        rhs,
+    } = ws;
+    // Same entries, in the same (i, j) order, as the `Matrix::from_fn`
+    // construction in `ridge_lstsq`.
+    aug.reshape(m + n, n);
+    for i in 0..m + n {
+        for j in 0..n {
+            aug[(i, j)] = if i < m {
+                a[(i, j)]
+            } else if i - m == j {
+                sqrt_l
+            } else {
+                0.0
+            };
+        }
+    }
+    rhs.clear();
+    rhs.extend_from_slice(b);
+    rhs.extend(std::iter::repeat_n(0.0, n));
+    lstsq_core(aug, rhs, r, y, v, x)?;
+    Ok(x)
+}
+
+/// Solves the least-squares problem `min ||A x - b||₂` via Householder QR.
+///
+/// Requires `A` to have at least as many rows as columns and full column
+/// rank; for rank-deficient designs (which arise legitimately in step 1 of
+/// the paper's estimator, where the core and memory static-power columns
+/// coincide) use [`ridge_lstsq`].
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] if `b.len() != A.rows()` or
+///   `A.rows() < A.cols()`;
+/// - [`LinalgError::NotFinite`] if any input entry is NaN/infinite;
+/// - [`LinalgError::Singular`] if a diagonal of `R` vanishes relative to
+///   the matrix scale (rank deficiency).
+///
+/// # Example
+///
+/// ```
+/// use gpm_linalg::{lstsq, Matrix};
+///
+/// // Overdetermined: y ≈ 3x fitted from noisy-free redundant rows.
+/// let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]])?;
+/// let x = lstsq(&a, &[3.0, 6.0, 9.0])?;
+/// assert!((x[0] - 3.0).abs() < 1e-12);
+/// # Ok::<(), gpm_linalg::LinalgError>(())
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let mut ws = LstsqWorkspace::new();
+    lstsq_with(a, b, &mut ws).map(<[f64]>::to_vec)
 }
 
 /// Tikhonov-regularized least squares: `min ||A x - b||² + λ ||x||²`.
@@ -129,33 +246,8 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 /// Same conditions as [`lstsq`], plus `λ` must be non-negative and finite
 /// ([`LinalgError::NotFinite`] otherwise).
 pub fn ridge_lstsq(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
-    if !lambda.is_finite() || lambda < 0.0 {
-        return Err(LinalgError::NotFinite);
-    }
-    if lambda == 0.0 {
-        return lstsq(a, b);
-    }
-    let m = a.rows();
-    let n = a.cols();
-    if b.len() != m {
-        return Err(LinalgError::DimensionMismatch {
-            expected: format!("rhs of length {m}"),
-            got: format!("length {}", b.len()),
-        });
-    }
-    let sqrt_l = lambda.sqrt();
-    let aug = Matrix::from_fn(m + n, n, |i, j| {
-        if i < m {
-            a[(i, j)]
-        } else if i - m == j {
-            sqrt_l
-        } else {
-            0.0
-        }
-    });
-    let mut rhs = b.to_vec();
-    rhs.extend(std::iter::repeat_n(0.0, n));
-    lstsq(&aug, &rhs)
+    let mut ws = LstsqWorkspace::new();
+    ridge_lstsq_with(a, b, lambda, &mut ws).map(<[f64]>::to_vec)
 }
 
 #[cfg(test)]
@@ -291,6 +383,39 @@ mod tests {
         for (xi, ti) in x.iter().zip(truth) {
             assert!((xi - ti).abs() < 1e-8, "{x:?}");
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_shapes() {
+        let mut ws = LstsqWorkspace::new();
+        // Alternate between two differently-shaped systems so the reused
+        // buffers shrink and grow; every solve must equal the fresh path.
+        let a1 = Matrix::from_fn(6, 3, |i, j| ((i * 5 + j * 2) % 7) as f64 + 0.25);
+        let b1: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let a2 = Matrix::from_fn(4, 2, |i, j| (i + j) as f64 + 0.5);
+        let b2: Vec<f64> = (0..4).map(|i| 1.5 * i as f64).collect();
+        for _ in 0..3 {
+            let x1 = lstsq_with(&a1, &b1, &mut ws).unwrap().to_vec();
+            assert_eq!(x1, lstsq(&a1, &b1).unwrap());
+            let x2 = ridge_lstsq_with(&a2, &b2, 1e-6, &mut ws).unwrap().to_vec();
+            assert_eq!(x2, ridge_lstsq(&a2, &b2, 1e-6).unwrap());
+        }
+    }
+
+    #[test]
+    fn workspace_variant_reports_same_errors() {
+        let mut ws = LstsqWorkspace::new();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        assert_eq!(
+            lstsq_with(&a, &[1.0, 2.0, 3.0], &mut ws).err(),
+            Some(LinalgError::Singular)
+        );
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(
+            ridge_lstsq_with(&a, &[1.0, 2.0], -1.0, &mut ws).err(),
+            Some(LinalgError::NotFinite)
+        );
+        assert!(ridge_lstsq_with(&a, &[1.0], 1e-3, &mut ws).is_err());
     }
 
     mod prop {

@@ -205,6 +205,37 @@ where
     run_pool_with(current_threads(), items, f)
 }
 
+/// Emits the schedule-independent per-call pool metrics (`par.calls`,
+/// `par.items`, `gauge par.threads`) when a recorder is installed;
+/// returns whether tracing is active. Every pool entry point — including
+/// the scratch-reusing one — must route through this so the metric name
+/// set and counts pinned by the golden traces stay identical.
+fn emit_call_metrics(threads: usize, len: usize) -> bool {
+    // Pool telemetry when a recorder is installed. `par.calls` and
+    // `par.items` are schedule-independent; threads, block claims,
+    // steals and queue depths vary with the thread count and are
+    // treated as volatile by trace normalization.
+    let traced = gpm_obs::active().is_some();
+    if traced {
+        gpm_obs::counter_add("par.calls", 1);
+        gpm_obs::counter_add("par.items", len as u64);
+        gpm_obs::gauge_set("par.threads", threads as f64);
+    }
+    traced
+}
+
+/// Emits the sequential-fast-path schedule metrics: one "block" covering
+/// the whole slice, zero steals. Keeps the metric *name set* identical to
+/// the pooled path so a normalized single-threaded trace pins the same
+/// instruments.
+fn emit_sequential_metrics(traced: bool, len: usize) {
+    if traced {
+        gpm_obs::counter_add("par.blocks", 1);
+        gpm_obs::counter_add("par.steals", 0);
+        gpm_obs::histogram_record("par.queue_depth", len as f64);
+    }
+}
+
 /// [`run_pool`] with the worker count chosen by the caller rather than
 /// the global resolution ([`par_map_with`]'s backing).
 fn run_pool_with<T, R, F>(
@@ -218,28 +249,32 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let threads = threads.min(items.len().max(1));
-    // Pool telemetry when a recorder is installed. `par.calls` and
-    // `par.items` are schedule-independent; threads, block claims,
-    // steals and queue depths vary with the thread count and are
-    // treated as volatile by trace normalization.
-    let traced = gpm_obs::active().is_some();
-    if traced {
-        gpm_obs::counter_add("par.calls", 1);
-        gpm_obs::counter_add("par.items", items.len() as u64);
-        gpm_obs::gauge_set("par.threads", threads as f64);
-    }
+    let traced = emit_call_metrics(threads, items.len());
     if threads <= 1 || items.len() <= 1 {
-        // Keep the metric *name set* identical to the pooled path so a
-        // normalized single-threaded trace pins the same instruments:
-        // one "block" covering the whole slice, zero steals.
-        if traced {
-            gpm_obs::counter_add("par.blocks", 1);
-            gpm_obs::counter_add("par.steals", 0);
-            gpm_obs::histogram_record("par.queue_depth", items.len() as f64);
-        }
+        emit_sequential_metrics(traced, items.len());
         return catch_unwind(AssertUnwindSafe(|| items.iter().map(&f).collect()));
     }
+    pooled_map(threads, items, traced, || (), |(), item| f(item))
+}
 
+/// The pooled (multi-worker) map core, generalized over per-worker
+/// scratch: each worker calls `init()` exactly once and threads the
+/// resulting state through every item it claims. [`run_pool_with`] passes
+/// `()` scratch; [`par_map_reusing`] passes real buffers so workers stop
+/// allocating per item.
+fn pooled_map<T, R, S, I, F>(
+    threads: usize,
+    items: &[T],
+    traced: bool,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, Box<dyn std::any::Any + Send>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let cursor = AtomicUsize::new(0);
     let block = block_size(items.len(), threads);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
@@ -250,12 +285,16 @@ where
             let cursor = &cursor;
             let collected = &collected;
             let panic_slot = &panic_slot;
+            let init = &init;
             let f = &f;
             scope.spawn(move || {
                 // Per-worker buffer: results land here first so the
                 // shared mutex is only taken once per claimed block.
                 let mut local: Vec<(usize, R)> = Vec::new();
                 let mut claimed_blocks = 0u64;
+                // One scratch per worker, reused across every block this
+                // worker claims.
+                let mut scratch = init();
                 loop {
                     let start = cursor.fetch_add(block, Ordering::Relaxed);
                     if start >= items.len() {
@@ -272,7 +311,7 @@ where
                     let end = (start + block).min(items.len());
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         for (offset, item) in items[start..end].iter().enumerate() {
-                            local.push((start + offset, f(item)));
+                            local.push((start + offset, f(&mut scratch, item)));
                         }
                     }));
                     if let Err(payload) = result {
@@ -308,6 +347,65 @@ where
     // deterministic no matter how blocks were claimed.
     pairs.sort_unstable_by_key(|&(i, _)| i);
     Ok(pairs.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Like [`par_map`] but with reusable scratch and output buffers, for
+/// allocation-free steady-state hot loops (the estimator's per-iteration
+/// voltage solves).
+///
+/// `f` receives a mutable scratch alongside each item. On the sequential
+/// fast path (one thread or one item) the caller's `scratch` is threaded
+/// through every item in input order — zero allocation once the buffers
+/// have warmed up. On the pooled path each worker builds its own scratch
+/// with `fresh()` exactly once and reuses it across every block it
+/// claims; the caller's `scratch` is untouched.
+///
+/// `out` is cleared and refilled with `f`'s results in input order, so
+/// `out[i] == f(scratch, &items[i])` at any thread count — bit-identical
+/// to [`par_map`] when `f` ignores the scratch's (cleared) contents.
+/// Emits exactly the same pool telemetry as [`par_map`] (`par.calls`,
+/// `par.items`, `par.threads`, `par.blocks`, `par.steals`,
+/// `par.queue_depth`), so traced pipelines see an identical instrument
+/// stream whichever entry point a call site uses.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread with its
+/// original payload.
+pub fn par_map_reusing<T, R, S, I, F>(
+    items: &[T],
+    scratch: &mut S,
+    out: &mut Vec<R>,
+    fresh: I,
+    f: F,
+) where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = current_threads().min(items.len().max(1));
+    let traced = emit_call_metrics(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        emit_sequential_metrics(traced, items.len());
+        out.clear();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            for item in items {
+                out.push(f(scratch, item));
+            }
+        }));
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
+        return;
+    }
+    match pooled_map(threads, items, traced, fresh, f) {
+        Ok(results) => {
+            out.clear();
+            out.extend(results);
+        }
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 /// Like [`par_map`] but discards results; useful for closures run only
@@ -562,6 +660,139 @@ mod tests {
         assert!(blocks >= 1);
         assert!(m.counters["par.steals"] <= blocks);
         assert_eq!(m.histograms["par.queue_depth"].count, blocks);
+    }
+
+    #[test]
+    fn par_map_reusing_matches_par_map_at_any_thread_count() {
+        let items: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let mut out = Vec::new();
+            let mut scratch = vec![0u64; 4];
+            with_threads(threads, || {
+                par_map_reusing(
+                    &items,
+                    &mut scratch,
+                    &mut out,
+                    || vec![0u64; 4],
+                    |s, &x| {
+                        // Use the scratch so the compiler cannot elide it.
+                        s[0] = x;
+                        s[0] * 3 + 1
+                    },
+                );
+            });
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reusing_reuses_caller_buffers_at_one_thread() {
+        let items: Vec<u64> = (0..64).collect();
+        let mut out: Vec<u64> = Vec::with_capacity(64);
+        let mut scratch = 0u64;
+        with_threads(1, || {
+            par_map_reusing(
+                &items,
+                &mut scratch,
+                &mut out,
+                || 0u64,
+                |s, &x| {
+                    *s += 1;
+                    x + *s
+                },
+            );
+        });
+        // The caller's scratch was threaded through every item in order.
+        assert_eq!(scratch, 64);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[63], 63 + 64);
+        let ptr = out.as_ptr();
+        let cap = out.capacity();
+        with_threads(1, || {
+            par_map_reusing(&items, &mut scratch, &mut out, || 0u64, |_, &x| x);
+        });
+        // Refilled in place: same allocation, no growth.
+        assert_eq!(out.as_ptr(), ptr);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn par_map_reusing_handles_empty_input_and_panics() {
+        let empty: Vec<u32> = Vec::new();
+        let mut out = vec![1u32, 2];
+        let mut scratch = ();
+        with_threads(4, || {
+            par_map_reusing(&empty, &mut scratch, &mut out, || (), |(), &x| x);
+        });
+        assert!(out.is_empty());
+        for threads in [1, 4] {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                with_threads(threads, || {
+                    let items: Vec<u32> = (0..50).collect();
+                    let mut out = Vec::new();
+                    let mut scratch = ();
+                    par_map_reusing(
+                        &items,
+                        &mut scratch,
+                        &mut out,
+                        || (),
+                        |(), &x| {
+                            if x == 17 {
+                                panic!("boom at {x}");
+                            }
+                            x
+                        },
+                    );
+                });
+            }))
+            .unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "?".into());
+            assert!(msg.contains("boom at 17"), "threads={threads}: {msg:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_reusing_emits_identical_telemetry_to_par_map() {
+        static OBS_LOCK: Mutex<()> = Mutex::new(());
+        let _obs = OBS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 4] {
+            let rec_plain = gpm_obs::Recorder::new();
+            gpm_obs::install(&rec_plain);
+            with_threads(threads, || {
+                let _ = par_map(&items, |&x| x + 1);
+            });
+            gpm_obs::uninstall();
+            let rec_reusing = gpm_obs::Recorder::new();
+            gpm_obs::install(&rec_reusing);
+            with_threads(threads, || {
+                let mut out = Vec::new();
+                let mut scratch = ();
+                par_map_reusing(&items, &mut scratch, &mut out, || (), |(), &x| x + 1);
+            });
+            gpm_obs::uninstall();
+            let a = rec_plain.snapshot().metrics;
+            let b = rec_reusing.snapshot().metrics;
+            // The schedule-independent instruments must agree exactly;
+            // block/steal/queue-depth are schedule-dependent but the
+            // name sets must match (golden traces null their values,
+            // not their presence).
+            assert_eq!(a.counters["par.calls"], b.counters["par.calls"]);
+            assert_eq!(a.counters["par.items"], b.counters["par.items"]);
+            assert_eq!(a.gauges["par.threads"], b.gauges["par.threads"]);
+            let names =
+                |m: &std::collections::BTreeMap<String, u64>| m.keys().cloned().collect::<Vec<_>>();
+            assert_eq!(names(&a.counters), names(&b.counters), "threads={threads}");
+            assert_eq!(
+                a.histograms.keys().collect::<Vec<_>>(),
+                b.histograms.keys().collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]
