@@ -387,6 +387,7 @@ fn bench_server(model: &PowerModel, shards: usize) -> ServerHandle {
         shards,
         coalesce_us: 100,
         fan_width: 1,
+        ..ServerConfig::default()
     };
     ServerHandle::bind(engine, config, "127.0.0.1:0").expect("bind loopback listener")
 }

@@ -12,7 +12,8 @@ use gpm_profiler::{
     training_set_to_csv, CampaignCheckpoint, CampaignOutcome, Profiler, ResilientProfiler,
 };
 use gpm_serve::{
-    EngineConfig, ModelRegistry, PredictionEngine, Request, ServerConfig, ServerHandle,
+    EngineConfig, EntryHealth, FsckReport, ModelRegistry, PredictionEngine, Request, ServerConfig,
+    ServerHandle,
 };
 use gpm_sim::SimulatedGpu;
 use gpm_spec::{devices, DeviceSpec};
@@ -32,6 +33,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
         return Err(CliError::Usage("missing command".into()));
     }
+    // `gpm registry fsck` is the one two-word command; splice it into an
+    // internal single-token name before the flag parser (which rejects
+    // stray positionals) sees it.
+    let spliced: Vec<String>;
+    let args = if args[0] == "registry" {
+        match args.get(1).map(String::as_str) {
+            Some("fsck") => {
+                spliced = std::iter::once("registry-fsck".to_string())
+                    .chain(args[2..].iter().cloned())
+                    .collect();
+                &spliced[..]
+            }
+            _ => {
+                return Err(CliError::Usage(
+                    "`registry` expects a subcommand: fsck".into(),
+                ))
+            }
+        }
+    } else {
+        args
+    };
     let parsed = ParsedArgs::parse_with_switches(args, &["timings", "robust"])?;
     // `--threads N` pins the gpm-par worker count for this invocation
     // (0 or absent: GPM_THREADS, then available parallelism). Results
@@ -138,6 +160,10 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
             parsed.allow_only(&["registry", "activate"])?;
             cmd_models(parsed)
         }
+        "registry-fsck" => {
+            parsed.allow_only(&["registry"])?;
+            cmd_registry_fsck(parsed)
+        }
         "serve" => {
             parsed.allow_only(&[
                 "registry",
@@ -152,6 +178,8 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
                 "shards",
                 "coalesce-us",
                 "fan",
+                "idle-ms",
+                "deadline-ms",
             ])?;
             cmd_serve(parsed)
         }
@@ -603,6 +631,7 @@ fn cmd_models(args: &ParsedArgs) -> Result<String, CliError> {
     if infos.is_empty() {
         return Ok("registry is empty\n".to_string());
     }
+    let fsck = registry.fsck().map_err(pipeline)?;
     let mut out = String::new();
     for info in infos {
         let versions: Vec<String> = info
@@ -616,10 +645,84 @@ fn cmd_models(args: &ParsedArgs) -> Result<String, CliError> {
                 }
             })
             .collect();
-        let _ = writeln!(out, "{:<20} {}", info.name, versions.join(" "));
+        let _ = writeln!(
+            out,
+            "{:<20} {}  {}",
+            info.name,
+            versions.join(" "),
+            model_health(&fsck, &info.name)
+        );
     }
     let _ = writeln!(out, "(* = active)");
     Ok(out)
+}
+
+/// The worst health label across one model's live entries, for the
+/// `models` listing (`ok` < `legacy` < `schema-vN` < `CORRUPT`).
+fn model_health(fsck: &FsckReport, name: &str) -> String {
+    let rank = |h: &EntryHealth| match h {
+        EntryHealth::Sealed => 0,
+        EntryHealth::Legacy => 1,
+        EntryHealth::FutureSchema(_) => 2,
+        EntryHealth::Corrupt(_) => 3,
+    };
+    fsck.entries
+        .iter()
+        .filter(|e| e.name == name)
+        .max_by_key(|e| rank(&e.health))
+        .map_or_else(|| "ok".to_string(), |e| e.health.label())
+}
+
+/// `gpm registry fsck` — full integrity audit of a registry. A healthy
+/// registry prints its report and exits zero; corruption, quarantined
+/// artifacts or a dangling active pointer exit non-zero with the same
+/// report embedded in the error.
+fn cmd_registry_fsck(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args.required("registry")?;
+    let registry = ModelRegistry::open(path).map_err(pipeline)?;
+    let report = registry.fsck().map_err(pipeline)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fsck {path}: {} entries, {} quarantined",
+        report.entries.len(),
+        report.quarantined.len()
+    );
+    for e in &report.entries {
+        let detail = match &e.health {
+            EntryHealth::Corrupt(reason) => format!("  ({reason})"),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  {}@v{}  {}{detail}",
+            e.name,
+            e.version,
+            e.health.label()
+        );
+    }
+    match &report.active {
+        Some((name, version)) => {
+            let _ = writeln!(out, "active: {name}@v{version}");
+        }
+        None => {
+            let _ = writeln!(out, "active: (none)");
+        }
+    }
+    for q in &report.quarantined {
+        let _ = writeln!(out, "quarantined: {q}");
+    }
+    for p in &report.problems {
+        let _ = writeln!(out, "problem: {p}");
+    }
+    if report.is_healthy() {
+        out.push_str("registry is healthy\n");
+        Ok(out)
+    } else {
+        Err(CliError::Pipeline(format!(
+            "registry fsck found problems\n{out}"
+        )))
+    }
 }
 
 /// One-shot prediction against a registry model: parses a [`Request`]
@@ -667,6 +770,9 @@ fn cmd_serve(args: &ParsedArgs) -> Result<String, CliError> {
         shards: args.integer_or("shards", 0)? as usize,
         coalesce_us: args.integer_or("coalesce-us", 100)?,
         fan_width: args.integer_or("fan", 1)?.max(1) as usize,
+        // 0 disables the corresponding guard.
+        idle_timeout_ms: args.integer_or("idle-ms", 60_000)?,
+        request_deadline_ms: args.integer_or("deadline-ms", 30_000)?,
     };
     let identity = entry.identity();
     let engine = PredictionEngine::new(entry.model, &identity, &engine_config);
@@ -1122,6 +1228,7 @@ mod tests {
 
         let out = call(&["models", "--registry", &registry_path]).unwrap();
         assert!(out.contains("*v1 v2"), "{out}");
+        assert!(out.contains("*v1 v2  ok"), "health column: {out}");
         let out = call(&[
             "models",
             "--registry",
@@ -1131,6 +1238,21 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("v1 *v2"), "{out}");
+
+        // fsck: a healthy registry reports every entry and exits zero.
+        let out = call(&["registry", "fsck", "--registry", &registry_path]).unwrap();
+        assert!(out.contains("registry is healthy"), "{out}");
+        assert!(out.contains("k40c@v1  ok"), "{out}");
+        assert!(out.contains("k40c@v2  ok"), "{out}");
+        assert!(out.contains("active: k40c@v2"), "{out}");
+        assert!(matches!(
+            call(&["registry"]),
+            Err(CliError::Usage(_)) // missing subcommand
+        ));
+        assert!(matches!(
+            call(&["registry", "scrub"]),
+            Err(CliError::Usage(_))
+        ));
 
         // One-shot prediction through the registry.
         let out = call(&[
@@ -1183,6 +1305,19 @@ mod tests {
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("served 2 requests"), "{out}");
         assert!(out.contains("0 errors"), "{out}");
+
+        // Corrupt v2 on disk: the next open quarantines it, and fsck
+        // exits non-zero with the report embedded in the error.
+        let v2 = Path::new(&registry_path).join("models/k40c/v2.json");
+        let mut bytes = fs::read_to_string(&v2).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        fs::write(&v2, bytes).unwrap();
+        let err = call(&["registry", "fsck", "--registry", &registry_path]).unwrap_err();
+        assert!(matches!(err, CliError::Pipeline(_)), "{err}");
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        // The survivor still lists, with the active pointer fallen back.
+        let out = call(&["models", "--registry", &registry_path]).unwrap();
+        assert!(out.contains("k40c"), "{out}");
     }
 
     #[test]

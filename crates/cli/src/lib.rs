@@ -94,12 +94,17 @@ COMMANDS
                                         version a fitted model in the registry
   models       --registry DIR [--activate NAME@vN]
                                         list registry models (* = active)
+                                        with a per-model health column
+  registry fsck --registry DIR          audit registry integrity; exits
+                                        non-zero if anything is corrupt,
+                                        quarantined or dangling
   predict      --registry DIR --request JSON [--name NAME[@vN]] [--seed N]
                                         one-shot prediction through the registry
   serve        --registry DIR [--name NAME[@vN]] [--addr HOST:PORT]
                [--seed N] [--queue N] [--batch N] [--conn-cap N]
                [--max-requests N] [--shards N] [--coalesce-us N]
-               [--fan N]                run the batched prediction server
+               [--fan N] [--idle-ms N] [--deadline-ms N]
+                                        run the batched prediction server
   help                                  this text
 
 ROBUSTNESS
@@ -141,6 +146,17 @@ SERVING
   and exits (otherwise the server runs until killed). predict
   --registry answers a single --request JSON one-shot, e.g.
   '{\"Energy\":{\"kernel\":\"LBM\",\"config\":\"975@3505\"}}'.
+
+CRASH SAFETY
+  Registry writes are atomic (temp file + fsync + rename + directory
+  fsync) and every entry carries a length/CRC-32 integrity trailer.
+  Opening a registry sweeps interrupted temp files and quarantines
+  corrupt artifacts; a generation-numbered ACTIVE pointer falls back
+  to its last good target if the current one is damaged. registry
+  fsck audits all of it. The reactor reaps idle connections after
+  --idle-ms of silence (0 disables) and answers requests that overrun
+  --deadline-ms with a typed DeadlineExceeded reply instead of
+  computing dead work (0 disables).
 
 DEVICES
   titan-xp | gtx-titan-x | tesla-k40c";

@@ -23,12 +23,21 @@
 //! stream *and* the fault stream from `(plan.seed, label)`, which is what
 //! makes checkpoint/resume campaigns bit-identical to uninterrupted ones
 //! even under faults.
+//!
+//! The [`vfs`] module extends the same philosophy to the filesystem: a
+//! [`Vfs`] trait over the operations the serve-layer model registry
+//! performs, a [`RealFs`] passthrough, and a [`FaultyFs`] decorator that
+//! injects a torn write, crash-point abort, or transient `EIO`/`ENOSPC`
+//! at a deterministic operation index — the substrate for the registry
+//! crash-matrix test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod gpu;
 mod plan;
+pub mod vfs;
 
 pub use gpu::{FaultStats, FaultyGpu};
 pub use plan::FaultPlan;
+pub use vfs::{FaultyFs, FsFault, RealFs, Vfs};

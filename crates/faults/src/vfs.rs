@@ -1,0 +1,365 @@
+//! Deterministic filesystem fault injection.
+//!
+//! The serve-layer model registry promises crash safety: a publish or
+//! activate interrupted at *any* point must leave the store recoverable
+//! to a consistent state. Proving that needs a filesystem that can be
+//! killed at a chosen syscall, not a real disk and a power cord. This
+//! module provides:
+//!
+//! - [`Vfs`] — the narrow filesystem surface the registry uses (write,
+//!   rename, fsync of files *and* directories, directory listing), so
+//!   the injection layer sees every durability-relevant operation;
+//! - [`RealFs`] — the passthrough production implementation;
+//! - [`FaultyFs`] — a decorator that counts operations and injects one
+//!   configured [`FsFault`] at a chosen operation index: a crash-point
+//!   abort (the op and everything after it fails, simulating process
+//!   death), a torn write (only the first `keep` bytes reach the disk
+//!   before the crash), or a transient `EIO`/`ENOSPC`.
+//!
+//! Faults are indexed by operation count, not randomness: a clean run
+//! through [`FaultyFs`] with no fault configured yields the total op
+//! count and a log of what each op was, and the crash-matrix test then
+//! replays the same workload once per index. Same workload, same index,
+//! same fault — every run is replayable.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The filesystem operations the registry performs, virtualized so a
+/// fault injector can interpose on each one.
+///
+/// Implementations must be usable from multiple threads: the registry
+/// is `Clone` and shared across serve shards.
+pub trait Vfs: std::fmt::Debug + Send + Sync {
+    /// Reads an entire file as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Creates (or truncates) `path` and writes `bytes` to it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes file content and metadata to stable storage.
+    fn fsync_file(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Flushes the directory entry table so a completed rename survives
+    /// a crash. POSIX requires fsyncing the parent directory for that.
+    fn fsync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Creates a directory and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// The file names (not paths) in a directory, sorted for
+    /// deterministic iteration order.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether the path exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Vfs`]: straight delegation to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it flushes its
+        // entry table on POSIX filesystems. Errors propagate: silently
+        // skipping the sync would void the durability contract.
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The fault a [`FaultyFs`] injects at its configured operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsFault {
+    /// The process dies before the operation takes effect: the op fails
+    /// and every subsequent op fails too.
+    Crash,
+    /// A `write` persists only its first `keep` bytes, then the process
+    /// dies. On any non-write operation this degrades to [`FsFault::Crash`].
+    TornWrite {
+        /// Bytes of the write that reach the disk before the crash.
+        keep: usize,
+    },
+    /// The operation fails once with `EIO`; the process survives and
+    /// later operations succeed.
+    Eio,
+    /// The operation fails once with `ENOSPC`; the process survives and
+    /// later operations succeed.
+    NoSpace,
+}
+
+impl FsFault {
+    /// Whether the fault simulates process death (all later ops fail).
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, FsFault::Crash | FsFault::TornWrite { .. })
+    }
+}
+
+/// A fault-injecting [`Vfs`] decorator with deterministic, operation-
+/// indexed injection.
+///
+/// Every delegated operation increments a counter; when the counter
+/// reaches the configured index the configured [`FsFault`] fires. Run
+/// once with no fault to learn the op count of a workload, then replay
+/// the workload once per index `0..count` to build a crash matrix.
+#[derive(Debug)]
+pub struct FaultyFs<F: Vfs = RealFs> {
+    inner: F,
+    fault: Option<(u64, FsFault)>,
+    next_op: AtomicU64,
+    crashed: AtomicU64,
+    log: Mutex<Vec<String>>,
+}
+
+impl<F: Vfs> FaultyFs<F> {
+    /// Wraps `inner` with no fault configured: a pure counting pass.
+    pub fn counting(inner: F) -> Self {
+        FaultyFs {
+            inner,
+            fault: None,
+            next_op: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Wraps `inner`, injecting `fault` at operation index `at`
+    /// (0-based, in delegation order).
+    pub fn inject(inner: F, at: u64, fault: FsFault) -> Self {
+        FaultyFs {
+            fault: Some((at, fault)),
+            ..FaultyFs::counting(inner)
+        }
+    }
+
+    /// Operations attempted so far (including the faulted one).
+    pub fn ops(&self) -> u64 {
+        self.next_op.load(Ordering::SeqCst)
+    }
+
+    /// Whether a fatal fault has fired: the simulated process is dead
+    /// and every further operation fails.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst) != 0
+    }
+
+    /// One human-readable line per attempted operation, for diagnosing
+    /// a failing matrix entry.
+    pub fn log(&self) -> Vec<String> {
+        self.log.lock().expect("fs log poisoned").clone()
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("injected crash: process is dead")
+    }
+
+    /// Charges one operation. Returns the fault to apply, if this is
+    /// the faulted index.
+    fn charge(&self, desc: String) -> io::Result<Option<FsFault>> {
+        if self.crashed() {
+            return Err(Self::crash_error());
+        }
+        let index = self.next_op.fetch_add(1, Ordering::SeqCst);
+        let mut line = format!("op {index}: {desc}");
+        let fired = match self.fault {
+            Some((at, fault)) if at == index => {
+                let _ = write!(line, "  <- inject {fault:?}");
+                if fault.is_fatal() {
+                    self.crashed.store(1, Ordering::SeqCst);
+                }
+                Some(fault)
+            }
+            _ => None,
+        };
+        self.log.lock().expect("fs log poisoned").push(line);
+        Ok(fired)
+    }
+
+    fn fail(fault: FsFault) -> io::Error {
+        match fault {
+            FsFault::Crash | FsFault::TornWrite { .. } => Self::crash_error(),
+            // Raw errno values so callers see realistic error kinds on
+            // Unix; on other platforms the code is opaque but typed.
+            FsFault::Eio => io::Error::from_raw_os_error(5),
+            FsFault::NoSpace => io::Error::from_raw_os_error(28),
+        }
+    }
+}
+
+impl<F: Vfs> Vfs for FaultyFs<F> {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        match self.charge(format!("read_to_string {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.read_to_string(path),
+        }
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.charge(format!("write {} ({} bytes)", path.display(), bytes.len()))? {
+            Some(FsFault::TornWrite { keep }) => {
+                // The torn prefix reaches the disk before the process
+                // dies mid-write.
+                let keep = keep.min(bytes.len());
+                let _ = self.inner.write(path, &bytes[..keep]);
+                Err(Self::crash_error())
+            }
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.write(path, bytes),
+        }
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        match self.charge(format!("fsync_file {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.fsync_file(path),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.charge(format!("rename {} -> {}", from.display(), to.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.rename(from, to),
+        }
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        match self.charge(format!("fsync_dir {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.fsync_dir(path),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        match self.charge(format!("create_dir_all {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.create_dir_all(path),
+        }
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<String>> {
+        match self.charge(format!("read_dir {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.read_dir(path),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.charge(format!("remove_file {}", path.display()))? {
+            Some(fault) => Err(Self::fail(fault)),
+            None => self.inner.remove_file(path),
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Existence probes are metadata reads that cannot tear state;
+        // they are not charged as injection points, but a dead process
+        // cannot observe anything.
+        if self.crashed() {
+            return false;
+        }
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gpm-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn counting_pass_logs_every_operation() {
+        let dir = tmp_dir("count");
+        let fs_ = FaultyFs::counting(RealFs);
+        fs_.write(&dir.join("a"), b"hello").unwrap();
+        fs_.fsync_file(&dir.join("a")).unwrap();
+        fs_.rename(&dir.join("a"), &dir.join("b")).unwrap();
+        fs_.fsync_dir(&dir).unwrap();
+        assert_eq!(fs_.ops(), 4);
+        assert_eq!(fs_.log().len(), 4);
+        assert!(!fs_.crashed());
+        assert_eq!(fs_.read_to_string(&dir.join("b")).unwrap(), "hello");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_kills_the_op_and_everything_after() {
+        let dir = tmp_dir("crash");
+        let fs_ = FaultyFs::inject(RealFs, 1, FsFault::Crash);
+        fs_.write(&dir.join("a"), b"one").unwrap();
+        // Op 1 crashes before taking effect...
+        assert!(fs_.write(&dir.join("b"), b"two").is_err());
+        assert!(!RealFs.exists(&dir.join("b")));
+        // ...and the dead process can do nothing more.
+        assert!(fs_.read_to_string(&dir.join("a")).is_err());
+        assert!(fs_.crashed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_persists_a_prefix_then_dies() {
+        let dir = tmp_dir("torn");
+        let fs_ = FaultyFs::inject(RealFs, 0, FsFault::TornWrite { keep: 3 });
+        assert!(fs_.write(&dir.join("a"), b"abcdef").is_err());
+        assert_eq!(fs::read_to_string(dir.join("a")).unwrap(), "abc");
+        assert!(fs_.crashed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_errors_do_not_kill_the_process() {
+        let dir = tmp_dir("eio");
+        let fs_ = FaultyFs::inject(RealFs, 0, FsFault::NoSpace);
+        let err = fs_.write(&dir.join("a"), b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert!(!fs_.crashed());
+        fs_.write(&dir.join("a"), b"x").unwrap();
+        assert_eq!(fs_.read_to_string(&dir.join("a")).unwrap(), "x");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

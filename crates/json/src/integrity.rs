@@ -1,0 +1,209 @@
+//! Integrity trailers for persisted JSON artifacts.
+//!
+//! A sealed artifact is the compact JSON payload followed by a single
+//! trailer line recording the payload length and a CRC-32 over its
+//! bytes:
+//!
+//! ```text
+//! {"name":"k40c","version":1,...}
+//! #gpm-integrity v1 len=31 crc32=9ae0daaf
+//! ```
+//!
+//! The trailer starts with `#`, which can never begin a JSON document,
+//! so sealed and legacy (trailer-less) files are unambiguous. [`unseal`]
+//! accepts both: files written before sealing existed parse as
+//! [`Unsealed::Legacy`] and are left to the JSON parser to vet, while a
+//! sealed file whose length or checksum disagrees with its payload is a
+//! hard [`JsonError`] — a torn or bit-flipped artifact must never be
+//! silently served.
+//!
+//! The checksum is the ubiquitous IEEE CRC-32 (polynomial 0xEDB88320,
+//! the one used by gzip and PNG), implemented here table-driven and
+//! dependency-free.
+
+use crate::JsonError;
+
+/// Marks the trailer line of a sealed artifact. Versioned so a future
+/// format change can coexist with v1 readers.
+pub const TRAILER_PREFIX: &str = "#gpm-integrity v1 ";
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (gzip/PNG polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Result of [`unseal`]: the payload, tagged by whether a trailer was
+/// present and verified.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Unsealed<'a> {
+    /// A trailer was present and the length + CRC matched.
+    Sealed(&'a str),
+    /// No trailer: a pre-sealing artifact, passed through unverified.
+    Legacy(&'a str),
+}
+
+impl<'a> Unsealed<'a> {
+    /// The payload text regardless of provenance.
+    pub fn payload(&self) -> &'a str {
+        match self {
+            Unsealed::Sealed(p) | Unsealed::Legacy(p) => p,
+        }
+    }
+
+    /// True when the payload was covered by a verified trailer.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self, Unsealed::Sealed(_))
+    }
+}
+
+/// Appends an integrity trailer to a compact JSON payload.
+///
+/// # Errors
+///
+/// The payload must be a single line (compact JSON never contains a
+/// raw newline); a multi-line payload would make the trailer ambiguous
+/// and is refused.
+pub fn seal(payload: &str) -> Result<String, JsonError> {
+    if payload.contains('\n') {
+        return Err(JsonError::new(
+            "integrity: cannot seal a multi-line payload".to_string(),
+        ));
+    }
+    Ok(format!(
+        "{payload}\n{TRAILER_PREFIX}len={} crc32={:08x}",
+        payload.len(),
+        crc32(payload.as_bytes()),
+    ))
+}
+
+/// Splits a persisted artifact into payload and (optional) trailer,
+/// verifying the trailer when present.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] when a trailer is present but malformed, or
+/// when the recorded length/CRC disagree with the payload — evidence of
+/// a torn write or on-disk corruption.
+pub fn unseal(text: &str) -> Result<Unsealed<'_>, JsonError> {
+    // Tolerate a single trailing newline appended by external tooling.
+    let text = text.strip_suffix('\n').unwrap_or(text);
+    let Some((payload, last)) = text.rsplit_once('\n') else {
+        return Ok(Unsealed::Legacy(text));
+    };
+    let Some(spec) = last.strip_prefix(TRAILER_PREFIX) else {
+        // Multi-line without our trailer: not sealed (e.g. hand-edited
+        // pretty-printed JSON). Let the JSON parser judge it.
+        return Ok(Unsealed::Legacy(text));
+    };
+    let (len, crc) = parse_trailer(spec)?;
+    if payload.len() != len {
+        return Err(JsonError::new(format!(
+            "integrity: payload is {} bytes but trailer records {len} (torn write?)",
+            payload.len(),
+        )));
+    }
+    let actual = crc32(payload.as_bytes());
+    if actual != crc {
+        return Err(JsonError::new(format!(
+            "integrity: crc32 mismatch (payload {actual:08x}, trailer {crc:08x})",
+        )));
+    }
+    Ok(Unsealed::Sealed(payload))
+}
+
+fn parse_trailer(spec: &str) -> Result<(usize, u32), JsonError> {
+    let malformed = || JsonError::new(format!("integrity: malformed trailer `{spec}`"));
+    let mut len = None;
+    let mut crc = None;
+    for part in spec.split(' ') {
+        if let Some(v) = part.strip_prefix("len=") {
+            len = Some(v.parse::<usize>().map_err(|_| malformed())?);
+        } else if let Some(v) = part.strip_prefix("crc32=") {
+            crc = Some(u32::from_str_radix(v, 16).map_err(|_| malformed())?);
+        }
+    }
+    match (len, crc) {
+        (Some(len), Some(crc)) => Ok((len, crc)),
+        _ => Err(malformed()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn seal_then_unseal_round_trips() {
+        let payload = r#"{"name":"k40c","version":1}"#;
+        let sealed = seal(payload).unwrap();
+        assert_eq!(unseal(&sealed).unwrap(), Unsealed::Sealed(payload));
+        // A trailing newline from external tooling is tolerated.
+        assert_eq!(
+            unseal(&format!("{sealed}\n")).unwrap(),
+            Unsealed::Sealed(payload)
+        );
+    }
+
+    #[test]
+    fn legacy_files_pass_through_unverified() {
+        let out = unseal(r#"{"name":"k40c"}"#).unwrap();
+        assert_eq!(out, Unsealed::Legacy(r#"{"name":"k40c"}"#));
+        assert!(!out.is_sealed());
+    }
+
+    #[test]
+    fn bit_flips_and_truncation_are_detected() {
+        let sealed = seal(r#"{"watts":142.5}"#).unwrap();
+        let flipped = sealed.replace("142.5", "143.5");
+        assert!(unseal(&flipped).unwrap_err().to_string().contains("crc32"));
+        // Drop a byte from the payload: length check trips first.
+        let torn = sealed.replacen("{\"watts\"", "{\"watt\"", 1);
+        assert!(unseal(&torn).unwrap_err().to_string().contains("torn"));
+    }
+
+    #[test]
+    fn malformed_trailers_are_typed_errors() {
+        let bad = format!("{{}}\n{TRAILER_PREFIX}len=oops crc32=zz");
+        assert!(unseal(&bad).unwrap_err().to_string().contains("malformed"));
+        let missing = format!("{{}}\n{TRAILER_PREFIX}len=2");
+        assert!(unseal(&missing).is_err());
+    }
+
+    #[test]
+    fn multi_line_payloads_are_refused() {
+        assert!(seal("{\n}").is_err());
+    }
+}

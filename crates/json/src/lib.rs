@@ -24,9 +24,16 @@
 //! (`{"Variant": payload}`), maps require string-like keys, unknown
 //! object fields are ignored on input, and non-finite floats serialize
 //! as `null`.
+//!
+//! The [`integrity`] module adds a length + CRC-32 trailer for artifacts
+//! that must survive crashes (the serve-layer model registry): seal a
+//! compact payload before persisting it, unseal on read to detect torn
+//! writes and bit rot before the parser ever sees them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod integrity;
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -72,14 +72,17 @@ mod request;
 mod server;
 #[allow(unsafe_code)]
 pub mod sys;
-#[cfg(test)]
-mod test_support;
+#[doc(hidden)]
+pub mod test_support;
 
 pub use cache::{CacheStats, ShardedLru};
 pub use engine::{EngineConfig, EngineStats, PredictionEngine};
-pub use registry::{ModelInfo, ModelRegistry, RegistryEntry, REGISTRY_SCHEMA_VERSION};
+pub use registry::{
+    EntryHealth, FsckEntry, FsckReport, ModelInfo, ModelRegistry, RecoveryReport, RegistryEntry,
+    QUARANTINE_SUFFIX, REGISTRY_SCHEMA_VERSION,
+};
 pub use request::{Reply, Request, Response};
-pub use server::{Client, ServeStats, ServerConfig, ServerHandle, TcpClient};
+pub use server::{BackoffPolicy, Client, ServeStats, ServerConfig, ServerHandle, TcpClient};
 
 use gpm_json::JsonError;
 use std::fmt;
@@ -116,6 +119,20 @@ pub enum ServeError {
     /// Model names are restricted to `[A-Za-z0-9._-]` (they become file
     /// names).
     InvalidName(String),
+    /// A persisted artifact failed its integrity check (length/CRC-32
+    /// trailer mismatch): a torn write or on-disk corruption.
+    Corrupt {
+        /// What failed the check (e.g. `titan@v2` or `ACTIVE`).
+        what: String,
+        /// Why the check failed.
+        reason: String,
+    },
+    /// A request exceeded its per-request deadline budget before the
+    /// engine could answer it.
+    DeadlineExceeded {
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -139,6 +156,12 @@ impl fmt::Display for ServeError {
                 f,
                 "invalid model name `{name}` (use letters, digits, `.`, `_`, `-`)"
             ),
+            ServeError::Corrupt { what, reason } => {
+                write!(f, "registry artifact `{what}` is corrupt: {reason}")
+            }
+            ServeError::DeadlineExceeded { budget_ms } => {
+                write!(f, "request exceeded its {budget_ms} ms deadline budget")
+            }
         }
     }
 }

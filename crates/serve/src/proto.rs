@@ -72,6 +72,7 @@ pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<String>> {
 pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
+    poisoned: Option<io::ErrorKind>,
 }
 
 impl FrameDecoder {
@@ -96,15 +97,20 @@ impl FrameDecoder {
     ///
     /// # Errors
     ///
-    /// Fails on an oversized length prefix or a non-UTF-8 payload;
-    /// the stream is unrecoverable after either.
+    /// Fails on an oversized length prefix or a non-UTF-8 payload; the
+    /// stream is unrecoverable after either, and every later call keeps
+    /// failing with the same error kind no matter what bytes arrive.
     pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        if let Some(kind) = self.poisoned {
+            return Err(io::Error::new(kind, "frame stream already poisoned"));
+        }
         let avail = &self.buf[self.pos..];
         if avail.len() < 4 {
             return Ok(None);
         }
         let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
         if len > MAX_FRAME_LEN {
+            self.poisoned = Some(io::ErrorKind::InvalidData);
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("frame length {len} exceeds {MAX_FRAME_LEN}"),
@@ -113,9 +119,13 @@ impl FrameDecoder {
         if avail.len() < 4 + len {
             return Ok(None);
         }
-        let payload = std::str::from_utf8(&avail[4..4 + len])
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
-            .to_string();
+        let payload = match std::str::from_utf8(&avail[4..4 + len]) {
+            Ok(s) => s.to_string(),
+            Err(e) => {
+                self.poisoned = Some(io::ErrorKind::InvalidData);
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        };
         self.pos += 4 + len;
         // Reclaim consumed prefix once it is large enough to matter.
         if self.pos > (64 << 10) {
@@ -242,6 +252,22 @@ mod tests {
         decoder.extend(b"shrt");
         assert_eq!(decoder.next_frame().unwrap(), None, "incomplete frame");
         assert_eq!(decoder.buffered(), 8, "partial bytes are reported");
+    }
+
+    #[test]
+    fn decoder_stays_poisoned_after_its_first_error() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&2u32.to_be_bytes());
+        decoder.extend(&[0xff, 0xfe]); // invalid UTF-8 payload
+        assert!(decoder.next_frame().is_err());
+
+        // Even a well-formed frame arriving afterwards must not revive
+        // the stream: the reactor drops the connection on first error.
+        let mut good = Vec::new();
+        write_frame(&mut good, "late").unwrap();
+        decoder.extend(&good);
+        let again = decoder.next_frame();
+        assert_eq!(again.unwrap_err().kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

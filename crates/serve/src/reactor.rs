@@ -76,6 +76,15 @@ pub(crate) struct ShardConfig {
     /// `gpm-par` width for the flush fan-out (1 = compute on the shard
     /// thread itself).
     pub fan_width: usize,
+    /// Reap a connection after this long with no bytes received and
+    /// nothing outstanding (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Per-request deadline budget measured from admission (`None` =
+    /// unlimited).
+    pub deadline: Option<Duration>,
+    /// The deadline budget in milliseconds, echoed in
+    /// [`Reply::DeadlineExceeded`].
+    pub budget_ms: u64,
 }
 
 struct Conn {
@@ -88,6 +97,9 @@ struct Conn {
     inflight: usize,
     writable_interest: bool,
     read_closed: bool,
+    /// Last instant bytes arrived from the peer (or the connection was
+    /// accepted); drives idle reaping.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -100,6 +112,7 @@ impl Conn {
             inflight: 0,
             writable_interest: false,
             read_closed: false,
+            last_activity: Instant::now(),
         }
     }
 
@@ -112,6 +125,14 @@ struct PendingReq {
     token: u64,
     id: u64,
     request: crate::request::Request,
+    /// Absolute expiry instant from [`ShardConfig::deadline`].
+    deadline: Option<Instant>,
+}
+
+impl PendingReq {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 struct Shard {
@@ -205,7 +226,7 @@ impl Shard {
                     return;
                 }
             }
-            let timeout = if draining || !self.gov_pending.is_empty() {
+            let mut timeout = if draining || !self.gov_pending.is_empty() {
                 // Engine-thread replies arrive on a channel, not an fd:
                 // poll briefly so they are picked up promptly.
                 Some(Duration::from_millis(1))
@@ -218,6 +239,14 @@ impl Shard {
                         .saturating_sub(self.pending_since.elapsed()),
                 )
             };
+            // Idle reaping needs a wake-up no later than the earliest
+            // connection's expiry, even when nothing else is pending.
+            if let Some(idle) = self.cfg.idle_timeout {
+                if let Some(oldest) = self.conns.values().map(|c| c.last_activity).min() {
+                    let until = (oldest + idle).saturating_duration_since(Instant::now());
+                    timeout = Some(timeout.map_or(until, |t| t.min(until)));
+                }
+            }
             if self.poller.wait(&mut events, timeout).is_err() {
                 return;
             }
@@ -245,6 +274,7 @@ impl Shard {
                 }
             }
             self.drain_gov();
+            self.reap_idle();
             if !self.pending.is_empty()
                 && (self.pending.len() >= self.cfg.batch_max
                     || self.pending_since.elapsed() >= self.cfg.coalesce
@@ -252,6 +282,28 @@ impl Shard {
             {
                 self.flush();
             }
+        }
+    }
+
+    /// Drops connections that have sent nothing for the idle timeout
+    /// and have nothing outstanding — slow-loris peers holding a
+    /// partial frame, and clients that died without a FIN.
+    fn reap_idle(&mut self) {
+        let Some(idle) = self.cfg.idle_timeout else {
+            return;
+        };
+        let now = Instant::now();
+        let stale: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.inflight == 0 && c.unflushed() == 0 && now.duration_since(c.last_activity) >= idle
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in stale {
+            gpm_obs::counter_add("serve.reactor.idle_reaped", 1);
+            self.drop_conn(token);
         }
     }
 
@@ -312,6 +364,7 @@ impl Shard {
                     break;
                 }
                 Ok(n) => {
+                    conn.last_activity = Instant::now();
                     conn.decoder.extend(&buf[..n]);
                     loop {
                         match conn.decoder.next_frame() {
@@ -402,7 +455,13 @@ impl Shard {
             if let Some(conn) = self.conns.get_mut(&token) {
                 conn.inflight += 1;
             }
-            self.pending.push(PendingReq { token, id, request });
+            let deadline = self.cfg.deadline.map(|d| Instant::now() + d);
+            self.pending.push(PendingReq {
+                token,
+                id,
+                request,
+                deadline,
+            });
         } else {
             let seq = self.gov_seq;
             self.gov_seq += 1;
@@ -428,47 +487,62 @@ impl Shard {
         }
     }
 
-    /// One micro-batch: LRU re-check (another shard may have answered
-    /// an identical request meanwhile), fan the misses over `gpm-par`,
-    /// fill the cache, enqueue replies.
+    /// One micro-batch: expire overdue requests, LRU re-check (another
+    /// shard may have answered an identical request meanwhile), fan the
+    /// misses over `gpm-par`, fill the cache, enqueue replies.
     fn flush_batch(&mut self, batch: Vec<PendingReq>) {
-        let started = Instant::now();
-        self.core.note_requests(batch.len() as u64);
-        gpm_obs::counter_add("serve.reactor.flushes", 1);
-        gpm_obs::histogram_record("serve.batch_size", batch.len() as f64);
+        // Requests whose deadline budget elapsed while coalescing are
+        // answered without compute; the caller has already moved on.
+        let now = Instant::now();
+        let answered = batch.len();
+        let (expired, batch): (Vec<PendingReq>, Vec<PendingReq>) =
+            batch.into_iter().partition(|p| p.expired(now));
+        if !expired.is_empty() {
+            gpm_obs::counter_add("serve.deadline_exceeded", expired.len() as u64);
+            let budget_ms = self.cfg.budget_ms;
+            for p in expired {
+                self.complete(p.token, p.id, Reply::DeadlineExceeded { budget_ms }, true);
+            }
+        }
+        if !batch.is_empty() {
+            let started = Instant::now();
+            self.core.note_requests(batch.len() as u64);
+            gpm_obs::counter_add("serve.reactor.flushes", 1);
+            gpm_obs::histogram_record("serve.batch_size", batch.len() as f64);
 
-        let keys: Vec<String> = batch
-            .iter()
-            .map(|p| self.core.cache_key(&p.request))
-            .collect();
-        let mut replies: Vec<Option<Reply>> = keys
-            .iter()
-            .map(|k| self.core.cache_get(k).map(Reply::Ok))
-            .collect();
-        let misses: Vec<usize> = replies
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.is_none())
-            .map(|(i, _)| i)
-            .collect();
-        let core = &self.core;
-        let computed = par_map_with(self.cfg.fan_width, &misses, |&i| {
-            core.compute(&batch[i].request)
-        });
-        for (&i, reply) in misses.iter().zip(computed) {
-            if let Reply::Ok(response) = &reply {
-                core.cache_put(keys[i].clone(), response.clone());
+            let keys: Vec<String> = batch
+                .iter()
+                .map(|p| self.core.cache_key(&p.request))
+                .collect();
+            let mut replies: Vec<Option<Reply>> = keys
+                .iter()
+                .map(|k| self.core.cache_get(k).map(Reply::Ok))
+                .collect();
+            let misses: Vec<usize> = replies
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            let core = &self.core;
+            let computed = par_map_with(self.cfg.fan_width, &misses, |&i| {
+                core.compute(&batch[i].request)
+            });
+            for (&i, reply) in misses.iter().zip(computed) {
+                if let Reply::Ok(response) = &reply {
+                    core.cache_put(keys[i].clone(), response.clone());
+                }
+                if matches!(reply, Reply::Error { .. }) {
+                    core.note_error();
+                }
+                replies[i] = Some(reply);
             }
-            if matches!(reply, Reply::Error { .. }) {
-                core.note_error();
+            gpm_obs::histogram_record_duration("serve.batch_service_us", started.elapsed());
+            for (p, reply) in batch.iter().zip(replies) {
+                self.complete(p.token, p.id, reply.expect("every slot filled"), true);
             }
-            replies[i] = Some(reply);
         }
-        gpm_obs::histogram_record_duration("serve.batch_service_us", started.elapsed());
-        for (p, reply) in batch.iter().zip(replies) {
-            self.complete(p.token, p.id, reply.expect("every slot filled"), true);
-        }
-        self.shared.note_served(batch.len() as u64, 1);
+        self.shared.note_served(answered as u64, 1);
     }
 
     /// Forwards governor replies from the engine thread to their

@@ -254,6 +254,14 @@ pub enum Reply {
         /// Human-readable cause.
         message: String,
     },
+    /// The request was admitted but its per-request deadline budget
+    /// elapsed before the engine could answer; it was abandoned without
+    /// being computed. Unlike [`Reply::Error`] this is a pure capacity
+    /// signal — the request itself was well-formed.
+    DeadlineExceeded {
+        /// The server's configured deadline budget, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl Reply {
@@ -283,6 +291,10 @@ impl ToJson for Reply {
                 "Error".to_string(),
                 Json::Obj(vec![("message".to_string(), message.to_json())]),
             )]),
+            Reply::DeadlineExceeded { budget_ms } => Json::Obj(vec![(
+                "DeadlineExceeded".to_string(),
+                Json::Obj(vec![("budget_ms".to_string(), budget_ms.to_json())]),
+            )]),
         }
     }
 }
@@ -311,6 +323,14 @@ impl FromJson for Reply {
                     .ok_or_else(|| JsonError::expected("Error payload object", payload))?;
                 Ok(Reply::Error {
                     message: FromJson::from_json(need(body, "message")?)?,
+                })
+            }
+            "DeadlineExceeded" => {
+                let body = payload.as_obj().ok_or_else(|| {
+                    JsonError::expected("DeadlineExceeded payload object", payload)
+                })?;
+                Ok(Reply::DeadlineExceeded {
+                    budget_ms: FromJson::from_json(need(body, "budget_ms")?)?,
                 })
             }
             other => Err(JsonError::new(format!("unknown Reply `{other}`"))),
@@ -368,6 +388,7 @@ mod tests {
             Reply::Error {
                 message: "unknown kernel `DOOM`".to_string(),
             },
+            Reply::DeadlineExceeded { budget_ms: 250 },
         ];
         for reply in replies {
             let text = to_string(&reply).unwrap();

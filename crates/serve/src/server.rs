@@ -66,6 +66,15 @@ pub struct ServerConfig {
     /// `gpm-par` fan-out width per shard flush (1 = compute on the
     /// shard thread; shards already scale across cores).
     pub fan_width: usize,
+    /// Reap a TCP connection after this many milliseconds with no bytes
+    /// received and nothing in flight (slow-loris / dead-peer defense).
+    /// `0` disables reaping.
+    pub idle_timeout_ms: u64,
+    /// Per-request deadline budget in milliseconds, measured from
+    /// admission: a request still queued when its budget elapses is
+    /// answered with [`Reply::DeadlineExceeded`] instead of computed.
+    /// `0` disables deadlines.
+    pub request_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +87,10 @@ impl Default for ServerConfig {
             shards: 0,
             coalesce_us: 100,
             fan_width: 1,
+            // Generous defaults: only peers that are genuinely stuck
+            // (or a server under pathological load) ever see these.
+            idle_timeout_ms: 60_000,
+            request_deadline_ms: 30_000,
         }
     }
 }
@@ -97,6 +110,15 @@ struct Job {
     id: u64,
     request: Request,
     tx: mpsc::Sender<(u64, Reply)>,
+    /// Absolute expiry instant, set at admission from
+    /// [`ServerConfig::request_deadline_ms`] (`None` = no deadline).
+    deadline: Option<std::time::Instant>,
+}
+
+impl Job {
+    fn expired(&self, now: std::time::Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
 }
 
 /// Admission state shared by the engine thread, reactor shards and
@@ -110,6 +132,8 @@ pub(crate) struct Shared {
     served: AtomicU64,
     batches: AtomicU64,
     max_requests: Option<u64>,
+    /// Per-request deadline budget ([`ServerConfig::request_deadline_ms`]).
+    deadline: Option<Duration>,
     /// Write ends poked by [`Shared::close`] so blocked reactor shards
     /// wake up and begin their drain.
     #[cfg(unix)]
@@ -145,7 +169,16 @@ impl Shared {
         };
         let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
         gpm_obs::gauge_set("serve.queue_depth", depth as f64);
-        if sender.send(Job { id, request, tx }).is_err() {
+        let deadline = self.deadline.map(|d| std::time::Instant::now() + d);
+        if sender
+            .send(Job {
+                id,
+                request,
+                tx,
+                deadline,
+            })
+            .is_err()
+        {
             self.depth.fetch_sub(1, Ordering::SeqCst);
             return Some(Reply::Error {
                 message: "server is shutting down".to_string(),
@@ -290,6 +323,8 @@ impl ServerHandle {
             served: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             max_requests: config.max_requests,
+            deadline: (config.request_deadline_ms > 0)
+                .then(|| Duration::from_millis(config.request_deadline_ms)),
             #[cfg(unix)]
             wakers: Mutex::new(wake_writers),
         });
@@ -298,6 +333,7 @@ impl ServerHandle {
         let core = engine.core();
         let engine_shared = Arc::clone(&shared);
         let batch_max = config.batch_max.max(1);
+        let budget_ms = config.request_deadline_ms;
         let engine_thread = thread::spawn(move || {
             loop {
                 let first = match jobs_rx.recv_timeout(Duration::from_millis(25)) {
@@ -313,15 +349,31 @@ impl ServerHandle {
                     }
                 }
                 engine_shared.depth.fetch_sub(batch.len(), Ordering::SeqCst);
-                let requests: Vec<Request> = batch.iter().map(|j| j.request.clone()).collect();
-                let started = std::time::Instant::now();
-                let replies = engine.process_batch(&requests);
-                gpm_obs::histogram_record_duration("serve.batch_service_us", started.elapsed());
-                for (job, reply) in batch.into_iter().zip(replies) {
-                    // A receiver may have given up; that is its problem.
-                    let _ = job.tx.send((job.id, reply));
+                // A job whose deadline budget elapsed while queued is
+                // answered without being computed: the caller has (or
+                // should have) given up, and burning engine time on it
+                // only delays the live ones behind it.
+                let now = std::time::Instant::now();
+                let total = batch.len();
+                let (expired, live): (Vec<Job>, Vec<Job>) =
+                    batch.into_iter().partition(|j| j.expired(now));
+                if !expired.is_empty() {
+                    gpm_obs::counter_add("serve.deadline_exceeded", expired.len() as u64);
                 }
-                engine_shared.note_served(requests.len() as u64, 1);
+                for job in expired {
+                    let _ = job.tx.send((job.id, Reply::DeadlineExceeded { budget_ms }));
+                }
+                if !live.is_empty() {
+                    let requests: Vec<Request> = live.iter().map(|j| j.request.clone()).collect();
+                    let started = std::time::Instant::now();
+                    let replies = engine.process_batch(&requests);
+                    gpm_obs::histogram_record_duration("serve.batch_service_us", started.elapsed());
+                    for (job, reply) in live.into_iter().zip(replies) {
+                        // A receiver may have given up; that is its problem.
+                        let _ = job.tx.send((job.id, reply));
+                    }
+                }
+                engine_shared.note_served(total as u64, 1);
             }
             engine
         });
@@ -336,6 +388,11 @@ impl ServerHandle {
                     conn_inflight: config.conn_inflight.max(1),
                     coalesce: Duration::from_micros(config.coalesce_us),
                     fan_width: config.fan_width.max(1),
+                    idle_timeout: (config.idle_timeout_ms > 0)
+                        .then(|| Duration::from_millis(config.idle_timeout_ms)),
+                    deadline: (config.request_deadline_ms > 0)
+                        .then(|| Duration::from_millis(config.request_deadline_ms)),
+                    budget_ms: config.request_deadline_ms,
                 };
                 let core = Arc::clone(&core);
                 let shared = Arc::clone(&shared);
@@ -396,6 +453,64 @@ impl ServerHandle {
     }
 }
 
+/// Bounded retry with capped decorrelated-jitter backoff, for
+/// [`Client::call_with_retry`]. Opt-in: plain [`Client::call`] never
+/// retries.
+///
+/// The schedule follows the decorrelated-jitter recipe: each delay is
+/// drawn uniformly from `[base, 3 * previous]` and clamped to `cap`,
+/// which spreads retries out (avoiding thundering herds) while staying
+/// bounded. The jitter stream is seeded, so a given policy value always
+/// produces the same schedule — the property the deterministic tests
+/// rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffPolicy {
+    /// Total call attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Base (and minimum) delay in milliseconds.
+    pub base_ms: f64,
+    /// Upper clamp on any single delay, in milliseconds.
+    pub cap_ms: f64,
+    /// Seed for the jitter stream; the same seed yields the same
+    /// schedule.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 4,
+            base_ms: 1.0,
+            cap_ms: 50.0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The full delay schedule (`max_attempts - 1` entries), computed
+    /// deterministically from the policy fields.
+    pub fn delays(&self) -> Vec<Duration> {
+        let base = self.base_ms.max(0.0);
+        let cap = self.cap_ms.max(base);
+        let mut state = self.seed | 1;
+        let mut prev = base;
+        let mut out = Vec::new();
+        for _ in 1..self.max_attempts.max(1) {
+            // xorshift64: tiny, seedable, plenty for jitter.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let hi = (prev * 3.0).max(base);
+            let ms = (base + unit * (hi - base)).min(cap);
+            prev = ms;
+            out.push(Duration::from_secs_f64(ms / 1000.0));
+        }
+        out
+    }
+}
+
 /// An in-process client: submits straight to the admission queue.
 #[derive(Clone)]
 pub struct Client {
@@ -422,6 +537,34 @@ impl Client {
                 message: "server exited before replying".to_string(),
             },
         }
+    }
+
+    /// [`Client::call`] with bounded retry on [`Reply::Overloaded`],
+    /// sleeping the policy's jittered backoff between attempts. Any
+    /// non-`Overloaded` reply (success *or* error) returns immediately;
+    /// exhausting the attempts returns the last `Overloaded`.
+    pub fn call_with_retry(&self, request: Request, policy: &BackoffPolicy) -> Reply {
+        self.call_with_retry_using(request, policy, thread::sleep)
+    }
+
+    /// [`Client::call_with_retry`] with an injected sleeper, so tests
+    /// can record the schedule instead of actually waiting.
+    pub fn call_with_retry_using(
+        &self,
+        request: Request,
+        policy: &BackoffPolicy,
+        mut sleep: impl FnMut(Duration),
+    ) -> Reply {
+        let mut reply = self.call(request.clone());
+        for delay in policy.delays() {
+            if !matches!(reply, Reply::Overloaded { .. }) {
+                break;
+            }
+            gpm_obs::counter_add("serve.client_retries", 1);
+            sleep(delay);
+            reply = self.call(request.clone());
+        }
+        reply
     }
 
     /// Submits a slice of requests (admission decided per request) and
@@ -601,6 +744,97 @@ mod tests {
         assert!(matches!(client.call(power_request()), Reply::Error { .. }));
         let (_, stats) = handle.join();
         assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn backoff_schedules_are_deterministic_and_capped() {
+        let policy = BackoffPolicy {
+            max_attempts: 8,
+            base_ms: 2.0,
+            cap_ms: 20.0,
+            seed: 7,
+        };
+        let a = policy.delays();
+        let b = policy.delays();
+        assert_eq!(a, b, "same policy, same schedule");
+        assert_eq!(a.len(), 7);
+        for delay in &a {
+            let ms = delay.as_secs_f64() * 1000.0;
+            assert!((2.0..=20.0).contains(&ms), "{ms} outside [base, cap]");
+        }
+        // A different seed produces a different schedule.
+        let other = BackoffPolicy { seed: 8, ..policy }.delays();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn retry_on_overloaded_follows_the_injected_schedule() {
+        // queue_depth 0 sheds everything, so every attempt sees
+        // Overloaded and the recorded sleeps must equal the schedule.
+        let config = ServerConfig {
+            queue_depth: 0,
+            ..ServerConfig::default()
+        };
+        let handle = ServerHandle::spawn(engine(), config);
+        let policy = BackoffPolicy {
+            max_attempts: 5,
+            ..BackoffPolicy::default()
+        };
+        let mut slept = Vec::new();
+        let reply = handle
+            .client()
+            .call_with_retry_using(power_request(), &policy, |d| slept.push(d));
+        assert_eq!(reply, Reply::Overloaded { queue_depth: 0 });
+        assert_eq!(slept, policy.delays());
+        let (_, stats) = handle.shutdown();
+        assert_eq!(stats.shed, 5, "one shed per attempt");
+    }
+
+    #[test]
+    fn retry_returns_immediately_on_success() {
+        let handle = ServerHandle::spawn(engine(), ServerConfig::default());
+        let mut slept = Vec::new();
+        let reply = handle.client().call_with_retry_using(
+            power_request(),
+            &BackoffPolicy::default(),
+            |d| slept.push(d),
+        );
+        assert!(reply.is_ok(), "{reply:?}");
+        assert!(slept.is_empty(), "no backoff on first-attempt success");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn queued_jobs_past_their_deadline_are_answered_without_compute() {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: 7,
+            request: power_request(),
+            tx,
+            deadline: Some(std::time::Instant::now() - Duration::from_millis(1)),
+        };
+        assert!(job.expired(std::time::Instant::now()));
+        let fresh = Job {
+            id: 8,
+            request: power_request(),
+            tx: {
+                let (tx, _rx) = mpsc::channel();
+                tx
+            },
+            deadline: Some(std::time::Instant::now() + Duration::from_secs(60)),
+        };
+        assert!(!fresh.expired(std::time::Instant::now()));
+        let unlimited = Job {
+            id: 9,
+            request: power_request(),
+            tx: {
+                let (tx, _rx) = mpsc::channel();
+                tx
+            },
+            deadline: None,
+        };
+        assert!(!unlimited.expired(std::time::Instant::now()));
+        drop(rx);
     }
 
     #[cfg(unix)]

@@ -1,16 +1,32 @@
-//! Shared test fixture: fit the reference model once per test binary.
+//! Shared test plumbing for the serve crate's integration suite.
+//!
+//! Two things live here, both `#[doc(hidden)]` because they are test
+//! infrastructure rather than API surface:
+//!
+//! - [`fitted_model`] — the reference model, fitted once per test
+//!   binary and cloned.
+//! - [`ChaosProxy`] — a socket-level fault injector that sits between a
+//!   test client and the real TCP server, shaping the client-to-server
+//!   byte stream (trickled bytes, partial writes, mid-frame resets) so
+//!   chaos tests can exercise the reactor's framing, idle-reaping and
+//!   deadline paths with real kernel sockets.
 
 use gpm_core::{Estimator, PowerModel};
 use gpm_profiler::Profiler;
 use gpm_sim::SimulatedGpu;
 use gpm_workloads::microbenchmark_suite;
-use std::sync::OnceLock;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
 
 /// A model fitted on the GTX Titan X microbenchmark suite (seed 42),
 /// computed once and cloned — fitting is the expensive part of every
 /// serve test.
 pub fn fitted_model() -> PowerModel {
-    static MODEL: OnceLock<PowerModel> = OnceLock::new();
+    static MODEL: std::sync::OnceLock<PowerModel> = std::sync::OnceLock::new();
     MODEL
         .get_or_init(|| {
             let spec = gpm_spec::devices::gtx_titan_x();
@@ -21,4 +37,165 @@ pub fn fitted_model() -> PowerModel {
             Estimator::new().fit(&training).unwrap()
         })
         .clone()
+}
+
+/// How the proxy mangles the client-to-server byte stream. Replies from
+/// the server always pass through unshaped, so a test can still decode
+/// whatever the server managed to say.
+#[derive(Debug, Clone, Copy)]
+pub enum ChaosMode {
+    /// Forward bytes verbatim (control case).
+    Passthrough,
+    /// Trickle the stream in `chunk`-byte slices with `delay` between
+    /// them — a slow sender whose frames arrive in arbitrary splits.
+    DelayBytes {
+        /// Bytes forwarded per slice.
+        chunk: usize,
+        /// Pause between slices.
+        delay: Duration,
+    },
+    /// Forward exactly `bytes` bytes, then sever both directions
+    /// abruptly — the server observes a mid-frame disconnect.
+    ResetAfter {
+        /// Client bytes forwarded before the cut.
+        bytes: usize,
+    },
+}
+
+/// A thread-per-connection TCP forwarder with deterministic stream
+/// shaping, for chaos-testing the reactor over real sockets.
+///
+/// Accepts on an ephemeral local port, dials `upstream` once per
+/// accepted connection, and pumps bytes in both directions until either
+/// side hangs up (or the mode cuts the cord).
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `upstream` with the given shaping
+    /// mode applied to every accepted connection.
+    pub fn spawn(upstream: SocketAddr, mode: ChaosMode) -> ChaosProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind chaos proxy");
+        let addr = listener.local_addr().expect("proxy local addr");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking proxy listener");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let accept_thread = thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => match TcpStream::connect(upstream) {
+                        Ok(server) => pump_connection(client, server, mode),
+                        Err(_) => drop(client),
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        ChaosProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
+    /// The address test clients should dial instead of the server's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Wires up one proxied connection: the client-to-server direction is
+/// shaped by `mode` on a dedicated thread; replies stream back
+/// unshaped on another. Threads are detached — they exit on EOF when
+/// either endpoint closes, which every test does.
+fn pump_connection(client: TcpStream, server: TcpStream, mode: ChaosMode) {
+    client.set_nodelay(true).ok();
+    server.set_nodelay(true).ok();
+    let client_rd = client.try_clone().expect("clone client stream");
+    let server_wr = server.try_clone().expect("clone server stream");
+    thread::spawn(move || shape_upstream(client_rd, server_wr, mode));
+    thread::spawn(move || copy_until_eof(server, client));
+}
+
+/// Client → server: apply the shaping mode, then shut the write side so
+/// the server sees a clean EOF when the client is done.
+fn shape_upstream(mut from: TcpStream, mut to: TcpStream, mode: ChaosMode) {
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk_bytes = &buf[..n];
+        match mode {
+            ChaosMode::Passthrough => {
+                if to.write_all(chunk_bytes).is_err() {
+                    break;
+                }
+            }
+            ChaosMode::DelayBytes { chunk, delay } => {
+                let step = chunk.max(1);
+                while !chunk_bytes.is_empty() {
+                    let take = step.min(chunk_bytes.len());
+                    if to.write_all(&chunk_bytes[..take]).is_err() || to.flush().is_err() {
+                        return;
+                    }
+                    chunk_bytes = &chunk_bytes[take..];
+                    thread::sleep(delay);
+                }
+            }
+            ChaosMode::ResetAfter { bytes } => {
+                let remaining = bytes.saturating_sub(forwarded);
+                let take = remaining.min(chunk_bytes.len());
+                if take > 0 && to.write_all(&chunk_bytes[..take]).is_err() {
+                    break;
+                }
+                forwarded += take;
+                if forwarded >= bytes {
+                    // Sever both directions: the server observes a
+                    // mid-frame disconnect, the client a dead socket.
+                    to.shutdown(Shutdown::Both).ok();
+                    from.shutdown(Shutdown::Both).ok();
+                    return;
+                }
+            }
+        }
+        forwarded += n;
+    }
+    to.shutdown(Shutdown::Write).ok();
+}
+
+/// Server → client: verbatim copy until EOF.
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    to.shutdown(Shutdown::Write).ok();
 }

@@ -419,3 +419,72 @@ fn fit_and_cross_validation_are_thread_count_independent() {
     }
     gpm::par::set_threads(None);
 }
+
+/// The wire-frame decoder's robustness contract: any valid frame
+/// sequence is recovered intact no matter how the byte stream is split;
+/// oversized length headers and non-UTF-8 payloads are typed errors
+/// that permanently poison the stream; arbitrary garbage never panics.
+#[test]
+fn frame_decoder_survives_arbitrary_splits_and_garbage() {
+    use gpm::serve::proto::{write_frame, FrameDecoder, MAX_FRAME_LEN};
+    gpm_check::check("frame_decoder_survives_arbitrary_splits_and_garbage", |g| {
+        // Valid frames, random payload content (including multi-byte
+        // UTF-8), fed at random split points: recovered verbatim.
+        let count = g.usize_in(1..6);
+        let frames: Vec<String> = (0..count)
+            .map(|_| {
+                let len = g.usize_in(0..256);
+                (0..len)
+                    .map(|_| *g.choose(&['a', 'é', '0', '{', '"', '\u{1F600}']))
+                    .collect()
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < wire.len() {
+            let take = g.usize_in(1..9).min(wire.len() - pos);
+            decoder.extend(&wire[pos..pos + take]);
+            pos += take;
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames, "split points must not change the frames");
+        assert_eq!(decoder.buffered(), 0);
+
+        // An oversized length header is a typed error, and the decoder
+        // stays errored even if well-formed bytes arrive afterwards.
+        let mut decoder = FrameDecoder::new();
+        let oversized = (MAX_FRAME_LEN as u32) + 1 + (g.u64_in(0..1024) as u32);
+        decoder.extend(&oversized.to_be_bytes());
+        let err = decoder.next_frame().expect_err("oversized header");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        decoder.extend(&wire);
+        assert!(
+            decoder.next_frame().is_err(),
+            "poisoned decoders must stay poisoned"
+        );
+
+        // Garbage prefixes: random bytes produce frames, a wait for
+        // more bytes, or a typed error — never a panic.
+        let mut decoder = FrameDecoder::new();
+        let len = g.usize_in(0..256);
+        let garbage: Vec<u8> = (0..len).map(|_| (g.u64_any() & 0xff) as u8).collect();
+        decoder.extend(&garbage);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+                    break;
+                }
+            }
+        }
+    });
+}

@@ -262,6 +262,166 @@ fn shutdown_drains_hundreds_of_in_flight_pipelined_requests() {
     assert_eq!(served_engine.stats().requests, N);
 }
 
+/// A connection whose bytes trickle through the chaos proxy in 7-byte
+/// slices still gets byte-identical replies: framing is independent of
+/// how the kernel splits reads.
+#[test]
+fn chaos_proxy_trickled_bytes_round_trip_byte_identically() {
+    use gpm::serve::test_support::{ChaosMode, ChaosProxy};
+    let batch = mixed_batch();
+    let mut oracle_engine = engine();
+    let oracle = serialize(&oracle_engine.process_batch(&batch));
+
+    let handle = ServerHandle::bind(engine(), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let proxy = ChaosProxy::spawn(
+        handle.local_addr().unwrap(),
+        ChaosMode::DelayBytes {
+            chunk: 7,
+            delay: Duration::from_millis(1),
+        },
+    );
+    let mut client = TcpClient::connect(proxy.addr()).unwrap();
+    let replies = client.pipeline(&batch).unwrap();
+    assert_eq!(
+        serialize(&replies),
+        oracle,
+        "trickled delivery changed the replies"
+    );
+    drop(client);
+    drop(proxy);
+    let (_, stats) = handle.shutdown();
+    assert_eq!(stats.served, batch.len() as u64);
+    assert_eq!(stats.shed, 0);
+}
+
+/// A connection that goes silent mid-frame is reaped after the idle
+/// timeout instead of holding its shard's resources forever — and the
+/// server keeps serving newcomers afterwards.
+#[test]
+fn idle_connections_are_reaped_after_the_timeout() {
+    let config = ServerConfig {
+        idle_timeout_ms: 100,
+        ..ServerConfig::default()
+    };
+    let handle = ServerHandle::bind(engine(), config, "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr().unwrap();
+
+    // Two bytes of a length prefix, then silence.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.set_nodelay(true).unwrap();
+    loris.write_all(&[0, 0]).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = [0u8; 1];
+    match loris.read(&mut buf) {
+        Ok(0) => {}                                                     // clean FIN
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {} // abrupt close
+        other => panic!("expected the server to reap the idle connection, got {other:?}"),
+    }
+
+    // The reap removed one connection, not the listener.
+    let mut client = TcpClient::connect(addr).unwrap();
+    let reply = client
+        .call(&Request::Power {
+            utilizations: utils(),
+            config: FreqConfig::from_mhz(975, 3505),
+        })
+        .unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    drop(client);
+    let (_, stats) = handle.shutdown();
+    assert_eq!(stats.served, 1);
+}
+
+/// The chaos proxy severs the stream two bytes into a request payload;
+/// the server must shrug the torn connection off and keep answering
+/// direct clients.
+#[test]
+fn mid_frame_reset_through_the_proxy_leaves_the_server_healthy() {
+    use gpm::serve::test_support::{ChaosMode, ChaosProxy};
+    let handle = ServerHandle::bind(engine(), ServerConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = handle.local_addr().unwrap();
+    // Cut after 6 client bytes: the 4-byte prefix plus 2 payload bytes.
+    let proxy = ChaosProxy::spawn(addr, ChaosMode::ResetAfter { bytes: 6 });
+
+    let request = Request::Power {
+        utilizations: utils(),
+        config: FreqConfig::from_mhz(975, 3505),
+    };
+    let payload = gpm::serve::proto::encode_request(1, &request);
+    let mut doomed = TcpStream::connect(proxy.addr()).unwrap();
+    doomed.set_nodelay(true).unwrap();
+    let _ = doomed.write_all(&(payload.len() as u32).to_be_bytes());
+    let _ = doomed.write_all(payload.as_bytes());
+    doomed
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = [0u8; 4];
+    assert!(
+        matches!(doomed.read(&mut buf), Ok(0) | Err(_)),
+        "the severed connection must not produce a reply"
+    );
+    drop(doomed);
+    drop(proxy);
+
+    let mut client = TcpClient::connect(addr).unwrap();
+    let replies = client
+        .pipeline(&(0..4).map(|_| request.clone()).collect::<Vec<_>>())
+        .unwrap();
+    assert!(replies.iter().all(Reply::is_ok), "{replies:?}");
+    drop(client);
+    let (_, stats) = handle.shutdown();
+    assert!(stats.served >= 4, "{stats:?}");
+}
+
+/// With a 1 ms deadline budget, a pipelined burst of governor-backed
+/// requests (which serialize through the engine thread) cannot all be
+/// answered in time: the overrun ones get a typed `DeadlineExceeded`
+/// instead of burning compute on replies nobody is waiting for.
+#[test]
+fn requests_past_their_deadline_budget_get_a_typed_reply() {
+    const N: usize = 32;
+    let config = ServerConfig {
+        request_deadline_ms: 1,
+        queue_depth: 256,
+        conn_inflight: 256,
+        ..ServerConfig::default()
+    };
+    let handle = ServerHandle::bind(engine(), config, "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(handle.local_addr().unwrap()).unwrap();
+
+    let kernels = ["GEMM", "LBM", "BLCKSC", "SRAD_1"];
+    let burst: Vec<Request> = (0..N)
+        .map(|i| Request::BestConfig {
+            kernel: kernels[i % kernels.len()].to_string(),
+            objective: Objective::MinEdp,
+        })
+        .collect();
+    let replies = client.pipeline(&burst).unwrap();
+    assert_eq!(replies.len(), N);
+    let exceeded = replies
+        .iter()
+        .filter(|r| matches!(r, Reply::DeadlineExceeded { budget_ms: 1 }))
+        .count();
+    assert!(
+        exceeded > 0,
+        "a 1 ms budget must expire part of the burst: {replies:?}"
+    );
+    for reply in &replies {
+        assert!(
+            matches!(reply, Reply::Ok(_) | Reply::DeadlineExceeded { .. }),
+            "unexpected reply kind: {reply:?}"
+        );
+    }
+    drop(client);
+    let (_, stats) = handle.shutdown();
+    assert_eq!(
+        stats.served, N as u64,
+        "expired requests still count as answered"
+    );
+}
+
 /// The reactor reports its activity through gpm-obs counters.
 #[test]
 fn reactor_activity_reaches_an_installed_recorder() {
