@@ -8,6 +8,7 @@ use gpm_core::{
 };
 use gpm_dvfs::{baseline_ledger, pareto_frontier, Governor, Objective};
 use gpm_faults::{FaultPlan, FaultyGpu};
+use gpm_fleet::{FleetConfig, FleetSim, FleetTrace};
 use gpm_profiler::{
     training_set_to_csv, CampaignCheckpoint, CampaignOutcome, Profiler, ResilientProfiler,
 };
@@ -33,12 +34,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if args.is_empty() {
         return Err(CliError::Usage("missing command".into()));
     }
-    // `gpm registry fsck` is the one two-word command; splice it into an
-    // internal single-token name before the flag parser (which rejects
-    // stray positionals) sees it.
+    // `gpm registry fsck` and the `gpm fleet ...` family are two-word
+    // commands; splice them into internal single-token names before the
+    // flag parser (which rejects stray positionals) sees them.
     let spliced: Vec<String>;
-    let args = if args[0] == "registry" {
-        match args.get(1).map(String::as_str) {
+    let args = match args[0].as_str() {
+        "registry" => match args.get(1).map(String::as_str) {
             Some("fsck") => {
                 spliced = std::iter::once("registry-fsck".to_string())
                     .chain(args[2..].iter().cloned())
@@ -50,9 +51,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                     "`registry` expects a subcommand: fsck".into(),
                 ))
             }
-        }
-    } else {
-        args
+        },
+        "fleet" => match args.get(1).map(String::as_str) {
+            Some(sub @ ("run" | "cap-sweep")) => {
+                spliced = std::iter::once(format!("fleet-{sub}"))
+                    .chain(args[2..].iter().cloned())
+                    .collect();
+                &spliced[..]
+            }
+            _ => {
+                return Err(CliError::Usage(
+                    "`fleet` expects a subcommand: run | cap-sweep".into(),
+                ))
+            }
+        },
+        _ => args,
     };
     let parsed = ParsedArgs::parse_with_switches(args, &["timings", "robust"])?;
     // `--threads N` pins the gpm-par worker count for this invocation
@@ -164,6 +177,44 @@ fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
             parsed.allow_only(&["registry"])?;
             cmd_registry_fsck(parsed)
         }
+        "fleet-run" => {
+            parsed.allow_only(&[
+                "nodes",
+                "epochs",
+                "cap",
+                "classes",
+                "seed",
+                "distinct",
+                "launches",
+                "slack",
+                "fail-rate",
+                "degraded-rate",
+                "fault-preset",
+                "out",
+                "threads",
+                "trace",
+            ])?;
+            cmd_fleet_run(parsed)
+        }
+        "fleet-cap-sweep" => {
+            parsed.allow_only(&[
+                "nodes",
+                "epochs",
+                "caps",
+                "classes",
+                "seed",
+                "distinct",
+                "launches",
+                "slack",
+                "fail-rate",
+                "degraded-rate",
+                "fault-preset",
+                "out",
+                "threads",
+                "trace",
+            ])?;
+            cmd_fleet_cap_sweep(parsed)
+        }
         "serve" => {
             parsed.allow_only(&[
                 "registry",
@@ -194,8 +245,12 @@ fn device_by_slug(slug: &str) -> Result<DeviceSpec, CliError> {
         "titan-xp" => Ok(devices::titan_xp()),
         "gtx-titan-x" => Ok(devices::gtx_titan_x()),
         "tesla-k40c" => Ok(devices::tesla_k40c()),
+        "v100m" => Ok(devices::v100m()),
+        "a100m" => Ok(devices::a100m()),
+        "h100m" => Ok(devices::h100m()),
         other => Err(CliError::Usage(format!(
-            "unknown device `{other}` (expected titan-xp, gtx-titan-x or tesla-k40c)"
+            "unknown device `{other}` (expected titan-xp, gtx-titan-x, tesla-k40c, \
+             v100m, a100m or h100m)"
         ))),
     }
 }
@@ -206,7 +261,7 @@ fn pipeline<E: std::fmt::Display>(e: E) -> CliError {
 
 fn cmd_devices() -> Result<String, CliError> {
     let mut out = String::new();
-    for d in devices::all() {
+    for d in devices::all().into_iter().chain(devices::datacenter()) {
         let _ = writeln!(
             out,
             "{:<12} {}  grid {} mem x {} core levels, reference {}",
@@ -224,6 +279,9 @@ fn slug_of(d: &DeviceSpec) -> &'static str {
     match d.name() {
         "Titan Xp" => "titan-xp",
         "GTX Titan X" => "gtx-titan-x",
+        "V100m" => "v100m",
+        "A100m" => "a100m",
+        "H100m" => "h100m",
         _ => "tesla-k40c",
     }
 }
@@ -803,6 +861,146 @@ fn cmd_crossval(args: &ParsedArgs) -> Result<String, CliError> {
         "{report}
 "
     ))
+}
+
+fn parse_float(name: &str, value: &str) -> Result<f64, CliError> {
+    value
+        .parse::<f64>()
+        .map_err(|_| CliError::Usage(format!("--{name} expects a number, got `{value}`")))
+}
+
+/// Builds a [`FleetConfig`] from the shared `fleet` flags.
+fn fleet_config(args: &ParsedArgs) -> Result<FleetConfig, CliError> {
+    let mut config = FleetConfig {
+        nodes: args.integer_or("nodes", 64)?.max(1) as usize,
+        epochs: args.integer_or("epochs", 8)?.max(1) as usize,
+        seed: args.integer_or("seed", 42)?,
+        distinct: args.integer_or("distinct", 3)?.max(1) as usize,
+        launches: args.integer_or("launches", 8)?.max(1) as usize,
+        ..FleetConfig::default()
+    };
+    if let Some(v) = args.optional("slack") {
+        config.deadline_slack = parse_float("slack", v)?;
+    }
+    if let Some(v) = args.optional("fail-rate") {
+        config.fail_rate = parse_float("fail-rate", v)?;
+    }
+    if let Some(v) = args.optional("degraded-rate") {
+        config.degraded_rate = parse_float("degraded-rate", v)?;
+    }
+    if let Some(v) = args.optional("fault-preset") {
+        config.fault_preset = v.to_string();
+    }
+    if let Some(v) = args.optional("classes") {
+        config.classes = v
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+    }
+    config
+        .validate()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(config)
+}
+
+fn fleet_summary(trace: &FleetTrace) -> String {
+    let mut out = String::new();
+    let cap = trace.config.cap_w;
+    let _ = writeln!(
+        out,
+        "fleet: {} nodes ({} classes), {} epochs, cap {}",
+        trace.config.nodes,
+        trace.class_names.len(),
+        trace.config.epochs,
+        if cap > 0.0 {
+            format!("{cap:.0} W")
+        } else {
+            "none".to_string()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "peak power {:.0} W, cap respected: {}",
+        trace.peak_power_w,
+        trace.cap_respected()
+    );
+    let _ = writeln!(
+        out,
+        "energy {:.0} J (baseline {:.0} J, saved {:.1}%)",
+        trace.energy_j, trace.baseline_energy_j, trace.savings_pct
+    );
+    let _ = writeln!(
+        out,
+        "work {} jobs, {} deadline misses, {} shed; {} failed nodes, {} degraded ({} blind kernels)",
+        trace.work,
+        trace.misses,
+        trace.shed,
+        trace.failed_nodes,
+        trace.degraded_nodes,
+        trace.blind_kernels
+    );
+    let _ = writeln!(out, "trace digest {}", trace.digest);
+    out
+}
+
+fn cmd_fleet_run(args: &ParsedArgs) -> Result<String, CliError> {
+    let mut config = fleet_config(args)?;
+    if let Some(v) = args.optional("cap") {
+        config.cap_w = parse_float("cap", v)?;
+    }
+    let sim = FleetSim::prepare(&config).map_err(pipeline)?;
+    let trace = sim.run();
+    let mut out = fleet_summary(&trace);
+    if let Some(path) = args.optional("out") {
+        fs::write(path, gpm_json::to_string(&trace).map_err(pipeline)?)?;
+        let _ = writeln!(out, "wrote fleet trace -> {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_fleet_cap_sweep(args: &ParsedArgs) -> Result<String, CliError> {
+    let config = fleet_config(args)?;
+    let caps: Vec<f64> = args
+        .required("caps")?
+        .split(',')
+        .map(|s| parse_float("caps", s.trim()))
+        .collect::<Result<_, _>>()?;
+    if caps.is_empty() {
+        return Err(CliError::Usage(
+            "--caps expects at least one watts value".into(),
+        ));
+    }
+    let sim = FleetSim::prepare(&config).map_err(pipeline)?;
+    let traces = sim.cap_sweep(&caps);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>12}  {:>8}  {:>7}  {:>6}  {:>5}",
+        "cap W", "peak W", "energy J", "saved %", "misses", "shed", "ok"
+    );
+    for (cap, trace) in caps.iter().zip(&traces) {
+        let _ = writeln!(
+            out,
+            "{:>10}  {:>10.0}  {:>12.0}  {:>8.1}  {:>7}  {:>6}  {:>5}",
+            if *cap > 0.0 {
+                format!("{cap:.0}")
+            } else {
+                "none".to_string()
+            },
+            trace.peak_power_w,
+            trace.energy_j,
+            trace.savings_pct,
+            trace.misses,
+            trace.shed,
+            trace.cap_respected()
+        );
+    }
+    if let Some(path) = args.optional("out") {
+        fs::write(path, gpm_json::to_string(&traces).map_err(pipeline)?)?;
+        let _ = writeln!(out, "wrote {} fleet traces -> {path}", traces.len());
+    }
+    Ok(out)
 }
 
 fn load_training(path: &str) -> Result<TrainingSet, CliError> {

@@ -95,6 +95,15 @@ COMMANDS
   models       --registry DIR [--activate NAME@vN]
                                         list registry models (* = active)
                                         with a per-model health column
+  fleet run    [--nodes N] [--epochs N] [--cap W] [--classes A,B,..]
+               [--seed N] [--distinct N] [--launches N] [--slack X]
+               [--fail-rate P] [--degraded-rate P] [--fault-preset NAME]
+               [--out FILE] [--threads N]
+                                        simulate a fleet under the
+                                        power-capped cluster governor
+  fleet cap-sweep --caps W1,W2,.. [same flags as fleet run]
+                                        cap-adherence/energy trade-off
+                                        curve from one fleet preparation
   registry fsck --registry DIR          audit registry integrity; exits
                                         non-zero if anything is corrupt,
                                         quarantined or dangling

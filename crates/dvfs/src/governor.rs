@@ -1,6 +1,6 @@
 //! The online governor: profile-on-first-call, cached decisions.
 
-use crate::{EnergyLedger, LedgerEntry, Objective};
+use crate::{EnergyLedger, LedgerEntry, NodePolicy, Objective, VfCandidate};
 use gpm_core::{ModelError, PowerModel};
 use gpm_profiler::{ProfileError, Profiler};
 use gpm_sim::{SimError, SimulatedGpu};
@@ -338,30 +338,24 @@ impl<'g> Governor<'g> {
         self.gpu.set_clocks(reference)?;
         let powers = self.model.predict_batch(&profile.utilizations, &configs)?;
 
-        let mut best: Option<(FreqConfig, f64, f64, f64)> = None; // cfg, p, t, score
-        let mut lowest_power: Option<(FreqConfig, f64, f64)> = None;
-        for ((&config, &t), &p) in configs.iter().zip(&times).zip(&powers) {
-            if lowest_power.is_none_or(|(_, lp, _)| p < lp) {
-                lowest_power = Some((config, p, t));
-            }
-            if let Some(score) = self.objective.score(p, t, time_ref) {
-                if best.is_none_or(|(_, _, _, s)| score < s) {
-                    best = Some((config, p, t, score));
-                }
-            }
-        }
-
-        let (config, p, t) = match best {
-            Some((c, p, t, _)) => (c, p, t),
-            None if self.objective.needs_fallback() => {
-                lowest_power.ok_or(GovernorError::NoFeasibleConfig)?
-            }
-            None => return Err(GovernorError::NoFeasibleConfig),
-        };
+        let candidates: Vec<VfCandidate> = configs
+            .iter()
+            .zip(&times)
+            .zip(&powers)
+            .map(|((&config, &time_s), &power_w)| VfCandidate {
+                config,
+                power_w,
+                time_s,
+            })
+            .collect();
+        let selection = self
+            .objective
+            .select(&candidates, time_ref)
+            .ok_or(GovernorError::NoFeasibleConfig)?;
         Ok(Decision {
-            config,
-            predicted_power_w: p,
-            predicted_time_s: t,
+            config: selection.config,
+            predicted_power_w: selection.power_w,
+            predicted_time_s: selection.time_s,
             reference_time_s: time_ref,
         })
     }

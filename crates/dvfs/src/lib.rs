@@ -46,6 +46,7 @@ mod governor;
 mod ledger;
 mod objective;
 mod pareto;
+mod policy;
 
 pub use governor::{
     baseline_ledger, Decision, DecisionOrigin, Governor, GovernorError, GovernorState,
@@ -54,3 +55,4 @@ pub use governor::{
 pub use ledger::{EnergyLedger, LedgerEntry};
 pub use objective::Objective;
 pub use pareto::{pareto_frontier, ParetoPoint};
+pub use policy::{DeadlineEnergy, NodePolicy, Selection, VfCandidate};

@@ -1,0 +1,194 @@
+//! Per-node V-F selection policies.
+//!
+//! [`Governor::decide`](crate::Governor) and the fleet-level cluster
+//! governor face the same inner question — given one kernel's
+//! `(config, power, time)` grid, which configuration should this node
+//! run? — but wrap it differently (the single-GPU governor caches the
+//! answer per kernel; the cluster governor re-asks it under a shifting
+//! power budget). [`NodePolicy`] is that shared question, so both sides
+//! use one scan path: [`Objective`] implements it with exactly the scan
+//! the governor has always run (pinned by the golden traces), and
+//! [`DeadlineEnergy`] adds the Ilager-style deadline-aware energy
+//! policy the fleet scheduler uses.
+
+use crate::Objective;
+use gpm_spec::FreqConfig;
+
+/// One candidate configuration with its predicted power and measured
+/// (or predicted) per-launch runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfCandidate {
+    /// The V-F configuration.
+    pub config: FreqConfig,
+    /// Predicted average power at this configuration, in watts.
+    pub power_w: f64,
+    /// Per-launch runtime at this configuration, in seconds.
+    pub time_s: f64,
+}
+
+/// The candidate a policy selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The chosen configuration.
+    pub config: FreqConfig,
+    /// Its predicted power, in watts.
+    pub power_w: f64,
+    /// Its per-launch runtime, in seconds.
+    pub time_s: f64,
+}
+
+/// A per-node V-F selection rule over a scored candidate grid.
+///
+/// Candidates arrive in the device's canonical [`vf_grid`] order
+/// (memory-major, core descending within each memory level); policies
+/// must resolve ties by keeping the *first* best candidate so that the
+/// same grid always yields the same selection — the determinism the
+/// fleet traces and the governor's golden traces both rely on.
+///
+/// [`vf_grid`]: gpm_spec::DeviceSpec::vf_grid
+pub trait NodePolicy {
+    /// Chooses a candidate. `reference_time_s` is the runtime at the
+    /// device's reference configuration (the slowdown baseline). Returns
+    /// `None` when no candidate is feasible and the policy has no
+    /// fallback.
+    fn select(&self, candidates: &[VfCandidate], reference_time_s: f64) -> Option<Selection>;
+}
+
+impl NodePolicy for Objective {
+    /// The historical governor scan: score every candidate, keep the
+    /// first-best score, fall back to the lowest-power candidate when
+    /// the objective filters out the whole grid and allows a fallback.
+    fn select(&self, candidates: &[VfCandidate], reference_time_s: f64) -> Option<Selection> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut lowest_power: Option<usize> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if lowest_power.is_none_or(|j| c.power_w < candidates[j].power_w) {
+                lowest_power = Some(i);
+            }
+            if let Some(score) = self.score(c.power_w, c.time_s, reference_time_s) {
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some((i, score));
+                }
+            }
+        }
+        let chosen = match best {
+            Some((i, _)) => i,
+            None if self.needs_fallback() => lowest_power?,
+            None => return None,
+        };
+        let c = candidates[chosen];
+        Some(Selection {
+            config: c.config,
+            power_w: c.power_w,
+            time_s: c.time_s,
+        })
+    }
+}
+
+/// Deadline-aware energy policy (Ilager et al.): pick the lowest-energy
+/// configuration whose runtime still meets the deadline; when nothing
+/// can, run the fastest configuration to minimize the miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineEnergy {
+    /// Per-launch runtime deadline, in seconds.
+    pub deadline_s: f64,
+}
+
+impl NodePolicy for DeadlineEnergy {
+    fn select(&self, candidates: &[VfCandidate], _reference_time_s: f64) -> Option<Selection> {
+        let mut best: Option<usize> = None; // min energy among deadline-feasible
+        let mut fastest: Option<usize> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if fastest.is_none_or(|j| c.time_s < candidates[j].time_s) {
+                fastest = Some(i);
+            }
+            if c.time_s <= self.deadline_s {
+                let energy = c.power_w * c.time_s;
+                if best.is_none_or(|j| energy < candidates[j].power_w * candidates[j].time_s) {
+                    best = Some(i);
+                }
+            }
+        }
+        let c = candidates[best.or(fastest)?];
+        Some(Selection {
+            config: c.config,
+            power_w: c.power_w,
+            time_s: c.time_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::Mhz;
+
+    fn grid() -> Vec<VfCandidate> {
+        // A tiny 4-point grid: power descends with config order, time
+        // rises (the usual DVFS trade-off shape).
+        [
+            (1000, 200.0, 1.0),
+            (900, 160.0, 1.2),
+            (800, 130.0, 1.5),
+            (700, 110.0, 2.0),
+        ]
+        .into_iter()
+        .map(|(f, p, t)| VfCandidate {
+            config: FreqConfig::from_mhz(f, 3505),
+            power_w: p,
+            time_s: t,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn objective_policy_matches_objective_semantics() {
+        let g = grid();
+        let s = Objective::MinPower.select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(700));
+        let s = Objective::MinEnergy.select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(900)); // 192 J beats 195/200/220
+        let s = Objective::MinEnergyWithSlowdown(1.25)
+            .select(&g, 1.0)
+            .unwrap();
+        assert_eq!(s.config.core, Mhz::new(900));
+        assert!(Objective::MinEnergyWithSlowdown(0.5)
+            .select(&g, 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn power_cap_falls_back_to_lowest_power() {
+        let g = grid();
+        let s = Objective::PowerCap(150.0).select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(800)); // fastest under the cap
+        let s = Objective::PowerCap(50.0).select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(700)); // impossible cap -> min power
+    }
+
+    #[test]
+    fn deadline_energy_picks_cheapest_feasible_then_fastest() {
+        let g = grid();
+        let s = DeadlineEnergy { deadline_s: 1.6 }.select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(900)); // 192 J beats 195 J and 200 J
+        let s = DeadlineEnergy { deadline_s: 0.5 }.select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(1000)); // nothing feasible -> fastest
+    }
+
+    #[test]
+    fn empty_grid_selects_nothing() {
+        assert!(Objective::MinEnergy.select(&[], 1.0).is_none());
+        assert!(Objective::PowerCap(10.0).select(&[], 1.0).is_none());
+        assert!(DeadlineEnergy { deadline_s: 1.0 }
+            .select(&[], 1.0)
+            .is_none());
+    }
+
+    #[test]
+    fn ties_resolve_to_the_first_candidate() {
+        let mut g = grid();
+        g[2].power_w = g[3].power_w; // two equal-power minima
+        let s = Objective::MinPower.select(&g, 1.0).unwrap();
+        assert_eq!(s.config.core, Mhz::new(800));
+    }
+}

@@ -1,0 +1,235 @@
+//! Fleet campaign configuration.
+
+use gpm_json::impl_json;
+use gpm_spec::{devices, DeviceSpec};
+use std::fmt;
+
+/// Errors raised while validating or preparing a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The configuration is internally inconsistent.
+    Config(String),
+    /// Fitting a class model or profiling a node failed.
+    Pipeline(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Pipeline(msg) => write!(f, "fleet pipeline failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Configuration of one fleet campaign.
+///
+/// Everything is seeded: the same configuration always yields the same
+/// node population, kernel arrival streams, fault schedule and — at any
+/// thread count — the same byte-identical trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Number of scheduling epochs (one kernel launch per node each).
+    pub epochs: usize,
+    /// Global power cap in watts; `0` (or negative) disables the cap.
+    pub cap_w: f64,
+    /// Master seed for the whole campaign.
+    pub seed: u64,
+    /// Device-class slugs in the mix (nodes are assigned round-robin).
+    /// Empty means all six presets: the three paper GPUs plus the
+    /// synthetic V100m/A100m/H100m datacenter classes.
+    pub classes: Vec<String>,
+    /// Distinct kernels per node's arrival stream.
+    pub distinct: usize,
+    /// Length of each node's launch schedule (epochs wrap around it).
+    pub launches: usize,
+    /// Deadline as a multiple of each kernel's reference runtime
+    /// (Ilager-style: the job is late beyond `slack x t_ref`).
+    pub deadline_slack: f64,
+    /// Per-node probability of a mid-campaign permanent failure.
+    pub fail_rate: f64,
+    /// Per-node probability of degraded sensors (profiled through a
+    /// fault-injecting device per `fault_preset`).
+    pub degraded_rate: f64,
+    /// `gpm-faults` preset applied to degraded nodes (`"transient"`,
+    /// `"missing-counter"` or `"sensor-spike"`); empty disables
+    /// degradation regardless of `degraded_rate`.
+    pub fault_preset: String,
+}
+
+impl_json!(struct FleetConfig {
+    nodes,
+    epochs,
+    cap_w = 0.0,
+    seed = 42,
+    classes = Vec::new(),
+    distinct = 3,
+    launches = 8,
+    deadline_slack = 1.25,
+    fail_rate = 0.0,
+    degraded_rate = 0.0,
+    fault_preset = String::new(),
+});
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: 64,
+            epochs: 8,
+            cap_w: 0.0,
+            seed: 42,
+            classes: Vec::new(),
+            distinct: 3,
+            launches: 8,
+            deadline_slack: 1.25,
+            fail_rate: 0.0,
+            degraded_rate: 0.0,
+            fault_preset: String::new(),
+        }
+    }
+}
+
+/// All device-class slugs a fleet can draw from.
+pub const CLASS_SLUGS: [&str; 6] = [
+    "titan-xp",
+    "gtx-titan-x",
+    "tesla-k40c",
+    "v100m",
+    "a100m",
+    "h100m",
+];
+
+/// Resolves a device-class slug to its preset spec.
+pub fn class_spec(slug: &str) -> Option<DeviceSpec> {
+    match slug {
+        "titan-xp" => Some(devices::titan_xp()),
+        "gtx-titan-x" => Some(devices::gtx_titan_x()),
+        "tesla-k40c" => Some(devices::tesla_k40c()),
+        "v100m" => Some(devices::v100m()),
+        "a100m" => Some(devices::a100m()),
+        "h100m" => Some(devices::h100m()),
+        _ => None,
+    }
+}
+
+impl FleetConfig {
+    /// The resolved device-class mix.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown class slugs.
+    pub fn class_specs(&self) -> Result<Vec<(String, DeviceSpec)>, FleetError> {
+        let slugs: Vec<&str> = if self.classes.is_empty() {
+            CLASS_SLUGS.to_vec()
+        } else {
+            self.classes.iter().map(String::as_str).collect()
+        };
+        slugs
+            .into_iter()
+            .map(|s| {
+                class_spec(s)
+                    .map(|spec| (s.to_string(), spec))
+                    .ok_or_else(|| FleetError::Config(format!("unknown device class `{s}`")))
+            })
+            .collect()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Config`] describing the first problem.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.nodes == 0 {
+            return Err(FleetError::Config("need at least one node".into()));
+        }
+        if self.epochs == 0 {
+            return Err(FleetError::Config("need at least one epoch".into()));
+        }
+        if self.distinct == 0 || self.launches == 0 {
+            return Err(FleetError::Config(
+                "distinct and launches must be positive".into(),
+            ));
+        }
+        if !self.deadline_slack.is_finite() || self.deadline_slack < 1.0 {
+            return Err(FleetError::Config(format!(
+                "deadline_slack {} must be >= 1",
+                self.deadline_slack
+            )));
+        }
+        for (name, p) in [
+            ("fail_rate", self.fail_rate),
+            ("degraded_rate", self.degraded_rate),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(FleetError::Config(format!(
+                    "{name} {p} must be a probability"
+                )));
+            }
+        }
+        if !self.fault_preset.is_empty()
+            && gpm_faults::FaultPlan::preset(&self.fault_preset, 0).is_none()
+        {
+            return Err(FleetError::Config(format!(
+                "unknown fault preset `{}`",
+                self.fault_preset
+            )));
+        }
+        self.class_specs().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_json::{FromJson, Json};
+
+    #[test]
+    fn default_config_is_valid_and_covers_all_classes() {
+        let c = FleetConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.class_specs().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn sparse_json_fills_defaults() {
+        let j = gpm_json::parse(r#"{"nodes": 10, "epochs": 2}"#).unwrap();
+        let c = FleetConfig::from_json(&j).unwrap();
+        assert_eq!(c.nodes, 10);
+        assert_eq!(c.epochs, 2);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.deadline_slack, 1.25);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let bad = |f: fn(&mut FleetConfig)| {
+            let mut c = FleetConfig::default();
+            f(&mut c);
+            assert!(c.validate().is_err(), "{c:?}");
+        };
+        bad(|c| c.nodes = 0);
+        bad(|c| c.epochs = 0);
+        bad(|c| c.deadline_slack = 0.8);
+        bad(|c| c.fail_rate = 1.5);
+        bad(|c| c.classes = vec!["gtx-9000".into()]);
+        bad(|c| c.fault_preset = "nonsense".into());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = FleetConfig {
+            classes: vec!["v100m".into(), "tesla-k40c".into()],
+            cap_w: 123_456.0,
+            fault_preset: "transient".into(),
+            ..FleetConfig::default()
+        };
+        let j: Json = gpm_json::parse(&gpm_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(FleetConfig::from_json(&j).unwrap(), c);
+    }
+}

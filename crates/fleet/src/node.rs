@@ -1,0 +1,376 @@
+//! Per-node state: device instance, kernel stream, candidate ladders.
+
+use crate::{FleetConfig, FleetError};
+use gpm_core::{PowerModel, Utilizations};
+use gpm_dvfs::{DeadlineEnergy, NodePolicy, VfCandidate};
+use gpm_faults::{FaultPlan, FaultyGpu};
+use gpm_profiler::Profiler;
+use gpm_sim::{GpuDevice, SimulatedGpu};
+use gpm_spec::{DeviceSpec, FreqConfig};
+use gpm_workloads::{launch_trace, KernelDesc};
+
+/// One step of a node's power ladder: a configuration the cluster
+/// governor may push the node down to, with its cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rung {
+    /// The configuration, or `None` for the terminal Off rung (the node
+    /// sheds its job entirely).
+    pub config: Option<FreqConfig>,
+    /// Predicted power at this rung, in watts (0 when Off).
+    pub power_w: f64,
+    /// Per-launch runtime, in seconds (infinite when Off).
+    pub time_s: f64,
+    /// Per-launch energy, in joules (0 when Off).
+    pub energy_j: f64,
+    /// Whether running here misses the job's deadline.
+    pub miss: bool,
+}
+
+/// A node's descent options for one kernel, from its deadline-aware
+/// desired configuration down to Off.
+///
+/// Invariants (enforced by [`Ladder::build`] and relied on by the
+/// cluster governor's waterfilling and its monotonicity proofs):
+///
+/// - power is strictly decreasing down the ladder;
+/// - energy is non-decreasing down the ladder until the Off rung
+///   (stepping down always trades energy for watts);
+/// - the last rung is Off (0 W), so any cap `>= 0` is satisfiable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ladder {
+    /// The rungs, best (desired) first, Off last.
+    pub rungs: Vec<Rung>,
+    /// Runtime at the device reference configuration, in seconds.
+    pub reference_time_s: f64,
+    /// The job's deadline, in seconds.
+    pub deadline_s: f64,
+}
+
+impl Ladder {
+    /// Builds the ladder for one kernel from its scored candidate grid.
+    ///
+    /// The top rung is the [`DeadlineEnergy`] selection (lowest energy
+    /// meeting the deadline, else fastest). Below it, candidates are
+    /// admitted in order of strictly decreasing power, keeping only
+    /// those whose energy does not drop — an energy *decrease* below the
+    /// top rung can only come from a deadline-missing candidate, and
+    /// admitting it would let a tighter cap lower total energy, breaking
+    /// the governor's cap-monotonicity contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty candidate grid (a device always has one).
+    pub fn build(candidates: &[VfCandidate], reference_time_s: f64, deadline_s: f64) -> Ladder {
+        let desired = DeadlineEnergy { deadline_s }
+            .select(candidates, reference_time_s)
+            .expect("candidate grid is never empty");
+        let rung = |power_w: f64, time_s: f64, config: FreqConfig| Rung {
+            config: Some(config),
+            power_w,
+            time_s,
+            energy_j: power_w * time_s,
+            miss: time_s > deadline_s,
+        };
+        let mut rungs = vec![rung(desired.power_w, desired.time_s, desired.config)];
+
+        // Candidates by descending power; grid order breaks power ties so
+        // the ladder is a pure function of the candidate list.
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            candidates[b]
+                .power_w
+                .total_cmp(&candidates[a].power_w)
+                .then(a.cmp(&b))
+        });
+        for i in order {
+            let c = candidates[i];
+            let last = rungs.last().expect("ladder starts non-empty");
+            if c.power_w < last.power_w && c.power_w * c.time_s >= last.energy_j {
+                rungs.push(rung(c.power_w, c.time_s, c.config));
+            }
+        }
+        rungs.push(Rung {
+            config: None,
+            power_w: 0.0,
+            time_s: f64::INFINITY,
+            energy_j: 0.0,
+            miss: true,
+        });
+        Ladder {
+            rungs,
+            reference_time_s,
+            deadline_s,
+        }
+    }
+
+    /// The desired (cap-free) rung: always index 0.
+    pub fn desired(&self) -> &Rung {
+        &self.rungs[0]
+    }
+
+    /// The lowest rung that still does work (the one just above Off).
+    pub fn lowest_live(&self) -> &Rung {
+        &self.rungs[self.rungs.len() - 2]
+    }
+}
+
+/// A prepared fleet node: class identity, fault flags and one ladder per
+/// distinct kernel in its arrival stream. After preparation the node is
+/// pure data — epochs only read ladders, so campaigns over many caps
+/// reuse one preparation.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Node index in the fleet.
+    pub id: usize,
+    /// Index into the fleet's class list.
+    pub class: usize,
+    /// Epoch schedule: `schedule[e % len]` indexes into `ladders`.
+    pub schedule: Vec<usize>,
+    /// One ladder per distinct kernel.
+    pub ladders: Vec<Ladder>,
+    /// Reference-configuration `(power_w, time_s)` per distinct kernel —
+    /// the ungoverned baseline the fleet's savings are measured against.
+    pub baselines: Vec<(f64, f64)>,
+    /// Epoch at which this node permanently fails, if any.
+    pub fail_epoch: Option<usize>,
+    /// Whether the node profiled through a fault-injecting device.
+    pub degraded: bool,
+    /// Kernels whose profile fell back to conservative utilizations
+    /// because the (degraded) device kept failing counter reads.
+    pub blind_kernels: u32,
+}
+
+/// Everything shared by all nodes of one device class.
+pub struct ClassContext {
+    /// The class preset spec.
+    pub spec: DeviceSpec,
+    /// The class's fitted power model (fit once, shared — the paper's
+    /// use case of porting a fitted model to sibling cards).
+    pub model: PowerModel,
+    /// The L2-category microbenchmarks, for per-node L2-peak discovery
+    /// without regenerating the whole suite per node.
+    pub l2_suite: Vec<KernelDesc>,
+    /// The class V-F grid in canonical order.
+    pub grid: Vec<FreqConfig>,
+}
+
+/// How many times a transient counter failure is retried before a
+/// kernel's profile falls back to conservative utilizations.
+const PROFILE_RETRIES: usize = 3;
+
+/// Conservative fallback utilizations for kernels a degraded node could
+/// not profile: high enough that the cluster governor over- rather than
+/// under-budgets the node's power.
+fn blind_utilizations() -> Utilizations {
+    Utilizations::from_values([0.75; 7]).expect("0.75 is a valid utilization")
+}
+
+impl NodeState {
+    /// Prepares one node: instantiate its device (with per-instance
+    /// physics jitter from the node seed), draw its kernel arrival
+    /// stream, profile each distinct kernel and build its ladders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-fault profiling failures; fault-injected counter
+    /// failures degrade to conservative profiles instead of failing the
+    /// campaign.
+    pub fn prepare(
+        id: usize,
+        class: usize,
+        ctx: &ClassContext,
+        config: &FleetConfig,
+        node_seed: u64,
+        fail_epoch: Option<usize>,
+        degraded: bool,
+    ) -> Result<NodeState, FleetError> {
+        let plan = if degraded && !config.fault_preset.is_empty() {
+            FaultPlan::preset(&config.fault_preset, node_seed ^ 0xFA17)
+                .expect("preset validated by FleetConfig::validate")
+        } else {
+            FaultPlan::default()
+        };
+        let mut gpu = FaultyGpu::new(SimulatedGpu::new(ctx.spec.clone(), node_seed), plan);
+        let reference = ctx.spec.default_config();
+
+        // The arrival stream: `launches` draws over `distinct` kernels.
+        let trace = launch_trace(&ctx.spec, node_seed, config.distinct, config.launches);
+        let mut kernels: Vec<KernelDesc> = Vec::new();
+        let mut schedule = Vec::with_capacity(trace.len());
+        for k in &trace {
+            let idx = match kernels.iter().position(|d| d.name() == k.name()) {
+                Some(i) => i,
+                None => {
+                    kernels.push(k.clone());
+                    kernels.len() - 1
+                }
+            };
+            schedule.push(idx);
+        }
+
+        // Profile every distinct kernel in one profiler session (one L2
+        // discovery per node). Transient counter faults retry, then fall
+        // back to conservative utilizations — a degraded node must not
+        // sink the campaign.
+        let mut blind_kernels = 0u32;
+        let mut profiles: Vec<Utilizations> = Vec::with_capacity(kernels.len());
+        {
+            let mut profiler = Profiler::with_repeats(&mut gpu, 1);
+            if profiler.l2_bytes_per_cycle(Some(&ctx.l2_suite)).is_err() {
+                // Repeated L2-discovery failure: retry once, then let
+                // profile_at_reference's own discovery try again.
+                let _ = profiler.l2_bytes_per_cycle(Some(&ctx.l2_suite));
+            }
+            for kernel in &kernels {
+                let mut profiled = None;
+                for _ in 0..PROFILE_RETRIES {
+                    match profiler.profile_at_reference(kernel) {
+                        Ok(p) => {
+                            profiled = Some(p.utilizations);
+                            break;
+                        }
+                        Err(e) if degraded => {
+                            let _ = e; // transient injected fault: retry
+                        }
+                        Err(e) => return Err(FleetError::Pipeline(e.to_string())),
+                    }
+                }
+                profiles.push(profiled.unwrap_or_else(|| {
+                    blind_kernels += 1;
+                    blind_utilizations()
+                }));
+            }
+        }
+
+        // Time each kernel across the grid (timing needs no sensor and
+        // is immune to sensor faults), predict power in one batched
+        // call, and build the ladder.
+        let mut ladders = Vec::with_capacity(kernels.len());
+        let mut baselines = Vec::with_capacity(kernels.len());
+        for (kernel, utilizations) in kernels.iter().zip(&profiles) {
+            // The sweep runs through the fault decorator: a degraded
+            // node with stuck clocks mis-times parts of its grid, and
+            // its ladder honestly reflects that broken view.
+            gpu.set_clocks(reference)
+                .map_err(|e| FleetError::Pipeline(e.to_string()))?;
+            let time_ref = gpu.execute(kernel).duration_s;
+            let mut times = Vec::with_capacity(ctx.grid.len());
+            for &c in &ctx.grid {
+                gpu.set_clocks(c)
+                    .map_err(|e| FleetError::Pipeline(e.to_string()))?;
+                times.push(gpu.execute(kernel).duration_s);
+            }
+            let powers = ctx
+                .model
+                .predict_batch(utilizations, &ctx.grid)
+                .map_err(|e| FleetError::Pipeline(e.to_string()))?;
+            let candidates: Vec<VfCandidate> = ctx
+                .grid
+                .iter()
+                .zip(&times)
+                .zip(&powers)
+                .map(|((&config, &time_s), &power_w)| VfCandidate {
+                    config,
+                    power_w,
+                    time_s,
+                })
+                .collect();
+            let deadline = time_ref * config.deadline_slack;
+            let baseline = candidates
+                .iter()
+                .find(|c| c.config == reference)
+                .expect("the grid contains the reference configuration");
+            baselines.push((baseline.power_w, baseline.time_s));
+            ladders.push(Ladder::build(&candidates, time_ref, deadline));
+        }
+
+        Ok(NodeState {
+            id,
+            class,
+            schedule,
+            ladders,
+            baselines,
+            fail_epoch,
+            degraded,
+            blind_kernels,
+        })
+    }
+
+    /// Whether the node is still alive at the given epoch.
+    pub fn alive_at(&self, epoch: usize) -> bool {
+        self.fail_epoch.is_none_or(|f| epoch < f)
+    }
+
+    /// The ladder index scheduled for an epoch.
+    pub fn kernel_at(&self, epoch: usize) -> usize {
+        self.schedule[epoch % self.schedule.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_spec::Mhz;
+
+    fn candidates() -> Vec<VfCandidate> {
+        // Monotone grid: power falls, time rises with the core clock.
+        (0u32..8)
+            .map(|i| VfCandidate {
+                config: FreqConfig::from_mhz(1000 - 100 * i, 3505),
+                power_w: 200.0 - 20.0 * f64::from(i),
+                time_s: 1.0 + 0.2 * f64::from(i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ladder_invariants_hold() {
+        let l = Ladder::build(&candidates(), 1.0, 1.5);
+        assert!(l.rungs.len() >= 2);
+        assert!(l.rungs.last().unwrap().config.is_none());
+        for w in l.rungs.windows(2) {
+            assert!(w[1].power_w < w[0].power_w, "power strictly decreasing");
+            if w[1].config.is_some() {
+                assert!(w[1].energy_j >= w[0].energy_j, "energy non-decreasing");
+            }
+        }
+        // Desired rung: min energy meeting the 1.5 s deadline.
+        // Feasible candidates are the first three (1.0, 1.2, 1.4 s);
+        // energies 200, 216, 224 J — the desired rung is the first.
+        assert_eq!(l.desired().config, Some(FreqConfig::from_mhz(1000, 3505)));
+        assert!(!l.desired().miss);
+        // On this grid energy peaks at 600 MHz (224 J) and then falls
+        // again, so everything below is pruned: the lowest live rung is
+        // 700 MHz (140 W, 224 J), not the slowest grid point.
+        assert_eq!(
+            l.lowest_live().config,
+            Some(FreqConfig::from_mhz(700, 3505))
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_starts_at_the_fastest_config() {
+        let l = Ladder::build(&candidates(), 1.0, 0.5);
+        assert_eq!(l.desired().config.unwrap().core, Mhz::new(1000));
+        assert!(l.desired().miss);
+    }
+
+    #[test]
+    fn energy_decreasing_candidates_below_desired_are_pruned() {
+        let mut c = candidates();
+        // A deadline-missing candidate with low power AND low energy:
+        // admitting it would let a tighter cap reduce energy.
+        c.push(VfCandidate {
+            config: FreqConfig::from_mhz(250, 3505),
+            power_w: 30.0,
+            time_s: 3.0, // 90 J < desired 200 J
+        });
+        let l = Ladder::build(&c, 1.0, 1.5);
+        assert!(
+            l.rungs
+                .iter()
+                .all(|r| r.config.map(|c| c.core) != Some(Mhz::new(250))),
+            "energy-decreasing rung must be pruned"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! The fleet campaign driver: preparation fan-out and epoch loop.
+
+use crate::governor::assign;
+use crate::node::{ClassContext, NodeState};
+use crate::trace::{EpochRecord, FleetTrace, Fnv};
+use crate::{FleetConfig, FleetError};
+use gpm_core::Estimator;
+use gpm_profiler::Profiler;
+use gpm_sim::{SimRng, SimulatedGpu};
+use gpm_workloads::{microbenchmark_suite, Category};
+
+/// Seed-derivation labels, kept distinct so the class-fit, node-physics
+/// and fault draws never alias.
+const LABEL_CLASS_FIT: u64 = 0x0001_0000;
+const LABEL_NODE: u64 = 0x0002_0000;
+const LABEL_FAULTS: u64 = 0x0003_0000;
+
+/// A prepared fleet: per-class fitted models plus per-node ladders.
+///
+/// Preparation is the expensive phase (profiling and model fits); it
+/// fans nodes over [`gpm_par::par_map`], whose order-preserving contract
+/// makes the resulting node list — and everything downstream — identical
+/// at any thread count. After preparation nodes are pure data, so
+/// campaigns over many caps ([`FleetSim::cap_sweep`]) reuse one
+/// preparation.
+pub struct FleetSim {
+    config: FleetConfig,
+    class_names: Vec<String>,
+    nodes: Vec<NodeState>,
+}
+
+impl FleetSim {
+    /// Builds the fleet: fits one power model per device class, then
+    /// prepares every node in parallel (instantiation, arrival stream,
+    /// profiling, ladders, fault draws).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Config`] for invalid configurations and
+    /// [`FleetError::Pipeline`] when a class fit or a (healthy) node's
+    /// profiling fails.
+    pub fn prepare(config: &FleetConfig) -> Result<FleetSim, FleetError> {
+        config.validate()?;
+        let root = SimRng::seed_from_u64(config.seed);
+
+        // One fitted model per class, shared by all its nodes — the
+        // paper's portability result: a model fitted on one card
+        // transfers to sibling cards of the same architecture.
+        let specs = config.class_specs()?;
+        let mut classes = Vec::with_capacity(specs.len());
+        let mut class_names = Vec::with_capacity(specs.len());
+        for (i, (name, spec)) in specs.into_iter().enumerate() {
+            let fit_seed = root.derive(LABEL_CLASS_FIT | i as u64).next_u64_seed();
+            let suite = microbenchmark_suite(&spec);
+            let mut gpu = SimulatedGpu::new(spec.clone(), fit_seed);
+            let training = Profiler::with_repeats(&mut gpu, 1)
+                .profile_suite(&suite)
+                .map_err(|e| FleetError::Pipeline(format!("class `{name}` profiling: {e}")))?;
+            let model = Estimator::new()
+                .fit(&training)
+                .map_err(|e| FleetError::Pipeline(format!("class `{name}` fit: {e}")))?;
+            let l2_suite = suite
+                .iter()
+                .filter(|k| k.category() == Category::L2)
+                .cloned()
+                .collect();
+            let grid = spec.vf_grid();
+            classes.push(ClassContext {
+                spec,
+                model,
+                l2_suite,
+                grid,
+            });
+            class_names.push(name);
+        }
+
+        // Fault schedule: one derived stream per node, drawn before the
+        // parallel fan-out so draws are independent of thread count.
+        let draws: Vec<(usize, usize, u64, Option<usize>, bool)> = (0..config.nodes)
+            .map(|id| {
+                let mut rng = root.derive(LABEL_FAULTS | id as u64);
+                let fail_epoch = if rng.next_f64() < config.fail_rate {
+                    // Failures strike strictly after epoch 0 so every
+                    // node contributes at least one record.
+                    Some(1 + (rng.next_u64() as usize) % config.epochs.max(2).saturating_sub(1))
+                } else {
+                    None
+                };
+                let degraded =
+                    rng.next_f64() < config.degraded_rate && !config.fault_preset.is_empty();
+                let node_seed = root.derive(LABEL_NODE | id as u64).next_u64_seed();
+                (id, id % classes.len(), node_seed, fail_epoch, degraded)
+            })
+            .collect();
+
+        let nodes: Vec<NodeState> = gpm_par::par_map(&draws, |&(id, class, seed, fail, deg)| {
+            NodeState::prepare(id, class, &classes[class], config, seed, fail, deg)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+        Ok(FleetSim {
+            config: config.clone(),
+            class_names,
+            nodes,
+        })
+    }
+
+    /// The prepared nodes.
+    pub fn nodes(&self) -> &[NodeState] {
+        &self.nodes
+    }
+
+    /// Runs one campaign under the given cap (`None` = uncapped but
+    /// still deadline-aware).
+    ///
+    /// The epoch loop is sequential and purely table-driven: each epoch
+    /// collects the alive nodes' ladders for their scheduled kernels,
+    /// runs the cluster governor, and seals the epoch record into the
+    /// trace's digest chain.
+    pub fn campaign(&self, cap_w: Option<f64>) -> FleetTrace {
+        let _span = gpm_obs::span("fleet.campaign", 0);
+        let mut chain = Fnv::new();
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        let mut baseline_energy_j = 0.0;
+        let mut energy_j = 0.0;
+        let mut peak_power_w: f64 = 0.0;
+        let (mut misses, mut shed, mut work) = (0usize, 0usize, 0usize);
+
+        for epoch in 0..self.config.epochs {
+            let _epoch_span = gpm_obs::span("fleet.epoch", epoch as u64);
+            let mut alive: Vec<&NodeState> = Vec::with_capacity(self.nodes.len());
+            for n in &self.nodes {
+                if n.alive_at(epoch) {
+                    alive.push(n);
+                }
+            }
+            let ladders: Vec<&crate::node::Ladder> = alive
+                .iter()
+                .map(|n| &n.ladders[n.kernel_at(epoch)])
+                .collect();
+            let a = assign(&ladders, cap_w);
+            for n in &alive {
+                let (p, t) = n.baselines[n.kernel_at(epoch)];
+                baseline_energy_j += p * t;
+            }
+            let mut record = EpochRecord {
+                epoch,
+                cap_w: cap_w.unwrap_or(0.0),
+                nodes_alive: alive.len(),
+                nodes_off: a.shed,
+                power_w: a.power_w,
+                energy_j: a.energy_j,
+                misses: a.misses,
+                work: alive.len() - a.shed,
+                governor_steps: a.steps,
+                digest: String::new(),
+            };
+            record.seal(&mut chain);
+            energy_j += record.energy_j;
+            peak_power_w = peak_power_w.max(record.power_w);
+            misses += record.misses;
+            shed += record.nodes_off;
+            work += record.work;
+            gpm_obs::counter_add("fleet.epochs", 1);
+            gpm_obs::counter_add("fleet.governor_steps", a.steps as u64);
+            gpm_obs::counter_add("fleet.deadline_misses", a.misses as u64);
+            epochs.push(record);
+        }
+
+        let savings_pct = if baseline_energy_j > 0.0 {
+            (1.0 - energy_j / baseline_energy_j) * 100.0
+        } else {
+            0.0
+        };
+        let digest = epochs
+            .last()
+            .map_or_else(|| format!("{:016x}", chain.finish()), |e| e.digest.clone());
+        FleetTrace {
+            config: self.config.clone(),
+            class_names: self.class_names.clone(),
+            epochs,
+            baseline_energy_j,
+            energy_j,
+            savings_pct,
+            peak_power_w,
+            misses,
+            shed,
+            work,
+            failed_nodes: self.nodes.iter().filter(|n| n.fail_epoch.is_some()).count(),
+            degraded_nodes: self.nodes.iter().filter(|n| n.degraded).count(),
+            blind_kernels: self.nodes.iter().map(|n| u64::from(n.blind_kernels)).sum(),
+            digest,
+        }
+    }
+
+    /// Runs the campaign the configuration asks for (`cap_w <= 0` means
+    /// uncapped).
+    pub fn run(&self) -> FleetTrace {
+        self.campaign(if self.config.cap_w > 0.0 {
+            Some(self.config.cap_w)
+        } else {
+            None
+        })
+    }
+
+    /// Runs one campaign per cap against a single preparation — the
+    /// cap-adherence/energy trade-off curve.
+    pub fn cap_sweep(&self, caps_w: &[f64]) -> Vec<FleetTrace> {
+        caps_w
+            .iter()
+            .map(|&c| self.campaign(if c > 0.0 { Some(c) } else { None }))
+            .collect()
+    }
+}
+
+/// Extension trait keeping [`SimRng`] seed derivation in one place.
+trait SeedStream {
+    /// Derives a fresh `u64` seed from this stream.
+    fn next_u64_seed(&self) -> u64;
+}
+
+impl SeedStream for SimRng {
+    fn next_u64_seed(&self) -> u64 {
+        let mut rng = self.derive(0x5EED);
+        rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            nodes: 6,
+            epochs: 4,
+            // The two cheapest grids (4 and 44 configs) keep these unit
+            // tests fast; the datacenter classes are covered by the
+            // integration tests and the fleet benchmark.
+            classes: vec!["tesla-k40c".into(), "titan-xp".into()],
+            distinct: 2,
+            launches: 4,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_and_respects_caps() {
+        let sim = FleetSim::prepare(&small_config()).unwrap();
+        let uncapped = sim.campaign(None);
+        assert_eq!(uncapped.epochs.len(), 4);
+        assert!(uncapped.cap_respected());
+        assert!(uncapped.energy_j > 0.0);
+        // Deadline-aware selection saves energy vs the all-reference
+        // baseline even without a cap.
+        assert!(uncapped.energy_j <= uncapped.baseline_energy_j);
+
+        let cap = uncapped.peak_power_w * 0.7;
+        let capped = sim.campaign(Some(cap));
+        assert!(capped.cap_respected());
+        assert!(capped.epochs.iter().all(|e| e.power_w <= cap + 1e-9));
+        // Capping costs energy (or holds): monotone in the cap.
+        assert!(capped.energy_j >= uncapped.energy_j - 1e-9);
+
+        // Same preparation, same cap: byte-identical digests.
+        let again = sim.campaign(Some(cap));
+        assert_eq!(again.digest, capped.digest);
+        assert_eq!(again.epochs, capped.epochs);
+    }
+
+    #[test]
+    fn same_seed_same_trace_across_preparations() {
+        let a = FleetSim::prepare(&small_config()).unwrap().campaign(None);
+        let b = FleetSim::prepare(&small_config()).unwrap().campaign(None);
+        assert_eq!(a.digest, b.digest);
+
+        let mut other = small_config();
+        other.seed = 43;
+        let c = FleetSim::prepare(&other).unwrap().campaign(None);
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn failures_shrink_the_alive_population() {
+        let mut config = small_config();
+        config.fail_rate = 1.0; // every node fails at some epoch >= 1
+        let sim = FleetSim::prepare(&config).unwrap();
+        let trace = sim.campaign(None);
+        assert_eq!(trace.failed_nodes, config.nodes);
+        assert_eq!(trace.epochs[0].nodes_alive, config.nodes);
+        let last = trace.epochs.last().unwrap();
+        assert!(last.nodes_alive < config.nodes);
+    }
+
+    #[test]
+    fn degraded_nodes_survive_preparation() {
+        let mut config = small_config();
+        config.degraded_rate = 1.0;
+        config.fault_preset = "transient".into();
+        let sim = FleetSim::prepare(&config).unwrap();
+        let trace = sim.campaign(None);
+        assert_eq!(trace.degraded_nodes, config.nodes);
+        assert!(trace.cap_respected());
+    }
+}

@@ -1,0 +1,250 @@
+//! Fleet campaign traces: per-epoch records with chained digests.
+//!
+//! Every record carries an FNV-1a digest of its own fields chained onto
+//! the previous epoch's digest, so two traces are byte-identical iff
+//! every epoch agreed — the hook the determinism benchmarks and the CI
+//! smoke job compare across thread counts and restarts.
+
+use crate::FleetConfig;
+use gpm_json::impl_json;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over raw bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Starts a fresh digest.
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern — exact, not formatted, so the
+    /// digest detects any last-ulp divergence between runs.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// One scheduling epoch of a fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// The cap in force, in watts (0 means uncapped).
+    pub cap_w: f64,
+    /// Nodes alive this epoch (not yet failed).
+    pub nodes_alive: usize,
+    /// Alive nodes the governor pushed to Off (jobs shed).
+    pub nodes_off: usize,
+    /// Total fleet power this epoch, in watts.
+    pub power_w: f64,
+    /// Total energy consumed this epoch, in joules.
+    pub energy_j: f64,
+    /// Jobs that ran but missed their deadline.
+    pub misses: usize,
+    /// Jobs completed (alive and not shed).
+    pub work: usize,
+    /// Down-steps the governor took to meet the cap.
+    pub governor_steps: usize,
+    /// Chained FNV-1a digest up to and including this epoch, as a hex
+    /// string (`u64` does not survive JSON `f64` round-trips intact).
+    pub digest: String,
+}
+
+impl_json!(struct EpochRecord {
+    epoch,
+    cap_w,
+    nodes_alive,
+    nodes_off,
+    power_w,
+    energy_j,
+    misses,
+    work,
+    governor_steps,
+    digest,
+});
+
+impl EpochRecord {
+    /// Folds this record's fields into a running digest and stamps the
+    /// result onto the record.
+    pub fn seal(&mut self, chain: &mut Fnv) {
+        chain.write_u64(self.epoch as u64);
+        chain.write_f64(self.cap_w);
+        chain.write_u64(self.nodes_alive as u64);
+        chain.write_u64(self.nodes_off as u64);
+        chain.write_f64(self.power_w);
+        chain.write_f64(self.energy_j);
+        chain.write_u64(self.misses as u64);
+        chain.write_u64(self.work as u64);
+        chain.write_u64(self.governor_steps as u64);
+        self.digest = format!("{:016x}", chain.finish());
+    }
+}
+
+/// Aggregate results of one fleet campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTrace {
+    /// The campaign configuration, echoed for self-describing output.
+    pub config: FleetConfig,
+    /// Device-class slugs, in node round-robin order.
+    pub class_names: Vec<String>,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Campaign energy with every node at its reference configuration
+    /// (the ungoverned baseline), in joules.
+    pub baseline_energy_j: f64,
+    /// Campaign energy as governed (deadline-aware, capped), in joules.
+    pub energy_j: f64,
+    /// Energy saved versus the baseline, in percent.
+    pub savings_pct: f64,
+    /// Peak epoch power, in watts.
+    pub peak_power_w: f64,
+    /// Total deadline misses across the campaign.
+    pub misses: usize,
+    /// Total jobs shed (epochs a node spent Off).
+    pub shed: usize,
+    /// Total jobs completed.
+    pub work: usize,
+    /// Nodes that permanently failed mid-campaign.
+    pub failed_nodes: usize,
+    /// Nodes that profiled through degraded sensors.
+    pub degraded_nodes: usize,
+    /// Kernels (fleet-wide) whose profiles fell back to conservative
+    /// utilizations after repeated counter faults.
+    pub blind_kernels: u64,
+    /// Final chained digest over all epochs, as a hex string.
+    pub digest: String,
+}
+
+impl_json!(struct FleetTrace {
+    config,
+    class_names,
+    epochs,
+    baseline_energy_j,
+    energy_j,
+    savings_pct,
+    peak_power_w,
+    misses,
+    shed,
+    work,
+    failed_nodes,
+    degraded_nodes,
+    blind_kernels = 0u64,
+    digest,
+});
+
+impl FleetTrace {
+    /// True iff no epoch exceeded its cap (modulo float formatting: the
+    /// comparison uses the exact recorded values).
+    pub fn cap_respected(&self) -> bool {
+        self.epochs
+            .iter()
+            .all(|e| e.cap_w <= 0.0 || e.power_w <= e.cap_w + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_json::FromJson;
+
+    fn record(epoch: usize) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            cap_w: 1000.0,
+            nodes_alive: 8,
+            nodes_off: 1,
+            power_w: 900.5,
+            energy_j: 1200.25,
+            misses: 2,
+            work: 7,
+            governor_steps: 3,
+            digest: String::new(),
+        }
+    }
+
+    #[test]
+    fn digests_chain_and_detect_divergence() {
+        let mut chain = Fnv::new();
+        let mut a = record(0);
+        a.seal(&mut chain);
+        let mut b = record(1);
+        b.seal(&mut chain);
+        assert_ne!(a.digest, b.digest);
+        assert_eq!(a.digest.len(), 16);
+
+        // A one-ulp power difference in epoch 0 changes every digest
+        // from that point on.
+        let mut chain2 = Fnv::new();
+        let mut a2 = record(0);
+        a2.power_w = f64::from_bits(a2.power_w.to_bits() + 1);
+        a2.seal(&mut chain2);
+        let mut b2 = record(1);
+        b2.seal(&mut chain2);
+        assert_ne!(a.digest, a2.digest);
+        assert_ne!(b.digest, b2.digest);
+    }
+
+    #[test]
+    fn epoch_record_round_trips_through_json() {
+        let mut chain = Fnv::new();
+        let mut r = record(3);
+        r.seal(&mut chain);
+        let j = gpm_json::parse(&gpm_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(EpochRecord::from_json(&j).unwrap(), r);
+    }
+
+    #[test]
+    fn cap_respected_flags_overage() {
+        let mut chain = Fnv::new();
+        let mut over = record(0);
+        over.power_w = over.cap_w + 1.0;
+        over.seal(&mut chain);
+        let trace = FleetTrace {
+            config: FleetConfig::default(),
+            class_names: vec!["titan-xp".into()],
+            epochs: vec![over],
+            baseline_energy_j: 0.0,
+            energy_j: 0.0,
+            savings_pct: 0.0,
+            peak_power_w: 0.0,
+            misses: 0,
+            shed: 0,
+            work: 0,
+            failed_nodes: 0,
+            degraded_nodes: 0,
+            blind_kernels: 0,
+            digest: String::new(),
+        };
+        assert!(!trace.cap_respected());
+    }
+}

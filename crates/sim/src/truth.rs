@@ -176,6 +176,80 @@ impl GroundTruth {
                 event_crosstalk: 0.30,
                 sensor_noise_sd: 0.010,
             },
+            // The three datacenter families below are synthetic classes
+            // (no paper measurements): their envelopes are calibrated to
+            // the public spec sheets the same way the paper families are
+            // calibrated to Figs. 5/7/10 — full-load default-clock power
+            // lands at 60–75 % of TDP and the fastest configuration may
+            // exceed TDP moderately. HBM runs at a lower constant voltage
+            // than GDDR5 and their server-grade counters are the cleanest
+            // of all families.
+            Architecture::Volta => GroundTruth {
+                core_voltage: VoltageCurve::TwoRegime {
+                    vmin: 0.75,
+                    break_mhz: 900,
+                    volts_per_mhz: 0.000_55,
+                },
+                mem_voltage: VoltageCurve::Constant { volts: 1.20 },
+                coeffs: PowerCoeffs {
+                    core_static: 18.0,
+                    core_idle_dyn: 2.4e-8,
+                    gamma_core: [2.6e-8, 3.4e-8, 4.2e-8, 3.1e-8, 2.1e-8, 2.4e-8],
+                    mem_static: 9.5,
+                    mem_idle_dyn: 1.2e-8,
+                    gamma_dram: 3.6e-8,
+                    gamma_hidden: 1.1e-8,
+                },
+                l2_bytes_per_cycle: 2048.0,
+                event_noise_sd: 0.060,
+                event_bias: BTreeMap::new(),
+                event_crosstalk: 0.012,
+                sensor_noise_sd: 0.006,
+            },
+            Architecture::Ampere => GroundTruth {
+                core_voltage: VoltageCurve::TwoRegime {
+                    vmin: 0.72,
+                    break_mhz: 960,
+                    volts_per_mhz: 0.000_50,
+                },
+                mem_voltage: VoltageCurve::Constant { volts: 1.20 },
+                coeffs: PowerCoeffs {
+                    core_static: 24.0,
+                    core_idle_dyn: 3.4e-8,
+                    gamma_core: [3.8e-8, 5.0e-8, 6.1e-8, 4.6e-8, 3.1e-8, 3.5e-8],
+                    mem_static: 11.0,
+                    mem_idle_dyn: 1.8e-8,
+                    gamma_dram: 5.0e-8,
+                    gamma_hidden: 1.7e-8,
+                },
+                l2_bytes_per_cycle: 4096.0,
+                event_noise_sd: 0.055,
+                event_bias: BTreeMap::new(),
+                event_crosstalk: 0.012,
+                sensor_noise_sd: 0.006,
+            },
+            Architecture::Hopper => GroundTruth {
+                core_voltage: VoltageCurve::TwoRegime {
+                    vmin: 0.70,
+                    break_mhz: 1200,
+                    volts_per_mhz: 0.000_55,
+                },
+                mem_voltage: VoltageCurve::Constant { volts: 1.20 },
+                coeffs: PowerCoeffs {
+                    core_static: 30.0,
+                    core_idle_dyn: 4.5e-8,
+                    gamma_core: [5.2e-8, 6.8e-8, 8.4e-8, 6.2e-8, 4.2e-8, 4.7e-8],
+                    mem_static: 16.0,
+                    mem_idle_dyn: 2.2e-8,
+                    gamma_dram: 6.8e-8,
+                    gamma_hidden: 2.2e-8,
+                },
+                l2_bytes_per_cycle: 6144.0,
+                event_noise_sd: 0.050,
+                event_bias: BTreeMap::new(),
+                event_crosstalk: 0.010,
+                sensor_noise_sd: 0.006,
+            },
         }
     }
 
@@ -204,6 +278,8 @@ impl GroundTruth {
             Architecture::Pascal => 0.03,
             Architecture::Maxwell => 0.025,
             Architecture::Kepler => 0.15,
+            // Server parts: disclosed, well-validated counters.
+            Architecture::Volta | Architecture::Ampere | Architecture::Hopper => 0.02,
         };
         for metric in Metric::ALL {
             if metric == Metric::ActiveCycles {
@@ -238,10 +314,13 @@ impl GroundTruth {
     /// families' flagships, so their physics are unchanged.
     pub fn for_device(spec: &gpm_spec::DeviceSpec, seed: u64) -> GroundTruth {
         let mut truth = GroundTruth::for_architecture(spec.architecture(), seed);
-        let flagship_sms = match spec.architecture() {
-            Architecture::Pascal => 30.0,
-            Architecture::Maxwell => 24.0,
-            Architecture::Kepler => 15.0,
+        let (flagship_sms, flagship_bus) = match spec.architecture() {
+            Architecture::Pascal => (30.0, 48.0),
+            Architecture::Maxwell => (24.0, 48.0),
+            Architecture::Kepler => (15.0, 48.0),
+            Architecture::Volta => (80.0, 1024.0),
+            Architecture::Ampere => (108.0, 1280.0),
+            Architecture::Hopper => (132.0, 1280.0),
         };
         let core_ratio = f64::from(spec.num_sms()) / flagship_sms;
         truth.coeffs.core_static *= core_ratio;
@@ -250,7 +329,7 @@ impl GroundTruth {
             *g *= core_ratio;
         }
         truth.coeffs.gamma_hidden *= core_ratio;
-        let mem_ratio = f64::from(spec.mem_bus_bytes_per_cycle()) / 48.0;
+        let mem_ratio = f64::from(spec.mem_bus_bytes_per_cycle()) / flagship_bus;
         truth.coeffs.mem_static *= mem_ratio;
         truth.coeffs.mem_idle_dyn *= mem_ratio;
         truth.coeffs.gamma_dram *= mem_ratio;

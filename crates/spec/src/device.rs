@@ -4,7 +4,9 @@ use crate::{Component, FreqConfig, Mhz, SpecError};
 use gpm_json::impl_json;
 use std::fmt;
 
-/// NVIDIA microarchitecture generation (Table II, "Base architecture").
+/// NVIDIA microarchitecture generation (Table II, "Base architecture",
+/// extended with the post-paper datacenter families behind the synthetic
+/// fleet device classes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Architecture {
     /// Kepler (e.g. Tesla K40c, compute capability 3.5).
@@ -13,6 +15,12 @@ pub enum Architecture {
     Maxwell,
     /// Pascal (e.g. Titan Xp, compute capability 6.1).
     Pascal,
+    /// Volta (e.g. the synthetic V100-class preset, compute capability 7.0).
+    Volta,
+    /// Ampere (e.g. the synthetic A100-class preset, compute capability 8.0).
+    Ampere,
+    /// Hopper (e.g. the synthetic H100-class preset, compute capability 9.0).
+    Hopper,
 }
 
 impl_json!(
@@ -20,6 +28,9 @@ impl_json!(
         Kepler,
         Maxwell,
         Pascal,
+        Volta,
+        Ampere,
+        Hopper,
     }
 );
 
@@ -29,6 +40,9 @@ impl fmt::Display for Architecture {
             Architecture::Kepler => write!(f, "Kepler"),
             Architecture::Maxwell => write!(f, "Maxwell"),
             Architecture::Pascal => write!(f, "Pascal"),
+            Architecture::Volta => write!(f, "Volta"),
+            Architecture::Ampere => write!(f, "Ampere"),
+            Architecture::Hopper => write!(f, "Hopper"),
         }
     }
 }
@@ -225,6 +239,9 @@ impl DeviceSpec {
             Architecture::Kepler => 512,
             Architecture::Maxwell => 640,
             Architecture::Pascal => 1024,
+            Architecture::Volta => 2048,
+            Architecture::Ampere => 4096,
+            Architecture::Hopper => 6144,
         }
     }
 

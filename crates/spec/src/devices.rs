@@ -105,9 +105,87 @@ pub fn gtx_980() -> DeviceSpec {
         .expect("gtx 980 preset is valid")
 }
 
+/// Synthetic V100-class datacenter preset (Volta, compute capability
+/// 7.0) — not a paper device. Models the dense server-GPU frequency
+/// tables of the FGCS multi-GPU DVFS framework (103 core levels for the
+/// V100 class): 103 core levels in [462:1380] MHz at a 9 MHz step over a
+/// single 877 MHz HBM2 level, 80 SMs, TDP 300 W. The `m` suffix marks it
+/// as *modeled*: the spec (and the simulator physics behind it) are
+/// calibrated to the class's public envelope, not measured silicon.
+pub fn v100m() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("V100m")
+        .architecture(Architecture::Volta)
+        .compute_capability(7, 0)
+        .core_freqs((0..103).map(|i| 1380 - 9 * i))
+        .mem_freqs([877])
+        .default_config(FreqConfig::from_mhz(1200, 877))
+        .num_sms(80)
+        .mem_bus_bytes_per_cycle(1024)
+        .int_sp_units_per_sm(64)
+        .dp_units_per_sm(32)
+        .sf_units_per_sm(16)
+        .tdp_w(300.0)
+        .power_refresh_ms(20.0)
+        .build()
+        .expect("v100m preset is valid")
+}
+
+/// Synthetic A100-class datacenter preset (Ampere, compute capability
+/// 8.0) — not a paper device. 61 core levels in [510:1410] MHz at a
+/// 15 MHz step (the FGCS framework's 61-level A100 table) over a single
+/// 1215 MHz HBM2e level, 108 SMs, TDP 400 W.
+pub fn a100m() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("A100m")
+        .architecture(Architecture::Ampere)
+        .compute_capability(8, 0)
+        .core_freqs((0..61).map(|i| 1410 - 15 * i))
+        .mem_freqs([1215])
+        .default_config(FreqConfig::from_mhz(1200, 1215))
+        .num_sms(108)
+        .mem_bus_bytes_per_cycle(1280)
+        .int_sp_units_per_sm(64)
+        .dp_units_per_sm(32)
+        .sf_units_per_sm(16)
+        .tdp_w(400.0)
+        .power_refresh_ms(20.0)
+        .build()
+        .expect("a100m preset is valid")
+}
+
+/// Synthetic H100-class datacenter preset (Hopper, compute capability
+/// 9.0) — not a paper device. 104 core levels in [435:1980] MHz at a
+/// 15 MHz step (the FGCS framework's 104-level H100 table) over a single
+/// 1593 MHz HBM3 level, 132 SMs, TDP 700 W.
+pub fn h100m() -> DeviceSpec {
+    DeviceSpec::builder()
+        .name("H100m")
+        .architecture(Architecture::Hopper)
+        .compute_capability(9, 0)
+        .core_freqs((0..104).map(|i| 1980 - 15 * i))
+        .mem_freqs([1593])
+        .default_config(FreqConfig::from_mhz(1500, 1593))
+        .num_sms(132)
+        .mem_bus_bytes_per_cycle(1280)
+        .int_sp_units_per_sm(64)
+        .dp_units_per_sm(32)
+        .sf_units_per_sm(16)
+        .tdp_w(700.0)
+        .power_refresh_ms(20.0)
+        .build()
+        .expect("h100m preset is valid")
+}
+
 /// All three paper devices, Pascal first (the order of Fig. 7).
 pub fn all() -> Vec<DeviceSpec> {
     vec![titan_xp(), gtx_titan_x(), tesla_k40c()]
+}
+
+/// The synthetic datacenter device classes ([`v100m`], [`a100m`],
+/// [`h100m`]) used by the fleet simulation, newest last.
+pub fn datacenter() -> Vec<DeviceSpec> {
+    vec![v100m(), a100m(), h100m()]
 }
 
 /// The paper devices plus the extra non-paper preset ([`gtx_980`]).
@@ -213,6 +291,76 @@ mod tests {
         assert_eq!(g.core_freqs().len(), 11);
         assert!(g.supports(g.default_config()));
         assert_eq!(g.tdp_w(), 165.0);
+    }
+
+    #[test]
+    fn datacenter_level_counts_match_fgcs_tables() {
+        // The FGCS multi-GPU framework's per-class frequency tables:
+        // 103 (V100), 61 (A100), 104 (H100) core levels, one HBM level.
+        let v = v100m();
+        assert_eq!(v.core_freqs().len(), 103);
+        assert_eq!(v.core_freqs()[0], Mhz::new(1380));
+        assert_eq!(*v.core_freqs().last().unwrap(), Mhz::new(462));
+        assert_eq!(v.mem_freqs(), [Mhz::new(877)]);
+        let a = a100m();
+        assert_eq!(a.core_freqs().len(), 61);
+        assert_eq!(a.core_freqs()[0], Mhz::new(1410));
+        assert_eq!(*a.core_freqs().last().unwrap(), Mhz::new(510));
+        assert_eq!(a.mem_freqs(), [Mhz::new(1215)]);
+        let h = h100m();
+        assert_eq!(h.core_freqs().len(), 104);
+        assert_eq!(h.core_freqs()[0], Mhz::new(1980));
+        assert_eq!(*h.core_freqs().last().unwrap(), Mhz::new(435));
+        assert_eq!(h.mem_freqs(), [Mhz::new(1593)]);
+    }
+
+    #[test]
+    fn datacenter_envelope_fields() {
+        for d in datacenter() {
+            assert!(d.supports(d.default_config()), "{}", d.name());
+            assert_eq!(d.units_per_sm(Component::Int).unwrap(), 64, "{}", d.name());
+            assert_eq!(d.units_per_sm(Component::Dp).unwrap(), 32, "{}", d.name());
+        }
+        assert_eq!(v100m().num_sms(), 80);
+        assert_eq!(a100m().num_sms(), 108);
+        assert_eq!(h100m().num_sms(), 132);
+        assert_eq!(v100m().tdp_w(), 300.0);
+        assert_eq!(a100m().tdp_w(), 400.0);
+        assert_eq!(h100m().tdp_w(), 700.0);
+        assert_eq!(v100m().mem_bus_bytes_per_cycle(), 1024);
+        assert_eq!(a100m().mem_bus_bytes_per_cycle(), 1280);
+        assert_eq!(h100m().mem_bus_bytes_per_cycle(), 1280);
+    }
+
+    #[test]
+    fn datacenter_specs_round_trip_through_json() {
+        // Golden-schema guard: the serialized form must keep the exact
+        // field set and survive a parse round trip, so fleet traces that
+        // embed specs stay replayable across versions.
+        use gpm_json::FromJson;
+        for d in datacenter() {
+            let text = gpm_json::to_string(&d).unwrap();
+            for field in [
+                "\"name\"",
+                "\"architecture\"",
+                "\"core_freqs\"",
+                "\"mem_freqs\"",
+                "\"default_config\"",
+                "\"num_sms\"",
+                "\"tdp_w\"",
+            ] {
+                assert!(text.contains(field), "{}: missing {field}", d.name());
+            }
+            let back = DeviceSpec::from_json(&gpm_json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, d, "{}", d.name());
+        }
+        assert!(gpm_json::to_string(&v100m()).unwrap().contains("\"Volta\""));
+        assert!(gpm_json::to_string(&a100m())
+            .unwrap()
+            .contains("\"Ampere\""));
+        assert!(gpm_json::to_string(&h100m())
+            .unwrap()
+            .contains("\"Hopper\""));
     }
 
     #[test]

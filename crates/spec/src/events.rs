@@ -213,12 +213,19 @@ impl EventTable {
             Architecture::Pascal => 352_321,
             Architecture::Maxwell => 335_544,
             Architecture::Kepler => 318_767,
+            Architecture::Volta => 369_098,
+            Architecture::Ampere => 385_875,
+            Architecture::Hopper => 402_652,
         };
         let num = |suffix: u64| EventId::Numeric(prefix * 1000 + suffix);
         let mut rows: Vec<(Metric, Vec<EventId>)> = Vec::new();
         rows.push((Metric::ActiveCycles, vec![EventId::Named("active_cycles")]));
         match architecture {
-            Architecture::Pascal | Architecture::Maxwell => {
+            Architecture::Pascal
+            | Architecture::Maxwell
+            | Architecture::Volta
+            | Architecture::Ampere
+            | Architecture::Hopper => {
                 rows.push((
                     Metric::L2ReadSectors,
                     vec![
@@ -295,7 +302,12 @@ impl EventTable {
         ));
         let (warps_intsp, warps_dp, warps_sf, inst_int, inst_sp): (Vec<u64>, u64, u64, u64, u64) =
             match architecture {
-                Architecture::Pascal => (vec![580, 581], 584, 560, 831, 829),
+                // The post-Pascal datacenter families expose Pascal-style
+                // warp events under their own per-family prefix.
+                Architecture::Pascal
+                | Architecture::Volta
+                | Architecture::Ampere
+                | Architecture::Hopper => (vec![580, 581], 584, 560, 831, 829),
                 Architecture::Maxwell => (vec![361, 362], 364, 359, 504, 502),
                 Architecture::Kepler => (vec![131, 134, 136, 137], 141, 133, 205, 203),
             };

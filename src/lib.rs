@@ -33,6 +33,8 @@
 //!   ([`profiler::ResilientProfiler`]) and the robust estimator mode
 //! - [`serve`] — a batched, backpressured prediction service over a
 //!   persistent, versioned model registry
+//! - [`fleet`] — datacenter-scale fleet simulation: thousands of modeled
+//!   nodes under a power-capped, deadline-aware cluster governor
 //!
 //! # Quickstart
 //!
@@ -64,6 +66,7 @@
 pub use gpm_core as core;
 pub use gpm_dvfs as dvfs;
 pub use gpm_faults as faults;
+pub use gpm_fleet as fleet;
 pub use gpm_json as json;
 pub use gpm_linalg as linalg;
 pub use gpm_obs as obs;

@@ -231,7 +231,7 @@ fn crash_matrix_recovers_to_the_last_completed_operation() {
         ("nospace", FsFault::NoSpace),
     ];
     for (label, fault) in faults {
-        for k in 0..total_ops {
+        for (k, clean_snap) in snaps.iter().enumerate().take(total_ops) {
             let dir = tmp(&format!("{label}-{seed}-{k}"));
             let faulty = Arc::new(FaultyFs::inject(RealFs, k as u64, fault));
             let result = ModelRegistry::open_with_fs(&dir, faulty.clone())
@@ -252,8 +252,8 @@ fn crash_matrix_recovers_to_the_last_completed_operation() {
             });
             let got = snapshot(&dir);
             assert_eq!(
-                got,
-                snaps[k],
+                &got,
+                clean_snap,
                 "{label} at op {k}: recovered state is not byte-identical to the \
                  clean run before the fault\n{}",
                 faulty.log().join("\n")

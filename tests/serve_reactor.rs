@@ -382,24 +382,51 @@ fn mid_frame_reset_through_the_proxy_leaves_the_server_healthy() {
 #[test]
 fn requests_past_their_deadline_budget_get_a_typed_reply() {
     const N: usize = 32;
+    // The coalescing window is far longer than the 1 ms budget and the
+    // batch cap exceeds the burst, so the whole burst sits in the queue
+    // past its deadline — expiry cannot depend on machine speed.
     let config = ServerConfig {
         request_deadline_ms: 1,
+        coalesce_us: 50_000,
+        batch_max: 64,
         queue_depth: 256,
         conn_inflight: 256,
         ..ServerConfig::default()
     };
     let handle = ServerHandle::bind(engine(), config, "127.0.0.1:0").unwrap();
-    let mut client = TcpClient::connect(handle.local_addr().unwrap()).unwrap();
 
+    // Pure requests only: deadlines are enforced on the coalescing
+    // queue, while `BestConfig` rides the governor thread instead. The
+    // burst goes out in a single write so every poll wake-up decodes at
+    // least one frame — a wake-up that decodes nothing reads as a quiet
+    // stream and would flush the batch before the budget elapses.
     let kernels = ["GEMM", "LBM", "BLCKSC", "SRAD_1"];
-    let burst: Vec<Request> = (0..N)
-        .map(|i| Request::BestConfig {
+    let mut wire = Vec::new();
+    for i in 0..N {
+        let request = Request::Energy {
             kernel: kernels[i % kernels.len()].to_string(),
-            objective: Objective::MinEdp,
-        })
-        .collect();
-    let replies = client.pipeline(&burst).unwrap();
-    assert_eq!(replies.len(), N);
+            config: FreqConfig::from_mhz(975, 3505),
+        };
+        let payload = gpm::serve::proto::encode_request(i as u64, &request);
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(payload.as_bytes());
+    }
+    let mut sock = TcpStream::connect(handle.local_addr().unwrap()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    sock.write_all(&wire).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let mut replies = Vec::with_capacity(N);
+    for _ in 0..N {
+        let mut prefix = [0u8; 4];
+        sock.read_exact(&mut prefix).unwrap();
+        let mut payload = vec![0u8; u32::from_be_bytes(prefix) as usize];
+        sock.read_exact(&mut payload).unwrap();
+        let (_, reply) =
+            gpm::serve::proto::decode_reply(std::str::from_utf8(&payload).unwrap()).unwrap();
+        replies.push(reply);
+    }
     let exceeded = replies
         .iter()
         .filter(|r| matches!(r, Reply::DeadlineExceeded { budget_ms: 1 }))
@@ -414,7 +441,7 @@ fn requests_past_their_deadline_budget_get_a_typed_reply() {
             "unexpected reply kind: {reply:?}"
         );
     }
-    drop(client);
+    drop(sock);
     let (_, stats) = handle.shutdown();
     assert_eq!(
         stats.served, N as u64,
